@@ -1,0 +1,104 @@
+//! Microbenchmarks of the cryptographic primitives.
+//!
+//! The paper reports that off-chain crypto (encryption, hashing) is
+//! negligible next to on-chain transaction costs; these benchmarks pin
+//! that claim for our from-scratch implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ledgerview_crypto::aead;
+use ledgerview_crypto::ed25519;
+use ledgerview_crypto::keys::{self, EncryptionKeyPair, SigningKeyPair, SymmetricKey};
+use ledgerview_crypto::rng::seeded;
+use ledgerview_crypto::sha256::sha256;
+use ledgerview_crypto::x25519;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 64 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aead");
+    let key = [7u8; 32];
+    for size in [64usize, 1024, 16 * 1024] {
+        let mut rng = seeded(1);
+        let pt = vec![0x5au8; size];
+        let ct = aead::seal_sym(&key, &mut rng, &pt);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &pt, |b, pt| {
+            let mut rng = seeded(2);
+            b.iter(|| aead::seal_sym(black_box(&key), &mut rng, black_box(pt)));
+        });
+        group.bench_with_input(BenchmarkId::new("open", size), &ct, |b, ct| {
+            b.iter(|| aead::open_sym(black_box(&key), black_box(ct)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_x25519(c: &mut Criterion) {
+    let mut rng = seeded(3);
+    let alice = EncryptionKeyPair::generate(&mut rng);
+    let bob = EncryptionKeyPair::generate(&mut rng);
+    c.bench_function("x25519/shared_secret", |b| {
+        let priv_bytes = [0x42u8; 32];
+        b.iter(|| x25519::shared_secret(black_box(&priv_bytes), black_box(bob.public().as_bytes())));
+    });
+    c.bench_function("hybrid/seal_32B", |b| {
+        let mut rng = seeded(4);
+        b.iter(|| keys::seal(black_box(&bob.public()), &mut rng, black_box(b"0123456789abcdef0123456789abcdef")));
+    });
+    let sealed = keys::seal(&alice.public(), &mut rng, b"0123456789abcdef0123456789abcdef");
+    c.bench_function("hybrid/open_32B", |b| {
+        b.iter(|| keys::open(black_box(&alice), black_box(&sealed)).unwrap());
+    });
+}
+
+fn bench_ed25519(c: &mut Criterion) {
+    let mut rng = seeded(5);
+    let kp = SigningKeyPair::generate(&mut rng);
+    let msg = vec![0x11u8; 256];
+    let sig = kp.sign(&msg);
+    c.bench_function("ed25519/sign_256B", |b| {
+        b.iter(|| kp.sign(black_box(&msg)));
+    });
+    c.bench_function("ed25519/verify_256B", |b| {
+        b.iter(|| ed25519::verify(black_box(&kp.public()), black_box(&msg), black_box(&sig)).unwrap());
+    });
+}
+
+fn bench_process_secret(c: &mut Criterion) {
+    // The per-transaction concealment step of §5.3: key generation +
+    // encryption (EI/ER) vs salted hashing (HI/HR).
+    let secret = vec![0x33u8; 128];
+    c.bench_function("process_secret/encryption_128B", |b| {
+        let mut rng = seeded(6);
+        b.iter(|| {
+            let key = SymmetricKey::generate(&mut rng);
+            key.seal(&mut rng, black_box(&secret))
+        });
+    });
+    c.bench_function("process_secret/hash_128B", |b| {
+        let mut rng = seeded(7);
+        b.iter(|| ledgerview_core::txmodel::conceal_by_hash(black_box(&secret), &mut rng));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_aead,
+    bench_x25519,
+    bench_ed25519,
+    bench_process_secret
+);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Benchmarks of the blockchain substrate: Merkle trees, the state
+//! database digest, block commit, and datalog view evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use fabric_sim::merkle::{verify_inclusion, MerkleTree};
+use fabric_sim::statedb::{StateDb, Version};
+use ledgerview_datalog::{Atom, Database, Program, Rule, Term, Value};
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle");
+    for n in [100usize, 1000] {
+        let leaves: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect();
+        group.bench_with_input(BenchmarkId::new("build", n), &leaves, |b, leaves| {
+            b.iter(|| MerkleTree::build(black_box(leaves)));
+        });
+        let tree = MerkleTree::build(&leaves);
+        group.bench_with_input(BenchmarkId::new("prove", n), &tree, |b, tree| {
+            b.iter(|| tree.prove(black_box(n / 2)));
+        });
+        let proof = tree.prove(n / 2);
+        let root = tree.root();
+        group.bench_with_input(BenchmarkId::new("verify", n), &proof, |b, proof| {
+            b.iter(|| verify_inclusion(&root, black_box(&leaves[n / 2]), proof));
+        });
+    }
+    group.finish();
+}
+
+fn bench_statedb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statedb");
+    for n in [1_000usize, 10_000] {
+        let mut db = StateDb::new();
+        for i in 0..n {
+            db.put(
+                format!("key-{i:06}"),
+                format!("value-{i}").into_bytes(),
+                Version {
+                    block_num: (i / 100) as u64,
+                    tx_num: (i % 100) as u32,
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("state_digest", n), &db, |b, db| {
+            b.iter(|| db.state_digest());
+        });
+        group.bench_with_input(BenchmarkId::new("prefix_scan", n), &db, |b, db| {
+            b.iter(|| db.scan_prefix(black_box("key-0001")).count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_commit(c: &mut Criterion) {
+    use fabric_sim::endorsement::EndorsementPolicy;
+    use fabric_sim::identity::OrgId;
+    use fabric_sim::{Chaincode, FabricChain, TxContext};
+    use ledgerview_crypto::rng::seeded;
+
+    struct PutChaincode;
+    impl Chaincode for PutChaincode {
+        fn invoke(
+            &self,
+            ctx: &mut TxContext<'_>,
+            _function: &str,
+            args: &[Vec<u8>],
+        ) -> Result<Vec<u8>, fabric_sim::FabricError> {
+            ctx.put_state(String::from_utf8_lossy(&args[0]).to_string(), args[1].clone());
+            Ok(vec![])
+        }
+    }
+
+    c.bench_function("chain/invoke_commit_signed", |b| {
+        let mut rng = seeded(1);
+        let mut chain = FabricChain::new(&["Org1"], &mut rng);
+        chain.deploy(
+            "kv",
+            Box::new(PutChaincode),
+            EndorsementPolicy::AnyOf(chain.org_ids()),
+        );
+        let user = chain.enroll(&OrgId::new("Org1"), "u", &mut rng).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            chain
+                .invoke_commit(
+                    &user,
+                    "kv",
+                    "put",
+                    vec![format!("k{i}").into_bytes(), b"v".to_vec()],
+                    &mut rng,
+                )
+                .unwrap()
+        });
+    });
+
+    c.bench_function("chain/invoke_commit_unsigned", |b| {
+        let mut rng = seeded(2);
+        let mut chain = FabricChain::new(&["Org1"], &mut rng);
+        chain.set_check_signatures(false);
+        chain.deploy(
+            "kv",
+            Box::new(PutChaincode),
+            EndorsementPolicy::AnyOf(chain.org_ids()),
+        );
+        let user = chain.enroll(&OrgId::new("Org1"), "u", &mut rng).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            chain
+                .invoke_commit(
+                    &user,
+                    "kv",
+                    "put",
+                    vec![format!("k{i}").into_bytes(), b"v".to_vec()],
+                    &mut rng,
+                )
+                .unwrap()
+        });
+    });
+}
+
+fn bench_datalog(c: &mut Criterion) {
+    // Transitive closure over a delivery chain — the recursive view
+    // definition pattern of §3.
+    let mut group = c.benchmark_group("datalog");
+    for n in [50usize, 200] {
+        let mut db = Database::new();
+        for i in 0..n as i64 {
+            db.insert("edge", vec![Value::int(i), Value::int(i + 1)]);
+        }
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new("path", vec![Term::var("X"), Term::var("Y")]),
+                vec![Atom::new("edge", vec![Term::var("X"), Term::var("Y")])],
+            ),
+            Rule::new(
+                Atom::new("path", vec![Term::var("X"), Term::var("Z")]),
+                vec![
+                    Atom::new("edge", vec![Term::var("X"), Term::var("Y")]),
+                    Atom::new("path", vec![Term::var("Y"), Term::var("Z")]),
+                ],
+            ),
+        ]);
+        group.bench_with_input(BenchmarkId::new("closure", n), &db, |b, db| {
+            b.iter(|| program.evaluate(black_box(db)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merkle,
+    bench_statedb,
+    bench_block_commit,
+    bench_datalog
+);
+criterion_main!(benches);

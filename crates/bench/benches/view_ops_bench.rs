@@ -1,0 +1,142 @@
+//! Benchmarks of end-to-end LedgerView operations on the functional chain:
+//! invoking with a secret, querying a view, and verifying soundness and
+//! completeness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+use ledgerview_bench::functional::lv_chain;
+use ledgerview_core::manager::{AccessMode, HashBasedManager, ViewManager};
+use ledgerview_core::reader::ViewReader;
+use ledgerview_core::txmodel::{AttrValue, ClientTransaction};
+use ledgerview_core::{verify, ViewPredicate};
+use ledgerview_crypto::keys::EncryptionKeyPair;
+use ledgerview_crypto::rng::seeded;
+
+fn sample_tx(i: usize) -> ClientTransaction {
+    ClientTransaction::new(
+        vec![
+            ("item", AttrValue::str(format!("item-{i}"))),
+            ("from", AttrValue::str("M1")),
+            ("to", AttrValue::str("W1")),
+        ],
+        format!("type=battery;amount={i};price=9.99").into_bytes(),
+    )
+}
+
+fn bench_invoke_with_secret(c: &mut Criterion) {
+    c.bench_function("invoke_with_secret/hash_revocable", |b| {
+        let (mut chain, owner, client) = lv_chain(1);
+        let mut rng = seeded(1);
+        let mut mgr: HashBasedManager = ViewManager::new(owner, false);
+        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+            .unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            mgr.invoke_with_secret(&mut chain, &client, black_box(&sample_tx(i)), &mut rng)
+                .unwrap()
+        });
+    });
+}
+
+fn setup_view(n: usize, seed: u64) -> (fabric_sim::FabricChain, HashBasedManager, ViewReader) {
+    let (mut chain, owner, client) = lv_chain(seed);
+    let mut rng = seeded(seed);
+    let mut mgr: HashBasedManager = ViewManager::new(owner, true);
+    mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+        .unwrap();
+    for i in 0..n {
+        mgr.invoke_with_secret(&mut chain, &client, &sample_tx(i), &mut rng)
+            .unwrap();
+    }
+    mgr.flush(&mut chain, &mut rng).unwrap();
+    let kp = EncryptionKeyPair::generate(&mut rng);
+    mgr.grant_access(&mut chain, "V", kp.public(), &mut rng).unwrap();
+    let mut reader = ViewReader::new(kp);
+    reader.obtain_view_key(&chain, "V").unwrap();
+    (chain, mgr, reader)
+}
+
+fn bench_query_and_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_ops");
+    for n in [10usize, 100] {
+        let (chain, mgr, reader) = setup_view(n, 2);
+        group.bench_with_input(BenchmarkId::new("query_view", n), &n, |b, _| {
+            let mut rng = seeded(3);
+            b.iter(|| mgr.query_view("V", &reader.public(), None, &mut rng).unwrap());
+        });
+        let mut rng = seeded(4);
+        let resp = mgr.query_view("V", &reader.public(), None, &mut rng).unwrap();
+        group.bench_with_input(BenchmarkId::new("open_response", n), &n, |b, _| {
+            b.iter(|| reader.open_response(&chain, "V", black_box(&resp)).unwrap());
+        });
+        let revealed = reader.open_response(&chain, "V", &resp).unwrap();
+        group.bench_with_input(BenchmarkId::new("verify_soundness", n), &n, |b, _| {
+            b.iter(|| verify::verify_soundness(&chain, "V", black_box(&revealed)).unwrap());
+        });
+        let tids: HashSet<_> = revealed.iter().map(|r| r.tid).collect();
+        group.bench_with_input(BenchmarkId::new("verify_completeness_txlist", n), &n, |b, _| {
+            b.iter(|| {
+                verify::verify_completeness_txlist(&chain, "V", black_box(&tids), u64::MAX)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("verify_completeness_scan", n), &n, |b, _| {
+            b.iter(|| {
+                verify::verify_completeness_scan(&chain, "V", black_box(&tids), u64::MAX).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_grant_revoke(c: &mut Criterion) {
+    c.bench_function("grant_access", |b| {
+        let (mut chain, owner, _) = lv_chain(5);
+        let mut rng = seeded(5);
+        let mut mgr: HashBasedManager = ViewManager::new(owner, false);
+        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+            .unwrap();
+        b.iter(|| {
+            let user = EncryptionKeyPair::generate(&mut rng);
+            mgr.grant_access(&mut chain, "V", user.public(), &mut rng).unwrap();
+        });
+    });
+    // Revocation re-seals K_V' to every remaining member: cost grows with
+    // membership — the ablation behind the paper's "effective way to grant
+    // and revoke" claim.
+    let mut group = c.benchmark_group("revoke_access");
+    for members in [4usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, &m| {
+            let (mut chain, owner, _) = lv_chain(6);
+            let mut rng = seeded(6);
+            let mut mgr: HashBasedManager = ViewManager::new(owner, false);
+            mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+                .unwrap();
+            let users: Vec<_> = (0..m)
+                .map(|_| EncryptionKeyPair::generate(&mut rng))
+                .collect();
+            for u in &users {
+                mgr.grant_access(&mut chain, "V", u.public(), &mut rng).unwrap();
+            }
+            b.iter(|| {
+                // Revoke then immediately re-grant to keep size stable.
+                mgr.revoke_access(&mut chain, "V", &users[0].public(), &mut rng)
+                    .unwrap();
+                mgr.grant_access(&mut chain, "V", users[0].public(), &mut rng)
+                    .unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_invoke_with_secret,
+    bench_query_and_verify,
+    bench_grant_revoke
+);
+criterion_main!(benches);

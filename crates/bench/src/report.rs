@@ -1,0 +1,139 @@
+//! Table printing and CSV output shared by all figure binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One row of a figure's data series.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Row {
+    /// The x-axis value (e.g. number of clients, number of views).
+    pub x: f64,
+    /// The series label (e.g. a method name).
+    pub series: String,
+    /// Named measurements (e.g. "tps", "latency_ms").
+    pub values: Vec<(String, f64)>,
+}
+
+/// A figure's full data set, printable and writable as CSV.
+pub struct FigureTable {
+    /// Figure identifier, e.g. "fig04".
+    pub name: String,
+    /// Human title, e.g. "Throughput vs number of clients (WL1)".
+    pub title: String,
+    /// Label for the x column.
+    pub x_label: String,
+    /// Collected rows.
+    pub rows: Vec<Row>,
+}
+
+impl FigureTable {
+    /// Start a table.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> FigureTable {
+        FigureTable {
+            name: name.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a measurement row.
+    pub fn push(&mut self, x: f64, series: impl Into<String>, values: Vec<(&str, f64)>) {
+        self.rows.push(Row {
+            x,
+            series: series.into(),
+            values: values
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        });
+    }
+
+    /// Print the table in the layout the paper's figures use: one line per
+    /// (x, series) with all measurements.
+    pub fn print(&self) {
+        println!("== {} — {} ==", self.name, self.title);
+        let mut header_done = false;
+        for row in &self.rows {
+            if !header_done {
+                print!("{:>12}  {:<24}", self.x_label, "series");
+                for (k, _) in &row.values {
+                    print!("  {k:>14}");
+                }
+                println!();
+                header_done = true;
+            }
+            print!("{:>12}  {:<24}", row.x, row.series);
+            for (_, v) in &row.values {
+                print!("  {v:>14.2}");
+            }
+            println!();
+        }
+        println!();
+    }
+
+    /// Write `bench_results/<name>.csv`.
+    pub fn write_csv(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        if let Some(first) = self.rows.first() {
+            write!(f, "{},series", self.x_label)?;
+            for (k, _) in &first.values {
+                write!(f, ",{k}")?;
+            }
+            writeln!(f)?;
+        }
+        for row in &self.rows {
+            write!(f, "{},{}", row.x, row.series)?;
+            for (_, v) in &row.values {
+                write!(f, ",{v}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(path)
+    }
+
+    /// Fetch a measurement for assertions in tests.
+    pub fn get(&self, x: f64, series: &str, key: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.x == x && r.series == series)
+            .and_then(|r| r.values.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The default output directory, honouring `BENCH_RESULTS_DIR`.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("BENCH_RESULTS_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| "bench_results".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_round_trip() {
+        let mut t = FigureTable::new("fig99", "test", "clients");
+        t.push(4.0, "methodA", vec![("tps", 100.0), ("latency_ms", 2500.0)]);
+        t.push(8.0, "methodA", vec![("tps", 200.0), ("latency_ms", 2400.0)]);
+        assert_eq!(t.get(4.0, "methodA", "tps"), Some(100.0));
+        assert_eq!(t.get(4.0, "methodA", "nope"), None);
+        assert_eq!(t.get(9.0, "methodA", "tps"), None);
+
+        let dir = std::env::temp_dir().join("lv-bench-test");
+        let path = t.write_csv(&dir).unwrap();
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert!(contents.starts_with("clients,series,tps,latency_ms"));
+        assert!(contents.contains("4,methodA,100,2500"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Glue between methods and the discrete-event deployment: builds client
+//! populations and runs one timed experiment configuration.
+
+use fabric_sim::network::{self, ClientPlan, NetworkConfig, RunReport};
+use ledgerview_simnet::Region;
+
+use crate::methods::{self, Method, PayloadModel};
+
+/// Parameters of one timed run.
+#[derive(Clone, Debug)]
+pub struct TimedRun {
+    /// Compared method.
+    pub method: Method,
+    /// Number of client processes.
+    pub clients: usize,
+    /// Requests per batch (the paper uses 25).
+    pub batch_size: usize,
+    /// Batches per client.
+    pub batches: usize,
+    /// Views each transaction belongs to.
+    pub views_per_tx: usize,
+    /// Total number of views |V| in the system.
+    pub total_views: usize,
+    /// Deployment (latencies, service times, block cutting).
+    pub network: NetworkConfig,
+    /// Payload model.
+    pub payload: PayloadModel,
+}
+
+impl TimedRun {
+    /// The paper's default workload shape: WL1-scale requests on the
+    /// multi-region deployment, 25-request batches.
+    pub fn paper_default(method: Method, clients: usize) -> TimedRun {
+        TimedRun {
+            method,
+            clients,
+            batch_size: 25,
+            batches: 4,
+            views_per_tx: 3,
+            total_views: 7,
+            network: NetworkConfig::paper_multi_region(),
+            payload: PayloadModel::default(),
+        }
+    }
+
+    /// Execute the run on the simulator.
+    pub fn execute(&self) -> RunReport {
+        let plan = methods::request_plan(
+            self.method,
+            &self.payload,
+            self.views_per_tx,
+            self.total_views,
+        );
+        let clients: Vec<ClientPlan> = (0..self.clients)
+            .map(|i| ClientPlan {
+                // Clients colocate with the two peer regions, alternating.
+                region: if i % 2 == 0 {
+                    Region::EUROPE_NORTH
+                } else {
+                    Region::NA_NORTHEAST
+                },
+                batches: (0..self.batches)
+                    .map(|_| vec![plan.clone(); self.batch_size])
+                    .collect(),
+            })
+            .collect();
+        // Estimate the offered rate for sizing the TLC flush payload.
+        let expected_rate = (self.clients * self.batch_size) as f64 / 3.0;
+        let background = methods::background_for(self.method, &self.payload, expected_rate);
+        network::run_simulation(
+            self.network.clone(),
+            methods::pipelines_for(self.method, self.total_views),
+            clients,
+            background,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn revocable_beats_baseline_in_throughput() {
+        let rev = TimedRun::paper_default(Method::RevocableHash, 16).execute();
+        let base = TimedRun::paper_default(Method::Baseline2pc, 16).execute();
+        assert!(
+            rev.tps > 2.0 * base.tps,
+            "revocable {} vs baseline {}",
+            rev.tps,
+            base.tps
+        );
+        assert!(base.latency_mean_ms > 1.5 * rev.latency_mean_ms);
+    }
+
+    #[test]
+    fn irrevocable_slower_than_revocable_tlc_recovers() {
+        let rev = TimedRun::paper_default(Method::RevocableEnc, 24).execute();
+        let irr = TimedRun::paper_default(Method::IrrevocableEnc, 24).execute();
+        let tlc = TimedRun::paper_default(Method::IrrevocableTlc, 24).execute();
+        assert!(irr.tps < rev.tps, "irr {} rev {}", irr.tps, rev.tps);
+        assert!(irr.latency_mean_ms > rev.latency_mean_ms);
+        // TLC brings irrevocable views close to revocable (Fig 5).
+        assert!(tlc.tps > irr.tps, "tlc {} irr {}", tlc.tps, irr.tps);
+        let gap = (tlc.latency_mean_ms - rev.latency_mean_ms).abs();
+        assert!(
+            gap < 0.35 * rev.latency_mean_ms,
+            "tlc latency {} vs rev {}",
+            tlc.latency_mean_ms,
+            rev.latency_mean_ms
+        );
+    }
+
+    #[test]
+    fn onchain_tx_counts_match_fig6_slopes() {
+        let requests = |r: &RunReport| r.completed_requests as f64;
+        let rev = TimedRun::paper_default(Method::RevocableHash, 8).execute();
+        assert!((rev.onchain_txs as f64 / requests(&rev) - 1.0).abs() < 0.05);
+
+        let irr = TimedRun::paper_default(Method::IrrevocableHash, 8).execute();
+        assert!((irr.onchain_txs as f64 / requests(&irr) - 2.0).abs() < 0.05);
+
+        let mut base_run = TimedRun::paper_default(Method::Baseline2pc, 8);
+        base_run.views_per_tx = 7;
+        let base = base_run.execute();
+        // 2·|V| + 2 coordinator records per request.
+        let slope = base.onchain_txs as f64 / requests(&base);
+        assert!((slope - 16.0).abs() < 0.2, "baseline slope {slope}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the LedgerView layer.
+
+use std::fmt;
+
+use fabric_sim::FabricError;
+use ledgerview_crypto::CryptoError;
+
+/// Errors surfaced by view management, reading and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// Underlying blockchain error.
+    Fabric(FabricError),
+    /// Cryptographic failure (decryption, signature).
+    Crypto(CryptoError),
+    /// The named view does not exist at this manager.
+    UnknownView(String),
+    /// A view with this name already exists.
+    DuplicateView(String),
+    /// The operation is not allowed for the view's access mode
+    /// (e.g. revoking an irrevocable view).
+    ModeMismatch(String),
+    /// The requesting user has no access permission.
+    AccessDenied(String),
+    /// Verification found the view unsound or incomplete.
+    VerificationFailed(String),
+    /// Malformed on-chain or response payload.
+    Malformed(String),
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::Fabric(e) => write!(f, "fabric error: {e}"),
+            ViewError::Crypto(e) => write!(f, "crypto error: {e}"),
+            ViewError::UnknownView(v) => write!(f, "unknown view {v:?}"),
+            ViewError::DuplicateView(v) => write!(f, "view {v:?} already exists"),
+            ViewError::ModeMismatch(m) => write!(f, "access-mode mismatch: {m}"),
+            ViewError::AccessDenied(m) => write!(f, "access denied: {m}"),
+            ViewError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
+            ViewError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+impl From<FabricError> for ViewError {
+    fn from(e: FabricError) -> Self {
+        ViewError::Fabric(e)
+    }
+}
+
+impl From<CryptoError> for ViewError {
+    fn from(e: CryptoError) -> Self {
+        ViewError::Crypto(e)
+    }
+}

@@ -1,0 +1,55 @@
+//! LedgerView: access-control views on a permissioned blockchain.
+//!
+//! This crate implements the contribution of *LedgerView: Access-Control
+//! Views on Hyperledger Fabric* (SIGMOD 2022): views over blockchain
+//! transactions whose secret parts are concealed by encryption or salted
+//! hashing, with revocable or irrevocable access permissions, role-based
+//! access control, and verifiable soundness and completeness.
+//!
+//! # The four methods (§4)
+//!
+//! | | Encryption-based | Hash-based |
+//! |---|---|---|
+//! | **Irrevocable** | EI: secret stored encrypted on-chain; view = `enc([tid, K_i, …], K_V)` in contract state | HI: only `h(secret‖salt)` on-chain; view = `enc((tid, secret), K_V)` in contract state |
+//! | **Revocable** | ER: view keys served per request, encrypted under the rotatable `K_V` | HR: secret values served per request, encrypted under the rotatable `K_V` |
+//!
+//! # Module map (§5's architecture)
+//!
+//! * [`txmodel`] — transactions `(tid, t[N], t[S])` and concealment.
+//! * [`predicate`] — view definitions over the non-secret part.
+//! * [`contracts`] — the on-chain side: `Invoke`, `ViewStorage`
+//!   (Init/Merge), `TxListContract`, and the access/RBAC registry.
+//! * [`manager`] — the `ViewManager` run by view owners
+//!   (`EncryptionBasedManager` / `HashBasedManager`, revocable and
+//!   irrevocable modes, `CreateView` / `InvokeWithSecret` / `QueryView`,
+//!   grant and revoke).
+//! * [`reader`] — the view-reader side: obtaining `K_V`, decrypting query
+//!   results, validating them against the chain.
+//! * [`rbac`] — role-based access control (§4.6).
+//! * [`verify`] — verifiable soundness and completeness (§4.7, Fig 12).
+//!
+//! # Quick start
+//!
+//! See `examples/quickstart.rs` at the workspace root for the Alice/Bob
+//! workflow of Fig 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod delegation;
+pub mod error;
+#[cfg(test)]
+pub(crate) mod testutil;
+pub mod manager;
+pub mod predicate;
+pub mod rbac;
+pub mod reader;
+pub mod txmodel;
+pub mod verify;
+
+pub use error::ViewError;
+pub use manager::{AccessMode, EncryptionBasedManager, HashBasedManager, ViewManager};
+pub use predicate::ViewPredicate;
+pub use reader::ViewReader;
+pub use txmodel::{AttrValue, ClientTransaction, NonSecret};

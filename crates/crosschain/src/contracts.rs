@@ -1,0 +1,218 @@
+//! The coordinator and participant smart contracts.
+
+use fabric_sim::chaincode::{Chaincode, TxContext};
+use fabric_sim::statedb::StateDb;
+use fabric_sim::FabricError;
+
+/// Chaincode name of the coordinator (deployed on the main chain).
+pub const COORDINATOR_CC: &str = "xc.coordinator";
+/// Chaincode name of the participant (deployed on each view chain).
+pub const SHARD_CC: &str = "xc.shard";
+
+fn arg<'a>(args: &'a [Vec<u8>], i: usize) -> Result<&'a [u8], FabricError> {
+    args.get(i)
+        .map(|a| a.as_slice())
+        .ok_or_else(|| FabricError::Malformed(format!("missing argument {i}")))
+}
+
+fn arg_str(args: &[Vec<u8>], i: usize) -> Result<String, FabricError> {
+    String::from_utf8(arg(args, i)?.to_vec())
+        .map_err(|_| FabricError::Malformed(format!("argument {i} not UTF-8")))
+}
+
+/// Coordinator states recorded on the main chain per request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordState {
+    /// Prepares issued, outcome pending.
+    Begun,
+    /// Global commit decided.
+    Committed,
+    /// Global abort decided.
+    Aborted,
+}
+
+impl CoordState {
+    fn to_byte(self) -> u8 {
+        match self {
+            CoordState::Begun => 0,
+            CoordState::Committed => 1,
+            CoordState::Aborted => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<CoordState> {
+        Some(match b {
+            0 => CoordState::Begun,
+            1 => CoordState::Committed,
+            2 => CoordState::Aborted,
+            _ => return None,
+        })
+    }
+}
+
+fn coord_key(request: &str) -> String {
+    format!("2pc~{request}")
+}
+
+/// The 2PC coordinator contract: records `begin` and the final decision
+/// for each cross-chain request (write-ahead decision log on the ledger).
+pub struct CoordinatorContract;
+
+impl Chaincode for CoordinatorContract {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, FabricError> {
+        match function {
+            "begin" => {
+                let request = arg_str(args, 0)?;
+                let key = coord_key(&request);
+                if ctx.get_state(&key).is_some() {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} already begun"
+                    )));
+                }
+                ctx.put_state(key, vec![CoordState::Begun.to_byte()]);
+                Ok(vec![])
+            }
+            "decide" => {
+                let request = arg_str(args, 0)?;
+                let commit = *arg(args, 1)?
+                    .first()
+                    .ok_or_else(|| FabricError::Malformed("empty decision".into()))?;
+                let key = coord_key(&request);
+                match ctx.get_state(&key).as_deref() {
+                    Some([b]) if *b == CoordState::Begun.to_byte() => {}
+                    Some(_) => {
+                        return Err(FabricError::ChaincodeError(format!(
+                            "request {request:?} already decided"
+                        )))
+                    }
+                    None => {
+                        return Err(FabricError::ChaincodeError(format!(
+                            "request {request:?} was never begun"
+                        )))
+                    }
+                }
+                let state = if commit == 1 {
+                    CoordState::Committed
+                } else {
+                    CoordState::Aborted
+                };
+                ctx.put_state(key, vec![state.to_byte()]);
+                Ok(vec![])
+            }
+            other => Err(FabricError::ChaincodeError(format!(
+                "CoordinatorContract: unknown function {other}"
+            ))),
+        }
+    }
+}
+
+/// Read a request's coordinator state from the main chain.
+pub fn read_coord_state(state: &StateDb, request: &str) -> Option<CoordState> {
+    state
+        .get(&coord_key(request))
+        .and_then(|v| v.first().copied())
+        .and_then(CoordState::from_byte)
+}
+
+fn prep_key(request: &str) -> String {
+    format!("prep~{request}")
+}
+
+fn committed_key(request: &str) -> String {
+    format!("xtx~{request}")
+}
+
+const POISON_KEY: &str = "shard~poison";
+
+/// The 2PC participant contract on each view blockchain.
+///
+/// `prepare` locks the payload; `commit` makes it visible as view data;
+/// `abort` discards it. `set_poison` makes future prepares vote abort —
+/// the failure-injection hook used by the atomicity tests.
+pub struct ShardContract;
+
+impl Chaincode for ShardContract {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, FabricError> {
+        match function {
+            "prepare" => {
+                if ctx.get_state(POISON_KEY).is_some() {
+                    return Err(FabricError::ChaincodeError(
+                        "shard votes abort (poisoned)".into(),
+                    ));
+                }
+                let request = arg_str(args, 0)?;
+                let payload = arg(args, 1)?.to_vec();
+                let key = prep_key(&request);
+                if ctx.get_state(&key).is_some() || ctx.get_state(&committed_key(&request)).is_some()
+                {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} already prepared or committed"
+                    )));
+                }
+                ctx.put_state(key, payload);
+                Ok(vec![])
+            }
+            "commit" => {
+                let request = arg_str(args, 0)?;
+                let Some(payload) = ctx.get_state(&prep_key(&request)) else {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} was not prepared"
+                    )));
+                };
+                ctx.delete_state(prep_key(&request));
+                ctx.put_state(committed_key(&request), payload);
+                Ok(vec![])
+            }
+            "abort" => {
+                let request = arg_str(args, 0)?;
+                if ctx.get_state(&prep_key(&request)).is_none() {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} was not prepared"
+                    )));
+                }
+                ctx.delete_state(prep_key(&request));
+                Ok(vec![])
+            }
+            "set_poison" => {
+                ctx.put_state(POISON_KEY, vec![1]);
+                Ok(vec![])
+            }
+            "clear_poison" => {
+                ctx.delete_state(POISON_KEY);
+                Ok(vec![])
+            }
+            other => Err(FabricError::ChaincodeError(format!(
+                "ShardContract: unknown function {other}"
+            ))),
+        }
+    }
+}
+
+/// Whether a request's payload is committed (visible) on a view chain.
+pub fn read_committed_payload(state: &StateDb, request: &str) -> Option<Vec<u8>> {
+    state.get(&committed_key(request)).map(|v| v.to_vec())
+}
+
+/// Whether a request is still in the prepared (locked) state.
+pub fn is_prepared(state: &StateDb, request: &str) -> bool {
+    state.get(&prep_key(request)).is_some()
+}
+
+/// All committed cross-chain payload bytes on a view chain (storage
+/// accounting).
+pub fn committed_bytes(state: &StateDb) -> u64 {
+    state
+        .scan_prefix("xtx~")
+        .map(|(k, v)| (k.len() + v.len()) as u64)
+        .sum()
+}

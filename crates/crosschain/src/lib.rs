@@ -1,0 +1,24 @@
+//! The cross-blockchain baseline (§6.1): one blockchain per view,
+//! kept consistent with the main chain by AHL-style two-phase commit.
+//!
+//! Each view is stored on its own *view blockchain* accessible only to
+//! users with permission for that view. A transaction included in `n`
+//! views becomes a cross-chain transaction: the main blockchain acts as
+//! the 2PC coordinator (via a smart contract), each view blockchain is a
+//! 2PC participant whose protocol logic is also a smart contract, and a
+//! request turns into `2n` view-chain transactions (`n` Prepares, then
+//! `n` Commits) plus the coordinator's begin/decide records.
+//!
+//! This is the baseline LedgerView is compared against in Figs 4–9: it is
+//! atomic and verifiably consistent, but pays 2n on-chain transactions and
+//! duplicates every payload once per view.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contracts;
+pub mod deployment;
+pub mod protocol;
+
+pub use deployment::CrossChainDeployment;
+pub use protocol::{execute_request, CrossChainRequest, RequestOutcome};

@@ -1,0 +1,165 @@
+//! Authenticated encryption: AES-256-CTR + HMAC-SHA-256, encrypt-then-MAC.
+//!
+//! This is the `enc(data, K)` used throughout the paper: transactions'
+//! secret parts (§4.1), view key lists (§4.1), `V_access` entries (§4.2),
+//! and view storage payloads (§4.3) are all sealed with this construction.
+//!
+//! Wire format: `nonce (16) || ciphertext (len(pt)) || tag (32)`.
+//! The tag authenticates `nonce || aad || ciphertext` with the lengths of
+//! `aad` bound into the MAC input, so the same bytes cannot be reinterpreted
+//! across contexts.
+
+use rand::RngCore;
+
+use crate::aes::Aes;
+use crate::ctr;
+use crate::error::CryptoError;
+use crate::hkdf;
+use crate::hmac::{hmac_sha256_multi, verify_tag};
+
+/// Size of the random nonce prefix.
+pub const NONCE_LEN: usize = 16;
+/// Size of the HMAC-SHA-256 tag suffix.
+pub const TAG_LEN: usize = 32;
+/// Total ciphertext expansion: `NONCE_LEN + TAG_LEN`.
+pub const OVERHEAD: usize = NONCE_LEN + TAG_LEN;
+
+/// Derive independent encryption and MAC keys from a 32-byte master key.
+fn subkeys(key: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+    let prk = hkdf::extract(b"ledgerview-aead-v1", key);
+    let mut enc = [0u8; 32];
+    hkdf::expand(&prk, b"enc", &mut enc);
+    let mut mac = [0u8; 32];
+    hkdf::expand(&prk, b"mac", &mut mac);
+    (enc, mac)
+}
+
+fn mac_input_tag(mac_key: &[u8; 32], nonce: &[u8], aad: &[u8], ct: &[u8]) -> [u8; 32] {
+    let aad_len = (aad.len() as u64).to_be_bytes();
+    hmac_sha256_multi(mac_key, &[nonce, &aad_len, aad, ct])
+}
+
+/// Encrypt `plaintext` under a 32-byte symmetric key, binding optional
+/// associated data `aad` into the authentication tag.
+pub fn seal_sym_aad<R: RngCore + ?Sized>(
+    key: &[u8; 32],
+    rng: &mut R,
+    plaintext: &[u8],
+    aad: &[u8],
+) -> Vec<u8> {
+    let (enc_key, mac_key) = subkeys(key);
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+
+    let mut out = Vec::with_capacity(plaintext.len() + OVERHEAD);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(plaintext);
+    let aes = Aes::new_256(&enc_key);
+    ctr::apply_keystream(&aes, &nonce, &mut out[NONCE_LEN..]);
+
+    let tag = mac_input_tag(&mac_key, &nonce, aad, &out[NONCE_LEN..]);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypt and authenticate a ciphertext produced by [`seal_sym_aad`].
+pub fn open_sym_aad(key: &[u8; 32], ciphertext: &[u8], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    if ciphertext.len() < OVERHEAD {
+        return Err(CryptoError::DecryptionFailed);
+    }
+    let (enc_key, mac_key) = subkeys(key);
+    let nonce: [u8; NONCE_LEN] = ciphertext[..NONCE_LEN].try_into().expect("nonce");
+    let ct = &ciphertext[NONCE_LEN..ciphertext.len() - TAG_LEN];
+    let tag = &ciphertext[ciphertext.len() - TAG_LEN..];
+
+    let expect = mac_input_tag(&mac_key, &nonce, aad, ct);
+    if !verify_tag(&expect, tag) {
+        return Err(CryptoError::DecryptionFailed);
+    }
+    let mut pt = ct.to_vec();
+    let aes = Aes::new_256(&enc_key);
+    ctr::apply_keystream(&aes, &nonce, &mut pt);
+    Ok(pt)
+}
+
+/// Encrypt without associated data. See [`seal_sym_aad`].
+pub fn seal_sym<R: RngCore + ?Sized>(key: &[u8; 32], rng: &mut R, plaintext: &[u8]) -> Vec<u8> {
+    seal_sym_aad(key, rng, plaintext, &[])
+}
+
+/// Decrypt without associated data. See [`open_sym_aad`].
+pub fn open_sym(key: &[u8; 32], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    open_sym_aad(key, ciphertext, &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn round_trip() {
+        let key = [42u8; 32];
+        let mut rng = seeded(1);
+        let ct = seal_sym(&key, &mut rng, b"the secret part of a transaction");
+        assert_eq!(ct.len(), 32 + OVERHEAD);
+        let pt = open_sym(&key, &ct).unwrap();
+        assert_eq!(pt, b"the secret part of a transaction");
+    }
+
+    #[test]
+    fn empty_plaintext() {
+        let key = [1u8; 32];
+        let ct = seal_sym(&key, &mut seeded(2), b"");
+        assert_eq!(open_sym(&key, &ct).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let ct = seal_sym(&[1u8; 32], &mut seeded(3), b"data");
+        assert_eq!(
+            open_sym(&[2u8; 32], &ct),
+            Err(CryptoError::DecryptionFailed)
+        );
+    }
+
+    #[test]
+    fn tamper_any_byte_fails() {
+        let key = [5u8; 32];
+        let ct = seal_sym(&key, &mut seeded(4), b"tamper-evidence");
+        for i in 0..ct.len() {
+            let mut bad = ct.clone();
+            bad[i] ^= 0x01;
+            assert!(open_sym(&key, &bad).is_err(), "byte {i} tamper accepted");
+        }
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let key = [6u8; 32];
+        let ct = seal_sym(&key, &mut seeded(5), b"data");
+        for len in 0..OVERHEAD.min(ct.len()) {
+            assert!(open_sym(&key, &ct[..len]).is_err());
+        }
+        assert!(open_sym(&key, &ct[..ct.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn aad_is_bound() {
+        let key = [7u8; 32];
+        let ct = seal_sym_aad(&key, &mut seeded(6), b"payload", b"tid-42");
+        assert!(open_sym_aad(&key, &ct, b"tid-42").is_ok());
+        assert!(open_sym_aad(&key, &ct, b"tid-43").is_err());
+        assert!(open_sym_aad(&key, &ct, b"").is_err());
+    }
+
+    #[test]
+    fn nonces_differ_between_seals() {
+        let key = [8u8; 32];
+        let mut rng = seeded(7);
+        let c1 = seal_sym(&key, &mut rng, b"same plaintext");
+        let c2 = seal_sym(&key, &mut rng, b"same plaintext");
+        assert_ne!(c1, c2, "nonce reuse");
+        assert_eq!(open_sym(&key, &c1).unwrap(), open_sym(&key, &c2).unwrap());
+    }
+}

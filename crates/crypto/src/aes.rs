@@ -1,0 +1,332 @@
+//! AES block cipher (FIPS 197) with 128-, 192- and 256-bit keys.
+//!
+//! The S-box and its inverse are *computed* at compile time from the GF(2⁸)
+//! definition rather than transcribed, so there is no 256-entry table to
+//! mistype; the FIPS 197 example vectors in the tests pin the result.
+
+/// Multiply two elements of GF(2⁸) modulo the AES polynomial x⁸+x⁴+x³+x+1.
+const fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+        i += 1;
+    }
+    p
+}
+
+const fn build_sbox() -> [u8; 256] {
+    // Multiplicative inverse by brute force (const context), then the
+    // affine transform of FIPS 197 §5.1.1.
+    let mut sbox = [0u8; 256];
+    let mut x = 0usize;
+    while x < 256 {
+        let inv = if x == 0 {
+            0u8
+        } else {
+            let mut c = 1usize;
+            let mut found = 0u8;
+            while c < 256 {
+                if gmul(x as u8, c as u8) == 1 {
+                    found = c as u8;
+                    break;
+                }
+                c += 1;
+            }
+            found
+        };
+        let mut s = inv;
+        let mut r = inv;
+        let mut i = 0;
+        while i < 4 {
+            r = r.rotate_left(1);
+            s ^= r;
+            i += 1;
+        }
+        sbox[x] = s ^ 0x63;
+        x += 1;
+    }
+    sbox
+}
+
+const fn invert_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[sbox[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+}
+
+const SBOX: [u8; 256] = build_sbox();
+const INV_SBOX: [u8; 256] = invert_sbox(&SBOX);
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// An expanded AES key schedule, ready for encryption or decryption.
+#[derive(Clone)]
+pub struct Aes {
+    /// Round keys as 4-byte words; `4 * (rounds + 1)` words are used.
+    round_keys: [u32; 60],
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expand a 128-bit key (10 rounds).
+    pub fn new_128(key: &[u8; 16]) -> Aes {
+        Self::expand(key, 4, 10)
+    }
+
+    /// Expand a 192-bit key (12 rounds).
+    pub fn new_192(key: &[u8; 24]) -> Aes {
+        Self::expand(key, 6, 12)
+    }
+
+    /// Expand a 256-bit key (14 rounds).
+    pub fn new_256(key: &[u8; 32]) -> Aes {
+        Self::expand(key, 8, 14)
+    }
+
+    fn expand(key: &[u8], nk: usize, rounds: usize) -> Aes {
+        let mut w = [0u32; 60];
+        for (i, word) in w.iter_mut().take(nk).enumerate() {
+            *word = u32::from_be_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        let total = 4 * (rounds + 1);
+        for i in nk..total {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp = sub_word(temp.rotate_left(8)) ^ ((RCON[i / nk - 1] as u32) << 24);
+            } else if nk > 6 && i % nk == 4 {
+                temp = sub_word(temp);
+            }
+            w[i] = w[i - nk] ^ temp;
+        }
+        Aes {
+            round_keys: w,
+            rounds,
+        }
+    }
+
+    /// Encrypt a single 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        self.add_round_key(block, 0);
+        for round in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            self.add_round_key(block, round);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        self.add_round_key(block, self.rounds);
+    }
+
+    /// Decrypt a single 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        self.add_round_key(block, self.rounds);
+        for round in (1..self.rounds).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+            self.add_round_key(block, round);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        self.add_round_key(block, 0);
+    }
+
+    fn add_round_key(&self, block: &mut [u8; 16], round: usize) {
+        for c in 0..4 {
+            let word = self.round_keys[round * 4 + c].to_be_bytes();
+            for r in 0..4 {
+                block[c * 4 + r] ^= word[r];
+            }
+        }
+    }
+}
+
+fn sub_word(w: u32) -> u32 {
+    let b = w.to_be_bytes();
+    u32::from_be_bytes([
+        SBOX[b[0] as usize],
+        SBOX[b[1] as usize],
+        SBOX[b[2] as usize],
+        SBOX[b[3] as usize],
+    ])
+}
+
+fn sub_bytes(block: &mut [u8; 16]) {
+    for b in block.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(block: &mut [u8; 16]) {
+    for b in block.iter_mut() {
+        *b = INV_SBOX[*b as usize];
+    }
+}
+
+// The state is laid out column-major: byte `c*4 + r` is row r, column c.
+// ShiftRows rotates row r left by r positions.
+fn shift_rows(block: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [block[r], block[4 + r], block[8 + r], block[12 + r]];
+        for c in 0..4 {
+            block[c * 4 + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(block: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [block[r], block[4 + r], block[8 + r], block[12 + r]];
+        for c in 0..4 {
+            block[c * 4 + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(block: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [block[c * 4], block[c * 4 + 1], block[c * 4 + 2], block[c * 4 + 3]];
+        block[c * 4] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        block[c * 4 + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        block[c * 4 + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        block[c * 4 + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(block: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [block[c * 4], block[c * 4 + 1], block[c * 4 + 2], block[c * 4 + 3]];
+        block[c * 4] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        block[c * 4 + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        block[c * 4 + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        block[c * 4 + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    #[test]
+    fn sbox_known_entries() {
+        // FIPS 197 Figure 7 spot checks.
+        assert_eq!(SBOX[0x00], 0x63);
+        assert_eq!(SBOX[0x01], 0x7c);
+        assert_eq!(SBOX[0x53], 0xed);
+        assert_eq!(SBOX[0xff], 0x16);
+        assert_eq!(INV_SBOX[0x63], 0x00);
+        assert_eq!(INV_SBOX[0xed], 0x53);
+    }
+
+    fn block(hexstr: &str) -> [u8; 16] {
+        hex::decode(hexstr).unwrap().try_into().unwrap()
+    }
+
+    // FIPS 197 Appendix C example vectors.
+    #[test]
+    fn fips197_aes128() {
+        let key: [u8; 16] = hex::decode("000102030405060708090a0b0c0d0e0f")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes::new_128(&key);
+        let mut b = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut b);
+        assert_eq!(hex::encode(&b), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        aes.decrypt_block(&mut b);
+        assert_eq!(hex::encode(&b), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn fips197_aes192() {
+        let key: [u8; 24] = hex::decode("000102030405060708090a0b0c0d0e0f1011121314151617")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes::new_192(&key);
+        let mut b = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut b);
+        assert_eq!(hex::encode(&b), "dda97ca4864cdfe06eaf70a0ec0d7191");
+        aes.decrypt_block(&mut b);
+        assert_eq!(hex::encode(&b), "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn fips197_aes256() {
+        let key: [u8; 32] =
+            hex::decode("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .unwrap()
+                .try_into()
+                .unwrap();
+        let aes = Aes::new_256(&key);
+        let mut b = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut b);
+        assert_eq!(hex::encode(&b), "8ea2b7ca516745bfeafc49904b496089");
+        aes.decrypt_block(&mut b);
+        assert_eq!(hex::encode(&b), "00112233445566778899aabbccddeeff");
+    }
+
+    // SP 800-38A single-block ECB vectors.
+    #[test]
+    fn sp800_38a_ecb_block() {
+        let key: [u8; 16] = hex::decode("2b7e151628aed2a6abf7158809cf4f3c")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let aes = Aes::new_128(&key);
+        let mut b = block("6bc1bee22e409f96e93d7e117393172a");
+        aes.encrypt_block(&mut b);
+        assert_eq!(hex::encode(&b), "3ad77bb40d7a3660a89ecaf32466ef97");
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip_all_key_sizes() {
+        let mut data = [0u8; 16];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i * 17 + 3) as u8;
+        }
+        let original = data;
+
+        let a128 = Aes::new_128(&[7u8; 16]);
+        a128.encrypt_block(&mut data);
+        assert_ne!(data, original);
+        a128.decrypt_block(&mut data);
+        assert_eq!(data, original);
+
+        let a192 = Aes::new_192(&[9u8; 24]);
+        a192.encrypt_block(&mut data);
+        a192.decrypt_block(&mut data);
+        assert_eq!(data, original);
+
+        let a256 = Aes::new_256(&[11u8; 32]);
+        a256.encrypt_block(&mut data);
+        a256.decrypt_block(&mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn gmul_identities() {
+        for x in 0..=255u8 {
+            assert_eq!(gmul(x, 1), x);
+            assert_eq!(gmul(x, 0), 0);
+        }
+        // x * x⁻¹ = 1 is implied by the S-box construction; spot-check 0x02·0x8d=1.
+        assert_eq!(gmul(0x02, 0x8d), 0x01);
+        assert_eq!(gmul(0x53, 0xca), 0x01);
+    }
+}

@@ -1,0 +1,494 @@
+//! Ed25519 signatures (RFC 8032).
+//!
+//! The Fabric substrate signs endorsements, blocks and identities with
+//! Ed25519. Curve constants (`d`, `√−1`, the base point) are *derived* from
+//! their definitions at first use rather than transcribed, and the RFC 8032
+//! test vectors pin the result.
+
+use std::sync::OnceLock;
+
+use crate::error::CryptoError;
+use crate::sha512::Sha512;
+use crate::x25519::Fe;
+
+/// A point on the twisted Edwards curve in extended coordinates
+/// (X : Y : Z : T) with T = XY/Z.
+#[derive(Clone, Copy, Debug)]
+struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+fn fe_small(v: u64) -> Fe {
+    debug_assert!(v < (1 << 51));
+    Fe([v, 0, 0, 0, 0])
+}
+
+fn fe_neg(a: Fe) -> Fe {
+    Fe::ZERO.sub(a)
+}
+
+/// d = −121665/121666, computed from its definition.
+fn d() -> Fe {
+    static D: OnceLock<Fe> = OnceLock::new();
+    *D.get_or_init(|| fe_neg(fe_small(121665)).mul(fe_small(121666).invert()))
+}
+
+/// 2d, used by the unified addition formula.
+fn d2() -> Fe {
+    static D2: OnceLock<Fe> = OnceLock::new();
+    *D2.get_or_init(|| d().add(d()))
+}
+
+/// √−1 = 2^((p−1)/4), computed by exponentiation.
+fn sqrt_m1() -> Fe {
+    static I: OnceLock<Fe> = OnceLock::new();
+    *I.get_or_init(|| {
+        // (p - 1) / 4 = 2^253 - 5, little-endian bytes: fb, ff × 30, 1f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xfb;
+        exp[31] = 0x1f;
+        fe_small(2).pow_le(&exp)
+    })
+}
+
+/// The standard base point B, decompressed from its canonical encoding
+/// (y = 4/5 with even x).
+fn base_point() -> Point {
+    static B: OnceLock<Point> = OnceLock::new();
+    *B.get_or_init(|| {
+        let mut enc = [0x66u8; 32];
+        enc[31] = 0x66;
+        enc[0] = 0x58;
+        decompress(&enc).expect("base point encoding is valid")
+    })
+}
+
+impl Point {
+    /// The identity element (0, 1).
+    fn identity() -> Point {
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// Unified point addition (also valid for doubling).
+    fn add(&self, q: &Point) -> Point {
+        let a = self.y.sub(self.x).mul(q.y.sub(q.x));
+        let b = self.y.add(self.x).mul(q.y.add(q.x));
+        let c = self.t.mul(d2()).mul(q.t);
+        let dd = self.z.add(self.z).mul(q.z);
+        let e = b.sub(a);
+        let f = dd.sub(c);
+        let g = dd.add(c);
+        let h = b.add(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Scalar multiplication by a little-endian 256-bit scalar
+    /// (double-and-add; not constant time, see crate disclaimer).
+    fn scalar_mul(&self, scalar_le: &[u8; 32]) -> Point {
+        let mut result = Point::identity();
+        let mut acc = *self;
+        for byte in scalar_le.iter() {
+            for bit in 0..8 {
+                if (byte >> bit) & 1 == 1 {
+                    result = result.add(&acc);
+                }
+                acc = acc.add(&acc);
+            }
+        }
+        result
+    }
+
+    /// Compress to the 32-byte RFC 8032 encoding: y with the sign of x in
+    /// the top bit.
+    fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(zinv);
+        let y = self.y.mul(zinv);
+        let mut out = y.to_bytes();
+        out[31] |= (x.to_bytes()[0] & 1) << 7;
+        out
+    }
+
+    /// Projective equality: X1·Z2 == X2·Z1 and Y1·Z2 == Y2·Z1.
+    fn equals(&self, q: &Point) -> bool {
+        let a = self.x.mul(q.z).to_bytes();
+        let b = q.x.mul(self.z).to_bytes();
+        let c = self.y.mul(q.z).to_bytes();
+        let d = q.y.mul(self.z).to_bytes();
+        a == b && c == d
+    }
+}
+
+/// Decompress an RFC 8032 point encoding (§5.1.3).
+fn decompress(enc: &[u8; 32]) -> Result<Point, CryptoError> {
+    let sign = enc[31] >> 7;
+    let y = Fe::from_bytes(enc); // from_bytes masks the sign bit
+    let y2 = y.square();
+    let u = y2.sub(Fe::ONE);
+    let v = d().mul(y2).add(Fe::ONE);
+
+    // Candidate root x = u·v³·(u·v⁷)^((p−5)/8).
+    let v3 = v.square().mul(v);
+    let v7 = v3.square().mul(v);
+    // (p - 5) / 8 = 2^252 - 3, little-endian bytes: fd, ff × 30, 0f.
+    let mut exp = [0xffu8; 32];
+    exp[0] = 0xfd;
+    exp[31] = 0x0f;
+    let mut x = u.mul(v3).mul(u.mul(v7).pow_le(&exp));
+
+    let vx2 = v.mul(x.square());
+    if vx2.sub(u).is_zero() {
+        // x is already a root.
+    } else if vx2.add(u).is_zero() {
+        x = x.mul(sqrt_m1());
+    } else {
+        return Err(CryptoError::MalformedInput);
+    }
+
+    if x.is_zero() && sign == 1 {
+        return Err(CryptoError::MalformedInput);
+    }
+    if x.to_bytes()[0] & 1 != sign {
+        x = fe_neg(x);
+    }
+    Ok(Point {
+        x,
+        y,
+        z: Fe::ONE,
+        t: x.mul(y),
+    })
+}
+
+/// The group order L as 32 little-endian bytes:
+/// 2²⁵² + 27742317777372353535851937790883648493.
+const L: [i64; 32] = [
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde,
+    0x14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x10,
+];
+
+/// Reduce a 64-byte little-endian integer modulo L (TweetNaCl's `modL`).
+fn mod_l(x: &mut [i64; 64]) -> [u8; 32] {
+    for i in (32..64).rev() {
+        let mut carry: i64 = 0;
+        for j in (i - 32)..(i - 12) {
+            x[j] += carry - 16 * x[i] * L[j - (i - 32)];
+            carry = (x[j] + 128) >> 8;
+            x[j] -= carry << 8;
+        }
+        x[i - 12] += carry;
+        x[i] = 0;
+    }
+    let mut carry: i64 = 0;
+    for j in 0..32 {
+        x[j] += carry - (x[31] >> 4) * L[j];
+        carry = x[j] >> 8;
+        x[j] &= 255;
+    }
+    for j in 0..32 {
+        x[j] -= carry * L[j];
+    }
+    let mut r = [0u8; 32];
+    for i in 0..32 {
+        x[i + 1] += x[i] >> 8;
+        r[i] = (x[i] & 255) as u8;
+    }
+    r
+}
+
+/// Reduce a 64-byte hash output modulo L.
+fn reduce64(h: &[u8; 64]) -> [u8; 32] {
+    let mut x = [0i64; 64];
+    for (i, b) in h.iter().enumerate() {
+        x[i] = *b as i64;
+    }
+    mod_l(&mut x)
+}
+
+/// Compute (a·b + c) mod L over 32-byte little-endian scalars.
+fn mul_add(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let mut x = [0i64; 64];
+    for (i, v) in c.iter().enumerate() {
+        x[i] = *v as i64;
+    }
+    for i in 0..32 {
+        for j in 0..32 {
+            x[i + j] += (a[i] as i64) * (b[j] as i64);
+        }
+    }
+    mod_l(&mut x)
+}
+
+/// Check that a 32-byte little-endian scalar is canonically reduced (< L).
+fn is_canonical_scalar(s: &[u8; 32]) -> bool {
+    for i in (0..32).rev() {
+        let si = s[i] as i64;
+        if si < L[i] {
+            return true;
+        }
+        if si > L[i] {
+            return false;
+        }
+    }
+    false // s == L
+}
+
+fn clamp(mut s: [u8; 32]) -> [u8; 32] {
+    s[0] &= 248;
+    s[31] &= 63;
+    s[31] |= 64;
+    s
+}
+
+/// Derive the 32-byte public key for a 32-byte secret seed.
+pub fn public_key(seed: &[u8; 32]) -> [u8; 32] {
+    let h = crate::sha512::sha512(seed);
+    let mut s = [0u8; 32];
+    s.copy_from_slice(&h.0[..32]);
+    let s = clamp(s);
+    base_point().scalar_mul(&s).compress()
+}
+
+/// Sign `message` with the secret `seed`, returning a 64-byte signature.
+pub fn sign(seed: &[u8; 32], message: &[u8]) -> [u8; 64] {
+    let h = crate::sha512::sha512(seed);
+    let mut s = [0u8; 32];
+    s.copy_from_slice(&h.0[..32]);
+    let s = clamp(s);
+    let prefix = &h.0[32..64];
+    let a_enc = base_point().scalar_mul(&s).compress();
+
+    let mut hasher = Sha512::new();
+    hasher.update(prefix);
+    hasher.update(message);
+    let r = reduce64(&hasher.finalize().0);
+    let r_enc = base_point().scalar_mul(&r).compress();
+
+    let mut hasher = Sha512::new();
+    hasher.update(&r_enc);
+    hasher.update(&a_enc);
+    hasher.update(message);
+    let k = reduce64(&hasher.finalize().0);
+
+    let big_s = mul_add(&k, &s, &r);
+    let mut sig = [0u8; 64];
+    sig[..32].copy_from_slice(&r_enc);
+    sig[32..].copy_from_slice(&big_s);
+    sig
+}
+
+/// Verify a 64-byte signature over `message` under `public_key`.
+pub fn verify(public_key: &[u8; 32], message: &[u8], sig: &[u8; 64]) -> Result<(), CryptoError> {
+    let r_enc: [u8; 32] = sig[..32].try_into().expect("32 bytes");
+    let s: [u8; 32] = sig[32..].try_into().expect("32 bytes");
+    if !is_canonical_scalar(&s) {
+        return Err(CryptoError::InvalidSignature);
+    }
+    let a = decompress(public_key).map_err(|_| CryptoError::InvalidSignature)?;
+    let r = decompress(&r_enc).map_err(|_| CryptoError::InvalidSignature)?;
+
+    let mut hasher = Sha512::new();
+    hasher.update(&r_enc);
+    hasher.update(public_key);
+    hasher.update(message);
+    let k = reduce64(&hasher.finalize().0);
+
+    // Check S·B == R + k·A.
+    let lhs = base_point().scalar_mul(&s);
+    let rhs = r.add(&a.scalar_mul(&k));
+    if lhs.equals(&rhs) {
+        Ok(())
+    } else {
+        Err(CryptoError::InvalidSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn arr32(s: &str) -> [u8; 32] {
+        hex::decode(s).unwrap().try_into().unwrap()
+    }
+
+    // RFC 8032 §7.1 TEST 1.
+    #[test]
+    fn rfc8032_test1() {
+        let seed = arr32("9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+        let pk = public_key(&seed);
+        assert_eq!(
+            hex::encode(&pk),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = sign(&seed, b"");
+        assert_eq!(
+            hex::encode(&sig),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        verify(&pk, b"", &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 2.
+    #[test]
+    fn rfc8032_test2() {
+        let seed = arr32("4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+        let pk = public_key(&seed);
+        assert_eq!(
+            hex::encode(&pk),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let msg = [0x72u8];
+        let sig = sign(&seed, &msg);
+        assert_eq!(
+            hex::encode(&sig),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+        verify(&pk, &msg, &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 3.
+    #[test]
+    fn rfc8032_test3() {
+        let seed = arr32("c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7");
+        let pk = public_key(&seed);
+        assert_eq!(
+            hex::encode(&pk),
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+        );
+        let msg = hex::decode("af82").unwrap();
+        let sig = sign(&seed, &msg);
+        assert_eq!(
+            hex::encode(&sig),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+        );
+        verify(&pk, &msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let seed = [7u8; 32];
+        let pk = public_key(&seed);
+        let sig = sign(&seed, b"original message");
+        assert!(verify(&pk, b"tampered message", &sig).is_err());
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let seed = [8u8; 32];
+        let pk = public_key(&seed);
+        let mut sig = sign(&seed, b"message");
+        sig[0] ^= 1;
+        assert!(verify(&pk, b"message", &sig).is_err());
+        sig[0] ^= 1;
+        sig[63] ^= 0x20;
+        assert!(verify(&pk, b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sig = sign(&[9u8; 32], b"message");
+        let other_pk = public_key(&[10u8; 32]);
+        assert!(verify(&other_pk, b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn non_canonical_s_rejected() {
+        // Take a valid signature and add L to S: same point equation but
+        // non-canonical encoding must be rejected (malleability defence).
+        let seed = [11u8; 32];
+        let pk = public_key(&seed);
+        let mut sig = sign(&seed, b"m");
+        let mut s = [0i64; 33];
+        for i in 0..32 {
+            s[i] = sig[32 + i] as i64 + L[i];
+        }
+        for i in 0..32 {
+            s[i + 1] += s[i] >> 8;
+            sig[32 + i] = (s[i] & 255) as u8;
+        }
+        // S + L overflows 32 bytes only if S >= 2^256 - L, which it is not.
+        assert_eq!(s[32], 0);
+        assert!(verify(&pk, b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn identity_and_base_point_sanity() {
+        let b = base_point();
+        let id = Point::identity();
+        assert!(b.add(&id).equals(&b));
+        // 2B ≠ B and (B + B) == scalar_mul(2).
+        let two = {
+            let mut s = [0u8; 32];
+            s[0] = 2;
+            s
+        };
+        assert!(b.add(&b).equals(&b.scalar_mul(&two)));
+        assert!(!b.add(&b).equals(&b));
+    }
+
+    #[test]
+    fn scalar_l_times_base_is_identity() {
+        let mut l_bytes = [0u8; 32];
+        for (i, v) in L.iter().enumerate() {
+            l_bytes[i] = *v as u8;
+        }
+        let p = base_point().scalar_mul(&l_bytes);
+        assert!(p.equals(&Point::identity()));
+    }
+
+    #[test]
+    fn decompress_rejects_invalid() {
+        // A y-coordinate whose x² has no root.
+        let mut bad = [0u8; 32];
+        bad[0] = 2;
+        // Try a few encodings; at least some must be invalid points.
+        let mut rejected = 0;
+        for v in 2..40u8 {
+            bad[0] = v;
+            if decompress(&bad).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "no invalid encodings found in range");
+    }
+
+    #[test]
+    fn mod_l_reduces_l_to_zero() {
+        let mut x = [0i64; 64];
+        for (i, v) in L.iter().enumerate() {
+            x[i] = *v;
+        }
+        assert_eq!(mod_l(&mut x), [0u8; 32]);
+    }
+
+    #[test]
+    fn mul_add_small_numbers() {
+        // 3 * 4 + 5 = 17 mod L.
+        let mut a = [0u8; 32];
+        a[0] = 3;
+        let mut b = [0u8; 32];
+        b[0] = 4;
+        let mut c = [0u8; 32];
+        c[0] = 5;
+        let r = mul_add(&a, &b, &c);
+        let mut expect = [0u8; 32];
+        expect[0] = 17;
+        assert_eq!(r, expect);
+    }
+}

@@ -1,0 +1,32 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+///
+/// Decryption and verification failures are deliberately coarse-grained: a
+/// caller learns *that* an operation failed, never *why*, so error values
+/// cannot be used as a padding/verification oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Authenticated decryption failed: the ciphertext or its tag was
+    /// tampered with, or the wrong key was used.
+    DecryptionFailed,
+    /// A signature did not verify under the given public key.
+    InvalidSignature,
+    /// Input bytes do not encode a valid key, point, or ciphertext
+    /// (e.g. wrong length, or a point not on the curve).
+    MalformedInput,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::DecryptionFailed => write!(f, "authenticated decryption failed"),
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::MalformedInput => write!(f, "malformed cryptographic input"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,109 @@
+//! HKDF (RFC 5869) over HMAC-SHA-256.
+//!
+//! Used to derive symmetric keys from X25519 shared secrets in the hybrid
+//! public-key encryption of [`crate::keys`], and to rotate view keys.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: derive a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derive `out.len()` bytes of output keying material.
+///
+/// # Panics
+/// Panics if more than `255 * 32` bytes are requested (RFC 5869 limit).
+pub fn expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut written = 0;
+    let mut counter = 1u8;
+    while written < out.len() {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        let take = (out.len() - written).min(32);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        t = block.to_vec();
+        counter = counter.checked_add(1).expect("output length bounded above");
+    }
+}
+
+/// One-shot HKDF: extract then expand into a fixed-size output.
+pub fn derive<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = extract(salt, ikm);
+    let mut out = [0u8; N];
+    expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex::encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex::encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_is_extract_then_expand() {
+        let out: [u8; 32] = derive(b"salt", b"ikm", b"info");
+        let prk = extract(b"salt", b"ikm");
+        let mut manual = [0u8; 32];
+        expand(&prk, b"info", &mut manual);
+        assert_eq!(out, manual);
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let a: [u8; 32] = derive(b"s", b"k", b"view-key");
+        let b: [u8; 32] = derive(b"s", b"k", b"mac-key");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multi_block_expand() {
+        let prk = extract(b"salt", b"ikm");
+        let mut long = [0u8; 100];
+        expand(&prk, b"info", &mut long);
+        // First 32 bytes must match a 32-byte expansion (prefix property).
+        let mut short = [0u8; 32];
+        expand(&prk, b"info", &mut short);
+        assert_eq!(&long[..32], &short);
+    }
+}

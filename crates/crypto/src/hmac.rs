@@ -1,0 +1,158 @@
+//! HMAC (RFC 2104) over SHA-256 and SHA-512.
+//!
+//! Used by the [`crate::aead`] module for encrypt-then-MAC authentication
+//! and by [`crate::hkdf`] for key derivation.
+
+use crate::sha256::Sha256;
+use crate::sha512::Sha512;
+
+/// Compute HMAC-SHA-256 of `message` under `key`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; 32] {
+    hmac_sha256_multi(key, &[message])
+}
+
+/// HMAC-SHA-256 over the concatenation of several message parts, without
+/// materializing the concatenation.
+pub fn hmac_sha256_multi(key: &[u8], parts: &[&[u8]]) -> [u8; 32] {
+    const BLOCK: usize = 64;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha256::sha256(key);
+        key_block[..32].copy_from_slice(d.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize().0
+}
+
+/// Compute HMAC-SHA-512 of `message` under `key`.
+pub fn hmac_sha512(key: &[u8], message: &[u8]) -> [u8; 64] {
+    const BLOCK: usize = 128;
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        let d = crate::sha512::sha512(key);
+        key_block[..64].copy_from_slice(d.as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha512::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha512::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize().0
+}
+
+/// Constant-shape equality check for MAC tags.
+///
+/// Compares all bytes regardless of where the first mismatch occurs so the
+/// comparison result does not leak a prefix length. (The rest of the crate is
+/// not constant-time; this is the one place where a timing oracle would be
+/// trivially exploitable, so we close it.)
+pub fn verify_tag(expected: &[u8], actual: &[u8]) -> bool {
+    if expected.len() != actual.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (a, b) in expected.iter().zip(actual.iter()) {
+        acc |= a ^ b;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let msg = b"Hi There";
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex::encode(&hmac_sha512(&key, msg)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let key = b"Jefe";
+        let msg = b"what do ya want for nothing?";
+        assert_eq!(
+            hex::encode(&hmac_sha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        assert_eq!(
+            hex::encode(&hmac_sha512(key, msg)),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+             9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let msg = [0xddu8; 50];
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, &msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        // Key longer than block size: hashed first.
+        let key = [0xaau8; 131];
+        let msg = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex::encode(&hmac_sha256(&key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn multi_part_matches_joined() {
+        let key = b"some-key";
+        let joined = hmac_sha256(key, b"hello world");
+        let parts = hmac_sha256_multi(key, &[b"hello", b" ", b"world"]);
+        assert_eq!(joined, parts);
+    }
+
+    #[test]
+    fn verify_tag_semantics() {
+        assert!(verify_tag(b"abcd", b"abcd"));
+        assert!(!verify_tag(b"abcd", b"abce"));
+        assert!(!verify_tag(b"abcd", b"abc"));
+        assert!(verify_tag(b"", b""));
+    }
+}

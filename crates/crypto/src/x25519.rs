@@ -1,0 +1,409 @@
+//! X25519 Diffie–Hellman key agreement (RFC 7748).
+//!
+//! This is the public-key primitive behind `enc(K_V, PubK_u)` in the paper:
+//! view keys are sealed to a reader's public key with ephemeral-static
+//! X25519 plus the symmetric AEAD (see [`crate::keys::seal`]).
+//!
+//! The field arithmetic uses five 51-bit limbs with `u128` intermediates,
+//! the standard portable representation for 2²⁵⁵ − 19.
+
+const MASK: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2²⁵⁵ − 19), kept partially reduced (limbs < 2⁵²).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fe(pub(crate) [u64; 5]);
+
+impl Fe {
+    pub(crate) const ZERO: Fe = Fe([0; 5]);
+    pub(crate) const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Load from 32 little-endian bytes, masking the top bit (RFC 7748 §5).
+    pub(crate) fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |i: usize| u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
+        let lo0 = load(0);
+        let lo1 = load(6) >> 3;
+        let lo2 = load(12) >> 6;
+        let lo3 = load(19) >> 1;
+        let lo4 = load(24) >> 12;
+        Fe([
+            lo0 & MASK,
+            lo1 & MASK,
+            lo2 & MASK,
+            lo3 & MASK,
+            lo4 & ((1u64 << 51) - 1) & 0x0007ffffffffffff & MASK,
+        ])
+    }
+
+    /// Serialize to 32 little-endian bytes in fully reduced form.
+    pub(crate) fn to_bytes(self) -> [u8; 32] {
+        let t = self.reduce_full();
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for limb in t.0 {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            while acc_bits >= 8 {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits -= 8;
+                idx += 1;
+            }
+        }
+        // 5*51 = 255 bits; 31 bytes consumed 248 bits, one partial byte left.
+        if idx < 32 {
+            out[idx] = (acc & 0xff) as u8;
+        }
+        out
+    }
+
+    /// Fully reduce into [0, p).
+    fn reduce_full(self) -> Fe {
+        let mut t = self.carry();
+        t = t.carry();
+        // Now limbs < 2^51, value V < 2^255 = p + 19, so at most one
+        // conditional subtraction of p. V >= p iff V + 19 overflows bit 255.
+        let mut plus = t.0;
+        plus[0] += 19;
+        for i in 0..4 {
+            plus[i + 1] += plus[i] >> 51;
+            plus[i] &= MASK;
+        }
+        let overflow = plus[4] >> 51;
+        if overflow != 0 {
+            plus[4] &= MASK;
+            Fe(plus)
+        } else {
+            t
+        }
+    }
+
+    /// One carry-propagation pass with the ×19 wraparound.
+    fn carry(self) -> Fe {
+        let mut t = self.0;
+        let mut c: u64;
+        for i in 0..4 {
+            c = t[i] >> 51;
+            t[i] &= MASK;
+            t[i + 1] += c;
+        }
+        c = t[4] >> 51;
+        t[4] &= MASK;
+        t[0] += c * 19;
+        Fe(t)
+    }
+
+    pub(crate) fn add(self, rhs: Fe) -> Fe {
+        let a = self.0;
+        let b = rhs.0;
+        Fe([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]]).carry()
+    }
+
+    pub(crate) fn sub(self, rhs: Fe) -> Fe {
+        // Add 2p so no limb underflows (inputs are < 2^52 < 2p's limbs).
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        let a = self.0;
+        let b = rhs.0;
+        Fe([
+            a[0] + TWO_P[0] - b[0],
+            a[1] + TWO_P[1] - b[1],
+            a[2] + TWO_P[2] - b[2],
+            a[3] + TWO_P[3] - b[3],
+            a[4] + TWO_P[4] - b[4],
+        ])
+        .carry()
+    }
+
+    pub(crate) fn mul(self, rhs: Fe) -> Fe {
+        let f = self.0;
+        let g = rhs.0;
+        let m = |a: u64, b: u64| (a as u128) * (b as u128);
+        let g1_19 = g[1] * 19;
+        let g2_19 = g[2] * 19;
+        let g3_19 = g[3] * 19;
+        let g4_19 = g[4] * 19;
+
+        let h0 = m(f[0], g[0]) + m(f[1], g4_19) + m(f[2], g3_19) + m(f[3], g2_19) + m(f[4], g1_19);
+        let h1 = m(f[0], g[1]) + m(f[1], g[0]) + m(f[2], g4_19) + m(f[3], g3_19) + m(f[4], g2_19);
+        let h2 = m(f[0], g[2]) + m(f[1], g[1]) + m(f[2], g[0]) + m(f[3], g4_19) + m(f[4], g3_19);
+        let h3 = m(f[0], g[3]) + m(f[1], g[2]) + m(f[2], g[1]) + m(f[3], g[0]) + m(f[4], g4_19);
+        let h4 = m(f[0], g[4]) + m(f[1], g[3]) + m(f[2], g[2]) + m(f[3], g[1]) + m(f[4], g[0]);
+
+        carry_wide([h0, h1, h2, h3, h4])
+    }
+
+    pub(crate) fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Multiply by the curve constant a24 = 121665.
+    fn mul_small(self, s: u64) -> Fe {
+        let f = self.0;
+        let h: [u128; 5] = [
+            (f[0] as u128) * s as u128,
+            (f[1] as u128) * s as u128,
+            (f[2] as u128) * s as u128,
+            (f[3] as u128) * s as u128,
+            (f[4] as u128) * s as u128,
+        ];
+        carry_wide(h)
+    }
+
+    /// Raise to the power 2²⁵⁵ − 21 (the inverse, by Fermat's little theorem).
+    pub(crate) fn invert(self) -> Fe {
+        // Exponent p - 2 as little-endian bytes: 0xeb, 0xff × 30, 0x7f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+        self.pow_le(&exp)
+    }
+
+    /// Generic left-to-right square-and-multiply with a little-endian
+    /// exponent. Not constant time (see crate disclaimer).
+    pub(crate) fn pow_le(self, exp_le: &[u8; 32]) -> Fe {
+        let mut result = Fe::ONE;
+        let mut started = false;
+        for byte_idx in (0..32).rev() {
+            for bit in (0..8).rev() {
+                if started {
+                    result = result.square();
+                }
+                if (exp_le[byte_idx] >> bit) & 1 == 1 {
+                    if started {
+                        result = result.mul(self);
+                    } else {
+                        result = self;
+                        started = true;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    pub(crate) fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+}
+
+fn carry_wide(mut h: [u128; 5]) -> Fe {
+    let mut c: u128;
+    let mask = MASK as u128;
+    c = h[0] >> 51;
+    h[0] &= mask;
+    h[1] += c;
+    c = h[1] >> 51;
+    h[1] &= mask;
+    h[2] += c;
+    c = h[2] >> 51;
+    h[2] &= mask;
+    h[3] += c;
+    c = h[3] >> 51;
+    h[3] &= mask;
+    h[4] += c;
+    c = h[4] >> 51;
+    h[4] &= mask;
+    h[0] += c * 19;
+    c = h[0] >> 51;
+    h[0] &= mask;
+    h[1] += c;
+    Fe([h[0] as u64, h[1] as u64, h[2] as u64, h[3] as u64, h[4] as u64])
+}
+
+/// Clamp a 32-byte scalar per RFC 7748 §5.
+pub fn clamp_scalar(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// The X25519 function: multiply the point with u-coordinate `u` by the
+/// clamped scalar `k`, returning the resulting u-coordinate.
+pub fn x25519(k: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp_scalar(*k);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = false;
+
+    for t in (0..255).rev() {
+        let k_t = (k[t / 8] >> (t % 8)) & 1 == 1;
+        swap ^= k_t;
+        if swap {
+            std::mem::swap(&mut x2, &mut x3);
+            std::mem::swap(&mut z2, &mut z3);
+        }
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121665)));
+    }
+    if swap {
+        std::mem::swap(&mut x2, &mut x3);
+        std::mem::swap(&mut z2, &mut z3);
+    }
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The base point u = 9.
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derive the public key for a private scalar: `X25519(k, 9)`.
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    x25519(private, &BASE_POINT)
+}
+
+/// Compute the shared secret between a private scalar and a peer public key.
+///
+/// Returns `None` if the result is the all-zero point (low-order peer key),
+/// which callers must treat as an error per RFC 7748 §6.1.
+pub fn shared_secret(private: &[u8; 32], peer_public: &[u8; 32]) -> Option<[u8; 32]> {
+    let s = x25519(private, peer_public);
+    if s == [0u8; 32] {
+        None
+    } else {
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn arr(s: &str) -> [u8; 32] {
+        hex::decode(s).unwrap().try_into().unwrap()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let k = arr("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = arr("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex::encode(&x25519(&k, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let k = arr("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = arr("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex::encode(&x25519(&k, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie–Hellman example.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_priv = arr("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let alice_pub = public_key(&alice_priv);
+        assert_eq!(
+            hex::encode(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        let bob_priv = arr("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            hex::encode(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let s1 = shared_secret(&alice_priv, &bob_pub).unwrap();
+        let s2 = shared_secret(&bob_priv, &alice_pub).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex::encode(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    // RFC 7748 §5.2 iterated test (1 and 1000 iterations).
+    #[test]
+    fn rfc7748_iterated() {
+        let mut k = arr("0900000000000000000000000000000000000000000000000000000000000000");
+        let mut u = k;
+        // 1 iteration.
+        let r = x25519(&k, &u);
+        u = k;
+        k = r;
+        assert_eq!(
+            hex::encode(&k),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+        // 999 more.
+        for _ in 0..999 {
+            let r = x25519(&k, &u);
+            u = k;
+            k = r;
+        }
+        assert_eq!(
+            hex::encode(&k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51"
+        );
+    }
+
+    #[test]
+    fn low_order_point_rejected() {
+        let priv_key = arr("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let zero_point = [0u8; 32];
+        assert!(shared_secret(&priv_key, &zero_point).is_none());
+    }
+
+    #[test]
+    fn field_arithmetic_basics() {
+        let a = Fe::from_bytes(&arr(
+            "0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20",
+        ));
+        // a * a⁻¹ = 1
+        assert_eq!(a.mul(a.invert()).to_bytes(), Fe::ONE.to_bytes());
+        // a - a = 0
+        assert!(a.sub(a).is_zero());
+        // (a + a) = 2a = a * 2
+        let two = Fe([2, 0, 0, 0, 0]);
+        assert_eq!(a.add(a).to_bytes(), a.mul(two).to_bytes());
+    }
+
+    #[test]
+    fn to_from_bytes_round_trip() {
+        // A canonical value (< p) must round-trip exactly.
+        let bytes = arr("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+        assert_eq!(Fe::from_bytes(&bytes).to_bytes(), bytes);
+    }
+
+    #[test]
+    fn clamping() {
+        let k = clamp_scalar([0xffu8; 32]);
+        assert_eq!(k[0] & 7, 0);
+        assert_eq!(k[31] & 0x80, 0);
+        assert_eq!(k[31] & 0x40, 0x40);
+    }
+}

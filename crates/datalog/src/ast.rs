@@ -1,0 +1,231 @@
+//! Abstract syntax: values, terms, atoms, rules, programs.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A constant value appearing in facts and rules.
+///
+/// Transaction attributes in LedgerView are strings (entities, item ids)
+/// and integers (timestamps, block numbers), so those are the two carried
+/// types.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Value {
+    /// A string constant.
+    Str(String),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Value {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Shorthand integer constructor.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A term in an atom: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A named variable.
+    Var(String),
+    /// A constant.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand variable constructor.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Shorthand constant constructor.
+    pub fn constant(v: Value) -> Term {
+        Term::Const(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom: `relation(term, term, ...)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Variables appearing in this atom.
+    pub fn variables(&self) -> HashSet<&str> {
+        self.terms
+            .iter()
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v.as_str()),
+                Term::Const(_) => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule: `head :- body₁, body₂, ...`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The conjunctive body.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Construct a rule.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Rule {
+        Rule { head, body }
+    }
+
+    /// A rule is *range-restricted* (safe) if every head variable appears
+    /// in the body. Unsafe rules are rejected at evaluation time.
+    pub fn is_safe(&self) -> bool {
+        let body_vars: HashSet<&str> = self.body.iter().flat_map(|a| a.variables()).collect();
+        self.head.variables().is_subset(&body_vars)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A datalog program: a set of rules.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The rules, in declaration order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Construct a program.
+    pub fn new(rules: Vec<Rule>) -> Program {
+        Program { rules }
+    }
+
+    /// Relations derived by rules (intensional database).
+    pub fn idb_relations(&self) -> HashSet<&str> {
+        self.rules.iter().map(|r| r.head.relation.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_variables() {
+        let a = Atom::new(
+            "delivered",
+            vec![
+                Term::var("T"),
+                Term::constant(Value::str("W1")),
+                Term::var("T"),
+            ],
+        );
+        let vars = a.variables();
+        assert_eq!(vars.len(), 1);
+        assert!(vars.contains("T"));
+    }
+
+    #[test]
+    fn rule_safety() {
+        let safe = Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Atom::new("q", vec![Term::var("X"), Term::var("Y")])],
+        );
+        assert!(safe.is_safe());
+        let unsafe_rule = Rule::new(
+            Atom::new("p", vec![Term::var("Z")]),
+            vec![Atom::new("q", vec![Term::var("X")])],
+        );
+        assert!(!unsafe_rule.is_safe());
+        // Ground head is trivially safe.
+        let ground = Rule::new(
+            Atom::new("p", vec![Term::constant(Value::int(1))]),
+            vec![Atom::new("q", vec![Term::var("X")])],
+        );
+        assert!(ground.is_safe());
+    }
+
+    #[test]
+    fn display_forms() {
+        let r = Rule::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![Atom::new(
+                "q",
+                vec![Term::var("X"), Term::constant(Value::str("W1"))],
+            )],
+        );
+        assert_eq!(r.to_string(), "p(X) :- q(X, \"W1\")");
+        assert_eq!(Value::int(3).to_string(), "3");
+    }
+
+    #[test]
+    fn idb_relations() {
+        let p = Program::new(vec![
+            Rule::new(Atom::new("a", vec![]), vec![Atom::new("b", vec![])]),
+            Rule::new(Atom::new("a", vec![]), vec![Atom::new("c", vec![])]),
+            Rule::new(Atom::new("d", vec![]), vec![Atom::new("a", vec![])]),
+        ]);
+        let idb = p.idb_relations();
+        assert_eq!(idb.len(), 2);
+        assert!(idb.contains("a") && idb.contains("d"));
+    }
+}

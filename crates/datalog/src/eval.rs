@@ -1,0 +1,445 @@
+//! Semi-naive bottom-up evaluation.
+//!
+//! The database maps relation names to sets of tuples. Evaluation computes
+//! the least fixpoint of the program over the extensional facts: each
+//! iteration joins rule bodies against the *delta* (tuples new in the
+//! previous iteration) so work is proportional to new derivations, the
+//! standard semi-naive optimisation.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::ast::{Atom, Program, Term, Value};
+
+/// A tuple of constants.
+pub type Tuple = Vec<Value>;
+
+/// Errors raised by evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A rule's head uses a variable not bound by its body.
+    UnsafeRule(String),
+    /// The same relation is used with different arities.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnsafeRule(r) => write!(f, "unsafe rule: {r}"),
+            EvalError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(f, "relation {relation} used with arity {found}, expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A set of facts per relation.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: HashMap<String, HashSet<Tuple>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert a fact. Returns true if it was new.
+    pub fn insert(&mut self, relation: impl Into<String>, tuple: Tuple) -> bool {
+        self.relations.entry(relation.into()).or_default().insert(tuple)
+    }
+
+    /// Whether the fact is present.
+    pub fn contains(&self, relation: &str, tuple: &[Value]) -> bool {
+        self.relations
+            .get(relation)
+            .is_some_and(|s| s.contains(tuple))
+    }
+
+    /// All tuples of a relation (unordered).
+    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = &Tuple> {
+        self.relations.get(relation).into_iter().flatten()
+    }
+
+    /// Number of facts in a relation.
+    pub fn len(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, |s| s.len())
+    }
+
+    /// Whether the whole database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.values().all(|s| s.is_empty())
+    }
+
+    /// Check that every use of each relation has a consistent arity.
+    fn check_arities(&self, program: &Program) -> Result<(), EvalError> {
+        let mut arity: HashMap<String, usize> = HashMap::new();
+        let mut check = |rel: &str, n: usize| -> Result<(), EvalError> {
+            match arity.get(rel) {
+                Some(&e) if e != n => Err(EvalError::ArityMismatch {
+                    relation: rel.to_string(),
+                    expected: e,
+                    found: n,
+                }),
+                _ => {
+                    arity.insert(rel.to_string(), n);
+                    Ok(())
+                }
+            }
+        };
+        for (rel, tuples) in &self.relations {
+            if let Some(t) = tuples.iter().next() {
+                check(rel, t.len())?;
+            }
+        }
+        for rule in &program.rules {
+            check(&rule.head.relation, rule.head.terms.len())?;
+            for atom in &rule.body {
+                check(&atom.relation, atom.terms.len())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+type Bindings<'a> = HashMap<&'a str, Value>;
+
+/// Try to extend `bindings` by matching `atom` against `tuple`.
+fn unify<'a>(atom: &'a Atom, tuple: &[Value], bindings: &Bindings<'a>) -> Option<Bindings<'a>> {
+    let mut out = bindings.clone();
+    for (term, value) in atom.terms.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match out.get(v.as_str()) {
+                Some(bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    out.insert(v.as_str(), value.clone());
+                }
+            },
+        }
+    }
+    Some(out)
+}
+
+fn instantiate(head: &Atom, bindings: &Bindings<'_>) -> Tuple {
+    head.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => bindings
+                .get(v.as_str())
+                .cloned()
+                .expect("safety check guarantees bound head variables"),
+        })
+        .collect()
+}
+
+/// Evaluate one rule: join body atoms left to right. `delta` constrains one
+/// chosen body atom to newly-derived tuples (semi-naive); pass `None` for
+/// the naive first round.
+fn eval_rule(
+    rule: &crate::ast::Rule,
+    full: &Database,
+    delta: Option<(&Database, usize)>,
+) -> HashSet<Tuple> {
+    let mut results = HashSet::new();
+    // Worklist of partial bindings.
+    let mut partials: Vec<Bindings<'_>> = vec![HashMap::new()];
+    for (i, atom) in rule.body.iter().enumerate() {
+        let source: Box<dyn Iterator<Item = &Tuple>> = match delta {
+            Some((d, di)) if di == i => Box::new(d.tuples(&atom.relation)),
+            _ => Box::new(full.tuples(&atom.relation)),
+        };
+        let tuples: Vec<&Tuple> = source.collect();
+        let mut next = Vec::new();
+        for b in &partials {
+            for t in &tuples {
+                if let Some(extended) = unify(atom, t, b) {
+                    next.push(extended);
+                }
+            }
+        }
+        partials = next;
+        if partials.is_empty() {
+            return results;
+        }
+    }
+    for b in &partials {
+        results.insert(instantiate(&rule.head, b));
+    }
+    results
+}
+
+impl Program {
+    /// Compute the least fixpoint of this program over `edb`, returning a
+    /// database containing the extensional facts plus all derived facts.
+    pub fn evaluate(&self, edb: &Database) -> Result<Database, EvalError> {
+        for rule in &self.rules {
+            if !rule.is_safe() {
+                return Err(EvalError::UnsafeRule(rule.to_string()));
+            }
+        }
+        edb.check_arities(self)?;
+
+        let mut full = edb.clone();
+        // Naive first round: derive everything once.
+        let mut delta = Database::new();
+        for rule in &self.rules {
+            for tuple in eval_rule(rule, &full, None) {
+                if !full.contains(&rule.head.relation, &tuple) {
+                    full.insert(rule.head.relation.clone(), tuple.clone());
+                    delta.insert(rule.head.relation.clone(), tuple);
+                }
+            }
+        }
+        // Semi-naive iterations: each round only joins against the delta.
+        while !delta.is_empty() {
+            let mut next_delta = Database::new();
+            for rule in &self.rules {
+                for i in 0..rule.body.len() {
+                    if delta.len(&rule.body[i].relation) == 0 {
+                        continue;
+                    }
+                    for tuple in eval_rule(rule, &full, Some((&delta, i))) {
+                        if !full.contains(&rule.head.relation, &tuple) {
+                            full.insert(rule.head.relation.clone(), tuple.clone());
+                            next_delta.insert(rule.head.relation.clone(), tuple);
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        Ok(full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Rule;
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+
+    fn var(s: &str) -> Term {
+        Term::var(s)
+    }
+
+    fn cst(s: &str) -> Term {
+        Term::constant(Value::str(s))
+    }
+
+    /// edge facts over a chain a→b→c→d plus an island x→y.
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d"), ("x", "y")] {
+            db.insert("edge", vec![v(a), v(b)]);
+        }
+        db
+    }
+
+    /// Classic transitive closure.
+    fn closure_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                Atom::new("path", vec![var("X"), var("Y")]),
+                vec![Atom::new("edge", vec![var("X"), var("Y")])],
+            ),
+            Rule::new(
+                Atom::new("path", vec![var("X"), var("Z")]),
+                vec![
+                    Atom::new("edge", vec![var("X"), var("Y")]),
+                    Atom::new("path", vec![var("Y"), var("Z")]),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let result = closure_program().evaluate(&chain_db()).unwrap();
+        assert!(result.contains("path", &[v("a"), v("d")]));
+        assert!(result.contains("path", &[v("b"), v("d")]));
+        assert!(result.contains("path", &[v("x"), v("y")]));
+        assert!(!result.contains("path", &[v("a"), v("y")]));
+        assert!(!result.contains("path", &[v("d"), v("a")]));
+        // 3+2+1 chain paths + 1 island = 7.
+        assert_eq!(result.len("path"), 7);
+    }
+
+    #[test]
+    fn constants_filter() {
+        let program = Program::new(vec![Rule::new(
+            Atom::new("to_d", vec![var("X")]),
+            vec![Atom::new("edge", vec![var("X"), cst("d")])],
+        )]);
+        let result = program.evaluate(&chain_db()).unwrap();
+        assert_eq!(result.len("to_d"), 1);
+        assert!(result.contains("to_d", &[v("c")]));
+    }
+
+    #[test]
+    fn repeated_variable_forces_equality() {
+        let mut db = Database::new();
+        db.insert("pair", vec![v("a"), v("a")]);
+        db.insert("pair", vec![v("a"), v("b")]);
+        let program = Program::new(vec![Rule::new(
+            Atom::new("diag", vec![var("X")]),
+            vec![Atom::new("pair", vec![var("X"), var("X")])],
+        )]);
+        let result = program.evaluate(&db).unwrap();
+        assert_eq!(result.len("diag"), 1);
+        assert!(result.contains("diag", &[v("a")]));
+    }
+
+    #[test]
+    fn paper_delivery_chain_example() {
+        // §3 of the paper: P(t) = transactions that are part of a delivery
+        // chain reaching "Warehouse 1". delivered(T, Item, From, To).
+        let mut db = Database::new();
+        // Item i1: M1 → D1 → Warehouse 1.
+        db.insert("delivered", vec![v("t1"), v("i1"), v("M1"), v("D1")]);
+        db.insert("delivered", vec![v("t2"), v("i1"), v("D1"), v("Warehouse 1")]);
+        // Item i2: M2 → Shop 9 (never reaches Warehouse 1).
+        db.insert("delivered", vec![v("t3"), v("i2"), v("M2"), v("Shop 9")]);
+
+        // reaches_w1(Item, From): there is a delivery chain for Item from
+        // `From` to Warehouse 1. p(T): transaction T participates.
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new("reaches_w1", vec![var("I"), var("F")]),
+                vec![Atom::new(
+                    "delivered",
+                    vec![var("T"), var("I"), var("F"), cst("Warehouse 1")],
+                )],
+            ),
+            Rule::new(
+                Atom::new("reaches_w1", vec![var("I"), var("F")]),
+                vec![
+                    Atom::new("delivered", vec![var("T"), var("I"), var("F"), var("M")]),
+                    Atom::new("reaches_w1", vec![var("I"), var("M")]),
+                ],
+            ),
+            Rule::new(
+                Atom::new("p", vec![var("T")]),
+                vec![
+                    Atom::new("delivered", vec![var("T"), var("I"), var("F"), var("To")]),
+                    Atom::new("reaches_w1", vec![var("I"), var("F")]),
+                ],
+            ),
+        ]);
+        let result = program.evaluate(&db).unwrap();
+        assert!(result.contains("p", &[v("t1")]));
+        assert!(result.contains("p", &[v("t2")]));
+        assert!(!result.contains("p", &[v("t3")]));
+    }
+
+    #[test]
+    fn union_of_rules() {
+        let mut db = Database::new();
+        db.insert("p1", vec![v("a")]);
+        db.insert("p2", vec![v("b")]);
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new("q", vec![var("X")]),
+                vec![Atom::new("p1", vec![var("X")])],
+            ),
+            Rule::new(
+                Atom::new("q", vec![var("X")]),
+                vec![Atom::new("p2", vec![var("X")])],
+            ),
+        ]);
+        let result = program.evaluate(&db).unwrap();
+        assert_eq!(result.len("q"), 2);
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        let program = Program::new(vec![Rule::new(
+            Atom::new("q", vec![var("Y")]),
+            vec![Atom::new("p", vec![var("X")])],
+        )]);
+        assert!(matches!(
+            program.evaluate(&Database::new()),
+            Err(EvalError::UnsafeRule(_))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = Database::new();
+        db.insert("p", vec![v("a")]);
+        let program = Program::new(vec![Rule::new(
+            Atom::new("q", vec![var("X")]),
+            vec![Atom::new("p", vec![var("X"), var("Y")])],
+        )]);
+        assert!(matches!(
+            program.evaluate(&db),
+            Err(EvalError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_program_returns_edb() {
+        let db = chain_db();
+        let result = Program::default().evaluate(&db).unwrap();
+        assert_eq!(result.len("edge"), 4);
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut db = Database::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "a")] {
+            db.insert("edge", vec![v(a), v(b)]);
+        }
+        let result = closure_program().evaluate(&db).unwrap();
+        // Full closure of a 3-cycle: 9 pairs.
+        assert_eq!(result.len("path"), 9);
+        assert!(result.contains("path", &[v("a"), v("a")]));
+    }
+
+    #[test]
+    fn semi_naive_matches_monotonicity() {
+        // Adding facts can only grow derived relations.
+        let mut db = chain_db();
+        let small = closure_program().evaluate(&db).unwrap();
+        db.insert("edge", vec![v("d"), v("e")]);
+        let large = closure_program().evaluate(&db).unwrap();
+        assert!(large.len("path") > small.len("path"));
+        for t in small.tuples("path") {
+            assert!(large.contains("path", t));
+        }
+    }
+
+    #[test]
+    fn long_chain_performance_shape() {
+        // 200-node chain: 200*201/2 = 20100 paths; must terminate quickly
+        // thanks to semi-naive evaluation.
+        let mut db = Database::new();
+        for i in 0..200 {
+            db.insert("edge", vec![Value::int(i), Value::int(i + 1)]);
+        }
+        let result = closure_program().evaluate(&db).unwrap();
+        assert_eq!(result.len("path"), 200 * 201 / 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! A datalog engine for recursive view definitions.
+//!
+//! §3 of the paper defines views by predicates over the non-secret part of
+//! transactions and extends them "in a datalog fashion" with recursive
+//! rules, e.g. *all transactions that are part of a delivery chain ending
+//! at Warehouse 1*. This crate implements positive datalog with recursion,
+//! evaluated bottom-up with the semi-naive algorithm:
+//!
+//! * [`ast`] — values, terms, atoms, rules and programs, with a small
+//!   builder API.
+//! * [`eval`] — semi-naive fixpoint evaluation over an extensional
+//!   database.
+//!
+//! ```
+//! use ledgerview_datalog::ast::{Program, Rule, Atom, Term, Value};
+//! use ledgerview_datalog::eval::Database;
+//!
+//! // delivered(t, from, to) facts; reach(t) = deliveries ending at "W1",
+//! // directly or through later hops of the same item.
+//! let mut db = Database::new();
+//! db.insert("delivered", vec![Value::str("t1"), Value::str("M1"), Value::str("W1")]);
+//! db.insert("delivered", vec![Value::str("t2"), Value::str("M2"), Value::str("S1")]);
+//!
+//! let program = Program::new(vec![Rule::new(
+//!     Atom::new("to_w1", vec![Term::var("T")]),
+//!     vec![Atom::new(
+//!         "delivered",
+//!         vec![Term::var("T"), Term::var("F"), Term::constant(Value::str("W1"))],
+//!     )],
+//! )]);
+//! let result = program.evaluate(&db).unwrap();
+//! assert!(result.contains("to_w1", &[Value::str("t1")]));
+//! assert!(!result.contains("to_w1", &[Value::str("t2")]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+
+pub use ast::{Atom, Program, Rule, Term, Value};
+pub use eval::{Database, EvalError};

@@ -1,0 +1,527 @@
+//! The synchronous blockchain facade.
+//!
+//! [`FabricChain`] wires the substrate together in a single process:
+//! enrollment, chaincode deployment, endorsement (real chaincode execution
+//! + Ed25519 signatures), block cutting, MVCC validation and commit, state
+//! digests, and private data dissemination. The functional layer of the
+//! LedgerView system — and every example and integration test — runs on
+//! this type; the timed deployment in [`crate::network`] adds latency and
+//! queueing on top for the performance experiments.
+
+use std::collections::HashMap;
+
+use ledgerview_crypto::sha256::Digest;
+use rand::RngCore;
+
+use crate::chaincode::{Chaincode, TxContext};
+use crate::endorsement::{check_endorsements, EndorsementPolicy, Proposal, ProposalResponse};
+use crate::error::FabricError;
+use crate::identity::{Identity, Msp, OrgId};
+use crate::ledger::{Block, BlockHeader, BlockStore, Transaction, TxId};
+use crate::privdata::{CollectionConfig, PrivateStore};
+use crate::statedb::StateDb;
+use crate::validation::{next_state_root, validate_and_commit_block, TxValidation};
+
+struct Deployed {
+    code: Box<dyn Chaincode>,
+    policy: EndorsementPolicy,
+}
+
+/// Result of a committed invocation.
+#[derive(Clone, Debug)]
+pub struct InvokeResult {
+    /// The transaction id.
+    pub tx_id: TxId,
+    /// The chaincode's response payload.
+    pub response: Vec<u8>,
+}
+
+/// A single-process deployment of the permissioned blockchain.
+pub struct FabricChain {
+    msp: Msp,
+    /// One endorsing peer identity per organisation.
+    endorsers: HashMap<OrgId, Identity>,
+    chaincodes: HashMap<String, Deployed>,
+    state: StateDb,
+    store: BlockStore,
+    pending: Vec<Transaction>,
+    pending_private: Vec<(String, String, Vec<u8>)>,
+    private: PrivateStore,
+    /// Rolling state root of the last committed block.
+    state_root: Digest,
+    /// Logical clock for transaction timestamps (microseconds).
+    clock_us: u64,
+    /// Whether to produce and check real endorsement signatures.
+    /// Disabled only by throughput experiments (documented substitution).
+    check_signatures: bool,
+}
+
+impl FabricChain {
+    /// Create a chain with one organisation (and endorsing peer) per name.
+    pub fn new<R: RngCore + ?Sized>(org_names: &[&str], rng: &mut R) -> FabricChain {
+        let mut msp = Msp::new();
+        let mut endorsers = HashMap::new();
+        for name in org_names {
+            let org = msp.add_org(name, rng);
+            let peer = msp
+                .enroll(&org, &format!("peer.{name}"), rng)
+                .expect("org just created");
+            endorsers.insert(org, peer);
+        }
+        FabricChain {
+            msp,
+            endorsers,
+            chaincodes: HashMap::new(),
+            state: StateDb::new(),
+            store: BlockStore::new(),
+            pending: Vec::new(),
+            pending_private: Vec::new(),
+            private: PrivateStore::new(),
+            state_root: Digest::ZERO,
+            clock_us: 0,
+            check_signatures: true,
+        }
+    }
+
+    /// Disable endorsement signature production/verification (used by the
+    /// large-scale timing experiments; see DESIGN.md).
+    pub fn set_check_signatures(&mut self, check: bool) {
+        self.check_signatures = check;
+    }
+
+    /// Enroll a user with an organisation.
+    pub fn enroll<R: RngCore + ?Sized>(
+        &mut self,
+        org: &OrgId,
+        name: &str,
+        rng: &mut R,
+    ) -> Result<Identity, FabricError> {
+        self.msp.enroll(org, name, rng)
+    }
+
+    /// The membership registry.
+    pub fn msp(&self) -> &Msp {
+        &self.msp
+    }
+
+    /// Registered organisation ids.
+    pub fn org_ids(&self) -> Vec<OrgId> {
+        self.msp.org_ids()
+    }
+
+    /// Deploy a chaincode under `name` with an endorsement policy.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken (deployment-time error).
+    pub fn deploy(
+        &mut self,
+        name: impl Into<String>,
+        code: Box<dyn Chaincode>,
+        policy: EndorsementPolicy,
+    ) {
+        let name = name.into();
+        assert!(
+            !self.chaincodes.contains_key(&name),
+            "chaincode {name:?} already deployed"
+        );
+        self.chaincodes.insert(name, Deployed { code, policy });
+    }
+
+    /// Define a private data collection.
+    pub fn define_collection(&mut self, config: CollectionConfig) {
+        self.private.define_collection(config);
+    }
+
+    /// Advance the logical clock (the timed network layer drives this).
+    pub fn set_time_us(&mut self, us: u64) {
+        self.clock_us = self.clock_us.max(us);
+    }
+
+    /// Invoke a chaincode: endorse, check the policy, and queue the
+    /// transaction for the next block.
+    pub fn invoke<R: RngCore + ?Sized>(
+        &mut self,
+        creator: &Identity,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        rng: &mut R,
+    ) -> Result<InvokeResult, FabricError> {
+        self.invoke_with_transient(creator, chaincode, function, args, Default::default(), rng)
+    }
+
+    /// Invoke with transient data: the map is visible to the chaincode at
+    /// simulation time (`TxContext::get_transient`) but never stored in
+    /// the transaction — Fabric's mechanism for feeding private values to
+    /// chaincode without putting them on-chain.
+    pub fn invoke_with_transient<R: RngCore + ?Sized>(
+        &mut self,
+        creator: &Identity,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        transient: std::collections::BTreeMap<String, Vec<u8>>,
+        rng: &mut R,
+    ) -> Result<InvokeResult, FabricError> {
+        self.clock_us += 1;
+        let proposal = Proposal::new(creator, chaincode, function, args, rng);
+        let tx_id = proposal.tx_id();
+
+        let deployed = self
+            .chaincodes
+            .get(chaincode)
+            .ok_or_else(|| FabricError::UnknownChaincode(chaincode.to_string()))?;
+
+        // Simulate once (chaincode is deterministic; every endorser would
+        // compute the same read/write set against the same state).
+        let mut ctx = TxContext::with_transient(
+            &self.state,
+            tx_id,
+            creator.cert(),
+            self.clock_us,
+            transient,
+        );
+        let response = deployed
+            .code
+            .invoke(&mut ctx, &proposal.function, &proposal.args)?;
+        let (rwset, private_values) = ctx.into_results();
+
+        // Collect endorsements from every policy org's peer.
+        let mut responses = Vec::new();
+        for org in deployed.policy.orgs() {
+            let Some(peer) = self.endorsers.get(org) else {
+                continue;
+            };
+            responses.push(ProposalResponse::sign(
+                peer,
+                tx_id,
+                rwset.clone(),
+                response.clone(),
+            ));
+        }
+        let policy = deployed.policy.clone();
+        if self.check_signatures {
+            check_endorsements(&policy, &responses, &self.msp)?;
+        } else {
+            let orgs: Vec<OrgId> = responses
+                .iter()
+                .map(|r| r.endorsement.endorser.org.clone())
+                .collect();
+            if !policy.is_satisfied(&orgs) {
+                return Err(FabricError::EndorsementPolicyFailure(format!(
+                    "policy {policy:?} not satisfied"
+                )));
+            }
+        }
+
+        let endorsements = responses.into_iter().map(|r| r.endorsement).collect();
+        self.pending.push(Transaction {
+            tx_id,
+            chaincode: proposal.chaincode,
+            function: proposal.function,
+            args: proposal.args,
+            creator: proposal.creator,
+            rwset,
+            response: response.clone(),
+            endorsements,
+        });
+        self.pending_private.extend(private_values);
+        Ok(InvokeResult { tx_id, response })
+    }
+
+    /// Evaluate a chaincode function without committing (Fabric "query").
+    /// Writes produced by the simulation are discarded.
+    pub fn query(
+        &self,
+        creator: &Identity,
+        chaincode: &str,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, FabricError> {
+        let deployed = self
+            .chaincodes
+            .get(chaincode)
+            .ok_or_else(|| FabricError::UnknownChaincode(chaincode.to_string()))?;
+        // Query tx ids never hit the ledger; derive one from the clock.
+        let tx_id = TxId(ledgerview_crypto::sha256::sha256(
+            &self.clock_us.to_be_bytes(),
+        ));
+        let mut ctx = TxContext::new(&self.state, tx_id, creator.cert(), self.clock_us);
+        deployed.code.invoke(&mut ctx, function, args.as_ref())
+    }
+
+    /// Number of transactions waiting for the next block.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cut a block from all pending transactions, validate, and commit.
+    ///
+    /// Returns the per-transaction validation outcomes (in order). Cutting
+    /// with no pending transactions is a no-op returning an empty vec.
+    pub fn cut_block(&mut self) -> Vec<TxValidation> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        self.clock_us += 1;
+        let transactions = std::mem::take(&mut self.pending);
+        let block_num = self.store.height();
+        let outcomes = validate_and_commit_block(&transactions, &mut self.state, block_num);
+        let state_root = next_state_root(&self.state_root, &transactions, &outcomes);
+        let prev_hash = self
+            .store
+            .tip()
+            .map(|b| b.header.hash())
+            .unwrap_or(Digest::ZERO);
+        let header = BlockHeader {
+            number: block_num,
+            prev_hash,
+            data_hash: Block::compute_data_hash(&transactions),
+            state_root,
+            timestamp_us: self.clock_us,
+        };
+        let validity = outcomes.iter().map(|o| o.is_valid()).collect();
+        self.store
+            .append(Block {
+                header,
+                transactions,
+                validity,
+            })
+            .expect("locally built block must link");
+        self.state_root = state_root;
+
+        // Disseminate private values to collection members.
+        for (collection, key, value) in std::mem::take(&mut self.pending_private) {
+            if let Some(config) = self.private.config(&collection) {
+                if let Some(org) = config.member_orgs.first().cloned() {
+                    self.private
+                        .put(&collection, &key, value, &org)
+                        .expect("org is a member by construction");
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// Invoke and immediately commit in a single-transaction block.
+    pub fn invoke_commit<R: RngCore + ?Sized>(
+        &mut self,
+        creator: &Identity,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        rng: &mut R,
+    ) -> Result<InvokeResult, FabricError> {
+        let result = self.invoke(creator, chaincode, function, args, rng)?;
+        let outcomes = self.cut_block();
+        match outcomes.last() {
+            Some(TxValidation::Valid) => Ok(result),
+            Some(TxValidation::MvccConflict { key }) => {
+                Err(FabricError::MvccConflict { key: key.clone() })
+            }
+            None => Err(FabricError::Malformed("no transaction committed".into())),
+        }
+    }
+
+    /// The committed state database.
+    pub fn state(&self) -> &StateDb {
+        &self.state
+    }
+
+    /// The block store.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// The private data store.
+    pub fn private(&self) -> &PrivateStore {
+        &self.private
+    }
+
+    /// Chain height.
+    pub fn height(&self) -> u64 {
+        self.store.height()
+    }
+
+    /// Rolling state root after the last committed block.
+    pub fn state_root(&self) -> Digest {
+        self.state_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledgerview_crypto::rng::seeded;
+
+    /// A toy chaincode: `put key value`, `get key`, `fail`.
+    struct KvChaincode;
+
+    impl Chaincode for KvChaincode {
+        fn invoke(
+            &self,
+            ctx: &mut TxContext<'_>,
+            function: &str,
+            args: &[Vec<u8>],
+        ) -> Result<Vec<u8>, FabricError> {
+            match function {
+                "put" => {
+                    let key = String::from_utf8(args[0].clone())
+                        .map_err(|_| FabricError::Malformed("key".into()))?;
+                    ctx.put_state(key, args[1].clone());
+                    Ok(vec![])
+                }
+                "get" => {
+                    let key = String::from_utf8(args[0].clone())
+                        .map_err(|_| FabricError::Malformed("key".into()))?;
+                    Ok(ctx.get_state(&key).unwrap_or_default())
+                }
+                "rmw" => {
+                    // Read-modify-write: append a byte to the value.
+                    let key = String::from_utf8(args[0].clone())
+                        .map_err(|_| FabricError::Malformed("key".into()))?;
+                    let mut v = ctx.get_state(&key).unwrap_or_default();
+                    v.push(b'!');
+                    ctx.put_state(key, v.clone());
+                    Ok(v)
+                }
+                "fail" => Err(FabricError::ChaincodeError("requested failure".into())),
+                other => Err(FabricError::ChaincodeError(format!(
+                    "unknown function {other}"
+                ))),
+            }
+        }
+    }
+
+    fn chain_with_kv() -> (FabricChain, Identity) {
+        let mut rng = seeded(1);
+        let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
+        let policy = EndorsementPolicy::AllOf(chain.org_ids());
+        chain.deploy("kv", Box::new(KvChaincode), policy);
+        let alice = chain.enroll(&OrgId::new("Org1"), "alice", &mut rng).unwrap();
+        (chain, alice)
+    }
+
+    #[test]
+    fn invoke_commit_query_round_trip() {
+        let (mut chain, alice) = chain_with_kv();
+        let mut rng = seeded(2);
+        chain
+            .invoke_commit(
+                &alice,
+                "kv",
+                "put",
+                vec![b"k".to_vec(), b"v".to_vec()],
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(chain.height(), 1);
+        let got = chain.query(&alice, "kv", "get", &[b"k".to_vec()]).unwrap();
+        assert_eq!(got, b"v");
+        chain.store().verify_chain().unwrap();
+    }
+
+    #[test]
+    fn query_does_not_commit() {
+        let (mut chain, alice) = chain_with_kv();
+        let mut rng = seeded(3);
+        chain
+            .invoke_commit(&alice, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
+            .unwrap();
+        // rmw as query: returns new value but does not write it.
+        let out = chain.query(&alice, "kv", "rmw", &[b"k".to_vec()]).unwrap();
+        assert_eq!(out, b"v!");
+        assert_eq!(chain.query(&alice, "kv", "get", &[b"k".to_vec()]).unwrap(), b"v");
+    }
+
+    #[test]
+    fn chaincode_error_propagates_and_nothing_queued() {
+        let (mut chain, alice) = chain_with_kv();
+        let mut rng = seeded(4);
+        let err = chain.invoke(&alice, "kv", "fail", vec![], &mut rng);
+        assert!(matches!(err, Err(FabricError::ChaincodeError(_))));
+        assert_eq!(chain.pending_count(), 0);
+        assert_eq!(chain.height(), 0);
+    }
+
+    #[test]
+    fn unknown_chaincode_rejected() {
+        let (mut chain, alice) = chain_with_kv();
+        let mut rng = seeded(5);
+        assert!(matches!(
+            chain.invoke(&alice, "nope", "f", vec![], &mut rng),
+            Err(FabricError::UnknownChaincode(_))
+        ));
+    }
+
+    #[test]
+    fn batched_block_with_mvcc_conflict() {
+        let (mut chain, alice) = chain_with_kv();
+        let mut rng = seeded(6);
+        chain
+            .invoke_commit(&alice, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
+            .unwrap();
+        // Two read-modify-writes of the same key in one block: the second
+        // must be invalidated by MVCC.
+        chain.invoke(&alice, "kv", "rmw", vec![b"k".to_vec()], &mut rng).unwrap();
+        chain.invoke(&alice, "kv", "rmw", vec![b"k".to_vec()], &mut rng).unwrap();
+        let outcomes = chain.cut_block();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].is_valid());
+        assert!(!outcomes[1].is_valid());
+        assert_eq!(chain.query(&alice, "kv", "get", &[b"k".to_vec()]).unwrap(), b"v!");
+        assert_eq!(chain.store().committed_tx_count(), 2); // put + first rmw
+    }
+
+    #[test]
+    fn cut_block_empty_is_noop() {
+        let (mut chain, _) = chain_with_kv();
+        assert!(chain.cut_block().is_empty());
+        assert_eq!(chain.height(), 0);
+    }
+
+    #[test]
+    fn state_root_advances_per_block() {
+        let (mut chain, alice) = chain_with_kv();
+        let mut rng = seeded(7);
+        let r0 = chain.state_root();
+        chain
+            .invoke_commit(&alice, "kv", "put", vec![b"a".to_vec(), b"1".to_vec()], &mut rng)
+            .unwrap();
+        let r1 = chain.state_root();
+        assert_ne!(r0, r1);
+        assert_eq!(chain.store().tip().unwrap().header.state_root, r1);
+    }
+
+    #[test]
+    fn endorsements_present_and_verifiable() {
+        let (mut chain, alice) = chain_with_kv();
+        let mut rng = seeded(8);
+        let res = chain
+            .invoke_commit(&alice, "kv", "put", vec![b"a".to_vec(), b"1".to_vec()], &mut rng)
+            .unwrap();
+        let (tx, valid) = chain.store().find_tx(&res.tx_id).unwrap();
+        assert!(valid);
+        assert_eq!(tx.endorsements.len(), 2); // Org1 + Org2 peers
+        for e in &tx.endorsements {
+            chain.msp().verify_cert(&e.endorser).unwrap();
+        }
+    }
+
+    #[test]
+    fn signatures_can_be_disabled_for_timing_runs() {
+        let mut rng = seeded(9);
+        let mut chain = FabricChain::new(&["Org1"], &mut rng);
+        chain.set_check_signatures(false);
+        chain.deploy(
+            "kv",
+            Box::new(KvChaincode),
+            EndorsementPolicy::AnyOf(chain.org_ids()),
+        );
+        let alice = chain.enroll(&OrgId::new("Org1"), "alice", &mut rng).unwrap();
+        chain
+            .invoke_commit(&alice, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
+            .unwrap();
+        assert_eq!(chain.height(), 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Endorsement: proposals, signed proposal responses, and endorsement
+//! policies.
+//!
+//! Clients send proposals to endorsing peers; each peer simulates the
+//! chaincode and signs the resulting read/write set. The client assembles
+//! the signed responses into a transaction, which later passes validation
+//! only if the endorsement policy is satisfied and all endorsers produced
+//! the same effects.
+
+use ledgerview_crypto::sha256::{sha256, Digest};
+use rand::RngCore;
+
+use crate::chaincode::RwSet;
+use crate::error::FabricError;
+use crate::identity::{Certificate, Identity, Msp, OrgId};
+use crate::ledger::{Endorsement, TxId};
+use crate::wire::Writer;
+
+/// A transaction proposal from a client.
+#[derive(Clone, Debug)]
+pub struct Proposal {
+    /// Target chaincode.
+    pub chaincode: String,
+    /// Function to invoke.
+    pub function: String,
+    /// Arguments.
+    pub args: Vec<Vec<u8>>,
+    /// Proposer's certificate.
+    pub creator: Certificate,
+    /// Anti-replay nonce.
+    pub nonce: [u8; 32],
+}
+
+impl Proposal {
+    /// Create a proposal with a fresh nonce.
+    pub fn new<R: RngCore + ?Sized>(
+        identity: &Identity,
+        chaincode: impl Into<String>,
+        function: impl Into<String>,
+        args: Vec<Vec<u8>>,
+        rng: &mut R,
+    ) -> Proposal {
+        let mut nonce = [0u8; 32];
+        rng.fill_bytes(&mut nonce);
+        Proposal {
+            chaincode: chaincode.into(),
+            function: function.into(),
+            args,
+            creator: identity.cert().clone(),
+            nonce,
+        }
+    }
+
+    /// Canonical proposal bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.string(&self.chaincode).string(&self.function);
+        w.u32(self.args.len() as u32);
+        for a in &self.args {
+            w.bytes(a);
+        }
+        w.bytes(&self.creator.to_signed_bytes());
+        w.array(&self.nonce);
+        w.into_bytes()
+    }
+
+    /// The transaction id this proposal will have: SHA-256 of its bytes.
+    pub fn tx_id(&self) -> TxId {
+        TxId(sha256(&self.to_bytes()))
+    }
+}
+
+/// What an endorsing peer signs: the proposal's tx id, the digest of the
+/// simulated read/write set, and the response payload.
+pub fn response_signing_bytes(tx_id: &TxId, rwset_digest: &Digest, response: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.array(tx_id.0.as_bytes())
+        .array(rwset_digest.as_bytes())
+        .bytes(response);
+    w.into_bytes()
+}
+
+/// A signed proposal response from one endorsing peer.
+#[derive(Clone, Debug)]
+pub struct ProposalResponse {
+    /// Id of the proposal that was simulated.
+    pub tx_id: TxId,
+    /// The simulated read/write set.
+    pub rwset: RwSet,
+    /// Chaincode response payload.
+    pub response: Vec<u8>,
+    /// The endorsement (certificate + signature).
+    pub endorsement: Endorsement,
+}
+
+impl ProposalResponse {
+    /// Produce a signed response as endorsing peer `endorser`.
+    pub fn sign(endorser: &Identity, tx_id: TxId, rwset: RwSet, response: Vec<u8>) -> Self {
+        let digest = rwset.digest();
+        let bytes = response_signing_bytes(&tx_id, &digest, &response);
+        let signature = endorser.sign(&bytes);
+        ProposalResponse {
+            tx_id,
+            rwset,
+            response,
+            endorsement: Endorsement {
+                endorser: endorser.cert().clone(),
+                signature,
+            },
+        }
+    }
+
+    /// Verify this response's signature against the MSP.
+    pub fn verify(&self, msp: &Msp) -> Result<(), FabricError> {
+        let bytes = response_signing_bytes(&self.tx_id, &self.rwset.digest(), &self.response);
+        msp.verify_identity_signature(
+            &self.endorsement.endorser,
+            &bytes,
+            &self.endorsement.signature,
+        )
+    }
+}
+
+/// An endorsement policy over organisations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EndorsementPolicy {
+    /// Any single listed organisation suffices.
+    AnyOf(Vec<OrgId>),
+    /// Every listed organisation must endorse.
+    AllOf(Vec<OrgId>),
+    /// A strict majority of the listed organisations must endorse.
+    MajorityOf(Vec<OrgId>),
+    /// At least `n` of the listed organisations must endorse.
+    NOf(usize, Vec<OrgId>),
+}
+
+impl EndorsementPolicy {
+    /// The organisations the policy mentions (candidates for endorsement).
+    pub fn orgs(&self) -> &[OrgId] {
+        match self {
+            EndorsementPolicy::AnyOf(o)
+            | EndorsementPolicy::AllOf(o)
+            | EndorsementPolicy::MajorityOf(o)
+            | EndorsementPolicy::NOf(_, o) => o,
+        }
+    }
+
+    /// Whether endorsements from `endorsing_orgs` satisfy the policy.
+    /// Duplicate organisations count once.
+    pub fn is_satisfied(&self, endorsing_orgs: &[OrgId]) -> bool {
+        let listed = self.orgs();
+        let mut seen: Vec<&OrgId> = Vec::new();
+        for org in endorsing_orgs {
+            if listed.contains(org) && !seen.contains(&org) {
+                seen.push(org);
+            }
+        }
+        let count = seen.len();
+        match self {
+            EndorsementPolicy::AnyOf(_) => count >= 1,
+            EndorsementPolicy::AllOf(o) => count == o.len(),
+            EndorsementPolicy::MajorityOf(o) => count > o.len() / 2,
+            EndorsementPolicy::NOf(n, _) => count >= *n,
+        }
+    }
+}
+
+/// Validate a set of proposal responses: signatures verify, effects agree,
+/// and the policy is satisfied. Returns the agreed read/write set and
+/// response payload.
+pub fn check_endorsements(
+    policy: &EndorsementPolicy,
+    responses: &[ProposalResponse],
+    msp: &Msp,
+) -> Result<(RwSet, Vec<u8>), FabricError> {
+    if responses.is_empty() {
+        return Err(FabricError::EndorsementPolicyFailure(
+            "no endorsements".into(),
+        ));
+    }
+    let first = &responses[0];
+    for r in responses {
+        r.verify(msp)?;
+        if r.tx_id != first.tx_id {
+            return Err(FabricError::EndorsementPolicyFailure(
+                "endorsements for different transactions".into(),
+            ));
+        }
+        if r.rwset != first.rwset || r.response != first.response {
+            return Err(FabricError::EndorsementPolicyFailure(
+                "endorsers disagree on simulation results".into(),
+            ));
+        }
+    }
+    let orgs: Vec<OrgId> = responses
+        .iter()
+        .map(|r| r.endorsement.endorser.org.clone())
+        .collect();
+    if !policy.is_satisfied(&orgs) {
+        return Err(FabricError::EndorsementPolicyFailure(format!(
+            "policy {policy:?} not satisfied by {orgs:?}"
+        )));
+    }
+    Ok((first.rwset.clone(), first.response.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::{RwSet, WriteEntry};
+    use ledgerview_crypto::rng::seeded;
+
+    fn setup() -> (Msp, Identity, Identity, Identity) {
+        let mut rng = seeded(1);
+        let mut msp = Msp::new();
+        let org1 = msp.add_org("Org1", &mut rng);
+        let org2 = msp.add_org("Org2", &mut rng);
+        let alice = msp.enroll(&org1, "alice", &mut rng).unwrap();
+        let peer1 = msp.enroll(&org1, "peer1", &mut rng).unwrap();
+        let peer2 = msp.enroll(&org2, "peer2", &mut rng).unwrap();
+        (msp, alice, peer1, peer2)
+    }
+
+    fn sample_rwset() -> RwSet {
+        RwSet {
+            reads: vec![],
+            writes: vec![WriteEntry {
+                key: "k".into(),
+                value: Some(b"v".to_vec()),
+            }],
+            private_writes: vec![],
+        }
+    }
+
+    #[test]
+    fn proposal_ids_unique_by_nonce() {
+        let (_, alice, _, _) = setup();
+        let mut rng = seeded(2);
+        let p1 = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
+        let p2 = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
+        assert_ne!(p1.tx_id(), p2.tx_id());
+    }
+
+    #[test]
+    fn signed_response_verifies() {
+        let (msp, alice, peer1, _) = setup();
+        let mut rng = seeded(3);
+        let p = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
+        let resp = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
+        resp.verify(&msp).unwrap();
+    }
+
+    #[test]
+    fn tampered_response_rejected() {
+        let (msp, alice, peer1, _) = setup();
+        let mut rng = seeded(4);
+        let p = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
+        let mut resp = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
+        resp.response = b"changed".to_vec();
+        assert!(resp.verify(&msp).is_err());
+        let mut resp2 = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
+        resp2.rwset.writes[0].value = Some(b"evil".to_vec());
+        assert!(resp2.verify(&msp).is_err());
+    }
+
+    #[test]
+    fn policy_evaluation() {
+        let o = |s: &str| OrgId::new(s);
+        let orgs = vec![o("A"), o("B"), o("C")];
+        let any = EndorsementPolicy::AnyOf(orgs.clone());
+        let all = EndorsementPolicy::AllOf(orgs.clone());
+        let maj = EndorsementPolicy::MajorityOf(orgs.clone());
+        let two = EndorsementPolicy::NOf(2, orgs.clone());
+
+        assert!(any.is_satisfied(&[o("A")]));
+        assert!(!any.is_satisfied(&[o("Z")]));
+        assert!(!all.is_satisfied(&[o("A"), o("B")]));
+        assert!(all.is_satisfied(&[o("A"), o("B"), o("C")]));
+        assert!(maj.is_satisfied(&[o("A"), o("B")]));
+        assert!(!maj.is_satisfied(&[o("A")]));
+        assert!(two.is_satisfied(&[o("A"), o("C")]));
+        assert!(!two.is_satisfied(&[o("A")]));
+        // Duplicates count once.
+        assert!(!two.is_satisfied(&[o("A"), o("A")]));
+        // Unlisted orgs do not count.
+        assert!(!maj.is_satisfied(&[o("Z"), o("Y")]));
+    }
+
+    #[test]
+    fn check_endorsements_happy_path() {
+        let (msp, alice, peer1, peer2) = setup();
+        let mut rng = seeded(5);
+        let p = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
+        let r1 = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
+        let r2 = ProposalResponse::sign(&peer2, p.tx_id(), sample_rwset(), b"ok".to_vec());
+        let policy =
+            EndorsementPolicy::AllOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]);
+        let (rwset, resp) = check_endorsements(&policy, &[r1, r2], &msp).unwrap();
+        assert_eq!(rwset, sample_rwset());
+        assert_eq!(resp, b"ok");
+    }
+
+    #[test]
+    fn check_endorsements_disagreement_rejected() {
+        let (msp, alice, peer1, peer2) = setup();
+        let mut rng = seeded(6);
+        let p = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
+        let r1 = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
+        let mut other = sample_rwset();
+        other.writes[0].value = Some(b"different".to_vec());
+        let r2 = ProposalResponse::sign(&peer2, p.tx_id(), other, b"ok".to_vec());
+        let policy = EndorsementPolicy::AnyOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]);
+        assert!(check_endorsements(&policy, &[r1, r2], &msp).is_err());
+    }
+
+    #[test]
+    fn check_endorsements_policy_unmet() {
+        let (msp, alice, peer1, _) = setup();
+        let mut rng = seeded(7);
+        let p = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
+        let r1 = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
+        let policy =
+            EndorsementPolicy::AllOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]);
+        assert!(matches!(
+            check_endorsements(&policy, &[r1], &msp),
+            Err(FabricError::EndorsementPolicyFailure(_))
+        ));
+    }
+
+    #[test]
+    fn empty_endorsements_rejected() {
+        let (msp, _, _, _) = setup();
+        let policy = EndorsementPolicy::AnyOf(vec![OrgId::new("Org1")]);
+        assert!(check_endorsements(&policy, &[], &msp).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Membership service provider (MSP): organisations, certificate
+//! authorities and user identities.
+//!
+//! A permissioned blockchain's users are enrolled by an organisation CA.
+//! Here each organisation holds an Ed25519 CA key; enrolling a user signs a
+//! certificate binding the user's name, organisation, signing key and
+//! encryption key. Peers verify endorsement signatures against certificates
+//! and certificates against the CA registry.
+
+use std::collections::HashMap;
+
+use ledgerview_crypto::keys::{EncryptionKeyPair, PublicKey, SigningKeyPair};
+use ledgerview_crypto::CryptoError;
+use rand::RngCore;
+
+use crate::error::FabricError;
+use crate::wire::Writer;
+
+/// An organisation (MSP) identifier, e.g. `"Org1MSP"`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OrgId(pub String);
+
+impl OrgId {
+    /// Construct from any string-like value.
+    pub fn new(name: impl Into<String>) -> OrgId {
+        OrgId(name.into())
+    }
+}
+
+impl std::fmt::Display for OrgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A certificate binding a user's keys to a name and organisation, signed
+/// by the organisation's CA.
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    /// Enrolled user name (unique within the org).
+    pub subject: String,
+    /// Issuing organisation.
+    pub org: OrgId,
+    /// The user's Ed25519 verification key.
+    pub signing_pub: [u8; 32],
+    /// The user's X25519 public encryption key (the paper's `PubK_u`).
+    pub encryption_pub: PublicKey,
+    /// CA signature over the fields above.
+    pub ca_signature: [u8; 64],
+}
+
+impl Certificate {
+    /// The bytes the CA signs.
+    pub fn to_signed_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.string(&self.subject)
+            .string(&self.org.0)
+            .array(&self.signing_pub)
+            .array(self.encryption_pub.as_bytes());
+        w.into_bytes()
+    }
+}
+
+/// A user identity: certificate plus the private keys.
+#[derive(Clone, Debug)]
+pub struct Identity {
+    cert: Certificate,
+    signing: SigningKeyPair,
+    encryption: EncryptionKeyPair,
+}
+
+impl Identity {
+    /// The public certificate.
+    pub fn cert(&self) -> &Certificate {
+        &self.cert
+    }
+
+    /// Convenience: the user's name.
+    pub fn name(&self) -> &str {
+        &self.cert.subject
+    }
+
+    /// Convenience: the user's organisation.
+    pub fn org(&self) -> &OrgId {
+        &self.cert.org
+    }
+
+    /// The user's public encryption key (`PubK_u`).
+    pub fn encryption_public(&self) -> PublicKey {
+        self.cert.encryption_pub
+    }
+
+    /// Sign a message with the identity's signing key.
+    pub fn sign(&self, message: &[u8]) -> [u8; 64] {
+        self.signing.sign(message)
+    }
+
+    /// Decrypt a payload sealed to this identity's encryption key.
+    pub fn open(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        ledgerview_crypto::keys::open(&self.encryption, ciphertext)
+    }
+
+    /// Access the raw encryption key pair (for delegation scenarios).
+    pub fn encryption_keypair(&self) -> &EncryptionKeyPair {
+        &self.encryption
+    }
+}
+
+struct OrgCa {
+    ca: SigningKeyPair,
+}
+
+/// The membership registry: organisation CAs and certificate verification.
+#[derive(Default)]
+pub struct Msp {
+    orgs: HashMap<OrgId, OrgCa>,
+}
+
+impl Msp {
+    /// An empty registry.
+    pub fn new() -> Msp {
+        Msp::default()
+    }
+
+    /// Create an organisation with a fresh CA key. Returns its id.
+    ///
+    /// # Panics
+    /// Panics if the organisation already exists (deployment-time error).
+    pub fn add_org<R: RngCore + ?Sized>(&mut self, name: &str, rng: &mut R) -> OrgId {
+        let id = OrgId::new(name);
+        assert!(
+            !self.orgs.contains_key(&id),
+            "organisation {name:?} already exists"
+        );
+        self.orgs.insert(
+            id.clone(),
+            OrgCa {
+                ca: SigningKeyPair::generate(rng),
+            },
+        );
+        id
+    }
+
+    /// Organisations registered, in sorted order.
+    pub fn org_ids(&self) -> Vec<OrgId> {
+        let mut ids: Vec<OrgId> = self.orgs.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Enroll a user with `org`, issuing a signed certificate.
+    pub fn enroll<R: RngCore + ?Sized>(
+        &self,
+        org: &OrgId,
+        subject: &str,
+        rng: &mut R,
+    ) -> Result<Identity, FabricError> {
+        let ca = self
+            .orgs
+            .get(org)
+            .ok_or_else(|| FabricError::AccessDenied(format!("unknown org {org}")))?;
+        let signing = SigningKeyPair::generate(rng);
+        let encryption = EncryptionKeyPair::generate(rng);
+        let mut cert = Certificate {
+            subject: subject.to_string(),
+            org: org.clone(),
+            signing_pub: signing.public(),
+            encryption_pub: encryption.public(),
+            ca_signature: [0u8; 64],
+        };
+        cert.ca_signature = ca.ca.sign(&cert.to_signed_bytes());
+        Ok(Identity {
+            cert,
+            signing,
+            encryption,
+        })
+    }
+
+    /// Verify that a certificate was issued by a registered organisation.
+    pub fn verify_cert(&self, cert: &Certificate) -> Result<(), FabricError> {
+        let ca = self
+            .orgs
+            .get(&cert.org)
+            .ok_or_else(|| FabricError::AccessDenied(format!("unknown org {}", cert.org)))?;
+        ledgerview_crypto::keys::verify_signature(
+            &ca.ca.public(),
+            &cert.to_signed_bytes(),
+            &cert.ca_signature,
+        )
+        .map_err(|_| FabricError::BadSignature)
+    }
+
+    /// Verify a signature made by the holder of `cert`, checking the
+    /// certificate chain first.
+    pub fn verify_identity_signature(
+        &self,
+        cert: &Certificate,
+        message: &[u8],
+        signature: &[u8; 64],
+    ) -> Result<(), FabricError> {
+        self.verify_cert(cert)?;
+        ledgerview_crypto::keys::verify_signature(&cert.signing_pub, message, signature)
+            .map_err(|_| FabricError::BadSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ledgerview_crypto::rng::seeded;
+
+    #[test]
+    fn enroll_and_verify() {
+        let mut rng = seeded(1);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1MSP", &mut rng);
+        let alice = msp.enroll(&org, "alice", &mut rng).unwrap();
+        msp.verify_cert(alice.cert()).unwrap();
+        assert_eq!(alice.name(), "alice");
+        assert_eq!(alice.org(), &org);
+    }
+
+    #[test]
+    fn identity_signature_verifies() {
+        let mut rng = seeded(2);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1MSP", &mut rng);
+        let alice = msp.enroll(&org, "alice", &mut rng).unwrap();
+        let sig = alice.sign(b"endorsement");
+        msp.verify_identity_signature(alice.cert(), b"endorsement", &sig)
+            .unwrap();
+        assert!(msp
+            .verify_identity_signature(alice.cert(), b"tampered", &sig)
+            .is_err());
+    }
+
+    #[test]
+    fn forged_cert_rejected() {
+        let mut rng = seeded(3);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1MSP", &mut rng);
+        let alice = msp.enroll(&org, "alice", &mut rng).unwrap();
+        // Change the subject: CA signature no longer matches.
+        let mut forged = alice.cert().clone();
+        forged.subject = "mallory".into();
+        assert!(msp.verify_cert(&forged).is_err());
+        // Swap in an attacker signing key.
+        let mut forged2 = alice.cert().clone();
+        forged2.signing_pub = SigningKeyPair::generate(&mut rng).public();
+        assert!(msp.verify_cert(&forged2).is_err());
+    }
+
+    #[test]
+    fn cert_from_unknown_org_rejected() {
+        let mut rng = seeded(4);
+        let mut msp_a = Msp::new();
+        let org_a = msp_a.add_org("OrgA", &mut rng);
+        let alice = msp_a.enroll(&org_a, "alice", &mut rng).unwrap();
+
+        let msp_b = Msp::new();
+        assert!(matches!(
+            msp_b.verify_cert(alice.cert()),
+            Err(FabricError::AccessDenied(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_org_enroll_fails() {
+        let msp = Msp::new();
+        let mut rng = seeded(5);
+        assert!(msp.enroll(&OrgId::new("nope"), "x", &mut rng).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_org_panics() {
+        let mut rng = seeded(6);
+        let mut msp = Msp::new();
+        msp.add_org("Org1", &mut rng);
+        msp.add_org("Org1", &mut rng);
+    }
+
+    #[test]
+    fn encryption_round_trip_via_identity() {
+        let mut rng = seeded(7);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1MSP", &mut rng);
+        let bob = msp.enroll(&org, "bob", &mut rng).unwrap();
+        let ct = ledgerview_crypto::keys::seal(&bob.encryption_public(), &mut rng, b"view key");
+        assert_eq!(bob.open(&ct).unwrap(), b"view key");
+    }
+
+    #[test]
+    fn org_ids_sorted() {
+        let mut rng = seeded(8);
+        let mut msp = Msp::new();
+        msp.add_org("Zeta", &mut rng);
+        msp.add_org("Alpha", &mut rng);
+        let ids = msp.org_ids();
+        assert_eq!(ids[0].0, "Alpha");
+        assert_eq!(ids[1].0, "Zeta");
+    }
+}

@@ -1,0 +1,455 @@
+//! Blocks, the hash chain, and the block store.
+//!
+//! A block batches ordered transactions; its header carries the previous
+//! block's hash, a Merkle root over the transaction bytes, and a rolling
+//! state digest. Validation flags (Fabric keeps invalid transactions in the
+//! block, marked invalid) are part of block metadata.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ledgerview_crypto::sha256::{sha256, Digest};
+
+use crate::chaincode::RwSet;
+use crate::error::FabricError;
+use crate::identity::Certificate;
+use crate::merkle::{MerkleTree, ProofStep};
+use crate::wire::{Reader, Writer};
+
+/// A transaction identifier: the SHA-256 of the proposal bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub Digest);
+
+impl TxId {
+    /// Hex rendering.
+    pub fn to_hex(&self) -> String {
+        self.0.to_hex()
+    }
+
+    /// A short prefix, convenient for keys and logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..16].to_string()
+    }
+}
+
+impl fmt::Debug for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TxId({}..)", &self.to_hex()[..12])
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// A signed endorsement attached to a transaction.
+#[derive(Clone, Debug)]
+pub struct Endorsement {
+    /// The endorsing peer's certificate.
+    pub endorser: Certificate,
+    /// Signature over the proposal response bytes.
+    pub signature: [u8; 64],
+}
+
+/// An ordered transaction as stored in a block.
+#[derive(Clone, Debug)]
+pub struct Transaction {
+    /// Identifier (hash of the proposal).
+    pub tx_id: TxId,
+    /// Target chaincode name.
+    pub chaincode: String,
+    /// Invoked function.
+    pub function: String,
+    /// Invocation arguments.
+    pub args: Vec<Vec<u8>>,
+    /// The creator's certificate.
+    pub creator: Certificate,
+    /// The read/write set produced at endorsement time.
+    pub rwset: RwSet,
+    /// Chaincode response payload.
+    pub response: Vec<u8>,
+    /// Endorsements collected by the client.
+    pub endorsements: Vec<Endorsement>,
+}
+
+impl Transaction {
+    /// Canonical bytes for hashing into the block's data root.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.array(self.tx_id.0.as_bytes())
+            .string(&self.chaincode)
+            .string(&self.function);
+        w.u32(self.args.len() as u32);
+        for a in &self.args {
+            w.bytes(a);
+        }
+        w.bytes(&self.creator.to_signed_bytes());
+        w.bytes(&self.rwset.to_bytes());
+        w.bytes(&self.response);
+        w.u32(self.endorsements.len() as u32);
+        for e in &self.endorsements {
+            w.bytes(&e.endorser.to_signed_bytes());
+            w.array(&e.signature);
+        }
+        w.into_bytes()
+    }
+
+    /// Approximate on-wire size in bytes (storage accounting).
+    pub fn size_bytes(&self) -> u64 {
+        self.to_bytes().len() as u64
+    }
+}
+
+/// A block header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height of this block (genesis = 0).
+    pub number: u64,
+    /// Hash of the previous block's header ([`Digest::ZERO`] for genesis).
+    pub prev_hash: Digest,
+    /// Merkle root over the serialized transactions.
+    pub data_hash: Digest,
+    /// Rolling state digest after applying this block:
+    /// `H(prev_state_root || root(applied writes))`.
+    pub state_root: Digest,
+    /// Virtual time of block creation, microseconds.
+    pub timestamp_us: u64,
+}
+
+impl BlockHeader {
+    /// Canonical header bytes (the preimage of the block hash).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.number)
+            .array(self.prev_hash.as_bytes())
+            .array(self.data_hash.as_bytes())
+            .array(self.state_root.as_bytes())
+            .u64(self.timestamp_us);
+        w.into_bytes()
+    }
+
+    /// The block hash: SHA-256 of the header bytes.
+    pub fn hash(&self) -> Digest {
+        sha256(&self.to_bytes())
+    }
+}
+
+/// A block: header, transactions and per-transaction validity flags.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The header (hashed into the chain).
+    pub header: BlockHeader,
+    /// Ordered transactions.
+    pub transactions: Vec<Transaction>,
+    /// `validity[i]` is true iff transaction i committed (passed MVCC and
+    /// endorsement-policy validation).
+    pub validity: Vec<bool>,
+}
+
+impl Block {
+    /// Compute the Merkle root over this block's transactions.
+    pub fn compute_data_hash(transactions: &[Transaction]) -> Digest {
+        let leaves: Vec<Vec<u8>> = transactions.iter().map(|t| t.to_bytes()).collect();
+        MerkleTree::build(&leaves).root()
+    }
+
+    /// Approximate block size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        let header = self.header.to_bytes().len() as u64;
+        let txs: u64 = self.transactions.iter().map(|t| t.size_bytes()).sum();
+        header + txs + self.validity.len() as u64
+    }
+
+    /// Merkle inclusion proof for the transaction at `index`.
+    pub fn prove_tx(&self, index: usize) -> Vec<ProofStep> {
+        let leaves: Vec<Vec<u8>> = self.transactions.iter().map(|t| t.to_bytes()).collect();
+        MerkleTree::build(&leaves).prove(index).steps
+    }
+}
+
+/// The append-only block store with hash-chain verification and a
+/// transaction index.
+#[derive(Default)]
+pub struct BlockStore {
+    blocks: Vec<Block>,
+    tx_index: HashMap<TxId, (u64, u32)>,
+}
+
+impl BlockStore {
+    /// An empty store.
+    pub fn new() -> BlockStore {
+        BlockStore::default()
+    }
+
+    /// Append a block, verifying height and the previous-hash link.
+    pub fn append(&mut self, block: Block) -> Result<(), FabricError> {
+        let expected_number = self.blocks.len() as u64;
+        if block.header.number != expected_number {
+            return Err(FabricError::IntegrityViolation(format!(
+                "expected block {expected_number}, got {}",
+                block.header.number
+            )));
+        }
+        let expected_prev = self
+            .blocks
+            .last()
+            .map(|b| b.header.hash())
+            .unwrap_or(Digest::ZERO);
+        if block.header.prev_hash != expected_prev {
+            return Err(FabricError::IntegrityViolation(
+                "previous-hash link broken".into(),
+            ));
+        }
+        if block.header.data_hash != Block::compute_data_hash(&block.transactions) {
+            return Err(FabricError::IntegrityViolation(
+                "data hash does not match transactions".into(),
+            ));
+        }
+        if block.validity.len() != block.transactions.len() {
+            return Err(FabricError::Malformed("validity flags length".into()));
+        }
+        for (i, tx) in block.transactions.iter().enumerate() {
+            self.tx_index
+                .insert(tx.tx_id, (block.header.number, i as u32));
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Height (number of blocks).
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// Block by number.
+    pub fn block(&self, number: u64) -> Option<&Block> {
+        self.blocks.get(number as usize)
+    }
+
+    /// The latest block.
+    pub fn tip(&self) -> Option<&Block> {
+        self.blocks.last()
+    }
+
+    /// Iterate over all blocks in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Look up a transaction and its validity by id.
+    pub fn find_tx(&self, tx_id: &TxId) -> Option<(&Transaction, bool)> {
+        let (block_num, idx) = self.tx_index.get(tx_id)?;
+        let block = &self.blocks[*block_num as usize];
+        Some((
+            &block.transactions[*idx as usize],
+            block.validity[*idx as usize],
+        ))
+    }
+
+    /// Location `(block, index)` of a transaction.
+    pub fn tx_location(&self, tx_id: &TxId) -> Option<(u64, u32)> {
+        self.tx_index.get(tx_id).copied()
+    }
+
+    /// Re-verify the whole hash chain (tamper audit).
+    pub fn verify_chain(&self) -> Result<(), FabricError> {
+        let mut prev = Digest::ZERO;
+        for (i, block) in self.blocks.iter().enumerate() {
+            if block.header.number != i as u64 {
+                return Err(FabricError::IntegrityViolation(format!(
+                    "block {i} has wrong number"
+                )));
+            }
+            if block.header.prev_hash != prev {
+                return Err(FabricError::IntegrityViolation(format!(
+                    "block {i} prev-hash mismatch"
+                )));
+            }
+            if block.header.data_hash != Block::compute_data_hash(&block.transactions) {
+                return Err(FabricError::IntegrityViolation(format!(
+                    "block {i} data-hash mismatch"
+                )));
+            }
+            prev = block.header.hash();
+        }
+        Ok(())
+    }
+
+    /// Total serialized bytes of all blocks (storage accounting, Fig 9).
+    pub fn total_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.size_bytes()).sum()
+    }
+
+    /// Total committed (valid) transactions.
+    pub fn committed_tx_count(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.validity.iter().filter(|v| **v).count() as u64)
+            .sum()
+    }
+
+    /// Total transactions including invalidated ones.
+    pub fn total_tx_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.transactions.len() as u64).sum()
+    }
+}
+
+/// Serialize a `TxId` list (used by views and the TxListContract).
+pub fn encode_txid_list(ids: &[TxId]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(ids.len() as u32);
+    for id in ids {
+        w.array(id.0.as_bytes());
+    }
+    w.into_bytes()
+}
+
+/// Decode a `TxId` list.
+pub fn decode_txid_list(bytes: &[u8]) -> Result<Vec<TxId>, FabricError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(TxId(Digest(r.array::<32>()?)));
+    }
+    r.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::RwSet;
+    use crate::identity::Msp;
+    use ledgerview_crypto::rng::seeded;
+
+    fn dummy_tx(n: u8) -> Transaction {
+        let mut rng = seeded(n as u64);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1", &mut rng);
+        let id = msp.enroll(&org, &format!("user{n}"), &mut rng).unwrap();
+        Transaction {
+            tx_id: TxId(sha256(&[n])),
+            chaincode: "cc".into(),
+            function: "f".into(),
+            args: vec![vec![n]],
+            creator: id.cert().clone(),
+            rwset: RwSet::default(),
+            response: vec![],
+            endorsements: vec![],
+        }
+    }
+
+    fn make_block(number: u64, prev: Digest, txs: Vec<Transaction>) -> Block {
+        let data_hash = Block::compute_data_hash(&txs);
+        let validity = vec![true; txs.len()];
+        Block {
+            header: BlockHeader {
+                number,
+                prev_hash: prev,
+                data_hash,
+                state_root: Digest::ZERO,
+                timestamp_us: number * 1000,
+            },
+            transactions: txs,
+            validity,
+        }
+    }
+
+    #[test]
+    fn append_and_chain_verification() {
+        let mut store = BlockStore::new();
+        let b0 = make_block(0, Digest::ZERO, vec![dummy_tx(1)]);
+        let h0 = b0.header.hash();
+        store.append(b0).unwrap();
+        let b1 = make_block(1, h0, vec![dummy_tx(2), dummy_tx(3)]);
+        store.append(b1).unwrap();
+        assert_eq!(store.height(), 2);
+        store.verify_chain().unwrap();
+        assert_eq!(store.total_tx_count(), 3);
+        assert_eq!(store.committed_tx_count(), 3);
+    }
+
+    #[test]
+    fn wrong_height_rejected() {
+        let mut store = BlockStore::new();
+        let b = make_block(5, Digest::ZERO, vec![]);
+        assert!(store.append(b).is_err());
+    }
+
+    #[test]
+    fn broken_prev_hash_rejected() {
+        let mut store = BlockStore::new();
+        store.append(make_block(0, Digest::ZERO, vec![])).unwrap();
+        let bad = make_block(1, Digest::ZERO, vec![]);
+        assert!(matches!(
+            store.append(bad),
+            Err(FabricError::IntegrityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_tx_breaks_data_hash() {
+        let mut store = BlockStore::new();
+        let mut b = make_block(0, Digest::ZERO, vec![dummy_tx(1)]);
+        b.transactions[0].response = b"tampered".to_vec();
+        assert!(store.append(b).is_err());
+    }
+
+    #[test]
+    fn tx_lookup() {
+        let mut store = BlockStore::new();
+        let tx = dummy_tx(7);
+        let id = tx.tx_id;
+        store.append(make_block(0, Digest::ZERO, vec![tx])).unwrap();
+        let (found, valid) = store.find_tx(&id).unwrap();
+        assert_eq!(found.tx_id, id);
+        assert!(valid);
+        assert_eq!(store.tx_location(&id), Some((0, 0)));
+        assert!(store.find_tx(&TxId(sha256(b"nope"))).is_none());
+    }
+
+    #[test]
+    fn invalid_tx_flagged() {
+        let mut store = BlockStore::new();
+        let mut b = make_block(0, Digest::ZERO, vec![dummy_tx(1), dummy_tx(2)]);
+        b.validity = vec![true, false];
+        let id_invalid = b.transactions[1].tx_id;
+        store.append(b).unwrap();
+        assert_eq!(store.committed_tx_count(), 1);
+        let (_, valid) = store.find_tx(&id_invalid).unwrap();
+        assert!(!valid);
+    }
+
+    #[test]
+    fn tx_merkle_proof() {
+        let txs = vec![dummy_tx(1), dummy_tx(2), dummy_tx(3)];
+        let b = make_block(0, Digest::ZERO, txs);
+        let proof = b.prove_tx(1);
+        let root = b.header.data_hash;
+        assert!(crate::merkle::verify_inclusion(
+            &root,
+            &b.transactions[1].to_bytes(),
+            &crate::merkle::MerkleProof { steps: proof }
+        ));
+    }
+
+    #[test]
+    fn txid_list_round_trip() {
+        let ids: Vec<TxId> = (0..5u8).map(|i| TxId(sha256(&[i]))).collect();
+        let bytes = encode_txid_list(&ids);
+        assert_eq!(decode_txid_list(&bytes).unwrap(), ids);
+        assert!(decode_txid_list(&bytes[..bytes.len() - 1]).is_err());
+        assert_eq!(decode_txid_list(&encode_txid_list(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn validity_length_mismatch_rejected() {
+        let mut store = BlockStore::new();
+        let mut b = make_block(0, Digest::ZERO, vec![dummy_tx(1)]);
+        b.validity = vec![];
+        assert!(matches!(store.append(b), Err(FabricError::Malformed(_))));
+    }
+}

@@ -1,0 +1,57 @@
+//! A deterministic execute-order-validate permissioned blockchain — the
+//! Hyperledger Fabric equivalent substrate for the LedgerView reproduction.
+//!
+//! The paper implements LedgerView on Hyperledger Fabric 2.2 but notes
+//! (§5.1) that the design "does not rely on any feature that is unique to
+//! Fabric": it needs smart contracts, tamper-evident state, and the
+//! execute-order-validate lifecycle. This crate implements exactly that
+//! surface, from scratch:
+//!
+//! * [`identity`] — organisations, users and their MSP (Ed25519 identities
+//!   with org-signed certificates).
+//! * [`chaincode`] — the smart-contract trait and the transaction context
+//!   that records read/write sets during simulation (endorsement).
+//! * [`endorsement`] — endorsement policies and signed proposal responses.
+//! * [`raft`] — the ordering service's consensus: leader election and log
+//!   replication over the discrete-event network (the paper uses Raft
+//!   orderers).
+//! * [`ledger`] — blocks, the hash chain, transaction Merkle roots, and the
+//!   block store.
+//! * [`statedb`] — the versioned key-value state database (the LevelDB
+//!   equivalent) with MVCC version metadata and a Merkle state digest.
+//! * [`validation`] — MVCC read/write-set validation and commit.
+//! * [`privdata`] — private data collections (compared against in Fig 13).
+//! * [`channel`] — channels (the per-ledger isolation the paper contrasts
+//!   with views in §2).
+//! * [`chain`] — the synchronous single-process chain used for functional
+//!   tests and the examples.
+//! * [`network`] — the timed deployment on the discrete-event simulator
+//!   (peers, orderers, clients, regions) used by the benchmark harness.
+//! * [`merkle`] — Merkle trees with inclusion proofs.
+//! * [`wire`] — the deterministic binary codec used for everything that is
+//!   hashed or signed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod chaincode;
+pub mod channel;
+pub mod endorsement;
+pub mod error;
+pub mod identity;
+pub mod ledger;
+pub mod merkle;
+pub mod network;
+pub mod privdata;
+pub mod raft;
+pub mod statedb;
+pub mod validation;
+pub mod wire;
+
+pub use chain::FabricChain;
+pub use chaincode::{Chaincode, TxContext};
+pub use error::FabricError;
+pub use identity::{Identity, Msp, OrgId};
+pub use ledger::{Block, BlockHeader, BlockStore, TxId};
+pub use statedb::{StateDb, Version};

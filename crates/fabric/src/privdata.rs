@@ -1,0 +1,225 @@
+//! Private data collections — Fabric's built-in privacy feature that the
+//! paper compares against (Fig 13) and argues is insufficient (§2).
+//!
+//! A collection has a membership policy (the organisations whose peers may
+//! hold the data). Private values live in per-peer side databases; only the
+//! value hashes travel through ordering inside the read/write set, so peers
+//! outside the collection can verify but not read.
+
+use std::collections::HashMap;
+
+use ledgerview_crypto::sha256::{sha256, Digest};
+
+use crate::error::FabricError;
+use crate::identity::OrgId;
+
+/// Configuration of one private data collection.
+#[derive(Clone, Debug)]
+pub struct CollectionConfig {
+    /// Collection name.
+    pub name: String,
+    /// Organisations whose peers store the private values.
+    pub member_orgs: Vec<OrgId>,
+}
+
+/// The per-peer private state: values for collections this peer's org is a
+/// member of, keyed by (collection, key).
+#[derive(Default, Debug)]
+pub struct PrivateStore {
+    configs: HashMap<String, CollectionConfig>,
+    values: HashMap<(String, String), Vec<u8>>,
+}
+
+impl PrivateStore {
+    /// An empty store with no collections.
+    pub fn new() -> PrivateStore {
+        PrivateStore::default()
+    }
+
+    /// Register a collection.
+    ///
+    /// # Panics
+    /// Panics if the collection already exists (deployment-time error).
+    pub fn define_collection(&mut self, config: CollectionConfig) {
+        assert!(
+            !self.configs.contains_key(&config.name),
+            "collection {:?} already defined",
+            config.name
+        );
+        self.configs.insert(config.name.clone(), config);
+    }
+
+    /// Collection configuration by name.
+    pub fn config(&self, collection: &str) -> Option<&CollectionConfig> {
+        self.configs.get(collection)
+    }
+
+    /// Whether `org` may hold data of `collection`.
+    pub fn is_member(&self, collection: &str, org: &OrgId) -> bool {
+        self.configs
+            .get(collection)
+            .is_some_and(|c| c.member_orgs.contains(org))
+    }
+
+    /// Store a private value distributed to this peer (dissemination step).
+    pub fn put(
+        &mut self,
+        collection: &str,
+        key: &str,
+        value: Vec<u8>,
+        receiving_org: &OrgId,
+    ) -> Result<(), FabricError> {
+        if !self.is_member(collection, receiving_org) {
+            return Err(FabricError::AccessDenied(format!(
+                "org {receiving_org} is not a member of collection {collection:?}"
+            )));
+        }
+        self.values
+            .insert((collection.to_string(), key.to_string()), value);
+        Ok(())
+    }
+
+    /// Read a private value, enforcing collection membership of the reader.
+    pub fn get(
+        &self,
+        collection: &str,
+        key: &str,
+        reading_org: &OrgId,
+    ) -> Result<Option<&[u8]>, FabricError> {
+        if !self.is_member(collection, reading_org) {
+            return Err(FabricError::AccessDenied(format!(
+                "org {reading_org} is not a member of collection {collection:?}"
+            )));
+        }
+        Ok(self
+            .values
+            .get(&(collection.to_string(), key.to_string()))
+            .map(|v| v.as_slice()))
+    }
+
+    /// Verify that the stored private value matches an on-chain hash.
+    pub fn verify_against_hash(
+        &self,
+        collection: &str,
+        key: &str,
+        onchain_hash: &Digest,
+    ) -> Result<bool, FabricError> {
+        let value = self
+            .values
+            .get(&(collection.to_string(), key.to_string()))
+            .ok_or_else(|| {
+                FabricError::Malformed(format!("no private value for {collection}/{key}"))
+            })?;
+        Ok(sha256(value) == *onchain_hash)
+    }
+
+    /// Purge a private value (collections support purging — the on-chain
+    /// hash remains, the data is gone).
+    pub fn purge(&mut self, collection: &str, key: &str) {
+        self.values
+            .remove(&(collection.to_string(), key.to_string()));
+    }
+
+    /// Total bytes of stored private values (storage accounting).
+    pub fn size_bytes(&self) -> u64 {
+        self.values
+            .iter()
+            .map(|((c, k), v)| (c.len() + k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    /// Number of stored private values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no private values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_collection() -> PrivateStore {
+        let mut s = PrivateStore::new();
+        s.define_collection(CollectionConfig {
+            name: "collA".into(),
+            member_orgs: vec![OrgId::new("Org1"), OrgId::new("Org2")],
+        });
+        s
+    }
+
+    #[test]
+    fn member_can_write_and_read() {
+        let mut s = store_with_collection();
+        let org1 = OrgId::new("Org1");
+        s.put("collA", "k", b"secret".to_vec(), &org1).unwrap();
+        assert_eq!(s.get("collA", "k", &org1).unwrap(), Some(&b"secret"[..]));
+        assert_eq!(s.get("collA", "missing", &org1).unwrap(), None);
+    }
+
+    #[test]
+    fn non_member_denied() {
+        let mut s = store_with_collection();
+        let outsider = OrgId::new("Org3");
+        assert!(matches!(
+            s.put("collA", "k", b"x".to_vec(), &outsider),
+            Err(FabricError::AccessDenied(_))
+        ));
+        assert!(s.get("collA", "k", &outsider).is_err());
+    }
+
+    #[test]
+    fn unknown_collection_denied() {
+        let s = store_with_collection();
+        assert!(s.get("nope", "k", &OrgId::new("Org1")).is_err());
+        assert!(!s.is_member("nope", &OrgId::new("Org1")));
+    }
+
+    #[test]
+    fn hash_verification() {
+        let mut s = store_with_collection();
+        let org = OrgId::new("Org1");
+        s.put("collA", "k", b"value".to_vec(), &org).unwrap();
+        assert!(s
+            .verify_against_hash("collA", "k", &sha256(b"value"))
+            .unwrap());
+        assert!(!s
+            .verify_against_hash("collA", "k", &sha256(b"other"))
+            .unwrap());
+        assert!(s.verify_against_hash("collA", "absent", &sha256(b"x")).is_err());
+    }
+
+    #[test]
+    fn purge_removes_value_only() {
+        let mut s = store_with_collection();
+        let org = OrgId::new("Org1");
+        s.put("collA", "k", b"value".to_vec(), &org).unwrap();
+        assert_eq!(s.len(), 1);
+        s.purge("collA", "k");
+        assert_eq!(s.get("collA", "k", &org).unwrap(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already defined")]
+    fn duplicate_collection_panics() {
+        let mut s = store_with_collection();
+        s.define_collection(CollectionConfig {
+            name: "collA".into(),
+            member_orgs: vec![],
+        });
+    }
+
+    #[test]
+    fn size_accounting() {
+        let mut s = store_with_collection();
+        let org = OrgId::new("Org1");
+        assert_eq!(s.size_bytes(), 0);
+        s.put("collA", "k", vec![0u8; 64], &org).unwrap();
+        assert!(s.size_bytes() >= 64);
+    }
+}

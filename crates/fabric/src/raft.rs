@@ -1,0 +1,787 @@
+//! Raft consensus for the ordering service.
+//!
+//! The paper's deployment runs three orderers under Raft (§6,
+//! *Experimental setup*). This module implements the Raft log-replication
+//! protocol as a pure message-passing state machine: callers deliver
+//! messages and clock ticks, and collect outgoing messages — which makes the
+//! protocol deterministic under the discrete-event simulator and directly
+//! unit-testable (elections, replication, leader failure, partitions).
+//!
+//! Log entries are opaque bytes; the ordering service replicates serialized
+//! blocks through this log.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ledgerview_simnet::SimTime;
+
+/// Identifies a Raft node within its cluster.
+pub type NodeId = usize;
+
+/// A replicated log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Term in which the entry was appended by a leader.
+    pub term: u64,
+    /// Opaque payload (a serialized block).
+    pub data: Vec<u8>,
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug)]
+pub enum RaftMsg {
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Candidate id.
+        candidate: NodeId,
+        /// Index of candidate's last log entry (1-based, 0 = empty).
+        last_log_index: u64,
+        /// Term of candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Reply to a vote request.
+    VoteReply {
+        /// Voter's term.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries / heartbeats.
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// Leader id.
+        leader: NodeId,
+        /// Index of the entry preceding `entries` (1-based, 0 = none).
+        prev_log_index: u64,
+        /// Term of that entry.
+        prev_log_term: u64,
+        /// Entries to append (empty for heartbeat).
+        entries: Vec<LogEntry>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// Reply to AppendEntries.
+    AppendReply {
+        /// Follower's term.
+        term: u64,
+        /// Whether the entries matched and were appended.
+        success: bool,
+        /// On success, the follower's new last matching index.
+        match_index: u64,
+    },
+}
+
+/// An outgoing message with its destination.
+#[derive(Clone, Debug)]
+pub struct Outgoing {
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub msg: RaftMsg,
+}
+
+/// Protocol timing parameters.
+#[derive(Clone, Debug)]
+pub struct RaftConfig {
+    /// Minimum randomized election timeout.
+    pub election_timeout_min: SimTime,
+    /// Maximum randomized election timeout.
+    pub election_timeout_max: SimTime,
+    /// Leader heartbeat interval (must be well below the election timeout).
+    pub heartbeat_interval: SimTime,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min: SimTime::from_millis(150),
+            election_timeout_max: SimTime::from_millis(300),
+            heartbeat_interval: SimTime::from_millis(50),
+        }
+    }
+}
+
+/// Node role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Running an election.
+    Candidate,
+    /// The (unique per term) leader.
+    Leader,
+}
+
+/// One Raft participant.
+pub struct RaftNode {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    config: RaftConfig,
+    rng: StdRng,
+
+    role: Role,
+    current_term: u64,
+    voted_for: Option<NodeId>,
+    /// Log entries; logical index i (1-based) lives at `log[i-1]`.
+    log: Vec<LogEntry>,
+    /// Highest log index known committed.
+    commit_index: u64,
+    /// Highest log index handed to the application via `take_committed`.
+    applied_index: u64,
+
+    // Candidate state.
+    votes_granted: usize,
+
+    // Leader state (per peer).
+    next_index: Vec<u64>,
+    match_index: Vec<u64>,
+
+    election_deadline: SimTime,
+    heartbeat_due: SimTime,
+}
+
+impl RaftNode {
+    /// Create a node. `peers` lists the *other* cluster members.
+    pub fn new(
+        id: NodeId,
+        peers: Vec<NodeId>,
+        config: RaftConfig,
+        seed: u64,
+        now: SimTime,
+    ) -> RaftNode {
+        let mut node = RaftNode {
+            id,
+            peers,
+            config,
+            rng: StdRng::seed_from_u64(seed.wrapping_add(id as u64)),
+            role: Role::Follower,
+            current_term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            commit_index: 0,
+            applied_index: 0,
+            votes_granted: 0,
+            next_index: Vec::new(),
+            match_index: Vec::new(),
+            election_deadline: SimTime::ZERO,
+            heartbeat_due: SimTime::ZERO,
+        };
+        node.reset_election_deadline(now);
+        node
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Whether this node currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current term.
+    pub fn current_term(&self) -> u64 {
+        self.current_term
+    }
+
+    /// Index of the last log entry (1-based; 0 = empty log).
+    pub fn last_log_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Highest committed index.
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// The committed log prefix (for safety assertions in tests).
+    pub fn committed_entries(&self) -> &[LogEntry] {
+        &self.log[..self.commit_index as usize]
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(0)
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.peers.len() + 1
+    }
+
+    fn majority(&self) -> usize {
+        self.cluster_size() / 2 + 1
+    }
+
+    fn reset_election_deadline(&mut self, now: SimTime) {
+        let min = self.config.election_timeout_min.as_micros();
+        let max = self.config.election_timeout_max.as_micros();
+        let timeout = self.rng.random_range(min..=max);
+        self.election_deadline = now + SimTime::from_micros(timeout);
+    }
+
+    /// The earliest time at which `tick` could do something; drives event
+    /// scheduling in the simulator.
+    pub fn next_deadline(&self) -> SimTime {
+        match self.role {
+            Role::Leader => self.heartbeat_due,
+            _ => self.election_deadline,
+        }
+    }
+
+    /// Advance time: start elections / send heartbeats as deadlines pass.
+    pub fn tick(&mut self, now: SimTime) -> Vec<Outgoing> {
+        match self.role {
+            Role::Leader => {
+                if now >= self.heartbeat_due {
+                    self.heartbeat_due = now + self.config.heartbeat_interval;
+                    self.broadcast_append(now)
+                } else {
+                    Vec::new()
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if now >= self.election_deadline {
+                    self.start_election(now)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn start_election(&mut self, now: SimTime) -> Vec<Outgoing> {
+        self.role = Role::Candidate;
+        self.current_term += 1;
+        self.voted_for = Some(self.id);
+        self.votes_granted = 1;
+        self.reset_election_deadline(now);
+        let msg = RaftMsg::RequestVote {
+            term: self.current_term,
+            candidate: self.id,
+            last_log_index: self.last_log_index(),
+            last_log_term: self.last_log_term(),
+        };
+        if self.votes_granted >= self.majority() {
+            // Single-node cluster: win immediately.
+            return self.become_leader(now);
+        }
+        self.peers
+            .iter()
+            .map(|&to| Outgoing {
+                to,
+                msg: msg.clone(),
+            })
+            .collect()
+    }
+
+    fn become_leader(&mut self, now: SimTime) -> Vec<Outgoing> {
+        self.role = Role::Leader;
+        let last = self.last_log_index();
+        let n = self.peers.iter().copied().max().unwrap_or(0).max(self.id) + 1;
+        self.next_index = vec![last + 1; n];
+        self.match_index = vec![0; n];
+        self.heartbeat_due = now + self.config.heartbeat_interval;
+        self.broadcast_append(now)
+    }
+
+    fn step_down(&mut self, term: u64, now: SimTime) {
+        self.current_term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.reset_election_deadline(now);
+    }
+
+    fn append_for(&self, peer: NodeId) -> RaftMsg {
+        let next = self.next_index[peer];
+        let prev_log_index = next - 1;
+        let prev_log_term = if prev_log_index == 0 {
+            0
+        } else {
+            self.log[(prev_log_index - 1) as usize].term
+        };
+        let entries = self.log[(next - 1) as usize..].to_vec();
+        RaftMsg::AppendEntries {
+            term: self.current_term,
+            leader: self.id,
+            prev_log_index,
+            prev_log_term,
+            entries,
+            leader_commit: self.commit_index,
+        }
+    }
+
+    fn broadcast_append(&mut self, _now: SimTime) -> Vec<Outgoing> {
+        self.peers
+            .iter()
+            .map(|&to| Outgoing {
+                to,
+                msg: self.append_for(to),
+            })
+            .collect()
+    }
+
+    /// Propose a new entry. Only the leader accepts; returns the assigned
+    /// log index and the replication messages to send.
+    pub fn propose(&mut self, data: Vec<u8>, now: SimTime) -> Result<(u64, Vec<Outgoing>), NotLeader> {
+        if self.role != Role::Leader {
+            return Err(NotLeader);
+        }
+        self.log.push(LogEntry {
+            term: self.current_term,
+            data,
+        });
+        let index = self.last_log_index();
+        if self.cluster_size() == 1 {
+            self.commit_index = index;
+        }
+        self.heartbeat_due = now + self.config.heartbeat_interval;
+        Ok((index, self.broadcast_append(now)))
+    }
+
+    /// Handle an incoming message, producing replies.
+    pub fn handle(&mut self, from: NodeId, msg: RaftMsg, now: SimTime) -> Vec<Outgoing> {
+        match msg {
+            RaftMsg::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                if term > self.current_term {
+                    self.step_down(term, now);
+                }
+                let log_ok = (last_log_term, last_log_index)
+                    >= (self.last_log_term(), self.last_log_index());
+                let granted = term == self.current_term
+                    && log_ok
+                    && (self.voted_for.is_none() || self.voted_for == Some(candidate));
+                if granted {
+                    self.voted_for = Some(candidate);
+                    self.reset_election_deadline(now);
+                }
+                vec![Outgoing {
+                    to: from,
+                    msg: RaftMsg::VoteReply {
+                        term: self.current_term,
+                        granted,
+                    },
+                }]
+            }
+            RaftMsg::VoteReply { term, granted } => {
+                if term > self.current_term {
+                    self.step_down(term, now);
+                    return Vec::new();
+                }
+                if self.role == Role::Candidate && term == self.current_term && granted {
+                    self.votes_granted += 1;
+                    if self.votes_granted >= self.majority() {
+                        return self.become_leader(now);
+                    }
+                }
+                Vec::new()
+            }
+            RaftMsg::AppendEntries {
+                term,
+                leader: _,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => {
+                if term > self.current_term
+                    || (term == self.current_term && self.role == Role::Candidate)
+                {
+                    self.step_down(term, now);
+                }
+                if term < self.current_term {
+                    return vec![Outgoing {
+                        to: from,
+                        msg: RaftMsg::AppendReply {
+                            term: self.current_term,
+                            success: false,
+                            match_index: 0,
+                        },
+                    }];
+                }
+                // Valid leader for our term: stay/become follower.
+                self.role = Role::Follower;
+                self.reset_election_deadline(now);
+
+                // Log consistency check at prev_log_index.
+                let prev_ok = prev_log_index == 0
+                    || (prev_log_index <= self.last_log_index()
+                        && self.log[(prev_log_index - 1) as usize].term == prev_log_term);
+                if !prev_ok {
+                    return vec![Outgoing {
+                        to: from,
+                        msg: RaftMsg::AppendReply {
+                            term: self.current_term,
+                            success: false,
+                            match_index: 0,
+                        },
+                    }];
+                }
+                // Append, truncating conflicts.
+                let mut idx = prev_log_index;
+                for entry in entries {
+                    idx += 1;
+                    let pos = (idx - 1) as usize;
+                    if pos < self.log.len() {
+                        if self.log[pos].term != entry.term {
+                            self.log.truncate(pos);
+                            self.log.push(entry);
+                        }
+                        // Same term at same index: identical by Log Matching.
+                    } else {
+                        self.log.push(entry);
+                    }
+                }
+                let match_index = idx.max(prev_log_index);
+                if leader_commit > self.commit_index {
+                    self.commit_index = leader_commit.min(self.last_log_index());
+                }
+                vec![Outgoing {
+                    to: from,
+                    msg: RaftMsg::AppendReply {
+                        term: self.current_term,
+                        success: true,
+                        match_index,
+                    },
+                }]
+            }
+            RaftMsg::AppendReply {
+                term,
+                success,
+                match_index,
+            } => {
+                if term > self.current_term {
+                    self.step_down(term, now);
+                    return Vec::new();
+                }
+                if self.role != Role::Leader || term != self.current_term {
+                    return Vec::new();
+                }
+                if success {
+                    self.match_index[from] = self.match_index[from].max(match_index);
+                    self.next_index[from] = self.match_index[from] + 1;
+                    self.advance_commit();
+                    Vec::new()
+                } else {
+                    // Back off and retry immediately.
+                    self.next_index[from] = self.next_index[from].saturating_sub(1).max(1);
+                    vec![Outgoing {
+                        to: from,
+                        msg: self.append_for(from),
+                    }]
+                }
+            }
+        }
+    }
+
+    fn advance_commit(&mut self) {
+        for n in ((self.commit_index + 1)..=self.last_log_index()).rev() {
+            if self.log[(n - 1) as usize].term != self.current_term {
+                continue;
+            }
+            let mut count = 1; // self
+            for &p in &self.peers {
+                if self.match_index[p] >= n {
+                    count += 1;
+                }
+            }
+            if count >= self.majority() {
+                self.commit_index = n;
+                break;
+            }
+        }
+    }
+
+    /// Drain entries committed since the last call (application upcall).
+    pub fn take_committed(&mut self) -> Vec<(u64, LogEntry)> {
+        let mut out = Vec::new();
+        while self.applied_index < self.commit_index {
+            self.applied_index += 1;
+            out.push((
+                self.applied_index,
+                self.log[(self.applied_index - 1) as usize].clone(),
+            ));
+        }
+        out
+    }
+}
+
+/// Returned by [`RaftNode::propose`] on a non-leader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotLeader;
+
+impl std::fmt::Display for NotLeader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("not the raft leader")
+    }
+}
+
+impl std::error::Error for NotLeader {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// A test harness: N nodes, synchronous message delivery with optional
+    /// per-node isolation (crash / partition).
+    struct Cluster {
+        nodes: Vec<RaftNode>,
+        inbox: VecDeque<(NodeId, NodeId, RaftMsg)>,
+        isolated: Vec<bool>,
+        now: SimTime,
+    }
+
+    impl Cluster {
+        fn new(n: usize, seed: u64) -> Cluster {
+            let nodes = (0..n)
+                .map(|id| {
+                    let peers: Vec<NodeId> = (0..n).filter(|&p| p != id).collect();
+                    RaftNode::new(id, peers, RaftConfig::default(), seed, SimTime::ZERO)
+                })
+                .collect();
+            Cluster {
+                nodes,
+                inbox: VecDeque::new(),
+                isolated: vec![false; n],
+                now: SimTime::ZERO,
+            }
+        }
+
+        fn send_all(&mut self, from: NodeId, outs: Vec<Outgoing>) {
+            if self.isolated[from] {
+                return;
+            }
+            for o in outs {
+                if !self.isolated[o.to] {
+                    self.inbox.push_back((from, o.to, o.msg));
+                }
+            }
+        }
+
+        /// Advance time by `dt`, tick every node, and drain all messages.
+        fn step(&mut self, dt: SimTime) {
+            self.now += dt;
+            for id in 0..self.nodes.len() {
+                let outs = self.nodes[id].tick(self.now);
+                self.send_all(id, outs);
+            }
+            while let Some((from, to, msg)) = self.inbox.pop_front() {
+                let outs = self.nodes[to].handle(from, msg, self.now);
+                self.send_all(to, outs);
+            }
+        }
+
+        fn run_until_leader(&mut self, max_steps: usize) -> NodeId {
+            for _ in 0..max_steps {
+                self.step(SimTime::from_millis(10));
+                let leaders: Vec<NodeId> = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.is_leader() && !self.isolated[n.id()])
+                    .map(|n| n.id())
+                    .collect();
+                if leaders.len() == 1 {
+                    return leaders[0];
+                }
+            }
+            panic!("no leader elected");
+        }
+
+        fn leaders_in_term(&self, term: u64) -> Vec<NodeId> {
+            self.nodes
+                .iter()
+                .filter(|n| n.is_leader() && n.current_term() == term)
+                .map(|n| n.id())
+                .collect()
+        }
+
+        fn propose(&mut self, leader: NodeId, data: &[u8]) -> u64 {
+            let (idx, outs) = self.nodes[leader].propose(data.to_vec(), self.now).unwrap();
+            self.send_all(leader, outs);
+            while let Some((from, to, msg)) = self.inbox.pop_front() {
+                let outs = self.nodes[to].handle(from, msg, self.now);
+                self.send_all(to, outs);
+            }
+            idx
+        }
+    }
+
+    #[test]
+    fn single_leader_elected() {
+        let mut c = Cluster::new(3, 42);
+        let leader = c.run_until_leader(200);
+        let term = c.nodes[leader].current_term();
+        assert_eq!(c.leaders_in_term(term), vec![leader]);
+    }
+
+    #[test]
+    fn entries_replicate_and_commit() {
+        let mut c = Cluster::new(3, 7);
+        let leader = c.run_until_leader(200);
+        let idx = c.propose(leader, b"block-1");
+        assert_eq!(idx, 1);
+        // One more round so the leader's commit propagates to followers.
+        c.step(SimTime::from_millis(60));
+        for node in &mut c.nodes {
+            assert_eq!(node.commit_index(), 1, "node {}", node.id());
+            let committed = node.take_committed();
+            assert_eq!(committed.len(), 1);
+            assert_eq!(committed[0].1.data, b"block-1");
+        }
+    }
+
+    #[test]
+    fn committed_entries_survive_leader_failure() {
+        let mut c = Cluster::new(3, 11);
+        let leader = c.run_until_leader(200);
+        c.propose(leader, b"entry-A");
+        c.propose(leader, b"entry-B");
+        assert_eq!(c.nodes[leader].commit_index(), 2);
+
+        // Crash the leader; a new leader emerges with the committed log.
+        c.isolated[leader] = true;
+        let new_leader = c.run_until_leader(400);
+        assert_ne!(new_leader, leader);
+        assert!(c.nodes[new_leader].last_log_index() >= 2);
+        assert_eq!(c.nodes[new_leader].committed_entries().len().max(2), 2);
+        // The new leader can keep committing.
+        c.propose(new_leader, b"entry-C");
+        c.step(SimTime::from_millis(60));
+        assert!(c.nodes[new_leader].commit_index() >= 3);
+    }
+
+    #[test]
+    fn partitioned_follower_catches_up() {
+        let mut c = Cluster::new(3, 13);
+        let leader = c.run_until_leader(200);
+        let lagging = (0..3).find(|&i| i != leader).unwrap();
+        c.isolated[lagging] = true;
+        for i in 0..5 {
+            c.propose(leader, format!("e{i}").as_bytes());
+        }
+        assert_eq!(c.nodes[leader].commit_index(), 5);
+        assert_eq!(c.nodes[lagging].commit_index(), 0);
+
+        // Heal the partition; heartbeats bring the follower up to date.
+        c.isolated[lagging] = false;
+        for _ in 0..20 {
+            c.step(SimTime::from_millis(60));
+        }
+        assert_eq!(c.nodes[lagging].commit_index(), 5);
+        let data: Vec<Vec<u8>> = c.nodes[lagging]
+            .committed_entries()
+            .iter()
+            .map(|e| e.data.clone())
+            .collect();
+        assert_eq!(data[0], b"e0");
+        assert_eq!(data[4], b"e4");
+    }
+
+    #[test]
+    fn logs_agree_on_committed_prefix() {
+        // State Machine Safety: all nodes agree on committed entries.
+        let mut c = Cluster::new(5, 17);
+        let leader = c.run_until_leader(300);
+        for i in 0..10 {
+            c.propose(leader, format!("op{i}").as_bytes());
+        }
+        c.step(SimTime::from_millis(60));
+        let reference: Vec<Vec<u8>> = c.nodes[leader]
+            .committed_entries()
+            .iter()
+            .map(|e| e.data.clone())
+            .collect();
+        assert_eq!(reference.len(), 10);
+        for node in &c.nodes {
+            let prefix: Vec<Vec<u8>> = node
+                .committed_entries()
+                .iter()
+                .map(|e| e.data.clone())
+                .collect();
+            assert_eq!(&reference[..prefix.len()], prefix.as_slice());
+        }
+    }
+
+    #[test]
+    fn non_leader_rejects_proposals() {
+        let mut c = Cluster::new(3, 19);
+        let leader = c.run_until_leader(200);
+        let follower = (0..3).find(|&i| i != leader).unwrap();
+        assert!(matches!(
+            c.nodes[follower].propose(b"x".to_vec(), c.now),
+            Err(NotLeader)
+        ));
+    }
+
+    #[test]
+    fn single_node_cluster_self_commits() {
+        let mut node = RaftNode::new(0, vec![], RaftConfig::default(), 1, SimTime::ZERO);
+        let outs = node.tick(SimTime::from_millis(400));
+        assert!(outs.is_empty());
+        assert!(node.is_leader());
+        let (idx, _) = node.propose(b"solo".to_vec(), SimTime::from_millis(400)).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(node.commit_index(), 1);
+        assert_eq!(node.take_committed().len(), 1);
+    }
+
+    #[test]
+    fn stale_term_messages_ignored() {
+        let mut c = Cluster::new(3, 23);
+        let leader = c.run_until_leader(200);
+        let term = c.nodes[leader].current_term();
+        // A stale AppendEntries from an old term gets a failure reply and
+        // does not disturb the leader.
+        let outs = c.nodes[leader].handle(
+            (leader + 1) % 3,
+            RaftMsg::AppendEntries {
+                term: term - 1,
+                leader: (leader + 1) % 3,
+                prev_log_index: 0,
+                prev_log_term: 0,
+                entries: vec![],
+                leader_commit: 0,
+            },
+            c.now,
+        );
+        assert!(c.nodes[leader].is_leader());
+        assert!(matches!(
+            outs[0].msg,
+            RaftMsg::AppendReply { success: false, .. }
+        ));
+    }
+
+    #[test]
+    fn election_safety_randomized() {
+        // Many seeds: at most one leader per term, every time.
+        for seed in 0..20 {
+            let mut c = Cluster::new(5, seed);
+            for _ in 0..100 {
+                c.step(SimTime::from_millis(10));
+                let mut terms: Vec<u64> = c
+                    .nodes
+                    .iter()
+                    .filter(|n| n.is_leader())
+                    .map(|n| n.current_term())
+                    .collect();
+                terms.sort_unstable();
+                let len_before = terms.len();
+                terms.dedup();
+                assert_eq!(len_before, terms.len(), "two leaders in one term, seed {seed}");
+            }
+        }
+    }
+}

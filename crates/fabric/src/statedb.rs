@@ -1,0 +1,270 @@
+//! The versioned key-value state database — the substrate's LevelDB.
+//!
+//! Each key stores its latest value together with the [`Version`] (block
+//! number, transaction number) that last wrote it; MVCC validation compares
+//! read-set versions against these. A deterministic Merkle digest over the
+//! whole state (sorted by key) is recomputed per block and stored in the
+//! block header, which is what lets view data live safely in contract state
+//! (§5.2 of the paper).
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use ledgerview_crypto::sha256::Digest;
+
+use crate::merkle::{self, MerkleProof, MerkleTree};
+use crate::wire::Writer;
+
+/// The MVCC version of a committed value: which transaction in which block
+/// last wrote it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord, Default)]
+pub struct Version {
+    /// Block number of the writing transaction.
+    pub block_num: u64,
+    /// Index of the writing transaction within its block.
+    pub tx_num: u32,
+}
+
+impl Version {
+    /// Version (0, 0): used for pre-genesis bootstrap writes.
+    pub const GENESIS: Version = Version {
+        block_num: 0,
+        tx_num: 0,
+    };
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    value: Vec<u8>,
+    version: Version,
+}
+
+/// An in-memory versioned KV store with range scans and Merkle digests.
+#[derive(Clone, Debug, Default)]
+pub struct StateDb {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl StateDb {
+    /// An empty state database.
+    pub fn new() -> StateDb {
+        StateDb::default()
+    }
+
+    /// Latest value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).map(|e| e.value.as_slice())
+    }
+
+    /// Latest version for `key`, if present.
+    pub fn version(&self, key: &str) -> Option<Version> {
+        self.entries.get(key).map(|e| e.version)
+    }
+
+    /// Value and version together (what endorsement reads).
+    pub fn get_with_version(&self, key: &str) -> Option<(&[u8], Version)> {
+        self.entries.get(key).map(|e| (e.value.as_slice(), e.version))
+    }
+
+    /// Write `value` under `key` at `version`.
+    pub fn put(&mut self, key: String, value: Vec<u8>, version: Version) {
+        self.entries.insert(key, Entry { value, version });
+    }
+
+    /// Delete `key` (Fabric models deletes as writes of a tombstone; we
+    /// remove the entry, which also changes the state digest).
+    pub fn delete(&mut self, key: &str) {
+        self.entries.remove(key);
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Range scan over `[start, end)` in key order (like Fabric's
+    /// `GetStateByRange`).
+    pub fn range(&self, start: &str, end: &str) -> impl Iterator<Item = (&str, &[u8])> {
+        self.entries
+            .range::<str, _>((Bound::Included(start), Bound::Excluded(end)))
+            .map(|(k, e)| (k.as_str(), e.value.as_slice()))
+    }
+
+    /// All keys with the given prefix, in key order.
+    pub fn scan_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, &'a [u8])> {
+        self.entries
+            .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, e)| (k.as_str(), e.value.as_slice()))
+    }
+
+    /// Total bytes of keys + values (storage accounting for Fig 9).
+    pub fn size_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|(k, e)| (k.len() + e.value.len() + 12) as u64)
+            .sum()
+    }
+
+    fn leaf_bytes(key: &str, e: &Entry) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.string(key)
+            .bytes(&e.value)
+            .u64(e.version.block_num)
+            .u32(e.version.tx_num);
+        w.into_bytes()
+    }
+
+    /// Deterministic Merkle digest over the full state, sorted by key.
+    ///
+    /// Every peer that applied the same blocks computes the same digest;
+    /// this is the "state root" in block headers.
+    pub fn state_digest(&self) -> Digest {
+        let leaves: Vec<Vec<u8>> = self
+            .entries
+            .iter()
+            .map(|(k, e)| Self::leaf_bytes(k, e))
+            .collect();
+        MerkleTree::build(&leaves).root()
+    }
+
+    /// Produce an inclusion proof that `key` holds its current value under
+    /// the current state digest. Returns the proof and the leaf encoding.
+    pub fn prove(&self, key: &str) -> Option<(MerkleProof, Vec<u8>)> {
+        let index = self.entries.keys().position(|k| k == key)?;
+        let leaves: Vec<Vec<u8>> = self
+            .entries
+            .iter()
+            .map(|(k, e)| Self::leaf_bytes(k, e))
+            .collect();
+        let tree = MerkleTree::build(&leaves);
+        Some((tree.prove(index), leaves[index].clone()))
+    }
+
+    /// Verify an inclusion proof produced by [`StateDb::prove`] against a
+    /// state digest.
+    pub fn verify_proof(digest: &Digest, leaf: &[u8], proof: &MerkleProof) -> bool {
+        merkle::verify_inclusion(digest, leaf, proof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(b: u64, t: u32) -> Version {
+        Version {
+            block_num: b,
+            tx_num: t,
+        }
+    }
+
+    #[test]
+    fn put_get_version() {
+        let mut db = StateDb::new();
+        db.put("k1".into(), b"v1".to_vec(), v(1, 0));
+        assert_eq!(db.get("k1"), Some(&b"v1"[..]));
+        assert_eq!(db.version("k1"), Some(v(1, 0)));
+        assert_eq!(db.get("missing"), None);
+        assert_eq!(db.version("missing"), None);
+
+        db.put("k1".into(), b"v2".to_vec(), v(2, 3));
+        assert_eq!(db.get("k1"), Some(&b"v2"[..]));
+        assert_eq!(db.version("k1"), Some(v(2, 3)));
+    }
+
+    #[test]
+    fn delete_removes_key_and_changes_digest() {
+        let mut db = StateDb::new();
+        db.put("a".into(), b"1".to_vec(), v(1, 0));
+        db.put("b".into(), b"2".to_vec(), v(1, 1));
+        let before = db.state_digest();
+        db.delete("a");
+        assert_eq!(db.get("a"), None);
+        assert_ne!(db.state_digest(), before);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut db = StateDb::new();
+        for key in ["item~1", "item~2", "item~3", "view~a"] {
+            db.put(key.into(), b"x".to_vec(), v(1, 0));
+        }
+        let keys: Vec<&str> = db.range("item~", "item~~").map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["item~1", "item~2", "item~3"]);
+    }
+
+    #[test]
+    fn prefix_scan() {
+        let mut db = StateDb::new();
+        for key in ["view~v1~t1", "view~v1~t2", "view~v2~t1", "zz"] {
+            db.put(key.into(), b"x".to_vec(), v(1, 0));
+        }
+        let keys: Vec<&str> = db.scan_prefix("view~v1~").map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["view~v1~t1", "view~v1~t2"]);
+        assert_eq!(db.scan_prefix("absent~").count(), 0);
+    }
+
+    #[test]
+    fn digest_deterministic_and_order_independent() {
+        let mut a = StateDb::new();
+        a.put("x".into(), b"1".to_vec(), v(1, 0));
+        a.put("y".into(), b"2".to_vec(), v(1, 1));
+        let mut b = StateDb::new();
+        b.put("y".into(), b"2".to_vec(), v(1, 1));
+        b.put("x".into(), b"1".to_vec(), v(1, 0));
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn digest_depends_on_value_and_version() {
+        let mut a = StateDb::new();
+        a.put("x".into(), b"1".to_vec(), v(1, 0));
+        let base = a.state_digest();
+
+        let mut b = StateDb::new();
+        b.put("x".into(), b"2".to_vec(), v(1, 0));
+        assert_ne!(b.state_digest(), base, "value must affect digest");
+
+        let mut c = StateDb::new();
+        c.put("x".into(), b"1".to_vec(), v(2, 0));
+        assert_ne!(c.state_digest(), base, "version must affect digest");
+    }
+
+    #[test]
+    fn empty_digest_stable() {
+        assert_eq!(StateDb::new().state_digest(), StateDb::new().state_digest());
+    }
+
+    #[test]
+    fn inclusion_proofs() {
+        let mut db = StateDb::new();
+        for i in 0..10 {
+            db.put(format!("key-{i}"), format!("val-{i}").into_bytes(), v(1, i));
+        }
+        let digest = db.state_digest();
+        let (proof, leaf) = db.prove("key-4").unwrap();
+        assert!(StateDb::verify_proof(&digest, &leaf, &proof));
+        // Tampered leaf fails.
+        let mut bad = leaf.clone();
+        bad[10] ^= 1;
+        assert!(!StateDb::verify_proof(&digest, &bad, &proof));
+        // Missing key has no proof.
+        assert!(db.prove("absent").is_none());
+    }
+
+    #[test]
+    fn size_accounting_monotone() {
+        let mut db = StateDb::new();
+        let s0 = db.size_bytes();
+        db.put("key".into(), vec![0u8; 100], v(1, 0));
+        let s1 = db.size_bytes();
+        assert!(s1 > s0 + 100);
+    }
+}

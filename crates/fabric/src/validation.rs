@@ -1,0 +1,293 @@
+//! Block validation and commit: MVCC read-set checks and write application.
+//!
+//! Transactions in a block are validated in order. A transaction commits
+//! iff every key in its read set still has the version observed at
+//! endorsement time — earlier transactions *in the same block* that wrote a
+//! read key invalidate it too, exactly like Fabric's serializability check.
+
+use ledgerview_crypto::sha256::{sha256_concat, Digest};
+
+use crate::chaincode::RwSet;
+use crate::ledger::Transaction;
+use crate::merkle::MerkleTree;
+use crate::statedb::{StateDb, Version};
+use crate::wire::Writer;
+
+/// The per-transaction outcome of validating a block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxValidation {
+    /// Passed all checks; writes applied.
+    Valid,
+    /// A read-set version was stale.
+    MvccConflict {
+        /// The first conflicting key.
+        key: String,
+    },
+}
+
+impl TxValidation {
+    /// True for [`TxValidation::Valid`].
+    pub fn is_valid(&self) -> bool {
+        matches!(self, TxValidation::Valid)
+    }
+}
+
+/// Check a transaction's read set against the current state.
+fn mvcc_check(rwset: &RwSet, state: &StateDb) -> TxValidation {
+    for read in &rwset.reads {
+        let current = state.version(&read.key);
+        if current != read.version {
+            return TxValidation::MvccConflict {
+                key: read.key.clone(),
+            };
+        }
+    }
+    TxValidation::Valid
+}
+
+/// Apply a transaction's write set at the given version.
+fn apply_writes(rwset: &RwSet, state: &mut StateDb, version: Version) {
+    for write in &rwset.writes {
+        match &write.value {
+            Some(v) => state.put(write.key.clone(), v.clone(), version),
+            None => state.delete(&write.key),
+        }
+    }
+}
+
+/// Validate and commit a block's transactions against `state`.
+///
+/// Returns the per-transaction outcomes; valid transactions' writes are
+/// applied in order with versions `(block_num, tx_index)`.
+pub fn validate_and_commit_block(
+    transactions: &[Transaction],
+    state: &mut StateDb,
+    block_num: u64,
+) -> Vec<TxValidation> {
+    let mut outcomes = Vec::with_capacity(transactions.len());
+    for (i, tx) in transactions.iter().enumerate() {
+        let outcome = mvcc_check(&tx.rwset, state);
+        if outcome.is_valid() {
+            apply_writes(
+                &tx.rwset,
+                state,
+                Version {
+                    block_num,
+                    tx_num: i as u32,
+                },
+            );
+        }
+        outcomes.push(outcome);
+    }
+    outcomes
+}
+
+/// Rolling state root: `H(prev_root || merkle_root(valid writes))`.
+///
+/// Cheap to compute per block (it does not rescan the whole state) while
+/// still binding the full history of state transitions; full-state digests
+/// for proofs come from [`StateDb::state_digest`].
+pub fn next_state_root(
+    prev_root: &Digest,
+    transactions: &[Transaction],
+    outcomes: &[TxValidation],
+) -> Digest {
+    let mut leaves: Vec<Vec<u8>> = Vec::new();
+    for (tx, outcome) in transactions.iter().zip(outcomes) {
+        if !outcome.is_valid() {
+            continue;
+        }
+        for write in &tx.rwset.writes {
+            let mut w = Writer::new();
+            w.string(&write.key);
+            match &write.value {
+                Some(v) => {
+                    w.u8(1).bytes(v);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+            leaves.push(w.into_bytes());
+        }
+    }
+    let writes_root = MerkleTree::build(&leaves).root();
+    sha256_concat(&[prev_root.as_bytes(), writes_root.as_bytes()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::{ReadEntry, WriteEntry};
+    use crate::identity::Msp;
+    use crate::ledger::TxId;
+    use ledgerview_crypto::rng::seeded;
+    use ledgerview_crypto::sha256::sha256;
+
+    fn tx_with(reads: Vec<ReadEntry>, writes: Vec<WriteEntry>, n: u8) -> Transaction {
+        let mut rng = seeded(99);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1", &mut rng);
+        let id = msp.enroll(&org, "u", &mut rng).unwrap();
+        Transaction {
+            tx_id: TxId(sha256(&[n])),
+            chaincode: "cc".into(),
+            function: "f".into(),
+            args: vec![],
+            creator: id.cert().clone(),
+            rwset: RwSet {
+                reads,
+                writes,
+                private_writes: vec![],
+            },
+            response: vec![],
+            endorsements: vec![],
+        }
+    }
+
+    fn read(key: &str, version: Option<Version>) -> ReadEntry {
+        ReadEntry {
+            key: key.into(),
+            version,
+        }
+    }
+
+    fn write(key: &str, value: &[u8]) -> WriteEntry {
+        WriteEntry {
+            key: key.into(),
+            value: Some(value.to_vec()),
+        }
+    }
+
+    #[test]
+    fn fresh_write_commits() {
+        let mut state = StateDb::new();
+        let txs = vec![tx_with(vec![], vec![write("k", b"v")], 1)];
+        let outcomes = validate_and_commit_block(&txs, &mut state, 1);
+        assert!(outcomes[0].is_valid());
+        assert_eq!(state.get("k"), Some(&b"v"[..]));
+        assert_eq!(
+            state.version("k"),
+            Some(Version {
+                block_num: 1,
+                tx_num: 0
+            })
+        );
+    }
+
+    #[test]
+    fn stale_read_conflicts() {
+        let mut state = StateDb::new();
+        state.put("k".into(), b"v0".to_vec(), Version::GENESIS);
+        // Transaction read version (5,0) but state has GENESIS.
+        let txs = vec![tx_with(
+            vec![read(
+                "k",
+                Some(Version {
+                    block_num: 5,
+                    tx_num: 0,
+                }),
+            )],
+            vec![write("k", b"v1")],
+            1,
+        )];
+        let outcomes = validate_and_commit_block(&txs, &mut state, 6);
+        assert_eq!(
+            outcomes[0],
+            TxValidation::MvccConflict { key: "k".into() }
+        );
+        // Writes not applied.
+        assert_eq!(state.get("k"), Some(&b"v0"[..]));
+    }
+
+    #[test]
+    fn read_of_absent_key_validates_against_absence() {
+        let mut state = StateDb::new();
+        let txs = vec![tx_with(vec![read("k", None)], vec![write("k", b"v")], 1)];
+        let outcomes = validate_and_commit_block(&txs, &mut state, 1);
+        assert!(outcomes[0].is_valid());
+
+        // Second transaction that also read "absent" must now conflict.
+        let txs2 = vec![tx_with(vec![read("k", None)], vec![write("k", b"w")], 2)];
+        let outcomes2 = validate_and_commit_block(&txs2, &mut state, 2);
+        assert!(!outcomes2[0].is_valid());
+    }
+
+    #[test]
+    fn intra_block_write_write_conflict() {
+        // Two transactions in one block read the same key version and both
+        // write it: the first commits, the second sees the first's new
+        // version and is invalidated.
+        let mut state = StateDb::new();
+        state.put("k".into(), b"v0".to_vec(), Version::GENESIS);
+        let txs = vec![
+            tx_with(
+                vec![read("k", Some(Version::GENESIS))],
+                vec![write("k", b"a")],
+                1,
+            ),
+            tx_with(
+                vec![read("k", Some(Version::GENESIS))],
+                vec![write("k", b"b")],
+                2,
+            ),
+        ];
+        let outcomes = validate_and_commit_block(&txs, &mut state, 1);
+        assert!(outcomes[0].is_valid());
+        assert!(!outcomes[1].is_valid());
+        assert_eq!(state.get("k"), Some(&b"a"[..]));
+    }
+
+    #[test]
+    fn blind_writes_do_not_conflict() {
+        // No reads: both transactions commit, last write wins.
+        let mut state = StateDb::new();
+        let txs = vec![
+            tx_with(vec![], vec![write("k", b"a")], 1),
+            tx_with(vec![], vec![write("k", b"b")], 2),
+        ];
+        let outcomes = validate_and_commit_block(&txs, &mut state, 1);
+        assert!(outcomes.iter().all(|o| o.is_valid()));
+        assert_eq!(state.get("k"), Some(&b"b"[..]));
+        assert_eq!(
+            state.version("k"),
+            Some(Version {
+                block_num: 1,
+                tx_num: 1
+            })
+        );
+    }
+
+    #[test]
+    fn deletes_apply() {
+        let mut state = StateDb::new();
+        state.put("k".into(), b"v".to_vec(), Version::GENESIS);
+        let txs = vec![tx_with(
+            vec![],
+            vec![WriteEntry {
+                key: "k".into(),
+                value: None,
+            }],
+            1,
+        )];
+        validate_and_commit_block(&txs, &mut state, 1);
+        assert_eq!(state.get("k"), None);
+    }
+
+    #[test]
+    fn state_root_rolls_forward() {
+        let mut state = StateDb::new();
+        let txs = vec![tx_with(vec![], vec![write("k", b"v")], 1)];
+        let outcomes = validate_and_commit_block(&txs, &mut state, 1);
+        let r1 = next_state_root(&Digest::ZERO, &txs, &outcomes);
+        assert_ne!(r1, Digest::ZERO);
+        // Same writes from a different previous root give a different root.
+        let r2 = next_state_root(&r1, &txs, &outcomes);
+        assert_ne!(r1, r2);
+        // Invalid transactions do not contribute.
+        let conflicted = vec![TxValidation::MvccConflict { key: "k".into() }];
+        let r3 = next_state_root(&Digest::ZERO, &txs, &conflicted);
+        let r_empty = next_state_root(&Digest::ZERO, &[], &[]);
+        assert_eq!(r3, r_empty);
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic binary codec.
+//!
+//! Everything that is hashed or signed (transactions, block headers,
+//! read/write sets) must serialize identically on every peer, so the
+//! substrate uses this hand-written length-prefixed codec instead of a
+//! general serialization framework whose output could drift between
+//! versions.
+
+use crate::error::FabricError;
+
+/// Append-only encoder producing canonical bytes.
+#[derive(Default, Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A new empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Finish and return the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u32` (big-endian).
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a `u64` (big-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("payload < 4 GiB"));
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append a fixed-size array without a length prefix.
+    pub fn array<const N: usize>(&mut self, v: &[u8; N]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential decoder over canonical bytes.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FabricError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FabricError::Malformed("unexpected end of input".into()));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, FabricError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, FabricError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, FabricError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, FabricError> {
+        let len = self.u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, FabricError> {
+        String::from_utf8(self.bytes()?)
+            .map_err(|_| FabricError::Malformed("invalid UTF-8".into()))
+    }
+
+    /// Read a fixed-size array (no length prefix).
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], FabricError> {
+        Ok(self.take(N)?.try_into().expect("N bytes"))
+    }
+
+    /// Whether all input has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Error unless all input was consumed (reject trailing garbage).
+    pub fn finish(&self) -> Result<(), FabricError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(FabricError::Malformed("trailing bytes".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7)
+            .u32(0xdead_beef)
+            .u64(42)
+            .bytes(b"hello")
+            .string("wörld")
+            .array(&[1u8, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.string().unwrap(), "wörld");
+        assert_eq!(r.array::<3>().unwrap(), [1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut w = Writer::new();
+        w.bytes(b"hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..bytes.len() - 1]);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+        r.u8().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.string().is_err());
+    }
+
+    #[test]
+    fn length_prefix_lies_rejected() {
+        // A length prefix longer than the remaining input.
+        let mut w = Writer::new();
+        w.u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn empty_collections() {
+        let mut w = Writer::new();
+        assert!(w.is_empty());
+        w.bytes(b"").string("");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.bytes().unwrap(), Vec::<u8>::new());
+        assert_eq!(r.string().unwrap(), "");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let encode = || {
+            let mut w = Writer::new();
+            w.string("key").bytes(b"value").u64(9);
+            w.into_bytes()
+        };
+        assert_eq!(encode(), encode());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the blockchain substrate.
+
+use fabric_sim::merkle::{verify_inclusion, MerkleTree};
+use fabric_sim::statedb::{StateDb, Version};
+use fabric_sim::wire::{Reader, Writer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every leaf of every random tree proves under the root; mutated
+    /// values fail.
+    #[test]
+    fn merkle_all_leaves_prove(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..40)
+    ) {
+        let tree = MerkleTree::build(&leaves);
+        let root = tree.root();
+        prop_assert_eq!(tree.len(), leaves.len());
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.prove(i);
+            prop_assert!(verify_inclusion(&root, leaf, &proof), "leaf {}", i);
+            let mut bad = leaf.clone();
+            bad.push(1);
+            prop_assert!(!verify_inclusion(&root, &bad, &proof));
+        }
+    }
+
+    /// The state digest is a pure function of contents, regardless of
+    /// insertion order, and sensitive to every entry.
+    #[test]
+    fn statedb_digest_properties(
+        entries in proptest::collection::btree_map("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..16), 1..20)
+    ) {
+        let mut forward = StateDb::new();
+        for (i, (k, v)) in entries.iter().enumerate() {
+            forward.put(k.clone(), v.clone(), Version { block_num: i as u64, tx_num: 0 });
+        }
+        let mut backward = StateDb::new();
+        for (i, (k, v)) in entries.iter().enumerate().collect::<Vec<_>>().into_iter().rev() {
+            backward.put(k.clone(), v.clone(), Version { block_num: i as u64, tx_num: 0 });
+        }
+        prop_assert_eq!(forward.state_digest(), backward.state_digest());
+
+        // Removing any entry changes the digest.
+        let full = forward.state_digest();
+        for k in entries.keys() {
+            let mut reduced = forward.clone();
+            reduced.delete(k);
+            prop_assert_ne!(reduced.state_digest(), full);
+        }
+    }
+
+    /// State inclusion proofs verify for every key and fail for tampered
+    /// leaves.
+    #[test]
+    fn statedb_proofs(
+        entries in proptest::collection::btree_map("[a-z]{1,6}", proptest::collection::vec(any::<u8>(), 1..16), 1..12)
+    ) {
+        let mut db = StateDb::new();
+        for (k, v) in &entries {
+            db.put(k.clone(), v.clone(), Version::GENESIS);
+        }
+        let digest = db.state_digest();
+        for k in entries.keys() {
+            let (proof, leaf) = db.prove(k).unwrap();
+            prop_assert!(StateDb::verify_proof(&digest, &leaf, &proof));
+            let mut bad = leaf.clone();
+            bad[0] ^= 0xFF;
+            prop_assert!(!StateDb::verify_proof(&digest, &bad, &proof));
+        }
+    }
+
+    /// Wire writer/reader round-trips arbitrary record sequences.
+    #[test]
+    fn wire_sequences(records in proptest::collection::vec(
+        (any::<u8>(), any::<u32>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..16)
+    ) {
+        let mut w = Writer::new();
+        for (a, b, c, d) in &records {
+            w.u8(*a).u32(*b).u64(*c).bytes(d);
+        }
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        for (a, b, c, d) in &records {
+            prop_assert_eq!(r.u8().unwrap(), *a);
+            prop_assert_eq!(r.u32().unwrap(), *b);
+            prop_assert_eq!(r.u64().unwrap(), *c);
+            prop_assert_eq!(&r.bytes().unwrap(), d);
+        }
+        r.finish().unwrap();
+    }
+
+    /// Truncating canonical bytes at any point never panics, only errors
+    /// (decoder robustness).
+    #[test]
+    fn wire_truncation_robustness(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in any::<usize>(),
+    ) {
+        let mut w = Writer::new();
+        w.u64(7).bytes(&payload).string("tail");
+        let bytes = w.into_bytes();
+        let cut = cut % bytes.len().max(1);
+        let mut r = Reader::new(&bytes[..cut]);
+        // Either succeeds on prefix fields or errors; must not panic.
+        let _ = r.u64().and_then(|_| r.bytes()).and_then(|_| r.string());
+    }
+}

@@ -1,0 +1,150 @@
+//! The virtual clock: [`SimTime`] instants and durations in microseconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in microseconds since the start of the
+/// simulation.
+///
+/// `SimTime` doubles as a duration type (the paper's measurements are all
+/// relative intervals), with saturating arithmetic so misconfigured
+/// experiments fail loudly rather than wrapping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable time; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Value in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Value in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction, returning a duration.
+    pub fn saturating_sub(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scale a duration by an integer factor.
+    pub fn scaled(self, factor: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime underflow");
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}µs", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimTime::from_millis(2500).as_secs_f64(), 2.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!((a + b).as_micros(), 14_000);
+        assert_eq!((a - b).as_micros(), 6_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(b.scaled(3).as_micros(), 12_000);
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX.scaled(2), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(SimTime::from_micros(5).to_string(), "5µs");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimTime::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(SimTime::ZERO, SimTime::default());
+    }
+}

@@ -1,0 +1,253 @@
+//! The event queue: schedule closures at virtual times and run them in
+//! deterministic order.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimTime;
+
+/// An event handler: runs against the world state and may schedule further
+/// events.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Simulation<W>)>;
+
+struct Scheduled<W> {
+    time: SimTime,
+    seq: u64,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Ties broken by insertion order for determinism.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A discrete-event simulation over world state `W`.
+///
+/// The simulation owns the virtual clock and the pending-event queue; the
+/// world state is threaded through every handler, so handlers never fight
+/// the borrow checker over shared simulation internals.
+///
+/// ```
+/// use ledgerview_simnet::{Simulation, SimTime};
+///
+/// let mut sim: Simulation<Vec<u64>> = Simulation::new();
+/// sim.schedule_at(SimTime::from_millis(5), |log, sim| {
+///     log.push(sim.now().as_micros());
+/// });
+/// let mut log = Vec::new();
+/// sim.run(&mut log);
+/// assert_eq!(log, vec![5_000]);
+/// ```
+pub struct Simulation<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    executed: u64,
+}
+
+impl<W> Default for Simulation<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Simulation<W> {
+    /// Create an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past — an event cannot rewind the clock.
+    pub fn schedule_at<F>(&mut self, time: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Simulation<W>) + 'static,
+    {
+        assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq,
+            f: Box::new(f),
+        }));
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimTime, f: F)
+    where
+        F: FnOnce(&mut W, &mut Simulation<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, f);
+    }
+
+    /// Run events until the queue is empty.
+    pub fn run(&mut self, world: &mut W) {
+        self.run_until(world, SimTime::MAX);
+    }
+
+    /// Run events with time ≤ `end`; afterwards `now() == end` unless the
+    /// queue emptied earlier (then `now()` is the last event time).
+    pub fn run_until(&mut self, world: &mut W, end: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > end {
+                self.now = end;
+                return;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.f)(world, self);
+        }
+        if end != SimTime::MAX {
+            self.now = self.now.max(end);
+        }
+    }
+
+    /// Run at most `n` more events (for step-debugging tests).
+    pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut done = 0;
+        while done < n {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                break;
+            };
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.f)(world, self);
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(30), |log, _| log.push(3));
+        sim.schedule_at(SimTime::from_millis(10), |log, _| log.push(1));
+        sim.schedule_at(SimTime::from_millis(20), |log, _| log.push(2));
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        let t = SimTime::from_millis(1);
+        for i in 0..10 {
+            sim.schedule_at(t, move |log, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim: Simulation<Vec<u64>> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(1), |_, sim| {
+            sim.schedule_in(SimTime::from_millis(5), |log: &mut Vec<u64>, sim| {
+                log.push(sim.now().as_micros());
+            });
+        });
+        let mut log = Vec::new();
+        sim.run(&mut log);
+        assert_eq!(log, vec![6_000]);
+    }
+
+    #[test]
+    fn run_until_stops_at_boundary() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(5), |log, _| log.push(1));
+        sim.schedule_at(SimTime::from_millis(15), |log, _| log.push(2));
+        let mut log = Vec::new();
+        sim.run_until(&mut log, SimTime::from_millis(10));
+        assert_eq!(log, vec![1]);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        assert_eq!(sim.events_pending(), 1);
+        sim.run(&mut log);
+        assert_eq!(log, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule_at(SimTime::from_millis(10), |_, sim| {
+            sim.schedule_at(SimTime::from_millis(5), |_, _| {});
+        });
+        sim.run(&mut ());
+    }
+
+    #[test]
+    fn recursive_clock_ticks() {
+        // A self-rescheduling event: the pattern used for block cutting.
+        fn tick(count: &mut u32, sim: &mut Simulation<u32>) {
+            *count += 1;
+            if *count < 5 {
+                sim.schedule_in(SimTime::from_secs(1), |c, s| tick(c, s));
+            }
+        }
+        let mut sim: Simulation<u32> = Simulation::new();
+        sim.schedule_at(SimTime::ZERO, |c, s| tick(c, s));
+        let mut count = 0;
+        sim.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(sim.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn step_limits_execution() {
+        let mut sim: Simulation<Vec<u32>> = Simulation::new();
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_millis(i as u64), move |log, _| log.push(i));
+        }
+        let mut log = Vec::new();
+        assert_eq!(sim.step(&mut log, 2), 2);
+        assert_eq!(log, vec![0, 1]);
+        assert_eq!(sim.step(&mut log, 10), 3);
+    }
+}

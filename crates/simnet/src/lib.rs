@@ -1,0 +1,32 @@
+//! Discrete-event network simulation substrate.
+//!
+//! The paper evaluates LedgerView on a Hyperledger Fabric network deployed
+//! across three Google Cloud regions. This crate provides the equivalent
+//! laboratory: a deterministic discrete-event simulator with
+//!
+//! * a virtual clock ([`SimTime`]) and an event queue ([`Simulation`]),
+//! * a region/latency topology modelled on the paper's GCP deployment
+//!   ([`topology`]),
+//! * FIFO queueing stations that turn per-item service times into realistic
+//!   saturation behaviour ([`station`]), and
+//! * latency/throughput recorders used by the benchmark harness
+//!   ([`stats`]).
+//!
+//! All computation in the blockchain substrate happens for real; only *time*
+//! is virtual, so experiments are reproducible and independent of the host
+//! machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod station;
+pub mod stats;
+pub mod topology;
+
+pub use clock::SimTime;
+pub use event::Simulation;
+pub use station::FifoStation;
+pub use stats::{LatencyRecorder, ThroughputRecorder};
+pub use topology::{LatencyMatrix, Region};

@@ -1,0 +1,163 @@
+//! FIFO queueing stations.
+//!
+//! A station models a resource that serves jobs one at a time (a peer's
+//! validation pipeline, an orderer's consensus loop, a chaincode executor).
+//! Jobs that arrive while the station is busy queue up; completion times
+//! are computed analytically, so no per-queue-slot events are needed.
+//! This is what produces the paper's saturation curves: past the knee,
+//! latency grows with queue depth while throughput stays flat.
+
+use crate::clock::SimTime;
+
+/// A single-server FIFO queue with deterministic service times.
+#[derive(Clone, Debug)]
+pub struct FifoStation {
+    /// Time at which the server becomes free.
+    busy_until: SimTime,
+    /// Total jobs served.
+    served: u64,
+    /// Total busy time accumulated (for utilization accounting).
+    busy_time: SimTime,
+    /// Optional bound on queue delay; jobs whose queueing delay would
+    /// exceed this are rejected (models overload shedding / timeouts).
+    max_queue_delay: Option<SimTime>,
+}
+
+impl Default for FifoStation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FifoStation {
+    /// An idle station with an unbounded queue.
+    pub fn new() -> FifoStation {
+        FifoStation {
+            busy_until: SimTime::ZERO,
+            served: 0,
+            busy_time: SimTime::ZERO,
+            max_queue_delay: None,
+        }
+    }
+
+    /// An idle station that rejects jobs whose queueing delay would exceed
+    /// `bound`.
+    pub fn with_max_queue_delay(bound: SimTime) -> FifoStation {
+        FifoStation {
+            max_queue_delay: Some(bound),
+            ..FifoStation::new()
+        }
+    }
+
+    /// Submit a job arriving at `now` needing `service` time.
+    ///
+    /// Returns the completion time, or `None` if the job was shed because
+    /// the queue bound would be exceeded.
+    pub fn submit(&mut self, now: SimTime, service: SimTime) -> Option<SimTime> {
+        let start = self.busy_until.max(now);
+        if let Some(bound) = self.max_queue_delay {
+            if start.saturating_sub(now) > bound {
+                return None;
+            }
+        }
+        let done = start + service;
+        self.busy_until = done;
+        self.served += 1;
+        self.busy_time += service;
+        Some(done)
+    }
+
+    /// Current queueing delay a job arriving at `now` would experience.
+    pub fn backlog(&self, now: SimTime) -> SimTime {
+        self.busy_until.saturating_sub(now)
+    }
+
+    /// Whether the station is idle at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Total jobs served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Fraction of `horizon` the station spent busy.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_time.as_micros() as f64 / horizon.as_micros() as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: fn(u64) -> SimTime = SimTime::from_millis;
+
+    #[test]
+    fn idle_station_serves_immediately() {
+        let mut s = FifoStation::new();
+        assert_eq!(s.submit(MS(10), MS(5)), Some(MS(15)));
+        assert!(s.is_idle(MS(15)));
+        assert!(!s.is_idle(MS(14)));
+    }
+
+    #[test]
+    fn jobs_queue_fifo() {
+        let mut s = FifoStation::new();
+        assert_eq!(s.submit(MS(0), MS(10)), Some(MS(10)));
+        // Arrives while busy: queued behind the first.
+        assert_eq!(s.submit(MS(1), MS(10)), Some(MS(20)));
+        assert_eq!(s.submit(MS(2), MS(10)), Some(MS(30)));
+        assert_eq!(s.backlog(MS(2)), MS(28));
+        assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn gap_between_jobs_resets_queue() {
+        let mut s = FifoStation::new();
+        s.submit(MS(0), MS(5));
+        // Arrives after the first completed: no queueing.
+        assert_eq!(s.submit(MS(100), MS(5)), Some(MS(105)));
+        assert_eq!(s.backlog(MS(200)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturation_grows_latency_not_throughput() {
+        // Offered load 2x capacity: completion times fall behind arrivals
+        // linearly — the shape behind Fig 5's latency blow-up.
+        let mut s = FifoStation::new();
+        let mut last_latency = SimTime::ZERO;
+        for i in 0..100u64 {
+            let arrive = SimTime::from_millis(i * 5);
+            let done = s.submit(arrive, MS(10)).unwrap();
+            last_latency = done.saturating_sub(arrive);
+        }
+        // Latency grew to ~100 jobs * 5ms backlog each.
+        assert!(last_latency > MS(400), "latency was {last_latency}");
+        // But the server completed one job per 10 ms regardless.
+        assert_eq!(s.served(), 100);
+    }
+
+    #[test]
+    fn overload_shedding() {
+        let mut s = FifoStation::with_max_queue_delay(MS(20));
+        assert!(s.submit(MS(0), MS(10)).is_some());
+        assert!(s.submit(MS(0), MS(10)).is_some()); // queue delay 10
+        assert!(s.submit(MS(0), MS(10)).is_some()); // queue delay 20
+        assert!(s.submit(MS(0), MS(10)).is_none()); // queue delay 30 > 20
+        assert_eq!(s.served(), 3);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut s = FifoStation::new();
+        s.submit(MS(0), MS(25));
+        s.submit(MS(50), MS(25));
+        assert!((s.utilization(MS(100)) - 0.5).abs() < 1e-9);
+        assert_eq!(s.utilization(SimTime::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Measurement recorders used by the benchmark harness: request latency
+//! distributions and committed-transaction throughput.
+
+use crate::clock::SimTime;
+
+/// Collects latency samples and reports summary statistics.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<SimTime>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean latency in milliseconds (0 if empty).
+    pub fn mean_millis(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.samples.iter().map(|s| s.as_micros()).sum();
+        sum as f64 / self.samples.len() as f64 / 1_000.0
+    }
+
+    /// The `q`-quantile latency in milliseconds (nearest-rank; 0 if empty).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile_millis(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1].as_millis_f64()
+    }
+
+    /// Maximum latency in milliseconds (0 if empty).
+    pub fn max_millis(&self) -> f64 {
+        self.samples
+            .iter()
+            .max()
+            .map(|s| s.as_millis_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Counts committed operations and reports throughput over the measured
+/// window.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputRecorder {
+    committed: u64,
+    first: Option<SimTime>,
+    last: Option<SimTime>,
+}
+
+impl ThroughputRecorder {
+    /// An empty recorder.
+    pub fn new() -> ThroughputRecorder {
+        ThroughputRecorder::default()
+    }
+
+    /// Record one committed operation at virtual time `at`.
+    pub fn record(&mut self, at: SimTime) {
+        self.committed += 1;
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        self.last = Some(self.last.map_or(at, |l| l.max(at)));
+    }
+
+    /// Total committed operations.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Throughput in operations per second over the explicit measurement
+    /// window `[start, end]`.
+    pub fn tps_over(&self, start: SimTime, end: SimTime) -> f64 {
+        let window = end.saturating_sub(start).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / window
+    }
+
+    /// Throughput over the span between first and last committed operation.
+    pub fn tps(&self) -> f64 {
+        match (self.first, self.last) {
+            (Some(f), Some(l)) if l > f => self.committed as f64 / (l - f).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_statistics() {
+        let mut r = LatencyRecorder::new();
+        for ms in [10u64, 20, 30, 40, 50] {
+            r.record(SimTime::from_millis(ms));
+        }
+        assert_eq!(r.count(), 5);
+        assert!((r.mean_millis() - 30.0).abs() < 1e-9);
+        assert!((r.quantile_millis(0.5) - 30.0).abs() < 1e-9);
+        assert!((r.quantile_millis(1.0) - 50.0).abs() < 1e-9);
+        assert!((r.max_millis() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_recorders_report_zero() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.mean_millis(), 0.0);
+        assert_eq!(r.quantile_millis(0.99), 0.0);
+        let t = ThroughputRecorder::new();
+        assert_eq!(t.tps(), 0.0);
+        assert_eq!(t.committed(), 0);
+    }
+
+    #[test]
+    fn throughput_over_window() {
+        let mut t = ThroughputRecorder::new();
+        for i in 0..100 {
+            t.record(SimTime::from_millis(i * 10));
+        }
+        // 100 ops over [0, 990 ms] span.
+        assert!((t.tps() - 100.0 / 0.99).abs() < 1e-6);
+        // Explicit 2-second window.
+        assert!((t.tps_over(SimTime::ZERO, SimTime::from_secs(2)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn quantile_out_of_range_panics() {
+        let mut r = LatencyRecorder::new();
+        r.record(SimTime::from_millis(1));
+        r.quantile_millis(1.5);
+    }
+}

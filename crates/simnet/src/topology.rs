@@ -1,0 +1,146 @@
+//! Geographic topology: regions and the one-way latency matrix.
+//!
+//! The paper deploys two peers in `europe-north1-a` and
+//! `northamerica-northeast1-a` and three orderers in `asia-southeast1-a`
+//! (§6, *Experimental setup*), and compares against a single-region
+//! deployment (Fig 7). Latencies here are one-way microsecond figures
+//! derived from published GCP inter-region round-trip times.
+
+use crate::clock::SimTime;
+
+/// A deployment region. The named constants match the paper's setup; any
+/// number of additional regions can be expressed with [`Region`] values.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Region(pub u8);
+
+impl Region {
+    /// `europe-north1-a` (peer 1 in the paper).
+    pub const EUROPE_NORTH: Region = Region(0);
+    /// `northamerica-northeast1-a` (peer 2 in the paper).
+    pub const NA_NORTHEAST: Region = Region(1);
+    /// `asia-southeast1-a` (the three orderers in the paper).
+    pub const ASIA_SOUTHEAST: Region = Region(2);
+}
+
+/// One-way latencies between regions, plus a LAN latency within a region.
+#[derive(Clone, Debug)]
+pub struct LatencyMatrix {
+    /// `latency[a][b]` = one-way latency from region a to region b.
+    matrix: Vec<Vec<SimTime>>,
+}
+
+impl LatencyMatrix {
+    /// Build from an explicit square matrix (entries are one-way latencies;
+    /// the diagonal is the intra-region latency).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn new(matrix: Vec<Vec<SimTime>>) -> LatencyMatrix {
+        for row in &matrix {
+            assert_eq!(row.len(), matrix.len(), "latency matrix must be square");
+        }
+        LatencyMatrix { matrix }
+    }
+
+    /// A uniform matrix: every pair of distinct regions has latency
+    /// `inter`, intra-region traffic has latency `intra`.
+    pub fn uniform(regions: usize, intra: SimTime, inter: SimTime) -> LatencyMatrix {
+        let matrix = (0..regions)
+            .map(|a| {
+                (0..regions)
+                    .map(|b| if a == b { intra } else { inter })
+                    .collect()
+            })
+            .collect();
+        LatencyMatrix { matrix }
+    }
+
+    /// The paper's multi-region deployment: Europe, North America, Asia.
+    ///
+    /// One-way latencies from typical GCP RTT measurements:
+    /// EU↔NA ≈ 100 ms RTT, EU↔Asia ≈ 180 ms RTT, NA↔Asia ≈ 170 ms RTT,
+    /// within-region ≈ 0.5 ms RTT.
+    pub fn gcp_three_regions() -> LatencyMatrix {
+        let intra = SimTime::from_micros(250);
+        let eu_na = SimTime::from_micros(50_000);
+        let eu_as = SimTime::from_micros(90_000);
+        let na_as = SimTime::from_micros(85_000);
+        LatencyMatrix::new(vec![
+            vec![intra, eu_na, eu_as],
+            vec![eu_na, intra, na_as],
+            vec![eu_as, na_as, intra],
+        ])
+    }
+
+    /// The paper's single-region comparison deployment (Fig 7): all nodes
+    /// in one zone, sub-millisecond latency.
+    pub fn gcp_single_region() -> LatencyMatrix {
+        LatencyMatrix::uniform(3, SimTime::from_micros(250), SimTime::from_micros(250))
+    }
+
+    /// One-way latency from `a` to `b`.
+    ///
+    /// # Panics
+    /// Panics if either region is out of range for this matrix.
+    pub fn latency(&self, a: Region, b: Region) -> SimTime {
+        self.matrix[a.0 as usize][b.0 as usize]
+    }
+
+    /// Round-trip latency between `a` and `b`.
+    pub fn rtt(&self, a: Region, b: Region) -> SimTime {
+        self.latency(a, b) + self.latency(b, a)
+    }
+
+    /// Number of regions in the matrix.
+    pub fn regions(&self) -> usize {
+        self.matrix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcp_matrix_is_symmetric() {
+        let m = LatencyMatrix::gcp_three_regions();
+        for a in 0..3u8 {
+            for b in 0..3u8 {
+                assert_eq!(
+                    m.latency(Region(a), Region(b)),
+                    m.latency(Region(b), Region(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_region_slower_than_single() {
+        let multi = LatencyMatrix::gcp_three_regions();
+        let single = LatencyMatrix::gcp_single_region();
+        let cross_multi = multi.latency(Region::EUROPE_NORTH, Region::ASIA_SOUTHEAST);
+        let cross_single = single.latency(Region::EUROPE_NORTH, Region::ASIA_SOUTHEAST);
+        assert!(cross_multi > cross_single.scaled(100));
+    }
+
+    #[test]
+    fn rtt_is_twice_one_way_for_symmetric() {
+        let m = LatencyMatrix::gcp_three_regions();
+        let one_way = m.latency(Region::EUROPE_NORTH, Region::NA_NORTHEAST);
+        assert_eq!(m.rtt(Region::EUROPE_NORTH, Region::NA_NORTHEAST), one_way.scaled(2));
+    }
+
+    #[test]
+    fn uniform_matrix() {
+        let m = LatencyMatrix::uniform(4, SimTime::from_micros(100), SimTime::from_millis(10));
+        assert_eq!(m.regions(), 4);
+        assert_eq!(m.latency(Region(0), Region(0)), SimTime::from_micros(100));
+        assert_eq!(m.latency(Region(0), Region(3)), SimTime::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_rejected() {
+        LatencyMatrix::new(vec![vec![SimTime::ZERO], vec![]]);
+    }
+}

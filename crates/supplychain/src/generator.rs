@@ -1,0 +1,333 @@
+//! Item walks and transfer records.
+//!
+//! Each generated item starts at a dispatching node and is forwarded along
+//! random delivery links until it reaches a terminal node (or the hop
+//! limit). Every hop yields a [`TransferRecord`]; its visibility set
+//! implements the paper's rule that "nodes can continue tracking an item
+//! they delivered" and that a receiver gains access to "all the historical
+//! transfers of the items they received".
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::topology::{NodeRole, Topology};
+
+/// One recorded transfer of an item between entities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Item identifier.
+    pub item: String,
+    /// Hop number of this item (0 = first transfer from the dispatcher).
+    pub seq: u32,
+    /// Sending entity.
+    pub from: String,
+    /// Receiving entity.
+    pub to: String,
+    /// Entities that handled the item before this transfer (excluding
+    /// `from` and `to`), in handling order.
+    pub prior_handlers: Vec<String>,
+    /// The confidential shipment details (type, amount, price).
+    pub secret: Vec<u8>,
+}
+
+impl TransferRecord {
+    /// The entities allowed to see this transfer at insertion time:
+    /// everyone who handled the item so far, plus sender and receiver.
+    pub fn visible_to(&self) -> Vec<String> {
+        let mut v = self.prior_handlers.clone();
+        v.push(self.from.clone());
+        v.push(self.to.clone());
+        v
+    }
+
+    /// The non-secret attribute pairs for this transfer, including the
+    /// `handler~<entity>` markers that let per-entity view predicates
+    /// capture historical access.
+    pub fn attributes(&self) -> Vec<(String, String)> {
+        let mut attrs = vec![
+            ("item".to_string(), self.item.clone()),
+            ("seq".to_string(), self.seq.to_string()),
+            ("from".to_string(), self.from.clone()),
+            ("to".to_string(), self.to.clone()),
+        ];
+        for h in &self.prior_handlers {
+            attrs.push((format!("handler~{h}"), "1".to_string()));
+        }
+        attrs
+    }
+}
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of items to dispatch.
+    pub items: usize,
+    /// Hop limit per item (safety bound for cyclic graphs).
+    pub max_hops: usize,
+    /// RNG seed: equal seeds generate equal workloads.
+    pub seed: u64,
+    /// Approximate size of each transfer's secret payload in bytes.
+    pub secret_bytes: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            items: 100,
+            max_hops: 16,
+            seed: 42,
+            secret_bytes: 64,
+        }
+    }
+}
+
+/// A generated workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// All transfers, in global insertion order (interleaved across
+    /// items, as concurrent shipments would be).
+    pub transfers: Vec<TransferRecord>,
+}
+
+impl Workload {
+    /// Number of transfers.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// The transfers of one item, in hop order.
+    pub fn item_history(&self, item: &str) -> Vec<&TransferRecord> {
+        let mut hops: Vec<&TransferRecord> =
+            self.transfers.iter().filter(|t| t.item == item).collect();
+        hops.sort_by_key(|t| t.seq);
+        hops
+    }
+}
+
+const ITEM_TYPES: &[&str] = &["battery", "screen", "camera", "chassis", "antenna", "board"];
+
+fn make_secret<R: RngCore + ?Sized>(rng: &mut R, target_len: usize) -> Vec<u8> {
+    let ty = ITEM_TYPES.choose(rng).expect("non-empty");
+    let amount: u32 = rng.random_range(1..=500);
+    let price_cents: u32 = rng.random_range(100..=99_999);
+    let mut s = format!(
+        "type={ty};amount={amount};price={}.{:02}",
+        price_cents / 100,
+        price_cents % 100
+    )
+    .into_bytes();
+    // Pad to the configured size so storage experiments are predictable.
+    while s.len() < target_len {
+        s.push(b'#');
+    }
+    s
+}
+
+/// Generate a workload over a validated topology.
+///
+/// # Panics
+/// Panics if the topology fails validation.
+pub fn generate(topology: &Topology, config: &WorkloadConfig) -> Workload {
+    topology.validate().expect("invalid topology");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let dispatchers = topology.dispatchers();
+
+    // Walk each item, collecting its hops.
+    let mut per_item: Vec<Vec<TransferRecord>> = Vec::with_capacity(config.items);
+    for item_idx in 0..config.items {
+        let item = format!("item-{item_idx:05}");
+        let mut at = *dispatchers.choose(&mut rng).expect("validated: >=1 dispatcher");
+        let mut handlers: Vec<String> = Vec::new();
+        let mut hops = Vec::new();
+        for seq in 0..config.max_hops {
+            let outgoing = topology.outgoing(at);
+            if outgoing.is_empty() {
+                break;
+            }
+            let next = *outgoing.choose(&mut rng).expect("non-empty");
+            hops.push(TransferRecord {
+                item: item.clone(),
+                seq: seq as u32,
+                from: topology.nodes[at].name.clone(),
+                to: topology.nodes[next].name.clone(),
+                prior_handlers: handlers.clone(),
+                secret: make_secret(&mut rng, config.secret_bytes),
+            });
+            handlers.push(topology.nodes[at].name.clone());
+            at = next;
+            if topology.nodes[at].role == NodeRole::Terminal {
+                break;
+            }
+        }
+        per_item.push(hops);
+    }
+
+    // Interleave items round-robin by hop, preserving per-item order —
+    // the global order a blockchain would see from concurrent shipments.
+    let mut transfers = Vec::new();
+    let max_len = per_item.iter().map(|h| h.len()).max().unwrap_or(0);
+    for hop in 0..max_len {
+        for item_hops in &per_item {
+            if let Some(t) = item_hops.get(hop) {
+                transfers.push(t.clone());
+            }
+        }
+    }
+    Workload { transfers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn config(items: usize, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            items,
+            max_hops: 16,
+            seed,
+            secret_bytes: 48,
+        }
+    }
+
+    #[test]
+    fn transfers_follow_edges() {
+        let topo = Topology::wl2();
+        let wl = generate(&topo, &config(50, 1));
+        assert!(!wl.is_empty());
+        let name_to_idx: HashMap<&str, usize> = topo
+            .node_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
+        for t in &wl.transfers {
+            let a = name_to_idx[t.from.as_str()];
+            let b = name_to_idx[t.to.as_str()];
+            assert!(
+                topo.edges.contains(&(a, b)),
+                "transfer {}→{} is not an edge",
+                t.from,
+                t.to
+            );
+        }
+    }
+
+    #[test]
+    fn item_paths_are_contiguous() {
+        let topo = Topology::wl1();
+        let wl = generate(&topo, &config(30, 2));
+        for idx in 0..30 {
+            let item = format!("item-{idx:05}");
+            let history = wl.item_history(&item);
+            assert!(!history.is_empty(), "{item} has no transfers");
+            for (i, hop) in history.iter().enumerate() {
+                assert_eq!(hop.seq as usize, i);
+                if i > 0 {
+                    assert_eq!(hop.from, history[i - 1].to, "path broken at hop {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prior_handlers_grow_along_path() {
+        let topo = Topology::wl2();
+        let wl = generate(&topo, &config(40, 3));
+        for idx in 0..40 {
+            let item = format!("item-{idx:05}");
+            let history = wl.item_history(&item);
+            for (i, hop) in history.iter().enumerate() {
+                assert_eq!(hop.prior_handlers.len(), i, "handlers at hop {i}");
+                if i > 0 {
+                    assert_eq!(
+                        hop.prior_handlers.last().unwrap(),
+                        &history[i - 1].from
+                    );
+                }
+                // visible_to = prior handlers + from + to.
+                assert_eq!(hop.visible_to().len(), i + 2);
+            }
+        }
+    }
+
+    #[test]
+    fn items_end_at_terminal_or_hop_limit() {
+        let topo = Topology::wl1();
+        let cfg = config(60, 4);
+        let wl = generate(&topo, &cfg);
+        let terminals: Vec<&str> = topo
+            .nodes
+            .iter()
+            .filter(|n| n.role == NodeRole::Terminal)
+            .map(|n| n.name.as_str())
+            .collect();
+        for idx in 0..60 {
+            let item = format!("item-{idx:05}");
+            let history = wl.item_history(&item);
+            let last = history.last().unwrap();
+            assert!(
+                terminals.contains(&last.to.as_str())
+                    || history.len() == cfg.max_hops,
+                "{item} ended at non-terminal {} after {} hops",
+                last.to,
+                history.len()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let topo = Topology::wl2();
+        let a = generate(&topo, &config(20, 7));
+        let b = generate(&topo, &config(20, 7));
+        assert_eq!(a.transfers, b.transfers);
+        let c = generate(&topo, &config(20, 8));
+        assert_ne!(a.transfers, c.transfers);
+    }
+
+    #[test]
+    fn secrets_are_padded_and_plausible() {
+        let topo = Topology::wl1();
+        let wl = generate(&topo, &config(10, 5));
+        for t in &wl.transfers {
+            assert!(t.secret.len() >= 48);
+            let s = String::from_utf8_lossy(&t.secret);
+            assert!(s.starts_with("type="), "secret was {s}");
+            assert!(s.contains("amount=") && s.contains("price="));
+        }
+    }
+
+    #[test]
+    fn attributes_include_handler_markers() {
+        let topo = Topology::wl1();
+        let wl = generate(&topo, &config(20, 6));
+        let multi_hop = wl
+            .transfers
+            .iter()
+            .find(|t| !t.prior_handlers.is_empty())
+            .expect("some multi-hop transfer");
+        let attrs = multi_hop.attributes();
+        let marker = format!("handler~{}", multi_hop.prior_handlers[0]);
+        assert!(attrs.iter().any(|(k, _)| k == &marker));
+        assert!(attrs.iter().any(|(k, v)| k == "item" && v == &multi_hop.item));
+    }
+
+    #[test]
+    fn interleaving_preserves_item_order() {
+        let topo = Topology::wl2();
+        let wl = generate(&topo, &config(15, 9));
+        // In the global order, hop k of an item appears before hop k+1.
+        let mut last_seq: HashMap<&str, i64> = HashMap::new();
+        for t in &wl.transfers {
+            let prev = last_seq.get(t.item.as_str()).copied().unwrap_or(-1);
+            assert_eq!(t.seq as i64, prev + 1, "item {} out of order", t.item);
+            last_seq.insert(t.item.as_str(), t.seq as i64);
+        }
+    }
+}

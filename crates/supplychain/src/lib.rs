@@ -1,0 +1,23 @@
+//! The supply-chain workload generator (§6.2).
+//!
+//! The paper benchmarks LedgerView on synthetic supply chains like Fig 1:
+//! a directed graph of *dispatching* nodes (manufacturers) that create
+//! items, *intermediate* nodes (warehouses, delivery services) that
+//! forward them, and *terminal* nodes (shops) that receive them. Every
+//! transfer is recorded on the blockchain; a node may see exactly the
+//! transfers of items it handled — including transfers that happened
+//! before it received the item.
+//!
+//! * [`topology`] — supply-chain graphs, including the paper's WL1
+//!   (7 nodes → 7 views) and WL2 (14 nodes → 14 views).
+//! * [`generator`] — item walks producing [`TransferRecord`]s with the
+//!   visibility sets the paper describes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod topology;
+
+pub use generator::{generate, TransferRecord, Workload, WorkloadConfig};
+pub use topology::{Node, NodeRole, Topology, TopologyError};

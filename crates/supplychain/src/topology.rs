@@ -1,0 +1,315 @@
+//! Supply-chain graphs.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// The role of a node in the chain (§6.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeRole {
+    /// Creates items and sends them onward (manufacturers).
+    Dispatching,
+    /// Forwards received items (warehouses, delivery services).
+    Intermediate,
+    /// Receives items and keeps them (shops).
+    Terminal,
+}
+
+/// One supply-chain entity.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Entity name; also names the entity's access-control view.
+    pub name: String,
+    /// Role in the chain.
+    pub role: NodeRole,
+}
+
+/// Errors detected by [`Topology::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge references a node index that does not exist.
+    DanglingEdge(usize, usize),
+    /// A terminal node has an outgoing edge.
+    TerminalWithOutgoing(String),
+    /// A dispatching node has no outgoing edge (its items go nowhere).
+    DispatchingDeadEnd(String),
+    /// Two nodes share a name (names double as view names).
+    DuplicateName(String),
+    /// There is no dispatching node at all.
+    NoDispatcher,
+    /// A self-loop edge.
+    SelfLoop(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DanglingEdge(a, b) => write!(f, "edge ({a},{b}) out of range"),
+            TopologyError::TerminalWithOutgoing(n) => {
+                write!(f, "terminal node {n:?} has an outgoing edge")
+            }
+            TopologyError::DispatchingDeadEnd(n) => {
+                write!(f, "dispatching node {n:?} has no outgoing edge")
+            }
+            TopologyError::DuplicateName(n) => write!(f, "duplicate node name {n:?}"),
+            TopologyError::NoDispatcher => write!(f, "no dispatching node"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop at {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A supply-chain graph: nodes and directed delivery links.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// The entities.
+    pub nodes: Vec<Node>,
+    /// Directed delivery links as `(from_index, to_index)`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// Build a topology; call [`Topology::validate`] before use.
+    pub fn new(nodes: Vec<Node>, edges: Vec<(usize, usize)>) -> Topology {
+        Topology { nodes, edges }
+    }
+
+    /// The paper's workload WL1: 7 nodes — 1 dispatching, 3 intermediate,
+    /// 3 terminal (7 views).
+    pub fn wl1() -> Topology {
+        let node = |name: &str, role| Node {
+            name: name.to_string(),
+            role,
+        };
+        Topology::new(
+            vec![
+                node("M1", NodeRole::Dispatching),   // 0
+                node("W1", NodeRole::Intermediate),  // 1
+                node("W2", NodeRole::Intermediate),  // 2
+                node("D1", NodeRole::Intermediate),  // 3
+                node("S1", NodeRole::Terminal),      // 4
+                node("S2", NodeRole::Terminal),      // 5
+                node("S3", NodeRole::Terminal),      // 6
+            ],
+            vec![
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (1, 6),
+            ],
+        )
+    }
+
+    /// The paper's workload WL2: 14 nodes — 2 dispatching, 5 intermediate,
+    /// 7 terminal (14 views), shaped like Fig 1.
+    pub fn wl2() -> Topology {
+        let node = |name: &str, role| Node {
+            name: name.to_string(),
+            role,
+        };
+        Topology::new(
+            vec![
+                node("M1", NodeRole::Dispatching),   // 0
+                node("M2", NodeRole::Dispatching),   // 1
+                node("W1", NodeRole::Intermediate),  // 2
+                node("W2", NodeRole::Intermediate),  // 3
+                node("W3", NodeRole::Intermediate),  // 4
+                node("D1", NodeRole::Intermediate),  // 5
+                node("D2", NodeRole::Intermediate),  // 6
+                node("S1", NodeRole::Terminal),      // 7
+                node("S2", NodeRole::Terminal),      // 8
+                node("S3", NodeRole::Terminal),      // 9
+                node("S4", NodeRole::Terminal),      // 10
+                node("S5", NodeRole::Terminal),      // 11
+                node("S6", NodeRole::Terminal),      // 12
+                node("S7", NodeRole::Terminal),      // 13
+            ],
+            vec![
+                (0, 2),
+                (0, 3),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (3, 5),
+                (3, 6),
+                (4, 6),
+                (5, 7),
+                (5, 8),
+                (5, 9),
+                (6, 10),
+                (6, 11),
+                (2, 12),
+                (4, 13),
+            ],
+        )
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let mut names = HashSet::new();
+        for n in &self.nodes {
+            if !names.insert(&n.name) {
+                return Err(TopologyError::DuplicateName(n.name.clone()));
+            }
+        }
+        if !self
+            .nodes
+            .iter()
+            .any(|n| n.role == NodeRole::Dispatching)
+        {
+            return Err(TopologyError::NoDispatcher);
+        }
+        for &(a, b) in &self.edges {
+            if a >= self.nodes.len() || b >= self.nodes.len() {
+                return Err(TopologyError::DanglingEdge(a, b));
+            }
+            if a == b {
+                return Err(TopologyError::SelfLoop(self.nodes[a].name.clone()));
+            }
+            if self.nodes[a].role == NodeRole::Terminal {
+                return Err(TopologyError::TerminalWithOutgoing(
+                    self.nodes[a].name.clone(),
+                ));
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.role == NodeRole::Dispatching && self.outgoing(i).is_empty() {
+                return Err(TopologyError::DispatchingDeadEnd(n.name.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Outgoing neighbour indices of node `i`.
+    pub fn outgoing(&self, i: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(a, _)| *a == i)
+            .map(|(_, b)| *b)
+            .collect()
+    }
+
+    /// Indices of dispatching nodes.
+    pub fn dispatchers(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.role == NodeRole::Dispatching)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// All node (= view) names.
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    /// Number of nodes, i.e. number of views.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_workloads_are_valid_and_sized() {
+        let wl1 = Topology::wl1();
+        wl1.validate().unwrap();
+        assert_eq!(wl1.len(), 7);
+        assert_eq!(wl1.dispatchers().len(), 1);
+        assert_eq!(
+            wl1.nodes.iter().filter(|n| n.role == NodeRole::Terminal).count(),
+            3
+        );
+
+        let wl2 = Topology::wl2();
+        wl2.validate().unwrap();
+        assert_eq!(wl2.len(), 14);
+        assert_eq!(wl2.dispatchers().len(), 2);
+        assert_eq!(
+            wl2.nodes.iter().filter(|n| n.role == NodeRole::Terminal).count(),
+            7
+        );
+    }
+
+    #[test]
+    fn every_dispatcher_can_reach_a_terminal() {
+        for topo in [Topology::wl1(), Topology::wl2()] {
+            for d in topo.dispatchers() {
+                // BFS from the dispatcher.
+                let mut seen = vec![false; topo.len()];
+                let mut queue = vec![d];
+                seen[d] = true;
+                let mut reached_terminal = false;
+                while let Some(n) = queue.pop() {
+                    if topo.nodes[n].role == NodeRole::Terminal {
+                        reached_terminal = true;
+                        break;
+                    }
+                    for m in topo.outgoing(n) {
+                        if !seen[m] {
+                            seen[m] = true;
+                            queue.push(m);
+                        }
+                    }
+                }
+                assert!(reached_terminal, "dispatcher {d} is stuck");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let node = |name: &str, role| Node {
+            name: name.to_string(),
+            role,
+        };
+        // Terminal with outgoing edge.
+        let t = Topology::new(
+            vec![node("A", NodeRole::Dispatching), node("B", NodeRole::Terminal)],
+            vec![(0, 1), (1, 0)],
+        );
+        assert_eq!(
+            t.validate(),
+            Err(TopologyError::TerminalWithOutgoing("B".into()))
+        );
+        // Dangling edge.
+        let t = Topology::new(vec![node("A", NodeRole::Dispatching)], vec![(0, 5)]);
+        assert_eq!(t.validate(), Err(TopologyError::DanglingEdge(0, 5)));
+        // Duplicate name.
+        let t = Topology::new(
+            vec![node("A", NodeRole::Dispatching), node("A", NodeRole::Terminal)],
+            vec![(0, 1)],
+        );
+        assert_eq!(t.validate(), Err(TopologyError::DuplicateName("A".into())));
+        // No dispatcher.
+        let t = Topology::new(vec![node("A", NodeRole::Terminal)], vec![]);
+        assert_eq!(t.validate(), Err(TopologyError::NoDispatcher));
+        // Self loop.
+        let t = Topology::new(
+            vec![node("A", NodeRole::Dispatching), node("B", NodeRole::Terminal)],
+            vec![(0, 0), (0, 1)],
+        );
+        assert_eq!(t.validate(), Err(TopologyError::SelfLoop("A".into())));
+        // Dispatcher dead end.
+        let t = Topology::new(
+            vec![node("A", NodeRole::Dispatching), node("B", NodeRole::Terminal)],
+            vec![],
+        );
+        assert_eq!(
+            t.validate(),
+            Err(TopologyError::DispatchingDeadEnd("A".into()))
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Channels vs views (§2 of the paper).
+//!
+//! Demonstrates the three limitations of channels the paper lists, and how
+//! views avoid them: (1) a transaction can be in several views but only
+//! one channel; (2) channel membership changes are heavyweight while view
+//! grants/revocations are one key operation; (3) channels have no
+//! attribute-based rules. Run with:
+//!
+//! ```text
+//! cargo run --example channels_vs_views
+//! ```
+
+use ledgerview::fabric::channel::ChannelRegistry;
+use ledgerview::fabric::chaincode::{Chaincode, TxContext};
+use ledgerview::fabric::FabricError;
+use ledgerview::prelude::*;
+
+struct PutCc;
+impl Chaincode for PutCc {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        _f: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, FabricError> {
+        ctx.put_state(String::from_utf8_lossy(&args[0]).to_string(), args[1].clone());
+        Ok(vec![])
+    }
+}
+
+fn main() {
+    let mut rng = ledgerview::crypto::rng::seeded(31);
+
+    // ───────────────────────── Channels ─────────────────────────
+    // A shipment relevant to both the manufacturer consortium and the
+    // warehouse consortium must be WRITTEN TWICE — once per channel.
+    let mut channels = ChannelRegistry::new();
+    channels.create_channel("manufacturers", &["M1", "M2"], &mut rng);
+    channels.create_channel("warehouses", &["W1", "W2"], &mut rng);
+    let m1 = OrgId::new("M1");
+    let w1 = OrgId::new("W1");
+    channels
+        .deploy(
+            "manufacturers",
+            &m1,
+            "kv",
+            Box::new(PutCc),
+            EndorsementPolicy::AnyOf(vec![m1.clone()]),
+        )
+        .unwrap();
+    channels
+        .deploy(
+            "warehouses",
+            &w1,
+            "kv",
+            Box::new(PutCc),
+            EndorsementPolicy::AnyOf(vec![w1.clone()]),
+        )
+        .unwrap();
+    let maker = channels.enroll("manufacturers", &m1, "maker", &mut rng).unwrap();
+    let wh = channels.enroll("warehouses", &w1, "clerk", &mut rng).unwrap();
+
+    channels
+        .invoke_commit(
+            "manufacturers",
+            &maker,
+            "kv",
+            "put",
+            vec![b"shipment-77".to_vec(), b"battery x200".to_vec()],
+            &mut rng,
+        )
+        .unwrap();
+    // The warehouses channel cannot see it; sharing = duplicating.
+    channels
+        .invoke_commit(
+            "warehouses",
+            &wh,
+            "kv",
+            "put",
+            vec![b"shipment-77".to_vec(), b"battery x200".to_vec()],
+            &mut rng,
+        )
+        .unwrap();
+    let dup_txs = channels.channel("manufacturers").unwrap().chain().height()
+        + channels.channel("warehouses").unwrap().chain().height();
+    println!("channels: sharing one shipment across 2 consortia took {dup_txs} transactions on 2 ledgers");
+    // And the maker has no access to the warehouses channel at all:
+    assert!(channels
+        .query("warehouses", &maker, "kv", "get", &[])
+        .is_err());
+
+    // ───────────────────────── Views ─────────────────────────
+    // One transaction, two (or N) views; attribute-based membership; grant
+    // and revoke are single key operations.
+    let mut chain = FabricChain::new(&["ConsortiumOrg"], &mut rng);
+    let policy = EndorsementPolicy::AnyOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+    let owner = chain
+        .enroll(&OrgId::new("ConsortiumOrg"), "owner", &mut rng)
+        .unwrap();
+    let app = chain
+        .enroll(&OrgId::new("ConsortiumOrg"), "app", &mut rng)
+        .unwrap();
+    let mut mgr: HashBasedManager = ViewManager::new(owner, false);
+    // Attribute-based rules — impossible with channels:
+    mgr.create_view(
+        &mut chain,
+        "V_manufacturers",
+        ViewPredicate::attr_eq("from", "M1"),
+        AccessMode::Revocable,
+        &mut rng,
+    )
+    .unwrap();
+    mgr.create_view(
+        &mut chain,
+        "V_warehouses",
+        ViewPredicate::attr_eq("to", "W1"),
+        AccessMode::Revocable,
+        &mut rng,
+    )
+    .unwrap();
+
+    let h0 = chain.height();
+    let tid = mgr
+        .invoke_with_secret(
+            &mut chain,
+            &app,
+            &ClientTransaction::new(
+                vec![
+                    ("shipment", AttrValue::int(77)),
+                    ("from", AttrValue::str("M1")),
+                    ("to", AttrValue::str("W1")),
+                ],
+                b"battery x200".to_vec(),
+            ),
+            &mut rng,
+        )
+        .unwrap();
+    println!(
+        "views: ONE transaction ({} on-chain tx) landed in both views: \
+         V_manufacturers={:?}, V_warehouses={:?}",
+        chain.height() - h0,
+        mgr.view_tids("V_manufacturers").unwrap().contains(&tid),
+        mgr.view_tids("V_warehouses").unwrap().contains(&tid),
+    );
+    assert_eq!(chain.height() - h0, 1);
+
+    // Granting a new auditor = one sealed-key dissemination, not a network
+    // reconfiguration.
+    let auditor = EncryptionKeyPair::generate(&mut rng);
+    mgr.grant_access(&mut chain, "V_manufacturers", auditor.public(), &mut rng)
+        .unwrap();
+    let mut reader = ViewReader::new(auditor);
+    reader.obtain_view_key(&chain, "V_manufacturers").unwrap();
+    let resp = mgr
+        .query_view("V_manufacturers", &reader.public(), None, &mut rng)
+        .unwrap();
+    let revealed = reader
+        .open_response(&chain, "V_manufacturers", &resp)
+        .unwrap();
+    println!(
+        "granted an auditor in one step; they read {} transaction(s), secret: {:?}",
+        revealed.len(),
+        String::from_utf8_lossy(&revealed[0].secret)
+    );
+    // ...and revoking them is one key rotation.
+    mgr.revoke_access(&mut chain, "V_manufacturers", &reader.public(), &mut rng)
+        .unwrap();
+    assert!(reader.obtain_view_key(&chain, "V_manufacturers").is_err());
+    println!("revoked the auditor with a single K_V rotation — done.");
+}

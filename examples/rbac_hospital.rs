@@ -1,0 +1,157 @@
+//! Role-based access control for health records (§4.6).
+//!
+//! Health records are the paper's canonical revocable example: "access
+//! could be revoked from healthcare workers who are no longer active".
+//! Here nurses and doctors are roles; views grant access to role keys, and
+//! a nurse's retirement rotates the role key. Run with:
+//!
+//! ```text
+//! cargo run --example rbac_hospital
+//! ```
+
+use ledgerview::prelude::*;
+use ledgerview::views::rbac::{self, RoleAdmin};
+
+fn main() {
+    let mut rng = ledgerview::crypto::rng::seeded(23);
+
+    let mut chain = FabricChain::new(&["HospitalOrg", "InsurerOrg"], &mut rng);
+    let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+    let owner = chain
+        .enroll(&OrgId::new("HospitalOrg"), "records-office", &mut rng)
+        .unwrap();
+
+    // ── Views over patient records.
+    let mut manager: HashBasedManager = ViewManager::new(owner.clone(), false);
+    manager
+        .create_view(
+            &mut chain,
+            "V_vitals",
+            ViewPredicate::attr_eq("kind", "vitals"),
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
+    manager
+        .create_view(
+            &mut chain,
+            "V_prescriptions",
+            ViewPredicate::attr_eq("kind", "prescription"),
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
+
+    let clinician = chain
+        .enroll(&OrgId::new("HospitalOrg"), "ward-terminal", &mut rng)
+        .unwrap();
+    for (kind, patient, secret) in [
+        ("vitals", "p-001", "bp=120/80;hr=61"),
+        ("vitals", "p-002", "bp=135/85;hr=74"),
+        ("prescription", "p-001", "drug=amoxicillin;dose=500mg"),
+    ] {
+        let tx = ClientTransaction::new(
+            vec![
+                ("kind", AttrValue::str(kind)),
+                ("patient", AttrValue::str(patient)),
+            ],
+            secret.as_bytes().to_vec(),
+        );
+        manager
+            .invoke_with_secret(&mut chain, &clinician, &tx, &mut rng)
+            .unwrap();
+    }
+
+    // ── Roles: nurses see vitals; doctors see vitals and prescriptions.
+    let admin = RoleAdmin::new(owner);
+    let nurse_nina = EncryptionKeyPair::generate(&mut rng);
+    let nurse_noah = EncryptionKeyPair::generate(&mut rng);
+    let doctor_dana = EncryptionKeyPair::generate(&mut rng);
+
+    let nurse_role = admin
+        .create_role(
+            &mut chain,
+            "nurse",
+            &[nurse_nina.public(), nurse_noah.public()],
+            &mut rng,
+        )
+        .unwrap();
+    let doctor_role = admin
+        .create_role(&mut chain, "doctor", &[doctor_dana.public()], &mut rng)
+        .unwrap();
+    admin
+        .assign_views(&mut chain, "nurse", &["V_vitals".into()], &mut rng)
+        .unwrap();
+    admin
+        .assign_views(
+            &mut chain,
+            "doctor",
+            &["V_vitals".into(), "V_prescriptions".into()],
+            &mut rng,
+        )
+        .unwrap();
+
+    // Views grant access to the ROLE public keys, not to individuals.
+    manager
+        .grant_access(&mut chain, "V_vitals", nurse_role.public(), &mut rng)
+        .unwrap();
+    manager
+        .grant_access(&mut chain, "V_vitals", doctor_role.public(), &mut rng)
+        .unwrap();
+    manager
+        .grant_access(&mut chain, "V_prescriptions", doctor_role.public(), &mut rng)
+        .unwrap();
+
+    // ── The transparent join A_r ⋈ A_p is auditable by anyone.
+    println!("who may access V_vitals (via on-chain A_r ⋈ A_p):");
+    for key in rbac::users_with_access(chain.state(), "V_vitals") {
+        println!("  {}", &key.to_hex()[..16]);
+    }
+
+    // ── Nurse Nina reads vitals through the role key.
+    let nina_as_nurse = rbac::recover_role_keypair(&chain, "nurse", &nurse_nina).unwrap();
+    let mut nina_reader = ViewReader::new(nina_as_nurse);
+    nina_reader.obtain_view_key(&chain, "V_vitals").unwrap();
+    let resp = manager
+        .query_view("V_vitals", &nina_reader.public(), None, &mut rng)
+        .unwrap();
+    let vitals = nina_reader.open_response(&chain, "V_vitals", &resp).unwrap();
+    println!("nurse Nina sees {} vitals records", vitals.len());
+    assert_eq!(vitals.len(), 2);
+
+    // Nurses have no prescription role: the prescriptions view never
+    // sealed its key to the nurse role.
+    assert!(nina_reader.obtain_view_key(&chain, "V_prescriptions").is_err());
+    println!("nurse Nina cannot obtain the prescriptions view key ✓");
+
+    // ── Nurse Noah retires: rotate the nurse role key to Nina only, and
+    //    re-grant the view to the new role key.
+    let new_nurse_role = admin
+        .update_role_members(&mut chain, "nurse", &[nurse_nina.public()], &mut rng)
+        .unwrap();
+    manager
+        .revoke_access(&mut chain, "V_vitals", &nurse_role.public(), &mut rng)
+        .unwrap();
+    manager
+        .grant_access(&mut chain, "V_vitals", new_nurse_role.public(), &mut rng)
+        .unwrap();
+
+    // Noah can no longer reconstruct the role key...
+    assert!(rbac::recover_role_keypair(&chain, "nurse", &nurse_noah).is_err());
+    // ...while Nina transparently continues.
+    let nina_again = rbac::recover_role_keypair(&chain, "nurse", &nurse_nina).unwrap();
+    let mut nina_reader = ViewReader::new(nina_again);
+    nina_reader.obtain_view_key(&chain, "V_vitals").unwrap();
+    let resp = manager
+        .query_view("V_vitals", &nina_reader.public(), None, &mut rng)
+        .unwrap();
+    assert_eq!(
+        nina_reader
+            .open_response(&chain, "V_vitals", &resp)
+            .unwrap()
+            .len(),
+        2
+    );
+    println!("nurse Noah retired: role key rotated, Nina unaffected — done.");
+}

@@ -1,0 +1,257 @@
+//! Integration: adversarial scenarios — the three attacks of §4.7 plus
+//! ledger tampering — are all detected.
+
+use ledgerview::prelude::*;
+use ledgerview::views::reader::RevealedTx;
+use ledgerview::views::verify;
+use std::collections::HashSet;
+
+fn setup() -> (
+    FabricChain,
+    HashBasedManager,
+    ViewReader,
+    Vec<RevealedTx>,
+    rand::rngs::StdRng,
+) {
+    let mut rng = ledgerview::crypto::rng::seeded(77);
+    let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
+    let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
+    let client = chain.enroll(&OrgId::new("Org2"), "client", &mut rng).unwrap();
+    let mut mgr: HashBasedManager = ViewManager::new(owner, true);
+    mgr.create_view(
+        &mut chain,
+        "V",
+        ViewPredicate::attr_eq("to", "W1"),
+        AccessMode::Revocable,
+        &mut rng,
+    )
+    .unwrap();
+    for i in 0..4 {
+        let to = if i % 2 == 0 { "W1" } else { "W2" };
+        let tx = ClientTransaction::new(
+            vec![("n", AttrValue::int(i)), ("to", AttrValue::str(to))],
+            format!("s{i}").into_bytes(),
+        );
+        mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng).unwrap();
+    }
+    mgr.flush(&mut chain, &mut rng).unwrap();
+    let kp = EncryptionKeyPair::generate(&mut rng);
+    mgr.grant_access(&mut chain, "V", kp.public(), &mut rng).unwrap();
+    let mut reader = ViewReader::new(kp);
+    reader.obtain_view_key(&chain, "V").unwrap();
+    let resp = mgr.query_view("V", &reader.public(), None, &mut rng).unwrap();
+    let revealed = reader.open_response(&chain, "V", &resp).unwrap();
+    (chain, mgr, reader, revealed, rng)
+}
+
+#[test]
+fn baseline_honest_verifies() {
+    let (chain, _mgr, _reader, revealed, _) = setup();
+    assert_eq!(revealed.len(), 2);
+    let (sound, complete) = verify::verify_view(&chain, "V", &revealed, u64::MAX, true).unwrap();
+    assert!(sound.ok && complete.ok);
+}
+
+#[test]
+fn attack_add_non_matching_transaction() {
+    // §4.7 case 1: a view serving a transaction outside its definition.
+    let (chain, _mgr, _reader, mut revealed, _) = setup();
+    // Find a W2 transaction on the ledger and inject it into the response.
+    let w2 = chain
+        .store()
+        .iter()
+        .flat_map(|b| &b.transactions)
+        .filter(|t| t.chaincode == ledgerview::views::contracts::INVOKE_CC)
+        .find_map(|t| {
+            let stored =
+                ledgerview::views::txmodel::StoredTransaction::from_bytes(&t.args[0]).ok()?;
+            (stored.non_secret.get("to") == Some(&AttrValue::str("W2")))
+                .then_some((t.tx_id, stored.non_secret))
+        })
+        .unwrap();
+    revealed.push(RevealedTx {
+        tid: w2.0,
+        non_secret: w2.1,
+        secret: b"s1".to_vec(),
+        tx_key: None,
+    });
+    let report = verify::verify_soundness(&chain, "V", &revealed).unwrap();
+    assert!(!report.ok);
+}
+
+#[test]
+fn attack_serve_corrupted_secret() {
+    // §4.7 case 2.
+    let (chain, _mgr, _reader, mut revealed, _) = setup();
+    revealed[0].secret = b"forged".to_vec();
+    let report = verify::verify_soundness(&chain, "V", &revealed).unwrap();
+    assert!(!report.ok);
+}
+
+#[test]
+fn attack_omit_transaction() {
+    // §4.7 case 3, detected by both completeness strategies.
+    let (chain, _mgr, _reader, mut revealed, _) = setup();
+    revealed.truncate(1);
+    let tids: HashSet<TxId> = revealed.iter().map(|r| r.tid).collect();
+    assert!(!verify::verify_completeness_txlist(&chain, "V", &tids, u64::MAX)
+        .unwrap()
+        .ok);
+    assert!(!verify::verify_completeness_scan(&chain, "V", &tids, u64::MAX)
+        .unwrap()
+        .ok);
+}
+
+#[test]
+fn attack_swap_payloads_between_transactions() {
+    // The AEAD binds each view entry to its tid: an owner cannot swap the
+    // secrets of two transactions without detection at decode time.
+    let (chain, mgr, reader, revealed, mut rng) = setup();
+    let kv = *mgr.view_key("V").unwrap();
+    let (t0, t1) = (revealed[0].tid, revealed[1].tid);
+    // Entry for t0 carrying t1's secret, sealed under t1's aad — then
+    // presented as t0's entry.
+    let enc = ledgerview::crypto::aead::seal_sym_aad(
+        kv.as_bytes(),
+        &mut rng,
+        &revealed[1].secret,
+        t1.0.as_bytes(),
+    );
+    let forged_body = {
+        // encode_response is crate-private; build the same layout by hand.
+        let mut w = ledgerview::fabric::wire::Writer::new();
+        w.u8(1); // hash scheme
+        w.u8(0); // revocable
+        w.u32(1);
+        w.array(t0.0.as_bytes());
+        w.bytes(&enc);
+        w.into_bytes()
+    };
+    let forged = ledgerview::views::manager::QueryResponse {
+        sealed: ledgerview::crypto::seal(&reader.public(), &mut rng, &forged_body),
+    };
+    assert!(reader.open_response(&chain, "V", &forged).is_err());
+}
+
+#[test]
+fn attack_tamper_with_ledger_detected_by_chain_verification() {
+    // Rewriting history breaks the hash chain: simulate by rebuilding a
+    // block store with a modified transaction and checking that append
+    // rejects it (the BlockStore refuses a forged data hash).
+    let (chain, _mgr, _reader, _revealed, _) = setup();
+    let mut tampered = ledgerview::fabric::BlockStore::new();
+    for (i, block) in chain.store().iter().enumerate() {
+        let mut b = block.clone();
+        if i == 1 {
+            // Flip a byte in a transaction argument.
+            if let Some(tx) = b.transactions.get_mut(0) {
+                if let Some(arg) = tx.args.get_mut(0) {
+                    if let Some(byte) = arg.get_mut(10) {
+                        *byte ^= 1;
+                    }
+                }
+            }
+            assert!(tampered.append(b).is_err());
+            return;
+        }
+        tampered.append(b).unwrap();
+    }
+    panic!("chain had fewer than 2 blocks");
+}
+
+#[test]
+fn revoked_user_cannot_decrypt_new_data_but_keeps_old() {
+    // §4.2: "users may still have access to information they downloaded
+    // and stored locally, but they cannot access and download additional
+    // information".
+    let mut rng = ledgerview::crypto::rng::seeded(88);
+    let mut chain = FabricChain::new(&["Org1"], &mut rng);
+    let policy = EndorsementPolicy::AnyOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
+    let client = chain.enroll(&OrgId::new("Org1"), "client", &mut rng).unwrap();
+    let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
+    mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+        .unwrap();
+    mgr.invoke_with_secret(
+        &mut chain,
+        &client,
+        &ClientTransaction::new(vec![("n", AttrValue::int(1))], b"old-data".to_vec()),
+        &mut rng,
+    )
+    .unwrap();
+
+    let bob_kp = EncryptionKeyPair::generate(&mut rng);
+    mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+    let mut bob = ViewReader::new(bob_kp);
+    bob.obtain_view_key(&chain, "V").unwrap();
+    let resp = mgr.query_view("V", &bob.public(), None, &mut rng).unwrap();
+    let downloaded = bob.open_response(&chain, "V", &resp).unwrap();
+    assert_eq!(downloaded[0].secret, b"old-data");
+
+    // Revoke; new data arrives.
+    mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng).unwrap();
+    mgr.invoke_with_secret(
+        &mut chain,
+        &client,
+        &ClientTransaction::new(vec![("n", AttrValue::int(2))], b"new-data".to_vec()),
+        &mut rng,
+    )
+    .unwrap();
+
+    // Bob keeps what he downloaded (local copy)…
+    assert_eq!(downloaded[0].secret, b"old-data");
+    // …but can obtain nothing new: no key, owner refuses, and the rotated
+    // key makes even an intercepted response for someone else useless.
+    assert!(bob.obtain_view_key(&chain, "V").is_err());
+    assert!(mgr.query_view("V", &bob.public(), None, &mut rng).is_err());
+    let carol_kp = EncryptionKeyPair::generate(&mut rng);
+    mgr.grant_access(&mut chain, "V", carol_kp.public(), &mut rng).unwrap();
+    let carol_resp = mgr.query_view("V", &carol_kp.public(), None, &mut rng).unwrap();
+    assert!(bob.decode_response("V", &carol_resp).is_err());
+}
+
+#[test]
+fn peers_never_see_plaintext_secrets() {
+    // The core privacy property: no plaintext secret byte-string appears
+    // anywhere in the ledger, the state database, or block bytes.
+    let mut rng = ledgerview::crypto::rng::seeded(99);
+    let mut chain = FabricChain::new(&["Org1"], &mut rng);
+    let policy = EndorsementPolicy::AnyOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
+    let client = chain.enroll(&OrgId::new("Org1"), "client", &mut rng).unwrap();
+
+    let secret = b"EXTREMELY-CONFIDENTIAL-PRICE-8472";
+    for (mode, name) in [
+        (AccessMode::Revocable, "VR"),
+        (AccessMode::Irrevocable, "VI"),
+    ] {
+        let mut mgr: EncryptionBasedManager = ViewManager::new(owner.clone(), false);
+        mgr.create_view(&mut chain, name, ViewPredicate::True, mode, &mut rng)
+            .unwrap();
+        mgr.invoke_with_secret(
+            &mut chain,
+            &client,
+            &ClientTransaction::new(vec![("v", AttrValue::str(name))], secret.to_vec()),
+            &mut rng,
+        )
+        .unwrap();
+    }
+
+    let contains = |haystack: &[u8]| haystack.windows(secret.len()).any(|w| w == secret);
+    for block in chain.store().iter() {
+        for tx in &block.transactions {
+            for arg in &tx.args {
+                assert!(!contains(arg), "plaintext secret leaked into a block");
+            }
+            assert!(!contains(&tx.rwset.to_bytes()), "leak in rwset");
+        }
+    }
+    // Full state scan.
+    for (_, v) in chain.state().scan_prefix("") {
+        assert!(!contains(v), "plaintext secret leaked into state");
+    }
+}

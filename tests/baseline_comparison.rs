@@ -1,0 +1,134 @@
+//! Integration: LedgerView vs the cross-chain 2PC baseline on the same
+//! workload — the cost relationships behind Figs 6 and 9.
+
+use ledgerview::crosschain::{execute_request, CrossChainDeployment, CrossChainRequest};
+use ledgerview::prelude::*;
+use ledgerview::supplychain::{generate, Topology, WorkloadConfig};
+
+/// Run the same 20-transfer WL1 workload through (a) revocable hash views
+/// on one chain and (b) the baseline with one chain per view; compare
+/// on-chain transaction counts and storage.
+#[test]
+fn ledgerview_beats_baseline_on_cost() {
+    let topo = Topology::wl1();
+    let workload = generate(
+        &topo,
+        &WorkloadConfig {
+            items: 20,
+            max_hops: 6,
+            seed: 5,
+            secret_bytes: 48,
+        },
+    );
+    let transfers = &workload.transfers;
+
+    // (a) LedgerView: one chain, per-entity revocable views, TLC batching.
+    let mut rng = ledgerview::crypto::rng::seeded(50);
+    let mut chain = FabricChain::new(&["Org1"], &mut rng);
+    let policy = EndorsementPolicy::AnyOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
+    let client = chain.enroll(&OrgId::new("Org1"), "client", &mut rng).unwrap();
+    let mut mgr: HashBasedManager = ViewManager::new(owner, true);
+    for name in topo.node_names() {
+        mgr.create_view(
+            &mut chain,
+            format!("V_{name}"),
+            ViewPredicate::touches_entity(name),
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
+    }
+    let setup_txs = chain.store().committed_tx_count();
+    for t in transfers {
+        let tx = ClientTransaction::new(
+            t.attributes()
+                .iter()
+                .map(|(k, v)| (k.as_str(), AttrValue::str(v.clone())))
+                .collect(),
+            t.secret.clone(),
+        );
+        mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng).unwrap();
+    }
+    mgr.flush(&mut chain, &mut rng).unwrap();
+    let lv_txs = chain.store().committed_tx_count() - setup_txs;
+    let lv_bytes = chain.store().total_bytes() + chain.state().size_bytes();
+
+    // (b) Baseline: one blockchain per entity, every transfer 2PC-inserted
+    // into the chains of all entities that may see it.
+    let mut rng = ledgerview::crypto::rng::seeded(51);
+    let names = topo.node_names();
+    let mut dep = CrossChainDeployment::new(&names, &mut rng);
+    for (i, t) in transfers.iter().enumerate() {
+        let req = CrossChainRequest {
+            id: format!("r{i}"),
+            payload: t.secret.clone(),
+            views: t.visible_to(),
+        };
+        let outcome = execute_request(&mut dep, &req, &mut rng).unwrap();
+        assert!(matches!(
+            outcome,
+            ledgerview::crosschain::RequestOutcome::Committed { .. }
+        ));
+        assert!(ledgerview::crosschain::protocol::is_atomic(&dep, &req));
+    }
+    let base_txs = dep.total_onchain_txs();
+    let base_bytes = dep.total_storage_bytes();
+
+    // LedgerView: ~1 on-chain tx per transfer (+ flush); baseline: 2·|V|+2.
+    assert!(
+        lv_txs <= transfers.len() as u64 + 3,
+        "LedgerView txs: {lv_txs} for {} transfers",
+        transfers.len()
+    );
+    assert!(
+        base_txs > 3 * lv_txs,
+        "baseline {base_txs} vs ledgerview {lv_txs}"
+    );
+    assert!(
+        base_bytes > lv_bytes,
+        "baseline bytes {base_bytes} vs ledgerview {lv_bytes}"
+    );
+}
+
+/// 2PC keeps the view chains consistent even under participant failure —
+/// and the outcome is all-or-nothing for every request.
+#[test]
+fn baseline_atomicity_under_failures() {
+    let mut rng = ledgerview::crypto::rng::seeded(60);
+    let mut dep = CrossChainDeployment::new(&["V1", "V2", "V3"], &mut rng);
+
+    // Poison V2 after a few successful requests.
+    for i in 0..3 {
+        let req = CrossChainRequest {
+            id: format!("ok-{i}"),
+            payload: vec![i as u8; 32],
+            views: vec!["V1".into(), "V2".into()],
+        };
+        execute_request(&mut dep, &req, &mut rng).unwrap();
+        assert!(ledgerview::crosschain::protocol::is_atomic(&dep, &req));
+    }
+    ledgerview::crosschain::protocol::poison_view(&mut dep, "V2", &mut rng).unwrap();
+    for i in 0..3 {
+        let req = CrossChainRequest {
+            id: format!("fail-{i}"),
+            payload: vec![0xEE; 32],
+            views: vec!["V1".into(), "V2".into(), "V3".into()],
+        };
+        let outcome = execute_request(&mut dep, &req, &mut rng).unwrap();
+        assert!(matches!(
+            outcome,
+            ledgerview::crosschain::RequestOutcome::Aborted { .. }
+        ));
+        assert!(
+            ledgerview::crosschain::protocol::is_atomic(&dep, &req),
+            "aborted request {i} left partial state"
+        );
+    }
+    // All chains still verify their hash chains.
+    dep.main.store().verify_chain().unwrap();
+    for vc in &dep.views {
+        vc.chain.store().verify_chain().unwrap();
+    }
+}

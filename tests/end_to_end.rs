@@ -1,0 +1,213 @@
+//! Integration: the full Fig 3 workflow for all four view methods
+//! (EI, ER, HI, HR) on one chain, crossing every crate boundary.
+
+use ledgerview::prelude::*;
+use ledgerview::views::verify;
+use std::collections::HashSet;
+
+fn fresh_chain(seed: u64) -> (FabricChain, fabric_sim::Identity, fabric_sim::Identity) {
+    let mut rng = ledgerview::crypto::rng::seeded(seed);
+    let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
+    let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
+    let client = chain.enroll(&OrgId::new("Org2"), "client", &mut rng).unwrap();
+    (chain, owner, client)
+}
+
+fn shipments() -> Vec<ClientTransaction> {
+    (0..6)
+        .map(|i| {
+            ClientTransaction::new(
+                vec![
+                    ("item", AttrValue::str(format!("item-{i}"))),
+                    ("from", AttrValue::str("M1")),
+                    (
+                        "to",
+                        AttrValue::str(if i % 2 == 0 { "W1" } else { "W2" }),
+                    ),
+                ],
+                format!("secret-{i}").into_bytes(),
+            )
+        })
+        .collect()
+}
+
+/// Run the whole workflow for one (scheme, mode) combination.
+fn run_workflow<S>(mode: AccessMode, seed: u64)
+where
+    S: ledgerview::views::manager::SecretScheme,
+{
+    let (mut chain, owner, client) = fresh_chain(seed);
+    let mut rng = ledgerview::crypto::rng::seeded(seed + 1);
+    let mut mgr: ViewManager<S> = ViewManager::new(owner, true);
+    mgr.create_view(
+        &mut chain,
+        "V_W1",
+        ViewPredicate::attr_eq("to", "W1"),
+        mode,
+        &mut rng,
+    )
+    .unwrap();
+
+    let mut expected = Vec::new();
+    for tx in shipments() {
+        let tid = mgr
+            .invoke_with_secret(&mut chain, &client, &tx, &mut rng)
+            .unwrap();
+        if tx.non_secret.get("to") == Some(&AttrValue::str("W1")) {
+            expected.push((tid, tx.secret.clone()));
+        }
+    }
+    mgr.flush(&mut chain, &mut rng).unwrap();
+    assert_eq!(mgr.view_len("V_W1").unwrap(), 3);
+
+    // Grant, read, validate.
+    let bob_kp = EncryptionKeyPair::generate(&mut rng);
+    mgr.grant_access(&mut chain, "V_W1", bob_kp.public(), &mut rng)
+        .unwrap();
+    let mut bob = ViewReader::new(bob_kp);
+    bob.obtain_view_key(&chain, "V_W1").unwrap();
+    let resp = mgr
+        .query_view("V_W1", &bob.public(), None, &mut rng)
+        .unwrap();
+    let revealed = bob.open_response(&chain, "V_W1", &resp).unwrap();
+    assert_eq!(revealed.len(), 3);
+    for (tid, secret) in &expected {
+        let got = revealed.iter().find(|r| r.tid == *tid).expect("tid present");
+        assert_eq!(&got.secret, secret);
+    }
+
+    // Verification (Proposition 4.1).
+    let (sound, complete) = verify::verify_view(&chain, "V_W1", &revealed, u64::MAX, true).unwrap();
+    assert!(sound.ok && complete.ok);
+    let tids: HashSet<TxId> = revealed.iter().map(|r| r.tid).collect();
+    let scan = verify::verify_completeness_scan(&chain, "V_W1", &tids, u64::MAX).unwrap();
+    assert!(scan.ok);
+
+    // Mode-specific behaviour.
+    match mode {
+        AccessMode::Revocable => {
+            mgr.revoke_access(&mut chain, "V_W1", &bob.public(), &mut rng)
+                .unwrap();
+            assert!(bob.obtain_view_key(&chain, "V_W1").is_err());
+        }
+        AccessMode::Irrevocable => {
+            assert!(mgr
+                .revoke_access(&mut chain, "V_W1", &bob.public(), &mut rng)
+                .is_err());
+            // Readers can fetch irrevocable data from the chain directly.
+            let kind = S::kind();
+            let decoded = bob.decode_view_storage(&chain, "V_W1", kind).unwrap();
+            assert_eq!(decoded.entries.len(), 3);
+            let revealed2 = bob.reveal(&chain, &decoded).unwrap();
+            assert_eq!(revealed2.len(), 3);
+        }
+    }
+    chain.store().verify_chain().unwrap();
+}
+
+#[test]
+fn er_encryption_revocable() {
+    run_workflow::<ledgerview::views::manager::EncryptionScheme>(AccessMode::Revocable, 100);
+}
+
+#[test]
+fn ei_encryption_irrevocable() {
+    run_workflow::<ledgerview::views::manager::EncryptionScheme>(AccessMode::Irrevocable, 200);
+}
+
+#[test]
+fn hr_hash_revocable() {
+    run_workflow::<ledgerview::views::manager::HashScheme>(AccessMode::Revocable, 300);
+}
+
+#[test]
+fn hi_hash_irrevocable() {
+    run_workflow::<ledgerview::views::manager::HashScheme>(AccessMode::Irrevocable, 400);
+}
+
+#[test]
+fn one_transaction_in_many_views() {
+    // A transaction included in several views at once — the channel
+    // comparison of §2 ("a transaction can be included in several views
+    // but only in one channel").
+    let (mut chain, owner, client) = fresh_chain(500);
+    let mut rng = ledgerview::crypto::rng::seeded(501);
+    let mut mgr: HashBasedManager = ViewManager::new(owner, false);
+    for name in ["V_M1", "V_W1", "V_item"] {
+        let pred = match name {
+            "V_M1" => ViewPredicate::attr_eq("from", "M1"),
+            "V_W1" => ViewPredicate::attr_eq("to", "W1"),
+            _ => ViewPredicate::attr_eq("item", "item-0"),
+        };
+        mgr.create_view(&mut chain, name, pred, AccessMode::Revocable, &mut rng)
+            .unwrap();
+    }
+    let tid = mgr
+        .invoke_with_secret(&mut chain, &client, &shipments()[0], &mut rng)
+        .unwrap();
+    for name in ["V_M1", "V_W1", "V_item"] {
+        assert_eq!(mgr.view_tids(name).unwrap(), vec![tid], "view {name}");
+    }
+
+    // Readers of different views each decrypt the same transaction using
+    // their own view key.
+    for name in ["V_M1", "V_W1", "V_item"] {
+        let kp = EncryptionKeyPair::generate(&mut rng);
+        mgr.grant_access(&mut chain, name, kp.public(), &mut rng).unwrap();
+        let mut reader = ViewReader::new(kp);
+        reader.obtain_view_key(&chain, name).unwrap();
+        let resp = mgr.query_view(name, &reader.public(), None, &mut rng).unwrap();
+        let revealed = reader.open_response(&chain, name, &resp).unwrap();
+        assert_eq!(revealed[0].secret, b"secret-0");
+    }
+}
+
+#[test]
+fn view_keys_are_independent_across_views() {
+    let (mut chain, owner, client) = fresh_chain(600);
+    let mut rng = ledgerview::crypto::rng::seeded(601);
+    let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
+    mgr.create_view(&mut chain, "A", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+        .unwrap();
+    mgr.create_view(&mut chain, "B", ViewPredicate::attr_eq("to", "W1"), AccessMode::Revocable, &mut rng)
+        .unwrap();
+    mgr.invoke_with_secret(&mut chain, &client, &shipments()[0], &mut rng)
+        .unwrap();
+
+    // A member of A must not be able to decrypt B's responses.
+    let kp_a = EncryptionKeyPair::generate(&mut rng);
+    mgr.grant_access(&mut chain, "A", kp_a.public(), &mut rng).unwrap();
+    let mut reader_a = ViewReader::new(kp_a);
+    reader_a.obtain_view_key(&chain, "A").unwrap();
+    assert!(reader_a.obtain_view_key(&chain, "B").is_err());
+    assert!(mgr.query_view("B", &reader_a.public(), None, &mut rng).is_err());
+}
+
+#[test]
+fn state_digest_covers_view_data() {
+    // §5.2: views are contract state under the chain's integrity. Changing
+    // view data (a merge) must change the rolling state root, and the
+    // on-demand full digest must prove inclusion of view entries.
+    let (mut chain, owner, client) = fresh_chain(700);
+    let mut rng = ledgerview::crypto::rng::seeded(701);
+    let mut mgr: HashBasedManager = ViewManager::new(owner, false);
+    mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Irrevocable, &mut rng)
+        .unwrap();
+    let root_before = chain.state_root();
+    mgr.invoke_with_secret(&mut chain, &client, &shipments()[0], &mut rng)
+        .unwrap();
+    assert_ne!(chain.state_root(), root_before);
+
+    // Find the view-storage key and prove it under the full state digest.
+    let state = chain.state();
+    let digest = state.state_digest();
+    let key = state
+        .scan_prefix("vs~data~V~")
+        .map(|(k, _)| k.to_string())
+        .next()
+        .expect("merged entry exists");
+    let (proof, leaf) = state.prove(&key).expect("provable");
+    assert!(fabric_sim::StateDb::verify_proof(&digest, &leaf, &proof));
+}

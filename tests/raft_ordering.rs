@@ -1,0 +1,185 @@
+//! Integration: the ordering service's Raft cluster driven by the
+//! discrete-event simulator — messages travel with real (virtual)
+//! latencies between orderer nodes, blocks replicate in order, and the
+//! service survives a leader crash.
+
+use ledgerview::fabric::raft::{NodeId, Outgoing, RaftConfig, RaftNode};
+use ledgerview::simnet::{LatencyMatrix, Region, SimTime, Simulation};
+
+/// The world: three orderers (one per simnet region for a worst case) and
+/// an in-flight message counter.
+struct OrdererWorld {
+    nodes: Vec<RaftNode>,
+    regions: Vec<Region>,
+    latency: LatencyMatrix,
+    crashed: Vec<bool>,
+    /// Blocks delivered per node, in commit order.
+    delivered: Vec<Vec<Vec<u8>>>,
+}
+
+type Sim = Simulation<OrdererWorld>;
+
+fn send(world: &mut OrdererWorld, sim: &mut Sim, from: NodeId, outs: Vec<Outgoing>) {
+    if world.crashed[from] {
+        return;
+    }
+    for out in outs {
+        if world.crashed[out.to] {
+            continue;
+        }
+        let delay = world
+            .latency
+            .latency(world.regions[from], world.regions[out.to]);
+        let msg = out.msg;
+        let to = out.to;
+        sim.schedule_in(delay, move |w: &mut OrdererWorld, s| {
+            if w.crashed[to] {
+                return;
+            }
+            let replies = w.nodes[to].handle(from, msg, s.now());
+            drain_committed(w, to);
+            send(w, s, to, replies);
+        });
+    }
+}
+
+fn drain_committed(world: &mut OrdererWorld, node: NodeId) {
+    for (_, entry) in world.nodes[node].take_committed() {
+        world.delivered[node].push(entry.data);
+    }
+}
+
+fn tick(world: &mut OrdererWorld, sim: &mut Sim, node: NodeId, until: SimTime) {
+    if sim.now() >= until {
+        return;
+    }
+    if !world.crashed[node] {
+        let outs = world.nodes[node].tick(sim.now());
+        drain_committed(world, node);
+        send(world, sim, node, outs);
+    }
+    sim.schedule_in(SimTime::from_millis(10), move |w: &mut OrdererWorld, s| {
+        tick(w, s, node, until)
+    });
+}
+
+fn make_world(seed: u64) -> OrdererWorld {
+    let n = 3;
+    // Cross-region RTTs reach ~180 ms, so the election timeout must sit
+    // well above them (Raft's timing requirement).
+    let config = RaftConfig {
+        election_timeout_min: SimTime::from_millis(500),
+        election_timeout_max: SimTime::from_millis(1000),
+        heartbeat_interval: SimTime::from_millis(100),
+    };
+    let nodes = (0..n)
+        .map(|id| {
+            let peers: Vec<NodeId> = (0..n).filter(|&p| p != id).collect();
+            RaftNode::new(id, peers, config.clone(), seed, SimTime::ZERO)
+        })
+        .collect();
+    OrdererWorld {
+        nodes,
+        // Worst case: one orderer per region (the paper colocates them;
+        // this stresses the protocol harder).
+        regions: vec![
+            Region::EUROPE_NORTH,
+            Region::NA_NORTHEAST,
+            Region::ASIA_SOUTHEAST,
+        ],
+        latency: LatencyMatrix::gcp_three_regions(),
+        crashed: vec![false; n],
+        delivered: vec![Vec::new(); n],
+    }
+}
+
+fn run_until_leader(world: &mut OrdererWorld, sim: &mut Sim, deadline: SimTime) -> NodeId {
+    loop {
+        sim.run_until(world, sim.now() + SimTime::from_millis(50));
+        if let Some(leader) = world
+            .nodes
+            .iter()
+            .find(|n| n.is_leader() && !world.crashed[n.id()])
+        {
+            return leader.id();
+        }
+        assert!(sim.now() < deadline, "no leader elected by {deadline}");
+    }
+}
+
+#[test]
+fn blocks_replicate_in_order_across_regions() {
+    let mut world = make_world(42);
+    let mut sim: Sim = Simulation::new();
+    let horizon = SimTime::from_secs(60);
+    for id in 0..3 {
+        sim.schedule_at(SimTime::ZERO, move |w: &mut OrdererWorld, s| {
+            tick(w, s, id, horizon)
+        });
+    }
+    let leader = run_until_leader(&mut world, &mut sim, SimTime::from_secs(30));
+
+    // Propose 5 blocks from the leader.
+    for i in 0..5u8 {
+        let data = format!("block-{i}").into_bytes();
+        let now = sim.now();
+        let outs = world.nodes[leader].propose(data, now).expect("is leader").1;
+        send(&mut world, &mut sim, leader, outs);
+        sim.run_until(&mut world, sim.now() + SimTime::from_millis(500));
+    }
+    sim.run_until(&mut world, sim.now() + SimTime::from_secs(2));
+
+    // Every node delivered the same 5 blocks in the same order.
+    for node in 0..3 {
+        drain_committed(&mut world, node);
+        assert_eq!(
+            world.delivered[node],
+            (0..5u8)
+                .map(|i| format!("block-{i}").into_bytes())
+                .collect::<Vec<_>>(),
+            "node {node} delivery mismatch"
+        );
+    }
+}
+
+#[test]
+fn leader_crash_reelection_preserves_committed_blocks() {
+    let mut world = make_world(7);
+    let mut sim: Sim = Simulation::new();
+    let horizon = SimTime::from_secs(120);
+    for id in 0..3 {
+        sim.schedule_at(SimTime::ZERO, move |w: &mut OrdererWorld, s| {
+            tick(w, s, id, horizon)
+        });
+    }
+    let leader = run_until_leader(&mut world, &mut sim, SimTime::from_secs(30));
+    let now = sim.now();
+    let outs = world.nodes[leader]
+        .propose(b"pre-crash".to_vec(), now)
+        .unwrap()
+        .1;
+    send(&mut world, &mut sim, leader, outs);
+    sim.run_until(&mut world, sim.now() + SimTime::from_secs(2));
+    assert!(world.nodes[leader].commit_index() >= 1);
+
+    // Crash the leader; a new one must emerge and keep the block.
+    world.crashed[leader] = true;
+    let deadline = sim.now() + SimTime::from_secs(60);
+    let new_leader = run_until_leader(&mut world, &mut sim, deadline);
+    assert_ne!(new_leader, leader);
+
+    let now = sim.now();
+    let outs = world.nodes[new_leader]
+        .propose(b"post-crash".to_vec(), now)
+        .unwrap()
+        .1;
+    send(&mut world, &mut sim, new_leader, outs);
+    sim.run_until(&mut world, sim.now() + SimTime::from_secs(2));
+
+    drain_committed(&mut world, new_leader);
+    assert_eq!(
+        world.delivered[new_leader],
+        vec![b"pre-crash".to_vec(), b"post-crash".to_vec()],
+        "committed block lost across re-election"
+    );
+}
