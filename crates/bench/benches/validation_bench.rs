@@ -1,0 +1,111 @@
+//! Criterion microbenchmark: serial vs parallel block validation.
+//!
+//! Measures `BlockValidator::validate_and_commit` on a 100-transaction
+//! block with real Ed25519 endorsements (2 per transaction) at 1/2/4/8
+//! workers, plus ablations isolating batch verification and the signature
+//! cache. A fresh validator is built per iteration so the signature cache
+//! starts cold (intra-block dedup still applies, as it would on a live
+//! peer seeing a new block).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use fabric_sim::{BlockValidator, ValidationConfig};
+use ledgerview_bench::validation_fixtures::{parallel_config, serial_config, ValidationWorkload};
+
+fn bench_validation(c: &mut Criterion) {
+    let workload = ValidationWorkload::build(100);
+    let mut group = c.benchmark_group("validation/commit_100tx");
+    group.throughput(Throughput::Elements(workload.transactions.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::from_parameter("serial_reference"), |b| {
+        b.iter(|| {
+            let validator = BlockValidator::new(serial_config());
+            let mut state = workload.fresh_state();
+            black_box(validator.validate_and_commit(
+                &workload.transactions,
+                &mut state,
+                1,
+                &workload.msp,
+                &ValidationWorkload::policy_for,
+            ))
+        });
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let validator = BlockValidator::new(parallel_config(workers));
+                    let mut state = workload.fresh_state();
+                    black_box(validator.validate_and_commit(
+                        &workload.transactions,
+                        &mut state,
+                        1,
+                        &workload.msp,
+                        &ValidationWorkload::policy_for,
+                    ))
+                });
+            },
+        );
+    }
+
+    // Ablations at 4 workers: batching and caching isolated.
+    for (label, config) in [
+        (
+            "workers4_no_batch",
+            ValidationConfig {
+                workers: 4,
+                batch_verify: false,
+                sig_cache: 0,
+                verify_endorsements: true,
+            },
+        ),
+        (
+            "workers1_batch_only",
+            ValidationConfig {
+                workers: 1,
+                batch_verify: true,
+                sig_cache: 0,
+                verify_endorsements: true,
+            },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let validator = BlockValidator::new(config.clone());
+                let mut state = workload.fresh_state();
+                black_box(validator.validate_and_commit(
+                    &workload.transactions,
+                    &mut state,
+                    1,
+                    &workload.msp,
+                    &ValidationWorkload::policy_for,
+                ))
+            });
+        });
+    }
+    group.finish();
+
+    // MVCC-only phase (endorsements off): the serial floor every
+    // configuration shares.
+    c.bench_function("validation/mvcc_only_100tx", |b| {
+        let validator = BlockValidator::new(ValidationConfig::default());
+        b.iter(|| {
+            let mut state = workload.fresh_state();
+            black_box(validator.validate_and_commit(
+                &workload.transactions,
+                &mut state,
+                1,
+                &workload.msp,
+                &ValidationWorkload::policy_for,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -26,7 +26,7 @@ fn main() {
             run.total_views = 10;
             run.views_per_tx = if method == Method::Baseline2pc { 10 } else { 3 };
             run.batch_size = 25;
-            run.batches = requests / (8 * 25).max(1);
+            run.batches = requests / (8 * 25);
             if run.batches == 0 {
                 run.batches = 1;
                 run.batch_size = requests / 8;

@@ -1,0 +1,160 @@
+//! Validation speedup report: serial vs parallel commit pipelines.
+//!
+//! Times `BlockValidator::validate_and_commit` on endorsed blocks (2 real
+//! Ed25519 endorsements per transaction) for the serial reference and the
+//! parallel pipeline at 1/2/4/8 workers, plus batch/cache ablations, and
+//! writes a JSON report to `bench_results/validation_speedup.json`.
+//!
+//! Methodology: per configuration, `REPS` runs each on a fresh validator
+//! (cold signature cache — intra-block dedup only) and a fresh state; the
+//! median run is reported. Outcomes are asserted identical to the serial
+//! reference on every run.
+
+use std::time::Instant;
+
+use fabric_sim::{BlockValidator, ValidationConfig};
+use ledgerview_bench::report::results_dir;
+use ledgerview_bench::validation_fixtures::{parallel_config, serial_config, ValidationWorkload};
+
+const REPS: usize = 7;
+
+struct Measurement {
+    label: String,
+    block_size: usize,
+    config: ValidationConfig,
+    median_ms: f64,
+}
+
+fn median_ms(workload: &ValidationWorkload, config: &ValidationConfig) -> f64 {
+    let reference = {
+        let validator = BlockValidator::new(serial_config());
+        let mut state = workload.fresh_state();
+        validator.validate_and_commit(
+            &workload.transactions,
+            &mut state,
+            1,
+            &workload.msp,
+            &ValidationWorkload::policy_for,
+        )
+    };
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let validator = BlockValidator::new(config.clone());
+            let mut state = workload.fresh_state();
+            let start = Instant::now();
+            let outcomes = validator.validate_and_commit(
+                &workload.transactions,
+                &mut state,
+                1,
+                &workload.msp,
+                &ValidationWorkload::policy_for,
+            );
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(outcomes, reference, "pipeline diverged from serial");
+            elapsed
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[REPS / 2]
+}
+
+fn main() {
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for block_size in [100usize, 250] {
+        let workload = ValidationWorkload::build(block_size);
+        let mut run = |label: &str, config: ValidationConfig| {
+            let ms = median_ms(&workload, &config);
+            println!("{block_size:>4} tx  {label:<24} {ms:>9.2} ms");
+            measurements.push(Measurement {
+                label: label.to_string(),
+                block_size,
+                config,
+                median_ms: ms,
+            });
+        };
+        run("serial_reference", serial_config());
+        for workers in [1usize, 2, 4, 8] {
+            run(&format!("parallel_w{workers}"), parallel_config(workers));
+        }
+        run(
+            "workers4_no_batch",
+            ValidationConfig {
+                workers: 4,
+                batch_verify: false,
+                sig_cache: 0,
+                verify_endorsements: true,
+            },
+        );
+        run(
+            "workers1_batch_only",
+            ValidationConfig {
+                workers: 1,
+                batch_verify: true,
+                sig_cache: 0,
+                verify_endorsements: true,
+            },
+        );
+    }
+
+    // Hand-rolled JSON (no serde in the offline build environment).
+    let mut rows = Vec::new();
+    for m in &measurements {
+        let serial = measurements
+            .iter()
+            .find(|s| s.block_size == m.block_size && s.label == "serial_reference")
+            .expect("serial baseline measured");
+        rows.push(format!(
+            concat!(
+                "    {{\"label\": \"{}\", \"block_size\": {}, \"workers\": {}, ",
+                "\"batch_verify\": {}, \"sig_cache\": {}, \"median_ms\": {:.3}, ",
+                "\"speedup_vs_serial\": {:.3}}}"
+            ),
+            m.label,
+            m.block_size,
+            m.config.workers,
+            m.config.batch_verify,
+            m.config.sig_cache,
+            m.median_ms,
+            serial.median_ms / m.median_ms,
+        ));
+    }
+    let headline = measurements
+        .iter()
+        .find(|m| m.block_size == 100 && m.label == "parallel_w4")
+        .expect("headline config measured");
+    let headline_serial = measurements
+        .iter()
+        .find(|m| m.block_size == 100 && m.label == "serial_reference")
+        .expect("headline serial measured");
+    let headline_speedup = headline_serial.median_ms / headline.median_ms;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"validation_speedup\",\n",
+            "  \"description\": \"BlockValidator::validate_and_commit, endorsed blocks, ",
+            "2 Ed25519 endorsements per tx, median of {} cold-cache runs\",\n",
+            "  \"endorsements_per_tx\": 2,\n",
+            "  \"acceptance\": {{\"block_size\": 100, \"workers\": 4, ",
+            "\"speedup_vs_serial\": {:.3}, \"target\": 2.0, \"met\": {}}},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        REPS,
+        headline_speedup,
+        headline_speedup >= 2.0,
+        rows.join(",\n"),
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("validation_speedup.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!(
+        "\n4-worker speedup on 100-tx blocks: {headline_speedup:.2}x (target 2.0x)\nwrote {}",
+        path.display()
+    );
+    assert!(
+        headline_speedup >= 2.0,
+        "acceptance: expected >=2x speedup at 4 workers, got {headline_speedup:.2}x"
+    );
+}

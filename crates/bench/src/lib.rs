@@ -16,6 +16,7 @@ pub mod methods;
 pub mod report;
 pub mod timed;
 pub mod functional;
+pub mod validation_fixtures;
 
 pub use methods::Method;
 pub use report::{FigureTable, Row};

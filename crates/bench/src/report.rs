@@ -5,7 +5,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 /// One row of a figure's data series.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// The x-axis value (e.g. number of clients, number of views).
     pub x: f64,

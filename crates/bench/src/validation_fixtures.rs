@@ -1,0 +1,116 @@
+//! Shared fixtures for the validation benchmarks: realistic endorsed
+//! blocks of configurable size, validated against a pre-populated state.
+//!
+//! Used by the `validation_bench` Criterion benchmark and the
+//! `validation_speedup` report binary so both measure the same workload.
+
+use fabric_sim::chaincode::{ReadEntry, RwSet, WriteEntry};
+use fabric_sim::endorsement::{response_signing_bytes, EndorsementPolicy};
+use fabric_sim::identity::{Identity, Msp, OrgId};
+use fabric_sim::ledger::{Endorsement, Transaction, TxId};
+use fabric_sim::{StateDb, ValidationConfig, Version};
+use ledgerview_crypto::rng::seeded;
+use ledgerview_crypto::sha256::sha256;
+use rand::Rng;
+
+/// A block of endorsed transactions plus everything needed to validate it.
+pub struct ValidationWorkload {
+    /// The membership registry the endorser certificates chain to.
+    pub msp: Msp,
+    /// The block's transactions, each carrying two real Ed25519
+    /// endorsements (certificate + response signature).
+    pub transactions: Vec<Transaction>,
+    keys: Vec<String>,
+}
+
+impl ValidationWorkload {
+    /// Build a block of `n_txs` transactions over `n_txs` distinct keys
+    /// (every transaction reads its key at the block-start version and
+    /// overwrites it — all valid, no MVCC conflicts, so the endorsement
+    /// phase dominates as in a healthy Fabric network).
+    pub fn build(n_txs: usize) -> ValidationWorkload {
+        let mut rng = seeded(2024);
+        let mut msp = Msp::new();
+        let endorsers: Vec<Identity> = ["Org1", "Org2"]
+            .iter()
+            .map(|name| {
+                let org = msp.add_org(name, &mut rng);
+                msp.enroll(&org, &format!("peer0.{name}"), &mut rng).unwrap()
+            })
+            .collect();
+        let keys: Vec<String> = (0..n_txs).map(|i| format!("key-{i:05}")).collect();
+        let transactions = (0..n_txs)
+            .map(|i| {
+                let rwset = RwSet {
+                    reads: vec![ReadEntry {
+                        key: keys[i].clone(),
+                        version: Some(Version::GENESIS),
+                    }],
+                    writes: vec![WriteEntry {
+                        key: keys[i].clone(),
+                        value: Some(vec![rng.random::<u8>(); 64]),
+                    }],
+                    private_writes: vec![],
+                };
+                let tx_id = TxId(sha256(&(i as u64).to_be_bytes()));
+                let response = vec![0u8; 32];
+                let msg = response_signing_bytes(&tx_id, &rwset.digest(), &response);
+                Transaction {
+                    tx_id,
+                    chaincode: "kv".into(),
+                    function: "put".into(),
+                    args: vec![keys[i].clone().into_bytes()],
+                    creator: endorsers[0].cert().clone(),
+                    rwset,
+                    response,
+                    endorsements: endorsers
+                        .iter()
+                        .map(|e| Endorsement {
+                            endorser: e.cert().clone(),
+                            signature: e.sign(&msg),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        ValidationWorkload {
+            msp,
+            transactions,
+            keys,
+        }
+    }
+
+    /// A fresh state with every key present at the GENESIS version.
+    pub fn fresh_state(&self) -> StateDb {
+        let mut state = StateDb::new();
+        for key in &self.keys {
+            state.put(key.clone(), vec![0u8; 64], Version::GENESIS);
+        }
+        state
+    }
+
+    /// The endorsement policy lookup for the workload's chaincode.
+    pub fn policy_for(cc: &str) -> Option<EndorsementPolicy> {
+        (cc == "kv").then(|| EndorsementPolicy::AllOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]))
+    }
+}
+
+/// The serial reference configuration used as the speedup baseline.
+pub fn serial_config() -> ValidationConfig {
+    ValidationConfig {
+        workers: 1,
+        batch_verify: false,
+        sig_cache: 0,
+        verify_endorsements: true,
+    }
+}
+
+/// The parallel configuration measured against the baseline.
+pub fn parallel_config(workers: usize) -> ValidationConfig {
+    ValidationConfig {
+        workers,
+        batch_verify: true,
+        sig_cache: 4096,
+        verify_endorsements: true,
+    }
+}

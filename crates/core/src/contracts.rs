@@ -39,7 +39,7 @@ pub fn tx_state_key(tid: &TxId) -> String {
     format!("tx~{}", tid.to_hex())
 }
 
-fn arg<'a>(args: &'a [Vec<u8>], i: usize) -> Result<&'a [u8], FabricError> {
+fn arg(args: &[Vec<u8>], i: usize) -> Result<&[u8], FabricError> {
     args.get(i)
         .map(|a| a.as_slice())
         .ok_or_else(|| FabricError::Malformed(format!("missing argument {i}")))
@@ -141,8 +141,11 @@ fn merge_into(
     Ok(added)
 }
 
+/// One view's merge batch: `(view name, [(state key, sealed entry)])`.
+pub type MergeBatch = (String, Vec<(String, Vec<u8>)>);
+
 /// Encode per-view merge batches for `merge_multi`.
-pub fn encode_multi_merge(batches: &[(String, Vec<(String, Vec<u8>)>)]) -> Vec<u8> {
+pub fn encode_multi_merge(batches: &[MergeBatch]) -> Vec<u8> {
     let mut w = Writer::new();
     w.u32(batches.len() as u32);
     for (view, entries) in batches {
@@ -151,9 +154,7 @@ pub fn encode_multi_merge(batches: &[(String, Vec<(String, Vec<u8>)>)]) -> Vec<u
     w.into_bytes()
 }
 
-fn decode_multi_merge(
-    bytes: &[u8],
-) -> Result<Vec<(String, Vec<(String, Vec<u8>)>)>, FabricError> {
+fn decode_multi_merge(bytes: &[u8]) -> Result<Vec<MergeBatch>, FabricError> {
     let mut r = Reader::new(bytes);
     let n = r.u32()? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 12));
@@ -777,7 +778,7 @@ mod tests {
             recipient: user.public(),
             sealed_key: b"sealed".to_vec(),
         };
-        let payload = encode_access_payload(&[entry.clone()]);
+        let payload = encode_access_payload(std::slice::from_ref(&entry));
         chain
             .invoke_commit(
                 &alice,

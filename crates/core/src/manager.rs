@@ -358,7 +358,7 @@ impl<S: SecretScheme> ViewManager<S> {
             .filter(|(_, v)| v.definition.matches_streaming(&tx.non_secret) == Some(true))
             .map(|(n, _)| n.clone())
             .collect();
-        let mut immediate_merges: Vec<(String, Vec<(String, Vec<u8>)>)> = Vec::new();
+        let mut immediate_merges: Vec<contracts::MergeBatch> = Vec::new();
         for name in matching {
             if let Some(entry) = self.insert_into_view(&name, tid, record.clone(), now_us, rng)? {
                 immediate_merges.push((name, vec![entry]));
@@ -374,7 +374,7 @@ impl<S: SecretScheme> ViewManager<S> {
     fn submit_merges<R: RngCore + ?Sized>(
         &self,
         chain: &mut FabricChain,
-        merges: Vec<(String, Vec<(String, Vec<u8>)>)>,
+        merges: Vec<contracts::MergeBatch>,
         rng: &mut R,
     ) -> Result<(), ViewError> {
         if merges.is_empty() {
@@ -504,7 +504,7 @@ impl<S: SecretScheme> ViewManager<S> {
             )?;
             txs += 1;
         }
-        let mut merges: Vec<(String, Vec<(String, Vec<u8>)>)> = Vec::new();
+        let mut merges: Vec<contracts::MergeBatch> = Vec::new();
         for (name, info) in self.views.iter_mut() {
             if !info.pending_merge.is_empty() {
                 merges.push((name.clone(), std::mem::take(&mut info.pending_merge)));

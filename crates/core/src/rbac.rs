@@ -248,10 +248,11 @@ pub fn encode_access_matrix(state: &StateDb) -> Vec<u8> {
     w.into_bytes()
 }
 
+/// One audit-matrix row: `(role, member public keys, readable views)`.
+pub type AccessMatrixRow = (String, Vec<PublicKey>, Vec<String>);
+
 /// Decode the audit matrix produced by [`encode_access_matrix`].
-pub fn decode_access_matrix(
-    bytes: &[u8],
-) -> Result<Vec<(String, Vec<PublicKey>, Vec<String>)>, ViewError> {
+pub fn decode_access_matrix(bytes: &[u8]) -> Result<Vec<AccessMatrixRow>, ViewError> {
     let mut r = Reader::new(bytes);
     let n = r.u32().map_err(ViewError::Fabric)? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 16));

@@ -9,7 +9,7 @@ pub const COORDINATOR_CC: &str = "xc.coordinator";
 /// Chaincode name of the participant (deployed on each view chain).
 pub const SHARD_CC: &str = "xc.shard";
 
-fn arg<'a>(args: &'a [Vec<u8>], i: usize) -> Result<&'a [u8], FabricError> {
+fn arg(args: &[Vec<u8>], i: usize) -> Result<&[u8], FabricError> {
     args.get(i)
         .map(|a| a.as_slice())
         .ok_or_else(|| FabricError::Malformed(format!("missing argument {i}")))

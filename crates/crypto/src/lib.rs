@@ -44,6 +44,7 @@ pub mod hmac;
 pub mod keys;
 pub mod rng;
 pub mod sha256;
+pub mod sigcache;
 pub mod sha512;
 pub mod x25519;
 
@@ -51,3 +52,4 @@ pub use aead::{open_sym, seal_sym};
 pub use error::CryptoError;
 pub use keys::{open, seal, EncryptionKeyPair, PublicKey, SigningKeyPair, SymmetricKey};
 pub use sha256::{sha256, Digest, Sha256};
+pub use sigcache::{CacheStats, SigCache};

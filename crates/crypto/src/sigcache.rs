@@ -1,0 +1,246 @@
+//! A bounded LRU cache of signature-verification outcomes.
+//!
+//! Block validation re-checks endorsement signatures that were already
+//! verified at endorsement time, and identical `(public key, message,
+//! signature)` triples recur whenever certificates are re-verified or
+//! blocks are re-validated. Caching the boolean outcome keyed by a digest
+//! of the triple turns those repeats into a hash lookup.
+//!
+//! The cache is internally synchronised (a single `Mutex`), so one instance
+//! can be shared by the worker threads of a parallel validation pipeline.
+//! Both positive and negative outcomes are cached; entries are evicted in
+//! least-recently-used order once `capacity` is reached.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use crate::sha256::Sha256;
+
+/// Aggregate hit/miss counters, for benchmarking and diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+struct Inner {
+    /// key digest → (verification outcome, recency stamp).
+    map: HashMap<[u8; 32], (bool, u64)>,
+    /// recency stamp → key digest, for O(log n) LRU eviction.
+    order: BTreeMap<u64, [u8; 32]>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// Bounded LRU cache of `(pubkey, message, signature)` verification
+/// outcomes.
+pub struct SigCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl SigCache {
+    /// Create a cache holding at most `capacity` entries. A capacity of 0
+    /// disables the cache (lookups miss, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        SigCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: BTreeMap::new(),
+                tick: 0,
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn key(public_key: &[u8; 32], message: &[u8], signature: &[u8; 64]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(public_key);
+        h.update(signature);
+        h.update(message);
+        h.finalize().0
+    }
+
+    /// Return the cached outcome for a triple, if present, refreshing its
+    /// recency.
+    pub fn lookup(
+        &self,
+        public_key: &[u8; 32],
+        message: &[u8],
+        signature: &[u8; 64],
+    ) -> Option<bool> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let key = Self::key(public_key, message, signature);
+        let mut inner = self.inner.lock().expect("sig cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                let old = entry.1;
+                let outcome = entry.0;
+                entry.1 = tick;
+                inner.order.remove(&old);
+                inner.order.insert(tick, key);
+                inner.stats.hits += 1;
+                Some(outcome)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record the verification outcome for a triple, evicting the least
+    /// recently used entry if the cache is full.
+    pub fn record(
+        &self,
+        public_key: &[u8; 32],
+        message: &[u8],
+        signature: &[u8; 64],
+        valid: bool,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = Self::key(public_key, message, signature);
+        let mut inner = self.inner.lock().expect("sig cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&key) {
+            let old = entry.1;
+            entry.0 = valid;
+            entry.1 = tick;
+            inner.order.remove(&old);
+            inner.order.insert(tick, key);
+            return;
+        }
+        if inner.map.len() >= self.capacity {
+            if let Some((&oldest, &victim)) = inner.order.iter().next() {
+                inner.order.remove(&oldest);
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(key, (valid, tick));
+        inner.order.insert(tick, key);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("sig cache poisoned").map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("sig cache poisoned").stats
+    }
+}
+
+impl std::fmt::Debug for SigCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("sig cache poisoned");
+        f.debug_struct("SigCache")
+            .field("capacity", &self.capacity)
+            .field("len", &inner.map.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triple(i: u8) -> ([u8; 32], Vec<u8>, [u8; 64]) {
+        ([i; 32], vec![i, i + 1], [i; 64])
+    }
+
+    #[test]
+    fn hit_miss_and_outcomes() {
+        let cache = SigCache::new(8);
+        let (pk, msg, sig) = triple(1);
+        assert_eq!(cache.lookup(&pk, &msg, &sig), None);
+        cache.record(&pk, &msg, &sig, true);
+        assert_eq!(cache.lookup(&pk, &msg, &sig), Some(true));
+        cache.record(&pk, &msg, &sig, false);
+        assert_eq!(cache.lookup(&pk, &msg, &sig), Some(false));
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn distinct_triples_are_distinct_keys() {
+        let cache = SigCache::new(8);
+        let (pk, msg, sig) = triple(1);
+        cache.record(&pk, &msg, &sig, true);
+        let (pk2, _, _) = triple(2);
+        assert_eq!(cache.lookup(&pk2, &msg, &sig), None);
+        assert_eq!(cache.lookup(&pk, b"other", &sig), None);
+        let mut sig2 = sig;
+        sig2[0] ^= 1;
+        assert_eq!(cache.lookup(&pk, &msg, &sig2), None);
+    }
+
+    #[test]
+    fn bounded_with_lru_eviction() {
+        let cache = SigCache::new(3);
+        for i in 0..3u8 {
+            let (pk, msg, sig) = triple(i);
+            cache.record(&pk, &msg, &sig, true);
+        }
+        // Touch entry 0 so entry 1 becomes the LRU victim.
+        let (pk0, msg0, sig0) = triple(0);
+        assert_eq!(cache.lookup(&pk0, &msg0, &sig0), Some(true));
+        let (pk3, msg3, sig3) = triple(3);
+        cache.record(&pk3, &msg3, &sig3, true);
+        assert_eq!(cache.len(), 3);
+        let (pk1, msg1, sig1) = triple(1);
+        assert_eq!(cache.lookup(&pk1, &msg1, &sig1), None, "LRU entry evicted");
+        assert_eq!(cache.lookup(&pk0, &msg0, &sig0), Some(true));
+        assert_eq!(cache.lookup(&pk3, &msg3, &sig3), Some(true));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = SigCache::new(0);
+        let (pk, msg, sig) = triple(1);
+        cache.record(&pk, &msg, &sig, true);
+        assert_eq!(cache.lookup(&pk, &msg, &sig), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = std::sync::Arc::new(SigCache::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..16u8 {
+                        let (pk, msg, sig) = triple(t * 16 + i);
+                        cache.record(&pk, &msg, &sig, true);
+                        assert_eq!(cache.lookup(&pk, &msg, &sig), Some(true));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 64);
+    }
+}

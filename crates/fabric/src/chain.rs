@@ -2,7 +2,7 @@
 //!
 //! [`FabricChain`] wires the substrate together in a single process:
 //! enrollment, chaincode deployment, endorsement (real chaincode execution
-//! + Ed25519 signatures), block cutting, MVCC validation and commit, state
+//! and Ed25519 signatures), block cutting, MVCC validation and commit, state
 //! digests, and private data dissemination. The functional layer of the
 //! LedgerView system — and every example and integration test — runs on
 //! this type; the timed deployment in [`crate::network`] adds latency and
@@ -18,9 +18,10 @@ use crate::endorsement::{check_endorsements, EndorsementPolicy, Proposal, Propos
 use crate::error::FabricError;
 use crate::identity::{Identity, Msp, OrgId};
 use crate::ledger::{Block, BlockHeader, BlockStore, Transaction, TxId};
+use crate::parallel::{BlockValidator, ValidationConfig};
 use crate::privdata::{CollectionConfig, PrivateStore};
 use crate::statedb::StateDb;
-use crate::validation::{next_state_root, validate_and_commit_block, TxValidation};
+use crate::validation::{next_state_root, TxValidation};
 
 struct Deployed {
     code: Box<dyn Chaincode>,
@@ -54,6 +55,9 @@ pub struct FabricChain {
     /// Whether to produce and check real endorsement signatures.
     /// Disabled only by throughput experiments (documented substitution).
     check_signatures: bool,
+    /// Commit-time validation pipeline (serial MVCC-only by default; see
+    /// [`ValidationConfig`]).
+    validator: BlockValidator,
 }
 
 impl FabricChain {
@@ -80,6 +84,7 @@ impl FabricChain {
             state_root: Digest::ZERO,
             clock_us: 0,
             check_signatures: true,
+            validator: BlockValidator::new(ValidationConfig::default()),
         }
     }
 
@@ -87,6 +92,18 @@ impl FabricChain {
     /// large-scale timing experiments; see DESIGN.md).
     pub fn set_check_signatures(&mut self, check: bool) {
         self.check_signatures = check;
+    }
+
+    /// Replace the commit-time validation pipeline (worker count, batch
+    /// verification, signature cache, commit-time endorsement checks).
+    /// Every configuration commits identical outcomes; only cost differs.
+    pub fn set_validation_config(&mut self, config: ValidationConfig) {
+        self.validator = BlockValidator::new(config);
+    }
+
+    /// The active commit-time validation configuration.
+    pub fn validation_config(&self) -> &ValidationConfig {
+        self.validator.config()
     }
 
     /// Enroll a user with an organisation.
@@ -266,7 +283,14 @@ impl FabricChain {
         self.clock_us += 1;
         let transactions = std::mem::take(&mut self.pending);
         let block_num = self.store.height();
-        let outcomes = validate_and_commit_block(&transactions, &mut self.state, block_num);
+        let chaincodes = &self.chaincodes;
+        let outcomes = self.validator.validate_and_commit(
+            &transactions,
+            &mut self.state,
+            block_num,
+            &self.msp,
+            &|cc: &str| chaincodes.get(cc).map(|d| d.policy.clone()),
+        );
         let state_root = next_state_root(&self.state_root, &transactions, &outcomes);
         let prev_hash = self
             .store
@@ -318,6 +342,9 @@ impl FabricChain {
             Some(TxValidation::Valid) => Ok(result),
             Some(TxValidation::MvccConflict { key }) => {
                 Err(FabricError::MvccConflict { key: key.clone() })
+            }
+            Some(TxValidation::EndorsementFailure { reason }) => {
+                Err(FabricError::EndorsementPolicyFailure(reason.clone()))
             }
             None => Err(FabricError::Malformed("no transaction committed".into())),
         }

@@ -99,6 +99,65 @@ impl RwSet {
     pub fn digest(&self) -> Digest {
         sha256(&self.to_bytes())
     }
+
+    /// Decode the canonical bytes produced by [`RwSet::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<RwSet, FabricError> {
+        let mut r = crate::wire::Reader::new(bytes);
+        let set = Self::read_from(&mut r)?;
+        r.finish()?;
+        Ok(set)
+    }
+
+    /// Decode from an open reader (for embedding in larger messages).
+    pub fn read_from(r: &mut crate::wire::Reader<'_>) -> Result<RwSet, FabricError> {
+        let n_reads = r.u32()? as usize;
+        let mut reads = Vec::with_capacity(n_reads.min(1 << 16));
+        for _ in 0..n_reads {
+            let key = r.string()?;
+            let version = match r.u8()? {
+                0 => None,
+                1 => Some(Version {
+                    block_num: r.u64()?,
+                    tx_num: r.u32()?,
+                }),
+                tag => {
+                    return Err(FabricError::Malformed(format!(
+                        "bad read-version tag {tag}"
+                    )))
+                }
+            };
+            reads.push(ReadEntry { key, version });
+        }
+        let n_writes = r.u32()? as usize;
+        let mut writes = Vec::with_capacity(n_writes.min(1 << 16));
+        for _ in 0..n_writes {
+            let key = r.string()?;
+            let value = match r.u8()? {
+                0 => None,
+                1 => Some(r.bytes()?),
+                tag => {
+                    return Err(FabricError::Malformed(format!(
+                        "bad write-value tag {tag}"
+                    )))
+                }
+            };
+            writes.push(WriteEntry { key, value });
+        }
+        let n_private = r.u32()? as usize;
+        let mut private_writes = Vec::with_capacity(n_private.min(1 << 16));
+        for _ in 0..n_private {
+            private_writes.push(PrivateWriteEntry {
+                collection: r.string()?,
+                key: r.string()?,
+                value_hash: Digest(r.array::<32>()?),
+            });
+        }
+        Ok(RwSet {
+            reads,
+            writes,
+            private_writes,
+        })
+    }
 }
 
 /// The context a chaincode sees while being simulated at endorsement time.

@@ -16,6 +16,7 @@ use crate::chaincode::Chaincode;
 use crate::endorsement::EndorsementPolicy;
 use crate::error::FabricError;
 use crate::identity::{Identity, OrgId};
+use crate::parallel::ValidationConfig;
 
 /// A channel: an isolated ledger plus its member organisations.
 pub struct Channel {
@@ -35,6 +36,13 @@ impl Channel {
     /// the registry API).
     pub fn chain(&self) -> &FabricChain {
         &self.chain
+    }
+
+    /// Replace this channel ledger's commit-time validation pipeline.
+    /// Validation configuration is a local peer tuning choice: every
+    /// configuration commits identical blocks, so members may differ.
+    pub fn set_validation_config(&mut self, config: ValidationConfig) {
+        self.chain.set_validation_config(config);
     }
 }
 
@@ -148,6 +156,21 @@ impl ChannelRegistry {
             )));
         }
         ch.chain.query(creator, chaincode, function, args)
+    }
+
+    /// Configure the commit-time validation pipeline of a channel's ledger
+    /// (worker count, batch signature verification, signature cache).
+    pub fn set_validation_config(
+        &mut self,
+        channel: &str,
+        config: ValidationConfig,
+    ) -> Result<(), FabricError> {
+        let ch = self
+            .channels
+            .get_mut(channel)
+            .ok_or_else(|| FabricError::Malformed(format!("unknown channel {channel:?}")))?;
+        ch.set_validation_config(config);
+        Ok(())
     }
 
     /// Enroll a user with a member org of a channel.
@@ -284,6 +307,34 @@ mod tests {
             .state()
             .get("shipment-1")
             .is_none());
+    }
+
+    #[test]
+    fn parallel_validation_on_a_channel_commits_identically() {
+        let mut rng = seeded(6);
+        let mut reg = ChannelRegistry::new();
+        reg.create_channel("c", &["O"], &mut rng);
+        let org = OrgId::new("O");
+        reg.deploy(
+            "c",
+            &org,
+            "kv",
+            Box::new(Put),
+            EndorsementPolicy::AnyOf(vec![org.clone()]),
+        )
+        .unwrap();
+        reg.set_validation_config("c", ValidationConfig::parallel(4))
+            .unwrap();
+        assert!(reg
+            .set_validation_config("ghost", ValidationConfig::default())
+            .is_err());
+        let u = reg.enroll("c", &org, "u", &mut rng).unwrap();
+        reg.invoke_commit("c", &u, "kv", "f", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
+            .unwrap();
+        let chain = reg.channel("c").unwrap().chain();
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.validation_config().workers, 4);
+        assert_eq!(chain.state().get("k"), Some(&b"v"[..]));
     }
 
     #[test]

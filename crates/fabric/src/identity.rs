@@ -35,7 +35,7 @@ impl std::fmt::Display for OrgId {
 
 /// A certificate binding a user's keys to a name and organisation, signed
 /// by the organisation's CA.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Certificate {
     /// Enrolled user name (unique within the org).
     pub subject: String,
@@ -58,6 +58,36 @@ impl Certificate {
             .array(&self.signing_pub)
             .array(self.encryption_pub.as_bytes());
         w.into_bytes()
+    }
+
+    /// Full wire encoding: the signed bytes plus the CA signature.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.string(&self.subject)
+            .string(&self.org.0)
+            .array(&self.signing_pub)
+            .array(self.encryption_pub.as_bytes())
+            .array(&self.ca_signature);
+        w.into_bytes()
+    }
+
+    /// Decode the wire encoding produced by [`Certificate::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Certificate, FabricError> {
+        let mut r = crate::wire::Reader::new(bytes);
+        let cert = Self::read_from(&mut r)?;
+        r.finish()?;
+        Ok(cert)
+    }
+
+    /// Decode from an open reader (for embedding in larger messages).
+    pub fn read_from(r: &mut crate::wire::Reader<'_>) -> Result<Certificate, FabricError> {
+        Ok(Certificate {
+            subject: r.string()?,
+            org: OrgId(r.string()?),
+            signing_pub: r.array::<32>()?,
+            encryption_pub: PublicKey(r.array::<32>()?),
+            ca_signature: r.array::<64>()?,
+        })
     }
 }
 
@@ -174,6 +204,14 @@ impl Msp {
             signing,
             encryption,
         })
+    }
+
+    /// The CA verification key for an organisation, or `None` if the
+    /// organisation is not registered. Lets validators check certificate
+    /// signatures through the same (batched, cached) path as endorsement
+    /// signatures.
+    pub fn ca_public_key(&self, org: &OrgId) -> Option<[u8; 32]> {
+        self.orgs.get(org).map(|o| o.ca.public())
     }
 
     /// Verify that a certificate was issued by a registered organisation.

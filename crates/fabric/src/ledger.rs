@@ -45,7 +45,7 @@ impl fmt::Display for TxId {
 }
 
 /// A signed endorsement attached to a transaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Endorsement {
     /// The endorsing peer's certificate.
     pub endorser: Certificate,
@@ -54,7 +54,7 @@ pub struct Endorsement {
 }
 
 /// An ordered transaction as stored in a block.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Transaction {
     /// Identifier (hash of the proposal).
     pub tx_id: TxId,
@@ -100,6 +100,73 @@ impl Transaction {
     pub fn size_bytes(&self) -> u64 {
         self.to_bytes().len() as u64
     }
+
+    /// Full wire encoding, decodable by [`Transaction::decode`].
+    ///
+    /// Unlike [`Transaction::to_bytes`] (the hash preimage, which embeds
+    /// only the CA-signed portion of certificates), this carries complete
+    /// certificates including their CA signatures so the transaction can be
+    /// reconstructed and re-verified by a receiving peer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.array(self.tx_id.0.as_bytes())
+            .string(&self.chaincode)
+            .string(&self.function);
+        w.u32(self.args.len() as u32);
+        for a in &self.args {
+            w.bytes(a);
+        }
+        w.bytes(&self.creator.to_bytes());
+        w.bytes(&self.rwset.to_bytes());
+        w.bytes(&self.response);
+        w.u32(self.endorsements.len() as u32);
+        for e in &self.endorsements {
+            w.bytes(&e.endorser.to_bytes());
+            w.array(&e.signature);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode the wire encoding produced by [`Transaction::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Transaction, FabricError> {
+        let mut r = Reader::new(bytes);
+        let tx = Self::read_from(&mut r)?;
+        r.finish()?;
+        Ok(tx)
+    }
+
+    /// Decode from an open reader (for embedding in larger messages).
+    pub fn read_from(r: &mut Reader<'_>) -> Result<Transaction, FabricError> {
+        let tx_id = TxId(Digest(r.array::<32>()?));
+        let chaincode = r.string()?;
+        let function = r.string()?;
+        let n_args = r.u32()? as usize;
+        let mut args = Vec::with_capacity(n_args.min(1 << 16));
+        for _ in 0..n_args {
+            args.push(r.bytes()?);
+        }
+        let creator = Certificate::from_bytes(&r.bytes()?)?;
+        let rwset = RwSet::from_bytes(&r.bytes()?)?;
+        let response = r.bytes()?;
+        let n_endorsements = r.u32()? as usize;
+        let mut endorsements = Vec::with_capacity(n_endorsements.min(1 << 16));
+        for _ in 0..n_endorsements {
+            endorsements.push(Endorsement {
+                endorser: Certificate::from_bytes(&r.bytes()?)?,
+                signature: r.array::<64>()?,
+            });
+        }
+        Ok(Transaction {
+            tx_id,
+            chaincode,
+            function,
+            args,
+            creator,
+            rwset,
+            response,
+            endorsements,
+        })
+    }
 }
 
 /// A block header.
@@ -134,10 +201,24 @@ impl BlockHeader {
     pub fn hash(&self) -> Digest {
         sha256(&self.to_bytes())
     }
+
+    /// Decode the bytes produced by [`BlockHeader::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<BlockHeader, FabricError> {
+        let mut r = Reader::new(bytes);
+        let header = BlockHeader {
+            number: r.u64()?,
+            prev_hash: Digest(r.array::<32>()?),
+            data_hash: Digest(r.array::<32>()?),
+            state_root: Digest(r.array::<32>()?),
+            timestamp_us: r.u64()?,
+        };
+        r.finish()?;
+        Ok(header)
+    }
 }
 
 /// A block: header, transactions and per-transaction validity flags.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Block {
     /// The header (hashed into the chain).
     pub header: BlockHeader,
@@ -166,6 +247,51 @@ impl Block {
     pub fn prove_tx(&self, index: usize) -> Vec<ProofStep> {
         let leaves: Vec<Vec<u8>> = self.transactions.iter().map(|t| t.to_bytes()).collect();
         MerkleTree::build(&leaves).prove(index).steps
+    }
+
+    /// Full wire encoding, decodable by [`Block::decode`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&self.header.to_bytes());
+        w.u32(self.transactions.len() as u32);
+        for tx in &self.transactions {
+            w.bytes(&tx.encode());
+        }
+        w.u32(self.validity.len() as u32);
+        for v in &self.validity {
+            w.u8(*v as u8);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode the wire encoding produced by [`Block::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Block, FabricError> {
+        let mut r = Reader::new(bytes);
+        let header = BlockHeader::from_bytes(&r.bytes()?)?;
+        let n_txs = r.u32()? as usize;
+        let mut transactions = Vec::with_capacity(n_txs.min(1 << 16));
+        for _ in 0..n_txs {
+            transactions.push(Transaction::decode(&r.bytes()?)?);
+        }
+        let n_validity = r.u32()? as usize;
+        let mut validity = Vec::with_capacity(n_validity.min(1 << 16));
+        for _ in 0..n_validity {
+            validity.push(match r.u8()? {
+                0 => false,
+                1 => true,
+                tag => {
+                    return Err(FabricError::Malformed(format!(
+                        "bad validity flag {tag}"
+                    )))
+                }
+            });
+        }
+        r.finish()?;
+        Ok(Block {
+            header,
+            transactions,
+            validity,
+        })
     }
 }
 

@@ -20,6 +20,10 @@
 //! * [`statedb`] — the versioned key-value state database (the LevelDB
 //!   equivalent) with MVCC version metadata and a Merkle state digest.
 //! * [`validation`] — MVCC read/write-set validation and commit.
+//! * [`parallel`] — the commit-time validation pipeline: worker-pool
+//!   endorsement verification (batch Ed25519 + signature cache) followed by
+//!   the serial MVCC phase, bit-identical to [`validation`] by construction.
+//! * [`pool`] — the scoped worker pool backing [`parallel`].
 //! * [`privdata`] — private data collections (compared against in Fig 13).
 //! * [`channel`] — channels (the per-ledger isolation the paper contrasts
 //!   with views in §2).
@@ -43,6 +47,8 @@ pub mod identity;
 pub mod ledger;
 pub mod merkle;
 pub mod network;
+pub mod parallel;
+pub mod pool;
 pub mod privdata;
 pub mod raft;
 pub mod statedb;
@@ -54,4 +60,6 @@ pub use chaincode::{Chaincode, TxContext};
 pub use error::FabricError;
 pub use identity::{Identity, Msp, OrgId};
 pub use ledger::{Block, BlockHeader, BlockStore, TxId};
+pub use parallel::{BlockValidator, ValidationConfig};
+pub use pool::WorkerPool;
 pub use statedb::{StateDb, Version};

@@ -1,0 +1,120 @@
+//! A small scoped worker pool for fan-out/fan-in over block transactions.
+//!
+//! Built on [`std::thread::scope`] so borrowed data (the block's
+//! transactions, the MSP registry, a shared signature cache) can be shared
+//! with workers without `'static` bounds or extra allocation. Work is split
+//! into **contiguous index chunks** and results are concatenated in chunk
+//! order, so the output is a deterministic function of the input regardless
+//! of thread scheduling.
+
+/// A fixed-width fan-out helper. `workers == 1` runs everything inline on
+/// the calling thread (the serial reference path — no threads spawned).
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` lanes (clamped to at least 1).
+    pub fn new(workers: usize) -> WorkerPool {
+        WorkerPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of parallel lanes.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to contiguous index chunks covering `0..n` and concatenate
+    /// the per-chunk outputs in chunk order.
+    ///
+    /// `f` receives a sub-range of `0..n` and must return one output vector
+    /// for that range (any length). Chunks are `ceil(n / workers)` wide, so
+    /// the chunk boundaries — and therefore any chunk-level batching done by
+    /// `f` — depend only on `n` and the worker count, never on timing.
+    pub fn map_chunks<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || n == 1 {
+            return f(0..n);
+        }
+        let chunk = n.div_ceil(self.workers);
+        let ranges: Vec<std::ops::Range<usize>> = (0..n)
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(n))
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(|| f(range)))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for handle in handles {
+                out.extend(
+                    handle
+                        .join()
+                        .expect("validation worker panicked"),
+                );
+            }
+            out
+        })
+    }
+
+    /// Apply `f` to every index in `0..n`, returning results in index order.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.map_chunks(n, |range| range.map(&f).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_pool_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let out = pool.map_indexed(5, |i| i * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn results_ordered_for_any_worker_count() {
+        let n = 97;
+        let expected: Vec<usize> = (0..n).map(|i| i + 1).collect();
+        for workers in [1, 2, 3, 4, 8, 16, 97, 200] {
+            let pool = WorkerPool::new(workers);
+            assert_eq!(pool.map_indexed(n, |i| i + 1), expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_are_deterministic() {
+        let pool = WorkerPool::new(4);
+        // Record the ranges f is called with by returning them as items.
+        let ranges = pool.map_chunks(10, |range| vec![(range.start, range.end)]);
+        assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = WorkerPool::new(4);
+        let out: Vec<u8> = pool.map_chunks(0, |_| vec![1]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+}

@@ -23,6 +23,12 @@ pub enum TxValidation {
         /// The first conflicting key.
         key: String,
     },
+    /// Commit-time endorsement verification failed (bad signature, policy
+    /// not satisfied, or unknown chaincode); writes discarded.
+    EndorsementFailure {
+        /// Deterministic human-readable reason.
+        reason: String,
+    },
 }
 
 impl TxValidation {
@@ -33,7 +39,7 @@ impl TxValidation {
 }
 
 /// Check a transaction's read set against the current state.
-fn mvcc_check(rwset: &RwSet, state: &StateDb) -> TxValidation {
+pub(crate) fn mvcc_check(rwset: &RwSet, state: &StateDb) -> TxValidation {
     for read in &rwset.reads {
         let current = state.version(&read.key);
         if current != read.version {
@@ -46,7 +52,7 @@ fn mvcc_check(rwset: &RwSet, state: &StateDb) -> TxValidation {
 }
 
 /// Apply a transaction's write set at the given version.
-fn apply_writes(rwset: &RwSet, state: &mut StateDb, version: Version) {
+pub(crate) fn apply_writes(rwset: &RwSet, state: &mut StateDb, version: Version) {
     for write in &rwset.writes {
         match &write.value {
             Some(v) => state.put(write.key.clone(), v.clone(), version),

@@ -228,11 +228,11 @@ mod tests {
         fn tick(count: &mut u32, sim: &mut Simulation<u32>) {
             *count += 1;
             if *count < 5 {
-                sim.schedule_in(SimTime::from_secs(1), |c, s| tick(c, s));
+                sim.schedule_in(SimTime::from_secs(1), tick);
             }
         }
         let mut sim: Simulation<u32> = Simulation::new();
-        sim.schedule_at(SimTime::ZERO, |c, s| tick(c, s));
+        sim.schedule_at(SimTime::ZERO, tick);
         let mut count = 0;
         sim.run(&mut count);
         assert_eq!(count, 5);

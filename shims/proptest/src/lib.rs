@@ -1,0 +1,811 @@
+//! Offline drop-in replacement for the subset of the `proptest` crate API
+//! used by this workspace.
+//!
+//! The build container has no crates.io access, so the real `proptest`
+//! cannot be fetched. This shim implements the pieces the workspace's
+//! property tests rely on: the `proptest!` macro, `prop_assert*` /
+//! `prop_assume!`, `any::<T>()` for primitives / arrays / tuples, integer
+//! range strategies, tuple strategies, `collection::{vec, btree_map}`,
+//! simple regex-pattern string strategies, `prop_map` / `prop_flat_map` /
+//! `prop_oneof!`, and `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from per-(test-name, case-index) deterministic
+//! seeds, so failures are reproducible run-to-run. Unlike the real
+//! proptest there is no shrinking: on failure the offending inputs are
+//! printed in full via `Debug`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Case execution: config, RNG, and the pass/fail/reject verdict.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            Config { cases }
+        }
+    }
+
+    /// Deterministic per-case random source handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test whose name hashes to `name_hash`.
+        pub fn for_case(name_hash: u64, case: u64) -> Self {
+            let seed = name_hash
+                ^ case
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x243F_6A88_85A3_08D3);
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            use rand::distr::SampleRange;
+            (0..bound).sample(&mut self.inner)
+        }
+
+        /// Uniform draw from `[lo, hi)` as usize; `lo < hi`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            lo + self.below((hi - lo) as u64) as usize
+        }
+
+        /// Access the underlying generator (for range sampling).
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.inner
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it does not count.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// FNV-1a over a test name, for seed derivation.
+    pub fn name_hash(name: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive `f` until `config.cases` cases pass, panicking on the first
+    /// failure with the generated inputs, or when too many cases are
+    /// rejected by `prop_assume!`.
+    pub fn run_cases<F>(config: &Config, name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+    {
+        let hash = name_hash(name);
+        let mut passed: u32 = 0;
+        let mut case: u64 = 0;
+        let budget = config.cases as u64 * 16 + 256;
+        while passed < config.cases {
+            if case >= budget {
+                panic!(
+                    "proptest `{name}`: too many cases rejected by prop_assume! \
+                     ({passed}/{} passed after {case} attempts)",
+                    config.cases
+                );
+            }
+            let mut rng = TestRng::for_case(hash, case);
+            let (inputs, verdict) = f(&mut rng);
+            match verdict {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(msg)) => panic!(
+                    "proptest `{name}` failed at case {case}: {msg}\n  inputs: {inputs}"
+                ),
+            }
+            case += 1;
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate a value, then generate from the strategy `f` returns.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy (cheaply cloneable).
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Choose uniformly among `options` (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_in(0, self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::distr::SampleRange;
+                    self.clone().sample(rng.rng())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::distr::SampleRange;
+                    self.clone().sample(rng.rng())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitives, byte arrays, and small tuples.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "whole domain" strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// Draw one value uniformly over the type's full domain.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
+    macro_rules! arb_tuple {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Arbitrary),+> Arbitrary for ($($n,)+) {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    ($($n::arbitrary(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    arb_tuple! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+
+    /// Strategy for a whole-domain `Arbitrary` type.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy over the full domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies: `vec` and `btree_map`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+
+    /// A size specification for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (exclusive).
+        pub max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.min, self.size.max_exclusive);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// Strategy yielding `BTreeMap`s.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.size.min, self.size.max_exclusive);
+            let mut map = BTreeMap::new();
+            // Duplicate keys shrink the map below target; retry a bounded
+            // number of times to reach at least the minimum size.
+            let mut attempts = 0usize;
+            while map.len() < target && attempts < target * 10 + 32 {
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// Maps with sizes drawn from `size` (duplicate keys permitting).
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size: size.into() }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-pattern string generator supporting the patterns the
+    //! workspace uses: literal chars, `[a-z]`-style classes, `\PC`
+    //! (printable), and `{m}` / `{m,n}` repetition.
+
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Class(Vec<(char, char)>),
+        Printable,
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                    let mut ranges = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            ranges.push((chars[j], chars[j + 2]));
+                            j += 3;
+                        } else {
+                            ranges.push((chars[j], chars[j]));
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    // `\PC` (printable, i.e. not in Unicode category C) is
+                    // the only escape the workspace uses; approximate it
+                    // with printable ASCII.
+                    assert!(
+                        i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C',
+                        "unsupported escape in pattern {pattern:?}"
+                    );
+                    i += 3;
+                    Atom::Printable
+                }
+                c => {
+                    i += 1;
+                    Atom::Class(vec![(c, c)])
+                }
+            };
+            // Optional {m} / {m,n} quantifier.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad repeat min"),
+                        b.trim().parse().expect("bad repeat max"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let count = rng.usize_in(min, max + 1);
+            for _ in 0..count {
+                out.push(sample_atom(&atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Printable => char::from_u32(rng.usize_in(0x20, 0x7F) as u32).unwrap(),
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(a, b)| (b as u64).saturating_sub(a as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(total.max(1));
+                for &(a, b) in ranges {
+                    let span = (b as u64) - (a as u64) + 1;
+                    if pick < span {
+                        return char::from_u32(a as u32 + pick as u32).unwrap();
+                    }
+                    pick -= span;
+                }
+                unreachable!("atom sampling out of range")
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. See the crate docs; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($items:tt)*) => {
+        $crate::__proptest_items!{ config = ($cfg); $($items)* }
+    };
+    ($($items:tt)*) => {
+        $crate::__proptest_items!{ config = ($crate::test_runner::Config::default()); $($items)* }
+    };
+}
+
+/// Internal: expands each `fn` inside a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(&($cfg), stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $(&$arg),+
+                );
+                let __verdict: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                (__inputs, __verdict)
+            });
+        }
+        $crate::__proptest_items!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, $($fmt)*);
+    }};
+}
+
+/// Skip the current case unless a precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0u8..3, z in 1usize..10) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 3);
+            prop_assert!((1..10).contains(&z));
+        }
+
+        /// Vec strategy respects its size range; tuple strategies work.
+        #[test]
+        fn vec_and_tuple(v in crate::collection::vec(any::<u8>(), 2..6), t in (0usize..4, any::<bool>())) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(t.0 < 4);
+        }
+
+        /// Pattern strategies match their own grammar.
+        #[test]
+        fn patterns(s in "[a-z]{1,8}", p in "\\PC{0,40}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(p.len() <= 40);
+            prop_assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        /// btree_map sizes and key patterns hold.
+        #[test]
+        fn maps(m in crate::collection::btree_map("[a-z]{1,8}", crate::collection::vec(any::<u8>(), 0..4), 1..20)) {
+            prop_assert!(!m.is_empty() && m.len() < 20);
+        }
+
+        /// prop_map and prop_oneof compose.
+        #[test]
+        fn combinators(x in (0u8..10).prop_map(|v| v * 2), y in prop_oneof![Just(1u8), Just(9u8)]) {
+            prop_assert!(x % 2 == 0 && x < 20);
+            prop_assert!(y == 1 || y == 9);
+        }
+    }
+
+    #[test]
+    fn assume_rejects_but_passes() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn inner(x in 0u64..100) {
+                prop_assume!(x % 2 == 0);
+                prop_assert!(x % 2 == 0);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            fn inner(x in 0u64..100) {
+                prop_assert!(x < 50, "x too big: {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::test_runner::run_cases(
+                &ProptestConfig::with_cases(16),
+                "determinism_probe",
+                |rng| {
+                    out.push(rng.next_u64());
+                    (String::new(), Ok(()))
+                },
+            );
+        }
+        assert_eq!(first, second);
+    }
+}

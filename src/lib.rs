@@ -72,7 +72,7 @@ pub use ledgerview_supplychain as supplychain;
 pub mod prelude {
     pub use fabric_sim::endorsement::EndorsementPolicy;
     pub use fabric_sim::identity::OrgId;
-    pub use fabric_sim::{FabricChain, TxId};
+    pub use fabric_sim::{BlockValidator, FabricChain, TxId, ValidationConfig};
     pub use ledgerview_core::manager::{
         AccessMode, EncryptionBasedManager, HashBasedManager, ViewManager,
     };

@@ -1,0 +1,289 @@
+//! Differential property test: the parallel validation pipeline commits
+//! **byte-identical** results to the serial reference path for arbitrary
+//! blocks — same per-transaction outcome vector, same state-DB contents,
+//! same rolling state root — at every worker count, with and without batch
+//! signature verification and the signature cache.
+//!
+//! Blocks are generated adversarially: overlapping keys, stale reads, blind
+//! writes, deletes, tampered endorsement signatures, forged certificates,
+//! endorsers outside the policy, unknown chaincodes and endorsement-free
+//! transactions.
+
+use fabric_sim::chaincode::{ReadEntry, RwSet, WriteEntry};
+use fabric_sim::endorsement::{response_signing_bytes, EndorsementPolicy};
+use fabric_sim::identity::{Identity, Msp, OrgId};
+use fabric_sim::ledger::{Endorsement, Transaction, TxId};
+use fabric_sim::validation::{next_state_root, validate_and_commit_block};
+use fabric_sim::{BlockValidator, StateDb, ValidationConfig, Version};
+use ledgerview_crypto::rng::seeded;
+use ledgerview_crypto::sha256::{sha256, Digest};
+use proptest::prelude::*;
+use rand::{Rng, RngCore};
+
+const KEYS: [&str; 6] = ["k0", "k1", "k2", "k3", "k4", "k5"];
+
+struct Fixture {
+    msp: Msp,
+    endorsers: Vec<Identity>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = seeded(7);
+    let mut msp = Msp::new();
+    let mut endorsers = Vec::new();
+    for name in ["Org1", "Org2", "Org3"] {
+        let org = msp.add_org(name, &mut rng);
+        endorsers.push(msp.enroll(&org, &format!("peer0.{name}"), &mut rng).unwrap());
+    }
+    Fixture { msp, endorsers }
+}
+
+fn policy_for(cc: &str) -> Option<EndorsementPolicy> {
+    (cc == "cc").then(|| {
+        EndorsementPolicy::AnyOf(vec![
+            OrgId::new("Org1"),
+            OrgId::new("Org2"),
+            OrgId::new("Org3"),
+        ])
+    })
+}
+
+/// Build an initial state: a random subset of the keyspace at GENESIS.
+fn initial_state(rng: &mut impl RngCore) -> StateDb {
+    let mut state = StateDb::new();
+    for key in KEYS {
+        if rng.random_bool(0.7) {
+            state.put(key.to_string(), vec![rng.random::<u8>()], Version::GENESIS);
+        }
+    }
+    state
+}
+
+/// Generate one transaction (possibly faulty) from the seeded stream.
+fn random_tx(f: &Fixture, state: &StateDb, rng: &mut impl RngCore, n: u32) -> Transaction {
+    // Reads: mix of accurate-at-block-start versions (which earlier txs in
+    // the block may invalidate), deliberately stale versions, and
+    // absent-key reads.
+    let mut reads = Vec::new();
+    for key in KEYS {
+        if !rng.random_bool(0.4) {
+            continue;
+        }
+        let version = match rng.random_range(0..4u8) {
+            0..=1 => state.version(key), // correct at block start
+            2 => Some(Version {
+                block_num: 9,
+                tx_num: rng.random_range(0..3u32),
+            }), // stale/fabricated
+            _ => None, // claims the key is absent
+        };
+        reads.push(ReadEntry {
+            key: key.to_string(),
+            version,
+        });
+    }
+    // Writes: blind writes, overwrites of read keys, and deletes.
+    let mut writes = Vec::new();
+    for key in KEYS {
+        if !rng.random_bool(0.5) {
+            continue;
+        }
+        writes.push(WriteEntry {
+            key: key.to_string(),
+            value: if rng.random_bool(0.8) {
+                Some(vec![rng.random::<u8>(), rng.random::<u8>()])
+            } else {
+                None // delete
+            },
+        });
+    }
+    let rwset = RwSet {
+        reads,
+        writes,
+        private_writes: vec![],
+    };
+
+    let tx_id = TxId(sha256(&n.to_be_bytes()));
+    let response = vec![n as u8];
+    let msg = response_signing_bytes(&tx_id, &rwset.digest(), &response);
+    let n_endorsers = rng.random_range(1..=3usize);
+    let mut endorsements: Vec<Endorsement> = (0..n_endorsers)
+        .map(|_| {
+            let e = &f.endorsers[rng.random_range(0..3usize)];
+            Endorsement {
+                endorser: e.cert().clone(),
+                signature: e.sign(&msg),
+            }
+        })
+        .collect();
+
+    let mut tx = Transaction {
+        tx_id,
+        chaincode: "cc".into(),
+        function: "f".into(),
+        args: vec![],
+        creator: f.endorsers[0].cert().clone(),
+        rwset,
+        response,
+        endorsements: endorsements.clone(),
+    };
+
+    // Fault injection: each class with some probability.
+    match rng.random_range(0..10u8) {
+        0 => {
+            // Tamper an endorsement signature.
+            endorsements[0].signature[rng.random_range(0..64usize)] ^= 1;
+            tx.endorsements = endorsements;
+        }
+        1 => {
+            // Forge the certificate (subject no longer matches CA signature).
+            endorsements[0].endorser.subject = "mallory".into();
+            tx.endorsements = endorsements;
+        }
+        2 => tx.chaincode = "unknown-cc".into(),
+        3 => tx.endorsements = vec![],
+        4 => {
+            // Endorser org unknown to the MSP.
+            endorsements[0].endorser.org = OrgId::new("Rogue");
+            tx.endorsements = endorsements;
+        }
+        _ => {}
+    }
+    tx
+}
+
+/// Full observable state: every key's value and version, plus the digest.
+fn snapshot(state: &StateDb) -> (Vec<(String, Vec<u8>, Version)>, Digest) {
+    let contents = state
+        .scan_prefix("")
+        .map(|(k, v)| {
+            (
+                k.to_string(),
+                v.to_vec(),
+                state.version(k).expect("listed key has a version"),
+            )
+        })
+        .collect();
+    (contents, state.state_digest())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serial vs parallel, over every configuration axis.
+    #[test]
+    fn parallel_pipeline_is_bit_identical_to_serial(seed in any::<u64>(), n_txs in 1usize..16) {
+        let f = fixture();
+        let mut rng = seeded(seed);
+        let base_state = initial_state(&mut rng);
+        let txs: Vec<Transaction> = (0..n_txs as u32)
+            .map(|n| random_tx(&f, &base_state, &mut rng, n))
+            .collect();
+
+        // Serial reference: one worker, no batching, no cache.
+        let reference = BlockValidator::new(ValidationConfig {
+            workers: 1,
+            batch_verify: false,
+            sig_cache: 0,
+            verify_endorsements: true,
+        });
+        let mut ref_state = initial_state(&mut seeded(seed));
+        let ref_outcomes =
+            reference.validate_and_commit(&txs, &mut ref_state, 5, &f.msp, &policy_for);
+        let ref_snapshot = snapshot(&ref_state);
+        let ref_root = next_state_root(&Digest::ZERO, &txs, &ref_outcomes);
+
+        for workers in [1usize, 2, 4, 8] {
+            for (batch, cache) in [(false, 0usize), (true, 0), (false, 64), (true, 64)] {
+                let validator = BlockValidator::new(ValidationConfig {
+                    workers,
+                    batch_verify: batch,
+                    sig_cache: cache,
+                    verify_endorsements: true,
+                });
+                let mut state = initial_state(&mut seeded(seed));
+                let outcomes =
+                    validator.validate_and_commit(&txs, &mut state, 5, &f.msp, &policy_for);
+                prop_assert_eq!(
+                    &outcomes, &ref_outcomes,
+                    "outcome mismatch: workers={} batch={} cache={}", workers, batch, cache
+                );
+                prop_assert_eq!(
+                    snapshot(&state), ref_snapshot.clone(),
+                    "state mismatch: workers={} batch={} cache={}", workers, batch, cache
+                );
+                let root = next_state_root(&Digest::ZERO, &txs, &outcomes);
+                prop_assert_eq!(
+                    root, ref_root,
+                    "state root mismatch: workers={} batch={} cache={}", workers, batch, cache
+                );
+            }
+        }
+    }
+
+    /// MVCC-only mode (endorsement checks off) must equal the seed's
+    /// serial `validate_and_commit_block` exactly, at every worker count.
+    #[test]
+    fn mvcc_only_mode_matches_seed_reference(seed in any::<u64>(), n_txs in 1usize..16) {
+        let f = fixture();
+        let mut rng = seeded(seed);
+        let base_state = initial_state(&mut rng);
+        let txs: Vec<Transaction> = (0..n_txs as u32)
+            .map(|n| random_tx(&f, &base_state, &mut rng, n))
+            .collect();
+
+        let mut ref_state = initial_state(&mut seeded(seed));
+        let ref_outcomes = validate_and_commit_block(&txs, &mut ref_state, 5);
+        let ref_snapshot = snapshot(&ref_state);
+
+        for workers in [1usize, 4, 8] {
+            let validator = BlockValidator::new(ValidationConfig {
+                workers,
+                ..ValidationConfig::default()
+            });
+            let mut state = initial_state(&mut seeded(seed));
+            let outcomes =
+                validator.validate_and_commit(&txs, &mut state, 5, &f.msp, &policy_for);
+            prop_assert_eq!(&outcomes, &ref_outcomes, "workers={}", workers);
+            prop_assert_eq!(snapshot(&state), ref_snapshot.clone(), "workers={}", workers);
+        }
+    }
+
+    /// A shared cache reused across many blocks never changes verdicts.
+    #[test]
+    fn cache_reuse_across_blocks_is_sound(seed in any::<u64>()) {
+        let f = fixture();
+        let mut rng = seeded(seed);
+        let base_state = initial_state(&mut rng);
+        // Three consecutive blocks, some transactions repeated verbatim so
+        // cached (including cached-invalid) entries get exercised.
+        let block_a: Vec<Transaction> =
+            (0..5u32).map(|n| random_tx(&f, &base_state, &mut rng, n)).collect();
+        let mut block_b: Vec<Transaction> =
+            (10..14u32).map(|n| random_tx(&f, &base_state, &mut rng, n)).collect();
+        block_b.extend(block_a.iter().take(2).cloned());
+        let blocks = [block_a.clone(), block_b, block_a];
+
+        let cached = BlockValidator::new(ValidationConfig {
+            workers: 3,
+            batch_verify: true,
+            sig_cache: 32, // small: forces LRU eviction traffic too
+            verify_endorsements: true,
+        });
+        let uncached = BlockValidator::new(ValidationConfig {
+            workers: 1,
+            batch_verify: false,
+            sig_cache: 0,
+            verify_endorsements: true,
+        });
+        let mut state_a = initial_state(&mut seeded(seed));
+        let mut state_b = initial_state(&mut seeded(seed));
+        for (i, block) in blocks.iter().enumerate() {
+            let got = cached.validate_and_commit(block, &mut state_a, i as u64, &f.msp, &policy_for);
+            let want =
+                uncached.validate_and_commit(block, &mut state_b, i as u64, &f.msp, &policy_for);
+            prop_assert_eq!(got, want, "block {}", i);
+        }
+        prop_assert_eq!(state_a.state_digest(), state_b.state_digest());
+    }
+}
