@@ -51,13 +51,25 @@ fn bench_x25519(c: &mut Criterion) {
     let bob = EncryptionKeyPair::generate(&mut rng);
     c.bench_function("x25519/shared_secret", |b| {
         let priv_bytes = [0x42u8; 32];
-        b.iter(|| x25519::shared_secret(black_box(&priv_bytes), black_box(bob.public().as_bytes())));
+        b.iter(|| {
+            x25519::shared_secret(black_box(&priv_bytes), black_box(bob.public().as_bytes()))
+        });
     });
     c.bench_function("hybrid/seal_32B", |b| {
         let mut rng = seeded(4);
-        b.iter(|| keys::seal(black_box(&bob.public()), &mut rng, black_box(b"0123456789abcdef0123456789abcdef")));
+        b.iter(|| {
+            keys::seal(
+                black_box(&bob.public()),
+                &mut rng,
+                black_box(b"0123456789abcdef0123456789abcdef"),
+            )
+        });
     });
-    let sealed = keys::seal(&alice.public(), &mut rng, b"0123456789abcdef0123456789abcdef");
+    let sealed = keys::seal(
+        &alice.public(),
+        &mut rng,
+        b"0123456789abcdef0123456789abcdef",
+    );
     c.bench_function("hybrid/open_32B", |b| {
         b.iter(|| keys::open(black_box(&alice), black_box(&sealed)).unwrap());
     });
@@ -72,7 +84,9 @@ fn bench_ed25519(c: &mut Criterion) {
         b.iter(|| kp.sign(black_box(&msg)));
     });
     c.bench_function("ed25519/verify_256B", |b| {
-        b.iter(|| ed25519::verify(black_box(&kp.public()), black_box(&msg), black_box(&sig)).unwrap());
+        b.iter(|| {
+            ed25519::verify(black_box(&kp.public()), black_box(&msg), black_box(&sig)).unwrap()
+        });
     });
 }
 

@@ -66,7 +66,10 @@ fn bench_block_commit(c: &mut Criterion) {
             _function: &str,
             args: &[Vec<u8>],
         ) -> Result<Vec<u8>, fabric_sim::FabricError> {
-            ctx.put_state(String::from_utf8_lossy(&args[0]).to_string(), args[1].clone());
+            ctx.put_state(
+                String::from_utf8_lossy(&args[0]).to_string(),
+                args[1].clone(),
+            );
             Ok(vec![])
         }
     }

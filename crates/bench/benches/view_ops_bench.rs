@@ -30,8 +30,14 @@ fn bench_invoke_with_secret(c: &mut Criterion) {
         let (mut chain, owner, client) = lv_chain(1);
         let mut rng = seeded(1);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let mut i = 0usize;
         b.iter(|| {
             i += 1;
@@ -45,15 +51,22 @@ fn setup_view(n: usize, seed: u64) -> (fabric_sim::FabricChain, HashBasedManager
     let (mut chain, owner, client) = lv_chain(seed);
     let mut rng = seeded(seed);
     let mut mgr: HashBasedManager = ViewManager::new(owner, true);
-    mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-        .unwrap();
+    mgr.create_view(
+        &mut chain,
+        "V",
+        ViewPredicate::True,
+        AccessMode::Revocable,
+        &mut rng,
+    )
+    .unwrap();
     for i in 0..n {
         mgr.invoke_with_secret(&mut chain, &client, &sample_tx(i), &mut rng)
             .unwrap();
     }
     mgr.flush(&mut chain, &mut rng).unwrap();
     let kp = EncryptionKeyPair::generate(&mut rng);
-    mgr.grant_access(&mut chain, "V", kp.public(), &mut rng).unwrap();
+    mgr.grant_access(&mut chain, "V", kp.public(), &mut rng)
+        .unwrap();
     let mut reader = ViewReader::new(kp);
     reader.obtain_view_key(&chain, "V").unwrap();
     (chain, mgr, reader)
@@ -65,10 +78,15 @@ fn bench_query_and_verify(c: &mut Criterion) {
         let (chain, mgr, reader) = setup_view(n, 2);
         group.bench_with_input(BenchmarkId::new("query_view", n), &n, |b, _| {
             let mut rng = seeded(3);
-            b.iter(|| mgr.query_view("V", &reader.public(), None, &mut rng).unwrap());
+            b.iter(|| {
+                mgr.query_view("V", &reader.public(), None, &mut rng)
+                    .unwrap()
+            });
         });
         let mut rng = seeded(4);
-        let resp = mgr.query_view("V", &reader.public(), None, &mut rng).unwrap();
+        let resp = mgr
+            .query_view("V", &reader.public(), None, &mut rng)
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("open_response", n), &n, |b, _| {
             b.iter(|| reader.open_response(&chain, "V", black_box(&resp)).unwrap());
         });
@@ -77,17 +95,26 @@ fn bench_query_and_verify(c: &mut Criterion) {
             b.iter(|| verify::verify_soundness(&chain, "V", black_box(&revealed)).unwrap());
         });
         let tids: HashSet<_> = revealed.iter().map(|r| r.tid).collect();
-        group.bench_with_input(BenchmarkId::new("verify_completeness_txlist", n), &n, |b, _| {
-            b.iter(|| {
-                verify::verify_completeness_txlist(&chain, "V", black_box(&tids), u64::MAX)
-                    .unwrap()
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("verify_completeness_scan", n), &n, |b, _| {
-            b.iter(|| {
-                verify::verify_completeness_scan(&chain, "V", black_box(&tids), u64::MAX).unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("verify_completeness_txlist", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    verify::verify_completeness_txlist(&chain, "V", black_box(&tids), u64::MAX)
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("verify_completeness_scan", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    verify::verify_completeness_scan(&chain, "V", black_box(&tids), u64::MAX)
+                        .unwrap()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -97,11 +124,18 @@ fn bench_grant_revoke(c: &mut Criterion) {
         let (mut chain, owner, _) = lv_chain(5);
         let mut rng = seeded(5);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         b.iter(|| {
             let user = EncryptionKeyPair::generate(&mut rng);
-            mgr.grant_access(&mut chain, "V", user.public(), &mut rng).unwrap();
+            mgr.grant_access(&mut chain, "V", user.public(), &mut rng)
+                .unwrap();
         });
     });
     // Revocation re-seals K_V' to every remaining member: cost grows with
@@ -113,13 +147,20 @@ fn bench_grant_revoke(c: &mut Criterion) {
             let (mut chain, owner, _) = lv_chain(6);
             let mut rng = seeded(6);
             let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-            mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-                .unwrap();
+            mgr.create_view(
+                &mut chain,
+                "V",
+                ViewPredicate::True,
+                AccessMode::Revocable,
+                &mut rng,
+            )
+            .unwrap();
             let users: Vec<_> = (0..m)
                 .map(|_| EncryptionKeyPair::generate(&mut rng))
                 .collect();
             for u in &users {
-                mgr.grant_access(&mut chain, "V", u.public(), &mut rng).unwrap();
+                mgr.grant_access(&mut chain, "V", u.public(), &mut rng)
+                    .unwrap();
             }
             b.iter(|| {
                 // Revoke then immediately re-grant to keep size stable.

@@ -27,10 +27,7 @@ fn main() {
         table.push(
             timeout_ms as f64,
             "batch-timeout (4 clients)",
-            vec![
-                ("latency_ms", report.latency_mean_ms),
-                ("tps", report.tps),
-            ],
+            vec![("latency_ms", report.latency_mean_ms), ("tps", report.tps)],
         );
     }
 
@@ -43,10 +40,7 @@ fn main() {
         table.push(
             kib as f64,
             "byte-limit-KiB (64 clients)",
-            vec![
-                ("latency_ms", report.latency_mean_ms),
-                ("tps", report.tps),
-            ],
+            vec![("latency_ms", report.latency_mean_ms), ("tps", report.tps)],
         );
     }
 

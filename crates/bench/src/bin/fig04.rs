@@ -11,11 +11,7 @@ use ledgerview_bench::timed::TimedRun;
 
 fn main() {
     let clients_sweep = [4usize, 8, 16, 24, 32, 48, 64, 80, 96];
-    let mut table = FigureTable::new(
-        "fig04",
-        "Throughput vs number of clients (WL1)",
-        "clients",
-    );
+    let mut table = FigureTable::new("fig04", "Throughput vs number of clients (WL1)", "clients");
     for method in Method::ALL {
         for &clients in &clients_sweep {
             let mut run = TimedRun::paper_default(method, clients);

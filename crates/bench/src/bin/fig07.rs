@@ -32,14 +32,15 @@ fn main() {
             }
             run.network = config;
             let report = run.execute();
-            let deployment = if x == 0.0 { "single-region" } else { "multi-region" };
+            let deployment = if x == 0.0 {
+                "single-region"
+            } else {
+                "multi-region"
+            };
             table.push(
                 x,
                 format!("{} / {}", method.label(), deployment),
-                vec![
-                    ("tps", report.tps),
-                    ("latency_ms", report.latency_mean_ms),
-                ],
+                vec![("tps", report.tps), ("latency_ms", report.latency_mean_ms)],
             );
         }
     }

@@ -10,11 +10,7 @@ use ledgerview_bench::report::{results_dir, FigureTable};
 use ledgerview_bench::timed::TimedRun;
 
 fn main() {
-    let mut table = FigureTable::new(
-        "fig08",
-        "WL1 (S/W) vs WL2 (L/W), 32 clients",
-        "workload",
-    );
+    let mut table = FigureTable::new("fig08", "WL1 (S/W) vs WL2 (L/W), 32 clients", "workload");
     for method in Method::ALL {
         for (x, total_views, views_per_tx, label) in
             [(1.0, 7usize, 3usize, "S/W"), (2.0, 14, 4, "L/W")]

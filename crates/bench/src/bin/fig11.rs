@@ -24,10 +24,7 @@ fn main() {
             table.push(
                 views as f64,
                 method.label(),
-                vec![
-                    ("tps", report.tps),
-                    ("latency_ms", report.latency_mean_ms),
-                ],
+                vec![("tps", report.tps), ("latency_ms", report.latency_mean_ms)],
             );
         }
     }

@@ -69,10 +69,7 @@ fn main() {
             table.push(
                 clients as f64,
                 label,
-                vec![
-                    ("tps", report.tps),
-                    ("latency_ms", report.latency_mean_ms),
-                ],
+                vec![("tps", report.tps), ("latency_ms", report.latency_mean_ms)],
             );
         }
         // (3) The native revocable hash view.
@@ -80,10 +77,7 @@ fn main() {
         table.push(
             clients as f64,
             "revocable hash view",
-            vec![
-                ("tps", report.tps),
-                ("latency_ms", report.latency_mean_ms),
-            ],
+            vec![("tps", report.tps), ("latency_ms", report.latency_mean_ms)],
         );
     }
     table.print();

@@ -1,0 +1,308 @@
+//! Storage overhead report: in-memory vs durable commit throughput, and
+//! crash-recovery time as a function of chain height.
+//!
+//! Drives the full block-commit path (MVCC validation, rolling state root,
+//! header construction, backend commit) over 100-transaction blocks for
+//! the backends: in-memory, WAL with no fsync (isolates serialization
+//! cost), WAL with the default `FsyncPolicy::EveryN(512)` group commit,
+//! the degenerate `EveryN(64)` (one fsync per 100-tx block), and
+//! `FsyncPolicy::Always` — then times
+//! `DurableBackend::open` against directories of increasing height.
+//! Writes `bench_results/storage_overhead.json`.
+//!
+//! Acceptance: the group-committed `EveryN` configuration must stay within
+//! 2x of in-memory commit throughput on the 100-tx fixture.
+
+use std::time::Instant;
+
+use fabric_sim::chaincode::{RwSet, WriteEntry};
+use fabric_sim::identity::Msp;
+use fabric_sim::ledger::{Block, BlockHeader, Transaction, TxId};
+use fabric_sim::storage::{
+    DurableBackend, FsyncPolicy, InMemoryBackend, StateBackend, StorageConfig,
+};
+use fabric_sim::validation::{next_state_root, validate_and_commit_block};
+use fabric_sim::WorkerPool;
+use fabric_store::testdir::TestDir;
+use ledgerview_bench::report::results_dir;
+use ledgerview_crypto::rng::seeded;
+use ledgerview_crypto::sha256::{sha256, Digest};
+
+const TXS_PER_BLOCK: usize = 100;
+const N_BLOCKS: usize = 40;
+const REPS: usize = 7;
+
+/// Blocks of blind-writing transactions (every transaction valid), 64-byte
+/// values — the storage cost is the object of measurement, so endorsement
+/// verification is out of the loop.
+fn build_blocks(n_blocks: usize, txs_per_block: usize) -> Vec<Vec<Transaction>> {
+    let mut rng = seeded(77);
+    let mut msp = Msp::new();
+    let org = msp.add_org("Org1", &mut rng);
+    let creator = msp.enroll(&org, "bench", &mut rng).unwrap();
+    (0..n_blocks)
+        .map(|b| {
+            (0..txs_per_block)
+                .map(|i| {
+                    let n = (b * txs_per_block + i) as u64;
+                    Transaction {
+                        tx_id: TxId(sha256(&n.to_be_bytes())),
+                        chaincode: "kv".into(),
+                        function: "put".into(),
+                        args: vec![],
+                        creator: creator.cert().clone(),
+                        rwset: RwSet {
+                            reads: vec![],
+                            writes: vec![WriteEntry {
+                                key: format!("key-{:05}", n % 4096),
+                                value: Some(vec![n as u8; 64]),
+                            }],
+                            private_writes: vec![],
+                        },
+                        response: vec![],
+                        endorsements: vec![],
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Commit every block through `backend`, returning the final rolling root.
+fn commit_all(backend: &mut dyn StateBackend, blocks: &[Vec<Transaction>]) -> Digest {
+    let mut prev_hash = Digest::ZERO;
+    let mut root = Digest::ZERO;
+    for (h, txs) in blocks.iter().enumerate() {
+        let outcomes = validate_and_commit_block(txs, backend.state_mut(), h as u64);
+        root = next_state_root(&root, txs, &outcomes);
+        let header = BlockHeader {
+            number: h as u64,
+            prev_hash,
+            data_hash: Block::compute_data_hash(txs),
+            state_root: root,
+            timestamp_us: h as u64,
+        };
+        prev_hash = header.hash();
+        let block = Block {
+            header,
+            validity: outcomes.iter().map(|o| o.is_valid()).collect(),
+            transactions: txs.clone(),
+        };
+        backend.commit_block(&block).expect("commit");
+    }
+    backend.flush().expect("flush");
+    root
+}
+
+/// The backend under test for one run (concrete, so durable counters stay
+/// accessible after the run).
+enum Backend {
+    Memory(InMemoryBackend),
+    Durable(Box<DurableBackend>),
+}
+
+impl Backend {
+    fn as_state_backend(&mut self) -> &mut dyn StateBackend {
+        match self {
+            Backend::Memory(b) => b,
+            Backend::Durable(b) => b.as_mut(),
+        }
+    }
+
+    fn fsyncs(&self) -> u64 {
+        match self {
+            Backend::Memory(_) => 0,
+            Backend::Durable(b) => b.fsyncs(),
+        }
+    }
+}
+
+struct Measurement {
+    label: String,
+    best_tx_per_s: f64,
+    /// Per-round throughput samples, index-aligned across configurations.
+    samples: Vec<f64>,
+    fsyncs: u64,
+}
+
+/// Measure every configuration interleaved round-robin (rep 0 of each, rep
+/// 1 of each, ...) so background-load drift on shared runners hits every
+/// configuration of a round equally. The table reports each config's
+/// *best* round (least interference); ratios between configs should be
+/// computed per round and aggregated (see `paired_slowdown`), which
+/// cancels drift that an unpaired best-vs-best comparison keeps.
+type BackendFactory = Box<dyn Fn(&TestDir) -> Backend>;
+
+fn measure_all(
+    configs: Vec<(&str, BackendFactory)>,
+    blocks: &[Vec<Transaction>],
+    reference_root: Digest,
+) -> Vec<Measurement> {
+    let total_txs = (blocks.len() * TXS_PER_BLOCK) as f64;
+    let mut samples = vec![Vec::with_capacity(REPS); configs.len()];
+    let mut fsyncs = vec![0u64; configs.len()];
+    for _ in 0..REPS {
+        for (i, (_, make)) in configs.iter().enumerate() {
+            let dir = TestDir::new("storage-overhead");
+            let mut backend = make(&dir);
+            let start = Instant::now();
+            let root = commit_all(backend.as_state_backend(), blocks);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert_eq!(root, reference_root, "backend diverged");
+            fsyncs[i] = backend.fsyncs();
+            samples[i].push(total_txs / elapsed);
+        }
+    }
+    configs
+        .iter()
+        .zip(samples)
+        .enumerate()
+        .map(|(i, ((label, _), samples))| {
+            let best = samples.iter().fold(0.0f64, |a, &b| a.max(b));
+            println!("{label:<16} {best:>12.0} tx/s   ({} fsyncs/run)", fsyncs[i]);
+            Measurement {
+                label: label.to_string(),
+                best_tx_per_s: best,
+                samples,
+                fsyncs: fsyncs[i],
+            }
+        })
+        .collect()
+}
+
+/// Median of the per-round slowdown ratios between two configurations.
+/// Each round runs both configs back to back, so a load spike hits the
+/// pair together and divides out of the ratio.
+fn paired_slowdown(baseline: &Measurement, config: &Measurement) -> f64 {
+    let mut ratios: Vec<f64> = baseline
+        .samples
+        .iter()
+        .zip(&config.samples)
+        .map(|(b, c)| b / c)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    ratios[ratios.len() / 2]
+}
+
+fn main() {
+    let blocks = build_blocks(N_BLOCKS, TXS_PER_BLOCK);
+    println!(
+        "commit throughput: {N_BLOCKS} blocks x {TXS_PER_BLOCK} txs, \
+         best of {REPS} interleaved runs\n"
+    );
+
+    // Reference root from a throwaway in-memory run.
+    let reference_root = commit_all(&mut InMemoryBackend::new(), &blocks);
+
+    let pool = WorkerPool::new(4);
+    let durable = |fsync: FsyncPolicy| -> Box<dyn Fn(&TestDir) -> Backend> {
+        let pool = pool.clone();
+        Box::new(move |dir: &TestDir| {
+            let config = StorageConfig::new(dir.path())
+                .fsync(fsync)
+                .checkpoint_every(64);
+            let (backend, recovered) = DurableBackend::open(config, &pool).expect("open");
+            assert!(recovered.is_empty());
+            Backend::Durable(Box::new(backend))
+        })
+    };
+
+    let measurements = measure_all(
+        vec![
+            (
+                "memory",
+                Box::new(|_: &TestDir| Backend::Memory(InMemoryBackend::new())),
+            ),
+            ("wal_no_fsync", durable(FsyncPolicy::Never)),
+            ("wal_every_512", durable(FsyncPolicy::EveryN(512))),
+            ("wal_every_64", durable(FsyncPolicy::EveryN(64))),
+            ("wal_always", durable(FsyncPolicy::Always)),
+        ],
+        &blocks,
+        reference_root,
+    );
+    let memory = &measurements[0];
+    let every_n = &measurements[2];
+
+    // Recovery time vs height: populate once per height, then time open.
+    println!();
+    let mut recovery_rows = Vec::new();
+    for height in [64usize, 128, 256] {
+        let tall = build_blocks(height, TXS_PER_BLOCK);
+        let dir = TestDir::new("storage-recovery-time");
+        let config = StorageConfig::new(dir.path())
+            .fsync(FsyncPolicy::EveryN(64))
+            .checkpoint_every(64);
+        {
+            let (mut backend, _) = DurableBackend::open(config.clone(), &pool).expect("open");
+            commit_all(&mut backend, &tall);
+        }
+        let mut samples: Vec<f64> = (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                let (backend, recovered) =
+                    DurableBackend::open(config.clone(), &pool).expect("recover");
+                let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(recovered.len(), height);
+                drop(backend);
+                elapsed
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median_ms = samples[REPS / 2];
+        println!("recovery at height {height:>4}: {median_ms:>8.2} ms");
+        recovery_rows.push(format!(
+            "    {{\"height\": {height}, \"median_recovery_ms\": {median_ms:.3}}}"
+        ));
+    }
+
+    let slowdown = paired_slowdown(memory, every_n);
+    let commit_rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                concat!(
+                    "    {{\"label\": \"{}\", \"tx_per_s\": {:.0}, ",
+                    "\"fsyncs_per_run\": {}, \"slowdown_vs_memory\": {:.3}}}"
+                ),
+                m.label,
+                m.best_tx_per_s,
+                m.fsyncs,
+                paired_slowdown(memory, m),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"storage_overhead\",\n",
+            "  \"description\": \"full commit path (MVCC + state root + header + backend), ",
+            "{} blocks of {} txs, 64-byte values, best of {} interleaved runs\",\n",
+            "  \"acceptance\": {{\"config\": \"wal_every_512\", ",
+            "\"slowdown_vs_memory\": {:.3}, \"metric\": \"median of per-round paired ratios\", \"target\": 2.0, \"met\": {}}},\n",
+            "  \"commit_throughput\": [\n{}\n  ],\n",
+            "  \"recovery\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        N_BLOCKS,
+        TXS_PER_BLOCK,
+        REPS,
+        slowdown,
+        slowdown <= 2.0,
+        commit_rows.join(",\n"),
+        recovery_rows.join(",\n"),
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("storage_overhead.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!(
+        "\nWAL(EveryN(512)) slowdown vs memory: {slowdown:.2}x (target <=2.0x)\nwrote {}",
+        path.display()
+    );
+    assert!(
+        slowdown <= 2.0,
+        "acceptance: WAL(EveryN) must be within 2x of in-memory, got {slowdown:.2}x"
+    );
+}

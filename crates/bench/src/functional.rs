@@ -36,11 +36,19 @@ pub fn lv_chain(seed: u64) -> (FabricChain, fabric_sim::Identity, fabric_sim::Id
     chain.set_check_signatures(false);
     let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
     chain.deploy(INVOKE_CC, Box::new(InvokeContract), policy.clone());
-    chain.deploy(VIEW_STORAGE_CC, Box::new(ViewStorageContract), policy.clone());
+    chain.deploy(
+        VIEW_STORAGE_CC,
+        Box::new(ViewStorageContract),
+        policy.clone(),
+    );
     chain.deploy(TX_LIST_CC, Box::new(TxListContract), policy.clone());
     chain.deploy(ACCESS_CC, Box::new(AccessContract), policy);
-    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("Org2"), "client", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("Org1"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("Org2"), "client", &mut rng)
+        .unwrap();
     (chain, owner, client)
 }
 
@@ -137,8 +145,14 @@ pub fn storage_after_requests(
             };
             let mut mgr: HashBasedManager = ViewManager::new(owner, use_txlist);
             for i in 0..n_views {
-                mgr.create_view(&mut chain, format!("V{i}"), ViewPredicate::True, mode, &mut rng)
-                    .expect("create view");
+                mgr.create_view(
+                    &mut chain,
+                    format!("V{i}"),
+                    ViewPredicate::True,
+                    mode,
+                    &mut rng,
+                )
+                .expect("create view");
             }
             let setup_bytes = chain.store().total_bytes() + chain.state().size_bytes();
             for t in &transfers {
@@ -150,7 +164,10 @@ pub fn storage_after_requests(
                 mgr.flush(&mut chain, &mut rng).expect("flush");
             }
             let total = chain.store().total_bytes() + chain.state().size_bytes();
-            (total - setup_bytes.min(total), chain.store().committed_tx_count())
+            (
+                total - setup_bytes.min(total),
+                chain.store().committed_tx_count(),
+            )
         }
     }
 }
@@ -227,8 +244,7 @@ pub fn verification_timing(n_txs: usize, seed: u64) -> VerificationTiming {
         verify::verify_completeness_txlist(&chain, "V", &tids, u64::MAX).expect("completeness");
     let completeness_local_ms = t1.elapsed().as_secs_f64() * 1e3;
     assert!(complete.ok, "honest view must verify complete");
-    let completeness_ms =
-        completeness_local_ms + LEDGER_ACCESS_MS + n_txs as f64 * 0.002;
+    let completeness_ms = completeness_local_ms + LEDGER_ACCESS_MS + n_txs as f64 * 0.002;
 
     VerificationTiming {
         txs: n_txs,

@@ -12,10 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod functional;
 pub mod methods;
 pub mod report;
 pub mod timed;
-pub mod functional;
 pub mod validation_fixtures;
 
 pub use methods::Method;

@@ -102,14 +102,12 @@ pub fn request_plan(
 ) -> RequestPlan {
     let invoke_payload = model.invoke_tx_bytes + model.per_view_bytes * views_per_tx as u64;
     match method {
-        Method::RevocableEnc | Method::RevocableHash | Method::IrrevocableTlc => {
-            RequestPlan {
-                phases: vec![vec![TxSpec {
-                    pipeline: 0,
-                    payload_bytes: invoke_payload,
-                }]],
-            }
-        }
+        Method::RevocableEnc | Method::RevocableHash | Method::IrrevocableTlc => RequestPlan {
+            phases: vec![vec![TxSpec {
+                pipeline: 0,
+                payload_bytes: invoke_payload,
+            }]],
+        },
         Method::IrrevocableEnc | Method::IrrevocableHash => RequestPlan {
             phases: vec![
                 vec![TxSpec {
@@ -179,7 +177,11 @@ pub fn pipelines_for(method: Method, total_views: usize) -> usize {
 
 /// The TxListContract's periodic flush as a background task (§5.4:
 /// accumulated updates written every 30 s).
-pub fn background_for(method: Method, model: &PayloadModel, expected_rate_tps: f64) -> Vec<BackgroundTask> {
+pub fn background_for(
+    method: Method,
+    model: &PayloadModel,
+    expected_rate_tps: f64,
+) -> Vec<BackgroundTask> {
     match method {
         Method::IrrevocableTlc => {
             let interval = SimTime::from_secs(30);

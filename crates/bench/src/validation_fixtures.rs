@@ -35,7 +35,8 @@ impl ValidationWorkload {
             .iter()
             .map(|name| {
                 let org = msp.add_org(name, &mut rng);
-                msp.enroll(&org, &format!("peer0.{name}"), &mut rng).unwrap()
+                msp.enroll(&org, &format!("peer0.{name}"), &mut rng)
+                    .unwrap()
             })
             .collect();
         let keys: Vec<String> = (0..n_txs).map(|i| format!("key-{i:05}")).collect();

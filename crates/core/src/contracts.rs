@@ -265,7 +265,9 @@ pub fn encode_txlist_batch(updates: &[TxListUpdate]) -> Vec<u8> {
     let mut w = Writer::new();
     w.u32(updates.len() as u32);
     for u in updates {
-        w.string(&u.view).array(u.tid.0.as_bytes()).u64(u.timestamp_us);
+        w.string(&u.view)
+            .array(u.tid.0.as_bytes())
+            .u64(u.timestamp_us);
     }
     w.into_bytes()
 }
@@ -312,9 +314,11 @@ impl Chaincode for TxListContract {
                 for u in &updates {
                     let cnt_key = tl_count_key(&u.view);
                     let count = match ctx.get_state(&cnt_key) {
-                        Some(bytes) => u64::from_be_bytes(bytes.try_into().map_err(|_| {
-                            FabricError::Malformed("bad count".into())
-                        })?),
+                        Some(bytes) => u64::from_be_bytes(
+                            bytes
+                                .try_into()
+                                .map_err(|_| FabricError::Malformed("bad count".into()))?,
+                        ),
                         None => {
                             return Err(FabricError::ChaincodeError(format!(
                                 "view {:?} not registered",
@@ -508,9 +512,11 @@ impl Chaincode for AccessContract {
                     .map_err(|_| FabricError::Malformed("bad access payload".into()))?;
                 let gen = match ctx.get_state(&va_gen_key(&view)) {
                     Some(bytes) => {
-                        u64::from_be_bytes(bytes.try_into().map_err(|_| {
-                            FabricError::Malformed("bad generation".into())
-                        })?) + 1
+                        u64::from_be_bytes(
+                            bytes
+                                .try_into()
+                                .map_err(|_| FabricError::Malformed("bad generation".into()))?,
+                        ) + 1
                     }
                     None => 0,
                 };
@@ -607,10 +613,16 @@ mod tests {
         let mut chain = FabricChain::new(&["Org1"], &mut rng);
         let policy = EndorsementPolicy::AnyOf(chain.org_ids());
         chain.deploy(INVOKE_CC, Box::new(InvokeContract), policy.clone());
-        chain.deploy(VIEW_STORAGE_CC, Box::new(ViewStorageContract), policy.clone());
+        chain.deploy(
+            VIEW_STORAGE_CC,
+            Box::new(ViewStorageContract),
+            policy.clone(),
+        );
         chain.deploy(TX_LIST_CC, Box::new(TxListContract), policy.clone());
         chain.deploy(ACCESS_CC, Box::new(AccessContract), policy);
-        let alice = chain.enroll(&OrgId::new("Org1"), "alice", &mut rng).unwrap();
+        let alice = chain
+            .enroll(&OrgId::new("Org1"), "alice", &mut rng)
+            .unwrap();
         (chain, alice)
     }
 
@@ -639,14 +651,26 @@ mod tests {
         let (mut chain, alice) = chain();
         let mut rng = seeded(3);
         chain
-            .invoke_commit(&alice, VIEW_STORAGE_CC, "init", vec![b"V1".to_vec()], &mut rng)
+            .invoke_commit(
+                &alice,
+                VIEW_STORAGE_CC,
+                "init",
+                vec![b"V1".to_vec()],
+                &mut rng,
+            )
             .unwrap();
         assert!(view_storage_initialised(chain.state(), "V1"));
         assert!(!view_storage_initialised(chain.state(), "V2"));
 
         // Double init fails.
         assert!(chain
-            .invoke(&alice, VIEW_STORAGE_CC, "init", vec![b"V1".to_vec()], &mut rng)
+            .invoke(
+                &alice,
+                VIEW_STORAGE_CC,
+                "init",
+                vec![b"V1".to_vec()],
+                &mut rng
+            )
             .is_err());
 
         let entries = vec![
@@ -764,7 +788,13 @@ mod tests {
             timestamp_us: 1,
         }];
         assert!(chain
-            .invoke(&alice, TX_LIST_CC, "add_batch", vec![encode_txlist_batch(&batch)], &mut rng)
+            .invoke(
+                &alice,
+                TX_LIST_CC,
+                "add_batch",
+                vec![encode_txlist_batch(&batch)],
+                &mut rng
+            )
             .is_err());
         assert!(read_view_txlist(chain.state(), "ghost").is_err());
     }
@@ -844,7 +874,10 @@ mod tests {
                 &mut rng,
             )
             .unwrap();
-        assert_eq!(read_role_users(chain.state(), "nurse").unwrap(), vec![u1, u2]);
+        assert_eq!(
+            read_role_users(chain.state(), "nurse").unwrap(),
+            vec![u1, u2]
+        );
         assert_eq!(
             read_role_views(chain.state(), "nurse").unwrap(),
             vec!["records".to_string(), "meds".to_string()]

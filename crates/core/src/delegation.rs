@@ -168,19 +168,31 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(70);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         for i in 0..3 {
-            mgr.invoke_with_secret(&mut chain, &client, &tx(i), &mut rng).unwrap();
+            mgr.invoke_with_secret(&mut chain, &client, &tx(i), &mut rng)
+                .unwrap();
         }
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
 
         // Delegate to a co-owner.
         let co_owner_kp = EncryptionKeyPair::generate(&mut rng);
         let sealed = export_view(&mgr, "V", &co_owner_kp.public(), &mut rng).unwrap();
         let co_owner_identity = chain
-            .enroll(&fabric_sim::identity::OrgId::new("Org1"), "co-owner", &mut rng)
+            .enroll(
+                &fabric_sim::identity::OrgId::new("Org1"),
+                "co-owner",
+                &mut rng,
+            )
             .unwrap();
         let mut co_mgr: HashBasedManager = ViewManager::new(co_owner_identity, false);
         let imported = import_view(&mut co_mgr, &co_owner_kp, &sealed).unwrap();
@@ -191,13 +203,17 @@ mod tests {
         // The co-owner answers Bob's query; Bob validates as usual.
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V").unwrap();
-        let resp = co_mgr.query_view("V", &bob.public(), None, &mut rng).unwrap();
+        let resp = co_mgr
+            .query_view("V", &bob.public(), None, &mut rng)
+            .unwrap();
         let revealed = bob.open_response(&chain, "V", &resp).unwrap();
         assert_eq!(revealed.len(), 3);
 
         // The co-owner can revoke: Bob loses access via the new on-chain
         // generation, and the ORIGINAL owner's key is now stale.
-        co_mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng).unwrap();
+        co_mgr
+            .revoke_access(&mut chain, "V", &bob.public(), &mut rng)
+            .unwrap();
         assert!(bob.obtain_view_key(&chain, "V").is_err());
     }
 
@@ -206,8 +222,14 @@ mod tests {
         let (mut chain, owner, _) = test_chain();
         let mut rng = seeded(71);
         let mut mgr: HashBasedManager = ViewManager::new(owner.clone(), false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let intended = EncryptionKeyPair::generate(&mut rng);
         let eve = EncryptionKeyPair::generate(&mut rng);
         let sealed = export_view(&mgr, "V", &intended.public(), &mut rng).unwrap();
@@ -220,8 +242,14 @@ mod tests {
         let (mut chain, owner, _) = test_chain();
         let mut rng = seeded(72);
         let mut mgr: HashBasedManager = ViewManager::new(owner.clone(), false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let co = EncryptionKeyPair::generate(&mut rng);
         let sealed = export_view(&mgr, "V", &co.public(), &mut rng).unwrap();
         // Importing hash-scheme state into an encryption-based manager.
@@ -237,8 +265,14 @@ mod tests {
         let (mut chain, owner, _) = test_chain();
         let mut rng = seeded(73);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let co = EncryptionKeyPair::generate(&mut rng);
         let sealed = export_view(&mgr, "V", &co.public(), &mut rng).unwrap();
         // Importing into a manager that already owns "V" fails.

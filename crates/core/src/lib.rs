@@ -39,12 +39,12 @@
 pub mod contracts;
 pub mod delegation;
 pub mod error;
-#[cfg(test)]
-pub(crate) mod testutil;
 pub mod manager;
 pub mod predicate;
 pub mod rbac;
 pub mod reader;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod txmodel;
 pub mod verify;
 

@@ -347,7 +347,11 @@ impl<S: SecretScheme> ViewManager<S> {
             rng,
         )?;
         let tid = result.tx_id;
-        let now_us = chain.store().tip().map(|b| b.header.timestamp_us).unwrap_or(0);
+        let now_us = chain
+            .store()
+            .tip()
+            .map(|b| b.header.timestamp_us)
+            .unwrap_or(0);
         self.records.insert(tid, record.clone());
 
         // InsertIntoView for every view whose definition can be decided
@@ -455,7 +459,11 @@ impl<S: SecretScheme> ViewManager<S> {
             .get(&tid)
             .cloned()
             .ok_or_else(|| ViewError::Malformed(format!("no record for tx {tid}")))?;
-        let now_us = chain.store().tip().map(|b| b.header.timestamp_us).unwrap_or(0);
+        let now_us = chain
+            .store()
+            .tip()
+            .map(|b| b.header.timestamp_us)
+            .unwrap_or(0);
         if let Some(entry) = self.insert_into_view(view, tid, record, now_us, rng)? {
             self.submit_merges(chain, vec![(view.to_string(), vec![entry])], rng)?;
         }
@@ -624,8 +632,7 @@ impl<S: SecretScheme> ViewManager<S> {
             .into_iter()
             .map(|(tid, record)| {
                 let payload = S::entry_payload(record);
-                let enc =
-                    aead::seal_sym_aad(info.key.as_bytes(), rng, &payload, tid.0.as_bytes());
+                let enc = aead::seal_sym_aad(info.key.as_bytes(), rng, &payload, tid.0.as_bytes());
                 (tid, enc)
             })
             .collect();
@@ -746,13 +753,9 @@ mod tests {
     use crate::txmodel::AttrValue;
     use ledgerview_crypto::rng::seeded;
 
-
     fn shipment(to: &str, secret: &[u8]) -> ClientTransaction {
         ClientTransaction::new(
-            vec![
-                ("from", AttrValue::str("M1")),
-                ("to", AttrValue::str(to)),
-            ],
+            vec![("from", AttrValue::str("M1")), ("to", AttrValue::str(to))],
             secret.to_vec(),
         )
     }
@@ -763,8 +766,14 @@ mod tests {
         let mut rng = seeded(1);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
         let pred = ViewPredicate::attr_eq("to", "W1");
-        mgr.create_view(&mut chain, "V_W1", pred.clone(), AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V_W1",
+            pred.clone(),
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(
             contracts::read_view_predicate(chain.state(), "V_W1").unwrap(),
             pred
@@ -859,7 +868,9 @@ mod tests {
         assert_eq!(txs, 2);
         assert_eq!(mgr.txlist_pending_len(), 0);
         assert_eq!(
-            contracts::read_view_txlist(chain.state(), "V").unwrap().len(),
+            contracts::read_view_txlist(chain.state(), "V")
+                .unwrap()
+                .len(),
             5
         );
         assert_eq!(contracts::read_view_storage(chain.state(), "V").len(), 5);
@@ -871,15 +882,27 @@ mod tests {
         let mut rng = seeded(5);
         let mut mgr: HashBasedManager = ViewManager::new(owner, true);
         mgr.set_flush_interval_us(30_000_000);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &shipment("W1", b"x"), &mut rng)
             .unwrap();
         // 10 s: too early.
-        assert_eq!(mgr.maybe_flush(&mut chain, 10_000_000, &mut rng).unwrap(), 0);
+        assert_eq!(
+            mgr.maybe_flush(&mut chain, 10_000_000, &mut rng).unwrap(),
+            0
+        );
         assert_eq!(mgr.txlist_pending_len(), 1);
         // 31 s: flush happens.
-        assert_eq!(mgr.maybe_flush(&mut chain, 31_000_000, &mut rng).unwrap(), 1);
+        assert_eq!(
+            mgr.maybe_flush(&mut chain, 31_000_000, &mut rng).unwrap(),
+            1
+        );
         assert_eq!(mgr.txlist_pending_len(), 0);
     }
 
@@ -888,10 +911,17 @@ mod tests {
         let (mut chain, owner, _) = test_chain();
         let mut rng = seeded(6);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let bob = ledgerview_crypto::EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob.public(), &mut rng)
+            .unwrap();
 
         let gen = contracts::read_access_generation(chain.state(), "V").unwrap();
         let entries = contracts::read_access_payload(chain.state(), "V", gen).unwrap();
@@ -907,15 +937,24 @@ mod tests {
         let (mut chain, owner, _) = test_chain();
         let mut rng = seeded(7);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let bob = ledgerview_crypto::EncryptionKeyPair::generate(&mut rng);
         let carol = ledgerview_crypto::EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob.public(), &mut rng).unwrap();
-        mgr.grant_access(&mut chain, "V", carol.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob.public(), &mut rng)
+            .unwrap();
+        mgr.grant_access(&mut chain, "V", carol.public(), &mut rng)
+            .unwrap();
         let old_key = *mgr.view_key("V").unwrap();
 
-        mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng).unwrap();
+        mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng)
+            .unwrap();
         let new_key = *mgr.view_key("V").unwrap();
         assert_ne!(old_key.as_bytes(), new_key.as_bytes());
         assert_eq!(mgr.members("V").unwrap(), &[carol.public()]);
@@ -937,10 +976,17 @@ mod tests {
         let (mut chain, owner, _) = test_chain();
         let mut rng = seeded(8);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Irrevocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Irrevocable,
+            &mut rng,
+        )
+        .unwrap();
         let bob = ledgerview_crypto::EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob.public(), &mut rng)
+            .unwrap();
         assert!(matches!(
             mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng),
             Err(ViewError::ModeMismatch(_))
@@ -952,8 +998,14 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(9);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &shipment("W1", b"s"), &mut rng)
             .unwrap();
         let eve = ledgerview_crypto::EncryptionKeyPair::generate(&mut rng);

@@ -316,8 +316,12 @@ mod tests {
         let alice = EncryptionKeyPair::generate(&mut rng).public();
         let bob = EncryptionKeyPair::generate(&mut rng).public();
 
-        admin.create_role(&mut chain, "nurse", &[alice, bob], &mut rng).unwrap();
-        admin.create_role(&mut chain, "doctor", &[alice], &mut rng).unwrap();
+        admin
+            .create_role(&mut chain, "nurse", &[alice, bob], &mut rng)
+            .unwrap();
+        admin
+            .create_role(&mut chain, "doctor", &[alice], &mut rng)
+            .unwrap();
         admin
             .assign_views(&mut chain, "nurse", &["records".into()], &mut rng)
             .unwrap();
@@ -335,12 +339,18 @@ mod tests {
         expect.sort();
         who.sort();
         assert_eq!(who, expect);
-        assert_eq!(users_with_access(chain.state(), "prescriptions"), vec![alice]);
+        assert_eq!(
+            users_with_access(chain.state(), "prescriptions"),
+            vec![alice]
+        );
         assert_eq!(
             views_of_user(chain.state(), &alice),
             vec!["prescriptions".to_string(), "records".to_string()]
         );
-        assert_eq!(views_of_user(chain.state(), &bob), vec!["records".to_string()]);
+        assert_eq!(
+            views_of_user(chain.state(), &bob),
+            vec!["records".to_string()]
+        );
 
         let matrix = decode_access_matrix(&encode_access_matrix(chain.state())).unwrap();
         assert_eq!(matrix.len(), 2);
@@ -353,8 +363,14 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(42);
         let mut mgr: HashBasedManager = ViewManager::new(owner.clone(), false);
-        mgr.create_view(&mut chain, "records", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "records",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(
             &mut chain,
             &client,
@@ -397,7 +413,12 @@ mod tests {
         let alice = EncryptionKeyPair::generate(&mut rng);
         let bob = EncryptionKeyPair::generate(&mut rng);
         admin
-            .create_role(&mut chain, "staff", &[alice.public(), bob.public()], &mut rng)
+            .create_role(
+                &mut chain,
+                "staff",
+                &[alice.public(), bob.public()],
+                &mut rng,
+            )
             .unwrap();
         assert!(recover_role_keypair(&chain, "staff", &bob).is_ok());
 
@@ -417,6 +438,9 @@ mod tests {
         assert!(users_with_access(chain.state(), "v").is_empty());
         let user = EncryptionKeyPair::generate(&mut seeded(44)).public();
         assert!(views_of_user(chain.state(), &user).is_empty());
-        assert_eq!(decode_access_matrix(&encode_access_matrix(chain.state())).unwrap(), vec![]);
+        assert_eq!(
+            decode_access_matrix(&encode_access_matrix(chain.state())).unwrap(),
+            vec![]
+        );
     }
 }

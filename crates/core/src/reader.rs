@@ -71,19 +71,14 @@ impl ViewReader {
     /// Fetch the latest `V_access` generation from the chain and recover
     /// `K_V` for `view`. Fails if this reader is not among the recipients
     /// (revoked users find their entry gone after rotation).
-    pub fn obtain_view_key(
-        &mut self,
-        chain: &FabricChain,
-        view: &str,
-    ) -> Result<(), ViewError> {
+    pub fn obtain_view_key(&mut self, chain: &FabricChain, view: &str) -> Result<(), ViewError> {
         let generation = contracts::read_access_generation(chain.state(), view)
             .ok_or_else(|| ViewError::UnknownView(view.to_string()))?;
         let entries = contracts::read_access_payload(chain.state(), view, generation)?;
         let me = self.keypair.public();
-        let mine = entries
-            .iter()
-            .find(|e| e.recipient == me)
-            .ok_or_else(|| ViewError::AccessDenied(format!("no V_access entry for me in {view:?}")))?;
+        let mine = entries.iter().find(|e| e.recipient == me).ok_or_else(|| {
+            ViewError::AccessDenied(format!("no V_access entry for me in {view:?}"))
+        })?;
         let key_bytes = ledgerview_crypto::open(&self.keypair, &mine.sealed_key)?;
         let arr: [u8; 32] = key_bytes
             .try_into()
@@ -185,10 +180,9 @@ impl ViewReader {
     ) -> Result<Vec<RevealedTx>, ViewError> {
         let mut out = Vec::with_capacity(decoded.entries.len());
         for (tid, payload) in &decoded.entries {
-            let stored_bytes = contracts::read_stored_tx(chain.state(), tid)
-                .ok_or_else(|| {
-                    ViewError::VerificationFailed(format!("tx {tid} not on the ledger"))
-                })?;
+            let stored_bytes = contracts::read_stored_tx(chain.state(), tid).ok_or_else(|| {
+                ViewError::VerificationFailed(format!("tx {tid} not on the ledger"))
+            })?;
             let stored = StoredTransaction::from_bytes(&stored_bytes)?;
             let (secret, tx_key) = match decoded.scheme {
                 SchemeKind::Encryption => {
@@ -243,9 +237,9 @@ impl ViewReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::test_chain;
     use crate::manager::{EncryptionBasedManager, HashBasedManager, ViewManager};
     use crate::predicate::ViewPredicate;
+    use crate::testutil::test_chain;
     use crate::txmodel::{AttrValue, ClientTransaction};
     use ledgerview_crypto::rng::seeded;
 
@@ -261,14 +255,21 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(20);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let tid = mgr
             .invoke_with_secret(&mut chain, &client, &tx("W1", b"amount=200"), &mut rng)
             .unwrap();
 
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
 
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V").unwrap();
@@ -285,13 +286,20 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(21);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &tx("W1", b"price=9.99"), &mut rng)
             .unwrap();
 
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V").unwrap();
         let resp = mgr.query_view("V", &bob.public(), None, &mut rng).unwrap();
@@ -305,14 +313,21 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(22);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Irrevocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Irrevocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &tx("W1", b"s-1"), &mut rng)
             .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &tx("W2", b"s-2"), &mut rng)
             .unwrap();
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
 
         // Bob reads the view data straight off the ledger: no owner query.
         let mut bob = ViewReader::new(bob_kp);
@@ -331,21 +346,30 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(23);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &tx("W1", b"s"), &mut rng)
             .unwrap();
 
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
         let carol_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
-        mgr.grant_access(&mut chain, "V", carol_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
+        mgr.grant_access(&mut chain, "V", carol_kp.public(), &mut rng)
+            .unwrap();
 
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V").unwrap();
 
         // Revoke bob. He cannot obtain the rotated key...
-        mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng).unwrap();
+        mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng)
+            .unwrap();
         assert!(matches!(
             bob.obtain_view_key(&chain, "V"),
             Err(ViewError::AccessDenied(_))
@@ -354,13 +378,17 @@ mod tests {
         assert!(mgr.query_view("V", &bob.public(), None, &mut rng).is_err());
         // Even with a response addressed to carol, bob's old K_V cannot
         // decrypt entries sealed under the rotated key.
-        let resp_for_carol = mgr.query_view("V", &carol_kp.public(), None, &mut rng).unwrap();
+        let resp_for_carol = mgr
+            .query_view("V", &carol_kp.public(), None, &mut rng)
+            .unwrap();
         assert!(bob.decode_response("V", &resp_for_carol).is_err());
 
         // Carol still works end to end.
         let mut carol = ViewReader::new(carol_kp);
         carol.obtain_view_key(&chain, "V").unwrap();
-        let resp = mgr.query_view("V", &carol.public(), None, &mut rng).unwrap();
+        let resp = mgr
+            .query_view("V", &carol.public(), None, &mut rng)
+            .unwrap();
         assert_eq!(carol.open_response(&chain, "V", &resp).unwrap().len(), 1);
     }
 
@@ -369,8 +397,14 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(24);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         let t1 = mgr
             .invoke_with_secret(&mut chain, &client, &tx("W1", b"s1"), &mut rng)
             .unwrap();
@@ -379,7 +413,8 @@ mod tests {
             .unwrap();
 
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V").unwrap();
         let resp = mgr
@@ -395,12 +430,19 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(25);
         let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &tx("W1", b"real"), &mut rng)
             .unwrap();
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V").unwrap();
 
@@ -431,14 +473,23 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(26);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &tx("W1", b"s"), &mut rng)
             .unwrap();
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
         let eve_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
-        let resp = mgr.query_view("V", &bob_kp.public(), None, &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
+        let resp = mgr
+            .query_view("V", &bob_kp.public(), None, &mut rng)
+            .unwrap();
 
         let mut eve = ViewReader::new(eve_kp);
         eve.install_view_key("V", *mgr.view_key("V").unwrap());

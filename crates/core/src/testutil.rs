@@ -17,10 +17,18 @@ pub(crate) fn test_chain() -> (FabricChain, Identity, Identity) {
     let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
     let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
     chain.deploy(INVOKE_CC, Box::new(InvokeContract), policy.clone());
-    chain.deploy(VIEW_STORAGE_CC, Box::new(ViewStorageContract), policy.clone());
+    chain.deploy(
+        VIEW_STORAGE_CC,
+        Box::new(ViewStorageContract),
+        policy.clone(),
+    );
     chain.deploy(TX_LIST_CC, Box::new(TxListContract), policy.clone());
     chain.deploy(ACCESS_CC, Box::new(AccessContract), policy);
-    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("Org2"), "alice", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("Org1"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("Org2"), "alice", &mut rng)
+        .unwrap();
     (chain, owner, client)
 }

@@ -95,10 +95,7 @@ impl ClientTransaction {
     /// Build from attribute pairs and a secret payload.
     pub fn new(attrs: Vec<(&str, AttrValue)>, secret: impl Into<Vec<u8>>) -> ClientTransaction {
         ClientTransaction {
-            non_secret: attrs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
+            non_secret: attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
             secret: secret.into(),
         }
     }
@@ -176,9 +173,7 @@ impl StoredTransaction {
     /// ciphertext to the claimed secret.
     pub fn matches_secret(&self, secret: &[u8], tx_key: Option<&SymmetricKey>) -> bool {
         match &self.concealed {
-            Concealed::Hashed { salt, digest } => {
-                sha256_concat(&[secret, salt]) == *digest
-            }
+            Concealed::Hashed { salt, digest } => sha256_concat(&[secret, salt]) == *digest,
             Concealed::Encrypted { ciphertext } => match tx_key {
                 Some(k) => k.open(ciphertext).is_ok_and(|pt| pt == secret),
                 None => false,
@@ -326,6 +321,9 @@ mod tests {
             vec![("a", AttrValue::str("x")), ("b", AttrValue::int(2))],
             b"".to_vec(),
         );
-        assert_eq!(encode_non_secret(&a.non_secret), encode_non_secret(&b.non_secret));
+        assert_eq!(
+            encode_non_secret(&a.non_secret),
+            encode_non_secret(&b.non_secret)
+        );
     }
 }

@@ -68,10 +68,7 @@ pub fn ledger_edb(chain: &FabricChain) -> Database {
                     AttrValue::Str(s) => Value::Str(s.clone()),
                     AttrValue::Int(i) => Value::Int(*i),
                 };
-                db.insert(
-                    "tx",
-                    vec![tid_hex.clone(), Value::Str(k.clone()), value],
-                );
+                db.insert("tx", vec![tid_hex.clone(), Value::Str(k.clone()), value]);
             }
         }
     }
@@ -304,7 +301,9 @@ mod tests {
             .unwrap();
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V_W1").unwrap();
-        let resp = mgr.query_view("V_W1", &bob.public(), None, &mut rng).unwrap();
+        let resp = mgr
+            .query_view("V_W1", &bob.public(), None, &mut rng)
+            .unwrap();
         let revealed = bob.open_response(&chain, "V_W1", &resp).unwrap();
         (chain, mgr, bob, revealed)
     }
@@ -313,8 +312,7 @@ mod tests {
     fn honest_view_is_sound_and_complete() {
         let (chain, _mgr, _bob, revealed) = setup_hash_view();
         assert_eq!(revealed.len(), 3);
-        let (sound, complete) =
-            verify_view(&chain, "V_W1", &revealed, u64::MAX, true).unwrap();
+        let (sound, complete) = verify_view(&chain, "V_W1", &revealed, u64::MAX, true).unwrap();
         assert!(sound.ok, "violations: {:?}", sound.violations);
         assert_eq!(sound.checked, 3);
         assert!(complete.ok, "violations: {:?}", complete.violations);
@@ -352,10 +350,10 @@ mod tests {
         });
         let report = verify_soundness(&chain, "V_W1", &revealed).unwrap();
         assert!(!report.ok);
-        assert!(report.violations[0].contains("case 1") || report
-            .violations
-            .iter()
-            .any(|v| v.contains("predicate")));
+        assert!(
+            report.violations[0].contains("case 1")
+                || report.violations.iter().any(|v| v.contains("predicate"))
+        );
     }
 
     #[test]
@@ -364,10 +362,7 @@ mod tests {
         revealed[1].secret = b"corrupted".to_vec();
         let report = verify_soundness(&chain, "V_W1", &revealed).unwrap();
         assert!(!report.ok);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| v.contains("concealment")));
+        assert!(report.violations.iter().any(|v| v.contains("concealment")));
     }
 
     #[test]
@@ -430,8 +425,7 @@ mod tests {
         // A view snapshot containing only the early tx is complete at the
         // horizon, but incomplete at MAX.
         let tids: HashSet<TxId> = [list[0].0].into_iter().collect();
-        let at_horizon =
-            verify_completeness_txlist(&chain, "V", &tids, horizon).unwrap();
+        let at_horizon = verify_completeness_txlist(&chain, "V", &tids, horizon).unwrap();
         assert!(at_horizon.ok);
         let at_max = verify_completeness_txlist(&chain, "V", &tids, u64::MAX).unwrap();
         assert!(!at_max.ok);
@@ -442,12 +436,19 @@ mod tests {
         let (mut chain, owner, client) = test_chain();
         let mut rng = seeded(32);
         let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-        mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-            .unwrap();
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
         mgr.invoke_with_secret(&mut chain, &client, &tx("W1", b"s"), &mut rng)
             .unwrap();
         let bob_kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+            .unwrap();
         let mut bob = ViewReader::new(bob_kp);
         bob.obtain_view_key(&chain, "V").unwrap();
         let resp = mgr.query_view("V", &bob.public(), None, &mut rng).unwrap();

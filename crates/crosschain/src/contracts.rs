@@ -153,7 +153,8 @@ impl Chaincode for ShardContract {
                 let request = arg_str(args, 0)?;
                 let payload = arg(args, 1)?.to_vec();
                 let key = prep_key(&request);
-                if ctx.get_state(&key).is_some() || ctx.get_state(&committed_key(&request)).is_some()
+                if ctx.get_state(&key).is_some()
+                    || ctx.get_state(&committed_key(&request)).is_some()
                 {
                     return Err(FabricError::ChaincodeError(format!(
                         "request {request:?} already prepared or committed"

@@ -199,7 +199,12 @@ fn inv_shift_rows(block: &mut [u8; 16]) {
 
 fn mix_columns(block: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [block[c * 4], block[c * 4 + 1], block[c * 4 + 2], block[c * 4 + 3]];
+        let col = [
+            block[c * 4],
+            block[c * 4 + 1],
+            block[c * 4 + 2],
+            block[c * 4 + 3],
+        ];
         block[c * 4] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
         block[c * 4 + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
         block[c * 4 + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
@@ -209,7 +214,12 @@ fn mix_columns(block: &mut [u8; 16]) {
 
 fn inv_mix_columns(block: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [block[c * 4], block[c * 4 + 1], block[c * 4 + 2], block[c * 4 + 3]];
+        let col = [
+            block[c * 4],
+            block[c * 4 + 1],
+            block[c * 4 + 2],
+            block[c * 4 + 3],
+        ];
         block[c * 4] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
         block[c * 4 + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
         block[c * 4 + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);

@@ -244,8 +244,8 @@ fn decompress(enc: &[u8; 32]) -> Result<Point, CryptoError> {
 /// The group order L as 32 little-endian bytes:
 /// 2²⁵² + 27742317777372353535851937790883648493.
 const L: [i64; 32] = [
-    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde,
-    0x14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x10,
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x10,
 ];
 
 /// Reduce a 64-byte little-endian integer modulo L (TweetNaCl's `modL`).
@@ -677,7 +677,10 @@ mod tests {
         assert!(decompress(&p_enc).is_err(), "y == p must be rejected");
         let mut p_plus_1 = p_enc;
         p_plus_1[0] = 0xee; // y == p + 1 ≡ 1, aliases the identity's y
-        assert!(decompress(&p_plus_1).is_err(), "y == p + 1 must be rejected");
+        assert!(
+            decompress(&p_plus_1).is_err(),
+            "y == p + 1 must be rejected"
+        );
         // Same encodings with the sign bit set are equally non-canonical.
         let mut signed = p_plus_1;
         signed[31] |= 0x80;
@@ -743,11 +746,7 @@ mod tests {
         let seeds: Vec<[u8; 32]> = (0..5u8).map(|i| [i + 40; 32]).collect();
         let msgs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 20]).collect();
         let pks: Vec<[u8; 32]> = seeds.iter().map(public_key).collect();
-        let mut sigs: Vec<[u8; 64]> = seeds
-            .iter()
-            .zip(&msgs)
-            .map(|(s, m)| sign(s, m))
-            .collect();
+        let mut sigs: Vec<[u8; 64]> = seeds.iter().zip(&msgs).map(|(s, m)| sign(s, m)).collect();
         // Tamper with the middle signature.
         sigs[2][5] ^= 0x40;
         let entries: Vec<BatchEntry> = (0..5)
@@ -760,10 +759,7 @@ mod tests {
         assert!(verify_batch(&entries).is_err());
         // The per-entry fallback agrees: exactly entry 2 fails.
         for (i, e) in entries.iter().enumerate() {
-            assert_eq!(
-                verify(e.public_key, e.message, e.signature).is_ok(),
-                i != 2
-            );
+            assert_eq!(verify(e.public_key, e.message, e.signature).is_ok(), i != 2);
         }
     }
 
@@ -775,11 +771,8 @@ mod tests {
             let seeds: Vec<[u8; 32]> = (0..4u8).map(|i| [i + 90; 32]).collect();
             let msgs: Vec<Vec<u8>> = (0..4u8).map(|i| vec![i ^ 0x5a; 33]).collect();
             let pks: Vec<[u8; 32]> = seeds.iter().map(public_key).collect();
-            let mut sigs: Vec<[u8; 64]> = seeds
-                .iter()
-                .zip(&msgs)
-                .map(|(s, m)| sign(s, m))
-                .collect();
+            let mut sigs: Vec<[u8; 64]> =
+                seeds.iter().zip(&msgs).map(|(s, m)| sign(s, m)).collect();
             if let Some(t) = tamper {
                 sigs[t][33] ^= 1;
             }
@@ -815,8 +808,16 @@ mod tests {
         let other_pk = public_key(&other_seed);
         let other_sig = sign(&other_seed, &msg);
         let entries = [
-            BatchEntry { public_key: &other_pk, message: &msg, signature: &other_sig },
-            BatchEntry { public_key: &pk, message: &msg, signature: &sig },
+            BatchEntry {
+                public_key: &other_pk,
+                message: &msg,
+                signature: &other_sig,
+            },
+            BatchEntry {
+                public_key: &pk,
+                message: &msg,
+                signature: &sig,
+            },
         ];
         assert!(verify_batch(&entries).is_err());
     }

@@ -18,7 +18,12 @@ pub fn decode(s: &str) -> Option<Vec<u8>> {
         return None;
     }
     let digits: Vec<u32> = s.chars().map(|c| c.to_digit(16)).collect::<Option<_>>()?;
-    Some(digits.chunks(2).map(|p| ((p[0] << 4) | p[1]) as u8).collect())
+    Some(
+        digits
+            .chunks(2)
+            .map(|p| ((p[0] << 4) | p[1]) as u8)
+            .collect(),
+    )
 }
 
 #[cfg(test)]

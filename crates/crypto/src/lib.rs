@@ -44,8 +44,8 @@ pub mod hmac;
 pub mod keys;
 pub mod rng;
 pub mod sha256;
-pub mod sigcache;
 pub mod sha512;
+pub mod sigcache;
 pub mod x25519;
 
 pub use aead::{open_sym, seal_sym};

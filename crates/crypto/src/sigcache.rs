@@ -98,13 +98,7 @@ impl SigCache {
 
     /// Record the verification outcome for a triple, evicting the least
     /// recently used entry if the cache is full.
-    pub fn record(
-        &self,
-        public_key: &[u8; 32],
-        message: &[u8],
-        signature: &[u8; 64],
-        valid: bool,
-    ) {
+    pub fn record(&self, public_key: &[u8; 32], message: &[u8], signature: &[u8; 64], valid: bool) {
         if self.capacity == 0 {
             return;
         }

@@ -97,7 +97,14 @@ impl Fe {
     pub(crate) fn add(self, rhs: Fe) -> Fe {
         let a = self.0;
         let b = rhs.0;
-        Fe([a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3], a[4] + b[4]]).carry()
+        Fe([
+            a[0] + b[0],
+            a[1] + b[1],
+            a[2] + b[2],
+            a[3] + b[3],
+            a[4] + b[4],
+        ])
+        .carry()
     }
 
     pub(crate) fn sub(self, rhs: Fe) -> Fe {
@@ -214,7 +221,13 @@ fn carry_wide(mut h: [u128; 5]) -> Fe {
     c = h[0] >> 51;
     h[0] &= mask;
     h[1] += c;
-    Fe([h[0] as u64, h[1] as u64, h[2] as u64, h[3] as u64, h[4] as u64])
+    Fe([
+        h[0] as u64,
+        h[1] as u64,
+        h[2] as u64,
+        h[3] as u64,
+        h[4] as u64,
+    ])
 }
 
 /// Clamp a 32-byte scalar per RFC 7748 §5.

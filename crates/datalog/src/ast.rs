@@ -161,7 +161,10 @@ impl Program {
 
     /// Relations derived by rules (intensional database).
     pub fn idb_relations(&self) -> HashSet<&str> {
-        self.rules.iter().map(|r| r.head.relation.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.relation.as_str())
+            .collect()
     }
 }
 

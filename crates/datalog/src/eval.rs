@@ -38,7 +38,10 @@ impl fmt::Display for EvalError {
                 relation,
                 expected,
                 found,
-            } => write!(f, "relation {relation} used with arity {found}, expected {expected}"),
+            } => write!(
+                f,
+                "relation {relation} used with arity {found}, expected {expected}"
+            ),
         }
     }
 }
@@ -59,7 +62,10 @@ impl Database {
 
     /// Insert a fact. Returns true if it was new.
     pub fn insert(&mut self, relation: impl Into<String>, tuple: Tuple) -> bool {
-        self.relations.entry(relation.into()).or_default().insert(tuple)
+        self.relations
+            .entry(relation.into())
+            .or_default()
+            .insert(tuple)
     }
 
     /// Whether the fact is present.
@@ -319,7 +325,10 @@ mod tests {
         let mut db = Database::new();
         // Item i1: M1 → D1 → Warehouse 1.
         db.insert("delivered", vec![v("t1"), v("i1"), v("M1"), v("D1")]);
-        db.insert("delivered", vec![v("t2"), v("i1"), v("D1"), v("Warehouse 1")]);
+        db.insert(
+            "delivered",
+            vec![v("t2"), v("i1"), v("D1"), v("Warehouse 1")],
+        );
         // Item i2: M2 → Shop 9 (never reaches Warehouse 1).
         db.insert("delivered", vec![v("t3"), v("i2"), v("M2"), v("Shop 9")]);
 

@@ -21,6 +21,7 @@ use crate::ledger::{Block, BlockHeader, BlockStore, Transaction, TxId};
 use crate::parallel::{BlockValidator, ValidationConfig};
 use crate::privdata::{CollectionConfig, PrivateStore};
 use crate::statedb::StateDb;
+use crate::storage::{DurableBackend, InMemoryBackend, StateBackend, StorageConfig};
 use crate::validation::{next_state_root, TxValidation};
 
 struct Deployed {
@@ -43,7 +44,9 @@ pub struct FabricChain {
     /// One endorsing peer identity per organisation.
     endorsers: HashMap<OrgId, Identity>,
     chaincodes: HashMap<String, Deployed>,
-    state: StateDb,
+    /// Committed state, behind a pluggable persistence backend (in-memory
+    /// by default; durable via [`FabricChain::with_storage`]).
+    backend: Box<dyn StateBackend>,
     store: BlockStore,
     pending: Vec<Transaction>,
     pending_private: Vec<(String, String, Vec<u8>)>,
@@ -76,7 +79,7 @@ impl FabricChain {
             msp,
             endorsers,
             chaincodes: HashMap::new(),
-            state: StateDb::new(),
+            backend: Box::new(InMemoryBackend::new()),
             store: BlockStore::new(),
             pending: Vec::new(),
             pending_private: Vec::new(),
@@ -86,6 +89,37 @@ impl FabricChain {
             check_signatures: true,
             validator: BlockValidator::new(ValidationConfig::default()),
         }
+    }
+
+    /// Create a chain whose state and ledger persist under `storage.dir`,
+    /// recovering whatever an earlier run (including one that crashed)
+    /// committed there.
+    ///
+    /// Recovery rebuilds the block store from the durable block file, the
+    /// state database from the last checkpoint plus the WAL, and verifies
+    /// every recovered block's state root; identities are re-derived from
+    /// `rng`, so reopening with the same seed reproduces the same
+    /// organisations. One persistent worker pool (sized by
+    /// `validation.workers`) serves both parallel block decoding during
+    /// recovery and endorsement verification at commit time. Private data
+    /// collections are not persisted (documented limitation).
+    pub fn with_storage<R: RngCore + ?Sized>(
+        org_names: &[&str],
+        rng: &mut R,
+        storage: StorageConfig,
+        validation: ValidationConfig,
+    ) -> Result<FabricChain, FabricError> {
+        let mut chain = FabricChain::new(org_names, rng);
+        let pool = crate::pool::WorkerPool::new(validation.workers);
+        let (backend, blocks) = DurableBackend::open(storage, &pool)?;
+        chain.validator = BlockValidator::with_pool(validation, pool);
+        chain.store = BlockStore::restore(blocks)?;
+        if let Some(tip) = chain.store.tip() {
+            chain.state_root = tip.header.state_root;
+            chain.clock_us = tip.header.timestamp_us;
+        }
+        chain.backend = Box::new(backend);
+        Ok(chain)
     }
 
     /// Disable endorsement signature production/verification (used by the
@@ -98,7 +132,14 @@ impl FabricChain {
     /// verification, signature cache, commit-time endorsement checks).
     /// Every configuration commits identical outcomes; only cost differs.
     pub fn set_validation_config(&mut self, config: ValidationConfig) {
-        self.validator = BlockValidator::new(config);
+        // Keep the persistent worker threads when the pool size is
+        // unchanged; only a different worker count needs a new pool.
+        if self.validator.pool().workers() == config.workers.max(1) {
+            let pool = self.validator.pool().clone();
+            self.validator = BlockValidator::with_pool(config, pool);
+        } else {
+            self.validator = BlockValidator::new(config);
+        }
     }
 
     /// The active commit-time validation configuration.
@@ -192,7 +233,7 @@ impl FabricChain {
         // Simulate once (chaincode is deterministic; every endorser would
         // compute the same read/write set against the same state).
         let mut ctx = TxContext::with_transient(
-            &self.state,
+            self.backend.state(),
             tx_id,
             creator.cert(),
             self.clock_us,
@@ -263,7 +304,7 @@ impl FabricChain {
         let tx_id = TxId(ledgerview_crypto::sha256::sha256(
             &self.clock_us.to_be_bytes(),
         ));
-        let mut ctx = TxContext::new(&self.state, tx_id, creator.cert(), self.clock_us);
+        let mut ctx = TxContext::new(self.backend.state(), tx_id, creator.cert(), self.clock_us);
         deployed.code.invoke(&mut ctx, function, args.as_ref())
     }
 
@@ -286,7 +327,7 @@ impl FabricChain {
         let chaincodes = &self.chaincodes;
         let outcomes = self.validator.validate_and_commit(
             &transactions,
-            &mut self.state,
+            self.backend.state_mut(),
             block_num,
             &self.msp,
             &|cc: &str| chaincodes.get(cc).map(|d| d.policy.clone()),
@@ -305,12 +346,19 @@ impl FabricChain {
             timestamp_us: self.clock_us,
         };
         let validity = outcomes.iter().map(|o| o.is_valid()).collect();
+        let block = Block {
+            header,
+            transactions,
+            validity,
+        };
+        // Durability point: the backend persists (WAL + block file) before
+        // the in-memory ledger advances, so a crash after this call can
+        // always be recovered to include this block.
+        self.backend
+            .commit_block(&block)
+            .unwrap_or_else(|e| panic!("durable commit of block {block_num} failed: {e}"));
         self.store
-            .append(Block {
-                header,
-                transactions,
-                validity,
-            })
+            .append(block)
             .expect("locally built block must link");
         self.state_root = state_root;
 
@@ -352,7 +400,24 @@ impl FabricChain {
 
     /// The committed state database.
     pub fn state(&self) -> &StateDb {
-        &self.state
+        self.backend.state()
+    }
+
+    /// The persistence backend.
+    pub fn backend(&self) -> &dyn StateBackend {
+        self.backend.as_ref()
+    }
+
+    /// Whether commits survive a process crash (true for chains created
+    /// with [`FabricChain::with_storage`]).
+    pub fn is_durable(&self) -> bool {
+        self.backend.is_durable()
+    }
+
+    /// Force everything committed so far to stable storage (no-op for the
+    /// in-memory backend).
+    pub fn flush(&mut self) -> Result<(), FabricError> {
+        self.backend.flush()
     }
 
     /// The block store.
@@ -425,7 +490,9 @@ mod tests {
         let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
         let policy = EndorsementPolicy::AllOf(chain.org_ids());
         chain.deploy("kv", Box::new(KvChaincode), policy);
-        let alice = chain.enroll(&OrgId::new("Org1"), "alice", &mut rng).unwrap();
+        let alice = chain
+            .enroll(&OrgId::new("Org1"), "alice", &mut rng)
+            .unwrap();
         (chain, alice)
     }
 
@@ -453,12 +520,21 @@ mod tests {
         let (mut chain, alice) = chain_with_kv();
         let mut rng = seeded(3);
         chain
-            .invoke_commit(&alice, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
+            .invoke_commit(
+                &alice,
+                "kv",
+                "put",
+                vec![b"k".to_vec(), b"v".to_vec()],
+                &mut rng,
+            )
             .unwrap();
         // rmw as query: returns new value but does not write it.
         let out = chain.query(&alice, "kv", "rmw", &[b"k".to_vec()]).unwrap();
         assert_eq!(out, b"v!");
-        assert_eq!(chain.query(&alice, "kv", "get", &[b"k".to_vec()]).unwrap(), b"v");
+        assert_eq!(
+            chain.query(&alice, "kv", "get", &[b"k".to_vec()]).unwrap(),
+            b"v"
+        );
     }
 
     #[test]
@@ -486,17 +562,30 @@ mod tests {
         let (mut chain, alice) = chain_with_kv();
         let mut rng = seeded(6);
         chain
-            .invoke_commit(&alice, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
+            .invoke_commit(
+                &alice,
+                "kv",
+                "put",
+                vec![b"k".to_vec(), b"v".to_vec()],
+                &mut rng,
+            )
             .unwrap();
         // Two read-modify-writes of the same key in one block: the second
         // must be invalidated by MVCC.
-        chain.invoke(&alice, "kv", "rmw", vec![b"k".to_vec()], &mut rng).unwrap();
-        chain.invoke(&alice, "kv", "rmw", vec![b"k".to_vec()], &mut rng).unwrap();
+        chain
+            .invoke(&alice, "kv", "rmw", vec![b"k".to_vec()], &mut rng)
+            .unwrap();
+        chain
+            .invoke(&alice, "kv", "rmw", vec![b"k".to_vec()], &mut rng)
+            .unwrap();
         let outcomes = chain.cut_block();
         assert_eq!(outcomes.len(), 2);
         assert!(outcomes[0].is_valid());
         assert!(!outcomes[1].is_valid());
-        assert_eq!(chain.query(&alice, "kv", "get", &[b"k".to_vec()]).unwrap(), b"v!");
+        assert_eq!(
+            chain.query(&alice, "kv", "get", &[b"k".to_vec()]).unwrap(),
+            b"v!"
+        );
         assert_eq!(chain.store().committed_tx_count(), 2); // put + first rmw
     }
 
@@ -513,7 +602,13 @@ mod tests {
         let mut rng = seeded(7);
         let r0 = chain.state_root();
         chain
-            .invoke_commit(&alice, "kv", "put", vec![b"a".to_vec(), b"1".to_vec()], &mut rng)
+            .invoke_commit(
+                &alice,
+                "kv",
+                "put",
+                vec![b"a".to_vec(), b"1".to_vec()],
+                &mut rng,
+            )
             .unwrap();
         let r1 = chain.state_root();
         assert_ne!(r0, r1);
@@ -525,7 +620,13 @@ mod tests {
         let (mut chain, alice) = chain_with_kv();
         let mut rng = seeded(8);
         let res = chain
-            .invoke_commit(&alice, "kv", "put", vec![b"a".to_vec(), b"1".to_vec()], &mut rng)
+            .invoke_commit(
+                &alice,
+                "kv",
+                "put",
+                vec![b"a".to_vec(), b"1".to_vec()],
+                &mut rng,
+            )
             .unwrap();
         let (tx, valid) = chain.store().find_tx(&res.tx_id).unwrap();
         assert!(valid);
@@ -545,9 +646,17 @@ mod tests {
             Box::new(KvChaincode),
             EndorsementPolicy::AnyOf(chain.org_ids()),
         );
-        let alice = chain.enroll(&OrgId::new("Org1"), "alice", &mut rng).unwrap();
+        let alice = chain
+            .enroll(&OrgId::new("Org1"), "alice", &mut rng)
+            .unwrap();
         chain
-            .invoke_commit(&alice, "kv", "put", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
+            .invoke_commit(
+                &alice,
+                "kv",
+                "put",
+                vec![b"k".to_vec(), b"v".to_vec()],
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(chain.height(), 1);
     }

@@ -62,6 +62,12 @@ impl RwSet {
     /// Canonical bytes (hashed into transactions and endorsed).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.write_to(&mut w);
+        w.into_bytes()
+    }
+
+    /// Append the canonical bytes to an open writer (no copy).
+    pub fn write_to(&self, w: &mut Writer) {
         w.u32(self.reads.len() as u32);
         for r in &self.reads {
             w.string(&r.key);
@@ -92,7 +98,6 @@ impl RwSet {
                 .string(&pw.key)
                 .array(pw.value_hash.as_bytes());
         }
-        w.into_bytes()
     }
 
     /// Digest of the canonical bytes.
@@ -135,11 +140,7 @@ impl RwSet {
             let value = match r.u8()? {
                 0 => None,
                 1 => Some(r.bytes()?),
-                tag => {
-                    return Err(FabricError::Malformed(format!(
-                        "bad write-value tag {tag}"
-                    )))
-                }
+                tag => return Err(FabricError::Malformed(format!("bad write-value tag {tag}"))),
             };
             writes.push(WriteEntry { key, value });
         }

@@ -17,6 +17,7 @@ use crate::endorsement::EndorsementPolicy;
 use crate::error::FabricError;
 use crate::identity::{Identity, OrgId};
 use crate::parallel::ValidationConfig;
+use crate::storage::StorageConfig;
 
 /// A channel: an isolated ledger plus its member organisations.
 pub struct Channel {
@@ -86,16 +87,43 @@ impl ChannelRegistry {
         self.channels.get_mut(name).expect("just inserted")
     }
 
+    /// Create a channel whose ledger persists under `storage.dir` (see
+    /// [`FabricChain::with_storage`]): reopening an existing directory
+    /// recovers the channel's committed blocks and state.
+    ///
+    /// # Panics
+    /// Panics if the channel exists (deployment-time error).
+    pub fn create_channel_durable<R: RngCore + ?Sized>(
+        &mut self,
+        name: &str,
+        member_orgs: &[&str],
+        rng: &mut R,
+        storage: StorageConfig,
+        validation: ValidationConfig,
+    ) -> Result<&mut Channel, FabricError> {
+        assert!(
+            !self.channels.contains_key(name),
+            "channel {name:?} already exists"
+        );
+        let chain = FabricChain::with_storage(member_orgs, rng, storage, validation)?;
+        let members = chain.org_ids();
+        self.channels.insert(
+            name.to_string(),
+            Channel {
+                name: name.to_string(),
+                members,
+                chain,
+            },
+        );
+        Ok(self.channels.get_mut(name).expect("just inserted"))
+    }
+
     /// Channel by name.
     pub fn channel(&self, name: &str) -> Option<&Channel> {
         self.channels.get(name)
     }
 
-    fn member_channel_mut(
-        &mut self,
-        name: &str,
-        org: &OrgId,
-    ) -> Result<&mut Channel, FabricError> {
+    fn member_channel_mut(&mut self, name: &str, org: &OrgId) -> Result<&mut Channel, FabricError> {
         let channel = self
             .channels
             .get_mut(name)
@@ -133,7 +161,8 @@ impl ChannelRegistry {
         rng: &mut R,
     ) -> Result<InvokeResult, FabricError> {
         let ch = self.member_channel_mut(channel, creator.org())?;
-        ch.chain.invoke_commit(creator, chaincode, function, args, rng)
+        ch.chain
+            .invoke_commit(creator, chaincode, function, args, rng)
     }
 
     /// Query on a channel; the creator's org must be a member.
@@ -329,8 +358,15 @@ mod tests {
             .set_validation_config("ghost", ValidationConfig::default())
             .is_err());
         let u = reg.enroll("c", &org, "u", &mut rng).unwrap();
-        reg.invoke_commit("c", &u, "kv", "f", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
-            .unwrap();
+        reg.invoke_commit(
+            "c",
+            &u,
+            "kv",
+            "f",
+            vec![b"k".to_vec(), b"v".to_vec()],
+            &mut rng,
+        )
+        .unwrap();
         let chain = reg.channel("c").unwrap().chain();
         assert_eq!(chain.height(), 1);
         assert_eq!(chain.validation_config().workers, 4);
@@ -387,8 +423,18 @@ mod tests {
         )
         .unwrap();
         let u = reg.enroll("c", &org, "u", &mut rng).unwrap();
-        reg.invoke_commit("c", &u, "put", "f", vec![b"k".to_vec(), b"v".to_vec()], &mut rng)
-            .unwrap();
-        assert_eq!(reg.query("c", &u, "get", "f", &[b"k".to_vec()]).unwrap(), b"v");
+        reg.invoke_commit(
+            "c",
+            &u,
+            "put",
+            "f",
+            vec![b"k".to_vec(), b"v".to_vec()],
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(
+            reg.query("c", &u, "get", "f", &[b"k".to_vec()]).unwrap(),
+            b"v"
+        );
     }
 }

@@ -293,8 +293,7 @@ mod tests {
         let p = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
         let r1 = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
         let r2 = ProposalResponse::sign(&peer2, p.tx_id(), sample_rwset(), b"ok".to_vec());
-        let policy =
-            EndorsementPolicy::AllOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]);
+        let policy = EndorsementPolicy::AllOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]);
         let (rwset, resp) = check_endorsements(&policy, &[r1, r2], &msp).unwrap();
         assert_eq!(rwset, sample_rwset());
         assert_eq!(resp, b"ok");
@@ -319,8 +318,7 @@ mod tests {
         let mut rng = seeded(7);
         let p = Proposal::new(&alice, "cc", "f", vec![], &mut rng);
         let r1 = ProposalResponse::sign(&peer1, p.tx_id(), sample_rwset(), b"ok".to_vec());
-        let policy =
-            EndorsementPolicy::AllOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]);
+        let policy = EndorsementPolicy::AllOf(vec![OrgId::new("Org1"), OrgId::new("Org2")]);
         assert!(matches!(
             check_endorsements(&policy, &[r1], &msp),
             Err(FabricError::EndorsementPolicyFailure(_))

@@ -24,6 +24,9 @@ pub enum FabricError {
     Malformed(String),
     /// The hash chain or a digest check failed — evidence of tampering.
     IntegrityViolation(String),
+    /// The durable storage layer failed (I/O error or unrepairable
+    /// corruption detected during commit or recovery).
+    Storage(String),
 }
 
 impl fmt::Display for FabricError {
@@ -39,6 +42,7 @@ impl fmt::Display for FabricError {
             FabricError::AccessDenied(m) => write!(f, "access denied: {m}"),
             FabricError::Malformed(m) => write!(f, "malformed payload: {m}"),
             FabricError::IntegrityViolation(m) => write!(f, "integrity violation: {m}"),
+            FabricError::Storage(m) => write!(f, "storage failure: {m}"),
         }
     }
 }

@@ -63,12 +63,17 @@ impl Certificate {
     /// Full wire encoding: the signed bytes plus the CA signature.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.write_to(&mut w);
+        w.into_bytes()
+    }
+
+    /// Append the full wire encoding to an open writer (no copy).
+    pub fn write_to(&self, w: &mut Writer) {
         w.string(&self.subject)
             .string(&self.org.0)
             .array(&self.signing_pub)
             .array(self.encryption_pub.as_bytes())
             .array(&self.ca_signature);
-        w.into_bytes()
     }
 
     /// Decode the wire encoding produced by [`Certificate::to_bytes`].

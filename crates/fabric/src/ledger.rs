@@ -109,6 +109,14 @@ impl Transaction {
     /// reconstructed and re-verified by a receiving peer.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
+        self.encode_to(&mut w);
+        w.into_bytes()
+    }
+
+    /// Append the full wire encoding to an open writer. Nested structures
+    /// are written in place (no intermediate buffers), which matters on the
+    /// block-commit hot path where whole blocks are serialized for storage.
+    pub fn encode_to(&self, w: &mut Writer) {
         w.array(self.tx_id.0.as_bytes())
             .string(&self.chaincode)
             .string(&self.function);
@@ -116,15 +124,14 @@ impl Transaction {
         for a in &self.args {
             w.bytes(a);
         }
-        w.bytes(&self.creator.to_bytes());
-        w.bytes(&self.rwset.to_bytes());
+        w.nested(|w| self.creator.write_to(w));
+        w.nested(|w| self.rwset.write_to(w));
         w.bytes(&self.response);
         w.u32(self.endorsements.len() as u32);
         for e in &self.endorsements {
-            w.bytes(&e.endorser.to_bytes());
+            w.nested(|w| e.endorser.write_to(w));
             w.array(&e.signature);
         }
-        w.into_bytes()
     }
 
     /// Decode the wire encoding produced by [`Transaction::encode`].
@@ -255,7 +262,7 @@ impl Block {
         w.bytes(&self.header.to_bytes());
         w.u32(self.transactions.len() as u32);
         for tx in &self.transactions {
-            w.bytes(&tx.encode());
+            w.nested(|w| tx.encode_to(w));
         }
         w.u32(self.validity.len() as u32);
         for v in &self.validity {
@@ -279,11 +286,7 @@ impl Block {
             validity.push(match r.u8()? {
                 0 => false,
                 1 => true,
-                tag => {
-                    return Err(FabricError::Malformed(format!(
-                        "bad validity flag {tag}"
-                    )))
-                }
+                tag => return Err(FabricError::Malformed(format!("bad validity flag {tag}"))),
             });
         }
         r.finish()?;
@@ -342,6 +345,17 @@ impl BlockStore {
         }
         self.blocks.push(block);
         Ok(())
+    }
+
+    /// Rebuild a store from recovered blocks, re-verifying numbering, the
+    /// previous-hash chain and every data hash (a recovered ledger gets the
+    /// same scrutiny as a live one).
+    pub fn restore(blocks: Vec<Block>) -> Result<BlockStore, FabricError> {
+        let mut store = BlockStore::new();
+        for block in blocks {
+            store.append(block)?;
+        }
+        Ok(store)
     }
 
     /// Height (number of blocks).
@@ -418,7 +432,10 @@ impl BlockStore {
 
     /// Total transactions including invalidated ones.
     pub fn total_tx_count(&self) -> u64 {
-        self.blocks.iter().map(|b| b.transactions.len() as u64).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.transactions.len() as u64)
+            .sum()
     }
 }
 

@@ -19,6 +19,9 @@
 //!   block store.
 //! * [`statedb`] — the versioned key-value state database (the LevelDB
 //!   equivalent) with MVCC version metadata and a Merkle state digest.
+//! * [`storage`] — pluggable state persistence: the in-memory default and
+//!   the durable backend (WAL + block file + snapshot checkpoints from the
+//!   `fabric-store` crate) with crash recovery.
 //! * [`validation`] — MVCC read/write-set validation and commit.
 //! * [`parallel`] — the commit-time validation pipeline: worker-pool
 //!   endorsement verification (batch Ed25519 + signature cache) followed by
@@ -52,6 +55,7 @@ pub mod pool;
 pub mod privdata;
 pub mod raft;
 pub mod statedb;
+pub mod storage;
 pub mod validation;
 pub mod wire;
 
@@ -63,3 +67,4 @@ pub use ledger::{Block, BlockHeader, BlockStore, TxId};
 pub use parallel::{BlockValidator, ValidationConfig};
 pub use pool::WorkerPool;
 pub use statedb::{StateDb, Version};
+pub use storage::{DurableBackend, FsyncPolicy, InMemoryBackend, StateBackend, StorageConfig};

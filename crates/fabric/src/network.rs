@@ -25,9 +25,7 @@
 //! the cross-chain 2PC baseline (prepare phase on |V| chains, then commit
 //! phase).
 
-use ledgerview_simnet::{
-    FifoStation, LatencyMatrix, LatencyRecorder, Region, SimTime, Simulation,
-};
+use ledgerview_simnet::{FifoStation, LatencyMatrix, LatencyRecorder, Region, SimTime, Simulation};
 
 use crate::parallel::ValidationConfig;
 
@@ -308,7 +306,13 @@ fn kb_cost(per_kb: SimTime, bytes: u64) -> SimTime {
 }
 
 /// Submit one transaction into a pipeline; schedules all downstream events.
-fn submit_tx(world: &mut SimWorld, sim: &mut Sim, region: Region, spec: &TxSpec, token: Option<TxToken>) {
+fn submit_tx(
+    world: &mut SimWorld,
+    sim: &mut Sim,
+    region: Region,
+    spec: &TxSpec,
+    token: Option<TxToken>,
+) {
     let now = sim.now();
     let cfg = &world.config;
     let times = cfg.times.clone();
@@ -329,7 +333,11 @@ fn submit_tx(world: &mut SimWorld, sim: &mut Sim, region: Region, spec: &TxSpec,
     }
 
     // Client forwards the endorsed transaction to the ordering service.
-    let order_arrive = endorse_done + world.config.latencies.latency(region, world.config.orderer_region);
+    let order_arrive = endorse_done
+        + world
+            .config
+            .latencies
+            .latency(region, world.config.orderer_region);
     sim.schedule_at(order_arrive, move |w, s| {
         enqueue_for_ordering(w, s, p, payload, token, region);
     });
@@ -390,7 +398,10 @@ fn cut_block(world: &mut SimWorld, sim: &mut Sim, p: usize) {
         SimTime::ZERO
     };
     let order_service = times.order_per_block + times.order_per_tx.scaled(n);
-    let Some(ordered_at) = world.pipelines[p].orderer.submit(now, order_service + consensus) else {
+    let Some(ordered_at) = world.pipelines[p]
+        .orderer
+        .submit(now, order_service + consensus)
+    else {
         // Overload shed: every tokened transaction in this block fails.
         for tx in txs {
             if let Some(token) = tx.token {
@@ -745,12 +756,7 @@ mod tests {
             region: Region::EUROPE_NORTH,
             batches: vec![vec![plan; 5]],
         }];
-        let report = run_simulation(
-            NetworkConfig::paper_multi_region(),
-            1 + v,
-            clients,
-            vec![],
-        );
+        let report = run_simulation(NetworkConfig::paper_multi_region(), 1 + v, clients, vec![]);
         assert_eq!(report.completed_requests, 5);
         assert_eq!(report.onchain_txs, (2 * v * 5) as u64);
     }
@@ -809,7 +815,12 @@ mod tests {
         };
         let small = many_clients(256);
         let large = many_clients(64 * 1024);
-        assert!(large.tps < small.tps, "small={} large={}", small.tps, large.tps);
+        assert!(
+            large.tps < small.tps,
+            "small={} large={}",
+            small.tps,
+            large.tps
+        );
         assert!(large.latency_mean_ms > small.latency_mean_ms);
     }
 

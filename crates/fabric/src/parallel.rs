@@ -10,14 +10,23 @@
 //!    outcomes of *earlier* transactions in the same block and must stay
 //!    serial.
 //!
-//! [`BlockValidator`] exploits this: phase 1 fans transactions out across a
-//! [`WorkerPool`] in contiguous chunks (optionally batch-verifying the
-//! chunk's signatures with [`ed25519::verify_batch`] and consulting a shared
-//! [`SigCache`]), phase 2 replays the serial reference logic of
+//! [`BlockValidator`] exploits this: phase 1 fans transactions out across
+//! the **persistent** threads of a [`WorkerPool`] in contiguous chunks
+//! (optionally batch-verifying the chunk's signatures with
+//! [`ed25519::verify_batch`] and consulting a shared [`SigCache`]), phase 2
+//! replays the serial reference logic of
 //! [`validate_and_commit_block`](crate::validation::validate_and_commit_block).
 //! Because phase 1 outcomes are a pure function of each transaction and
 //! phase 2 is unchanged, the combined result is bit-identical to the serial
 //! path at every worker count.
+//!
+//! The fan-out ships each worker an owned snapshot of its chunk (the
+//! transactions, the CA public keys, the relevant endorsement policies) so
+//! jobs are `'static` and the pool's threads can outlive any one block; the
+//! clone cost is trivial next to the Ed25519 verifications the chunk
+//! performs. Chunk boundaries come from [`WorkerPool::chunk_ranges`] —
+//! `ceil(n / workers)` — so they depend only on the transaction count and
+//! configured worker count, never on scheduling.
 //!
 //! Batch verification rejects iff some entry is individually invalid (up to
 //! the ~2⁻¹²⁸ soundness error of the random-linear-combination check); on a
@@ -25,12 +34,15 @@
 //! per-transaction verdicts — including *which* endorsement failed — match
 //! the serial path exactly.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use ledgerview_crypto::ed25519::{self, BatchEntry};
 use ledgerview_crypto::keys::verify_signature;
 use ledgerview_crypto::{CacheStats, SigCache};
 
 use crate::endorsement::{response_signing_bytes, EndorsementPolicy};
-use crate::identity::Msp;
+use crate::identity::{Msp, OrgId};
 use crate::ledger::Transaction;
 use crate::pool::WorkerPool;
 use crate::statedb::{StateDb, Version};
@@ -92,21 +104,32 @@ impl ValidationConfig {
 /// signature)`.
 type Demand = ([u8; 32], Vec<u8>, [u8; 64]);
 
+/// CA public keys by organisation — the owned snapshot of the MSP data the
+/// endorsement phase needs, cloneable into `'static` worker jobs.
+type CaKeys = HashMap<OrgId, [u8; 32]>;
+
 /// Commit-time block validator: parallel endorsement phase + serial MVCC
 /// phase. See the module docs for the determinism argument.
 #[derive(Debug)]
 pub struct BlockValidator {
     config: ValidationConfig,
     pool: WorkerPool,
-    cache: Option<SigCache>,
+    cache: Option<Arc<SigCache>>,
 }
 
 impl BlockValidator {
-    /// Build a validator for `config`.
+    /// Build a validator for `config` with its own worker pool.
     pub fn new(config: ValidationConfig) -> BlockValidator {
         let pool = WorkerPool::new(config.workers);
+        BlockValidator::with_pool(config, pool)
+    }
+
+    /// Build a validator sharing an existing pool (its persistent threads
+    /// then serve both validation and whatever else holds the pool, e.g.
+    /// storage recovery).
+    pub fn with_pool(config: ValidationConfig, pool: WorkerPool) -> BlockValidator {
         let cache = if config.sig_cache > 0 {
-            Some(SigCache::new(config.sig_cache))
+            Some(Arc::new(SigCache::new(config.sig_cache)))
         } else {
             None
         };
@@ -122,9 +145,14 @@ impl BlockValidator {
         &self.config
     }
 
+    /// The worker pool (cloning shares its persistent threads).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
     /// Hit/miss counters of the shared signature cache (zeros if disabled).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.as_ref().map(SigCache::stats).unwrap_or_default()
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
     /// Validate and commit a block's transactions against `state`.
@@ -144,9 +172,7 @@ impl BlockValidator {
     ) -> Vec<TxValidation> {
         // Phase 1 (parallel): per-transaction endorsement verdicts.
         let verdicts: Vec<Option<String>> = if self.config.verify_endorsements {
-            self.pool.map_chunks(transactions.len(), |range| {
-                self.verify_chunk(&transactions[range], msp, policy_for)
-            })
+            self.endorsement_verdicts(transactions, msp, policy_for)
         } else {
             vec![None; transactions.len()]
         };
@@ -176,127 +202,179 @@ impl BlockValidator {
         outcomes
     }
 
-    /// Endorsement verdicts for one contiguous chunk of transactions.
-    ///
-    /// Three passes: collect every signature the chunk needs checked,
-    /// resolve them (cache, then batch or individual verification), then
-    /// replay the per-transaction check sequence against the resolved
-    /// answers. The replay consumes each transaction's results in the same
-    /// order they were collected, so verdicts are independent of how the
-    /// signatures were resolved.
-    fn verify_chunk(
+    /// Phase 1: fan the endorsement checks out over the persistent pool.
+    fn endorsement_verdicts(
         &self,
-        chunk: &[Transaction],
+        transactions: &[Transaction],
         msp: &Msp,
         policy_for: &(dyn Fn(&str) -> Option<EndorsementPolicy> + Sync),
     ) -> Vec<Option<String>> {
-        // Reference path (no batching, no cache): verify every endorsement
-        // in place, one at a time, exactly as a straightforward serial
-        // validator would. The demand collection and deduplication below
-        // belong to the batching/caching machinery and are skipped here so
-        // the serial configuration measures the unoptimised baseline.
-        if !self.config.batch_verify && self.cache.is_none() {
-            return chunk
-                .iter()
-                .map(|tx| {
-                    let policy = policy_for(&tx.chaincode);
-                    tx_verdict(tx, msp, policy.as_ref(), |pk, msg, sig| {
-                        verify_signature(pk, msg, sig).is_ok()
-                    })
-                })
-                .collect();
+        // Owned snapshots shared by every job: the CA key map (a handful of
+        // orgs) and the policies of the chaincodes this block touches.
+        let mut ca_keys: CaKeys = HashMap::new();
+        for org in msp.org_ids() {
+            if let Some(pk) = msp.ca_public_key(&org) {
+                ca_keys.insert(org, pk);
+            }
         }
+        let ca_keys = Arc::new(ca_keys);
+        let mut policies: HashMap<String, Option<EndorsementPolicy>> = HashMap::new();
+        for tx in transactions {
+            policies
+                .entry(tx.chaincode.clone())
+                .or_insert_with(|| policy_for(&tx.chaincode));
+        }
+        let policies = Arc::new(policies);
 
-        // Pass 1: collect signature demands per transaction, mirroring the
-        // verdict walk (an always-true oracle keeps the walk going past
-        // signature checks so later demands are still gathered).
-        let mut per_tx: Vec<Vec<Demand>> = Vec::with_capacity(chunk.len());
-        for tx in chunk {
-            let mut demands: Vec<Demand> = Vec::new();
-            let policy = policy_for(&tx.chaincode);
-            let _ = tx_verdict(tx, msp, policy.as_ref(), |pk, msg, sig| {
-                demands.push((*pk, msg.to_vec(), *sig));
-                true
-            });
-            per_tx.push(demands);
+        let ranges = self.pool.chunk_ranges(transactions.len());
+        if ranges.len() <= 1 {
+            return verify_chunk(
+                transactions,
+                &ca_keys,
+                &policies,
+                self.config.batch_verify,
+                self.cache.as_deref(),
+            );
         }
-
-        // Pass 2: resolve every demand in the chunk. Identical triples are
-        // verified once — endorser certificates repeat on every transaction,
-        // so this alone cuts the chunk's work roughly in half.
-        let flat: Vec<&Demand> = per_tx.iter().flatten().collect();
-        let mut first_seen: std::collections::HashMap<&Demand, usize> = std::collections::HashMap::new();
-        let mut slot_of: Vec<usize> = Vec::with_capacity(flat.len());
-        let mut unique: Vec<usize> = Vec::new();
-        for (i, d) in flat.iter().enumerate() {
-            let slot = *first_seen.entry(d).or_insert_with(|| {
-                unique.push(i);
-                unique.len() - 1
-            });
-            slot_of.push(slot);
-        }
-        let mut by_slot: Vec<Option<bool>> = unique
-            .iter()
-            .map(|&i| {
-                let (pk, msg, sig) = flat[i];
-                self.cache.as_ref().and_then(|c| c.lookup(pk, msg, sig))
+        let jobs: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let chunk: Vec<Transaction> = transactions[range].to_vec();
+                let ca_keys = Arc::clone(&ca_keys);
+                let policies = Arc::clone(&policies);
+                let cache = self.cache.clone();
+                let batch_verify = self.config.batch_verify;
+                move || verify_chunk(&chunk, &ca_keys, &policies, batch_verify, cache.as_deref())
             })
             .collect();
-        let pending: Vec<usize> = (0..unique.len()).filter(|&s| by_slot[s].is_none()).collect();
-        if self.config.batch_verify && pending.len() >= 2 {
-            let entries: Vec<BatchEntry<'_>> = pending
-                .iter()
-                .map(|&s| BatchEntry {
-                    public_key: &flat[unique[s]].0,
-                    message: &flat[unique[s]].1,
-                    signature: &flat[unique[s]].2,
+        self.pool.execute(jobs).into_iter().flatten().collect()
+    }
+}
+
+/// Endorsement verdicts for one contiguous chunk of transactions.
+///
+/// Three passes: collect every signature the chunk needs checked, resolve
+/// them (cache, then batch or individual verification), then replay the
+/// per-transaction check sequence against the resolved answers. The replay
+/// consumes each transaction's results in the same order they were
+/// collected, so verdicts are independent of how the signatures were
+/// resolved.
+fn verify_chunk(
+    chunk: &[Transaction],
+    ca_keys: &CaKeys,
+    policies: &HashMap<String, Option<EndorsementPolicy>>,
+    batch_verify: bool,
+    cache: Option<&SigCache>,
+) -> Vec<Option<String>> {
+    let policy_of = |tx: &Transaction| -> Option<&EndorsementPolicy> {
+        policies.get(&tx.chaincode).and_then(|p| p.as_ref())
+    };
+
+    // Reference path (no batching, no cache): verify every endorsement
+    // in place, one at a time, exactly as a straightforward serial
+    // validator would. The demand collection and deduplication below
+    // belong to the batching/caching machinery and are skipped here so
+    // the serial configuration measures the unoptimised baseline.
+    if !batch_verify && cache.is_none() {
+        return chunk
+            .iter()
+            .map(|tx| {
+                tx_verdict(tx, ca_keys, policy_of(tx), |pk, msg, sig| {
+                    verify_signature(pk, msg, sig).is_ok()
                 })
-                .collect();
-            if ed25519::verify_batch(&entries).is_ok() {
-                for &s in &pending {
-                    by_slot[s] = Some(true);
-                }
-            } else {
-                // At least one entry is bad: fall back to individual
-                // verification so each verdict matches the serial path.
-                for &s in &pending {
-                    let (pk, msg, sig) = flat[unique[s]];
-                    by_slot[s] = Some(verify_signature(pk, msg, sig).is_ok());
-                }
+            })
+            .collect();
+    }
+
+    // Pass 1: collect signature demands per transaction, mirroring the
+    // verdict walk (an always-true oracle keeps the walk going past
+    // signature checks so later demands are still gathered).
+    let mut per_tx: Vec<Vec<Demand>> = Vec::with_capacity(chunk.len());
+    for tx in chunk {
+        let mut demands: Vec<Demand> = Vec::new();
+        let _ = tx_verdict(tx, ca_keys, policy_of(tx), |pk, msg, sig| {
+            demands.push((*pk, msg.to_vec(), *sig));
+            true
+        });
+        per_tx.push(demands);
+    }
+
+    // Pass 2: resolve every demand in the chunk. Identical triples are
+    // verified once — endorser certificates repeat on every transaction,
+    // so this alone cuts the chunk's work roughly in half.
+    let flat: Vec<&Demand> = per_tx.iter().flatten().collect();
+    let mut first_seen: HashMap<&Demand, usize> = HashMap::new();
+    let mut slot_of: Vec<usize> = Vec::with_capacity(flat.len());
+    let mut unique: Vec<usize> = Vec::new();
+    for (i, d) in flat.iter().enumerate() {
+        let slot = *first_seen.entry(d).or_insert_with(|| {
+            unique.push(i);
+            unique.len() - 1
+        });
+        slot_of.push(slot);
+    }
+    let mut by_slot: Vec<Option<bool>> = unique
+        .iter()
+        .map(|&i| {
+            let (pk, msg, sig) = flat[i];
+            cache.and_then(|c| c.lookup(pk, msg, sig))
+        })
+        .collect();
+    let pending: Vec<usize> = (0..unique.len())
+        .filter(|&s| by_slot[s].is_none())
+        .collect();
+    if batch_verify && pending.len() >= 2 {
+        let entries: Vec<BatchEntry<'_>> = pending
+            .iter()
+            .map(|&s| BatchEntry {
+                public_key: &flat[unique[s]].0,
+                message: &flat[unique[s]].1,
+                signature: &flat[unique[s]].2,
+            })
+            .collect();
+        if ed25519::verify_batch(&entries).is_ok() {
+            for &s in &pending {
+                by_slot[s] = Some(true);
             }
         } else {
+            // At least one entry is bad: fall back to individual
+            // verification so each verdict matches the serial path.
             for &s in &pending {
                 let (pk, msg, sig) = flat[unique[s]];
                 by_slot[s] = Some(verify_signature(pk, msg, sig).is_ok());
             }
         }
-        if let Some(cache) = &self.cache {
-            for &s in &pending {
-                let (pk, msg, sig) = flat[unique[s]];
-                cache.record(pk, msg, sig, by_slot[s] == Some(true));
-            }
+    } else {
+        for &s in &pending {
+            let (pk, msg, sig) = flat[unique[s]];
+            by_slot[s] = Some(verify_signature(pk, msg, sig).is_ok());
         }
-        let resolved: Vec<bool> = slot_of
-            .iter()
-            .map(|&s| by_slot[s].expect("demand left unresolved"))
-            .collect();
-
-        // Pass 3: replay the verdict walk against the resolved answers.
-        let mut out = Vec::with_capacity(chunk.len());
-        let mut flat_pos = 0;
-        for (tx, demands) in chunk.iter().zip(&per_tx) {
-            let tx_resolved = &resolved[flat_pos..flat_pos + demands.len()];
-            flat_pos += demands.len();
-            let mut cursor = 0;
-            let policy = policy_for(&tx.chaincode);
-            out.push(tx_verdict(tx, msp, policy.as_ref(), |_, _, _| {
-                let ok = tx_resolved[cursor];
-                cursor += 1;
-                ok
-            }));
-        }
-        out
     }
+    if let Some(cache) = cache {
+        for &s in &pending {
+            let (pk, msg, sig) = flat[unique[s]];
+            cache.record(pk, msg, sig, by_slot[s] == Some(true));
+        }
+    }
+    let resolved: Vec<bool> = slot_of
+        .iter()
+        .map(|&s| by_slot[s].expect("demand left unresolved"))
+        .collect();
+
+    // Pass 3: replay the verdict walk against the resolved answers.
+    let mut out = Vec::with_capacity(chunk.len());
+    let mut flat_pos = 0;
+    for (tx, demands) in chunk.iter().zip(&per_tx) {
+        let tx_resolved = &resolved[flat_pos..flat_pos + demands.len()];
+        flat_pos += demands.len();
+        let mut cursor = 0;
+        out.push(tx_verdict(tx, ca_keys, policy_of(tx), |_, _, _| {
+            let ok = tx_resolved[cursor];
+            cursor += 1;
+            ok
+        }));
+    }
+    out
 }
 
 /// Walk one transaction's endorsement checks, asking `verify` about each
@@ -305,7 +383,7 @@ impl BlockValidator {
 /// verdict never depends on scheduling or verification strategy.
 fn tx_verdict(
     tx: &Transaction,
-    msp: &Msp,
+    ca_keys: &CaKeys,
     policy: Option<&EndorsementPolicy>,
     mut verify: impl FnMut(&[u8; 32], &[u8], &[u8; 64]) -> bool,
 ) -> Option<String> {
@@ -320,11 +398,11 @@ fn tx_verdict(
     let mut orgs = Vec::with_capacity(tx.endorsements.len());
     for e in &tx.endorsements {
         let cert = &e.endorser;
-        let ca_pub = match msp.ca_public_key(&cert.org) {
+        let ca_pub = match ca_keys.get(&cert.org) {
             Some(pk) => pk,
             None => return Some(format!("endorsement from unknown org {}", cert.org)),
         };
-        if !verify(&ca_pub, &cert.to_signed_bytes(), &cert.ca_signature) {
+        if !verify(ca_pub, &cert.to_signed_bytes(), &cert.ca_signature) {
             return Some(format!(
                 "invalid certificate for {}@{}",
                 cert.subject, cert.org
@@ -365,7 +443,10 @@ mod tests {
         let mut endorsers = Vec::new();
         for name in ["Org1", "Org2", "Org3"] {
             let org = msp.add_org(name, &mut rng);
-            endorsers.push(msp.enroll(&org, &format!("peer0.{name}"), &mut rng).unwrap());
+            endorsers.push(
+                msp.enroll(&org, &format!("peer0.{name}"), &mut rng)
+                    .unwrap(),
+            );
         }
         Fixture { msp, endorsers }
     }
@@ -474,9 +555,11 @@ mod tests {
                     verify_endorsements: true,
                 });
                 let mut state = StateDb::new();
-                let got =
-                    validator.validate_and_commit(&txs, &mut state, 1, &f.msp, &policy_any());
-                assert_eq!(got, expected, "workers={workers} batch={batch} cache={cache}");
+                let got = validator.validate_and_commit(&txs, &mut state, 1, &f.msp, &policy_any());
+                assert_eq!(
+                    got, expected,
+                    "workers={workers} batch={batch} cache={cache}"
+                );
                 assert_eq!(state.state_digest(), serial_state.state_digest());
             }
         }
@@ -495,8 +578,12 @@ mod tests {
         });
         let mut state = StateDb::new();
         let got = validator.validate_and_commit(&[t1, t2], &mut state, 1, &f.msp, &policy_any());
-        assert!(matches!(&got[0], TxValidation::EndorsementFailure { reason } if reason.contains("unknown chaincode")));
-        assert!(matches!(&got[1], TxValidation::EndorsementFailure { reason } if reason.contains("no endorsements")));
+        assert!(
+            matches!(&got[0], TxValidation::EndorsementFailure { reason } if reason.contains("unknown chaincode"))
+        );
+        assert!(
+            matches!(&got[1], TxValidation::EndorsementFailure { reason } if reason.contains("no endorsements"))
+        );
         assert!(state.state_digest() == StateDb::new().state_digest());
     }
 
@@ -517,7 +604,9 @@ mod tests {
         });
         let mut state = StateDb::new();
         let got = validator.validate_and_commit(&[tx], &mut state, 1, &f.msp, &all_three);
-        assert!(matches!(&got[0], TxValidation::EndorsementFailure { reason } if reason.contains("policy")));
+        assert!(
+            matches!(&got[0], TxValidation::EndorsementFailure { reason } if reason.contains("policy"))
+        );
     }
 
     #[test]
@@ -556,7 +645,12 @@ mod tests {
             version: Some(Version::GENESIS),
         };
         let txs = vec![
-            endorsed_tx(&f, 1, rw(vec![genesis_read.clone()], vec![("k", b"a")]), &[0]),
+            endorsed_tx(
+                &f,
+                1,
+                rw(vec![genesis_read.clone()], vec![("k", b"a")]),
+                &[0],
+            ),
             endorsed_tx(&f, 2, rw(vec![genesis_read], vec![("k", b"b")]), &[1]),
         ];
         let validator = BlockValidator::new(ValidationConfig::parallel(4));
@@ -566,5 +660,40 @@ mod tests {
         assert_eq!(got[0], TxValidation::Valid);
         assert_eq!(got[1], TxValidation::MvccConflict { key: "k".into() });
         assert_eq!(state.get("k"), Some(&b"a"[..]));
+    }
+
+    #[test]
+    fn repeated_blocks_reuse_the_same_pool_threads() {
+        let f = fixture();
+        let validator = BlockValidator::new(ValidationConfig::parallel(4));
+        let txs: Vec<Transaction> = (0..12)
+            .map(|n| endorsed_tx(&f, n, rw(vec![], vec![("k", &[n])]), &[(n % 3) as usize]))
+            .collect();
+        for block in 1..=3 {
+            let mut state = StateDb::new();
+            let got = validator.validate_and_commit(&txs, &mut state, block, &f.msp, &policy_any());
+            assert!(got.iter().all(|o| o.is_valid()));
+        }
+        // Three blocks × four chunks each ran as owned jobs on the
+        // validator's persistent pool — no per-block thread spawning.
+        assert_eq!(validator.pool().jobs_run(), 12);
+    }
+
+    #[test]
+    fn shared_pool_serves_two_validators() {
+        let f = fixture();
+        let pool = WorkerPool::new(4);
+        let v1 = BlockValidator::with_pool(ValidationConfig::parallel(4), pool.clone());
+        let v2 = BlockValidator::with_pool(ValidationConfig::parallel(4), pool.clone());
+        let txs: Vec<Transaction> = (0..8)
+            .map(|n| endorsed_tx(&f, n, rw(vec![], vec![("k", &[n])]), &[0]))
+            .collect();
+        let mut s1 = StateDb::new();
+        let mut s2 = StateDb::new();
+        let o1 = v1.validate_and_commit(&txs, &mut s1, 1, &f.msp, &policy_any());
+        let o2 = v2.validate_and_commit(&txs, &mut s2, 1, &f.msp, &policy_any());
+        assert_eq!(o1, o2);
+        assert_eq!(s1.state_digest(), s2.state_digest());
+        assert_eq!(pool.jobs_run(), 8, "both validators fed the one pool");
     }
 }

@@ -1,39 +1,199 @@
-//! A small scoped worker pool for fan-out/fan-in over block transactions.
+//! A worker pool for fan-out/fan-in over block transactions.
 //!
-//! Built on [`std::thread::scope`] so borrowed data (the block's
-//! transactions, the MSP registry, a shared signature cache) can be shared
-//! with workers without `'static` bounds or extra allocation. Work is split
-//! into **contiguous index chunks** and results are concatenated in chunk
-//! order, so the output is a deterministic function of the input regardless
-//! of thread scheduling.
+//! Two execution paths share one pool:
+//!
+//! * [`WorkerPool::execute`] dispatches **owned** (`'static`) jobs to
+//!   persistent worker threads that live for the pool's lifetime. Threads
+//!   are spawned lazily on first use and reused across blocks, so steady-
+//!   state validation pays no thread-creation cost per block. Cloning a
+//!   pool shares its threads — the chain hands one pool to both the
+//!   validator and the storage backend.
+//! * [`WorkerPool::map_chunks`] runs **borrowed** closures under
+//!   [`std::thread::scope`], for one-shot fan-outs over data that is not
+//!   `'static` (e.g. decoding recovered blocks).
+//!
+//! Both paths split work into **contiguous index chunks** and concatenate
+//! results in chunk order, so output is a deterministic function of the
+//! input regardless of thread scheduling.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of owned work queued to the persistent threads.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<(VecDeque<Job>, bool)>, // (pending jobs, shutdown flag)
+    ready: Condvar,
+}
+
+struct PoolInner {
+    workers: usize,
+    queue: Arc<Queue>,
+    /// Persistent threads, spawned lazily by the first `execute` call.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Total owned jobs completed (diagnostics: shows thread reuse).
+    jobs_run: AtomicU64,
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        {
+            let mut guard = self.queue.jobs.lock().expect("pool queue poisoned");
+            guard.1 = true;
+        }
+        self.queue.ready.notify_all();
+        for handle in self
+            .handles
+            .lock()
+            .expect("pool handles poisoned")
+            .drain(..)
+        {
+            let _ = handle.join();
+        }
+    }
+}
 
 /// A fixed-width fan-out helper. `workers == 1` runs everything inline on
 /// the calling thread (the serial reference path — no threads spawned).
-#[derive(Clone, Debug)]
+/// Clones share the same persistent worker threads.
+#[derive(Clone)]
 pub struct WorkerPool {
-    workers: usize,
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.inner.workers)
+            .field("jobs_run", &self.inner.jobs_run.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl WorkerPool {
     /// A pool of `workers` lanes (clamped to at least 1).
     pub fn new(workers: usize) -> WorkerPool {
         WorkerPool {
-            workers: workers.max(1),
+            inner: Arc::new(PoolInner {
+                workers: workers.max(1),
+                queue: Arc::new(Queue {
+                    jobs: Mutex::new((VecDeque::new(), false)),
+                    ready: Condvar::new(),
+                }),
+                handles: Mutex::new(Vec::new()),
+                jobs_run: AtomicU64::new(0),
+            }),
         }
     }
 
     /// Number of parallel lanes.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.inner.workers
+    }
+
+    /// Total owned jobs completed by the persistent threads.
+    pub fn jobs_run(&self) -> u64 {
+        self.inner.jobs_run.load(Ordering::Relaxed)
+    }
+
+    /// Spawn the persistent threads if not yet running.
+    fn ensure_threads(&self) {
+        let mut handles = self.inner.handles.lock().expect("pool handles poisoned");
+        if !handles.is_empty() {
+            return;
+        }
+        for _ in 0..self.inner.workers {
+            let queue = Arc::clone(&self.inner.queue);
+            handles.push(std::thread::spawn(move || loop {
+                let job = {
+                    let mut guard = queue.jobs.lock().expect("pool queue poisoned");
+                    loop {
+                        if let Some(job) = guard.0.pop_front() {
+                            break job;
+                        }
+                        if guard.1 {
+                            return;
+                        }
+                        guard = queue.ready.wait(guard).expect("pool queue poisoned");
+                    }
+                };
+                job();
+            }));
+        }
+    }
+
+    /// Run owned jobs on the persistent worker threads, returning results
+    /// in job order. With one lane (or one job) everything runs inline.
+    ///
+    /// A panicking job panics this call (after the remaining jobs finish),
+    /// matching the scoped path's propagation.
+    pub fn execute<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if self.inner.workers == 1 || jobs.len() <= 1 {
+            let n = jobs.len() as u64;
+            let out = jobs.into_iter().map(|job| job()).collect();
+            self.inner.jobs_run.fetch_add(n, Ordering::Relaxed);
+            return out;
+        }
+        self.ensure_threads();
+        let n = jobs.len();
+        let (results_tx, results_rx) = mpsc::channel::<(usize, std::thread::Result<T>)>();
+        {
+            let mut guard = self.inner.queue.jobs.lock().expect("pool queue poisoned");
+            for (i, job) in jobs.into_iter().enumerate() {
+                let tx = results_tx.clone();
+                guard.0.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    // The receiver only disappears if the caller panicked.
+                    let _ = tx.send((i, result));
+                }));
+            }
+        }
+        drop(results_tx);
+        self.inner.queue.ready.notify_all();
+
+        let mut slots: Vec<Option<std::thread::Result<T>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, result) = results_rx.recv().expect("worker threads gone");
+            slots[i] = Some(result);
+        }
+        self.inner.jobs_run.fetch_add(n as u64, Ordering::Relaxed);
+        slots
+            .into_iter()
+            .map(|slot| match slot.expect("every job reports") {
+                Ok(value) => value,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    }
+
+    /// The contiguous chunk ranges `execute`-based fan-outs should use:
+    /// `ceil(n / workers)` wide, so boundaries depend only on `n` and the
+    /// worker count, never on timing.
+    pub fn chunk_ranges(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = n.div_ceil(self.inner.workers);
+        (0..n)
+            .step_by(chunk)
+            .map(|start| start..(start + chunk).min(n))
+            .collect()
     }
 
     /// Apply `f` to contiguous index chunks covering `0..n` and concatenate
     /// the per-chunk outputs in chunk order.
     ///
     /// `f` receives a sub-range of `0..n` and must return one output vector
-    /// for that range (any length). Chunks are `ceil(n / workers)` wide, so
-    /// the chunk boundaries — and therefore any chunk-level batching done by
-    /// `f` — depend only on `n` and the worker count, never on timing.
+    /// for that range (any length). `f` may borrow local data — this path
+    /// uses scoped threads, not the persistent lanes.
     pub fn map_chunks<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -42,14 +202,10 @@ impl WorkerPool {
         if n == 0 {
             return Vec::new();
         }
-        if self.workers == 1 || n == 1 {
+        if self.inner.workers == 1 || n == 1 {
             return f(0..n);
         }
-        let chunk = n.div_ceil(self.workers);
-        let ranges: Vec<std::ops::Range<usize>> = (0..n)
-            .step_by(chunk)
-            .map(|start| start..(start + chunk).min(n))
-            .collect();
+        let ranges = self.chunk_ranges(n);
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
@@ -57,11 +213,7 @@ impl WorkerPool {
                 .collect();
             let mut out = Vec::with_capacity(n);
             for handle in handles {
-                out.extend(
-                    handle
-                        .join()
-                        .expect("validation worker panicked"),
-                );
+                out.extend(handle.join().expect("validation worker panicked"));
             }
             out
         })
@@ -80,6 +232,7 @@ impl WorkerPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn serial_pool_runs_inline() {
@@ -94,7 +247,11 @@ mod tests {
         let expected: Vec<usize> = (0..n).map(|i| i + 1).collect();
         for workers in [1, 2, 3, 4, 8, 16, 97, 200] {
             let pool = WorkerPool::new(workers);
-            assert_eq!(pool.map_indexed(n, |i| i + 1), expected, "workers={workers}");
+            assert_eq!(
+                pool.map_indexed(n, |i| i + 1),
+                expected,
+                "workers={workers}"
+            );
         }
     }
 
@@ -104,6 +261,11 @@ mod tests {
         // Record the ranges f is called with by returning them as items.
         let ranges = pool.map_chunks(10, |range| vec![(range.start, range.end)]);
         assert_eq!(ranges, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        assert_eq!(
+            pool.chunk_ranges(10),
+            vec![0..3, 3..6, 6..9, 9..10],
+            "execute-path ranges match the scoped path"
+        );
     }
 
     #[test]
@@ -111,10 +273,77 @@ mod tests {
         let pool = WorkerPool::new(4);
         let out: Vec<u8> = pool.map_chunks(0, |_| vec![1]);
         assert!(out.is_empty());
+        let owned: Vec<u8> = pool.execute(Vec::<fn() -> u8>::new());
+        assert!(owned.is_empty());
     }
 
     #[test]
     fn zero_workers_clamped() {
         assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn execute_returns_results_in_job_order() {
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<_> = (0..20)
+            .map(|i| {
+                move || {
+                    if i % 3 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    i * 10
+                }
+            })
+            .collect();
+        let out = pool.execute(jobs);
+        assert_eq!(out, (0..20).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn persistent_threads_are_reused_across_batches() {
+        let pool = WorkerPool::new(3);
+        let ids = |pool: &WorkerPool| -> HashSet<std::thread::ThreadId> {
+            let jobs: Vec<_> = (0..12)
+                .map(|_| {
+                    || {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        std::thread::current().id()
+                    }
+                })
+                .collect();
+            pool.execute(jobs).into_iter().collect()
+        };
+        let first = ids(&pool);
+        let second = ids(&pool);
+        assert!(!first.is_empty() && first.len() <= 3);
+        assert_eq!(first, second, "same threads serve every block");
+        assert_eq!(pool.jobs_run(), 24);
+    }
+
+    #[test]
+    fn clones_share_threads_and_counters() {
+        let pool = WorkerPool::new(2);
+        let clone = pool.clone();
+        let a: Vec<u32> = pool.execute(vec![|| 1u32, || 2, || 3]);
+        let b: Vec<u32> = clone.execute(vec![|| 4u32, || 5, || 6]);
+        assert_eq!(a, vec![1, 2, 3]);
+        assert_eq!(b, vec![4, 5, 6]);
+        assert_eq!(pool.jobs_run(), 6);
+        assert_eq!(clone.jobs_run(), 6);
+    }
+
+    #[test]
+    fn job_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job failed")),
+            Box::new(|| 3),
+        ];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| pool.execute(jobs)));
+        assert!(result.is_err());
+        // The pool survives a panicked job.
+        let ok: Vec<u32> = pool.execute(vec![|| 7u32, || 8]);
+        assert_eq!(ok, vec![7, 8]);
     }
 }

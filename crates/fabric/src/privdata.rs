@@ -190,7 +190,9 @@ mod tests {
         assert!(!s
             .verify_against_hash("collA", "k", &sha256(b"other"))
             .unwrap());
-        assert!(s.verify_against_hash("collA", "absent", &sha256(b"x")).is_err());
+        assert!(s
+            .verify_against_hash("collA", "absent", &sha256(b"x"))
+            .is_err());
     }
 
     #[test]

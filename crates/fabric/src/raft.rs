@@ -330,7 +330,11 @@ impl RaftNode {
 
     /// Propose a new entry. Only the leader accepts; returns the assigned
     /// log index and the replication messages to send.
-    pub fn propose(&mut self, data: Vec<u8>, now: SimTime) -> Result<(u64, Vec<Outgoing>), NotLeader> {
+    pub fn propose(
+        &mut self,
+        data: Vec<u8>,
+        now: SimTime,
+    ) -> Result<(u64, Vec<Outgoing>), NotLeader> {
         if self.role != Role::Leader {
             return Err(NotLeader);
         }
@@ -732,7 +736,9 @@ mod tests {
         let outs = node.tick(SimTime::from_millis(400));
         assert!(outs.is_empty());
         assert!(node.is_leader());
-        let (idx, _) = node.propose(b"solo".to_vec(), SimTime::from_millis(400)).unwrap();
+        let (idx, _) = node
+            .propose(b"solo".to_vec(), SimTime::from_millis(400))
+            .unwrap();
         assert_eq!(idx, 1);
         assert_eq!(node.commit_index(), 1);
         assert_eq!(node.take_committed().len(), 1);
@@ -780,7 +786,11 @@ mod tests {
                 terms.sort_unstable();
                 let len_before = terms.len();
                 terms.dedup();
-                assert_eq!(len_before, terms.len(), "two leaders in one term, seed {seed}");
+                assert_eq!(
+                    len_before,
+                    terms.len(),
+                    "two leaders in one term, seed {seed}"
+                );
             }
         }
     }

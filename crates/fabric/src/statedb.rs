@@ -63,7 +63,9 @@ impl StateDb {
 
     /// Value and version together (what endorsement reads).
     pub fn get_with_version(&self, key: &str) -> Option<(&[u8], Version)> {
-        self.entries.get(key).map(|e| (e.value.as_slice(), e.version))
+        self.entries
+            .get(key)
+            .map(|e| (e.value.as_slice(), e.version))
     }
 
     /// Write `value` under `key` at `version`.
@@ -101,6 +103,14 @@ impl StateDb {
             .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
             .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(k, e)| (k.as_str(), e.value.as_slice()))
+    }
+
+    /// Every entry as `(key, value, version)` in key order — what the
+    /// storage layer serializes into a snapshot checkpoint.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&str, &[u8], Version)> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (k.as_str(), e.value.as_slice(), e.version))
     }
 
     /// Total bytes of keys + values (storage accounting for Fig 9).

@@ -1,0 +1,665 @@
+//! Pluggable state persistence: the [`StateBackend`] trait, the in-memory
+//! default, and the durable backend over [`fabric_store`].
+//!
+//! The chain commits through a backend in a fixed order per block:
+//!
+//! 1. the validator applies the block's writes to the in-memory
+//!    [`StateDb`] (fast path for endorsement reads),
+//! 2. [`StateBackend::commit_block`] persists the block — for
+//!    [`DurableBackend`] that means WAL records for every valid
+//!    transaction's write set (group-committed in one batch), then the
+//!    encoded block appended to the block file, then every
+//!    `checkpoint_every_blocks` a snapshot checkpoint followed by WAL
+//!    truncation (compaction).
+//!
+//! Because the WAL write precedes the block append, a crash can lose a
+//! suffix of *both* files but never leave a committed block whose state is
+//! unrecoverable: [`DurableBackend::open`] loads the latest checkpoint,
+//! replays surviving WAL records over it, re-derives any writes the WAL
+//! lost from the surviving blocks themselves (transactions × validity
+//! flags), and re-derives the rolling state root per block to verify the
+//! result against every recovered block header. Torn tails are truncated by
+//! the store layer; inconsistencies that cannot arise from a crash (a
+//! checkpoint ahead of the block file, a state-root mismatch) surface as
+//! [`FabricError::Storage`] rather than being silently repaired.
+//!
+//! Identities are **not** persisted: the simulator derives MSP keys from
+//! the caller's seeded RNG, so reopening a chain with the same seed
+//! reproduces the same organisations. Recovery itself never re-checks
+//! endorsement signatures (they were checked at commit), so state and
+//! ledger recover correctly regardless.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ledgerview_crypto::sha256::Digest;
+
+use fabric_store::{BlockFile, Checkpoint, CheckpointStore, StoreError, Wal};
+pub use fabric_store::{FsyncPolicy, StorageConfig};
+
+use crate::error::FabricError;
+use crate::ledger::Block;
+use crate::pool::WorkerPool;
+use crate::statedb::{StateDb, Version};
+use crate::validation::state_root_from_block;
+use crate::wire::{Reader, Writer};
+
+/// File name of the state WAL inside a storage directory.
+pub const STATE_WAL_FILE: &str = "state.wal";
+
+impl From<StoreError> for FabricError {
+    fn from(e: StoreError) -> FabricError {
+        FabricError::Storage(e.to_string())
+    }
+}
+
+/// Where committed state lives. The chain mutates the in-memory [`StateDb`]
+/// during validation, then hands each finished block to `commit_block`.
+pub trait StateBackend {
+    /// The committed state database.
+    fn state(&self) -> &StateDb;
+    /// Mutable access for the commit path (validators apply writes here).
+    fn state_mut(&mut self) -> &mut StateDb;
+    /// Persist a block that was just validated and applied to
+    /// [`StateBackend::state_mut`]. In-memory backends no-op.
+    fn commit_block(&mut self, block: &Block) -> Result<(), FabricError>;
+    /// Force everything written so far to stable storage.
+    fn flush(&mut self) -> Result<(), FabricError>;
+    /// Whether commits survive a process crash.
+    fn is_durable(&self) -> bool;
+}
+
+/// The default backend: state lives (only) in memory, exactly as before
+/// storage existed. `commit_block` and `flush` are no-ops.
+#[derive(Debug, Default)]
+pub struct InMemoryBackend {
+    state: StateDb,
+}
+
+impl InMemoryBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> InMemoryBackend {
+        InMemoryBackend::default()
+    }
+}
+
+impl StateBackend for InMemoryBackend {
+    fn state(&self) -> &StateDb {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut StateDb {
+        &mut self.state
+    }
+
+    fn commit_block(&mut self, _block: &Block) -> Result<(), FabricError> {
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), FabricError> {
+        Ok(())
+    }
+
+    fn is_durable(&self) -> bool {
+        false
+    }
+}
+
+/// One decoded WAL record: the writes one valid transaction applied.
+struct WalRecord {
+    block_num: u64,
+    tx_num: u32,
+    /// `(key, Some(value))` puts and `(key, None)` deletes, in apply order.
+    writes: Vec<(String, Option<Vec<u8>>)>,
+}
+
+/// Encode one WAL record straight from a transaction's write set (the hot
+/// commit path: no intermediate clones). [`WalRecord::decode`] inverts it.
+fn encode_wal_record(
+    block_num: u64,
+    tx_num: u32,
+    writes: &[crate::chaincode::WriteEntry],
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(block_num).u32(tx_num);
+    w.u32(writes.len() as u32);
+    for entry in writes {
+        w.string(&entry.key);
+        match &entry.value {
+            Some(v) => {
+                w.u8(1).bytes(v);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+impl WalRecord {
+    #[cfg(test)]
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.block_num).u32(self.tx_num);
+        w.u32(self.writes.len() as u32);
+        for (key, value) in &self.writes {
+            w.string(key);
+            match value {
+                Some(v) => {
+                    w.u8(1).bytes(v);
+                }
+                None => {
+                    w.u8(0);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<WalRecord, FabricError> {
+        let mut r = Reader::new(bytes);
+        let block_num = r.u64()?;
+        let tx_num = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut writes = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let key = r.string()?;
+            let value = match r.u8()? {
+                1 => Some(r.bytes()?),
+                0 => None,
+                tag => return Err(FabricError::Malformed(format!("bad WAL write tag {tag}"))),
+            };
+            writes.push((key, value));
+        }
+        r.finish()?;
+        Ok(WalRecord {
+            block_num,
+            tx_num,
+            writes,
+        })
+    }
+
+    fn apply(&self, state: &mut StateDb) {
+        let version = Version {
+            block_num: self.block_num,
+            tx_num: self.tx_num,
+        };
+        for (key, value) in &self.writes {
+            match value {
+                Some(v) => state.put(key.clone(), v.clone(), version),
+                None => state.delete(key),
+            }
+        }
+    }
+}
+
+/// Serialize the full state DB into a checkpoint payload.
+fn encode_state(state: &StateDb) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(state.len() as u32);
+    for (key, value, version) in state.iter_entries() {
+        w.string(key)
+            .bytes(value)
+            .u64(version.block_num)
+            .u32(version.tx_num);
+    }
+    w.into_bytes()
+}
+
+fn decode_state(bytes: &[u8]) -> Result<StateDb, FabricError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u32()? as usize;
+    let mut state = StateDb::new();
+    for _ in 0..n {
+        let key = r.string()?;
+        let value = r.bytes()?;
+        let version = Version {
+            block_num: r.u64()?,
+            tx_num: r.u32()?,
+        };
+        state.put(key, value, version);
+    }
+    r.finish()?;
+    Ok(state)
+}
+
+/// Checkpoint metadata: the rolling state root at the snapshot height plus
+/// the full-state Merkle digest (verified on load).
+fn encode_meta(state_root: &Digest, state_digest: &Digest) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.array(state_root.as_bytes())
+        .array(state_digest.as_bytes());
+    w.into_bytes()
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<(Digest, Digest), FabricError> {
+    let mut r = Reader::new(bytes);
+    let root = Digest(r.array::<32>()?);
+    let digest = Digest(r.array::<32>()?);
+    r.finish()?;
+    Ok((root, digest))
+}
+
+/// Durable backend: in-memory [`StateDb`] backed by a WAL, an append-only
+/// block file with a sparse index, and snapshot checkpoints. See the module
+/// docs for the write protocol and recovery invariants.
+pub struct DurableBackend {
+    state: StateDb,
+    wal: Wal,
+    blocks: BlockFile,
+    checkpoints: CheckpointStore,
+    config: StorageConfig,
+    /// Rolling state root after the last persisted block.
+    state_root: Digest,
+    blocks_since_checkpoint: u64,
+}
+
+impl fmt::Debug for DurableBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DurableBackend")
+            .field("dir", &self.config.dir)
+            .field("fsync", &self.config.fsync)
+            .field("height", &self.blocks.height())
+            .field("wal_records", &self.wal.record_count())
+            .finish()
+    }
+}
+
+impl DurableBackend {
+    /// Open (or create) the store under `config.dir` and run crash
+    /// recovery. Returns the backend plus every recovered block in height
+    /// order (for the chain to rebuild its block store). `pool` parallelises
+    /// block decoding during recovery.
+    pub fn open(
+        config: StorageConfig,
+        pool: &WorkerPool,
+    ) -> Result<(DurableBackend, Vec<Block>), FabricError> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| FabricError::Storage(format!("create {:?}: {e}", config.dir)))?;
+
+        // 1. Latest checkpoint (may be absent).
+        let checkpoints = CheckpointStore::new(&config.dir);
+        let checkpoint = checkpoints.load()?;
+
+        // 2. Surviving blocks (torn tail already truncated by the store).
+        let mut blocks_file = BlockFile::open(&config.dir, config.index_every)?;
+        let raw = blocks_file.read_all()?;
+        let decoded = pool.map_indexed(raw.len(), |i| Block::decode(&raw[i]));
+        let mut blocks = Vec::with_capacity(decoded.len());
+        for (i, block) in decoded.into_iter().enumerate() {
+            blocks.push(
+                block.map_err(|e| {
+                    FabricError::Storage(format!("block {i} failed to decode: {e}"))
+                })?,
+            );
+        }
+        let tip = blocks.len() as u64;
+
+        // 3. Checkpoint state. A checkpoint ahead of the block file cannot
+        // result from a crash (the checkpoint fsyncs the block file before
+        // saving), so it is corruption, not damage to repair.
+        let (mut state, mut root, cp_height) = match checkpoint {
+            Some(cp) => {
+                if cp.height > tip {
+                    return Err(FabricError::Storage(format!(
+                        "checkpoint at height {} but block file ends at {tip}",
+                        cp.height
+                    )));
+                }
+                let (root, digest) = decode_meta(&cp.meta)?;
+                let state = decode_state(&cp.payload)?;
+                if state.state_digest() != digest {
+                    return Err(FabricError::Storage(
+                        "checkpoint state digest mismatch".into(),
+                    ));
+                }
+                (state, root, cp.height)
+            }
+            None => (StateDb::new(), Digest::ZERO, 0),
+        };
+
+        // 4. Surviving WAL records, grouped by block. Records at or beyond
+        // the block tip describe blocks the block file lost in the crash —
+        // they are truncated away so the log matches the ledger. Records
+        // below the checkpoint height linger only if the crash hit between
+        // checkpoint save and WAL reset; they are already part of the
+        // snapshot and are skipped.
+        let (mut wal, raw_records) =
+            Wal::open(config.dir.join(STATE_WAL_FILE), config.fsync).map_err(StoreError::Io)?;
+        let mut keep = 0usize;
+        let mut by_block: HashMap<u64, Vec<WalRecord>> = HashMap::new();
+        for raw in &raw_records {
+            let record = WalRecord::decode(raw)?;
+            if record.block_num >= tip {
+                break;
+            }
+            keep += 1;
+            if record.block_num >= cp_height {
+                by_block.entry(record.block_num).or_default().push(record);
+            }
+        }
+        if keep < raw_records.len() {
+            wal.truncate_records(keep).map_err(StoreError::Io)?;
+        }
+
+        // 5. Replay blocks beyond the checkpoint: WAL records where the
+        // block's coverage is complete, the block's own write sets where the
+        // WAL lost them. Both derive the same writes; re-deriving the
+        // rolling root per block and checking it against the stored header
+        // verifies the replayed state against the block store.
+        for block in blocks.iter().skip(cp_height as usize) {
+            let h = block.header.number;
+            let valid_count = block.validity.iter().filter(|v| **v).count();
+            match by_block.get(&h) {
+                Some(records) if records.len() == valid_count => {
+                    for record in records {
+                        record.apply(&mut state);
+                    }
+                }
+                _ => {
+                    for (i, tx) in block.transactions.iter().enumerate() {
+                        if !block.validity[i] {
+                            continue;
+                        }
+                        WalRecord {
+                            block_num: h,
+                            tx_num: i as u32,
+                            writes: tx
+                                .rwset
+                                .writes
+                                .iter()
+                                .map(|w| (w.key.clone(), w.value.clone()))
+                                .collect(),
+                        }
+                        .apply(&mut state);
+                    }
+                }
+            }
+            root = state_root_from_block(&root, block);
+            if root != block.header.state_root {
+                return Err(FabricError::Storage(format!(
+                    "recovered state root mismatch at block {h}"
+                )));
+            }
+        }
+
+        let backend = DurableBackend {
+            state,
+            wal,
+            blocks: blocks_file,
+            checkpoints,
+            config,
+            state_root: root,
+            blocks_since_checkpoint: tip - cp_height,
+        };
+        Ok((backend, blocks))
+    }
+
+    /// The storage configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Persisted block height.
+    pub fn height(&self) -> u64 {
+        self.blocks.height()
+    }
+
+    /// Live WAL records (since the last checkpoint).
+    pub fn wal_records(&self) -> usize {
+        self.wal.record_count()
+    }
+
+    /// Total fsyncs issued (WAL + block file) — the cost knob the
+    /// [`FsyncPolicy`] trades against durability.
+    pub fn fsyncs(&self) -> u64 {
+        self.wal.fsyncs() + self.blocks.fsyncs()
+    }
+
+    /// Checkpoints written by this handle.
+    pub fn checkpoints_saved(&self) -> u64 {
+        self.checkpoints.saves()
+    }
+
+    /// Snapshot the state DB and truncate the WAL now, regardless of the
+    /// configured interval.
+    pub fn checkpoint_now(&mut self) -> Result<(), FabricError> {
+        // Durability order: everything the snapshot summarises must be on
+        // disk before the snapshot replaces the WAL.
+        self.wal.sync().map_err(StoreError::Io)?;
+        self.blocks.sync().map_err(StoreError::Io)?;
+        let cp = Checkpoint {
+            height: self.blocks.height(),
+            meta: encode_meta(&self.state_root, &self.state.state_digest()),
+            payload: encode_state(&self.state),
+        };
+        self.checkpoints.save(&cp)?;
+        self.wal.reset().map_err(StoreError::Io)?;
+        self.blocks_since_checkpoint = 0;
+        Ok(())
+    }
+}
+
+impl StateBackend for DurableBackend {
+    fn state(&self) -> &StateDb {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut StateDb {
+        &mut self.state
+    }
+
+    fn commit_block(&mut self, block: &Block) -> Result<(), FabricError> {
+        // WAL first (durable intent), block second: recovery can rebuild
+        // state for every block the block file retains.
+        let records: Vec<Vec<u8>> = block
+            .transactions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| block.validity[*i])
+            .map(|(i, tx)| encode_wal_record(block.header.number, i as u32, &tx.rwset.writes))
+            .collect();
+        let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        self.wal.append_batch(&refs).map_err(StoreError::Io)?;
+        self.blocks
+            .append(block.header.number, &block.encode(), false)?;
+        self.state_root = block.header.state_root;
+        self.blocks_since_checkpoint += 1;
+        if self.blocks_since_checkpoint >= self.config.checkpoint_every_blocks {
+            self.checkpoint_now()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), FabricError> {
+        self.wal.sync().map_err(StoreError::Io)?;
+        self.blocks.sync().map_err(StoreError::Io)?;
+        Ok(())
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::{RwSet, WriteEntry};
+    use crate::identity::Msp;
+    use crate::ledger::{BlockHeader, Transaction, TxId};
+    use crate::validation::{next_state_root, validate_and_commit_block};
+    use fabric_store::testdir::TestDir;
+    use ledgerview_crypto::rng::seeded;
+    use ledgerview_crypto::sha256::sha256;
+
+    fn tx_writing(n: u8, key: &str, value: &[u8]) -> Transaction {
+        let mut rng = seeded(7);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1", &mut rng);
+        let id = msp.enroll(&org, "u", &mut rng).unwrap();
+        Transaction {
+            tx_id: TxId(sha256(&[n])),
+            chaincode: "cc".into(),
+            function: "f".into(),
+            args: vec![],
+            creator: id.cert().clone(),
+            rwset: RwSet {
+                reads: vec![],
+                writes: vec![WriteEntry {
+                    key: key.into(),
+                    value: Some(value.to_vec()),
+                }],
+                private_writes: vec![],
+            },
+            response: vec![],
+            endorsements: vec![],
+        }
+    }
+
+    /// Build and commit `n` single-tx blocks through a backend, mirroring
+    /// the chain's commit order. Returns the final rolling root.
+    fn commit_blocks(backend: &mut dyn StateBackend, n: u64) -> Digest {
+        let mut prev_hash = Digest::ZERO;
+        let mut root = Digest::ZERO;
+        for h in 0..n {
+            let txs = vec![tx_writing(h as u8, &format!("k{}", h % 5), &[h as u8; 16])];
+            let outcomes = validate_and_commit_block(&txs, backend.state_mut(), h);
+            root = next_state_root(&root, &txs, &outcomes);
+            let header = BlockHeader {
+                number: h,
+                prev_hash,
+                data_hash: Block::compute_data_hash(&txs),
+                state_root: root,
+                timestamp_us: h * 10,
+            };
+            prev_hash = header.hash();
+            let block = Block {
+                header,
+                validity: outcomes.iter().map(|o| o.is_valid()).collect(),
+                transactions: txs,
+            };
+            backend.commit_block(&block).unwrap();
+        }
+        root
+    }
+
+    #[test]
+    fn durable_backend_round_trips_across_reopen() {
+        let dir = TestDir::new("backend-reopen");
+        let config = StorageConfig::new(dir.path())
+            .fsync(FsyncPolicy::Never)
+            .checkpoint_every(4);
+        let pool = WorkerPool::new(2);
+        let (mut backend, recovered) = DurableBackend::open(config.clone(), &pool).unwrap();
+        assert!(recovered.is_empty());
+        let root = commit_blocks(&mut backend, 10);
+        let digest = backend.state().state_digest();
+        assert_eq!(backend.height(), 10);
+        // 10 blocks with checkpoints every 4: checkpoints at 4 and 8, so
+        // the WAL holds only blocks 8 and 9.
+        assert_eq!(backend.checkpoints_saved(), 2);
+        assert_eq!(backend.wal_records(), 2);
+        drop(backend);
+
+        let (backend, recovered) = DurableBackend::open(config, &pool).unwrap();
+        assert_eq!(recovered.len(), 10);
+        assert_eq!(backend.state().state_digest(), digest);
+        assert_eq!(backend.state_root, root);
+    }
+
+    #[test]
+    fn in_memory_and_durable_agree() {
+        let dir = TestDir::new("backend-differential");
+        let pool = WorkerPool::new(1);
+        let (mut durable, _) = DurableBackend::open(
+            StorageConfig::new(dir.path()).fsync(FsyncPolicy::Never),
+            &pool,
+        )
+        .unwrap();
+        let mut memory = InMemoryBackend::new();
+        let r1 = commit_blocks(&mut durable, 7);
+        let r2 = commit_blocks(&mut memory, 7);
+        assert_eq!(r1, r2);
+        assert_eq!(
+            durable.state().state_digest(),
+            memory.state().state_digest()
+        );
+    }
+
+    #[test]
+    fn checkpoint_ahead_of_blocks_is_corruption() {
+        let dir = TestDir::new("backend-cp-ahead");
+        let config = StorageConfig::new(dir.path()).fsync(FsyncPolicy::Never);
+        let pool = WorkerPool::new(1);
+        let (mut backend, _) = DurableBackend::open(config.clone(), &pool).unwrap();
+        commit_blocks(&mut backend, 3);
+        backend.checkpoint_now().unwrap();
+        drop(backend);
+        // Delete the block file: the checkpoint now claims a height the
+        // (empty) block file cannot support.
+        std::fs::remove_file(dir.path().join(fabric_store::blockfile::BLOCKS_DATA_FILE)).unwrap();
+        std::fs::remove_file(dir.path().join(fabric_store::blockfile::BLOCKS_INDEX_FILE)).unwrap();
+        let err = DurableBackend::open(config, &pool).unwrap_err();
+        assert!(matches!(err, FabricError::Storage(_)), "{err}");
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let record = WalRecord {
+            block_num: 9,
+            tx_num: 3,
+            writes: vec![
+                ("a".into(), Some(b"1".to_vec())),
+                ("b".into(), None),
+                ("c".into(), Some(vec![])),
+            ],
+        };
+        let decoded = WalRecord::decode(&record.encode()).unwrap();
+        assert_eq!(decoded.block_num, 9);
+        assert_eq!(decoded.tx_num, 3);
+        assert_eq!(decoded.writes, record.writes);
+        assert!(WalRecord::decode(&record.encode()[..5]).is_err());
+    }
+
+    #[test]
+    fn direct_encoding_matches_wal_record_encoding() {
+        let writes = vec![
+            WriteEntry {
+                key: "a".into(),
+                value: Some(b"1".to_vec()),
+            },
+            WriteEntry {
+                key: "b".into(),
+                value: None,
+            },
+        ];
+        let record = WalRecord {
+            block_num: 4,
+            tx_num: 2,
+            writes: writes
+                .iter()
+                .map(|w| (w.key.clone(), w.value.clone()))
+                .collect(),
+        };
+        assert_eq!(encode_wal_record(4, 2, &writes), record.encode());
+    }
+
+    #[test]
+    fn state_snapshot_round_trip() {
+        let mut state = StateDb::new();
+        for i in 0..50u32 {
+            state.put(
+                format!("key-{i:03}"),
+                vec![i as u8; (i % 7) as usize],
+                Version {
+                    block_num: i as u64 / 10,
+                    tx_num: i % 10,
+                },
+            );
+        }
+        let decoded = decode_state(&encode_state(&state)).unwrap();
+        assert_eq!(decoded.state_digest(), state.state_digest());
+    }
+}

@@ -98,9 +98,29 @@ pub fn next_state_root(
     transactions: &[Transaction],
     outcomes: &[TxValidation],
 ) -> Digest {
+    let valid = outcomes.iter().map(TxValidation::is_valid);
+    rolling_root(prev_root, transactions, valid)
+}
+
+/// [`next_state_root`] re-derived from a stored block's validity flags
+/// instead of live validation outcomes — what crash recovery uses to check
+/// each recovered block's header against the replayed writes.
+pub fn state_root_from_block(prev_root: &Digest, block: &crate::ledger::Block) -> Digest {
+    rolling_root(
+        prev_root,
+        &block.transactions,
+        block.validity.iter().copied(),
+    )
+}
+
+fn rolling_root(
+    prev_root: &Digest,
+    transactions: &[Transaction],
+    valid: impl Iterator<Item = bool>,
+) -> Digest {
     let mut leaves: Vec<Vec<u8>> = Vec::new();
-    for (tx, outcome) in transactions.iter().zip(outcomes) {
-        if !outcome.is_valid() {
+    for (tx, is_valid) in transactions.iter().zip(valid) {
+        if !is_valid {
             continue;
         }
         for write in &tx.rwset.writes {
@@ -198,10 +218,7 @@ mod tests {
             1,
         )];
         let outcomes = validate_and_commit_block(&txs, &mut state, 6);
-        assert_eq!(
-            outcomes[0],
-            TxValidation::MvccConflict { key: "k".into() }
-        );
+        assert_eq!(outcomes[0], TxValidation::MvccConflict { key: "k".into() });
         // Writes not applied.
         assert_eq!(state.get("k"), Some(&b"v0"[..]));
     }
@@ -278,6 +295,33 @@ mod tests {
         )];
         validate_and_commit_block(&txs, &mut state, 1);
         assert_eq!(state.get("k"), None);
+    }
+
+    #[test]
+    fn state_root_from_block_matches_live_outcomes() {
+        let mut state = StateDb::new();
+        let txs = vec![
+            tx_with(vec![], vec![write("a", b"1")], 1),
+            tx_with(
+                vec![read("a", Some(Version::GENESIS))], // stale: invalidated
+                vec![write("a", b"2")],
+                2,
+            ),
+        ];
+        let outcomes = validate_and_commit_block(&txs, &mut state, 3);
+        let live = next_state_root(&Digest::ZERO, &txs, &outcomes);
+        let block = crate::ledger::Block {
+            header: crate::ledger::BlockHeader {
+                number: 3,
+                prev_hash: Digest::ZERO,
+                data_hash: crate::ledger::Block::compute_data_hash(&txs),
+                state_root: live,
+                timestamp_us: 0,
+            },
+            validity: outcomes.iter().map(TxValidation::is_valid).collect(),
+            transactions: txs,
+        };
+        assert_eq!(state_root_from_block(&Digest::ZERO, &block), live);
     }
 
     #[test]

@@ -61,6 +61,19 @@ impl Writer {
         self
     }
 
+    /// Append a length-prefixed nested encoding produced by `f`, without
+    /// materialising it in a temporary buffer: the length slot is reserved,
+    /// `f` writes in place, and the prefix is patched afterwards. The bytes
+    /// are identical to `self.bytes(&{ nested writer }.into_bytes())`.
+    pub fn nested(&mut self, f: impl FnOnce(&mut Writer)) -> &mut Self {
+        let slot = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        f(self);
+        let len = u32::try_from(self.buf.len() - slot - 4).expect("payload < 4 GiB");
+        self.buf[slot..slot + 4].copy_from_slice(&len.to_be_bytes());
+        self
+    }
+
     /// Current encoded length.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -116,8 +129,7 @@ impl<'a> Reader<'a> {
 
     /// Read a length-prefixed UTF-8 string.
     pub fn string(&mut self) -> Result<String, FabricError> {
-        String::from_utf8(self.bytes()?)
-            .map_err(|_| FabricError::Malformed("invalid UTF-8".into()))
+        String::from_utf8(self.bytes()?).map_err(|_| FabricError::Malformed("invalid UTF-8".into()))
     }
 
     /// Read a fixed-size array (no length prefix).

@@ -127,7 +127,10 @@ mod tests {
     fn rtt_is_twice_one_way_for_symmetric() {
         let m = LatencyMatrix::gcp_three_regions();
         let one_way = m.latency(Region::EUROPE_NORTH, Region::NA_NORTHEAST);
-        assert_eq!(m.rtt(Region::EUROPE_NORTH, Region::NA_NORTHEAST), one_way.scaled(2));
+        assert_eq!(
+            m.rtt(Region::EUROPE_NORTH, Region::NA_NORTHEAST),
+            one_way.scaled(2)
+        );
     }
 
     #[test]

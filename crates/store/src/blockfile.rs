@@ -1,0 +1,427 @@
+//! The append-only block file store with a sparse height → offset index.
+//!
+//! Blocks are opaque byte strings appended as CRC frames to `blocks.dat`;
+//! each frame payload is `[height: u64 LE][block bytes]`, so a frame is
+//! self-describing even if the index is lost. Every `index_every`-th block
+//! also appends a tiny `[height, offset]` frame to `blocks.idx` — a
+//! **sparse index** in the LevelDB sense: a random read seeks to the nearest
+//! indexed offset at or below the target height and skips forward at most
+//! `index_every - 1` frame headers, so reads are O(1) for a constant
+//! stride and reopening only rescans the un-indexed tail of the data file.
+//!
+//! On open, a torn tail (crash mid-append) is truncated from the data file
+//! and the index is rewritten to match; a missing or inconsistent index
+//! degrades to a full data-file scan, never to an error.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::record::{
+    append_bytes, encode_frame, encode_frame_into, scan_frames, truncate_to, FRAME_HEADER_BYTES,
+};
+use crate::{crc32::crc32, StoreError};
+
+/// File name of the block data file inside a storage directory.
+pub const BLOCKS_DATA_FILE: &str = "blocks.dat";
+/// File name of the sparse block index.
+pub const BLOCKS_INDEX_FILE: &str = "blocks.idx";
+
+/// An open block file store.
+#[derive(Debug)]
+pub struct BlockFile {
+    data: File,
+    index: File,
+    /// Sparse `(height, offset)` entries, ascending, one per
+    /// `index_every` blocks starting at height 0.
+    sparse: Vec<(u64, u64)>,
+    index_every: u64,
+    height: u64,
+    data_len: u64,
+    fsyncs: u64,
+}
+
+fn open_rw(path: &Path) -> std::io::Result<File> {
+    OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+}
+
+impl BlockFile {
+    /// Open (or create) the block store inside `dir`, repairing a torn
+    /// tail. `index_every` is the sparse-index stride (clamped to ≥ 1).
+    pub fn open(dir: &Path, index_every: u64) -> Result<BlockFile, StoreError> {
+        let index_every = index_every.max(1);
+        let mut data = open_rw(&dir.join(BLOCKS_DATA_FILE))?;
+        let mut index = open_rw(&dir.join(BLOCKS_INDEX_FILE))?;
+        let data_len = data.seek(SeekFrom::End(0))?;
+
+        // Load the sparse index: 16-byte frames of (height, offset), kept
+        // only while heights step by `index_every` and offsets stay inside
+        // the data file.
+        let idx_scan = scan_frames(&mut index, 0)?;
+        let mut sparse: Vec<(u64, u64)> = Vec::new();
+        for frame in &idx_scan.frames {
+            if frame.payload.len() != 16 {
+                break;
+            }
+            let h = u64::from_le_bytes(frame.payload[..8].try_into().unwrap());
+            let off = u64::from_le_bytes(frame.payload[8..].try_into().unwrap());
+            if h != sparse.len() as u64 * index_every || off >= data_len {
+                break;
+            }
+            if let Some(&(_, prev_off)) = sparse.last() {
+                if off <= prev_off {
+                    break;
+                }
+            }
+            sparse.push((h, off));
+        }
+
+        // Find the deepest trustworthy sparse entry: the frame at its
+        // offset must decode to its height. Fall back toward a full scan.
+        let mut start = (0u64, 0u64); // (height, offset) to scan from
+        while let Some(&(h, off)) = sparse.last() {
+            if Self::frame_height_at(&mut data, off, data_len)? == Some(h) {
+                start = (h, off);
+                break;
+            }
+            sparse.pop();
+        }
+
+        // Scan the data file from the trusted point: establish the height,
+        // repair a torn tail, and complete the sparse entries.
+        let scan = scan_frames(&mut data, start.1)?;
+        if scan.torn {
+            truncate_to(&mut data, scan.valid_len)?;
+        }
+        let mut height = start.0;
+        let mut store = BlockFile {
+            data,
+            index,
+            sparse: Vec::new(),
+            index_every,
+            height: 0,
+            data_len: scan.valid_len,
+            fsyncs: 0,
+        };
+        // Keep index entries strictly before the rescanned range; the scan
+        // below re-adds the entries it covers (including `start` itself).
+        let mut sparse_ok: Vec<(u64, u64)> = sparse;
+        sparse_ok.retain(|&(h, _)| h < start.0);
+        for frame in &scan.frames {
+            if frame.payload.len() < 8 {
+                return Err(StoreError::Corrupt(format!(
+                    "block frame at offset {} too short",
+                    frame.offset
+                )));
+            }
+            let h = u64::from_le_bytes(frame.payload[..8].try_into().unwrap());
+            if h != height {
+                return Err(StoreError::Corrupt(format!(
+                    "block file discontinuity: expected height {height}, found {h}"
+                )));
+            }
+            if h % index_every == 0 {
+                sparse_ok.push((h, frame.offset));
+            }
+            height += 1;
+        }
+        store.height = height;
+        store.sparse = sparse_ok;
+        store.rewrite_index()?;
+        Ok(store)
+    }
+
+    /// Decode the height stored in the frame at `off`, or `None` if there is
+    /// no valid frame there.
+    fn frame_height_at(data: &mut File, off: u64, data_len: u64) -> std::io::Result<Option<u64>> {
+        if off + FRAME_HEADER_BYTES + 8 > data_len {
+            return Ok(None);
+        }
+        data.seek(SeekFrom::Start(off))?;
+        let mut header = [0u8; 8];
+        data.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as u64;
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if len < 8 || off + FRAME_HEADER_BYTES + len > data_len {
+            return Ok(None);
+        }
+        let mut payload = vec![0u8; len as usize];
+        data.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            return Ok(None);
+        }
+        Ok(Some(u64::from_le_bytes(payload[..8].try_into().unwrap())))
+    }
+
+    /// Persist the in-memory sparse index (cheap: one tiny frame per
+    /// `index_every` blocks; never fsynced — it is a rebuildable cache).
+    fn rewrite_index(&mut self) -> std::io::Result<()> {
+        truncate_to(&mut self.index, 0)?;
+        let mut buf = Vec::with_capacity(self.sparse.len() * 24);
+        for &(h, off) in &self.sparse {
+            let mut payload = [0u8; 16];
+            payload[..8].copy_from_slice(&h.to_le_bytes());
+            payload[8..].copy_from_slice(&off.to_le_bytes());
+            encode_frame_into(&mut buf, &payload);
+        }
+        append_bytes(&mut self.index, &buf)
+    }
+
+    /// Number of stored blocks (the next height to append).
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Data file size in bytes.
+    pub fn data_len(&self) -> u64 {
+        self.data_len
+    }
+
+    /// Append a block's bytes at `height` (must equal [`BlockFile::height`]).
+    /// When `sync` is set the data file is fsynced after the write.
+    pub fn append(&mut self, height: u64, block: &[u8], sync: bool) -> Result<(), StoreError> {
+        if height != self.height {
+            return Err(StoreError::Corrupt(format!(
+                "append out of order: expected height {}, got {height}",
+                self.height
+            )));
+        }
+        let mut payload = Vec::with_capacity(8 + block.len());
+        payload.extend_from_slice(&height.to_le_bytes());
+        payload.extend_from_slice(block);
+        let frame = encode_frame(&payload);
+        self.data.seek(SeekFrom::Start(self.data_len))?;
+        append_bytes(&mut self.data, &frame)?;
+        if height.is_multiple_of(self.index_every) {
+            self.sparse.push((height, self.data_len));
+            let mut idx_payload = [0u8; 16];
+            idx_payload[..8].copy_from_slice(&height.to_le_bytes());
+            idx_payload[8..].copy_from_slice(&self.data_len.to_le_bytes());
+            append_bytes(&mut self.index, &encode_frame(&idx_payload))?;
+        }
+        self.data_len += frame.len() as u64;
+        self.height += 1;
+        if sync {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// fsync the data file.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.data.sync_data()?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Total fsyncs issued by this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Read the block bytes stored at `height`.
+    ///
+    /// Seeks to the nearest sparse-index entry at or below `height` and
+    /// skips forward over at most `index_every - 1` frame headers.
+    pub fn read(&mut self, height: u64) -> Result<Vec<u8>, StoreError> {
+        if height >= self.height {
+            return Err(StoreError::Corrupt(format!(
+                "block {height} out of range (height {})",
+                self.height
+            )));
+        }
+        let slot = match self.sparse.binary_search_by_key(&height, |&(h, _)| h) {
+            Ok(i) => i,
+            Err(0) => {
+                return Err(StoreError::Corrupt(format!(
+                    "sparse index missing entry at or below height {height}"
+                )))
+            }
+            Err(i) => i - 1,
+        };
+        let (mut at_height, mut offset) = self.sparse[slot];
+        // Skip whole frames (header read + seek) until the target.
+        while at_height < height {
+            self.data.seek(SeekFrom::Start(offset))?;
+            let mut header = [0u8; 8];
+            self.data.read_exact(&mut header)?;
+            let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as u64;
+            offset += FRAME_HEADER_BYTES + len;
+            at_height += 1;
+        }
+        self.data.seek(SeekFrom::Start(offset))?;
+        let mut header = [0u8; 8];
+        self.data.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        let mut payload = vec![0u8; len];
+        self.data.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
+            return Err(StoreError::Corrupt(format!(
+                "block {height}: CRC mismatch at offset {offset}"
+            )));
+        }
+        let stored = u64::from_le_bytes(
+            payload
+                .get(..8)
+                .ok_or_else(|| StoreError::Corrupt(format!("block {height}: frame too short")))?
+                .try_into()
+                .unwrap(),
+        );
+        if stored != height {
+            return Err(StoreError::Corrupt(format!(
+                "block {height}: frame labelled {stored}"
+            )));
+        }
+        Ok(payload.split_off(8))
+    }
+
+    /// Read every stored block in height order.
+    pub fn read_all(&mut self) -> Result<Vec<Vec<u8>>, StoreError> {
+        let scan = scan_frames(&mut self.data, 0)?;
+        let mut out = Vec::with_capacity(scan.frames.len());
+        for (i, frame) in scan.frames.into_iter().enumerate() {
+            if frame.payload.len() < 8 {
+                return Err(StoreError::Corrupt(format!("block {i}: frame too short")));
+            }
+            let h = u64::from_le_bytes(frame.payload[..8].try_into().unwrap());
+            if h != i as u64 {
+                return Err(StoreError::Corrupt(format!(
+                    "block file discontinuity: expected {i}, found {h}"
+                )));
+            }
+            let mut payload = frame.payload;
+            out.push(payload.split_off(8));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TestDir;
+
+    fn block_bytes(i: u64) -> Vec<u8> {
+        let mut b = vec![i as u8; (i as usize % 7) + 3];
+        b.extend_from_slice(&i.to_le_bytes());
+        b
+    }
+
+    #[test]
+    fn append_read_reopen() {
+        let dir = TestDir::new("bf-basic");
+        {
+            let mut bf = BlockFile::open(dir.path(), 4).unwrap();
+            for i in 0..11 {
+                bf.append(i, &block_bytes(i), false).unwrap();
+            }
+            assert_eq!(bf.height(), 11);
+            for i in [0, 3, 4, 7, 10] {
+                assert_eq!(bf.read(i).unwrap(), block_bytes(i), "height {i}");
+            }
+            assert!(bf.read(11).is_err());
+        }
+        // Reopen: sparse index makes the rescan short; contents identical.
+        let mut bf = BlockFile::open(dir.path(), 4).unwrap();
+        assert_eq!(bf.height(), 11);
+        let all = bf.read_all().unwrap();
+        assert_eq!(all.len(), 11);
+        for (i, b) in all.iter().enumerate() {
+            assert_eq!(b, &block_bytes(i as u64));
+        }
+    }
+
+    #[test]
+    fn out_of_order_append_rejected() {
+        let dir = TestDir::new("bf-order");
+        let mut bf = BlockFile::open(dir.path(), 4).unwrap();
+        bf.append(0, b"b0", false).unwrap();
+        assert!(bf.append(5, b"b5", false).is_err());
+        assert!(bf.append(0, b"again", false).is_err());
+    }
+
+    #[test]
+    fn torn_tail_truncated_and_index_repaired() {
+        let dir = TestDir::new("bf-torn");
+        {
+            let mut bf = BlockFile::open(dir.path(), 2).unwrap();
+            for i in 0..6 {
+                bf.append(i, &block_bytes(i), false).unwrap();
+            }
+        }
+        // Cut the data file mid-way through the last frame.
+        let data_path = dir.path().join(BLOCKS_DATA_FILE);
+        let bytes = std::fs::read(&data_path).unwrap();
+        std::fs::write(&data_path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let mut bf = BlockFile::open(dir.path(), 2).unwrap();
+        assert_eq!(bf.height(), 5, "torn block dropped");
+        for i in 0..5 {
+            assert_eq!(bf.read(i).unwrap(), block_bytes(i));
+        }
+        // Appending continues cleanly at the repaired height.
+        bf.append(5, &block_bytes(5), false).unwrap();
+        assert_eq!(bf.read(5).unwrap(), block_bytes(5));
+    }
+
+    #[test]
+    fn missing_or_garbage_index_degrades_to_full_scan() {
+        let dir = TestDir::new("bf-idx");
+        {
+            let mut bf = BlockFile::open(dir.path(), 3).unwrap();
+            for i in 0..7 {
+                bf.append(i, &block_bytes(i), false).unwrap();
+            }
+        }
+        // Corrupt the index file entirely.
+        std::fs::write(dir.path().join(BLOCKS_INDEX_FILE), b"not an index").unwrap();
+        let mut bf = BlockFile::open(dir.path(), 3).unwrap();
+        assert_eq!(bf.height(), 7);
+        for i in 0..7 {
+            assert_eq!(bf.read(i).unwrap(), block_bytes(i));
+        }
+        // Delete the index file: same outcome.
+        drop(bf);
+        std::fs::remove_file(dir.path().join(BLOCKS_INDEX_FILE)).unwrap();
+        let mut bf = BlockFile::open(dir.path(), 3).unwrap();
+        assert_eq!(bf.height(), 7);
+        assert_eq!(bf.read(6).unwrap(), block_bytes(6));
+    }
+
+    #[test]
+    fn truncation_below_index_entries_recovers() {
+        let dir = TestDir::new("bf-deep-cut");
+        {
+            let mut bf = BlockFile::open(dir.path(), 2).unwrap();
+            for i in 0..8 {
+                bf.append(i, &block_bytes(i), false).unwrap();
+            }
+        }
+        // Cut the data file roughly in half: several index entries now
+        // point past EOF and must be discarded.
+        let data_path = dir.path().join(BLOCKS_DATA_FILE);
+        let bytes = std::fs::read(&data_path).unwrap();
+        std::fs::write(&data_path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut bf = BlockFile::open(dir.path(), 2).unwrap();
+        let h = bf.height();
+        assert!(h < 8);
+        for i in 0..h {
+            assert_eq!(bf.read(i).unwrap(), block_bytes(i));
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let dir = TestDir::new("bf-empty");
+        let mut bf = BlockFile::open(dir.path(), 4).unwrap();
+        assert_eq!(bf.height(), 0);
+        assert!(bf.read(0).is_err());
+        assert!(bf.read_all().unwrap().is_empty());
+    }
+}

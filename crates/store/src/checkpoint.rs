@@ -1,0 +1,194 @@
+//! Snapshot checkpoints with atomic replace.
+//!
+//! A checkpoint freezes the state database at a block height so the WAL can
+//! be truncated (compaction): recovery starts from the snapshot instead of
+//! replaying from genesis. The file is a single CRC frame holding
+//! `[height][meta][payload]` — `meta` and `payload` are opaque to this
+//! crate (the ledger layer stores its state roots and serialized entries).
+//!
+//! Writes are crash-atomic: the snapshot is written to `checkpoint.tmp`,
+//! fsynced, then renamed over `checkpoint.dat` (and the directory fsynced),
+//! so a crash at any point leaves either the old checkpoint or the new one,
+//! never a torn hybrid.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::PathBuf;
+
+use crate::record::{encode_frame, scan_frames};
+use crate::StoreError;
+
+/// File name of the live checkpoint inside a storage directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.dat";
+/// File name of the in-progress checkpoint (garbage after a crash; replaced
+/// on the next save).
+pub const CHECKPOINT_TMP_FILE: &str = "checkpoint.tmp";
+
+/// A loaded (or to-be-saved) checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Block height the snapshot covers (blocks `0..height` applied).
+    pub height: u64,
+    /// Domain metadata (the ledger stores its rolling state root and the
+    /// full-state Merkle digest here).
+    pub meta: Vec<u8>,
+    /// The opaque snapshot payload.
+    pub payload: Vec<u8>,
+}
+
+/// Reads and writes the checkpoint files of one storage directory.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    saves: u64,
+}
+
+impl CheckpointStore {
+    /// A checkpoint store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> CheckpointStore {
+        CheckpointStore {
+            dir: dir.into(),
+            saves: 0,
+        }
+    }
+
+    fn live_path(&self) -> PathBuf {
+        self.dir.join(CHECKPOINT_FILE)
+    }
+
+    /// Load the live checkpoint. `Ok(None)` if none was ever saved;
+    /// `Err(Corrupt)` if the file exists but fails its CRC or framing —
+    /// atomic replace means that never results from a crash, only from
+    /// external damage.
+    pub fn load(&self) -> Result<Option<Checkpoint>, StoreError> {
+        let path = self.live_path();
+        let mut file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let scan = scan_frames(&mut file, 0)?;
+        let frame = match scan.frames.first() {
+            Some(f) if scan.frames.len() == 1 && !scan.torn => f,
+            _ => {
+                return Err(StoreError::Corrupt(
+                    "checkpoint file is torn or has trailing garbage".into(),
+                ))
+            }
+        };
+        let p = &frame.payload;
+        if p.len() < 12 {
+            return Err(StoreError::Corrupt("checkpoint payload too short".into()));
+        }
+        let height = u64::from_le_bytes(p[..8].try_into().unwrap());
+        let meta_len = u32::from_le_bytes(p[8..12].try_into().unwrap()) as usize;
+        if p.len() < 12 + meta_len {
+            return Err(StoreError::Corrupt("checkpoint meta overruns frame".into()));
+        }
+        Ok(Some(Checkpoint {
+            height,
+            meta: p[12..12 + meta_len].to_vec(),
+            payload: p[12 + meta_len..].to_vec(),
+        }))
+    }
+
+    /// Atomically replace the live checkpoint.
+    pub fn save(&mut self, cp: &Checkpoint) -> Result<(), StoreError> {
+        let tmp_path = self.dir.join(CHECKPOINT_TMP_FILE);
+        let mut payload = Vec::with_capacity(12 + cp.meta.len() + cp.payload.len());
+        payload.extend_from_slice(&cp.height.to_le_bytes());
+        payload.extend_from_slice(&(cp.meta.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&cp.meta);
+        payload.extend_from_slice(&cp.payload);
+        let frame = encode_frame(&payload);
+
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&frame)?;
+        tmp.sync_data()?;
+        drop(tmp);
+        std::fs::rename(&tmp_path, self.live_path())?;
+        // fsync the directory so the rename itself is durable. Directories
+        // open read-only on Linux; failure here (exotic filesystems) only
+        // weakens durability of the rename, so it is best-effort.
+        if let Ok(dirf) = File::open(&self.dir) {
+            let _ = dirf.sync_all();
+        }
+        self.saves += 1;
+        Ok(())
+    }
+
+    /// Number of checkpoints saved by this handle.
+    pub fn saves(&self) -> u64 {
+        self.saves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testdir::TestDir;
+
+    fn cp(height: u64, tag: u8) -> Checkpoint {
+        Checkpoint {
+            height,
+            meta: vec![tag; 64],
+            payload: vec![tag ^ 0xFF; 100],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = TestDir::new("cp-round-trip");
+        let mut store = CheckpointStore::new(dir.path());
+        assert_eq!(store.load().unwrap(), None);
+        store.save(&cp(7, 1)).unwrap();
+        assert_eq!(store.load().unwrap(), Some(cp(7, 1)));
+        // Replacement is total.
+        store.save(&cp(42, 2)).unwrap();
+        assert_eq!(store.load().unwrap(), Some(cp(42, 2)));
+        assert_eq!(store.saves(), 2);
+    }
+
+    #[test]
+    fn crash_during_save_leaves_old_checkpoint() {
+        let dir = TestDir::new("cp-crash");
+        let mut store = CheckpointStore::new(dir.path());
+        store.save(&cp(3, 1)).unwrap();
+        // A crash mid-save leaves a partial tmp file; the live checkpoint
+        // must be untouched and the next save must recover.
+        std::fs::write(dir.path().join(CHECKPOINT_TMP_FILE), b"partial garbage").unwrap();
+        assert_eq!(store.load().unwrap(), Some(cp(3, 1)));
+        store.save(&cp(4, 2)).unwrap();
+        assert_eq!(store.load().unwrap(), Some(cp(4, 2)));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error_not_a_silent_reset() {
+        let dir = TestDir::new("cp-corrupt");
+        let mut store = CheckpointStore::new(dir.path());
+        store.save(&cp(9, 1)).unwrap();
+        let path = dir.path().join(CHECKPOINT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.load(), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_meta_and_payload() {
+        let dir = TestDir::new("cp-empty");
+        let mut store = CheckpointStore::new(dir.path());
+        let empty = Checkpoint {
+            height: 0,
+            meta: vec![],
+            payload: vec![],
+        };
+        store.save(&empty).unwrap();
+        assert_eq!(store.load().unwrap(), Some(empty));
+    }
+}

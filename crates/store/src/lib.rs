@@ -1,0 +1,168 @@
+//! `fabric-store`: a durable storage substrate for the Fabric simulator.
+//!
+//! The crate is deliberately domain-agnostic — it moves *bytes*, not blocks
+//! or transactions, so it sits below `fabric-sim` with no dependency cycle.
+//! Four layers compose into a crash-safe ledger store:
+//!
+//! * [`record`] — length-prefixed, CRC32-checked frame files; torn-tail
+//!   detection and truncation repair.
+//! * [`wal`] — a write-ahead log with group commit and a configurable
+//!   [`FsyncPolicy`] (`Always` / `EveryN` / `Never`).
+//! * [`blockfile`] — the append-only block data file plus a sparse
+//!   height → offset index for O(1) random block reads.
+//! * [`checkpoint`] — atomic (tmp + fsync + rename) state snapshots that
+//!   let the WAL be truncated (compaction).
+//!
+//! The write protocol the ledger layer follows for each committed block:
+//!
+//! ```text
+//! 1. wal.append_batch(state mutations)     # durable intent, group commit
+//! 2. blockfile.append(height, block bytes) # the block itself
+//! 3. every `checkpoint_every_blocks`: sync both files, save a checkpoint,
+//!    wal.reset()                           # compaction
+//! ```
+//!
+//! Because step 1 precedes step 2, recovery can always rebuild the state of
+//! every surviving block: replay the checkpoint, then the WAL prefix, then
+//! re-derive any remaining writes from the blocks themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockfile;
+pub mod checkpoint;
+pub mod crc32;
+pub mod record;
+pub mod testdir;
+pub mod wal;
+
+pub use blockfile::BlockFile;
+pub use checkpoint::{Checkpoint, CheckpointStore};
+pub use wal::{FsyncPolicy, Wal};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// On-disk data failed validation in a way truncation cannot repair
+    /// (bad CRC inside a checkpoint, block-height discontinuities, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "storage corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// Configuration for a durable ledger store.
+///
+/// ```
+/// use fabric_store::{FsyncPolicy, StorageConfig};
+///
+/// let cfg = StorageConfig::new("/tmp/my-ledger")
+///     .fsync(FsyncPolicy::Always)
+///     .checkpoint_every(128);
+/// assert_eq!(cfg.fsync, FsyncPolicy::Always);
+/// assert_eq!(cfg.checkpoint_every_blocks, 128);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Directory holding the WAL, block files and checkpoints. Created on
+    /// open if missing.
+    pub dir: PathBuf,
+    /// When the WAL flushes to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Snapshot the state DB and truncate the WAL every this many blocks.
+    pub checkpoint_every_blocks: u64,
+    /// Sparse-index stride: one index entry per this many blocks. Reads
+    /// skip at most `index_every - 1` frame headers.
+    pub index_every: u64,
+}
+
+impl StorageConfig {
+    /// Defaults: `EveryN(512)` fsync (group commit spanning several
+    /// 100-tx blocks — a smaller stride would force one fsync per block,
+    /// defeating group commit), checkpoint every 256 blocks, index
+    /// stride 16.
+    pub fn new(dir: impl Into<PathBuf>) -> StorageConfig {
+        StorageConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(512),
+            checkpoint_every_blocks: 256,
+            index_every: 16,
+        }
+    }
+
+    /// Set the WAL fsync policy.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> StorageConfig {
+        self.fsync = policy;
+        self
+    }
+
+    /// Set the checkpoint/compaction interval in blocks (clamped to ≥ 1).
+    pub fn checkpoint_every(mut self, blocks: u64) -> StorageConfig {
+        self.checkpoint_every_blocks = blocks.max(1);
+        self
+    }
+
+    /// Set the sparse-index stride in blocks (clamped to ≥ 1).
+    pub fn index_every(mut self, blocks: u64) -> StorageConfig {
+        self.index_every = blocks.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_and_builders() {
+        let cfg = StorageConfig::new("/x");
+        assert_eq!(cfg.dir, PathBuf::from("/x"));
+        assert_eq!(cfg.fsync, FsyncPolicy::EveryN(512));
+        assert_eq!(cfg.checkpoint_every_blocks, 256);
+        assert_eq!(cfg.index_every, 16);
+
+        let cfg = cfg
+            .fsync(FsyncPolicy::Never)
+            .checkpoint_every(0)
+            .index_every(0);
+        assert_eq!(cfg.fsync, FsyncPolicy::Never);
+        assert_eq!(cfg.checkpoint_every_blocks, 1, "clamped to at least 1");
+        assert_eq!(cfg.index_every, 1, "clamped to at least 1");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let io = StoreError::from(std::io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+        let corrupt = StoreError::Corrupt("bad crc".into());
+        assert!(corrupt.to_string().contains("bad crc"));
+        assert!(std::error::Error::source(&corrupt).is_none());
+    }
+}

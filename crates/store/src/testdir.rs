@@ -1,0 +1,56 @@
+//! Scratch directories for tests, benchmarks and examples.
+//!
+//! The offline build has no `tempfile` crate, so this tiny helper creates a
+//! uniquely-named directory under the system temp dir and removes it on
+//! drop. Uniqueness comes from the process id plus a process-wide counter,
+//! so parallel test threads never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A scratch directory removed (best-effort) when dropped.
+#[derive(Debug)]
+pub struct TestDir {
+    path: PathBuf,
+}
+
+impl TestDir {
+    /// Create `.../{prefix}-{pid}-{n}` under the system temp directory.
+    pub fn new(prefix: &str) -> TestDir {
+        let n = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("fabric-store-{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        TestDir { path }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_and_cleaned_up() {
+        let a = TestDir::new("t");
+        let b = TestDir::new("t");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir());
+        let kept = a.path().to_path_buf();
+        drop(a);
+        assert!(!kept.exists());
+        assert!(b.path().is_dir());
+    }
+}

@@ -141,7 +141,9 @@ pub fn generate(topology: &Topology, config: &WorkloadConfig) -> Workload {
     let mut per_item: Vec<Vec<TransferRecord>> = Vec::with_capacity(config.items);
     for item_idx in 0..config.items {
         let item = format!("item-{item_idx:05}");
-        let mut at = *dispatchers.choose(&mut rng).expect("validated: >=1 dispatcher");
+        let mut at = *dispatchers
+            .choose(&mut rng)
+            .expect("validated: >=1 dispatcher");
         let mut handlers: Vec<String> = Vec::new();
         let mut hops = Vec::new();
         for seq in 0..config.max_hops {
@@ -245,10 +247,7 @@ mod tests {
             for (i, hop) in history.iter().enumerate() {
                 assert_eq!(hop.prior_handlers.len(), i, "handlers at hop {i}");
                 if i > 0 {
-                    assert_eq!(
-                        hop.prior_handlers.last().unwrap(),
-                        &history[i - 1].from
-                    );
+                    assert_eq!(hop.prior_handlers.last().unwrap(), &history[i - 1].from);
                 }
                 // visible_to = prior handlers + from + to.
                 assert_eq!(hop.visible_to().len(), i + 2);
@@ -272,8 +271,7 @@ mod tests {
             let history = wl.item_history(&item);
             let last = history.last().unwrap();
             assert!(
-                terminals.contains(&last.to.as_str())
-                    || history.len() == cfg.max_hops,
+                terminals.contains(&last.to.as_str()) || history.len() == cfg.max_hops,
                 "{item} ended at non-terminal {} after {} hops",
                 last.to,
                 history.len()
@@ -315,7 +313,9 @@ mod tests {
         let attrs = multi_hop.attributes();
         let marker = format!("handler~{}", multi_hop.prior_handlers[0]);
         assert!(attrs.iter().any(|(k, _)| k == &marker));
-        assert!(attrs.iter().any(|(k, v)| k == "item" && v == &multi_hop.item));
+        assert!(attrs
+            .iter()
+            .any(|(k, v)| k == "item" && v == &multi_hop.item));
     }
 
     #[test]

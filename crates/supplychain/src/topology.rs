@@ -83,23 +83,15 @@ impl Topology {
         };
         Topology::new(
             vec![
-                node("M1", NodeRole::Dispatching),   // 0
-                node("W1", NodeRole::Intermediate),  // 1
-                node("W2", NodeRole::Intermediate),  // 2
-                node("D1", NodeRole::Intermediate),  // 3
-                node("S1", NodeRole::Terminal),      // 4
-                node("S2", NodeRole::Terminal),      // 5
-                node("S3", NodeRole::Terminal),      // 6
+                node("M1", NodeRole::Dispatching),  // 0
+                node("W1", NodeRole::Intermediate), // 1
+                node("W2", NodeRole::Intermediate), // 2
+                node("D1", NodeRole::Intermediate), // 3
+                node("S1", NodeRole::Terminal),     // 4
+                node("S2", NodeRole::Terminal),     // 5
+                node("S3", NodeRole::Terminal),     // 6
             ],
-            vec![
-                (0, 1),
-                (0, 2),
-                (1, 3),
-                (2, 3),
-                (3, 4),
-                (3, 5),
-                (1, 6),
-            ],
+            vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (3, 5), (1, 6)],
         )
     }
 
@@ -112,20 +104,20 @@ impl Topology {
         };
         Topology::new(
             vec![
-                node("M1", NodeRole::Dispatching),   // 0
-                node("M2", NodeRole::Dispatching),   // 1
-                node("W1", NodeRole::Intermediate),  // 2
-                node("W2", NodeRole::Intermediate),  // 3
-                node("W3", NodeRole::Intermediate),  // 4
-                node("D1", NodeRole::Intermediate),  // 5
-                node("D2", NodeRole::Intermediate),  // 6
-                node("S1", NodeRole::Terminal),      // 7
-                node("S2", NodeRole::Terminal),      // 8
-                node("S3", NodeRole::Terminal),      // 9
-                node("S4", NodeRole::Terminal),      // 10
-                node("S5", NodeRole::Terminal),      // 11
-                node("S6", NodeRole::Terminal),      // 12
-                node("S7", NodeRole::Terminal),      // 13
+                node("M1", NodeRole::Dispatching),  // 0
+                node("M2", NodeRole::Dispatching),  // 1
+                node("W1", NodeRole::Intermediate), // 2
+                node("W2", NodeRole::Intermediate), // 3
+                node("W3", NodeRole::Intermediate), // 4
+                node("D1", NodeRole::Intermediate), // 5
+                node("D2", NodeRole::Intermediate), // 6
+                node("S1", NodeRole::Terminal),     // 7
+                node("S2", NodeRole::Terminal),     // 8
+                node("S3", NodeRole::Terminal),     // 9
+                node("S4", NodeRole::Terminal),     // 10
+                node("S5", NodeRole::Terminal),     // 11
+                node("S6", NodeRole::Terminal),     // 12
+                node("S7", NodeRole::Terminal),     // 13
             ],
             vec![
                 (0, 2),
@@ -155,11 +147,7 @@ impl Topology {
                 return Err(TopologyError::DuplicateName(n.name.clone()));
             }
         }
-        if !self
-            .nodes
-            .iter()
-            .any(|n| n.role == NodeRole::Dispatching)
-        {
+        if !self.nodes.iter().any(|n| n.role == NodeRole::Dispatching) {
             return Err(TopologyError::NoDispatcher);
         }
         for &(a, b) in &self.edges {
@@ -229,7 +217,10 @@ mod tests {
         assert_eq!(wl1.len(), 7);
         assert_eq!(wl1.dispatchers().len(), 1);
         assert_eq!(
-            wl1.nodes.iter().filter(|n| n.role == NodeRole::Terminal).count(),
+            wl1.nodes
+                .iter()
+                .filter(|n| n.role == NodeRole::Terminal)
+                .count(),
             3
         );
 
@@ -238,7 +229,10 @@ mod tests {
         assert_eq!(wl2.len(), 14);
         assert_eq!(wl2.dispatchers().len(), 2);
         assert_eq!(
-            wl2.nodes.iter().filter(|n| n.role == NodeRole::Terminal).count(),
+            wl2.nodes
+                .iter()
+                .filter(|n| n.role == NodeRole::Terminal)
+                .count(),
             7
         );
     }
@@ -277,7 +271,10 @@ mod tests {
         };
         // Terminal with outgoing edge.
         let t = Topology::new(
-            vec![node("A", NodeRole::Dispatching), node("B", NodeRole::Terminal)],
+            vec![
+                node("A", NodeRole::Dispatching),
+                node("B", NodeRole::Terminal),
+            ],
             vec![(0, 1), (1, 0)],
         );
         assert_eq!(
@@ -289,7 +286,10 @@ mod tests {
         assert_eq!(t.validate(), Err(TopologyError::DanglingEdge(0, 5)));
         // Duplicate name.
         let t = Topology::new(
-            vec![node("A", NodeRole::Dispatching), node("A", NodeRole::Terminal)],
+            vec![
+                node("A", NodeRole::Dispatching),
+                node("A", NodeRole::Terminal),
+            ],
             vec![(0, 1)],
         );
         assert_eq!(t.validate(), Err(TopologyError::DuplicateName("A".into())));
@@ -298,13 +298,19 @@ mod tests {
         assert_eq!(t.validate(), Err(TopologyError::NoDispatcher));
         // Self loop.
         let t = Topology::new(
-            vec![node("A", NodeRole::Dispatching), node("B", NodeRole::Terminal)],
+            vec![
+                node("A", NodeRole::Dispatching),
+                node("B", NodeRole::Terminal),
+            ],
             vec![(0, 0), (0, 1)],
         );
         assert_eq!(t.validate(), Err(TopologyError::SelfLoop("A".into())));
         // Dispatcher dead end.
         let t = Topology::new(
-            vec![node("A", NodeRole::Dispatching), node("B", NodeRole::Terminal)],
+            vec![
+                node("A", NodeRole::Dispatching),
+                node("B", NodeRole::Terminal),
+            ],
             vec![],
         );
         assert_eq!(

@@ -10,8 +10,8 @@
 //! cargo run --example channels_vs_views
 //! ```
 
-use ledgerview::fabric::channel::ChannelRegistry;
 use ledgerview::fabric::chaincode::{Chaincode, TxContext};
+use ledgerview::fabric::channel::ChannelRegistry;
 use ledgerview::fabric::FabricError;
 use ledgerview::prelude::*;
 
@@ -23,7 +23,10 @@ impl Chaincode for PutCc {
         _f: &str,
         args: &[Vec<u8>],
     ) -> Result<Vec<u8>, FabricError> {
-        ctx.put_state(String::from_utf8_lossy(&args[0]).to_string(), args[1].clone());
+        ctx.put_state(
+            String::from_utf8_lossy(&args[0]).to_string(),
+            args[1].clone(),
+        );
         Ok(vec![])
     }
 }
@@ -57,8 +60,12 @@ fn main() {
             EndorsementPolicy::AnyOf(vec![w1.clone()]),
         )
         .unwrap();
-    let maker = channels.enroll("manufacturers", &m1, "maker", &mut rng).unwrap();
-    let wh = channels.enroll("warehouses", &w1, "clerk", &mut rng).unwrap();
+    let maker = channels
+        .enroll("manufacturers", &m1, "maker", &mut rng)
+        .unwrap();
+    let wh = channels
+        .enroll("warehouses", &w1, "clerk", &mut rng)
+        .unwrap();
 
     channels
         .invoke_commit(

@@ -64,7 +64,11 @@ fn main() {
         let tid = manager
             .invoke_with_secret(&mut chain, &alice, &tx, &mut rng)
             .unwrap();
-        println!("committed shipment #{} → {to}  (tid {})", 1000 + i, tid.short());
+        println!(
+            "committed shipment #{} → {to}  (tid {})",
+            1000 + i,
+            tid.short()
+        );
     }
     manager.flush(&mut chain, &mut rng).unwrap();
     println!(
@@ -86,7 +90,9 @@ fn main() {
     let response = manager
         .query_view("V_Warehouse1", &bob.public(), None, &mut rng)
         .unwrap();
-    let revealed = bob.open_response(&chain, "V_Warehouse1", &response).unwrap();
+    let revealed = bob
+        .open_response(&chain, "V_Warehouse1", &response)
+        .unwrap();
     println!("Bob sees {} transactions:", revealed.len());
     for tx in &revealed {
         println!(

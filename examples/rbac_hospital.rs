@@ -100,7 +100,12 @@ fn main() {
         .grant_access(&mut chain, "V_vitals", doctor_role.public(), &mut rng)
         .unwrap();
     manager
-        .grant_access(&mut chain, "V_prescriptions", doctor_role.public(), &mut rng)
+        .grant_access(
+            &mut chain,
+            "V_prescriptions",
+            doctor_role.public(),
+            &mut rng,
+        )
         .unwrap();
 
     // ── The transparent join A_r ⋈ A_p is auditable by anyone.
@@ -116,13 +121,17 @@ fn main() {
     let resp = manager
         .query_view("V_vitals", &nina_reader.public(), None, &mut rng)
         .unwrap();
-    let vitals = nina_reader.open_response(&chain, "V_vitals", &resp).unwrap();
+    let vitals = nina_reader
+        .open_response(&chain, "V_vitals", &resp)
+        .unwrap();
     println!("nurse Nina sees {} vitals records", vitals.len());
     assert_eq!(vitals.len(), 2);
 
     // Nurses have no prescription role: the prescriptions view never
     // sealed its key to the nurse role.
-    assert!(nina_reader.obtain_view_key(&chain, "V_prescriptions").is_err());
+    assert!(nina_reader
+        .obtain_view_key(&chain, "V_prescriptions")
+        .is_err());
     println!("nurse Nina cannot obtain the prescriptions view key ✓");
 
     // ── Nurse Noah retires: rotate the nurse role key to Nina only, and

@@ -54,22 +54,71 @@ fn main() {
     // ── Record part history: manufactured → installed → dismantled →
     //    reused, plus a warranty record.
     let events = [
-        (vec![("kind", "part"), ("part", "cam-001"), ("event", "manufactured"), ("by", "M1"), ("lab", "lab-7")], "serial=SN-778;batch=77"),
-        (vec![("kind", "part"), ("part", "cam-001"), ("event", "installed"), ("device", "dev-A"), ("lab", "lab-7")], "slot=rear;torque=0.6"),
-        (vec![("kind", "part"), ("part", "cam-001"), ("event", "dismantled"), ("device", "dev-A"), ("lab", "lab-7")], "condition=good"),
-        (vec![("kind", "part"), ("part", "cam-001"), ("event", "installed"), ("device", "dev-B"), ("lab", "lab-7")], "slot=rear;refurb=true"),
-        (vec![("kind", "warranty"), ("part", "cam-001"), ("device", "dev-B")], "warranty=24mo;issuer=M1"),
+        (
+            vec![
+                ("kind", "part"),
+                ("part", "cam-001"),
+                ("event", "manufactured"),
+                ("by", "M1"),
+                ("lab", "lab-7"),
+            ],
+            "serial=SN-778;batch=77",
+        ),
+        (
+            vec![
+                ("kind", "part"),
+                ("part", "cam-001"),
+                ("event", "installed"),
+                ("device", "dev-A"),
+                ("lab", "lab-7"),
+            ],
+            "slot=rear;torque=0.6",
+        ),
+        (
+            vec![
+                ("kind", "part"),
+                ("part", "cam-001"),
+                ("event", "dismantled"),
+                ("device", "dev-A"),
+                ("lab", "lab-7"),
+            ],
+            "condition=good",
+        ),
+        (
+            vec![
+                ("kind", "part"),
+                ("part", "cam-001"),
+                ("event", "installed"),
+                ("device", "dev-B"),
+                ("lab", "lab-7"),
+            ],
+            "slot=rear;refurb=true",
+        ),
+        (
+            vec![
+                ("kind", "warranty"),
+                ("part", "cam-001"),
+                ("device", "dev-B"),
+            ],
+            "warranty=24mo;issuer=M1",
+        ),
     ];
     for (attrs, secret) in events {
         let tx = ClientTransaction::new(
-            attrs.into_iter().map(|(k, v)| (k, AttrValue::str(v))).collect(),
+            attrs
+                .into_iter()
+                .map(|(k, v)| (k, AttrValue::str(v)))
+                .collect(),
             secret.as_bytes().to_vec(),
         );
         manager
             .invoke_with_secret(&mut chain, &lab, &tx, &mut rng)
             .unwrap();
     }
-    println!("recorded {} part/warranty events on-chain", chain.store().committed_tx_count());
+    println!(
+        "recorded {} part/warranty events on-chain",
+        chain.store().committed_tx_count()
+    );
 
     // ── The store buying dev-B gets *irrevocable* access to the warranty
     //    view: once granted, the ledger's append-only V_access entry can
@@ -105,8 +154,7 @@ fn main() {
             if tx.chaincode != ledgerview::views::contracts::INVOKE_CC {
                 continue;
             }
-            let Ok(stored) =
-                ledgerview::views::txmodel::StoredTransaction::from_bytes(&tx.args[0])
+            let Ok(stored) = ledgerview::views::txmodel::StoredTransaction::from_bytes(&tx.args[0])
             else {
                 continue;
             };
@@ -153,9 +201,6 @@ fn main() {
         .map(|t| format!("{} → {}", t[0], t[1]))
         .collect();
     println!("device links through reused parts: {linked:?}");
-    assert!(result.contains(
-        "linked",
-        &[Value::str("dev-A"), Value::str("dev-B")]
-    ));
+    assert!(result.contains("linked", &[Value::str("dev-A"), Value::str("dev-B")]));
     println!("lineage query confirms dev-B contains a part reused from dev-A — done.");
 }

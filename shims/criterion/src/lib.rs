@@ -24,8 +24,8 @@ impl Default for Criterion {
     fn default() -> Self {
         // Under `cargo test`, harness=false bench executables are invoked
         // with `--test`; run each body once and skip measurement.
-        let quick = std::env::args().any(|a| a == "--test")
-            || std::env::var("CRITERION_QUICK").is_ok();
+        let quick =
+            std::env::args().any(|a| a == "--test") || std::env::var("CRITERION_QUICK").is_ok();
         Criterion { quick }
     }
 }
@@ -189,7 +189,10 @@ fn run_one(
     }
     let rate = match throughput {
         Some(Throughput::Bytes(n)) => {
-            format!("  {:>10.1} MiB/s", n as f64 / b.mean_ns * 1e9 / (1024.0 * 1024.0))
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / b.mean_ns * 1e9 / (1024.0 * 1024.0)
+            )
         }
         Some(Throughput::Elements(n)) => {
             format!("  {:>10.1} elem/s", n as f64 / b.mean_ns * 1e9)

@@ -130,9 +130,9 @@ pub mod test_runner {
             match verdict {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject) => {}
-                Err(TestCaseError::Fail(msg)) => panic!(
-                    "proptest `{name}` failed at case {case}: {msg}\n  inputs: {inputs}"
-                ),
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest `{name}` failed at case {case}: {msg}\n  inputs: {inputs}")
+                }
             }
             case += 1;
         }
@@ -422,20 +422,29 @@ pub mod collection {
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { min: n, max_exclusive: n + 1 }
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
         }
     }
 
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty collection size range");
-            SizeRange { min: r.start, max_exclusive: r.end }
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
         }
     }
 
@@ -455,7 +464,10 @@ pub mod collection {
 
     /// Vectors with lengths drawn from `size`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     /// Strategy yielding `BTreeMap`s.
@@ -493,7 +505,11 @@ pub mod collection {
         V: Strategy,
         K::Value: Ord,
     {
-        BTreeMapStrategy { keys, values, size: size.into() }
+        BTreeMapStrategy {
+            keys,
+            values,
+            size: size.into(),
+        }
     }
 }
 
@@ -610,7 +626,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests. See the crate docs; mirrors `proptest::proptest!`.

@@ -14,6 +14,8 @@
 //! * [`fabric`] — the execute-order-validate blockchain substrate
 //!   (endorsement, Raft ordering, MVCC validation, state DB, private data
 //!   collections).
+//! * [`store`] — the durable storage engine (append-only block file, WAL,
+//!   snapshot checkpoints) behind `fabric::storage`.
 //! * [`datalog`] — recursive view definitions.
 //! * [`views`] — **the paper's contribution**: view managers, readers,
 //!   contracts, RBAC and verification.
@@ -61,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub use fabric_sim as fabric;
+pub use fabric_store as store;
 pub use ledgerview_core as views;
 pub use ledgerview_crosschain as crosschain;
 pub use ledgerview_crypto as crypto;
@@ -72,7 +75,9 @@ pub use ledgerview_supplychain as supplychain;
 pub mod prelude {
     pub use fabric_sim::endorsement::EndorsementPolicy;
     pub use fabric_sim::identity::OrgId;
-    pub use fabric_sim::{BlockValidator, FabricChain, TxId, ValidationConfig};
+    pub use fabric_sim::{
+        BlockValidator, FabricChain, FsyncPolicy, StorageConfig, TxId, ValidationConfig,
+    };
     pub use ledgerview_core::manager::{
         AccessMode, EncryptionBasedManager, HashBasedManager, ViewManager,
     };
@@ -90,7 +95,11 @@ pub fn deploy_ledgerview_contracts(
 ) {
     use ledgerview_core::contracts::*;
     chain.deploy(INVOKE_CC, Box::new(InvokeContract), policy.clone());
-    chain.deploy(VIEW_STORAGE_CC, Box::new(ViewStorageContract), policy.clone());
+    chain.deploy(
+        VIEW_STORAGE_CC,
+        Box::new(ViewStorageContract),
+        policy.clone(),
+    );
     chain.deploy(TX_LIST_CC, Box::new(TxListContract), policy.clone());
     chain.deploy(ACCESS_CC, Box::new(AccessContract), policy);
 }

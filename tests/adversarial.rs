@@ -17,8 +17,12 @@ fn setup() -> (
     let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
     let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
     ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
-    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("Org2"), "client", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("Org1"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("Org2"), "client", &mut rng)
+        .unwrap();
     let mut mgr: HashBasedManager = ViewManager::new(owner, true);
     mgr.create_view(
         &mut chain,
@@ -34,14 +38,18 @@ fn setup() -> (
             vec![("n", AttrValue::int(i)), ("to", AttrValue::str(to))],
             format!("s{i}").into_bytes(),
         );
-        mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng).unwrap();
+        mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng)
+            .unwrap();
     }
     mgr.flush(&mut chain, &mut rng).unwrap();
     let kp = EncryptionKeyPair::generate(&mut rng);
-    mgr.grant_access(&mut chain, "V", kp.public(), &mut rng).unwrap();
+    mgr.grant_access(&mut chain, "V", kp.public(), &mut rng)
+        .unwrap();
     let mut reader = ViewReader::new(kp);
     reader.obtain_view_key(&chain, "V").unwrap();
-    let resp = mgr.query_view("V", &reader.public(), None, &mut rng).unwrap();
+    let resp = mgr
+        .query_view("V", &reader.public(), None, &mut rng)
+        .unwrap();
     let revealed = reader.open_response(&chain, "V", &resp).unwrap();
     (chain, mgr, reader, revealed, rng)
 }
@@ -96,12 +104,16 @@ fn attack_omit_transaction() {
     let (chain, _mgr, _reader, mut revealed, _) = setup();
     revealed.truncate(1);
     let tids: HashSet<TxId> = revealed.iter().map(|r| r.tid).collect();
-    assert!(!verify::verify_completeness_txlist(&chain, "V", &tids, u64::MAX)
-        .unwrap()
-        .ok);
-    assert!(!verify::verify_completeness_scan(&chain, "V", &tids, u64::MAX)
-        .unwrap()
-        .ok);
+    assert!(
+        !verify::verify_completeness_txlist(&chain, "V", &tids, u64::MAX)
+            .unwrap()
+            .ok
+    );
+    assert!(
+        !verify::verify_completeness_scan(&chain, "V", &tids, u64::MAX)
+            .unwrap()
+            .ok
+    );
 }
 
 #[test]
@@ -170,11 +182,21 @@ fn revoked_user_cannot_decrypt_new_data_but_keeps_old() {
     let mut chain = FabricChain::new(&["Org1"], &mut rng);
     let policy = EndorsementPolicy::AnyOf(chain.org_ids());
     ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
-    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("Org1"), "client", &mut rng).unwrap();
-    let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-    mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Revocable, &mut rng)
+    let owner = chain
+        .enroll(&OrgId::new("Org1"), "owner", &mut rng)
         .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("Org1"), "client", &mut rng)
+        .unwrap();
+    let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
+    mgr.create_view(
+        &mut chain,
+        "V",
+        ViewPredicate::True,
+        AccessMode::Revocable,
+        &mut rng,
+    )
+    .unwrap();
     mgr.invoke_with_secret(
         &mut chain,
         &client,
@@ -184,7 +206,8 @@ fn revoked_user_cannot_decrypt_new_data_but_keeps_old() {
     .unwrap();
 
     let bob_kp = EncryptionKeyPair::generate(&mut rng);
-    mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng).unwrap();
+    mgr.grant_access(&mut chain, "V", bob_kp.public(), &mut rng)
+        .unwrap();
     let mut bob = ViewReader::new(bob_kp);
     bob.obtain_view_key(&chain, "V").unwrap();
     let resp = mgr.query_view("V", &bob.public(), None, &mut rng).unwrap();
@@ -192,7 +215,8 @@ fn revoked_user_cannot_decrypt_new_data_but_keeps_old() {
     assert_eq!(downloaded[0].secret, b"old-data");
 
     // Revoke; new data arrives.
-    mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng).unwrap();
+    mgr.revoke_access(&mut chain, "V", &bob.public(), &mut rng)
+        .unwrap();
     mgr.invoke_with_secret(
         &mut chain,
         &client,
@@ -208,8 +232,11 @@ fn revoked_user_cannot_decrypt_new_data_but_keeps_old() {
     assert!(bob.obtain_view_key(&chain, "V").is_err());
     assert!(mgr.query_view("V", &bob.public(), None, &mut rng).is_err());
     let carol_kp = EncryptionKeyPair::generate(&mut rng);
-    mgr.grant_access(&mut chain, "V", carol_kp.public(), &mut rng).unwrap();
-    let carol_resp = mgr.query_view("V", &carol_kp.public(), None, &mut rng).unwrap();
+    mgr.grant_access(&mut chain, "V", carol_kp.public(), &mut rng)
+        .unwrap();
+    let carol_resp = mgr
+        .query_view("V", &carol_kp.public(), None, &mut rng)
+        .unwrap();
     assert!(bob.decode_response("V", &carol_resp).is_err());
 }
 
@@ -221,8 +248,12 @@ fn peers_never_see_plaintext_secrets() {
     let mut chain = FabricChain::new(&["Org1"], &mut rng);
     let policy = EndorsementPolicy::AnyOf(chain.org_ids());
     ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
-    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("Org1"), "client", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("Org1"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("Org1"), "client", &mut rng)
+        .unwrap();
 
     let secret = b"EXTREMELY-CONFIDENTIAL-PRICE-8472";
     for (mode, name) in [

@@ -27,8 +27,12 @@ fn ledgerview_beats_baseline_on_cost() {
     let mut chain = FabricChain::new(&["Org1"], &mut rng);
     let policy = EndorsementPolicy::AnyOf(chain.org_ids());
     ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
-    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("Org1"), "client", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("Org1"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("Org1"), "client", &mut rng)
+        .unwrap();
     let mut mgr: HashBasedManager = ViewManager::new(owner, true);
     for name in topo.node_names() {
         mgr.create_view(
@@ -49,7 +53,8 @@ fn ledgerview_beats_baseline_on_cost() {
                 .collect(),
             t.secret.clone(),
         );
-        mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng).unwrap();
+        mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng)
+            .unwrap();
     }
     mgr.flush(&mut chain, &mut rng).unwrap();
     let lv_txs = chain.store().committed_tx_count() - setup_txs;

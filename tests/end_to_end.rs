@@ -10,8 +10,12 @@ fn fresh_chain(seed: u64) -> (FabricChain, fabric_sim::Identity, fabric_sim::Ide
     let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
     let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
     ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
-    let owner = chain.enroll(&OrgId::new("Org1"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("Org2"), "client", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("Org1"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("Org2"), "client", &mut rng)
+        .unwrap();
     (chain, owner, client)
 }
 
@@ -22,10 +26,7 @@ fn shipments() -> Vec<ClientTransaction> {
                 vec![
                     ("item", AttrValue::str(format!("item-{i}"))),
                     ("from", AttrValue::str("M1")),
-                    (
-                        "to",
-                        AttrValue::str(if i % 2 == 0 { "W1" } else { "W2" }),
-                    ),
+                    ("to", AttrValue::str(if i % 2 == 0 { "W1" } else { "W2" })),
                 ],
                 format!("secret-{i}").into_bytes(),
             )
@@ -74,7 +75,10 @@ where
     let revealed = bob.open_response(&chain, "V_W1", &resp).unwrap();
     assert_eq!(revealed.len(), 3);
     for (tid, secret) in &expected {
-        let got = revealed.iter().find(|r| r.tid == *tid).expect("tid present");
+        let got = revealed
+            .iter()
+            .find(|r| r.tid == *tid)
+            .expect("tid present");
         assert_eq!(&got.secret, secret);
     }
 
@@ -155,10 +159,13 @@ fn one_transaction_in_many_views() {
     // their own view key.
     for name in ["V_M1", "V_W1", "V_item"] {
         let kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, name, kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, name, kp.public(), &mut rng)
+            .unwrap();
         let mut reader = ViewReader::new(kp);
         reader.obtain_view_key(&chain, name).unwrap();
-        let resp = mgr.query_view(name, &reader.public(), None, &mut rng).unwrap();
+        let resp = mgr
+            .query_view(name, &reader.public(), None, &mut rng)
+            .unwrap();
         let revealed = reader.open_response(&chain, name, &resp).unwrap();
         assert_eq!(revealed[0].secret, b"secret-0");
     }
@@ -169,20 +176,35 @@ fn view_keys_are_independent_across_views() {
     let (mut chain, owner, client) = fresh_chain(600);
     let mut rng = ledgerview::crypto::rng::seeded(601);
     let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
-    mgr.create_view(&mut chain, "A", ViewPredicate::True, AccessMode::Revocable, &mut rng)
-        .unwrap();
-    mgr.create_view(&mut chain, "B", ViewPredicate::attr_eq("to", "W1"), AccessMode::Revocable, &mut rng)
-        .unwrap();
+    mgr.create_view(
+        &mut chain,
+        "A",
+        ViewPredicate::True,
+        AccessMode::Revocable,
+        &mut rng,
+    )
+    .unwrap();
+    mgr.create_view(
+        &mut chain,
+        "B",
+        ViewPredicate::attr_eq("to", "W1"),
+        AccessMode::Revocable,
+        &mut rng,
+    )
+    .unwrap();
     mgr.invoke_with_secret(&mut chain, &client, &shipments()[0], &mut rng)
         .unwrap();
 
     // A member of A must not be able to decrypt B's responses.
     let kp_a = EncryptionKeyPair::generate(&mut rng);
-    mgr.grant_access(&mut chain, "A", kp_a.public(), &mut rng).unwrap();
+    mgr.grant_access(&mut chain, "A", kp_a.public(), &mut rng)
+        .unwrap();
     let mut reader_a = ViewReader::new(kp_a);
     reader_a.obtain_view_key(&chain, "A").unwrap();
     assert!(reader_a.obtain_view_key(&chain, "B").is_err());
-    assert!(mgr.query_view("B", &reader_a.public(), None, &mut rng).is_err());
+    assert!(mgr
+        .query_view("B", &reader_a.public(), None, &mut rng)
+        .is_err());
 }
 
 #[test]
@@ -193,8 +215,14 @@ fn state_digest_covers_view_data() {
     let (mut chain, owner, client) = fresh_chain(700);
     let mut rng = ledgerview::crypto::rng::seeded(701);
     let mut mgr: HashBasedManager = ViewManager::new(owner, false);
-    mgr.create_view(&mut chain, "V", ViewPredicate::True, AccessMode::Irrevocable, &mut rng)
-        .unwrap();
+    mgr.create_view(
+        &mut chain,
+        "V",
+        ViewPredicate::True,
+        AccessMode::Irrevocable,
+        &mut rng,
+    )
+    .unwrap();
     let root_before = chain.state_root();
     mgr.invoke_with_secret(&mut chain, &client, &shipments()[0], &mut rng)
         .unwrap();

@@ -24,7 +24,10 @@ fn fixture() -> Fixture {
     let mut endorsers = Vec::new();
     for name in ["Org1", "Org2"] {
         let org = msp.add_org(name, &mut rng);
-        endorsers.push(msp.enroll(&org, &format!("peer0.{name}"), &mut rng).unwrap());
+        endorsers.push(
+            msp.enroll(&org, &format!("peer0.{name}"), &mut rng)
+                .unwrap(),
+        );
     }
     // An identity from an org the policy does not list.
     let other = msp.add_org("OrgX", &mut rng);
@@ -263,10 +266,16 @@ fn rwset_truncation_never_panics() {
     let f = fixture();
     let tx = endorsed_tx(6, &[&f.endorsers[0]]);
     let bytes = tx.rwset.to_bytes();
-    assert_eq!(RwSet::from_bytes(&bytes).unwrap().digest(), tx.rwset.digest());
+    assert_eq!(
+        RwSet::from_bytes(&bytes).unwrap().digest(),
+        tx.rwset.digest()
+    );
     for cut in 0..bytes.len() {
         assert!(
-            matches!(RwSet::from_bytes(&bytes[..cut]), Err(FabricError::Malformed(_))),
+            matches!(
+                RwSet::from_bytes(&bytes[..cut]),
+                Err(FabricError::Malformed(_))
+            ),
             "rwset prefix of {cut} bytes"
         );
     }

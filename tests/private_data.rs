@@ -27,9 +27,7 @@ impl Chaincode for ShipmentCc {
                 let routing = args[1].clone();
                 let confidential = ctx
                     .get_transient("confidential")
-                    .ok_or_else(|| {
-                        FabricError::ChaincodeError("missing transient field".into())
-                    })?
+                    .ok_or_else(|| FabricError::ChaincodeError("missing transient field".into()))?
                     .to_vec();
                 ctx.put_state(format!("ship~{id}"), routing);
                 ctx.put_private("shipments-private", format!("ship~{id}"), confidential);

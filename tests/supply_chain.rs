@@ -11,8 +11,12 @@ fn run_supply_chain(topology: &Topology, items: usize, seed: u64) {
     let mut chain = FabricChain::new(&["SupplyOrg"], &mut rng);
     let policy = EndorsementPolicy::AnyOf(chain.org_ids());
     ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
-    let owner = chain.enroll(&OrgId::new("SupplyOrg"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("SupplyOrg"), "app", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("SupplyOrg"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("SupplyOrg"), "app", &mut rng)
+        .unwrap();
 
     let mut mgr: HashBasedManager = ViewManager::new(owner, true);
     for name in topology.node_names() {
@@ -45,7 +49,9 @@ fn run_supply_chain(topology: &Topology, items: usize, seed: u64) {
                 .collect(),
             t.secret.clone(),
         );
-        let tid = mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng).unwrap();
+        let tid = mgr
+            .invoke_with_secret(&mut chain, &client, &tx, &mut rng)
+            .unwrap();
         all_secrets.insert(tid, t.secret.clone());
         for entity in t.visible_to() {
             expected.entry(entity).or_default().insert(tid);
@@ -56,10 +62,13 @@ fn run_supply_chain(topology: &Topology, items: usize, seed: u64) {
     for name in topology.node_names() {
         let view = format!("V_{name}");
         let kp = EncryptionKeyPair::generate(&mut rng);
-        mgr.grant_access(&mut chain, &view, kp.public(), &mut rng).unwrap();
+        mgr.grant_access(&mut chain, &view, kp.public(), &mut rng)
+            .unwrap();
         let mut reader = ViewReader::new(kp);
         reader.obtain_view_key(&chain, &view).unwrap();
-        let resp = mgr.query_view(&view, &reader.public(), None, &mut rng).unwrap();
+        let resp = mgr
+            .query_view(&view, &reader.public(), None, &mut rng)
+            .unwrap();
         let revealed = reader.open_response(&chain, &view, &resp).unwrap();
         let got: HashSet<TxId> = revealed.iter().map(|r| r.tid).collect();
         let want = expected.get(name).cloned().unwrap_or_default();
@@ -101,8 +110,12 @@ fn receiver_gains_historical_access() {
     let mut chain = FabricChain::new(&["SupplyOrg"], &mut rng);
     let policy = EndorsementPolicy::AnyOf(chain.org_ids());
     ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
-    let owner = chain.enroll(&OrgId::new("SupplyOrg"), "owner", &mut rng).unwrap();
-    let client = chain.enroll(&OrgId::new("SupplyOrg"), "app", &mut rng).unwrap();
+    let owner = chain
+        .enroll(&OrgId::new("SupplyOrg"), "owner", &mut rng)
+        .unwrap();
+    let client = chain
+        .enroll(&OrgId::new("SupplyOrg"), "app", &mut rng)
+        .unwrap();
     let mut mgr: HashBasedManager = ViewManager::new(owner, true);
     for name in topology.node_names() {
         mgr.create_view_with_definition(
@@ -132,12 +145,15 @@ fn receiver_gains_historical_access() {
                 .collect(),
             t.secret.clone(),
         );
-        let tid = mgr.invoke_with_secret(&mut chain, &client, &tx, &mut rng).unwrap();
+        let tid = mgr
+            .invoke_with_secret(&mut chain, &client, &tx, &mut rng)
+            .unwrap();
         tid_of.insert((t.item.clone(), t.seq), tid);
     }
     // Recompute recursive view membership over the ledger.
     for name in topology.node_names() {
-        mgr.refresh_view(&mut chain, &format!("V_{name}"), &mut rng).unwrap();
+        mgr.refresh_view(&mut chain, &format!("V_{name}"), &mut rng)
+            .unwrap();
     }
     mgr.flush(&mut chain, &mut rng).unwrap();
 
@@ -163,13 +179,15 @@ fn receiver_gains_historical_access() {
 
     // A reader of the recursive view passes soundness & completeness.
     let kp = EncryptionKeyPair::generate(&mut rng);
-    mgr.grant_access(&mut chain, &view, kp.public(), &mut rng).unwrap();
+    mgr.grant_access(&mut chain, &view, kp.public(), &mut rng)
+        .unwrap();
     let mut reader = ViewReader::new(kp);
     reader.obtain_view_key(&chain, &view).unwrap();
-    let resp = mgr.query_view(&view, &reader.public(), None, &mut rng).unwrap();
+    let resp = mgr
+        .query_view(&view, &reader.public(), None, &mut rng)
+        .unwrap();
     let revealed = reader.open_response(&chain, &view, &resp).unwrap();
-    let (sound, complete) =
-        verify::verify_view(&chain, &view, &revealed, u64::MAX, true).unwrap();
+    let (sound, complete) = verify::verify_view(&chain, &view, &revealed, u64::MAX, true).unwrap();
     assert!(sound.ok, "soundness: {:?}", sound.violations);
     assert!(complete.ok, "completeness: {:?}", complete.violations);
     // The exhaustive scan agrees with the datalog definition.

@@ -33,7 +33,10 @@ fn fixture() -> Fixture {
     let mut endorsers = Vec::new();
     for name in ["Org1", "Org2", "Org3"] {
         let org = msp.add_org(name, &mut rng);
-        endorsers.push(msp.enroll(&org, &format!("peer0.{name}"), &mut rng).unwrap());
+        endorsers.push(
+            msp.enroll(&org, &format!("peer0.{name}"), &mut rng)
+                .unwrap(),
+        );
     }
     Fixture { msp, endorsers }
 }
@@ -75,7 +78,7 @@ fn random_tx(f: &Fixture, state: &StateDb, rng: &mut impl RngCore, n: u32) -> Tr
                 block_num: 9,
                 tx_num: rng.random_range(0..3u32),
             }), // stale/fabricated
-            _ => None, // claims the key is absent
+            _ => None,                   // claims the key is absent
         };
         reads.push(ReadEntry {
             key: key.to_string(),
