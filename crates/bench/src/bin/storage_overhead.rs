@@ -22,9 +22,10 @@ use fabric_sim::storage::{
     DurableBackend, FsyncPolicy, InMemoryBackend, StateBackend, StorageConfig,
 };
 use fabric_sim::validation::{next_state_root, validate_and_commit_block};
+use fabric_sim::Telemetry;
 use fabric_sim::WorkerPool;
 use fabric_store::testdir::TestDir;
-use ledgerview_bench::report::results_dir;
+use ledgerview_bench::report::{metrics_out_arg, results_dir, write_metrics};
 use ledgerview_crypto::rng::seeded;
 use ledgerview_crypto::sha256::{sha256, Digest};
 
@@ -305,4 +306,21 @@ fn main() {
         slowdown <= 2.0,
         "acceptance: WAL(EveryN) must be within 2x of in-memory, got {slowdown:.2}x"
     );
+
+    // `--metrics-out`: one extra *instrumented* run populates a Prometheus
+    // snapshot (WAL append / block append / checkpoint / fsync metrics).
+    // It runs after the timed loops, which stay telemetry-free, so the
+    // flag cannot perturb the medians above.
+    if let Some(path) = metrics_out_arg() {
+        let telemetry = Telemetry::wall_clock();
+        let dir = TestDir::new("storage-overhead-metrics");
+        let config = StorageConfig::new(dir.path())
+            .fsync(FsyncPolicy::EveryN(512))
+            .checkpoint_every(64);
+        let (mut backend, _) = DurableBackend::open(config, &pool).expect("open");
+        backend.set_telemetry(&telemetry);
+        commit_all(&mut backend, &blocks);
+        write_metrics(&telemetry, &path).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
 }

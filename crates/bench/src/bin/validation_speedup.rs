@@ -12,8 +12,8 @@
 
 use std::time::Instant;
 
-use fabric_sim::{BlockValidator, ValidationConfig};
-use ledgerview_bench::report::results_dir;
+use fabric_sim::{BlockValidator, Telemetry, ValidationConfig};
+use ledgerview_bench::report::{metrics_out_arg, results_dir, write_metrics};
 use ledgerview_bench::validation_fixtures::{parallel_config, serial_config, ValidationWorkload};
 
 const REPS: usize = 7;
@@ -157,4 +157,23 @@ fn main() {
         headline_speedup >= 2.0,
         "acceptance: expected >=2x speedup at 4 workers, got {headline_speedup:.2}x"
     );
+
+    // `--metrics-out`: one extra instrumented run, after (and outside) the
+    // timed loops, snapshots the validator's chunk/signature/MVCC metrics.
+    if let Some(path) = metrics_out_arg() {
+        let telemetry = Telemetry::wall_clock();
+        let workload = ValidationWorkload::build(100);
+        let mut validator = BlockValidator::new(parallel_config(4));
+        validator.set_telemetry(&telemetry);
+        let mut state = workload.fresh_state();
+        validator.validate_and_commit(
+            &workload.transactions,
+            &mut state,
+            1,
+            &workload.msp,
+            &ValidationWorkload::policy_for,
+        );
+        write_metrics(&telemetry, &path).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
 }

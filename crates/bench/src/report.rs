@@ -117,6 +117,45 @@ pub fn results_dir() -> std::path::PathBuf {
         .unwrap_or_else(|| "bench_results".into())
 }
 
+/// The `--metrics-out <path>` / `--metrics-out=<path>` flag shared by the
+/// figure binaries: where to write a Prometheus snapshot of the run.
+pub fn metrics_out_arg() -> Option<std::path::PathBuf> {
+    metrics_out_from(std::env::args().skip(1))
+}
+
+fn metrics_out_from(args: impl Iterator<Item = String>) -> Option<std::path::PathBuf> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if let Some(path) = arg.strip_prefix("--metrics-out=") {
+            return Some(path.into());
+        }
+        if arg == "--metrics-out" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
+
+/// Write the registry's Prometheus exposition to `path`, first running the
+/// in-repo lint so a benchmark can't quietly publish malformed metrics.
+pub fn write_metrics(
+    telemetry: &ledgerview_telemetry::Telemetry,
+    path: &Path,
+) -> std::io::Result<()> {
+    let text = telemetry.registry().prometheus_text();
+    let issues = ledgerview_telemetry::promlint::lint_prometheus(&text);
+    assert!(
+        issues.is_empty(),
+        "metric exposition lint failed: {issues:?}"
+    );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +174,30 @@ mod tests {
         let contents = std::fs::read_to_string(path).unwrap();
         assert!(contents.starts_with("clients,series,tps,latency_ms"));
         assert!(contents.contains("4,methodA,100,2500"));
+    }
+
+    #[test]
+    fn metrics_out_flag_parses_both_forms() {
+        let parse = |args: &[&str]| metrics_out_from(args.iter().map(|s| s.to_string()));
+        assert_eq!(parse(&[]), None);
+        assert_eq!(parse(&["--metrics-out", "m.prom"]), Some("m.prom".into()));
+        assert_eq!(
+            parse(&["--other", "--metrics-out=out/m.prom"]),
+            Some("out/m.prom".into())
+        );
+        assert_eq!(parse(&["--metrics-out"]), None);
+    }
+
+    #[test]
+    fn write_metrics_emits_linted_exposition() {
+        let telemetry = ledgerview_telemetry::Telemetry::wall_clock();
+        telemetry
+            .registry()
+            .counter("lv_bench_runs_total", &[])
+            .inc();
+        let path = std::env::temp_dir().join("lv-bench-metrics-test/m.prom");
+        write_metrics(&telemetry, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("lv_bench_runs_total 1"));
     }
 }

@@ -20,6 +20,7 @@ use fabric_sim::FabricChain;
 use ledgerview_crypto::aead;
 use ledgerview_crypto::keys::PublicKey;
 use ledgerview_crypto::SymmetricKey;
+use ledgerview_telemetry::{Counter, HistogramHandle, Telemetry};
 use rand::RngCore;
 
 use crate::contracts::{
@@ -170,6 +171,38 @@ pub(crate) fn encode_response(
     w.into_bytes()
 }
 
+/// Registry handles for one manager, resolved at attach time. The
+/// `scheme` label carries the concealment scheme, so one registry holds
+/// both EI/ER and HI/HR managers side by side (the Fig 5/6 comparison).
+#[derive(Clone)]
+struct ViewMetrics {
+    telemetry: Telemetry,
+    create_seconds: HistogramHandle,
+    invoke_seconds: HistogramHandle,
+    query_seconds: HistogramHandle,
+    conceal_total: Counter,
+    flush_txs: Counter,
+}
+
+impl ViewMetrics {
+    fn new(telemetry: &Telemetry, scheme: SchemeKind) -> ViewMetrics {
+        let scheme = match scheme {
+            SchemeKind::Encryption => "encryption",
+            SchemeKind::Hash => "hash",
+        };
+        let r = telemetry.registry();
+        let labels = [("scheme", scheme)];
+        ViewMetrics {
+            create_seconds: r.histogram("lv_views_create_seconds", &labels),
+            invoke_seconds: r.histogram("lv_views_invoke_seconds", &labels),
+            query_seconds: r.histogram("lv_views_query_seconds", &labels),
+            conceal_total: r.counter("lv_views_conceal_total", &labels),
+            flush_txs: r.counter("lv_views_flush_txs_total", &labels),
+            telemetry: telemetry.clone(),
+        }
+    }
+}
+
 /// The view manager of one view owner.
 pub struct ViewManager<S: SecretScheme> {
     owner: Identity,
@@ -185,6 +218,7 @@ pub struct ViewManager<S: SecretScheme> {
     /// Virtual flush interval in microseconds (the paper suggests 30 s).
     flush_interval_us: u64,
     last_flush_us: u64,
+    metrics: Option<ViewMetrics>,
 }
 
 /// The encryption-based manager of §5.3.1 (methods EI and ER).
@@ -204,7 +238,14 @@ impl<S: SecretScheme> ViewManager<S> {
             txlist_pending: Vec::new(),
             flush_interval_us: 30_000_000,
             last_flush_us: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach telemetry: view create/invoke/query durations and conceal
+    /// counters, all labeled with this manager's concealment scheme.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = Some(ViewMetrics::new(telemetry, S::kind()));
     }
 
     /// Change the TxListContract flush interval (virtual microseconds).
@@ -283,7 +324,24 @@ impl<S: SecretScheme> ViewManager<S> {
         mode: AccessMode,
         rng: &mut R,
     ) -> Result<(), ViewError> {
-        let name = name.into();
+        let metrics = self.metrics.clone();
+        let _span = metrics.as_ref().map(|m| m.telemetry.span("view.create"));
+        let start = std::time::Instant::now();
+        let result = self.create_view_inner(chain, name.into(), definition, mode, rng);
+        if let Some(m) = &metrics {
+            m.create_seconds.observe_duration(start.elapsed());
+        }
+        result
+    }
+
+    fn create_view_inner<R: RngCore + ?Sized>(
+        &mut self,
+        chain: &mut FabricChain,
+        name: String,
+        definition: ViewDefinition,
+        mode: AccessMode,
+        rng: &mut R,
+    ) -> Result<(), ViewError> {
         if self.views.contains_key(&name) {
             return Err(ViewError::DuplicateView(name));
         }
@@ -327,6 +385,24 @@ impl<S: SecretScheme> ViewManager<S> {
     /// per view; with the TxListContract everything is batched into the
     /// periodic flush (Fig 6).
     pub fn invoke_with_secret<R: RngCore + ?Sized>(
+        &mut self,
+        chain: &mut FabricChain,
+        client: &Identity,
+        tx: &ClientTransaction,
+        rng: &mut R,
+    ) -> Result<TxId, ViewError> {
+        let metrics = self.metrics.clone();
+        let _span = metrics.as_ref().map(|m| m.telemetry.span("view.invoke"));
+        let start = std::time::Instant::now();
+        let result = self.invoke_with_secret_inner(chain, client, tx, rng);
+        if let Some(m) = &metrics {
+            m.invoke_seconds.observe_duration(start.elapsed());
+            m.conceal_total.inc();
+        }
+        result
+    }
+
+    fn invoke_with_secret_inner<R: RngCore + ?Sized>(
         &mut self,
         chain: &mut FabricChain,
         client: &Identity,
@@ -522,6 +598,9 @@ impl<S: SecretScheme> ViewManager<S> {
             self.submit_merges(chain, merges, rng)?;
             txs += 1;
         }
+        if let Some(m) = &self.metrics {
+            m.flush_txs.add(txs as u64);
+        }
         Ok(txs)
     }
 
@@ -609,6 +688,25 @@ impl<S: SecretScheme> ViewManager<S> {
     /// `Some(..)` only the requested transactions (a revocable-view request
     /// never reveals keys that were not requested).
     pub fn query_view<R: RngCore + ?Sized>(
+        &self,
+        view: &str,
+        requester: &PublicKey,
+        tids: Option<&[TxId]>,
+        rng: &mut R,
+    ) -> Result<QueryResponse, ViewError> {
+        let _span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.telemetry.span("view.query"));
+        let start = std::time::Instant::now();
+        let result = self.query_view_inner(view, requester, tids, rng);
+        if let Some(m) = &self.metrics {
+            m.query_seconds.observe_duration(start.elapsed());
+        }
+        result
+    }
+
+    fn query_view_inner<R: RngCore + ?Sized>(
         &self,
         view: &str,
         requester: &PublicKey,
@@ -1013,6 +1111,45 @@ mod tests {
             mgr.query_view("V", &eve.public(), None, &mut rng),
             Err(ViewError::AccessDenied(_))
         ));
+    }
+
+    #[test]
+    fn telemetry_times_view_lifecycle_per_scheme() {
+        let (mut chain, owner, client) = test_chain();
+        let mut rng = seeded(11);
+        let telemetry = Telemetry::wall_clock();
+        let mut mgr: EncryptionBasedManager = ViewManager::new(owner, false);
+        mgr.set_telemetry(&telemetry);
+        mgr.create_view(
+            &mut chain,
+            "V",
+            ViewPredicate::True,
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
+        mgr.invoke_with_secret(&mut chain, &client, &shipment("W1", b"s"), &mut rng)
+            .unwrap();
+        let bob = ledgerview_crypto::EncryptionKeyPair::generate(&mut rng);
+        mgr.grant_access(&mut chain, "V", bob.public(), &mut rng)
+            .unwrap();
+        mgr.query_view("V", &bob.public(), None, &mut rng).unwrap();
+
+        let r = telemetry.registry();
+        let labels = [("scheme", "encryption")];
+        for name in [
+            "lv_views_create_seconds",
+            "lv_views_invoke_seconds",
+            "lv_views_query_seconds",
+        ] {
+            let h = r.histogram(name, &labels);
+            assert_eq!(h.histogram().count(), 1, "{name}");
+        }
+        assert_eq!(r.counter("lv_views_conceal_total", &labels).get(), 1);
+        let spans = telemetry.tracer().recent();
+        for name in ["view.create", "view.invoke", "view.query"] {
+            assert!(spans.iter().any(|s| s.name == name), "missing span {name}");
+        }
     }
 
     #[test]

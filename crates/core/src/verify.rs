@@ -247,6 +247,30 @@ pub fn verify_view(
     Ok((soundness, completeness))
 }
 
+/// [`verify_view`] with the pass timed into `telemetry`: duration lands in
+/// `lv_views_verify_seconds{strategy=txlist|scan}` and a `view.verify`
+/// span, which is how Fig 12's txlist-vs-scan gap shows up in a live
+/// exposition rather than a bespoke benchmark.
+pub fn verify_view_timed(
+    chain: &FabricChain,
+    view: &str,
+    revealed: &[RevealedTx],
+    horizon_us: u64,
+    use_txlist: bool,
+    telemetry: &ledgerview_telemetry::Telemetry,
+) -> Result<(VerificationReport, VerificationReport), ViewError> {
+    let strategy = if use_txlist { "txlist" } else { "scan" };
+    let histogram = telemetry
+        .registry()
+        .histogram("lv_views_verify_seconds", &[("strategy", strategy)]);
+    let span = telemetry.span("view.verify");
+    let start = std::time::Instant::now();
+    let result = verify_view(chain, view, revealed, horizon_us, use_txlist);
+    histogram.observe_duration(start.elapsed());
+    drop(span);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +346,26 @@ mod tests {
         let scan = verify_completeness_scan(&chain, "V_W1", &tids, u64::MAX).unwrap();
         assert!(scan.ok);
         assert_eq!(scan.checked, 3);
+    }
+
+    #[test]
+    fn timed_verification_matches_and_records_duration() {
+        let (chain, _mgr, _bob, revealed) = setup_hash_view();
+        let telemetry = ledgerview_telemetry::Telemetry::wall_clock();
+        let (sound, complete) =
+            verify_view_timed(&chain, "V_W1", &revealed, u64::MAX, true, &telemetry).unwrap();
+        let (sound2, complete2) = verify_view(&chain, "V_W1", &revealed, u64::MAX, true).unwrap();
+        assert_eq!(sound, sound2);
+        assert_eq!(complete, complete2);
+        let h = telemetry
+            .registry()
+            .histogram("lv_views_verify_seconds", &[("strategy", "txlist")]);
+        assert_eq!(h.histogram().count(), 1);
+        assert!(telemetry
+            .tracer()
+            .recent()
+            .iter()
+            .any(|s| s.name == "view.verify"));
     }
 
     #[test]

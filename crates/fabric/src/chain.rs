@@ -9,8 +9,10 @@
 //! queueing on top for the performance experiments.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use ledgerview_crypto::sha256::Digest;
+use ledgerview_telemetry::{Counter, HistogramHandle, MetricsRegistry, Telemetry};
 use rand::RngCore;
 
 use crate::chaincode::{Chaincode, TxContext};
@@ -27,6 +29,58 @@ use crate::validation::{next_state_root, TxValidation};
 struct Deployed {
     code: Box<dyn Chaincode>,
     policy: EndorsementPolicy,
+}
+
+/// Transaction-lifecycle metric handles, resolved once when telemetry
+/// attaches. Phases share one labeled family,
+/// `lv_chain_phase_seconds{phase=...}` (plus `channel=...` when the chain
+/// serves a named channel), mirroring the paper's endorse → order →
+/// validate → commit → persist breakdown.
+#[derive(Clone)]
+struct ChainMetrics {
+    telemetry: Telemetry,
+    endorse_seconds: HistogramHandle,
+    order_seconds: HistogramHandle,
+    validate_seconds: HistogramHandle,
+    commit_seconds: HistogramHandle,
+    persist_seconds: HistogramHandle,
+    block_txs: HistogramHandle,
+    txs_total: Counter,
+    blocks_total: Counter,
+}
+
+impl ChainMetrics {
+    fn new(telemetry: &Telemetry, channel: Option<&str>) -> ChainMetrics {
+        let r = telemetry.registry();
+        let phase = |name: &str| phase_histogram(r, name, channel);
+        let labeled: Vec<(&str, &str)> = channel.iter().map(|c| ("channel", *c)).collect();
+        let labels: &[(&str, &str)] = &labeled;
+        ChainMetrics {
+            telemetry: telemetry.clone(),
+            endorse_seconds: phase("endorse"),
+            order_seconds: phase("order"),
+            validate_seconds: phase("validate"),
+            commit_seconds: phase("commit"),
+            persist_seconds: phase("persist"),
+            block_txs: r.histogram("lv_chain_block_txs", labels),
+            txs_total: r.counter("lv_chain_txs_total", labels),
+            blocks_total: r.counter("lv_chain_blocks_total", labels),
+        }
+    }
+}
+
+fn phase_histogram(
+    registry: &MetricsRegistry,
+    phase: &str,
+    channel: Option<&str>,
+) -> HistogramHandle {
+    match channel {
+        Some(c) => registry.histogram(
+            "lv_chain_phase_seconds",
+            &[("phase", phase), ("channel", c)],
+        ),
+        None => registry.histogram("lv_chain_phase_seconds", &[("phase", phase)]),
+    }
 }
 
 /// Result of a committed invocation.
@@ -61,6 +115,9 @@ pub struct FabricChain {
     /// Commit-time validation pipeline (serial MVCC-only by default; see
     /// [`ValidationConfig`]).
     validator: BlockValidator,
+    /// Lifecycle metrics + tracer, attached via [`FabricChain::set_telemetry`].
+    /// `None` means every hook is a branch on a `None` and nothing more.
+    metrics: Option<ChainMetrics>,
 }
 
 impl FabricChain {
@@ -88,7 +145,28 @@ impl FabricChain {
             clock_us: 0,
             check_signatures: true,
             validator: BlockValidator::new(ValidationConfig::default()),
+            metrics: None,
         }
+    }
+
+    /// Attach telemetry to the chain and everything beneath it (validator,
+    /// worker pool, storage backend). Purely observational — commit
+    /// outcomes and state roots are bit-identical with or without it.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.set_channel_telemetry(telemetry, None);
+    }
+
+    /// Attach telemetry with a `channel=<name>` label on the chain's
+    /// per-phase metrics (used by [`crate::channel::ChannelRegistry`]).
+    pub fn set_channel_telemetry(&mut self, telemetry: &Telemetry, channel: Option<&str>) {
+        self.validator.set_telemetry(telemetry);
+        self.backend.set_telemetry(telemetry);
+        self.metrics = Some(ChainMetrics::new(telemetry, channel));
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.metrics.as_ref().map(|m| &m.telemetry)
     }
 
     /// Create a chain whose state and ledger persist under `storage.dir`,
@@ -139,6 +217,10 @@ impl FabricChain {
             self.validator = BlockValidator::with_pool(config, pool);
         } else {
             self.validator = BlockValidator::new(config);
+        }
+        if let Some(m) = &self.metrics {
+            let telemetry = m.telemetry.clone();
+            self.validator.set_telemetry(&telemetry);
         }
     }
 
@@ -213,6 +295,27 @@ impl FabricChain {
     /// the transaction — Fabric's mechanism for feeding private values to
     /// chaincode without putting them on-chain.
     pub fn invoke_with_transient<R: RngCore + ?Sized>(
+        &mut self,
+        creator: &Identity,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        transient: std::collections::BTreeMap<String, Vec<u8>>,
+        rng: &mut R,
+    ) -> Result<InvokeResult, FabricError> {
+        let metrics = self.metrics.clone();
+        let _span = metrics.as_ref().map(|m| m.telemetry.span("endorse.tx"));
+        let start = metrics.as_ref().map(|_| Instant::now());
+        let result = self.endorse_inner(creator, chaincode, function, args, transient, rng);
+        if let (Some(m), Some(start)) = (&metrics, start) {
+            m.endorse_seconds.observe_duration(start.elapsed());
+        }
+        result
+    }
+
+    /// The endorsement path proper (simulate + sign + queue), wrapped by
+    /// [`FabricChain::invoke_with_transient`] for timing.
+    fn endorse_inner<R: RngCore + ?Sized>(
         &mut self,
         creator: &Identity,
         chaincode: &str,
@@ -321,10 +424,14 @@ impl FabricChain {
         if self.pending.is_empty() {
             return Vec::new();
         }
+        let metrics = self.metrics.clone();
+        let _span = metrics.as_ref().map(|m| m.telemetry.span("cut.block"));
         self.clock_us += 1;
         let transactions = std::mem::take(&mut self.pending);
+        let tx_count = transactions.len();
         let block_num = self.store.height();
         let chaincodes = &self.chaincodes;
+        let validate_start = Instant::now();
         let outcomes = self.validator.validate_and_commit(
             &transactions,
             self.backend.state_mut(),
@@ -332,6 +439,7 @@ impl FabricChain {
             &self.msp,
             &|cc: &str| chaincodes.get(cc).map(|d| d.policy.clone()),
         );
+        let order_start = Instant::now();
         let state_root = next_state_root(&self.state_root, &transactions, &outcomes);
         let prev_hash = self
             .store
@@ -354,9 +462,11 @@ impl FabricChain {
         // Durability point: the backend persists (WAL + block file) before
         // the in-memory ledger advances, so a crash after this call can
         // always be recovered to include this block.
+        let persist_start = Instant::now();
         self.backend
             .commit_block(&block)
             .unwrap_or_else(|e| panic!("durable commit of block {block_num} failed: {e}"));
+        let commit_start = Instant::now();
         self.store
             .append(block)
             .expect("locally built block must link");
@@ -371,6 +481,22 @@ impl FabricChain {
                         .expect("org is a member by construction");
                 }
             }
+        }
+        if let Some(m) = &metrics {
+            // Phase boundaries: validate = parallel endorsement checks +
+            // serial MVCC; order = block assembly (state root, data hash,
+            // header); persist = durable backend; commit = in-memory ledger
+            // append + private dissemination.
+            m.validate_seconds
+                .observe_duration(order_start.duration_since(validate_start));
+            m.order_seconds
+                .observe_duration(persist_start.duration_since(order_start));
+            m.persist_seconds
+                .observe_duration(commit_start.duration_since(persist_start));
+            m.commit_seconds.observe_duration(commit_start.elapsed());
+            m.block_txs.observe(tx_count as u64);
+            m.blocks_total.inc();
+            m.txs_total.add(tx_count as u64);
         }
         outcomes
     }

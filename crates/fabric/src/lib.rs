@@ -68,3 +68,7 @@ pub use parallel::{BlockValidator, ValidationConfig};
 pub use pool::WorkerPool;
 pub use statedb::{StateDb, Version};
 pub use storage::{DurableBackend, FsyncPolicy, InMemoryBackend, StateBackend, StorageConfig};
+
+// Re-exported so downstream users can attach telemetry without naming the
+// telemetry crate directly.
+pub use ledgerview_telemetry::Telemetry;

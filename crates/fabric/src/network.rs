@@ -26,6 +26,7 @@
 //! phase).
 
 use ledgerview_simnet::{FifoStation, LatencyMatrix, LatencyRecorder, Region, SimTime, Simulation};
+use ledgerview_telemetry::{Counter, HistogramHandle, Telemetry};
 
 use crate::parallel::ValidationConfig;
 
@@ -116,6 +117,12 @@ pub struct NetworkConfig {
     /// phase and never parallelises. The default (1 worker) reproduces the
     /// historical serial timings exactly.
     pub validation: ValidationConfig,
+    /// Optional telemetry. When set, the run records per-station queueing
+    /// delays, request latency and shed counts into the registry, and a
+    /// *virtual-time* block timeline (order / validate spans stamped with
+    /// `SimTime`) into the tracer. `None` records nothing and the report
+    /// is bit-identical either way.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl NetworkConfig {
@@ -131,6 +138,7 @@ impl NetworkConfig {
             raft_replication: true,
             orderer_max_queue_delay: Some(SimTime::from_secs(120)),
             validation: ValidationConfig::default(),
+            telemetry: None,
         }
     }
 
@@ -288,12 +296,61 @@ struct ClientState {
     done: bool,
 }
 
+/// Registry handles for the simulated deployment, resolved once per run.
+/// Queue delays are what a station's FIFO adds on top of service time —
+/// the direct reading of "where does the paper's latency go" in Fig 7.
+#[derive(Clone)]
+struct NetMetrics {
+    telemetry: Telemetry,
+    endorser_queue: HistogramHandle,
+    orderer_queue: HistogramHandle,
+    validator_queue: HistogramHandle,
+    blocks: Counter,
+    txs_shed: Counter,
+    requests_completed: Counter,
+    requests_failed: Counter,
+}
+
+impl NetMetrics {
+    fn new(telemetry: &Telemetry) -> NetMetrics {
+        let r = telemetry.registry();
+        let queue =
+            |station: &str| r.histogram("lv_simnet_queue_delay_seconds", &[("station", station)]);
+        NetMetrics {
+            endorser_queue: queue("endorser"),
+            orderer_queue: queue("orderer"),
+            validator_queue: queue("validator"),
+            blocks: r.counter("lv_simnet_blocks_total", &[]),
+            txs_shed: r.counter("lv_simnet_txs_shed_total", &[]),
+            requests_completed: r.counter("lv_simnet_requests_total", &[("outcome", "completed")]),
+            requests_failed: r.counter("lv_simnet_requests_total", &[("outcome", "failed")]),
+            telemetry: telemetry.clone(),
+        }
+    }
+
+    /// The FIFO wait a station imposed: completion minus arrival minus
+    /// service time, in virtual microseconds.
+    fn record_queue_delay(
+        histogram: &HistogramHandle,
+        arrive: SimTime,
+        service: SimTime,
+        done: SimTime,
+    ) {
+        histogram.observe(
+            done.saturating_sub(arrive)
+                .saturating_sub(service)
+                .as_micros(),
+        );
+    }
+}
+
 struct SimWorld {
     config: NetworkConfig,
     pipelines: Vec<Pipeline>,
     clients: Vec<ClientState>,
     active_clients: usize,
     latencies: LatencyRecorder,
+    metrics: Option<NetMetrics>,
     completed: u64,
     failed: u64,
     last_completion: SimTime,
@@ -328,6 +385,9 @@ fn submit_tx(
         let done = world.pipelines[p].endorsers[i]
             .submit(arrive, service)
             .expect("endorser stations are unbounded");
+        if let Some(m) = &world.metrics {
+            NetMetrics::record_queue_delay(&m.endorser_queue, arrive, service, done);
+        }
         let back = done + world.config.latencies.latency(*peer_region, region);
         endorse_done = endorse_done.max(back);
     }
@@ -403,6 +463,9 @@ fn cut_block(world: &mut SimWorld, sim: &mut Sim, p: usize) {
         .submit(now, order_service + consensus)
     else {
         // Overload shed: every tokened transaction in this block fails.
+        if let Some(m) = &world.metrics {
+            m.txs_shed.add(n);
+        }
         for tx in txs {
             if let Some(token) = tx.token {
                 sim.schedule_in(SimTime::ZERO, move |w, s| {
@@ -415,6 +478,23 @@ fn cut_block(world: &mut SimWorld, sim: &mut Sim, p: usize) {
     world.pipelines[p].onchain_txs += n;
     world.pipelines[p].blocks += 1;
     world.pipelines[p].block_bytes += bytes;
+    if let Some(m) = &world.metrics {
+        m.blocks.inc();
+        NetMetrics::record_queue_delay(
+            &m.orderer_queue,
+            now,
+            order_service + consensus,
+            ordered_at,
+        );
+        // Virtual-time block timeline: the span is stamped with `SimTime`
+        // microseconds, so the Chrome trace shows the *simulated* schedule.
+        m.telemetry.tracer().record_manual(
+            "order.block",
+            now.as_micros(),
+            ordered_at.as_micros(),
+            &format!("pipeline{p}/orderer"),
+        );
+    }
 
     // Deliver to each peer and validate; a request's completion is signalled
     // by the peer nearest to its client.
@@ -435,6 +515,15 @@ fn cut_block(world: &mut SimWorld, sim: &mut Sim, p: usize) {
         let done = world.pipelines[p].validators[i]
             .submit(deliver, service)
             .expect("validator stations are unbounded");
+        if let Some(m) = &world.metrics {
+            NetMetrics::record_queue_delay(&m.validator_queue, deliver, service, done);
+            m.telemetry.tracer().record_manual(
+                "validate.block",
+                deliver.as_micros(),
+                done.as_micros(),
+                &format!("pipeline{p}/peer{i}"),
+            );
+        }
         peer_commit.push(done);
     }
 
@@ -494,10 +583,16 @@ fn tx_completed(world: &mut SimWorld, sim: &mut Sim, token: TxToken, failed: boo
     let start = world.clients[token.client].active[token.request].start;
     if req_failed {
         world.failed += 1;
+        if let Some(m) = &world.metrics {
+            m.requests_failed.inc();
+        }
     } else {
         world.completed += 1;
         world.latencies.record(now.saturating_sub(start));
         world.last_completion = world.last_completion.max(now);
+        if let Some(m) = &world.metrics {
+            m.requests_completed.inc();
+        }
     }
     let client = &mut world.clients[token.client];
     client.active_outstanding -= 1;
@@ -586,6 +681,18 @@ pub fn run_simulation(
     assert!(!clients.is_empty(), "need at least one client");
     let n_peers = config.peer_regions.len();
     let orderer_bound = config.orderer_max_queue_delay;
+    let metrics = config.telemetry.as_ref().map(NetMetrics::new);
+    // Request latency feeds the registry's histogram when telemetry is
+    // attached; the report's quantiles come from the same recorder either
+    // way, so attaching telemetry cannot change the numbers.
+    let latencies = match &config.telemetry {
+        Some(t) => LatencyRecorder::over(
+            t.registry()
+                .histogram("lv_simnet_request_seconds", &[])
+                .shared(),
+        ),
+        None => LatencyRecorder::new(),
+    };
     let mut world = SimWorld {
         pipelines: (0..n_pipelines)
             .map(|_| Pipeline::new(n_peers, orderer_bound))
@@ -601,7 +708,8 @@ pub fn run_simulation(
             })
             .collect(),
         active_clients: 0,
-        latencies: LatencyRecorder::new(),
+        latencies,
+        metrics,
         completed: 0,
         failed: 0,
         last_completion: SimTime::ZERO,
@@ -884,5 +992,47 @@ mod tests {
         assert_eq!(a.tps, b.tps);
         assert_eq!(a.latency_mean_ms, b.latency_mean_ms);
         assert_eq!(a.onchain_txs, b.onchain_txs);
+    }
+
+    #[test]
+    fn telemetry_records_queue_delays_without_changing_the_report() {
+        let telemetry = Telemetry::wall_clock();
+        let mut cfg = NetworkConfig::paper_multi_region();
+        cfg.telemetry = Some(telemetry.clone());
+        let observed = run_simulation(cfg, 1, one_client(2, 10, 512), vec![]);
+        let plain = run_simulation(
+            NetworkConfig::paper_multi_region(),
+            1,
+            one_client(2, 10, 512),
+            vec![],
+        );
+        // Same virtual schedule whether or not anyone is watching.
+        assert_eq!(observed.tps, plain.tps);
+        assert_eq!(observed.latency_mean_ms, plain.latency_mean_ms);
+        assert_eq!(observed.blocks, plain.blocks);
+
+        let r = telemetry.registry();
+        assert_eq!(r.counter("lv_simnet_blocks_total", &[]).get(), plain.blocks);
+        assert_eq!(
+            r.counter("lv_simnet_requests_total", &[("outcome", "completed")])
+                .get(),
+            plain.completed_requests
+        );
+        // Every endorsement passed through a station, so the queue-delay
+        // histogram saw one sample per (tx, peer) pair.
+        let endorser = r.histogram("lv_simnet_queue_delay_seconds", &[("station", "endorser")]);
+        assert_eq!(endorser.histogram().count(), plain.onchain_txs * 2);
+        // Request latency is mirrored into the registry in microseconds.
+        let req = r.histogram("lv_simnet_request_seconds", &[]);
+        assert_eq!(req.histogram().count(), plain.completed_requests);
+        assert!(
+            req.histogram().max() > 2_000_000,
+            "max {} µs",
+            req.histogram().max()
+        );
+        // The virtual-time block timeline landed in the tracer.
+        let spans = telemetry.tracer().recent();
+        assert!(spans.iter().any(|s| s.name == "order.block"));
+        assert!(spans.iter().any(|s| s.name == "validate.block"));
     }
 }

@@ -36,10 +36,12 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use ledgerview_crypto::ed25519::{self, BatchEntry};
 use ledgerview_crypto::keys::verify_signature;
 use ledgerview_crypto::{CacheStats, SigCache};
+use ledgerview_telemetry::{Counter, HistogramHandle, Telemetry};
 
 use crate::endorsement::{response_signing_bytes, EndorsementPolicy};
 use crate::identity::{Msp, OrgId};
@@ -108,6 +110,60 @@ type Demand = ([u8; 32], Vec<u8>, [u8; 64]);
 /// endorsement phase needs, cloneable into `'static` worker jobs.
 type CaKeys = HashMap<OrgId, [u8; 32]>;
 
+/// Pre-resolved metric handles for the validator's hot path — looked up
+/// once when telemetry attaches, recorded into forever after. Purely
+/// observational: nothing here feeds back into verdicts or state.
+#[derive(Clone, Debug)]
+struct ValidatorMetrics {
+    telemetry: Telemetry,
+    /// Wall time of one endorsement-verification chunk.
+    chunk_seconds: HistogramHandle,
+    /// Wall time of the serial MVCC + write-application phase.
+    mvcc_seconds: HistogramHandle,
+    /// Signatures proven valid via one Ed25519 batch check.
+    batch_verified: Counter,
+    /// Signatures verified one at a time.
+    individual_verified: Counter,
+    /// `SigCache` hits/misses attributed to this validator (deltas of the
+    /// shared cache's counters around each block).
+    cache_hits: Counter,
+    cache_misses: Counter,
+    /// Transaction outcomes by class.
+    valid_txs: Counter,
+    endorsement_failures: Counter,
+    mvcc_conflicts: Counter,
+}
+
+impl ValidatorMetrics {
+    fn new(telemetry: &Telemetry) -> ValidatorMetrics {
+        let r = telemetry.registry();
+        ValidatorMetrics {
+            telemetry: telemetry.clone(),
+            chunk_seconds: r.histogram("lv_validate_endorse_chunk_seconds", &[]),
+            mvcc_seconds: r.histogram("lv_validate_mvcc_seconds", &[]),
+            batch_verified: r.counter("lv_validate_sigs_batch_verified_total", &[]),
+            individual_verified: r.counter("lv_validate_sigs_individual_total", &[]),
+            cache_hits: r.counter("lv_validate_sigcache_hits_total", &[]),
+            cache_misses: r.counter("lv_validate_sigcache_misses_total", &[]),
+            valid_txs: r.counter("lv_validate_tx_total", &[("outcome", "valid")]),
+            endorsement_failures: r.counter(
+                "lv_validate_tx_total",
+                &[("outcome", "endorsement_failure")],
+            ),
+            mvcc_conflicts: r.counter("lv_validate_tx_total", &[("outcome", "mvcc_conflict")]),
+        }
+    }
+
+    /// Count one MVCC conflict, attributed to the conflicting `key`.
+    fn note_conflict(&self, key: &str) {
+        self.mvcc_conflicts.inc();
+        self.telemetry
+            .registry()
+            .counter("lv_validate_mvcc_conflict_by_key_total", &[("key", key)])
+            .inc();
+    }
+}
+
 /// Commit-time block validator: parallel endorsement phase + serial MVCC
 /// phase. See the module docs for the determinism argument.
 #[derive(Debug)]
@@ -115,6 +171,7 @@ pub struct BlockValidator {
     config: ValidationConfig,
     pool: WorkerPool,
     cache: Option<Arc<SigCache>>,
+    metrics: Option<ValidatorMetrics>,
 }
 
 impl BlockValidator {
@@ -137,7 +194,16 @@ impl BlockValidator {
             config,
             pool,
             cache,
+            metrics: None,
         }
+    }
+
+    /// Attach telemetry: per-chunk endorsement timings, signature-cache and
+    /// batch-verify counters, MVCC conflict counters, and the pool's
+    /// per-worker busy-time mirror. Recording never changes verdicts.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.pool.attach_registry(telemetry.registry());
+        self.metrics = Some(ValidatorMetrics::new(telemetry));
     }
 
     /// The configuration this validator was built with.
@@ -170,6 +236,12 @@ impl BlockValidator {
         msp: &Msp,
         policy_for: &(dyn Fn(&str) -> Option<EndorsementPolicy> + Sync),
     ) -> Vec<TxValidation> {
+        let _block_span = self
+            .metrics
+            .as_ref()
+            .map(|m| m.telemetry.span("validate.block"));
+        let cache_before = self.cache_stats();
+
         // Phase 1 (parallel): per-transaction endorsement verdicts.
         let verdicts: Vec<Option<String>> = if self.config.verify_endorsements {
             self.endorsement_verdicts(transactions, msp, policy_for)
@@ -179,6 +251,7 @@ impl BlockValidator {
 
         // Phase 2 (serial): MVCC checks and write application, in block
         // order — unchanged from the reference implementation.
+        let mvcc_start = self.metrics.as_ref().map(|_| Instant::now());
         let mut outcomes = Vec::with_capacity(transactions.len());
         for (i, tx) in transactions.iter().enumerate() {
             let outcome = match &verdicts[i] {
@@ -198,6 +271,21 @@ impl BlockValidator {
                 );
             }
             outcomes.push(outcome);
+        }
+
+        if let Some(m) = &self.metrics {
+            m.mvcc_seconds
+                .observe_duration(mvcc_start.expect("started with metrics").elapsed());
+            let cache_after = self.cache_stats();
+            m.cache_hits.add(cache_after.hits - cache_before.hits);
+            m.cache_misses.add(cache_after.misses - cache_before.misses);
+            for outcome in &outcomes {
+                match outcome {
+                    TxValidation::Valid => m.valid_txs.inc(),
+                    TxValidation::EndorsementFailure { .. } => m.endorsement_failures.inc(),
+                    TxValidation::MvccConflict { key } => m.note_conflict(key),
+                }
+            }
         }
         outcomes
     }
@@ -228,13 +316,19 @@ impl BlockValidator {
 
         let ranges = self.pool.chunk_ranges(transactions.len());
         if ranges.len() <= 1 {
-            return verify_chunk(
+            let start = Instant::now();
+            let out = verify_chunk(
                 transactions,
                 &ca_keys,
                 &policies,
                 self.config.batch_verify,
                 self.cache.as_deref(),
+                self.metrics.as_ref(),
             );
+            if let Some(m) = &self.metrics {
+                m.chunk_seconds.observe_duration(start.elapsed());
+            }
+            return out;
         }
         let jobs: Vec<_> = ranges
             .into_iter()
@@ -244,7 +338,22 @@ impl BlockValidator {
                 let policies = Arc::clone(&policies);
                 let cache = self.cache.clone();
                 let batch_verify = self.config.batch_verify;
-                move || verify_chunk(&chunk, &ca_keys, &policies, batch_verify, cache.as_deref())
+                let metrics = self.metrics.clone();
+                move || {
+                    let start = Instant::now();
+                    let out = verify_chunk(
+                        &chunk,
+                        &ca_keys,
+                        &policies,
+                        batch_verify,
+                        cache.as_deref(),
+                        metrics.as_ref(),
+                    );
+                    if let Some(m) = &metrics {
+                        m.chunk_seconds.observe_duration(start.elapsed());
+                    }
+                    out
+                }
             })
             .collect();
         self.pool.execute(jobs).into_iter().flatten().collect()
@@ -265,6 +374,7 @@ fn verify_chunk(
     policies: &HashMap<String, Option<EndorsementPolicy>>,
     batch_verify: bool,
     cache: Option<&SigCache>,
+    metrics: Option<&ValidatorMetrics>,
 ) -> Vec<Option<String>> {
     let policy_of = |tx: &Transaction| -> Option<&EndorsementPolicy> {
         policies.get(&tx.chaincode).and_then(|p| p.as_ref())
@@ -280,6 +390,9 @@ fn verify_chunk(
             .iter()
             .map(|tx| {
                 tx_verdict(tx, ca_keys, policy_of(tx), |pk, msg, sig| {
+                    if let Some(m) = metrics {
+                        m.individual_verified.inc();
+                    }
                     verify_signature(pk, msg, sig).is_ok()
                 })
             })
@@ -336,6 +449,9 @@ fn verify_chunk(
             for &s in &pending {
                 by_slot[s] = Some(true);
             }
+            if let Some(m) = metrics {
+                m.batch_verified.add(pending.len() as u64);
+            }
         } else {
             // At least one entry is bad: fall back to individual
             // verification so each verdict matches the serial path.
@@ -343,11 +459,17 @@ fn verify_chunk(
                 let (pk, msg, sig) = flat[unique[s]];
                 by_slot[s] = Some(verify_signature(pk, msg, sig).is_ok());
             }
+            if let Some(m) = metrics {
+                m.individual_verified.add(pending.len() as u64);
+            }
         }
     } else {
         for &s in &pending {
             let (pk, msg, sig) = flat[unique[s]];
             by_slot[s] = Some(verify_signature(pk, msg, sig).is_ok());
+        }
+        if let Some(m) = metrics {
+            m.individual_verified.add(pending.len() as u64);
         }
     }
     if let Some(cache) = cache {

@@ -19,11 +19,51 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ledgerview_telemetry::{Counter, MetricsRegistry};
 
 /// A unit of owned work queued to the persistent threads.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-lane busy-time accounting, shared with the worker threads.
+///
+/// Every job and scoped chunk is timed into its lane's counter — including
+/// the trailing short chunk of an uneven split, which the old code silently
+/// dropped on the floor, understating utilisation for exactly the lane
+/// that finished early. Optionally mirrored into registry counters
+/// (`lv_pool_worker_busy_us_total{worker=...}`) once a registry attaches.
+struct BusyClock {
+    lanes_us: Vec<AtomicU64>,
+    counters: OnceLock<Vec<Counter>>,
+}
+
+impl BusyClock {
+    fn new(workers: usize) -> BusyClock {
+        BusyClock {
+            lanes_us: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            counters: OnceLock::new(),
+        }
+    }
+
+    /// Charge `us` microseconds of work to `lane`.
+    fn charge(&self, lane: usize, us: u64) {
+        self.lanes_us[lane].fetch_add(us, Ordering::Relaxed);
+        if let Some(counters) = self.counters.get() {
+            counters[lane].add(us);
+        }
+    }
+
+    /// Time `f` and charge its duration to `lane`.
+    fn timed<T>(&self, lane: usize, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.charge(lane, start.elapsed().as_micros() as u64);
+        out
+    }
+}
 
 struct Queue {
     jobs: Mutex<(VecDeque<Job>, bool)>, // (pending jobs, shutdown flag)
@@ -37,6 +77,8 @@ struct PoolInner {
     handles: Mutex<Vec<JoinHandle<()>>>,
     /// Total owned jobs completed (diagnostics: shows thread reuse).
     jobs_run: AtomicU64,
+    /// Per-lane busy time, shared with the worker threads.
+    busy: Arc<BusyClock>,
 }
 
 impl Drop for PoolInner {
@@ -54,6 +96,14 @@ impl Drop for PoolInner {
         {
             let _ = handle.join();
         }
+        // Workers only exit once the queue is empty, so every queued job
+        // has been timed into its lane — shutdown drains the accounting.
+        let guard = self.queue.jobs.lock().expect("pool queue poisoned");
+        assert!(
+            guard.0.is_empty(),
+            "worker pool dropped with {} undrained jobs",
+            guard.0.len()
+        );
     }
 }
 
@@ -86,6 +136,7 @@ impl WorkerPool {
                 }),
                 handles: Mutex::new(Vec::new()),
                 jobs_run: AtomicU64::new(0),
+                busy: Arc::new(BusyClock::new(workers.max(1))),
             }),
         }
     }
@@ -100,14 +151,47 @@ impl WorkerPool {
         self.inner.jobs_run.load(Ordering::Relaxed)
     }
 
+    /// Cumulative busy time per lane in microseconds. Inline work (serial
+    /// pools, single-job batches) is charged to lane 0; scoped chunks are
+    /// charged round-robin by chunk index.
+    pub fn busy_times_us(&self) -> Vec<u64> {
+        self.inner
+            .busy
+            .lanes_us
+            .iter()
+            .map(|lane| lane.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total busy time across all lanes in microseconds.
+    pub fn total_busy_us(&self) -> u64 {
+        self.busy_times_us().iter().sum()
+    }
+
+    /// Mirror per-lane busy time into `lv_pool_worker_busy_us_total`
+    /// counters on `registry` (first attach wins; later calls are no-ops).
+    pub fn attach_registry(&self, registry: &MetricsRegistry) {
+        let _ = self.inner.busy.counters.set(
+            (0..self.inner.workers)
+                .map(|lane| {
+                    registry.counter(
+                        "lv_pool_worker_busy_us_total",
+                        &[("worker", &lane.to_string())],
+                    )
+                })
+                .collect(),
+        );
+    }
+
     /// Spawn the persistent threads if not yet running.
     fn ensure_threads(&self) {
         let mut handles = self.inner.handles.lock().expect("pool handles poisoned");
         if !handles.is_empty() {
             return;
         }
-        for _ in 0..self.inner.workers {
+        for lane in 0..self.inner.workers {
             let queue = Arc::clone(&self.inner.queue);
+            let busy = Arc::clone(&self.inner.busy);
             handles.push(std::thread::spawn(move || loop {
                 let job = {
                     let mut guard = queue.jobs.lock().expect("pool queue poisoned");
@@ -121,7 +205,7 @@ impl WorkerPool {
                         guard = queue.ready.wait(guard).expect("pool queue poisoned");
                     }
                 };
-                job();
+                busy.timed(lane, job);
             }));
         }
     }
@@ -138,7 +222,10 @@ impl WorkerPool {
     {
         if self.inner.workers == 1 || jobs.len() <= 1 {
             let n = jobs.len() as u64;
-            let out = jobs.into_iter().map(|job| job()).collect();
+            let out = jobs
+                .into_iter()
+                .map(|job| self.inner.busy.timed(0, job))
+                .collect();
             self.inner.jobs_run.fetch_add(n, Ordering::Relaxed);
             return out;
         }
@@ -203,13 +290,18 @@ impl WorkerPool {
             return Vec::new();
         }
         if self.inner.workers == 1 || n == 1 {
-            return f(0..n);
+            return self.inner.busy.timed(0, || f(0..n));
         }
         let ranges = self.chunk_ranges(n);
+        let busy = &self.inner.busy;
+        let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|range| scope.spawn(|| f(range)))
+                .enumerate()
+                .map(|(i, range)| {
+                    scope.spawn(move || busy.timed(i % self.inner.workers, || f(range)))
+                })
                 .collect();
             let mut out = Vec::with_capacity(n);
             for handle in handles {
@@ -330,6 +422,63 @@ mod tests {
         assert_eq!(b, vec![4, 5, 6]);
         assert_eq!(pool.jobs_run(), 6);
         assert_eq!(clone.jobs_run(), 6);
+    }
+
+    #[test]
+    fn busy_time_counts_every_chunk_including_the_short_tail() {
+        let pool = WorkerPool::new(4);
+        // 10 items over 4 workers → chunks of 3,3,3,1; the 1-wide tail
+        // chunk must be charged too, not dropped at the boundary.
+        pool.map_chunks(10, |range| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            vec![range.len()]
+        });
+        let lanes = pool.busy_times_us();
+        assert_eq!(lanes.len(), 4);
+        assert!(
+            lanes.iter().all(|&us| us >= 1_000),
+            "every lane (incl. the tail chunk's) shows busy time: {lanes:?}"
+        );
+        assert!(pool.total_busy_us() >= 8_000);
+    }
+
+    #[test]
+    fn inline_and_owned_paths_charge_busy_time() {
+        let serial = WorkerPool::new(1);
+        serial.execute(vec![|| {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        }]);
+        assert!(serial.busy_times_us()[0] >= 1_000);
+
+        let pool = WorkerPool::new(2);
+        let jobs: Vec<_> = (0..6)
+            .map(|_| || std::thread::sleep(std::time::Duration::from_millis(2)))
+            .collect();
+        pool.execute(jobs);
+        assert!(pool.total_busy_us() >= 6_000, "{:?}", pool.busy_times_us());
+    }
+
+    #[test]
+    fn attached_registry_mirrors_busy_counters() {
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::new(2);
+        pool.attach_registry(&registry);
+        pool.execute(vec![
+            || std::thread::sleep(std::time::Duration::from_millis(1)),
+            || std::thread::sleep(std::time::Duration::from_millis(1)),
+            || std::thread::sleep(std::time::Duration::from_millis(1)),
+        ]);
+        let mirrored: u64 = (0..2)
+            .map(|lane| {
+                registry
+                    .counter(
+                        "lv_pool_worker_busy_us_total",
+                        &[("worker", &lane.to_string())],
+                    )
+                    .get()
+            })
+            .sum();
+        assert_eq!(mirrored, pool.total_busy_us());
     }
 
     #[test]

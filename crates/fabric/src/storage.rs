@@ -31,8 +31,10 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 
 use ledgerview_crypto::sha256::Digest;
+use ledgerview_telemetry::{Counter, HistogramHandle, Telemetry};
 
 use fabric_store::{BlockFile, Checkpoint, CheckpointStore, StoreError, Wal};
 pub use fabric_store::{FsyncPolicy, StorageConfig};
@@ -67,6 +69,9 @@ pub trait StateBackend {
     fn flush(&mut self) -> Result<(), FabricError>;
     /// Whether commits survive a process crash.
     fn is_durable(&self) -> bool;
+    /// Attach telemetry (WAL/block append latencies, checkpoint durations,
+    /// fsync counts). Backends without persistence costs ignore it.
+    fn set_telemetry(&mut self, _telemetry: &Telemetry) {}
 }
 
 /// The default backend: state lives (only) in memory, exactly as before
@@ -241,6 +246,41 @@ fn decode_meta(bytes: &[u8]) -> Result<(Digest, Digest), FabricError> {
     Ok((root, digest))
 }
 
+/// Metric handles for the durable commit path, resolved once when
+/// telemetry attaches. The WAL append histogram includes the policy fsync,
+/// so under `FsyncPolicy::Always` it *is* the group-commit latency.
+struct StorageMetrics {
+    wal_append_seconds: HistogramHandle,
+    block_append_seconds: HistogramHandle,
+    checkpoint_seconds: HistogramHandle,
+    checkpoints_total: Counter,
+    fsyncs_total: Counter,
+    /// Fsync count already mirrored into `fsyncs_total` (the store layer
+    /// only exposes cumulative totals, so we mirror deltas).
+    fsyncs_mirrored: u64,
+}
+
+impl StorageMetrics {
+    fn new(telemetry: &Telemetry, already_fsynced: u64) -> StorageMetrics {
+        let r = telemetry.registry();
+        StorageMetrics {
+            wal_append_seconds: r.histogram("lv_storage_wal_append_seconds", &[]),
+            block_append_seconds: r.histogram("lv_storage_block_append_seconds", &[]),
+            checkpoint_seconds: r.histogram("lv_storage_checkpoint_seconds", &[]),
+            checkpoints_total: r.counter("lv_storage_checkpoints_total", &[]),
+            fsyncs_total: r.counter("lv_storage_fsyncs_total", &[]),
+            fsyncs_mirrored: already_fsynced,
+        }
+    }
+
+    /// Mirror any fsyncs issued since the last call into the counter.
+    fn sync_fsyncs(&mut self, total_now: u64) {
+        self.fsyncs_total
+            .add(total_now.saturating_sub(self.fsyncs_mirrored));
+        self.fsyncs_mirrored = total_now.max(self.fsyncs_mirrored);
+    }
+}
+
 /// Durable backend: in-memory [`StateDb`] backed by a WAL, an append-only
 /// block file with a sparse index, and snapshot checkpoints. See the module
 /// docs for the write protocol and recovery invariants.
@@ -253,6 +293,7 @@ pub struct DurableBackend {
     /// Rolling state root after the last persisted block.
     state_root: Digest,
     blocks_since_checkpoint: u64,
+    metrics: Option<StorageMetrics>,
 }
 
 impl fmt::Debug for DurableBackend {
@@ -392,6 +433,7 @@ impl DurableBackend {
             config,
             state_root: root,
             blocks_since_checkpoint: tip - cp_height,
+            metrics: None,
         };
         Ok((backend, blocks))
     }
@@ -425,6 +467,7 @@ impl DurableBackend {
     /// Snapshot the state DB and truncate the WAL now, regardless of the
     /// configured interval.
     pub fn checkpoint_now(&mut self) -> Result<(), FabricError> {
+        let start = Instant::now();
         // Durability order: everything the snapshot summarises must be on
         // disk before the snapshot replaces the WAL.
         self.wal.sync().map_err(StoreError::Io)?;
@@ -437,6 +480,12 @@ impl DurableBackend {
         self.checkpoints.save(&cp)?;
         self.wal.reset().map_err(StoreError::Io)?;
         self.blocks_since_checkpoint = 0;
+        let total_fsyncs = self.fsyncs();
+        if let Some(m) = &mut self.metrics {
+            m.checkpoint_seconds.observe_duration(start.elapsed());
+            m.checkpoints_total.inc();
+            m.sync_fsyncs(total_fsyncs);
+        }
         Ok(())
     }
 }
@@ -461,9 +510,22 @@ impl StateBackend for DurableBackend {
             .map(|(i, tx)| encode_wal_record(block.header.number, i as u32, &tx.rwset.writes))
             .collect();
         let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        let wal_start = self.metrics.as_ref().map(|_| Instant::now());
         self.wal.append_batch(&refs).map_err(StoreError::Io)?;
+        let block_start = self.metrics.as_ref().map(|_| Instant::now());
         self.blocks
             .append(block.header.number, &block.encode(), false)?;
+        if let Some(start) = wal_start {
+            let now = Instant::now();
+            let total_fsyncs = self.fsyncs();
+            let m = self.metrics.as_mut().expect("timed with metrics");
+            let block_start = block_start.expect("timed with metrics");
+            m.wal_append_seconds
+                .observe_duration(block_start.duration_since(start));
+            m.block_append_seconds
+                .observe_duration(now.duration_since(block_start));
+            m.sync_fsyncs(total_fsyncs);
+        }
         self.state_root = block.header.state_root;
         self.blocks_since_checkpoint += 1;
         if self.blocks_since_checkpoint >= self.config.checkpoint_every_blocks {
@@ -475,11 +537,20 @@ impl StateBackend for DurableBackend {
     fn flush(&mut self) -> Result<(), FabricError> {
         self.wal.sync().map_err(StoreError::Io)?;
         self.blocks.sync().map_err(StoreError::Io)?;
+        let total_fsyncs = self.fsyncs();
+        if let Some(m) = &mut self.metrics {
+            m.sync_fsyncs(total_fsyncs);
+        }
         Ok(())
     }
 
     fn is_durable(&self) -> bool {
         true
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let already = self.fsyncs();
+        self.metrics = Some(StorageMetrics::new(telemetry, already));
     }
 }
 

@@ -1,61 +1,73 @@
 //! Measurement recorders used by the benchmark harness: request latency
 //! distributions and committed-transaction throughput.
+//!
+//! Latency samples go into a `ledgerview-telemetry` log-linear
+//! [`Histogram`] — the same (and only) quantile implementation the rest of
+//! the stack uses, property-tested in that crate against the exact
+//! nearest-rank quantile. Quantiles here are therefore approximate to one
+//! bucket width (≤ 6.25 % relative error); `mean` and `max` stay exact.
+
+use std::sync::Arc;
+
+use ledgerview_telemetry::Histogram;
 
 use crate::clock::SimTime;
 
 /// Collects latency samples and reports summary statistics.
-#[derive(Clone, Debug, Default)]
+///
+/// Clones share the underlying histogram, so a recorder can double as a
+/// registry-backed series: build it over a registry histogram with
+/// [`LatencyRecorder::over`] and the same samples show up in the
+/// Prometheus exposition.
+#[derive(Clone, Debug)]
 pub struct LatencyRecorder {
-    samples: Vec<SimTime>,
+    histogram: Arc<Histogram>,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LatencyRecorder {
-    /// An empty recorder.
+    /// An empty recorder over a private histogram.
     pub fn new() -> LatencyRecorder {
-        LatencyRecorder::default()
+        LatencyRecorder::over(Arc::new(Histogram::new()))
+    }
+
+    /// A recorder over an existing (e.g. registry-owned) histogram.
+    pub fn over(histogram: Arc<Histogram>) -> LatencyRecorder {
+        LatencyRecorder { histogram }
     }
 
     /// Record one latency sample.
     pub fn record(&mut self, latency: SimTime) {
-        self.samples.push(latency);
+        self.histogram.record(latency.as_micros());
     }
 
     /// Number of samples recorded.
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.histogram.count() as usize
     }
 
-    /// Arithmetic mean latency in milliseconds (0 if empty).
+    /// Arithmetic mean latency in milliseconds (exact; 0 if empty).
     pub fn mean_millis(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let sum: u64 = self.samples.iter().map(|s| s.as_micros()).sum();
-        sum as f64 / self.samples.len() as f64 / 1_000.0
+        self.histogram.mean() / 1_000.0
     }
 
-    /// The `q`-quantile latency in milliseconds (nearest-rank; 0 if empty).
+    /// The `q`-quantile latency in milliseconds (0 if empty). Approximate
+    /// to one histogram bucket, except `q = 1.0` which is the exact max.
     ///
     /// # Panics
     /// Panics unless `0.0 <= q <= 1.0`.
     pub fn quantile_millis(&self, q: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&q), "quantile out of range");
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1].as_millis_f64()
+        self.histogram.quantile(q) as f64 / 1_000.0
     }
 
-    /// Maximum latency in milliseconds (0 if empty).
+    /// Maximum latency in milliseconds (exact; 0 if empty).
     pub fn max_millis(&self) -> f64 {
-        self.samples
-            .iter()
-            .max()
-            .map(|s| s.as_millis_f64())
-            .unwrap_or(0.0)
+        self.histogram.max() as f64 / 1_000.0
     }
 }
 
@@ -118,10 +130,34 @@ mod tests {
             r.record(SimTime::from_millis(ms));
         }
         assert_eq!(r.count(), 5);
+        // Mean and max are exact; quantiles are within one bucket (6.25%).
         assert!((r.mean_millis() - 30.0).abs() < 1e-9);
-        assert!((r.quantile_millis(0.5) - 30.0).abs() < 1e-9);
+        let p50 = r.quantile_millis(0.5);
+        assert!((p50 - 30.0).abs() / 30.0 <= 1.0 / 16.0, "p50={p50}");
         assert!((r.quantile_millis(1.0) - 50.0).abs() < 1e-9);
         assert!((r.max_millis() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_the_histogram() {
+        let mut a = LatencyRecorder::new();
+        let mut b = a.clone();
+        a.record(SimTime::from_millis(5));
+        b.record(SimTime::from_millis(7));
+        assert_eq!(a.count(), 2);
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn registry_backed_recorder_feeds_the_registry() {
+        let registry = ledgerview_telemetry::MetricsRegistry::new();
+        let handle = registry.histogram("lv_simnet_request_seconds", &[]);
+        let mut r = LatencyRecorder::over(handle.shared());
+        r.record(SimTime::from_millis(12));
+        assert_eq!(handle.histogram().count(), 1);
+        assert!(registry
+            .prometheus_text()
+            .contains("lv_simnet_request_seconds_count 1"));
     }
 
     #[test]

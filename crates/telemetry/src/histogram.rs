@@ -1,0 +1,373 @@
+//! Lock-free log-linear-bucket histograms.
+//!
+//! Values are `u64` in whatever unit the caller picks (the stack records
+//! durations in microseconds). Buckets are *log-linear*: each power-of-two
+//! magnitude is split into [`SUB_BUCKETS`] linear sub-buckets, so a
+//! recorded value lands in a bucket whose width is at most `1/16` of the
+//! value — quantile estimates carry ≤ 6.25 % relative error while the
+//! whole table stays under 1000 `AtomicU64`s. `count`, `sum`, `min` and
+//! `max` are tracked exactly, so `mean()` and `max()` are precise and only
+//! intermediate quantiles are approximate (property-tested against the
+//! exact nearest-rank quantile in this crate's tests).
+//!
+//! Every operation is a handful of relaxed atomic ops: recording from many
+//! worker threads never takes a lock, and a histogram that nobody records
+//! into costs nothing but memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two magnitude (`2^SUB_BITS`).
+pub const SUB_BUCKETS: u64 = 16;
+const SUB_BITS: u32 = 4;
+/// Total buckets: values `0..16` get unit-width buckets, then 60 magnitude
+/// groups of 16 sub-buckets cover the rest of the `u64` range.
+const N_BUCKETS: usize = SUB_BUCKETS as usize + (SUB_BUCKETS as usize) * (64 - SUB_BITS as usize);
+
+/// Bucket index of a value. Exact for `v < 16`, ≤ 6.25 % wide above.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let mag = 63 - v.leading_zeros(); // mag >= SUB_BITS
+    let group = (mag - SUB_BITS) as usize;
+    let sub = ((v >> (mag - SUB_BITS)) & (SUB_BUCKETS - 1)) as usize;
+    SUB_BUCKETS as usize + group * SUB_BUCKETS as usize + sub
+}
+
+/// Smallest value that lands in bucket `index` (inverse of
+/// [`bucket_index`]). Saturates at `u64::MAX` past the last bucket.
+fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let group = (index - SUB_BUCKETS as usize) / SUB_BUCKETS as usize;
+    let sub = ((index - SUB_BUCKETS as usize) % SUB_BUCKETS as usize) as u64;
+    (SUB_BUCKETS + sub)
+        .checked_shl(group as u32)
+        .unwrap_or(u64::MAX)
+}
+
+/// Exclusive upper edge of bucket `index` (used for Prometheus `le`
+/// boundaries). Saturates at `u64::MAX`.
+pub(crate) fn bucket_upper_edge(index: usize) -> u64 {
+    if index + 1 >= N_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(index + 1)
+    }
+}
+
+/// A concurrent log-linear histogram.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating sum: a u64::MAX outlier must not wrap the mean of
+        // everything recorded after it.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(v))
+            });
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (saturating; exact unless it overflows u64).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value (0 if empty). Exact.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean (0 if empty). Exact (up to sum saturation).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum() as f64 / count as f64
+    }
+
+    /// The `q`-quantile by nearest rank over the buckets, clamped into
+    /// `[min, max]` so degenerate cases (single sample, all-equal samples)
+    /// are exact. 0 if empty.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        if rank == count {
+            return self.max(); // the top rank is tracked exactly
+        }
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_lower_bound(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time copy for exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`], used by the exposition formats.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (see [`bucket_index`]).
+    buckets: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 if empty).
+    pub min: u64,
+    /// Largest recorded value (0 if empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Non-empty buckets as `(exclusive upper edge, cumulative count)`, in
+    /// increasing edge order — the shape Prometheus `le` buckets need.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            out.push((bucket_upper_edge(i), cumulative));
+        }
+        out
+    }
+
+    /// Mean of the snapshot (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank bucket quantile, clamped into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max; // the top rank is tracked exactly
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_lower_bound(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_invertible() {
+        let mut last = None;
+        for v in (0..2048u64).chain([1 << 20, 1 << 40, u64::MAX / 2, u64::MAX]) {
+            let i = bucket_index(v);
+            if let Some((lv, li)) = last {
+                assert!(i >= li, "index not monotonic at {lv}->{v}");
+            }
+            let lower = bucket_lower_bound(i);
+            assert!(lower <= v, "lower bound {lower} above value {v}");
+            assert!(
+                bucket_upper_edge(i) > v || bucket_upper_edge(i) == u64::MAX,
+                "upper edge below value {v}"
+            );
+            // Relative bucket width bound: width <= v / 16 above 16.
+            if v >= SUB_BUCKETS && bucket_upper_edge(i) != u64::MAX {
+                let width = bucket_upper_edge(i) - lower;
+                assert!(width <= v / SUB_BUCKETS + 1, "bucket too wide at {v}");
+            }
+            last = Some((v, i));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.snapshot().cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        let h = Histogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 12_345, "q={q}");
+        }
+        assert_eq!(h.mean(), 12_345.0);
+        assert_eq!(h.min(), 12_345);
+        assert_eq!(h.max(), 12_345);
+    }
+
+    #[test]
+    fn values_straddling_bucket_boundaries() {
+        // 16 is the first log-linear bucket, 15 the last exact one; 31/32
+        // straddle a magnitude-group boundary.
+        let h = Histogram::new();
+        for v in [15u64, 16, 31, 32] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.25), 15);
+        assert_eq!(h.quantile(0.5), 16);
+        assert_eq!(h.quantile(0.75), 31);
+        assert_eq!(h.quantile(1.0), 32);
+        // Buckets are distinct: 4 non-empty buckets.
+        assert_eq!(h.snapshot().cumulative_buckets().len(), 4);
+    }
+
+    #[test]
+    fn u64_max_is_representable() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile(0.01), 0);
+        // The sum saturates instead of wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        let buckets = h.snapshot().cumulative_buckets();
+        assert_eq!(buckets.last().unwrap(), &(u64::MAX, 3));
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp_within_bucket_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(
+                rel <= 1.0 / SUB_BUCKETS as f64,
+                "q={q}: got {got}, rel {rel}"
+            );
+        }
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5_000.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.max(), 39_999);
+        assert_eq!(h.min(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! A small lint over Prometheus text expositions, run by CI against the
+//! telemetry example's output.
+//!
+//! Checks the repo's naming contract rather than the full Prometheus
+//! grammar: every metric is declared once, names follow
+//! `lv_<subsystem>_<name>_<unit>`, counters end in `_total`, duration
+//! histograms end in `_seconds` (or carry an explicit `_us`/`_bytes`-style
+//! unit), gauges don't masquerade as counters, and no series line appears
+//! twice.
+
+use std::collections::{HashMap, HashSet};
+
+/// Lint `exposition` (Prometheus text format); returns one message per
+/// problem, empty when clean.
+pub fn lint_prometheus(exposition: &str) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+
+    for (lineno, line) in exposition.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+                problems.push(format!("line {lineno}: malformed TYPE line"));
+                continue;
+            };
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                problems.push(format!("line {lineno}: metric `{name}` declared twice"));
+            }
+            lint_name(name, kind, lineno, &mut problems);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comments (quantile annotations etc.)
+        }
+        // Sample line: name{labels} value
+        let series = match line.rfind(' ') {
+            Some(i) => &line[..i],
+            None => {
+                problems.push(format!("line {lineno}: sample line without a value"));
+                continue;
+            }
+        };
+        if !seen_series.insert(series.to_string()) {
+            problems.push(format!("line {lineno}: duplicate series `{series}`"));
+        }
+        let name = series.split('{').next().unwrap_or(series);
+        let declared = base_name(name, &types);
+        match declared {
+            Some(base) => {
+                let kind = &types[&base];
+                if kind == "histogram" && base == name {
+                    problems.push(format!(
+                        "line {lineno}: histogram `{name}` sampled without _bucket/_sum/_count"
+                    ));
+                }
+            }
+            None => problems.push(format!(
+                "line {lineno}: series `{name}` has no preceding TYPE declaration"
+            )),
+        }
+    }
+    problems
+}
+
+/// Resolve a sample name to its declared family, accounting for histogram
+/// `_bucket`/`_sum`/`_count` suffixes.
+fn base_name(name: &str, types: &HashMap<String, String>) -> Option<String> {
+    if types.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+fn lint_name(name: &str, kind: &str, lineno: usize, problems: &mut Vec<String>) {
+    if !name.starts_with("lv_") {
+        problems.push(format!(
+            "line {lineno}: metric `{name}` does not start with `lv_`"
+        ));
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    {
+        problems.push(format!(
+            "line {lineno}: metric `{name}` has characters outside [a-z0-9_]"
+        ));
+    }
+    match kind {
+        "counter" => {
+            if !name.ends_with("_total") {
+                problems.push(format!(
+                    "line {lineno}: counter `{name}` must end in `_total`"
+                ));
+            }
+        }
+        "gauge" => {
+            if name.ends_with("_total") {
+                problems.push(format!(
+                    "line {lineno}: gauge `{name}` must not end in `_total`"
+                ));
+            }
+        }
+        "histogram" => {
+            let has_unit = ["_seconds", "_us", "_bytes", "_txs", "_ratio"]
+                .iter()
+                .any(|u| name.ends_with(u));
+            if !has_unit {
+                problems.push(format!(
+                    "line {lineno}: histogram `{name}` needs a unit suffix (e.g. `_seconds`)"
+                ));
+            }
+        }
+        other => problems.push(format!("line {lineno}: unknown metric kind `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn clean_registry_output_passes() {
+        let r = MetricsRegistry::new();
+        r.counter("lv_chain_txs_total", &[("channel", "a")]).inc();
+        r.gauge("lv_pool_workers", &[]).set(4);
+        let h = r.histogram("lv_chain_commit_seconds", &[]);
+        h.observe(150);
+        h.observe(90_000);
+        let problems = lint_prometheus(&r.prometheus_text());
+        assert!(problems.is_empty(), "{problems:?}");
+    }
+
+    #[test]
+    fn catches_suffix_violations() {
+        let text = "\
+# TYPE lv_bad_counter counter
+lv_bad_counter 1
+# TYPE lv_bad_gauge_total gauge
+lv_bad_gauge_total 2
+# TYPE lv_bad_hist histogram
+lv_bad_hist_sum 0
+lv_bad_hist_count 0
+";
+        let problems = lint_prometheus(text);
+        assert!(
+            problems.iter().any(|p| p.contains("must end in `_total`")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("must not end in `_total`")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("unit suffix")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn catches_duplicates_and_undeclared_names() {
+        let text = "\
+# TYPE lv_a_total counter
+lv_a_total 1
+lv_a_total 2
+lv_mystery_total 3
+# TYPE lv_a_total counter
+";
+        let problems = lint_prometheus(text);
+        assert!(
+            problems.iter().any(|p| p.contains("duplicate series")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("no preceding TYPE")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("declared twice")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn catches_non_lv_prefix() {
+        let text = "# TYPE requests_total counter\nrequests_total 1\n";
+        let problems = lint_prometheus(text);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("does not start with `lv_`")),
+            "{problems:?}"
+        );
+    }
+}

@@ -1,0 +1,383 @@
+//! Span-based tracing with parent/child nesting and a Chrome
+//! `trace_event` exporter.
+//!
+//! `tracer.span("validate.block")` returns a guard; dropping it records a
+//! complete span into a bounded ring buffer (oldest spans evicted first).
+//! Parentage is tracked per thread with a thread-local stack, so nested
+//! guards form the block → tx → phase hierarchy Perfetto renders as a
+//! flamegraph. Discrete-event code that runs "at" a virtual time records
+//! finished spans directly with [`Tracer::record_manual`] on a named
+//! track.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::clock::ClockSource;
+use crate::registry::json_string;
+
+/// One finished span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Unique id within this tracer.
+    pub id: u64,
+    /// Id of the span that was open on the same thread when this one
+    /// started (None for roots and manual records).
+    pub parent: Option<u64>,
+    /// Span name, e.g. `validate.block`.
+    pub name: String,
+    /// Start time in clock microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Track the span renders on: a per-thread lane for guard spans, a
+    /// named lane for manual records.
+    pub track: u64,
+}
+
+struct Ring {
+    spans: VecDeque<SpanRecord>,
+    evicted: u64,
+}
+
+/// A span tracer: bounded ring buffer of recent [`SpanRecord`]s, timed
+/// against a pluggable [`ClockSource`].
+pub struct Tracer {
+    clock: Arc<dyn ClockSource>,
+    capacity: usize,
+    ring: Mutex<Ring>,
+    next_id: AtomicU64,
+    /// Track id + display name per OS thread / named manual track.
+    tracks: Mutex<HashMap<TrackKey, u64>>,
+    track_names: Mutex<Vec<(u64, String)>>,
+    next_track: AtomicU64,
+}
+
+#[derive(PartialEq, Eq, Hash)]
+enum TrackKey {
+    Thread(std::thread::ThreadId),
+    Named(String),
+}
+
+thread_local! {
+    /// Stack of (tracer identity, span id) for the spans currently open on
+    /// this thread; the top entry for a given tracer is the parent of its
+    /// next span.
+    static OPEN_SPANS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("spans", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer over `clock` keeping at most `capacity` recent spans.
+    pub fn new(clock: Arc<dyn ClockSource>, capacity: usize) -> Tracer {
+        Tracer {
+            clock,
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring {
+                spans: VecDeque::new(),
+                evicted: 0,
+            }),
+            next_id: AtomicU64::new(1),
+            tracks: Mutex::new(HashMap::new()),
+            track_names: Mutex::new(Vec::new()),
+            next_track: AtomicU64::new(1),
+        }
+    }
+
+    /// Number of spans currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().spans.len()
+    }
+
+    /// True if no spans are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring-buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans evicted so far to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.ring.lock().unwrap().evicted
+    }
+
+    /// The clock this tracer reads.
+    pub fn clock(&self) -> &Arc<dyn ClockSource> {
+        &self.clock
+    }
+
+    /// A stable identity for thread-local parent bookkeeping.
+    fn identity(&self) -> usize {
+        self as *const Tracer as usize
+    }
+
+    fn track_id(&self, key: TrackKey, name: impl FnOnce() -> String) -> u64 {
+        let mut tracks = self.tracks.lock().unwrap();
+        if let Some(&id) = tracks.get(&key) {
+            return id;
+        }
+        let id = self.next_track.fetch_add(1, Ordering::Relaxed);
+        tracks.insert(key, id);
+        self.track_names.lock().unwrap().push((id, name()));
+        id
+    }
+
+    /// Open a span; dropping the returned guard records it. Spans opened
+    /// while another guard is live on the same thread become its children.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.identity())
+                .map(|&(_, id)| id);
+            stack.push((self.identity(), id));
+            parent
+        });
+        SpanGuard {
+            tracer: self,
+            id,
+            parent,
+            name: name.to_string(),
+            start_us: self.clock.now_us(),
+        }
+    }
+
+    /// Record an already-finished span on a named track — how simulator
+    /// code reports work that "happened" between two virtual timestamps.
+    pub fn record_manual(&self, name: &str, start_us: u64, end_us: u64, track: &str) {
+        let track_id = self.track_id(TrackKey::Named(track.to_string()), || track.to_string());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.push(SpanRecord {
+            id,
+            parent: None,
+            name: name.to_string(),
+            start_us,
+            dur_us: end_us.saturating_sub(start_us),
+            track: track_id,
+        });
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.spans.len() == self.capacity {
+            ring.spans.pop_front();
+            ring.evicted += 1;
+        }
+        ring.spans.push_back(record);
+    }
+
+    /// A copy of the buffered spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.ring.lock().unwrap().spans.iter().cloned().collect()
+    }
+
+    /// Export buffered spans as Chrome `trace_event` JSON (the
+    /// `traceEvents` array format). Open the output in `chrome://tracing`
+    /// or <https://ui.perfetto.dev> — spans nest by time containment per
+    /// track, and track-name metadata labels each lane.
+    pub fn chrome_trace_json(&self) -> String {
+        let spans = self.recent();
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        for (track, name) in self.track_names.lock().unwrap().iter() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"args\":{{\"name\":{}}}}}",
+                json_string(name)
+            ));
+        }
+        for s in &spans {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{}{}}}}}",
+                json_string(&s.name),
+                s.start_us,
+                s.dur_us.max(1),
+                s.track,
+                s.id,
+                match s.parent {
+                    Some(p) => format!(",\"parent\":{p}"),
+                    None => String::new(),
+                }
+            ));
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Guard for an open span; records the span when dropped.
+#[must_use = "a span guard records on drop; binding it to _ ends the span immediately"]
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start_us: u64,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id (usable as a parent for manual records).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end_us = self.tracer.clock.now_us();
+        OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Tolerate out-of-order drops: remove *this* span wherever it
+            // sits, not blindly the top of the stack.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, id)| t == self.tracer.identity() && id == self.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        let thread = std::thread::current();
+        let track = self.tracer.track_id(TrackKey::Thread(thread.id()), || {
+            thread
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("{:?}", thread.id()))
+        });
+        self.tracer.push(SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            start_us: self.start_us,
+            dur_us: end_us.saturating_sub(self.start_us),
+            track,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{VirtualClock, WallClock};
+
+    fn wall_tracer(capacity: usize) -> Tracer {
+        Tracer::new(Arc::new(WallClock::new()), capacity)
+    }
+
+    #[test]
+    fn nested_guards_record_parentage() {
+        let t = wall_tracer(64);
+        {
+            let outer = t.span("block");
+            let outer_id = outer.id();
+            {
+                let inner = t.span("tx");
+                assert_ne!(inner.id(), outer_id);
+            }
+            let _sibling = t.span("tx2");
+        }
+        let spans = t.recent();
+        assert_eq!(spans.len(), 3);
+        // Drop order: tx, tx2, block.
+        let block = spans.iter().find(|s| s.name == "block").unwrap();
+        let tx = spans.iter().find(|s| s.name == "tx").unwrap();
+        let tx2 = spans.iter().find(|s| s.name == "tx2").unwrap();
+        assert_eq!(block.parent, None);
+        assert_eq!(tx.parent, Some(block.id));
+        assert_eq!(tx2.parent, Some(block.id));
+        assert!(tx.start_us >= block.start_us);
+    }
+
+    #[test]
+    fn after_guards_drop_new_spans_are_roots() {
+        let t = wall_tracer(64);
+        drop(t.span("first"));
+        drop(t.span("second"));
+        let spans = t.recent();
+        assert!(spans.iter().all(|s| s.parent.is_none()), "{spans:?}");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let t = wall_tracer(4);
+        for i in 0..10 {
+            drop(t.span(&format!("s{i}")));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.evicted(), 6);
+        let names: Vec<_> = t.recent().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["s6", "s7", "s8", "s9"]);
+    }
+
+    #[test]
+    fn manual_records_use_virtual_time_and_named_tracks() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = Tracer::new(clock.clone(), 64);
+        clock.advance_to(1_000);
+        t.record_manual("order.batch", 250, 900, "orderer");
+        t.record_manual("validate.block", 900, 1_000, "validator");
+        let spans = t.recent();
+        assert_eq!(spans[0].start_us, 250);
+        assert_eq!(spans[0].dur_us, 650);
+        assert_ne!(spans[0].track, spans[1].track);
+        // Same track name resolves to the same lane.
+        t.record_manual("order.batch", 1_000, 1_100, "orderer");
+        assert_eq!(t.recent()[2].track, spans[0].track);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_json_shape() {
+        let t = wall_tracer(64);
+        {
+            let _outer = t.span("block \"quoted\"");
+            let _inner = t.span("tx");
+        }
+        t.record_manual("order", 1, 2, "orderer");
+        let json = t.chrome_trace_json();
+        assert!(
+            json.starts_with("{\"traceEvents\":[") && json.trim_end().ends_with("]}"),
+            "{json}"
+        );
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"M\""), "{json}");
+        assert!(json.contains("block \\\"quoted\\\""), "{json}");
+        // Balanced braces/brackets (cheap structural check without a parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn spans_on_different_threads_do_not_share_parents() {
+        let t = Arc::new(wall_tracer(64));
+        let _outer = t.span("main");
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || {
+            drop(t2.span("worker"));
+        })
+        .join()
+        .unwrap();
+        let worker = t.recent().into_iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, None);
+    }
+}

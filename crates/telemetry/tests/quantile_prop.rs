@@ -1,0 +1,53 @@
+//! Property test: the log-linear histogram's quantiles track the exact
+//! nearest-rank quantile within the advertised bucket error.
+//!
+//! This is the contract `simnet`'s `LatencyRecorder` now relies on instead
+//! of its old sort-based quantile code — one quantile implementation,
+//! checked here against the definitionally-exact one.
+
+use ledgerview_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted copy of `samples`.
+fn exact_quantile(samples: &[u64], q: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_quantile_matches_nearest_rank_within_bucket_error(
+        samples in proptest::collection::vec(0u64..=1_000_000_000, 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let approx = h.quantile(q);
+            // The approximation reports the lower bound of the bucket the
+            // exact value landed in: never above the exact value, and at
+            // most one bucket width (6.25%) below it.
+            prop_assert!(approx <= exact, "q={} approx {} > exact {}", q, approx, exact);
+            let floor = exact - exact / 16 - 1;
+            prop_assert!(
+                approx >= floor.min(exact),
+                "q={} approx {} below error floor {} (exact {})",
+                q, approx, floor, exact
+            );
+        }
+
+        let exact_mean =
+            samples.iter().map(|&v| v as f64).sum::<f64>() / samples.len() as f64;
+        prop_assert!((h.mean() - exact_mean).abs() <= 1e-6 * exact_mean.max(1.0));
+    }
+}

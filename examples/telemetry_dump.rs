@@ -1,0 +1,125 @@
+//! Telemetry end to end: run a small workload with a metrics registry and
+//! span tracer attached, print the Prometheus exposition, and write a
+//! Chrome `trace_event` file that opens directly in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`. Run with:
+//!
+//! ```text
+//! cargo run --example telemetry_dump [-- <trace-output.json>]
+//! ```
+
+use ledgerview::fabric::network::{self, ClientPlan, NetworkConfig, RequestPlan};
+use ledgerview::prelude::*;
+use ledgerview::simnet::Region;
+use ledgerview::views::verify;
+
+fn main() {
+    let mut rng = ledgerview::crypto::rng::seeded(2025);
+    let telemetry = Telemetry::wall_clock();
+
+    // ── A two-org chain with telemetry attached: every block commit now
+    //    times its endorse/order/validate/commit/persist phases.
+    let mut chain = FabricChain::new(&["ManufacturerOrg", "AuditorOrg"], &mut rng);
+    chain.set_telemetry(&telemetry);
+    let policy = EndorsementPolicy::MajorityOf(chain.org_ids());
+    ledgerview::deploy_ledgerview_contracts(&mut chain, policy);
+
+    let owner = chain
+        .enroll(&OrgId::new("ManufacturerOrg"), "view-owner", &mut rng)
+        .unwrap();
+    let alice = chain
+        .enroll(&OrgId::new("ManufacturerOrg"), "alice", &mut rng)
+        .unwrap();
+
+    // ── A view manager with the same telemetry: view create / invoke /
+    //    query durations land in `lv_views_*` histograms.
+    let mut manager: HashBasedManager = ViewManager::new(owner, true);
+    manager.set_telemetry(&telemetry);
+    manager
+        .create_view(
+            &mut chain,
+            "V_Warehouse1",
+            ViewPredicate::attr_eq("to", "Warehouse 1"),
+            AccessMode::Revocable,
+            &mut rng,
+        )
+        .unwrap();
+    for i in 0..12u8 {
+        let to = if i % 3 == 0 {
+            "Warehouse 1"
+        } else {
+            "Warehouse 2"
+        };
+        manager
+            .invoke_with_secret(
+                &mut chain,
+                &alice,
+                &ClientTransaction::new(
+                    vec![
+                        ("to", AttrValue::str(to)),
+                        ("batch", AttrValue::int(i.into())),
+                    ],
+                    format!("secret-{i}").into_bytes(),
+                ),
+                &mut rng,
+            )
+            .unwrap();
+    }
+    manager.flush(&mut chain, &mut rng).unwrap();
+
+    // ── Bob reads the view and verifies it, timed.
+    let bob_keys = EncryptionKeyPair::generate(&mut rng);
+    manager
+        .grant_access(&mut chain, "V_Warehouse1", bob_keys.public(), &mut rng)
+        .unwrap();
+    let mut bob = ledgerview::views::reader::ViewReader::new(bob_keys);
+    bob.obtain_view_key(&chain, "V_Warehouse1").unwrap();
+    let response = manager
+        .query_view("V_Warehouse1", &bob.public(), None, &mut rng)
+        .unwrap();
+    let revealed = bob
+        .open_response(&chain, "V_Warehouse1", &response)
+        .unwrap();
+    let (sound, complete) = verify::verify_view_timed(
+        &chain,
+        "V_Warehouse1",
+        &revealed,
+        u64::MAX,
+        true,
+        &telemetry,
+    )
+    .unwrap();
+    assert!(sound.ok && complete.ok);
+
+    // ── A short discrete-event run: queue delays and a *virtual-time*
+    //    block timeline join the same registry and tracer.
+    let mut cfg = NetworkConfig::paper_multi_region();
+    cfg.telemetry = Some(telemetry.clone());
+    let clients = vec![ClientPlan {
+        region: Region::EUROPE_NORTH,
+        batches: vec![vec![RequestPlan::single(512); 10]; 2],
+    }];
+    let report = network::run_simulation(cfg, 1, clients, vec![]);
+    assert_eq!(report.failed_requests, 0);
+
+    // ── Exposition: Prometheus text on stdout (linted), Chrome trace to
+    //    disk. Load the trace in Perfetto to see nested block → tx spans.
+    let text = telemetry.registry().prometheus_text();
+    let issues = ledgerview::telemetry::promlint::lint_prometheus(&text);
+    assert!(issues.is_empty(), "exposition lint failed: {issues:?}");
+    print!("{text}");
+
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bench_results/telemetry_trace.json".into());
+    if let Some(parent) = std::path::Path::new(&trace_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create trace dir");
+        }
+    }
+    std::fs::write(&trace_path, telemetry.tracer().chrome_trace_json()).expect("write trace");
+    eprintln!(
+        "\n{} spans recorded ({} evicted); wrote {trace_path}",
+        telemetry.tracer().len(),
+        telemetry.tracer().evicted(),
+    );
+}

@@ -21,6 +21,9 @@
 //!   contracts, RBAC and verification.
 //! * [`crosschain`] — the one-chain-per-view 2PC baseline.
 //! * [`supplychain`] — the supply-chain workload generator.
+//! * [`telemetry`] — the metrics registry, span tracer and Chrome-trace /
+//!   Prometheus exporters threaded through all of the above (see
+//!   `examples/telemetry_dump.rs`).
 //!
 //! ## Quick start
 //!
@@ -70,6 +73,7 @@ pub use ledgerview_crypto as crypto;
 pub use ledgerview_datalog as datalog;
 pub use ledgerview_simnet as simnet;
 pub use ledgerview_supplychain as supplychain;
+pub use ledgerview_telemetry as telemetry;
 
 /// The most common imports, for examples and applications.
 pub mod prelude {
@@ -85,6 +89,7 @@ pub mod prelude {
     pub use ledgerview_core::txmodel::{AttrValue, ClientTransaction};
     pub use ledgerview_core::{ViewError, ViewPredicate};
     pub use ledgerview_crypto::keys::EncryptionKeyPair;
+    pub use ledgerview_telemetry::Telemetry;
 }
 
 /// Deploy the four LedgerView contracts on a chain with the given policy —
