@@ -1,0 +1,286 @@
+//! Gateway saturation curve: offered load vs committed throughput, with
+//! and without MVCC-conflict retry.
+//!
+//! Runs the open-loop workload driver against the client gateway in
+//! **virtual-clock** mode (a fixed [`ServiceModel`]), so the curve is a
+//! property of the model — machine-independent and bit-reproducible — and
+//! sweeps offered load across the saturation knee. Writes
+//! `bench_results/gateway_saturation.json` (schema
+//! `gateway_saturation/v1`).
+//!
+//! Expected shape, asserted at the end of the run:
+//! * throughput rises with offered load below the knee, then plateaus;
+//! * past the knee admission control sheds the excess (shed > 0) instead
+//!   of growing queues without bound;
+//! * under Zipf contention the retry-enabled gateway commits ≥ 95% of
+//!   accepted transactions while the retry-disabled baseline aborts more.
+//!
+//! `--smoke` shrinks the sweep for CI; `--metrics-out <path>` snapshots
+//! Prometheus metrics from one instrumented run.
+
+use std::sync::Arc;
+
+use ledgerview_bench::report::{metrics_out_arg, results_dir, write_metrics};
+use ledgerview_gateway::driver::{self, counter_chain, DriverConfig, DriverReport, LoadMode};
+use ledgerview_gateway::{Gateway, GatewayConfig, RetryPolicy, ServiceModel};
+use ledgerview_simnet::SimTime;
+use ledgerview_telemetry::{Telemetry, VirtualClock};
+
+/// One measured point of a series.
+struct Point {
+    offered_tps: f64,
+    report: DriverReport,
+}
+
+struct Scale {
+    clients: u64,
+    keys: usize,
+    duration: SimTime,
+    /// Offered load as fractions of the model's capacity.
+    load_fractions: &'static [f64],
+}
+
+const FULL: Scale = Scale {
+    clients: 2_000_000,
+    keys: 5_000,
+    duration: SimTime::from_secs(5),
+    load_fractions: &[0.25, 0.5, 0.75, 0.9, 1.1, 1.5, 2.0],
+};
+
+const SMOKE: Scale = Scale {
+    clients: 100_000,
+    keys: 2_000,
+    duration: SimTime::from_secs(1),
+    load_fractions: &[0.5, 0.9, 2.0],
+};
+
+/// Zipf skew of the sweep: hot keys see sustained multi-way contention
+/// without exceeding the per-key commit rate (one conflicted-key winner
+/// per block), so retry can actually win the race it is given.
+const ZIPF_S: f64 = 0.6;
+
+fn gateway_config(retry_enabled: bool) -> GatewayConfig {
+    GatewayConfig {
+        block_size: 25,
+        block_timeout_us: 5_000,
+        queue_capacity: 2_048,
+        retry: RetryPolicy {
+            enabled: retry_enabled,
+            ..RetryPolicy::default()
+        },
+        service: Some(ServiceModel::default()),
+        seed: 7,
+        ..GatewayConfig::default()
+    }
+}
+
+fn run_point(scale: &Scale, retry_enabled: bool, offered_tps: f64) -> DriverReport {
+    let (chain, ids) = counter_chain(42, 8, false);
+    let mut gateway = Gateway::new(chain, ids, gateway_config(retry_enabled));
+    let config = DriverConfig {
+        clients: scale.clients,
+        keys: scale.keys,
+        zipf_s: ZIPF_S,
+        mode: LoadMode::Open { offered_tps },
+        duration: scale.duration,
+        seed: 2024,
+        ..DriverConfig::default()
+    };
+    driver::run(&mut gateway, &config)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { &SMOKE } else { &FULL };
+    let capacity = ServiceModel::default().capacity_tps(gateway_config(true).block_size);
+    println!(
+        "service-model capacity ≈ {capacity:.0} tps; sweeping {} load points{}",
+        scale.load_fractions.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut series: Vec<(bool, Vec<Point>)> = Vec::new();
+    for retry_enabled in [true, false] {
+        let mut points = Vec::new();
+        for &fraction in scale.load_fractions {
+            let offered_tps = capacity * fraction;
+            let report = run_point(scale, retry_enabled, offered_tps);
+            println!(
+                "retry={retry_enabled:<5} offered {offered_tps:>8.0} tps → committed {:>8.0} tps, \
+                 shed {:>6}, conflicts {:>5}, commit_ratio {:.3}, p99 {} µs",
+                report.throughput_tps,
+                report.shed,
+                report.conflicts,
+                report.commit_ratio,
+                report.p99_latency_us,
+            );
+            points.push(Point {
+                offered_tps,
+                report,
+            });
+        }
+        series.push((retry_enabled, points));
+    }
+
+    // ── Self-checks: the curve must have the textbook shape.
+    let retry_points = &series[0].1;
+    let no_retry_points = &series[1].1;
+    let low = &retry_points[0];
+    let mid = retry_points
+        .iter()
+        .rfind(|p| p.offered_tps < capacity)
+        .expect("a below-knee point");
+    let peak = retry_points
+        .iter()
+        .map(|p| p.report.throughput_tps)
+        .fold(0.0, f64::max);
+    let last = retry_points.last().expect("sweep non-empty");
+    assert!(
+        mid.report.throughput_tps > low.report.throughput_tps * 1.2,
+        "throughput must rise below the knee: {:.0} vs {:.0}",
+        mid.report.throughput_tps,
+        low.report.throughput_tps
+    );
+    assert!(
+        last.report.throughput_tps > peak * 0.6,
+        "throughput must plateau past the knee, not collapse: {:.0} vs peak {:.0}",
+        last.report.throughput_tps,
+        peak
+    );
+    assert_eq!(low.report.shed, 0, "no shedding far below the knee");
+    assert!(
+        last.report.shed > 0,
+        "overload must engage admission control"
+    );
+    for p in retry_points {
+        assert!(
+            p.report.commit_ratio >= 0.95,
+            "retry must commit ≥95% of accepted (got {:.3} at {:.0} tps)",
+            p.report.commit_ratio,
+            p.offered_tps
+        );
+    }
+    let contended = |points: &[Point]| -> f64 {
+        points
+            .iter()
+            .map(|p| p.report.conflict_aborted as f64)
+            .sum()
+    };
+    assert!(
+        contended(no_retry_points) > contended(retry_points),
+        "the no-retry baseline must abort more under contention"
+    );
+    println!(
+        "\nknee holds: rise {:.0} → {:.0} tps, plateau {:.0} tps, shed {} at 2×; \
+         retry commit_ratio ≥ 0.95 everywhere",
+        low.report.throughput_tps,
+        mid.report.throughput_tps,
+        last.report.throughput_tps,
+        last.report.shed
+    );
+
+    // ── JSON report (hand-rolled: no serde in the offline build).
+    let point_json = |p: &Point| {
+        let r = &p.report;
+        format!(
+            concat!(
+                "      {{\"offered_tps\": {:.1}, \"throughput_tps\": {:.1}, ",
+                "\"offered\": {}, \"accepted\": {}, \"shed\": {}, \"committed\": {}, ",
+                "\"conflict_aborted\": {}, \"conflicts\": {}, \"retries\": {}, ",
+                "\"blocks\": {}, \"sessions\": {}, \"commit_ratio\": {:.4}, ",
+                "\"p50_latency_us\": {}, \"p99_latency_us\": {}}}"
+            ),
+            p.offered_tps,
+            r.throughput_tps,
+            r.offered,
+            r.accepted,
+            r.shed,
+            r.committed,
+            r.conflict_aborted,
+            r.conflicts,
+            r.retries,
+            r.blocks,
+            r.sessions,
+            r.commit_ratio,
+            r.p50_latency_us,
+            r.p99_latency_us,
+        )
+    };
+    let series_json: Vec<String> = series
+        .iter()
+        .map(|(retry_enabled, points)| {
+            format!(
+                "    {{\"retry\": {}, \"points\": [\n{}\n    ]}}",
+                retry_enabled,
+                points
+                    .iter()
+                    .map(point_json)
+                    .collect::<Vec<_>>()
+                    .join(",\n")
+            )
+        })
+        .collect();
+    let min_ratio = retry_points
+        .iter()
+        .map(|p| p.report.commit_ratio)
+        .fold(1.0, f64::min);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"gateway_saturation/v1\",\n",
+            "  \"smoke\": {},\n",
+            "  \"model\": {{\"endorse_us\": {}, \"validate_us_per_tx\": {}, ",
+            "\"block_fixed_us\": {}, \"block_size\": {}, \"capacity_tps\": {:.1}}},\n",
+            "  \"workload\": {{\"clients\": {}, \"keys\": {}, \"zipf_s\": {:.2}, ",
+            "\"duration_s\": {:.1}}},\n",
+            "  \"acceptance\": {{\"retry_min_commit_ratio\": {:.4}, \"target\": 0.95, ",
+            "\"met\": {}, \"shed_at_overload\": {}}},\n",
+            "  \"series\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        smoke,
+        ServiceModel::default().endorse_us,
+        ServiceModel::default().validate_us_per_tx,
+        ServiceModel::default().block_fixed_us,
+        gateway_config(true).block_size,
+        capacity,
+        scale.clients,
+        scale.keys,
+        ZIPF_S,
+        scale.duration.as_secs_f64(),
+        min_ratio,
+        min_ratio >= 0.95,
+        last.report.shed,
+        series_json.join(",\n"),
+    );
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("gateway_saturation.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!("wrote {}", path.display());
+
+    // `--metrics-out`: one instrumented run on a shared virtual clock so
+    // gauges, counters and spans reflect the virtual timeline.
+    if let Some(path) = metrics_out_arg() {
+        let clock = Arc::new(VirtualClock::new());
+        let telemetry = Telemetry::with_clock(clock.clone());
+        let (chain, ids) = counter_chain(42, 8, false);
+        let mut gateway = Gateway::new(chain, ids, gateway_config(true));
+        gateway.set_telemetry(&telemetry);
+        gateway.set_virtual_clock(clock);
+        let config = DriverConfig {
+            clients: scale.clients.min(100_000),
+            keys: scale.keys,
+            zipf_s: ZIPF_S,
+            mode: LoadMode::Open {
+                offered_tps: capacity * 0.9,
+            },
+            duration: SimTime::from_secs(1),
+            seed: 2024,
+            ..DriverConfig::default()
+        };
+        driver::run(&mut gateway, &config);
+        write_metrics(&telemetry, &path).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
+}

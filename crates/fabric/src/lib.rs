@@ -59,7 +59,7 @@ pub mod storage;
 pub mod validation;
 pub mod wire;
 
-pub use chain::FabricChain;
+pub use chain::{CommitEvent, CommitListener, FabricChain};
 pub use chaincode::{Chaincode, TxContext};
 pub use error::FabricError;
 pub use identity::{Identity, Msp, OrgId};

@@ -1,0 +1,482 @@
+//! Workload driver: open- and closed-loop client populations with Zipf
+//! key skew.
+//!
+//! The driver animates up to millions of *virtual* clients against a
+//! [`Gateway`]. Clients are pure functions of `(seed, index)` — no
+//! per-client RNG streams — so the generated workload is identical
+//! regardless of worker count or submission batching, and two runs with
+//! the same seed offer byte-identical traffic.
+//!
+//! * **Open loop** — arrivals at a fixed offered rate, independent of
+//!   completions (models external demand; drives the saturation curve).
+//! * **Closed loop** — each client submits, waits for its completion,
+//!   thinks, submits again (models a bounded population; self-clocking).
+//!
+//! Keys follow a Zipf distribution: with skew `s ≈ 1` a handful of hot
+//! counters absorb most increments, forcing the MVCC conflicts the retry
+//! layer exists for.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fabric_sim::chaincode::TxContext;
+use fabric_sim::endorsement::EndorsementPolicy;
+use fabric_sim::{Chaincode, FabricChain, FabricError, Identity, WorkerPool};
+use ledgerview_simnet::SimTime;
+use ledgerview_supplychain::generator::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::admission::Priority;
+use crate::pipeline::{Gateway, Operation, Request, SubmitResult};
+use crate::retry::mix64;
+
+/// A precomputed Zipf(s) sampler over ranks `0..n`.
+///
+/// Rank probabilities follow `1 / (rank + 1)^s`, normalised; sampling is a
+/// binary search over the cumulative distribution, driven by an externally
+/// supplied unit value so it stays stateless and replayable.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger is more skewed).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true — see [`Zipf::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The rank for a unit value in `[0, 1)`.
+    pub fn sample(&self, unit: f64) -> usize {
+        self.cdf
+            .partition_point(|&p| p <= unit)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// The rank for a 64-bit hash (mapped uniformly onto `[0, 1)`).
+    pub fn sample_hash(&self, h: u64) -> usize {
+        self.sample(unit(h))
+    }
+}
+
+/// Map a 64-bit hash to `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A minimal contended chaincode: named counters.
+///
+/// * `incr key delta` — read-modify-write (the MVCC-conflict workhorse).
+/// * `get key` — read.
+/// * `put key value` — blind write.
+///
+/// Counter values are stored as decimal strings so ledgers stay greppable.
+pub struct CounterChaincode;
+
+impl CounterChaincode {
+    fn read_i64(ctx: &mut TxContext<'_>, key: &str) -> Result<i64, FabricError> {
+        match ctx.get_state(key) {
+            None => Ok(0),
+            Some(raw) => String::from_utf8(raw)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    FabricError::ChaincodeError(format!("counter {key:?} is not an integer"))
+                }),
+        }
+    }
+}
+
+impl Chaincode for CounterChaincode {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, FabricError> {
+        let arg = |i: usize| -> Result<&str, FabricError> {
+            args.get(i)
+                .and_then(|a| std::str::from_utf8(a).ok())
+                .ok_or_else(|| {
+                    FabricError::ChaincodeError(format!("{function}: missing/invalid arg {i}"))
+                })
+        };
+        match function {
+            "incr" => {
+                let key = arg(0)?;
+                let delta: i64 = arg(1)?
+                    .parse()
+                    .map_err(|_| FabricError::ChaincodeError("incr: bad delta".into()))?;
+                let next = Self::read_i64(ctx, key)?.wrapping_add(delta);
+                let key = key.to_string();
+                ctx.put_state(key, next.to_string().into_bytes());
+                Ok(next.to_string().into_bytes())
+            }
+            "get" => {
+                let key = arg(0)?;
+                Ok(Self::read_i64(ctx, key)?.to_string().into_bytes())
+            }
+            "put" => {
+                let key = arg(0)?.to_string();
+                let value = args
+                    .get(1)
+                    .cloned()
+                    .ok_or_else(|| FabricError::ChaincodeError("put: missing value".into()))?;
+                ctx.put_state(key, value);
+                Ok(Vec::new())
+            }
+            other => Err(FabricError::ChaincodeError(format!(
+                "counter: unknown function {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A two-org chain with the [`CounterChaincode`] deployed and `identities`
+/// client identities enrolled — the standard substrate for gateway tests
+/// and benches.
+///
+/// `check_signatures = false` skips Ed25519 verification at commit, which
+/// large virtual-population runs want (the crypto is exercised elsewhere).
+pub fn counter_chain(
+    seed: u64,
+    identities: usize,
+    check_signatures: bool,
+) -> (FabricChain, Vec<Identity>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chain = FabricChain::new(&["GatewayOrg", "AuditOrg"], &mut rng);
+    chain.set_check_signatures(check_signatures);
+    chain.deploy(
+        "counter",
+        Box::new(CounterChaincode),
+        EndorsementPolicy::AnyOf(chain.org_ids()),
+    );
+    let org = chain.org_ids()[0].clone();
+    let ids = (0..identities.max(1))
+        .map(|i| {
+            chain
+                .enroll(&org, &format!("client-{i}"), &mut rng)
+                .expect("org exists")
+        })
+        .collect();
+    (chain, ids)
+}
+
+/// How the population offers load.
+#[derive(Clone, Copy, Debug)]
+pub enum LoadMode {
+    /// Arrivals at a fixed rate, independent of completions.
+    Open {
+        /// Offered transactions per second.
+        offered_tps: f64,
+    },
+    /// Each client waits for its completion plus a think time before
+    /// submitting again.
+    Closed {
+        /// Per-client think time between completion and resubmit, µs.
+        think_time_us: u64,
+    },
+}
+
+/// Driver configuration.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Virtual client population size (ids are `0..clients`).
+    pub clients: u64,
+    /// Counter keyspace size.
+    pub keys: usize,
+    /// Zipf skew exponent over the keyspace (`0` = uniform).
+    pub zipf_s: f64,
+    /// Open or closed loop.
+    pub mode: LoadMode,
+    /// How long arrivals are offered (virtual or wall time, matching the
+    /// gateway's mode).
+    pub duration: SimTime,
+    /// Fraction of traffic tagged [`Priority::Low`].
+    pub low_priority_fraction: f64,
+    /// Arrivals generated per parallel batch (open loop).
+    pub arrival_batch: usize,
+    /// Worker threads for arrival generation.
+    pub workers: usize,
+    /// Workload seed — independent of the gateway seed.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            clients: 10_000,
+            keys: 1_000,
+            zipf_s: 1.0,
+            mode: LoadMode::Open { offered_tps: 500.0 },
+            duration: SimTime::from_secs(10),
+            low_priority_fraction: 0.2,
+            arrival_batch: 512,
+            workers: 2,
+            seed: 1,
+        }
+    }
+}
+
+/// What a driver run measured. All counters are deltas over the run
+/// (the driver expects a freshly built gateway).
+#[derive(Clone, Debug)]
+pub struct DriverReport {
+    /// Submissions offered.
+    pub offered: u64,
+    /// Submissions accepted.
+    pub accepted: u64,
+    /// Submissions shed by admission control.
+    pub shed: u64,
+    /// Requests committed as valid.
+    pub committed: u64,
+    /// Requests terminally aborted on MVCC conflict.
+    pub conflict_aborted: u64,
+    /// Requests terminally aborted at endorsement.
+    pub endorse_aborted: u64,
+    /// MVCC conflicts observed.
+    pub conflicts: u64,
+    /// Retry rounds scheduled.
+    pub retries: u64,
+    /// Blocks cut.
+    pub blocks: u64,
+    /// Distinct clients that submitted.
+    pub sessions: usize,
+    /// Time at which the pipeline went quiescent.
+    pub quiesced: SimTime,
+    /// Offered load, tx/s.
+    pub offered_tps: f64,
+    /// Committed throughput over the quiescence window, tx/s.
+    pub throughput_tps: f64,
+    /// Committed / accepted.
+    pub commit_ratio: f64,
+    /// Median submit→commit latency, µs.
+    pub p50_latency_us: u64,
+    /// Tail submit→commit latency, µs.
+    pub p99_latency_us: u64,
+    /// Mean submit→commit latency, µs.
+    pub mean_latency_us: f64,
+}
+
+/// Drive `gateway` with the configured population until `duration`
+/// elapses, then drain the pipeline to quiescence and report.
+pub fn run(gateway: &mut Gateway, config: &DriverConfig) -> DriverReport {
+    match config.mode {
+        LoadMode::Open { offered_tps } => run_open(gateway, config, offered_tps),
+        LoadMode::Closed { think_time_us } => run_closed(gateway, config, think_time_us),
+    }
+}
+
+/// The i-th arrival of the run, as a pure function of the seed.
+fn arrival(config: &DriverConfig, zipf: &Zipf, i: u64) -> Request {
+    let client = mix64(config.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % config.clients.max(1);
+    let key = zipf.sample_hash(mix64(config.seed ^ 0x5EED ^ i.rotate_left(17)));
+    let low = unit(mix64(config.seed ^ 0x11FE ^ i)) < config.low_priority_fraction;
+    Request {
+        client,
+        priority: if low { Priority::Low } else { Priority::Normal },
+        op: incr_op(key),
+    }
+}
+
+/// An `incr key_<rank> 1` operation.
+fn incr_op(key_rank: usize) -> Operation {
+    Operation::new(
+        "counter",
+        "incr",
+        vec![format!("key_{key_rank:06}").into_bytes(), b"1".to_vec()],
+    )
+}
+
+fn run_open(gateway: &mut Gateway, config: &DriverConfig, offered_tps: f64) -> DriverReport {
+    assert!(offered_tps > 0.0, "open loop needs a positive rate");
+    let zipf = Zipf::new(config.keys.max(1), config.zipf_s);
+    let pool = WorkerPool::new(config.workers);
+    let duration_us = config.duration.as_micros();
+    let total = ((duration_us as f64 / 1e6) * offered_tps) as u64;
+    let interval = 1e6 / offered_tps;
+    let mut next = 0u64;
+    while next < total {
+        let batch = config.arrival_batch.max(1).min((total - next) as usize);
+        // Arrival generation is embarrassingly parallel: requests are
+        // stateless functions of (seed, index), so chunking cannot change
+        // the workload.
+        let requests: Vec<(u64, Request)> = pool.map_indexed(batch, |j| {
+            let i = next + j as u64;
+            let at_us = (i as f64 * interval) as u64;
+            (at_us, arrival(config, &zipf, i))
+        });
+        for (at_us, request) in requests {
+            gateway.pump(at_us);
+            gateway.submit(at_us, request.client, request.priority, request.op);
+        }
+        next += batch as u64;
+    }
+    finish(gateway, duration_us, offered_tps)
+}
+
+fn run_closed(gateway: &mut Gateway, config: &DriverConfig, think_time_us: u64) -> DriverReport {
+    let zipf = Zipf::new(config.keys.max(1), config.zipf_s);
+    let duration_us = config.duration.as_micros();
+    let think = think_time_us.max(1);
+    // (next submit time, client); starts staggered across one think window
+    // so the population doesn't arrive as a single convoy.
+    let mut due: BinaryHeap<Reverse<(u64, u64)>> = (0..config.clients)
+        .map(|c| Reverse((mix64(config.seed ^ c) % think, c)))
+        .collect();
+    while let Some(Reverse((at_us, client))) = due.pop() {
+        if at_us >= duration_us {
+            break;
+        }
+        gateway.pump(at_us);
+        // Route completions back into think/submit cycles.
+        for done in gateway.drain_completions() {
+            due.push(Reverse((
+                done.completed_us.saturating_add(think),
+                done.client,
+            )));
+        }
+        let key = zipf.sample_hash(mix64(config.seed ^ 0x5EED ^ at_us ^ client.rotate_left(23)));
+        let low = unit(mix64(config.seed ^ 0x11FE ^ at_us ^ client)) < config.low_priority_fraction;
+        let priority = if low { Priority::Low } else { Priority::Normal };
+        if let SubmitResult::Shed(_) = gateway.submit(at_us, client, priority, incr_op(key)) {
+            // Shed: the client backs off one think time and tries again.
+            due.push(Reverse((at_us.saturating_add(think), client)));
+        }
+    }
+    let offered_tps = gateway.stats().submitted as f64 / config.duration.as_secs_f64().max(1e-9);
+    finish(gateway, duration_us, offered_tps)
+}
+
+fn finish(gateway: &mut Gateway, duration_us: u64, offered_tps: f64) -> DriverReport {
+    let quiesced_us = gateway.drain(duration_us);
+    let stats = gateway.stats().clone();
+    let secs = (quiesced_us as f64 / 1e6).max(1e-9);
+    DriverReport {
+        offered: stats.submitted,
+        accepted: stats.accepted,
+        shed: stats.shed_total(),
+        committed: stats.committed,
+        conflict_aborted: stats.conflict_aborted,
+        endorse_aborted: stats.endorse_aborted,
+        conflicts: stats.conflicts,
+        retries: stats.retries,
+        blocks: stats.blocks_cut,
+        sessions: gateway.session_count(),
+        quiesced: SimTime::from_micros(quiesced_us),
+        offered_tps,
+        throughput_tps: stats.committed as f64 / secs,
+        commit_ratio: stats.commit_ratio(),
+        p50_latency_us: gateway.latency_us(0.5),
+        p99_latency_us: gateway.latency_us(0.99),
+        mean_latency_us: gateway.mean_latency_us(),
+    }
+}
+
+/// Map a [`Workload`] from the supply-chain generator onto gateway
+/// operations: each transfer becomes a `put` of its attributes under
+/// `item/seq`, reusing the paper's tracking scenario as gateway traffic.
+pub fn transfer_ops(workload: &Workload) -> Vec<Operation> {
+    workload
+        .transfers
+        .iter()
+        .map(|t| {
+            let key = format!("{}/{}", t.item, t.seq);
+            let value = t
+                .attributes()
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(";");
+            Operation::new("counter", "put", vec![key.into_bytes(), value.into_bytes()])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_deterministic() {
+        let z = Zipf::new(100, 1.0);
+        let mut counts = vec![0u32; 100];
+        for i in 0..10_000u64 {
+            counts[z.sample_hash(mix64(i))] += 1;
+        }
+        assert!(
+            counts[0] > counts[50] && counts[0] > counts[99],
+            "rank 0 must dominate: {} vs {} vs {}",
+            counts[0],
+            counts[50],
+            counts[99]
+        );
+        assert_eq!(z.sample_hash(12345), z.sample_hash(12345));
+        // Uniform limit: s = 0 spreads mass evenly-ish.
+        let u = Zipf::new(10, 0.0);
+        assert!(u.sample(0.95) >= 8);
+        // Edge unit values stay in range.
+        assert_eq!(z.sample(0.0), 0);
+        assert!(z.sample(0.999_999_9) < 100);
+    }
+
+    #[test]
+    fn counter_chaincode_increments_and_reads() {
+        let (mut chain, ids) = counter_chain(7, 1, true);
+        let mut rng = StdRng::seed_from_u64(9);
+        let incr = |chain: &mut FabricChain, rng: &mut StdRng| {
+            chain
+                .invoke_commit(
+                    &ids[0],
+                    "counter",
+                    "incr",
+                    vec![b"k".to_vec(), b"5".to_vec()],
+                    rng,
+                )
+                .unwrap()
+        };
+        incr(&mut chain, &mut rng);
+        incr(&mut chain, &mut rng);
+        let got = chain
+            .invoke_commit(&ids[0], "counter", "get", vec![b"k".to_vec()], &mut rng)
+            .unwrap();
+        assert_eq!(got.response, b"10".to_vec());
+    }
+
+    #[test]
+    fn arrivals_are_stateless_in_index() {
+        let config = DriverConfig::default();
+        let zipf = Zipf::new(config.keys, config.zipf_s);
+        let a = arrival(&config, &zipf, 42);
+        let b = arrival(&config, &zipf, 42);
+        assert_eq!(a.client, b.client);
+        assert_eq!(a.op, b.op);
+        let c = arrival(&config, &zipf, 43);
+        assert!(c.client != a.client || c.op != a.op, "indices decorrelate");
+    }
+}

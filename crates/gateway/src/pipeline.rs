@@ -1,0 +1,1083 @@
+//! The submission pipeline: admission → sharded bounded queues →
+//! endorsement → block cutter → commit routing → retry.
+//!
+//! [`Gateway`] owns a [`FabricChain`] exclusively and turns its synchronous
+//! `invoke` + `cut_block` surface into a served pipeline:
+//!
+//! * **Admission** ([`crate::admission`]) — a token bucket, per-client
+//!   in-flight caps, priority-aware load shedding, and a front-end screen
+//!   run on a [`WorkerPool`]. Refused submissions are *shed*: the client
+//!   learns synchronously and nothing is retained.
+//! * **Sharded bounded queues** — accepted requests land in
+//!   `client % shards` FIFO lanes with per-shard capacity, so one hot
+//!   client population cannot starve the rest; lanes drain round-robin.
+//!   A full lane is backpressure ([`ShedReason::QueueFull`]).
+//! * **Endorsement** — requests are endorsed (`FabricChain::invoke`)
+//!   when the pipeline has capacity, producing real read/write sets and
+//!   signatures.
+//! * **Block cutter** — blocks cut on **size** (pending reaches
+//!   `block_size`) or **timeout** (oldest pending transaction waited
+//!   `block_timeout_us`), whichever first — the asynchronous ordering
+//!   batcher the synchronous facade lacked.
+//! * **Commit routing** — the gateway subscribes to
+//!   [`CommitEvent`]s and routes each transaction's outcome back to the
+//!   owning session.
+//! * **Retry** ([`crate::retry`]) — MVCC-conflicted transactions are
+//!   re-endorsed (fresh read versions) and resubmitted after exponential
+//!   backoff with deterministic jitter; retries bypass admission (they
+//!   were already accepted) and are **never dropped** — every accepted
+//!   request reaches exactly one terminal [`Completion`].
+//!
+//! Time is externally driven (`pump(now_us)`), so the pipeline runs
+//! identically against wall-clock microseconds or a virtual clock. With a
+//! [`ServiceModel`] attached, endorsement and validation consume *virtual*
+//! service time and the pipeline behaves as a single-server queue —
+//! saturation curves become machine-independent and bit-reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use fabric_sim::chain::CommitEvent;
+use fabric_sim::validation::TxValidation;
+use fabric_sim::{FabricChain, Identity, TxId, WorkerPool};
+use ledgerview_telemetry::{Counter, Gauge, Histogram, HistogramHandle, Telemetry, VirtualClock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::admission::{AdmissionConfig, Priority, ShedReason, TokenBucket};
+use crate::retry::RetryPolicy;
+use crate::session::{Session, SessionTable};
+
+/// A chaincode invocation a client wants committed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Operation {
+    /// Target chaincode name.
+    pub chaincode: String,
+    /// Function to invoke.
+    pub function: String,
+    /// Invocation arguments.
+    pub args: Vec<Vec<u8>>,
+}
+
+impl Operation {
+    /// Convenience constructor.
+    pub fn new(
+        chaincode: impl Into<String>,
+        function: impl Into<String>,
+        args: Vec<Vec<u8>>,
+    ) -> Operation {
+        Operation {
+            chaincode: chaincode.into(),
+            function: function.into(),
+            args,
+        }
+    }
+}
+
+/// One client submission, as handed to [`Gateway::submit_batch`].
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Virtual client id (sessions materialise per id on first touch).
+    pub client: u64,
+    /// Traffic class for load shedding.
+    pub priority: Priority,
+    /// The operation to commit.
+    pub op: Operation,
+}
+
+/// Virtual service-time model for machine-independent runs.
+///
+/// With a model attached the pipeline is a single-server queue: each
+/// endorsement occupies the server for `endorse_us` and each block cut for
+/// `block_fixed_us + n · validate_us_per_tx`. Offered load beyond the
+/// resulting capacity backs up the submit queues and is shed — the knee of
+/// the saturation curve is a property of the model, not of the machine
+/// running the experiment.
+#[derive(Clone, Debug)]
+pub struct ServiceModel {
+    /// Server time consumed endorsing one transaction, in microseconds.
+    pub endorse_us: u64,
+    /// Per-transaction share of block validation/commit, in microseconds.
+    pub validate_us_per_tx: u64,
+    /// Fixed per-block cost (ordering, header, persistence), microseconds.
+    pub block_fixed_us: u64,
+}
+
+impl Default for ServiceModel {
+    fn default() -> Self {
+        ServiceModel {
+            endorse_us: 60,
+            validate_us_per_tx: 12,
+            block_fixed_us: 600,
+        }
+    }
+}
+
+impl ServiceModel {
+    /// Theoretical saturation throughput for `block_size`-transaction
+    /// blocks, in transactions per second.
+    pub fn capacity_tps(&self, block_size: usize) -> f64 {
+        let per_tx = self.endorse_us as f64
+            + self.validate_us_per_tx as f64
+            + self.block_fixed_us as f64 / block_size.max(1) as f64;
+        1e6 / per_tx
+    }
+}
+
+/// Gateway configuration.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Number of submit-queue shards (clients hash to `client % shards`).
+    pub shards: usize,
+    /// Total queued-request capacity, split evenly across shards.
+    pub queue_capacity: usize,
+    /// Cut a block when this many transactions are pending.
+    pub block_size: usize,
+    /// ... or when the oldest pending transaction has waited this long.
+    pub block_timeout_us: u64,
+    /// Worker threads for the front-end request screen.
+    pub frontend_workers: usize,
+    /// Admission control.
+    pub admission: AdmissionConfig,
+    /// MVCC-conflict retry policy.
+    pub retry: RetryPolicy,
+    /// Virtual service-time model (`None` = as fast as the hardware).
+    pub service: Option<ServiceModel>,
+    /// Seed for proposal nonces and retry jitter: equal seeds, equal runs.
+    pub seed: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: 4,
+            queue_capacity: 4096,
+            block_size: 100,
+            block_timeout_us: 5_000,
+            frontend_workers: 2,
+            admission: AdmissionConfig::default(),
+            retry: RetryPolicy::default(),
+            service: None,
+            seed: 0,
+        }
+    }
+}
+
+/// The synchronous answer to a submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitResult {
+    /// Accepted; the request id will appear in exactly one [`Completion`].
+    Accepted(u64),
+    /// Refused by admission control; nothing retained.
+    Shed(ShedReason),
+}
+
+impl SubmitResult {
+    /// The request id, if accepted.
+    pub fn accepted(&self) -> Option<u64> {
+        match self {
+            SubmitResult::Accepted(req) => Some(*req),
+            SubmitResult::Shed(_) => None,
+        }
+    }
+}
+
+/// Terminal outcome of one accepted request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompletionOutcome {
+    /// Committed as valid in the given block.
+    Committed {
+        /// Block number the transaction committed in.
+        block: u64,
+    },
+    /// Aborted: still MVCC-conflicted after the retry budget ran out (or
+    /// retry is disabled).
+    ConflictAborted {
+        /// The conflicting key of the final attempt.
+        key: String,
+    },
+    /// Aborted: endorsement failed (unknown chaincode, chaincode error,
+    /// policy failure).
+    EndorsementAborted {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl CompletionOutcome {
+    /// True for [`CompletionOutcome::Committed`].
+    pub fn is_committed(&self) -> bool {
+        matches!(self, CompletionOutcome::Committed { .. })
+    }
+}
+
+/// Delivered to the session exactly once per accepted request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The request id returned by [`SubmitResult::Accepted`].
+    pub req: u64,
+    /// Owning virtual client.
+    pub client: u64,
+    /// Endorsement attempts spent (1 = no retries).
+    pub attempts: u32,
+    /// Admission timestamp, microseconds.
+    pub submitted_us: u64,
+    /// Terminal timestamp, microseconds (commit time for commits).
+    pub completed_us: u64,
+    /// What happened.
+    pub outcome: CompletionOutcome,
+}
+
+/// Aggregate pipeline counters (also mirrored into telemetry when
+/// attached).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Submissions attempted.
+    pub submitted: u64,
+    /// Submissions accepted.
+    pub accepted: u64,
+    /// Shed: submit-queue shard full.
+    pub shed_queue_full: u64,
+    /// Shed: token bucket empty.
+    pub shed_rate_limited: u64,
+    /// Shed: per-client in-flight cap.
+    pub shed_inflight_cap: u64,
+    /// Shed: low-priority under load.
+    pub shed_low_priority: u64,
+    /// Shed: failed front-end screening.
+    pub shed_malformed: u64,
+    /// Requests committed as valid.
+    pub committed: u64,
+    /// Requests aborted on exhausted retry budget.
+    pub conflict_aborted: u64,
+    /// Requests aborted at endorsement.
+    pub endorse_aborted: u64,
+    /// MVCC conflicts observed (each may or may not have retry budget).
+    pub conflicts: u64,
+    /// Re-endorsement rounds scheduled.
+    pub retries: u64,
+    /// Blocks cut.
+    pub blocks_cut: u64,
+}
+
+impl GatewayStats {
+    /// Total shed submissions.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full
+            + self.shed_rate_limited
+            + self.shed_inflight_cap
+            + self.shed_low_priority
+            + self.shed_malformed
+    }
+
+    /// Requests that reached a terminal outcome.
+    pub fn terminal(&self) -> u64 {
+        self.committed + self.conflict_aborted + self.endorse_aborted
+    }
+
+    /// Committed / accepted (1.0 when nothing accepted).
+    pub fn commit_ratio(&self) -> f64 {
+        if self.accepted == 0 {
+            1.0
+        } else {
+            self.committed as f64 / self.accepted as f64
+        }
+    }
+}
+
+/// Metric handles, resolved once at telemetry attach.
+struct GatewayMetrics {
+    telemetry: Telemetry,
+    shed: [(ShedReason, Counter); 5],
+    accepted: Counter,
+    committed: Counter,
+    aborted_conflict: Counter,
+    aborted_endorse: Counter,
+    conflicts: Counter,
+    retries: Counter,
+    blocks: Counter,
+    queue_depth: Gauge,
+    retry_depth: Gauge,
+    inflight: Gauge,
+    latency: HistogramHandle,
+}
+
+impl GatewayMetrics {
+    fn new(telemetry: &Telemetry) -> GatewayMetrics {
+        let r = telemetry.registry();
+        let shed = |reason: ShedReason| {
+            (
+                reason,
+                r.counter("lv_gateway_shed_total", &[("reason", reason.as_str())]),
+            )
+        };
+        GatewayMetrics {
+            telemetry: telemetry.clone(),
+            shed: [
+                shed(ShedReason::QueueFull),
+                shed(ShedReason::RateLimited),
+                shed(ShedReason::InflightCap),
+                shed(ShedReason::LowPriority),
+                shed(ShedReason::Malformed),
+            ],
+            accepted: r.counter("lv_gateway_accepted_total", &[]),
+            committed: r.counter("lv_gateway_committed_total", &[]),
+            aborted_conflict: r.counter("lv_gateway_aborted_total", &[("kind", "conflict")]),
+            aborted_endorse: r.counter("lv_gateway_aborted_total", &[("kind", "endorsement")]),
+            conflicts: r.counter("lv_gateway_conflicts_total", &[]),
+            retries: r.counter("lv_gateway_retries_total", &[]),
+            blocks: r.counter("lv_gateway_blocks_cut_total", &[]),
+            queue_depth: r.gauge("lv_gateway_queue_depth", &[("lane", "submit")]),
+            retry_depth: r.gauge("lv_gateway_queue_depth", &[("lane", "retry")]),
+            inflight: r.gauge("lv_gateway_inflight", &[]),
+            latency: r.histogram("lv_gateway_submit_commit_seconds", &[]),
+        }
+    }
+
+    fn count_shed(&self, reason: ShedReason) {
+        for (r, counter) in &self.shed {
+            if *r == reason {
+                counter.inc();
+            }
+        }
+    }
+}
+
+/// One accepted, not-yet-terminal request.
+struct InFlight {
+    client: u64,
+    op: Operation,
+    submitted_us: u64,
+    /// When the request (re-)entered a ready lane — the earliest instant
+    /// its next endorsement may start under a [`ServiceModel`].
+    ready_us: u64,
+    attempts: u32,
+}
+
+/// The client gateway. See the module docs for the pipeline shape.
+pub struct Gateway {
+    chain: FabricChain,
+    identities: Vec<Identity>,
+    config: GatewayConfig,
+    rng: StdRng,
+    frontend: WorkerPool,
+    /// Per-shard FIFO of accepted request ids awaiting first endorsement.
+    shards: Vec<VecDeque<u64>>,
+    shard_capacity: usize,
+    next_shard: usize,
+    queued: usize,
+    /// Retries whose backoff expired, awaiting re-endorsement. Drained
+    /// ahead of the submit shards and never bounded: an accepted request
+    /// is never dropped.
+    retry_ready: VecDeque<u64>,
+    /// Scheduled retries, ordered by due time (ties by request id).
+    retry_due: BinaryHeap<Reverse<(u64, u64)>>,
+    inflight: HashMap<u64, InFlight>,
+    /// Endorsed-transaction id → owning request, for commit routing.
+    routing: HashMap<TxId, u64>,
+    sessions: SessionTable,
+    bucket: Option<TokenBucket>,
+    completions: Vec<Completion>,
+    commit_sink: Arc<Mutex<Vec<CommitEvent>>>,
+    first_pending_us: Option<u64>,
+    busy_until_us: u64,
+    now_us: u64,
+    next_req: u64,
+    stats: GatewayStats,
+    /// Submit→commit latency of committed requests, in microseconds.
+    latency: Histogram,
+    metrics: Option<GatewayMetrics>,
+    clock: Option<Arc<VirtualClock>>,
+}
+
+impl Gateway {
+    /// Build a gateway over `chain`, signing submissions with
+    /// `identities[client % identities.len()]`.
+    ///
+    /// # Panics
+    /// Panics if `identities` is empty or `block_size` is zero.
+    pub fn new(
+        mut chain: FabricChain,
+        identities: Vec<Identity>,
+        config: GatewayConfig,
+    ) -> Gateway {
+        assert!(!identities.is_empty(), "gateway needs a signing identity");
+        assert!(config.block_size > 0, "block_size must be positive");
+        let shards = config.shards.max(1);
+        let shard_capacity = config.queue_capacity.div_ceil(shards).max(1);
+        let commit_sink: Arc<Mutex<Vec<CommitEvent>>> = Arc::default();
+        let sink = Arc::clone(&commit_sink);
+        chain.subscribe_commits(move |ev| sink.lock().expect("sink poisoned").push(ev.clone()));
+        let bucket = config
+            .admission
+            .rate_per_sec
+            .map(|rate| TokenBucket::new(rate, config.admission.burst));
+        Gateway {
+            identities,
+            rng: StdRng::seed_from_u64(config.seed),
+            frontend: WorkerPool::new(config.frontend_workers),
+            shards: (0..shards).map(|_| VecDeque::new()).collect(),
+            shard_capacity,
+            next_shard: 0,
+            queued: 0,
+            retry_ready: VecDeque::new(),
+            retry_due: BinaryHeap::new(),
+            inflight: HashMap::new(),
+            routing: HashMap::new(),
+            sessions: SessionTable::new(),
+            bucket,
+            completions: Vec::new(),
+            commit_sink,
+            first_pending_us: None,
+            busy_until_us: 0,
+            now_us: 0,
+            next_req: 0,
+            stats: GatewayStats::default(),
+            latency: Histogram::new(),
+            metrics: None,
+            clock: None,
+            chain,
+            config,
+        }
+    }
+
+    /// Attach telemetry to the gateway and the chain beneath it.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.chain.set_telemetry(telemetry);
+        self.metrics = Some(GatewayMetrics::new(telemetry));
+    }
+
+    /// Advance this virtual clock alongside the pipeline clock, so span
+    /// traces of virtual-time runs show the virtual timeline.
+    pub fn set_virtual_clock(&mut self, clock: Arc<VirtualClock>) {
+        self.clock = Some(clock);
+    }
+
+    /// The underlying chain (read-only; the gateway owns the write path).
+    pub fn chain(&self) -> &FabricChain {
+        &self.chain
+    }
+
+    /// Tear down the gateway and recover the chain.
+    pub fn into_chain(self) -> FabricChain {
+        self.chain
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> &GatewayStats {
+        &self.stats
+    }
+
+    /// Per-client session statistics, if the client ever submitted.
+    pub fn session(&self, client: u64) -> Option<&Session> {
+        self.sessions.get(client)
+    }
+
+    /// Number of clients that ever submitted.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Accepted requests not yet terminal.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Submit→commit latency quantile of committed requests (µs).
+    pub fn latency_us(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// Mean submit→commit latency of committed requests (µs).
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// Take all completions delivered since the last call.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Submit one request at `now_us`. Runs the front-end screen and
+    /// admission control; accepted requests join the client's queue shard.
+    pub fn submit(
+        &mut self,
+        now_us: u64,
+        client: u64,
+        priority: Priority,
+        op: Operation,
+    ) -> SubmitResult {
+        match screen(&op, self.config.admission.max_arg_bytes) {
+            Some(reason) => self.refuse(client, reason),
+            None => self.admit(now_us, client, priority, op),
+        }
+    }
+
+    /// Submit a batch, screening requests in parallel on the front-end
+    /// worker pool before serial admission. Results are in request order.
+    pub fn submit_batch(&mut self, now_us: u64, requests: Vec<Request>) -> Vec<SubmitResult> {
+        let max_arg_bytes = self.config.admission.max_arg_bytes;
+        let pool = self.frontend.clone();
+        let screened: Vec<Option<ShedReason>> =
+            pool.map_indexed(requests.len(), |i| screen(&requests[i].op, max_arg_bytes));
+        requests
+            .into_iter()
+            .zip(screened)
+            .map(|(r, s)| match s {
+                Some(reason) => self.refuse(r.client, reason),
+                None => self.admit(now_us, r.client, r.priority, r.op),
+            })
+            .collect()
+    }
+
+    fn refuse(&mut self, client: u64, reason: ShedReason) -> SubmitResult {
+        self.stats.submitted += 1;
+        let session = self.sessions.entry(client);
+        session.submitted += 1;
+        session.shed += 1;
+        match reason {
+            ShedReason::QueueFull => self.stats.shed_queue_full += 1,
+            ShedReason::RateLimited => self.stats.shed_rate_limited += 1,
+            ShedReason::InflightCap => self.stats.shed_inflight_cap += 1,
+            ShedReason::LowPriority => self.stats.shed_low_priority += 1,
+            ShedReason::Malformed => self.stats.shed_malformed += 1,
+        }
+        if let Some(m) = &self.metrics {
+            m.count_shed(reason);
+        }
+        SubmitResult::Shed(reason)
+    }
+
+    fn admit(
+        &mut self,
+        now_us: u64,
+        client: u64,
+        priority: Priority,
+        op: Operation,
+    ) -> SubmitResult {
+        self.advance_clock(now_us);
+        let shard = (client % self.shards.len() as u64) as usize;
+        let fill = self.shards[shard].len() as f64 / self.shard_capacity as f64;
+        if self.shards[shard].len() >= self.shard_capacity {
+            return self.refuse(client, ShedReason::QueueFull);
+        }
+        if priority == Priority::Low && fill >= self.config.admission.low_priority_shed_fill {
+            return self.refuse(client, ShedReason::LowPriority);
+        }
+        if self.sessions.entry(client).inflight >= self.config.admission.max_inflight_per_client {
+            return self.refuse(client, ShedReason::InflightCap);
+        }
+        if let Some(bucket) = &mut self.bucket {
+            bucket.refill(self.now_us);
+            if !bucket.try_take() {
+                return self.refuse(client, ShedReason::RateLimited);
+            }
+        }
+
+        let req = self.next_req;
+        self.next_req += 1;
+        self.stats.submitted += 1;
+        self.stats.accepted += 1;
+        let session = self.sessions.entry(client);
+        session.submitted += 1;
+        session.inflight += 1;
+        self.inflight.insert(
+            req,
+            InFlight {
+                client,
+                op,
+                submitted_us: self.now_us,
+                ready_us: self.now_us,
+                attempts: 0,
+            },
+        );
+        self.shards[shard].push_back(req);
+        self.queued += 1;
+        if let Some(m) = &self.metrics {
+            m.accepted.inc();
+        }
+        SubmitResult::Accepted(req)
+    }
+
+    /// Advance the pipeline to `now_us`: expire retry backoffs, endorse
+    /// ready work while the (virtual) server is free, and cut blocks on
+    /// size or timeout. Repeats until nothing more can happen at `now_us`.
+    pub fn pump(&mut self, now_us: u64) {
+        self.advance_clock(now_us);
+        while self.step() {}
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(self.queued as i64);
+            m.retry_depth
+                .set((self.retry_ready.len() + self.retry_due.len()) as i64);
+            m.inflight.set(self.inflight.len() as i64);
+        }
+    }
+
+    fn advance_clock(&mut self, now_us: u64) {
+        self.now_us = self.now_us.max(now_us);
+        if let Some(clock) = &self.clock {
+            clock.advance_to(self.now_us);
+        }
+    }
+
+    /// One scheduling action; `true` if anything happened.
+    fn step(&mut self) -> bool {
+        // 1. Expire due retry backoffs into the ready lane.
+        if let Some(&Reverse((due, req))) = self.retry_due.peek() {
+            if due <= self.now_us {
+                self.retry_due.pop();
+                self.retry_ready.push_back(req);
+                return true;
+            }
+        }
+        // 2. Endorse one ready request if the server is free.
+        let server_free = self.config.service.is_none() || self.busy_until_us <= self.now_us;
+        if server_free {
+            if let Some(req) = self.pop_ready() {
+                self.endorse(req);
+                if self.chain.pending_count() >= self.config.block_size {
+                    self.cut(self.cut_trigger_us());
+                }
+                return true;
+            }
+        }
+        // 3. Timeout cut.
+        if self.chain.pending_count() > 0 {
+            if let Some(first) = self.first_pending_us {
+                let deadline = first.saturating_add(self.config.block_timeout_us);
+                if self.now_us >= deadline {
+                    self.cut(deadline.max(self.busy_until_us));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Next request to endorse: expired retries first, then the submit
+    /// shards round-robin.
+    fn pop_ready(&mut self) -> Option<u64> {
+        if let Some(req) = self.retry_ready.pop_front() {
+            return Some(req);
+        }
+        let n = self.shards.len();
+        for i in 0..n {
+            let shard = (self.next_shard + i) % n;
+            if let Some(req) = self.shards[shard].pop_front() {
+                self.next_shard = (shard + 1) % n;
+                self.queued -= 1;
+                return Some(req);
+            }
+        }
+        None
+    }
+
+    /// When a size-triggered cut starts, given the service model.
+    fn cut_trigger_us(&self) -> u64 {
+        match &self.config.service {
+            Some(_) => self.busy_until_us,
+            None => self.now_us,
+        }
+    }
+
+    fn endorse(&mut self, req: u64) {
+        let (client, op, ready_us) = {
+            let inf = self
+                .inflight
+                .get_mut(&req)
+                .expect("ready request in flight");
+            inf.attempts += 1;
+            (inf.client, inf.op.clone(), inf.ready_us)
+        };
+        let creator = self.identities[(client % self.identities.len() as u64) as usize].clone();
+        if let Some(svc) = &self.config.service {
+            let start = self.busy_until_us.max(ready_us);
+            self.busy_until_us = start + svc.endorse_us;
+        }
+        let endorsed_us = match &self.config.service {
+            Some(_) => self.busy_until_us,
+            None => self.now_us,
+        };
+        match self.chain.invoke(
+            &creator,
+            &op.chaincode,
+            &op.function,
+            op.args,
+            &mut self.rng,
+        ) {
+            Ok(result) => {
+                self.routing.insert(result.tx_id, req);
+                if self.first_pending_us.is_none() {
+                    self.first_pending_us = Some(endorsed_us);
+                }
+            }
+            Err(e) => self.complete(
+                req,
+                endorsed_us,
+                CompletionOutcome::EndorsementAborted {
+                    reason: e.to_string(),
+                },
+            ),
+        }
+    }
+
+    /// Cut the pending block starting at `trigger_us`, route every
+    /// outcome, and schedule retries for conflicted transactions.
+    fn cut(&mut self, trigger_us: u64) {
+        let n = self.chain.pending_count();
+        if n == 0 {
+            return;
+        }
+        let telemetry = self.metrics.as_ref().map(|m| m.telemetry.clone());
+        let _span = telemetry.as_ref().map(|t| t.span("gateway.cut"));
+        let commit_us = match &self.config.service {
+            Some(svc) => {
+                self.busy_until_us = self.busy_until_us.max(trigger_us)
+                    + svc.block_fixed_us
+                    + svc.validate_us_per_tx * n as u64;
+                self.busy_until_us
+            }
+            None => self.now_us,
+        };
+        self.chain.set_time_us(commit_us);
+        let _ = self.chain.cut_block();
+        self.first_pending_us = None;
+        self.stats.blocks_cut += 1;
+        if let Some(m) = &self.metrics {
+            m.blocks.inc();
+        }
+        let events: Vec<CommitEvent> = self
+            .commit_sink
+            .lock()
+            .expect("sink poisoned")
+            .drain(..)
+            .collect();
+        for ev in events {
+            let Some(req) = self.routing.remove(&ev.tx_id) else {
+                continue;
+            };
+            match ev.outcome {
+                TxValidation::Valid => self.complete(
+                    req,
+                    commit_us,
+                    CompletionOutcome::Committed {
+                        block: ev.block_number,
+                    },
+                ),
+                TxValidation::MvccConflict { key } => self.conflict(req, commit_us, key),
+                TxValidation::EndorsementFailure { reason } => self.complete(
+                    req,
+                    commit_us,
+                    CompletionOutcome::EndorsementAborted { reason },
+                ),
+            }
+        }
+    }
+
+    fn conflict(&mut self, req: u64, commit_us: u64, key: String) {
+        self.stats.conflicts += 1;
+        if let Some(m) = &self.metrics {
+            m.conflicts.inc();
+        }
+        let attempts = self.inflight[&req].attempts;
+        if self.config.retry.can_retry(attempts) {
+            let backoff = self
+                .config
+                .retry
+                .backoff_us(attempts, self.config.seed, req);
+            let due = commit_us.saturating_add(backoff);
+            let client = {
+                let inf = self
+                    .inflight
+                    .get_mut(&req)
+                    .expect("conflicted request in flight");
+                inf.ready_us = due;
+                inf.client
+            };
+            self.retry_due.push(Reverse((due, req)));
+            self.stats.retries += 1;
+            self.sessions.entry(client).retries += 1;
+            if let Some(m) = &self.metrics {
+                m.retries.inc();
+            }
+        } else {
+            self.complete(req, commit_us, CompletionOutcome::ConflictAborted { key });
+        }
+    }
+
+    fn complete(&mut self, req: u64, completed_us: u64, outcome: CompletionOutcome) {
+        let inf = self
+            .inflight
+            .remove(&req)
+            .expect("completing request in flight");
+        let session = self.sessions.entry(inf.client);
+        session.inflight -= 1;
+        match &outcome {
+            CompletionOutcome::Committed { .. } => {
+                session.committed += 1;
+                self.stats.committed += 1;
+                let latency = completed_us.saturating_sub(inf.submitted_us);
+                self.latency.record(latency);
+                if let Some(m) = &self.metrics {
+                    m.committed.inc();
+                    m.latency.observe(latency);
+                }
+            }
+            CompletionOutcome::ConflictAborted { .. } => {
+                session.aborted += 1;
+                self.stats.conflict_aborted += 1;
+                if let Some(m) = &self.metrics {
+                    m.aborted_conflict.inc();
+                }
+            }
+            CompletionOutcome::EndorsementAborted { .. } => {
+                session.aborted += 1;
+                self.stats.endorse_aborted += 1;
+                if let Some(m) = &self.metrics {
+                    m.aborted_endorse.inc();
+                }
+            }
+        }
+        self.completions.push(Completion {
+            req,
+            client: inf.client,
+            attempts: inf.attempts,
+            submitted_us: inf.submitted_us,
+            completed_us,
+            outcome,
+        });
+    }
+
+    /// The next instant at which `pump` could make progress, if any.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        let mut consider = |t: u64| {
+            next = Some(next.map_or(t, |n: u64| n.min(t)));
+        };
+        if let Some(&Reverse((due, _))) = self.retry_due.peek() {
+            consider(due);
+        }
+        if self.chain.pending_count() > 0 {
+            if let Some(first) = self.first_pending_us {
+                consider(first.saturating_add(self.config.block_timeout_us));
+            }
+        }
+        let work_waiting = self.queued > 0 || !self.retry_ready.is_empty();
+        if work_waiting && self.config.service.is_some() && self.busy_until_us > self.now_us {
+            consider(self.busy_until_us);
+        }
+        next
+    }
+
+    /// Run the pipeline from `now_us` until every accepted request is
+    /// terminal, advancing time along scheduling deadlines. Returns the
+    /// quiescence time.
+    pub fn drain(&mut self, mut now_us: u64) -> u64 {
+        loop {
+            self.pump(now_us);
+            if self.inflight.is_empty() {
+                return now_us.max(self.busy_until_us);
+            }
+            match self.next_deadline_us() {
+                Some(t) if t > now_us => now_us = t,
+                _ => now_us = now_us.saturating_add(self.config.block_timeout_us.max(1)),
+            }
+        }
+    }
+}
+
+/// Front-end request screen: `None` = clean, `Some(reason)` = refuse.
+fn screen(op: &Operation, max_arg_bytes: usize) -> Option<ShedReason> {
+    if op.chaincode.is_empty() || op.function.is_empty() {
+        return Some(ShedReason::Malformed);
+    }
+    let arg_bytes: usize = op.args.iter().map(Vec::len).sum();
+    if arg_bytes > max_arg_bytes {
+        return Some(ShedReason::Malformed);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::counter_chain;
+
+    fn incr(key: &str) -> Operation {
+        Operation::new("counter", "incr", vec![key.into(), b"1".to_vec()])
+    }
+
+    fn gateway(config: GatewayConfig) -> Gateway {
+        let (chain, ids) = counter_chain(11, 4, true);
+        Gateway::new(chain, ids, config)
+    }
+
+    #[test]
+    fn independent_requests_commit_in_cut_blocks() {
+        let mut gw = gateway(GatewayConfig {
+            block_size: 2,
+            ..GatewayConfig::default()
+        });
+        for (client, key) in [(1u64, "a"), (2, "b"), (3, "c")] {
+            let r = gw.submit(0, client, Priority::Normal, incr(key));
+            assert!(matches!(r, SubmitResult::Accepted(_)), "{r:?}");
+        }
+        gw.drain(0);
+        let done = gw.drain_completions();
+        assert_eq!(done.len(), 3);
+        assert!(done.iter().all(|c| c.outcome.is_committed()));
+        assert_eq!(gw.stats().committed, 3);
+        // 3 txs with block_size 2: a size cut plus a timeout cut.
+        assert_eq!(gw.stats().blocks_cut, 2);
+        assert_eq!(gw.inflight(), 0);
+        assert_eq!(gw.session(1).unwrap().committed, 1);
+    }
+
+    #[test]
+    fn conflicting_requests_retry_to_success() {
+        let mut gw = gateway(GatewayConfig {
+            block_size: 4,
+            ..GatewayConfig::default()
+        });
+        // Four increments of the same key endorsed into one block: one
+        // wins, three conflict and must re-endorse (serially converging).
+        for client in 0..4u64 {
+            gw.submit(0, client, Priority::Normal, incr("hot"));
+        }
+        gw.drain(0);
+        let done = gw.drain_completions();
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|c| c.outcome.is_committed()));
+        assert!(gw.stats().conflicts >= 3, "{:?}", gw.stats());
+        assert!(gw.stats().retries >= 3);
+        let total = gw
+            .chain()
+            .state()
+            .get("hot")
+            .map(|v| String::from_utf8_lossy(v).to_string());
+        assert_eq!(total.as_deref(), Some("4"), "all increments applied");
+    }
+
+    #[test]
+    fn retry_disabled_turns_conflicts_into_aborts() {
+        let mut gw = gateway(GatewayConfig {
+            block_size: 4,
+            retry: RetryPolicy {
+                enabled: false,
+                ..RetryPolicy::default()
+            },
+            ..GatewayConfig::default()
+        });
+        for client in 0..4u64 {
+            gw.submit(0, client, Priority::Normal, incr("hot"));
+        }
+        gw.drain(0);
+        let done = gw.drain_completions();
+        let committed = done.iter().filter(|c| c.outcome.is_committed()).count();
+        let aborted = done
+            .iter()
+            .filter(|c| matches!(c.outcome, CompletionOutcome::ConflictAborted { .. }))
+            .count();
+        assert_eq!((committed, aborted), (1, 3));
+    }
+
+    #[test]
+    fn bounded_queue_sheds_but_accepted_work_survives() {
+        // A slow virtual server and a 4-slot queue: most of a 100-request
+        // burst is shed, but every accepted request reaches a terminal
+        // completion.
+        let mut gw = gateway(GatewayConfig {
+            shards: 1,
+            queue_capacity: 4,
+            block_size: 2,
+            service: Some(ServiceModel::default()),
+            admission: AdmissionConfig {
+                max_inflight_per_client: 1_000,
+                ..AdmissionConfig::default()
+            },
+            ..GatewayConfig::default()
+        });
+        let mut accepted = 0;
+        for i in 0..100u64 {
+            match gw.submit(0, i, Priority::Normal, incr(&format!("k{i}"))) {
+                SubmitResult::Accepted(_) => accepted += 1,
+                SubmitResult::Shed(reason) => assert_eq!(reason, ShedReason::QueueFull),
+            }
+        }
+        assert!(accepted < 100, "backpressure must engage");
+        assert_eq!(gw.stats().shed_queue_full, 100 - accepted);
+        gw.drain(0);
+        assert_eq!(gw.drain_completions().len() as u64, accepted);
+        assert_eq!(gw.stats().terminal(), accepted);
+    }
+
+    #[test]
+    fn admission_gates_fire_in_order() {
+        let mut gw = gateway(GatewayConfig {
+            shards: 1,
+            queue_capacity: 8,
+            service: Some(ServiceModel::default()),
+            admission: AdmissionConfig {
+                rate_per_sec: Some(1_000.0),
+                burst: 2,
+                max_inflight_per_client: 2,
+                low_priority_shed_fill: 0.25,
+                ..AdmissionConfig::default()
+            },
+            ..GatewayConfig::default()
+        });
+        // Malformed first: screened before anything else.
+        let r = gw.submit(0, 1, Priority::High, Operation::new("", "incr", vec![]));
+        assert_eq!(r, SubmitResult::Shed(ShedReason::Malformed));
+        // Burst of 2 accepted, third rate-limited.
+        assert!(gw
+            .submit(0, 1, Priority::Normal, incr("a"))
+            .accepted()
+            .is_some());
+        assert!(gw
+            .submit(0, 2, Priority::Normal, incr("b"))
+            .accepted()
+            .is_some());
+        assert_eq!(
+            gw.submit(0, 3, Priority::Normal, incr("c")),
+            SubmitResult::Shed(ShedReason::RateLimited)
+        );
+        // A millisecond refills one token; client 1 reaches its in-flight
+        // cap of 2 with this acceptance.
+        assert!(gw
+            .submit(1_000, 1, Priority::Normal, incr("d"))
+            .accepted()
+            .is_some());
+        assert_eq!(
+            gw.submit(1_000, 1, Priority::Normal, incr("e")),
+            SubmitResult::Shed(ShedReason::InflightCap)
+        );
+        // Queue fill is 3/8 ≥ 25%: low-priority traffic sheds early.
+        assert_eq!(
+            gw.submit(1_000, 4, Priority::Low, incr("f")),
+            SubmitResult::Shed(ShedReason::LowPriority)
+        );
+    }
+
+    #[test]
+    fn virtual_service_model_sets_commit_times() {
+        let svc = ServiceModel {
+            endorse_us: 100,
+            validate_us_per_tx: 10,
+            block_fixed_us: 400,
+        };
+        let mut gw = gateway(GatewayConfig {
+            block_size: 2,
+            service: Some(svc),
+            ..GatewayConfig::default()
+        });
+        gw.submit(0, 1, Priority::Normal, incr("x"));
+        gw.submit(0, 2, Priority::Normal, incr("y"));
+        gw.drain(0);
+        let done = gw.drain_completions();
+        // Two endorsements (100 each) + block (400 + 2·10) = 620 µs.
+        assert!(done.iter().all(|c| c.completed_us == 620), "{done:?}");
+        assert_eq!(gw.latency_us(1.0), 620);
+    }
+}

@@ -1,0 +1,86 @@
+//! Per-client session tracking.
+//!
+//! The gateway serves populations up to millions of *virtual* clients, so
+//! the table is sparse: a [`Session`] materialises the first time a client
+//! submits and costs nothing for idle clients. Sessions bound in-flight
+//! work per client (admission control) and accumulate per-client outcome
+//! statistics.
+
+use std::collections::HashMap;
+
+/// Statistics and live state for one virtual client.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Session {
+    /// Accepted requests not yet terminal (committed or aborted).
+    pub inflight: usize,
+    /// Total submissions attempted (accepted + shed).
+    pub submitted: u64,
+    /// Submissions refused by admission control.
+    pub shed: u64,
+    /// Requests that reached a committed block as valid.
+    pub committed: u64,
+    /// Requests that ended in a terminal abort.
+    pub aborted: u64,
+    /// Re-endorsement rounds spent on this client's conflicted requests.
+    pub retries: u64,
+}
+
+/// A sparse map from virtual client id to [`Session`].
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    sessions: HashMap<u64, Session>,
+}
+
+impl SessionTable {
+    /// An empty table.
+    pub fn new() -> SessionTable {
+        SessionTable::default()
+    }
+
+    /// The session for `client`, creating it on first touch.
+    pub fn entry(&mut self, client: u64) -> &mut Session {
+        self.sessions.entry(client).or_default()
+    }
+
+    /// The session for `client`, if it ever submitted.
+    pub fn get(&self, client: u64) -> Option<&Session> {
+        self.sessions.get(&client)
+    }
+
+    /// Number of clients that have ever submitted.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no client has submitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Number of clients with at least one request in flight.
+    pub fn active(&self) -> usize {
+        self.sessions.values().filter(|s| s.inflight > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_materialise_on_first_touch() {
+        let mut table = SessionTable::new();
+        assert!(table.is_empty());
+        assert!(table.get(7).is_none());
+        table.entry(7).submitted += 1;
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.get(7).unwrap().submitted, 1);
+        // Touching again reuses the same session.
+        table.entry(7).inflight += 1;
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.active(), 1);
+        table.entry(9).submitted += 1;
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.active(), 1);
+    }
+}

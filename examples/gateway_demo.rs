@@ -1,0 +1,91 @@
+//! Gateway demo: contended clients retrying MVCC conflicts to success.
+//!
+//! Twenty clients funnel increments of a handful of hot counters through
+//! the gateway. Every block can commit only one write per key — the rest
+//! conflict — yet with retry enabled every accepted request eventually
+//! commits and the counters add up exactly. Run with:
+//!
+//! ```text
+//! cargo run --example gateway_demo
+//! ```
+
+use ledgerview::gateway::driver::counter_chain;
+use ledgerview::gateway::{CompletionOutcome, Operation, ServiceModel, SubmitResult};
+use ledgerview::prelude::*;
+
+fn main() {
+    // A virtual-clock gateway over a fresh two-org chain with the counter
+    // chaincode deployed: runs identically on any machine.
+    let (chain, identities) = counter_chain(7, 4, true);
+    let mut gateway = Gateway::new(
+        chain,
+        identities,
+        GatewayConfig {
+            block_size: 8,
+            block_timeout_us: 2_000,
+            service: Some(ServiceModel::default()),
+            seed: 1,
+            ..GatewayConfig::default()
+        },
+    );
+
+    // 20 clients × 5 rounds, all incrementing one of 3 hot counters: most
+    // submissions race a same-key writer into the same block and conflict.
+    const CLIENTS: u64 = 20;
+    const ROUNDS: u64 = 5;
+    let mut accepted = 0u64;
+    for round in 0..ROUNDS {
+        for client in 0..CLIENTS {
+            let key = format!("hot_{}", (client + round) % 3);
+            let op = Operation::new("counter", "incr", vec![key.into_bytes(), b"1".to_vec()]);
+            match gateway.submit(round * 500, client, Priority::Normal, op) {
+                SubmitResult::Accepted(_) => accepted += 1,
+                SubmitResult::Shed(reason) => println!("client {client} shed: {reason:?}"),
+            }
+        }
+    }
+
+    // Run the pipeline to quiescence: blocks cut, conflicts detected,
+    // losers re-endorsed after backoff, until every request is terminal.
+    let quiesced_us = gateway.drain(0);
+    let completions = gateway.drain_completions();
+
+    let mut max_attempts = 1u32;
+    for c in &completions {
+        match &c.outcome {
+            CompletionOutcome::Committed { .. } => max_attempts = max_attempts.max(c.attempts),
+            other => panic!("request {} did not commit: {other:?}", c.req),
+        }
+    }
+    assert_eq!(completions.len() as u64, accepted);
+
+    let stats = gateway.stats();
+    println!(
+        "{accepted} accepted → {} committed in {} blocks over {:.1} virtual ms",
+        stats.committed,
+        stats.blocks_cut,
+        quiesced_us as f64 / 1e3,
+    );
+    println!(
+        "{} MVCC conflicts resolved by {} retries (worst case {} attempts for one request)",
+        stats.conflicts, stats.retries, max_attempts,
+    );
+    assert!(stats.conflicts > 0, "hot keys must actually contend");
+
+    // The ground truth: all 100 increments are in the state, none lost or
+    // double-applied despite the races.
+    let total: i64 = (0..3)
+        .map(|k| {
+            let key = format!("hot_{k}");
+            let raw = gateway.chain().state().get(&key).expect("counter exists");
+            let value: i64 = String::from_utf8_lossy(raw).parse().unwrap();
+            println!("  {key} = {value}");
+            value
+        })
+        .sum();
+    assert_eq!(
+        total, accepted as i64,
+        "every increment applied exactly once"
+    );
+    println!("counters sum to {total} — every accepted increment applied exactly once.");
+}

@@ -21,6 +21,9 @@
 //!   contracts, RBAC and verification.
 //! * [`crosschain`] — the one-chain-per-view 2PC baseline.
 //! * [`supplychain`] — the supply-chain workload generator.
+//! * [`gateway`] — the client gateway: admission control, the block-cutting
+//!   submission pipeline, MVCC-conflict retry, and the million-client
+//!   workload driver (see `examples/gateway_demo.rs`).
 //! * [`telemetry`] — the metrics registry, span tracer and Chrome-trace /
 //!   Prometheus exporters threaded through all of the above (see
 //!   `examples/telemetry_dump.rs`).
@@ -71,6 +74,7 @@ pub use ledgerview_core as views;
 pub use ledgerview_crosschain as crosschain;
 pub use ledgerview_crypto as crypto;
 pub use ledgerview_datalog as datalog;
+pub use ledgerview_gateway as gateway;
 pub use ledgerview_simnet as simnet;
 pub use ledgerview_supplychain as supplychain;
 pub use ledgerview_telemetry as telemetry;
@@ -89,6 +93,7 @@ pub mod prelude {
     pub use ledgerview_core::txmodel::{AttrValue, ClientTransaction};
     pub use ledgerview_core::{ViewError, ViewPredicate};
     pub use ledgerview_crypto::keys::EncryptionKeyPair;
+    pub use ledgerview_gateway::{Gateway, GatewayConfig, Priority, RetryPolicy, ServiceModel};
     pub use ledgerview_telemetry::Telemetry;
 }
 
