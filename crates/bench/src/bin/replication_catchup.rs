@@ -1,0 +1,185 @@
+//! Peer bootstrap cost: snapshot shipping vs full block replay.
+//!
+//! Sweeps chain height x checkpoint interval on the replication cluster.
+//! For every cell, a cluster commits `height` blocks of counter traffic,
+//! then two fresh peers join at the same virtual instant — one via
+//! digest-verified snapshot shipping (O(state)), one replaying every
+//! block from genesis (O(history)) — over the same bandwidth-modeled
+//! link. The catch-up durations come from the cluster's own
+//! [`ledgerview_cluster::CatchupRecord`]s, in virtual microseconds, so
+//! the sweep is exactly reproducible. Writes
+//! `bench_results/replication_catchup.json`.
+//!
+//! Acceptance: at the largest height, snapshot shipping must be at least
+//! 3x faster than full replay (the gap grows with height: replayed bytes
+//! scale with history, the shipped snapshot with live state).
+
+use fabric_store::testdir::TestDir;
+use ledgerview_bench::report::{metrics_out_arg, results_dir, write_metrics};
+use ledgerview_cluster::{BootstrapMode, CatchupRecord, ClusterConfig, ClusterSim};
+use ledgerview_simnet::{Region, SimTime};
+use ledgerview_telemetry::Telemetry;
+
+const SEED: u64 = 4242;
+const HEIGHTS: [u64; 3] = [32, 64, 128];
+const CHECKPOINT_EVERY: [u64; 2] = [4, 16];
+/// Modeled catch-up link: co-located peers, 4 MiB/s of shipping bandwidth
+/// (bytes dominate, not wire latency — the regime the paper's
+/// snapshot-shipping argument is about).
+const BANDWIDTH: u64 = 4 * 1024 * 1024;
+
+struct Cell {
+    height: u64,
+    checkpoint_every: u64,
+    snapshot: CatchupRecord,
+    replay: CatchupRecord,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.replay.duration.as_micros() as f64 / self.snapshot.duration.as_micros().max(1) as f64
+    }
+}
+
+/// Commit ~`height` blocks, then race the two bootstrap modes.
+fn run_cell(height: u64, checkpoint_every: u64, telemetry: Option<&Telemetry>) -> Cell {
+    let dir = TestDir::new("replication-catchup");
+    let mut cfg = ClusterConfig::new(dir.path(), SEED ^ (height << 8) ^ checkpoint_every);
+    cfg.peers = 1; // One donor peer is enough; joiners are the subject.
+    cfg.peer_regions = vec![Region::ASIA_SOUTHEAST]; // Co-located with orderers.
+    cfg.checkpoint_every = checkpoint_every;
+    cfg.catchup_bandwidth_bytes_per_sec = BANDWIDTH;
+    cfg.check_signatures = false; // Endorsement crypto is not under test.
+    let mut sim = ClusterSim::new(cfg).expect("cluster builds");
+    if let Some(t) = telemetry {
+        sim.set_telemetry(t);
+    }
+
+    // ~5 transactions per 250 ms block; sized past the target height.
+    let txs = height * 5 + 40;
+    sim.schedule_counter_load(SimTime::from_millis(300), SimTime::from_millis(50), txs, 8);
+    while sim.blocks() < height {
+        sim.run_for(SimTime::from_millis(250));
+    }
+
+    let at = sim.now() + SimTime::from_millis(1);
+    let snap_peer = sim.schedule_bootstrap_peer(at, BootstrapMode::Snapshot);
+    let replay_peer = sim.schedule_bootstrap_peer(at, BootstrapMode::FullReplay);
+    sim.run_until_converged(SimTime::from_secs(600))
+        .expect("cluster converges");
+    sim.verify_convergence()
+        .expect("joiners reach canonical state");
+
+    let report = sim.report();
+    let find = |peer: usize| {
+        report
+            .catchups
+            .iter()
+            .find(|c| c.peer == peer)
+            .expect("joiner produced a catch-up record")
+            .clone()
+    };
+    Cell {
+        height,
+        checkpoint_every,
+        snapshot: find(snap_peer),
+        replay: find(replay_peer),
+    }
+}
+
+fn main() {
+    println!(
+        "peer bootstrap: snapshot shipping vs full replay ({} MiB/s link)\n",
+        BANDWIDTH / (1024 * 1024)
+    );
+    println!(
+        "{:>7} {:>6}  {:>12} {:>10}  {:>12} {:>10}  {:>8}",
+        "height", "ckpt", "snapshot_ms", "ship_B", "replay_ms", "replay_B", "speedup"
+    );
+
+    let mut cells = Vec::new();
+    for &height in &HEIGHTS {
+        for &checkpoint_every in &CHECKPOINT_EVERY {
+            let cell = run_cell(height, checkpoint_every, None);
+            println!(
+                "{:>7} {:>6}  {:>12.2} {:>10}  {:>12.2} {:>10}  {:>7.1}x",
+                cell.height,
+                cell.checkpoint_every,
+                cell.snapshot.duration.as_millis_f64(),
+                cell.snapshot.bytes,
+                cell.replay.duration.as_millis_f64(),
+                cell.replay.bytes,
+                cell.speedup(),
+            );
+            cells.push(cell);
+        }
+    }
+
+    let top = HEIGHTS[HEIGHTS.len() - 1];
+    let worst_at_top = cells
+        .iter()
+        .filter(|c| c.height == top)
+        .map(Cell::speedup)
+        .fold(f64::INFINITY, f64::min);
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                concat!(
+                    "    {{\"height_blocks\": {}, \"checkpoint_every\": {}, ",
+                    "\"snapshot_us\": {}, \"snapshot_bytes\": {}, ",
+                    "\"replay_us\": {}, \"replay_bytes\": {}, \"speedup\": {:.3}}}"
+                ),
+                c.height,
+                c.checkpoint_every,
+                c.snapshot.duration.as_micros(),
+                c.snapshot.bytes,
+                c.replay.duration.as_micros(),
+                c.replay.bytes,
+                c.speedup(),
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"replication_catchup/v1\",\n",
+            "  \"benchmark\": \"replication_catchup\",\n",
+            "  \"description\": \"fresh-peer bootstrap cost on the replication cluster, ",
+            "virtual time, {} MiB/s modeled catch-up bandwidth\",\n",
+            "  \"acceptance\": {{\"metric\": \"min speedup at height {}\", ",
+            "\"speedup\": {:.3}, \"target\": 3.0, \"met\": {}}},\n",
+            "  \"cells\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        BANDWIDTH / (1024 * 1024),
+        top,
+        worst_at_top,
+        worst_at_top >= 3.0,
+        rows.join(",\n"),
+    );
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("replication_catchup.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!(
+        "\nsnapshot-shipping speedup at height {top}: {worst_at_top:.1}x (target >=3x)\nwrote {}",
+        path.display()
+    );
+    assert!(
+        worst_at_top >= 3.0,
+        "acceptance: snapshot shipping must be >=3x faster than full replay \
+         at height {top}, got {worst_at_top:.2}x"
+    );
+
+    // `--metrics-out`: one extra instrumented run (after the sweep, so the
+    // flag cannot perturb it) populates the lv_cluster_* metric families.
+    if let Some(path) = metrics_out_arg() {
+        let telemetry = Telemetry::wall_clock();
+        run_cell(16, 8, Some(&telemetry));
+        write_metrics(&telemetry, &path).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,120 @@
+//! The payload replicated through the Raft log: an ordered transaction
+//! batch with its assigned timestamp.
+//!
+//! Peers never see each other's local clocks — the batch carries the
+//! timestamp every replica must commit with, which is what makes blocks
+//! bit-identical across peers (`FabricChain::commit_ordered`). The
+//! `batch_id` deduplicates client re-proposals: a batch re-submitted after
+//! a leader crash may appear twice in the Raft log, and every replica
+//! skips the duplicate identically.
+
+use fabric_sim::error::FabricError;
+use fabric_sim::ledger::Transaction;
+use fabric_sim::wire::{Reader, Writer};
+
+/// One ordered batch of endorsed transactions (the unit of replication;
+/// each batch becomes exactly one block on every peer).
+#[derive(Clone, Debug)]
+pub struct OrderedBatch {
+    /// Client-assigned id, unique per batch, used for duplicate
+    /// suppression when a batch is re-proposed.
+    pub batch_id: u64,
+    /// Block timestamp (virtual microseconds at cut time); every replica
+    /// commits the block with this exact timestamp.
+    pub timestamp_us: u64,
+    /// The endorsed transactions, in order.
+    pub transactions: Vec<Transaction>,
+}
+
+impl OrderedBatch {
+    /// Serialize for the Raft log.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.batch_id);
+        w.u64(self.timestamp_us);
+        w.u32(self.transactions.len() as u32);
+        for tx in &self.transactions {
+            tx.encode_to(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a batch previously produced by [`OrderedBatch::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<OrderedBatch, FabricError> {
+        let mut r = Reader::new(bytes);
+        let batch_id = r.u64()?;
+        let timestamp_us = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut transactions = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            transactions.push(Transaction::read_from(&mut r)?);
+        }
+        r.finish()?;
+        Ok(OrderedBatch {
+            batch_id,
+            timestamp_us,
+            transactions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::chaincode::{RwSet, WriteEntry};
+    use fabric_sim::identity::Msp;
+    use fabric_sim::ledger::TxId;
+    use ledgerview_crypto::rng::seeded;
+    use ledgerview_crypto::sha256::sha256;
+
+    fn sample_tx(n: u64) -> Transaction {
+        let mut rng = seeded(9);
+        let mut msp = Msp::new();
+        let org = msp.add_org("Org1", &mut rng);
+        let creator = msp.enroll(&org, "u", &mut rng).unwrap();
+        Transaction {
+            tx_id: TxId(sha256(&n.to_be_bytes())),
+            chaincode: "counter".into(),
+            function: "incr".into(),
+            args: vec![b"k".to_vec(), b"1".to_vec()],
+            creator: creator.cert().clone(),
+            rwset: RwSet {
+                reads: vec![],
+                writes: vec![WriteEntry {
+                    key: format!("k{n}"),
+                    value: Some(vec![n as u8; 8]),
+                }],
+                private_writes: vec![],
+            },
+            response: vec![1, 2, 3],
+            endorsements: vec![],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let batch = OrderedBatch {
+            batch_id: 42,
+            timestamp_us: 1_234_567,
+            transactions: vec![sample_tx(1), sample_tx(2)],
+        };
+        let decoded = OrderedBatch::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded.batch_id, 42);
+        assert_eq!(decoded.timestamp_us, 1_234_567);
+        assert_eq!(decoded.transactions.len(), 2);
+        assert_eq!(decoded.transactions[0].tx_id, batch.transactions[0].tx_id);
+        assert_eq!(decoded.transactions[1].rwset, batch.transactions[1].rwset);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let batch = OrderedBatch {
+            batch_id: 7,
+            timestamp_us: 1,
+            transactions: vec![sample_tx(3)],
+        };
+        let bytes = batch.encode();
+        assert!(OrderedBatch::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(OrderedBatch::decode(&bytes[..4]).is_err());
+    }
+}

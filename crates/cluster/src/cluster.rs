@@ -1,0 +1,1059 @@
+//! The deterministic multi-node harness: Raft ordering over simnet links,
+//! leader-based block dissemination to durable peers, catch-up, and
+//! scheduled fault injection — all on the virtual clock.
+//!
+//! # Determinism rules
+//!
+//! Everything observable is a pure function of [`ClusterConfig`] plus the
+//! scheduled load/fault timeline:
+//!
+//! * All randomness (election jitter, tx ids, retry jitter) flows from
+//!   seeded RNGs derived from `config.seed`.
+//! * Every message, delivery, tick, and fault is an event on the
+//!   [`Simulation`] queue; ties break by insertion order, which is itself
+//!   deterministic.
+//! * No wall-clock value ever reaches consensus state: block timestamps
+//!   come from the ordered batch, not from any replica's local clock.
+//!
+//! Two runs with equal configs therefore produce bit-identical commit
+//! histories and state roots — which is what makes every failure
+//! scenario in `tests/` reproducible from its seed alone.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use fabric_sim::endorsement::EndorsementPolicy;
+use fabric_sim::identity::Identity;
+use fabric_sim::raft::{NodeId, Outgoing, RaftMsg, RaftNode};
+use fabric_sim::storage::ChainSnapshot;
+use fabric_sim::{FabricChain, StorageConfig};
+use ledgerview_crypto::rng::seeded;
+use ledgerview_crypto::sha256::Digest;
+use ledgerview_gateway::CounterChaincode;
+use ledgerview_simnet::{Region, SimTime, Simulation};
+use ledgerview_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::batch::OrderedBatch;
+use crate::fault::{BootstrapMode, ClusterError, Divergence, Fault};
+use crate::metrics::ClusterMetrics;
+use crate::ClusterConfig;
+
+/// Chaincode every replica deploys (the gateway's counter workload).
+const CHAINCODE: &str = "counter";
+
+type Sim = Simulation<World>;
+
+struct Orderer {
+    node: RaftNode,
+    alive: bool,
+    /// Invalidates stale tick events: each (re)schedule bumps the
+    /// generation and a firing tick with an old generation is a no-op.
+    tick_gen: u64,
+    was_leader: bool,
+}
+
+struct Catchup {
+    started: SimTime,
+    target: u64,
+    mode: BootstrapMode,
+    bytes: u64,
+    blocks: u64,
+}
+
+struct Peer {
+    dir: PathBuf,
+    region: Region,
+    /// `None` while crashed (or while a snapshot is in flight).
+    chain: Option<FabricChain>,
+    /// Next global block index this peer will apply.
+    next_apply: u64,
+    /// Delivered-but-not-yet-applicable block indices (out-of-order
+    /// arrivals buffered until the gap fills).
+    ready: BTreeSet<u64>,
+    catchup: Option<Catchup>,
+}
+
+struct CommittedBlock {
+    batch: OrderedBatch,
+    bytes: u64,
+    committed_at: SimTime,
+}
+
+struct Inflight {
+    encoded: Vec<u8>,
+}
+
+/// One completed peer catch-up (restart replay or fresh bootstrap).
+#[derive(Clone, Debug)]
+pub struct CatchupRecord {
+    /// The peer that caught up.
+    pub peer: usize,
+    /// Snapshot shipping or full replay.
+    pub mode: BootstrapMode,
+    /// Virtual time from start to reaching the catch-up target.
+    pub duration: SimTime,
+    /// Blocks replayed after the starting point.
+    pub blocks: u64,
+    /// Bytes shipped (snapshot payload plus replayed block bytes).
+    pub bytes: u64,
+}
+
+/// End-of-run summary: heights, roots, detected faults, and counters.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Globally committed block count.
+    pub blocks: u64,
+    /// Canonical rolling state root after each block.
+    pub canonical_roots: Vec<Digest>,
+    /// Batch id of each committed block, in commit order.
+    pub batch_history: Vec<u64>,
+    /// Per-peer applied height (`None` = crashed).
+    pub peer_heights: Vec<Option<u64>>,
+    /// Per-peer rolling state root (`None` = crashed).
+    pub peer_roots: Vec<Option<Digest>>,
+    /// State-root divergences detected (empty on a healthy run).
+    pub divergences: Vec<Divergence>,
+    /// Election-safety violations observed (always empty unless Raft is
+    /// broken; checked by the hardening tests).
+    pub election_violations: Vec<String>,
+    /// Leader transitions observed.
+    pub elections: u64,
+    /// Proposals re-routed after `NotLeader`/dead-orderer.
+    pub notleader_retries: u64,
+    /// Watchdog re-proposals of unacknowledged batches.
+    pub resubmits: u64,
+    /// Duplicate batch commits suppressed.
+    pub dup_batches: u64,
+    /// Batches dropped after exhausting routing attempts.
+    pub failed_batches: u64,
+    /// Endorsement-time submission errors.
+    pub submit_errors: u64,
+    /// Completed catch-ups.
+    pub catchups: Vec<CatchupRecord>,
+}
+
+struct World {
+    cfg: ClusterConfig,
+    orderers: Vec<Orderer>,
+    peers: Vec<Peer>,
+    /// The ordering-side endorsing chain: clients endorse against it, and
+    /// it applies every ordered batch itself, defining the canonical
+    /// state root each peer is cross-checked against.
+    endorser: FabricChain,
+    client: Identity,
+    submit_rng: StdRng,
+
+    // Global ordered log (deduplicated Raft commits).
+    raft_applied: u64,
+    seen_batches: BTreeSet<u64>,
+    blocks: Vec<CommittedBlock>,
+    canonical_roots: Vec<Digest>,
+
+    // Client submission pipeline.
+    next_batch_id: u64,
+    inflight: BTreeMap<u64, Inflight>,
+    believed_leader: NodeId,
+
+    // Link faults (orderer ↔ orderer).
+    partition_group: Vec<u8>,
+    slow: BTreeMap<(NodeId, NodeId), u64>,
+
+    // Detection + counters.
+    divergences: Vec<Divergence>,
+    leaders_by_term: BTreeMap<u64, NodeId>,
+    election_violations: Vec<String>,
+    elections: u64,
+    notleader_retries: u64,
+    resubmits: u64,
+    dup_batches: u64,
+    failed_batches: u64,
+    submit_errors: u64,
+    catchups: Vec<CatchupRecord>,
+    /// Peers whose snapshot bootstrap found no live donor.
+    bootstrap_failures: Vec<usize>,
+
+    /// Scheduled-but-unfired submissions/faults/bootstraps; convergence
+    /// requires all of them to have fired.
+    pending_actions: u64,
+
+    metrics: Option<ClusterMetrics>,
+}
+
+impl World {
+    fn storage_for(cfg: &ClusterConfig, dir: &Path) -> StorageConfig {
+        StorageConfig::new(dir.to_path_buf())
+            .fsync(cfg.fsync)
+            .checkpoint_every(cfg.checkpoint_every)
+            .wal_segment_bytes(cfg.wal_segment_bytes)
+    }
+
+    fn deploy_workload(chain: &mut FabricChain) {
+        chain.deploy(
+            CHAINCODE,
+            Box::new(CounterChaincode),
+            EndorsementPolicy::AnyOf(chain.org_ids()),
+        );
+    }
+
+    /// Open (or recover) a peer chain over its durable directory.
+    fn open_peer_chain(cfg: &ClusterConfig, dir: &Path) -> Result<FabricChain, ClusterError> {
+        let names: Vec<&str> = cfg.org_names.iter().map(|s| s.as_str()).collect();
+        let mut rng = seeded(cfg.identity_seed);
+        let mut chain = FabricChain::with_storage(
+            &names,
+            &mut rng,
+            Self::storage_for(cfg, dir),
+            cfg.validation.clone(),
+        )?;
+        Self::deploy_workload(&mut chain);
+        Ok(chain)
+    }
+
+    /// Install a shipped snapshot into an empty peer directory.
+    fn install_peer_snapshot(
+        cfg: &ClusterConfig,
+        dir: &Path,
+        snapshot: &ChainSnapshot,
+    ) -> Result<FabricChain, ClusterError> {
+        let names: Vec<&str> = cfg.org_names.iter().map(|s| s.as_str()).collect();
+        let mut rng = seeded(cfg.identity_seed);
+        let mut chain = FabricChain::from_snapshot(
+            &names,
+            &mut rng,
+            Self::storage_for(cfg, dir),
+            cfg.validation.clone(),
+            snapshot,
+        )?;
+        Self::deploy_workload(&mut chain);
+        Ok(chain)
+    }
+
+    // ---- links ------------------------------------------------------
+
+    fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        self.orderers[a].alive
+            && self.orderers[b].alive
+            && self.partition_group[a] == self.partition_group[b]
+    }
+
+    fn orderer_link_delay(&self, from: NodeId, to: NodeId) -> SimTime {
+        let base = self
+            .cfg
+            .latency
+            .latency(self.cfg.orderer_region, self.cfg.orderer_region);
+        match self.slow.get(&(from, to)) {
+            Some(&factor) => base.scaled(factor.max(1)),
+            None => base,
+        }
+    }
+
+    fn transfer_delay(&self, region: Region, bytes: u64) -> SimTime {
+        let wire = self.cfg.latency.latency(self.cfg.orderer_region, region);
+        let bw = self.cfg.catchup_bandwidth_bytes_per_sec.max(1);
+        wire + SimTime::from_micros(bytes.saturating_mul(1_000_000) / bw)
+    }
+
+    // ---- raft plumbing ----------------------------------------------
+
+    fn dispatch(&mut self, sim: &mut Sim, from: NodeId, outs: Vec<Outgoing>) {
+        for out in outs {
+            if !self.link_up(from, out.to) {
+                continue;
+            }
+            let delay = self.orderer_link_delay(from, out.to);
+            let to = out.to;
+            let msg = out.msg;
+            sim.schedule_in(delay, move |w: &mut World, s| {
+                w.on_raft_msg(from, to, msg, s);
+            });
+        }
+    }
+
+    fn on_raft_msg(&mut self, from: NodeId, to: NodeId, msg: RaftMsg, sim: &mut Sim) {
+        if !self.orderers[to].alive {
+            return;
+        }
+        let outs = self.orderers[to].node.handle(from, msg, sim.now());
+        self.after_raft_activity(to, outs, sim);
+    }
+
+    /// Shared tail of every Raft interaction: observe role changes, send
+    /// outgoing messages, surface newly committed entries, re-arm the
+    /// node's timer.
+    fn after_raft_activity(&mut self, o: NodeId, outs: Vec<Outgoing>, sim: &mut Sim) {
+        self.observe_orderer(o);
+        self.dispatch(sim, o, outs);
+        self.drain_commits(o, sim);
+        self.reschedule_tick(o, sim);
+    }
+
+    fn reschedule_tick(&mut self, o: NodeId, sim: &mut Sim) {
+        if !self.orderers[o].alive {
+            return;
+        }
+        self.orderers[o].tick_gen += 1;
+        let gen = self.orderers[o].tick_gen;
+        let at = self.orderers[o].node.next_deadline().max(sim.now());
+        sim.schedule_at(at, move |w: &mut World, s| w.on_tick(o, gen, s));
+    }
+
+    fn on_tick(&mut self, o: NodeId, gen: u64, sim: &mut Sim) {
+        if !self.orderers[o].alive || self.orderers[o].tick_gen != gen {
+            return;
+        }
+        let outs = self.orderers[o].node.tick(sim.now());
+        self.after_raft_activity(o, outs, sim);
+    }
+
+    /// Track leader transitions: election counters, the per-term safety
+    /// check, and the client's leader hint.
+    fn observe_orderer(&mut self, o: NodeId) {
+        let is_leader = self.orderers[o].node.is_leader();
+        let term = self.orderers[o].node.current_term();
+        if is_leader && !self.orderers[o].was_leader {
+            self.elections += 1;
+            if let Some(m) = &self.metrics {
+                m.elections.inc();
+            }
+            match self.leaders_by_term.get(&term) {
+                None => {
+                    self.leaders_by_term.insert(term, o);
+                }
+                Some(&prev) if prev != o => self
+                    .election_violations
+                    .push(format!("term {term}: leaders {prev} and {o}")),
+                Some(_) => {}
+            }
+            self.believed_leader = o;
+        }
+        self.orderers[o].was_leader = is_leader;
+    }
+
+    /// Pull committed Raft entries into the global ordered log (exactly
+    /// once across all orderers), apply them to the canonical chain, and
+    /// disseminate the resulting block.
+    fn drain_commits(&mut self, o: NodeId, sim: &mut Sim) {
+        for (index, entry) in self.orderers[o].node.take_committed() {
+            debug_assert!(
+                index <= self.raft_applied + 1,
+                "commit upcalls out of order"
+            );
+            if index <= self.raft_applied {
+                continue; // Another orderer already surfaced this index.
+            }
+            self.raft_applied = index;
+            let batch = OrderedBatch::decode(&entry.data)
+                .expect("raft log carries only batches we encoded");
+            if !self.seen_batches.insert(batch.batch_id) {
+                self.dup_batches += 1;
+                if let Some(m) = &self.metrics {
+                    m.dup_batches.inc();
+                }
+                continue; // Client re-proposal; every replica skips it.
+            }
+            self.inflight.remove(&batch.batch_id);
+            self.endorser
+                .commit_ordered(batch.transactions.clone(), batch.timestamp_us);
+            self.canonical_roots.push(self.endorser.state_root());
+            let bytes = entry.data.len() as u64;
+            let block_num = self.blocks.len();
+            self.blocks.push(CommittedBlock {
+                batch,
+                bytes,
+                committed_at: sim.now(),
+            });
+            self.disseminate(block_num as u64, sim);
+        }
+    }
+
+    /// Leader-based dissemination: schedule delivery of a freshly
+    /// committed block to every reachable peer.
+    fn disseminate(&mut self, block_num: u64, sim: &mut Sim) {
+        for p in 0..self.peers.len() {
+            if self.peers[p].chain.is_some() {
+                let delay = self
+                    .cfg
+                    .latency
+                    .latency(self.cfg.orderer_region, self.peers[p].region);
+                sim.schedule_in(delay, move |w: &mut World, s| w.on_deliver(p, block_num, s));
+            }
+            if let Some(m) = &self.metrics {
+                let applied = self.peers[p].next_apply;
+                m.set_behind(p, (self.blocks.len() as u64).saturating_sub(applied));
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, p: usize, block_num: u64, sim: &mut Sim) {
+        let peer = &mut self.peers[p];
+        if peer.chain.is_none() || block_num < peer.next_apply {
+            return;
+        }
+        peer.ready.insert(block_num);
+        self.apply_ready(p, sim);
+    }
+
+    /// Apply every contiguously available block on peer `p`, cross-check
+    /// roots, update lag metrics, and complete any catch-up in progress.
+    fn apply_ready(&mut self, p: usize, sim: &mut Sim) {
+        loop {
+            let next = self.peers[p].next_apply;
+            if !self.peers[p].ready.remove(&next) {
+                break;
+            }
+            let (txs, ts, bytes, committed_at) = {
+                let b = &self.blocks[next as usize];
+                (
+                    b.batch.transactions.clone(),
+                    b.batch.timestamp_us,
+                    b.bytes,
+                    b.committed_at,
+                )
+            };
+            let peer = &mut self.peers[p];
+            let chain = peer.chain.as_mut().expect("checked on delivery");
+            chain.commit_ordered(txs, ts);
+            let actual = chain.state_root();
+            let expected = self.canonical_roots[next as usize];
+            if actual != expected {
+                self.divergences.push(Divergence {
+                    peer: p,
+                    block: next,
+                    expected,
+                    actual,
+                });
+            }
+            let peer = &mut self.peers[p];
+            peer.next_apply = next + 1;
+            if let Some(c) = &mut peer.catchup {
+                c.blocks += 1;
+                c.bytes += bytes;
+            }
+            if let Some(m) = &self.metrics {
+                m.set_lag_us(p, sim.now().saturating_sub(committed_at).as_micros());
+                m.set_behind(p, (self.blocks.len() as u64).saturating_sub(next + 1));
+            }
+        }
+        self.maybe_finish_catchup(p, sim);
+    }
+
+    fn maybe_finish_catchup(&mut self, p: usize, sim: &mut Sim) {
+        let done = match &self.peers[p].catchup {
+            Some(c) => self.peers[p].next_apply >= c.target,
+            None => false,
+        };
+        if !done {
+            return;
+        }
+        let c = self.peers[p].catchup.take().expect("checked");
+        let duration = sim.now().saturating_sub(c.started);
+        if let Some(m) = &self.metrics {
+            let h = match c.mode {
+                BootstrapMode::Snapshot => &m.catchup_snapshot_us,
+                BootstrapMode::FullReplay => &m.catchup_replay_us,
+            };
+            h.observe(duration.as_micros());
+        }
+        self.catchups.push(CatchupRecord {
+            peer: p,
+            mode: c.mode,
+            duration,
+            blocks: c.blocks,
+            bytes: c.bytes,
+        });
+    }
+
+    /// Stream blocks `[from, to)` to peer `p` as a bandwidth-limited
+    /// replay from the ordering service's region.
+    fn schedule_replay(&mut self, p: usize, from: u64, to: u64, sim: &mut Sim) {
+        let region = self.peers[p].region;
+        let mut cumulative = 0u64;
+        for idx in from..to {
+            cumulative += self.blocks[idx as usize].bytes;
+            let at = self.transfer_delay(region, cumulative);
+            sim.schedule_in(at, move |w: &mut World, s| w.on_deliver(p, idx, s));
+        }
+    }
+
+    // ---- submissions -------------------------------------------------
+
+    fn on_submit(&mut self, function: String, args: Vec<Vec<u8>>, _sim: &mut Sim) {
+        self.pending_actions -= 1;
+        let result = self.endorser.invoke(
+            &self.client,
+            CHAINCODE,
+            &function,
+            args,
+            &mut self.submit_rng,
+        );
+        if result.is_err() {
+            self.submit_errors += 1;
+        }
+    }
+
+    /// The ordering service's block cutter: batch pending endorsed
+    /// transactions and propose them to the believed leader. Re-arms
+    /// itself every `block_interval`.
+    fn on_cut(&mut self, sim: &mut Sim) {
+        sim.schedule_in(self.cfg.block_interval, |w: &mut World, s| w.on_cut(s));
+        if self.endorser.pending_count() == 0 {
+            return;
+        }
+        let transactions = self.endorser.take_pending();
+        let batch = OrderedBatch {
+            batch_id: self.next_batch_id,
+            timestamp_us: sim.now().as_micros(),
+            transactions,
+        };
+        self.next_batch_id += 1;
+        let batch_id = batch.batch_id;
+        let encoded = batch.encode();
+        self.inflight.insert(batch_id, Inflight { encoded });
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+        }
+        self.route(batch_id, 1, sim);
+        let timeout = self.cfg.resubmit_timeout;
+        sim.schedule_in(timeout, move |w: &mut World, s| {
+            w.on_resubmit_check(batch_id, s);
+        });
+    }
+
+    /// Route a batch proposal toward the believed leader; attempt is the
+    /// 1-based try count within this routing round.
+    fn route(&mut self, batch_id: u64, attempt: u32, sim: &mut Sim) {
+        if !self.inflight.contains_key(&batch_id) {
+            return; // Committed while we were backing off.
+        }
+        if attempt > self.cfg.retry.max_attempts.max(1) {
+            self.inflight.remove(&batch_id);
+            self.failed_batches += 1;
+            return;
+        }
+        let target = self.believed_leader;
+        let delay = self
+            .cfg
+            .latency
+            .latency(self.cfg.orderer_region, self.cfg.orderer_region);
+        sim.schedule_in(delay, move |w: &mut World, s| {
+            w.on_proposal_arrive(batch_id, target, attempt, s);
+        });
+    }
+
+    fn on_proposal_arrive(&mut self, batch_id: u64, target: NodeId, attempt: u32, sim: &mut Sim) {
+        let Some(inflight) = self.inflight.get(&batch_id) else {
+            return;
+        };
+        if self.orderers[target].alive {
+            match self.orderers[target]
+                .node
+                .propose(inflight.encoded.clone(), sim.now())
+            {
+                Ok((_, outs)) => {
+                    self.after_raft_activity(target, outs, sim);
+                    return;
+                }
+                Err(_not_leader) => {}
+            }
+        }
+        // NotLeader (or dead orderer): rotate the hint and re-route after
+        // the gateway's deterministic backoff.
+        self.notleader_retries += 1;
+        if let Some(m) = &self.metrics {
+            m.notleader_retries.inc();
+        }
+        if self.believed_leader == target {
+            self.believed_leader = (target + 1) % self.orderers.len();
+        }
+        let backoff = self.cfg.retry.backoff_us(attempt, self.cfg.seed, batch_id);
+        sim.schedule_in(SimTime::from_micros(backoff), move |w: &mut World, s| {
+            w.route(batch_id, attempt + 1, s);
+        });
+    }
+
+    /// Watchdog: a batch proposed to a leader that died (or was
+    /// partitioned) before replicating is re-proposed; the batch id
+    /// deduplicates any double commit.
+    fn on_resubmit_check(&mut self, batch_id: u64, sim: &mut Sim) {
+        if !self.inflight.contains_key(&batch_id) {
+            return;
+        }
+        self.resubmits += 1;
+        if let Some(m) = &self.metrics {
+            m.resubmits.inc();
+        }
+        self.route(batch_id, 1, sim);
+        let timeout = self.cfg.resubmit_timeout;
+        sim.schedule_in(timeout, move |w: &mut World, s| {
+            w.on_resubmit_check(batch_id, s);
+        });
+    }
+
+    // ---- faults ------------------------------------------------------
+
+    fn on_fault(&mut self, fault: Fault, sim: &mut Sim) {
+        self.pending_actions -= 1;
+        match fault {
+            Fault::CrashPeer(p) => {
+                let peer = &mut self.peers[p];
+                peer.chain = None; // Drop closes the storage directory.
+                peer.ready.clear();
+                peer.catchup = None;
+            }
+            Fault::RestartPeer(p) => {
+                if self.peers[p].chain.is_some() {
+                    return;
+                }
+                let chain = Self::open_peer_chain(&self.cfg, &self.peers[p].dir)
+                    .expect("peer restart must recover its own directory");
+                let recovered = chain.height();
+                let peer = &mut self.peers[p];
+                peer.chain = Some(chain);
+                peer.next_apply = recovered;
+                peer.ready.clear();
+                let target = self.blocks.len() as u64;
+                if target > recovered {
+                    self.peers[p].catchup = Some(Catchup {
+                        started: sim.now(),
+                        target,
+                        mode: BootstrapMode::FullReplay,
+                        bytes: 0,
+                        blocks: 0,
+                    });
+                    self.schedule_replay(p, recovered, target, sim);
+                }
+            }
+            Fault::KillOrderer(o) => {
+                self.orderers[o].alive = false;
+                self.orderers[o].tick_gen += 1;
+                self.orderers[o].was_leader = false;
+            }
+            Fault::Partition(isolated) => {
+                for g in self.partition_group.iter_mut() {
+                    *g = 0;
+                }
+                for o in isolated {
+                    if o < self.partition_group.len() {
+                        self.partition_group[o] = 1;
+                    }
+                }
+            }
+            Fault::Heal => {
+                for g in self.partition_group.iter_mut() {
+                    *g = 0;
+                }
+                self.slow.clear();
+            }
+            Fault::SlowLink { from, to, factor } => {
+                self.slow.insert((from, to), factor.max(1));
+            }
+        }
+    }
+
+    /// Bootstrap a freshly joined peer (slot `p`, already allocated).
+    fn on_bootstrap(&mut self, p: usize, mode: BootstrapMode, sim: &mut Sim) {
+        self.pending_actions -= 1;
+        let target = self.blocks.len() as u64;
+        match mode {
+            BootstrapMode::Snapshot => {
+                // Donor: the live peer with the greatest applied height
+                // (lowest index breaks ties deterministically).
+                let donor = (0..self.peers.len())
+                    .filter(|&d| d != p && self.peers[d].chain.is_some())
+                    .max_by_key(|&d| (self.peers[d].next_apply, usize::MAX - d));
+                let Some(donor) = donor else {
+                    self.bootstrap_failures.push(p);
+                    return;
+                };
+                let snapshot = self.peers[donor]
+                    .chain
+                    .as_ref()
+                    .expect("donor is live")
+                    .export_snapshot();
+                let size = snapshot.size_bytes() as u64;
+                self.peers[p].catchup = Some(Catchup {
+                    started: sim.now(),
+                    target,
+                    mode,
+                    bytes: size,
+                    blocks: 0,
+                });
+                let delay = self.transfer_delay(self.peers[p].region, size);
+                sim.schedule_in(delay, move |w: &mut World, s| {
+                    w.on_install_snapshot(p, snapshot, s);
+                });
+            }
+            BootstrapMode::FullReplay => {
+                let chain = Self::open_peer_chain(&self.cfg, &self.peers[p].dir)
+                    .expect("fresh peer directory must open");
+                let peer = &mut self.peers[p];
+                peer.chain = Some(chain);
+                peer.next_apply = 0;
+                peer.catchup = Some(Catchup {
+                    started: sim.now(),
+                    target,
+                    mode,
+                    bytes: 0,
+                    blocks: 0,
+                });
+                if target == 0 {
+                    self.maybe_finish_catchup(p, sim);
+                } else {
+                    self.schedule_replay(p, 0, target, sim);
+                }
+            }
+        }
+    }
+
+    fn on_install_snapshot(&mut self, p: usize, snapshot: ChainSnapshot, sim: &mut Sim) {
+        let chain = Self::install_peer_snapshot(&self.cfg, &self.peers[p].dir, &snapshot)
+            .expect("shipped snapshot must verify and install");
+        let height = chain.height();
+        let peer = &mut self.peers[p];
+        peer.chain = Some(chain);
+        peer.next_apply = height;
+        // Replay the delta committed since the snapshot was taken.
+        let tip = self.blocks.len() as u64;
+        if tip > height {
+            self.schedule_replay(p, height, tip, sim);
+        }
+        self.maybe_finish_catchup(p, sim);
+    }
+
+    // ---- convergence -------------------------------------------------
+
+    fn converged(&self) -> bool {
+        self.pending_actions == 0
+            && self.inflight.is_empty()
+            && self.endorser.pending_count() == 0
+            && self.peers.iter().all(|p| match &p.chain {
+                Some(_) => p.catchup.is_none() && p.next_apply == self.blocks.len() as u64,
+                // A chain-less peer still blocks convergence while a
+                // shipped snapshot is in flight toward it.
+                None => p.catchup.is_none(),
+            })
+    }
+
+    fn report(&self) -> ClusterReport {
+        ClusterReport {
+            blocks: self.blocks.len() as u64,
+            canonical_roots: self.canonical_roots.clone(),
+            batch_history: self.blocks.iter().map(|b| b.batch.batch_id).collect(),
+            peer_heights: self
+                .peers
+                .iter()
+                .map(|p| p.chain.as_ref().map(|c| c.height()))
+                .collect(),
+            peer_roots: self
+                .peers
+                .iter()
+                .map(|p| p.chain.as_ref().map(|c| c.state_root()))
+                .collect(),
+            divergences: self.divergences.clone(),
+            election_violations: self.election_violations.clone(),
+            elections: self.elections,
+            notleader_retries: self.notleader_retries,
+            resubmits: self.resubmits,
+            dup_batches: self.dup_batches,
+            failed_batches: self.failed_batches,
+            submit_errors: self.submit_errors,
+            catchups: self.catchups.clone(),
+        }
+    }
+}
+
+/// The replication cluster simulation: build from a [`ClusterConfig`],
+/// schedule load and faults at virtual times, run, and inspect the
+/// report. See the crate docs for the architecture.
+pub struct ClusterSim {
+    sim: Sim,
+    world: World,
+}
+
+impl ClusterSim {
+    /// Build the cluster: N Raft orderers, M durable peers (each under
+    /// `<storage_root>/peer<i>`), and the ordering-side endorsing chain.
+    pub fn new(config: ClusterConfig) -> Result<ClusterSim, ClusterError> {
+        std::fs::create_dir_all(&config.storage_root)
+            .map_err(|e| ClusterError::Fabric(fabric_sim::FabricError::Storage(e.to_string())))?;
+        let names: Vec<&str> = config.org_names.iter().map(|s| s.as_str()).collect();
+        let mut id_rng = seeded(config.identity_seed);
+        let mut endorser = FabricChain::new(&names, &mut id_rng);
+        endorser.set_check_signatures(config.check_signatures);
+        World::deploy_workload(&mut endorser);
+        let client_org = endorser.org_ids()[0].clone();
+        let client = endorser.enroll(&client_org, "cluster-client", &mut id_rng)?;
+
+        let orderers = (0..config.orderers.max(1))
+            .map(|id| {
+                let peers: Vec<NodeId> = (0..config.orderers.max(1)).filter(|&p| p != id).collect();
+                Orderer {
+                    node: RaftNode::new(id, peers, config.raft.clone(), config.seed, SimTime::ZERO),
+                    alive: true,
+                    tick_gen: 0,
+                    was_leader: false,
+                }
+            })
+            .collect();
+
+        let mut peers = Vec::new();
+        for i in 0..config.peers {
+            let dir = config.storage_root.join(format!("peer{i}"));
+            let region = config.peer_regions[i % config.peer_regions.len().max(1)];
+            let chain = World::open_peer_chain(&config, &dir)?;
+            let next_apply = chain.height();
+            peers.push(Peer {
+                dir,
+                region,
+                chain: Some(chain),
+                next_apply,
+                ready: BTreeSet::new(),
+                catchup: None,
+            });
+        }
+
+        let submit_rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_C1AE_57E2_0001);
+        let partition_group = vec![0u8; config.orderers.max(1)];
+        let mut world = World {
+            cfg: config,
+            orderers,
+            peers,
+            endorser,
+            client,
+            submit_rng,
+            raft_applied: 0,
+            seen_batches: BTreeSet::new(),
+            blocks: Vec::new(),
+            canonical_roots: Vec::new(),
+            next_batch_id: 0,
+            inflight: BTreeMap::new(),
+            believed_leader: 0,
+            partition_group,
+            slow: BTreeMap::new(),
+            divergences: Vec::new(),
+            leaders_by_term: BTreeMap::new(),
+            election_violations: Vec::new(),
+            elections: 0,
+            notleader_retries: 0,
+            resubmits: 0,
+            dup_batches: 0,
+            failed_batches: 0,
+            submit_errors: 0,
+            catchups: Vec::new(),
+            bootstrap_failures: Vec::new(),
+            pending_actions: 0,
+            metrics: None,
+        };
+
+        let mut sim = Sim::new();
+        for o in 0..world.orderers.len() {
+            world.reschedule_tick(o, &mut sim);
+        }
+        let interval = world.cfg.block_interval;
+        sim.schedule_at(interval, |w: &mut World, s| w.on_cut(s));
+        Ok(ClusterSim { sim, world })
+    }
+
+    /// Attach telemetry: `lv_cluster_*` counters, per-peer lag gauges, and
+    /// catch-up histograms. Observational only.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.world.metrics = Some(ClusterMetrics::new(telemetry, self.world.peers.len()));
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Globally committed block count.
+    pub fn blocks(&self) -> u64 {
+        self.world.blocks.len() as u64
+    }
+
+    /// A peer's applied height (`None` while crashed).
+    pub fn peer_height(&self, p: usize) -> Option<u64> {
+        self.world.peers[p].chain.as_ref().map(|c| c.height())
+    }
+
+    /// A peer's rolling state root (`None` while crashed).
+    pub fn peer_state_root(&self, p: usize) -> Option<Digest> {
+        self.world.peers[p].chain.as_ref().map(|c| c.state_root())
+    }
+
+    /// The live orderer currently believed leader by Raft itself: the
+    /// highest-term live leader (ties to the lowest id). `None` during
+    /// elections.
+    pub fn current_leader(&self) -> Option<NodeId> {
+        self.world
+            .orderers
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.alive && o.node.is_leader())
+            .max_by_key(|(id, o)| (o.node.current_term(), usize::MAX - id))
+            .map(|(id, _)| id)
+    }
+
+    /// Schedule a chaincode invocation (endorsed at `at`, committed by a
+    /// later batch) against the cluster's counter workload.
+    pub fn schedule_invoke(&mut self, at: SimTime, function: &str, args: Vec<Vec<u8>>) {
+        self.world.pending_actions += 1;
+        let function = function.to_string();
+        self.sim
+            .schedule_at(at, move |w: &mut World, s| w.on_submit(function, args, s));
+    }
+
+    /// Convenience load: `count` counter increments starting at `start`,
+    /// one every `every`, rotating over `keys` distinct keys.
+    pub fn schedule_counter_load(&mut self, start: SimTime, every: SimTime, count: u64, keys: u64) {
+        for i in 0..count {
+            let at = start + every.scaled(i);
+            let key = format!("k{}", i % keys.max(1));
+            self.schedule_invoke(at, "incr", vec![key.into_bytes(), b"1".to_vec()]);
+        }
+    }
+
+    /// Schedule a [`Fault`] at a virtual time.
+    pub fn schedule_fault(&mut self, at: SimTime, fault: Fault) {
+        self.world.pending_actions += 1;
+        self.sim
+            .schedule_at(at, move |w: &mut World, s| w.on_fault(fault, s));
+    }
+
+    /// Schedule a fresh peer to join at `at` via snapshot shipping or
+    /// full replay; returns the new peer's index.
+    pub fn schedule_bootstrap_peer(&mut self, at: SimTime, mode: BootstrapMode) -> usize {
+        let p = self.world.peers.len();
+        let dir = self.world.cfg.storage_root.join(format!("peer{p}"));
+        let region = self.world.cfg.peer_regions[p % self.world.cfg.peer_regions.len().max(1)];
+        self.world.peers.push(Peer {
+            dir,
+            region,
+            chain: None,
+            next_apply: 0,
+            ready: BTreeSet::new(),
+            catchup: None,
+        });
+        if let Some(m) = &mut self.world.metrics {
+            m.ensure_peers(p + 1);
+        }
+        self.world.pending_actions += 1;
+        self.sim
+            .schedule_at(at, move |w: &mut World, s| w.on_bootstrap(p, mode, s));
+        p
+    }
+
+    /// Run events up to (and including) virtual time `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        self.sim.run_until(&mut self.world, end);
+    }
+
+    /// Run for `d` more virtual time.
+    pub fn run_for(&mut self, d: SimTime) {
+        let end = self.sim.now() + d;
+        self.run_until(end);
+    }
+
+    /// Run until every scheduled action has fired, no batch is in flight,
+    /// and every live peer has applied the full committed log — or until
+    /// `deadline`. Returns the convergence time.
+    pub fn run_until_converged(&mut self, deadline: SimTime) -> Result<SimTime, ClusterError> {
+        let step = SimTime::from_millis(100);
+        loop {
+            if !self.world.bootstrap_failures.is_empty() {
+                return Err(ClusterError::NoDonor);
+            }
+            if self.world.converged() {
+                return Ok(self.sim.now());
+            }
+            if self.sim.now() >= deadline {
+                return Err(ClusterError::NotConverged {
+                    deadline,
+                    blocks: self.blocks(),
+                    peer_heights: self
+                        .world
+                        .peers
+                        .iter()
+                        .map(|p| p.chain.as_ref().map(|c| c.height()))
+                        .collect(),
+                });
+            }
+            let next = (self.sim.now() + step).min(deadline);
+            self.sim.run_until(&mut self.world, next);
+        }
+    }
+
+    /// The end-of-run summary.
+    pub fn report(&self) -> ClusterReport {
+        self.world.report()
+    }
+
+    /// Typed-fault check: every live peer must be at the committed tip
+    /// with the canonical rolling state root, and no divergence may have
+    /// been recorded mid-run.
+    pub fn verify_convergence(&self) -> Result<(), ClusterError> {
+        if !self.world.bootstrap_failures.is_empty() {
+            return Err(ClusterError::NoDonor);
+        }
+        if !self.world.divergences.is_empty() {
+            return Err(ClusterError::Diverged(self.world.divergences.clone()));
+        }
+        let tip = self.world.blocks.len() as u64;
+        let canonical = self.world.canonical_roots.last().copied();
+        let mut diverged = Vec::new();
+        for (p, peer) in self.world.peers.iter().enumerate() {
+            let Some(chain) = &peer.chain else { continue };
+            if chain.height() != tip {
+                return Err(ClusterError::NotConverged {
+                    deadline: self.sim.now(),
+                    blocks: tip,
+                    peer_heights: self.report().peer_heights,
+                });
+            }
+            if let Some(expected) = canonical {
+                let actual = chain.state_root();
+                if actual != expected {
+                    diverged.push(Divergence {
+                        peer: p,
+                        block: tip.saturating_sub(1),
+                        expected,
+                        actual,
+                    });
+                }
+            }
+        }
+        if diverged.is_empty() {
+            Ok(())
+        } else {
+            Err(ClusterError::Diverged(diverged))
+        }
+    }
+
+    /// Raft's Log Matching safety property across the whole ordering
+    /// service (killed orderers included — their frozen logs are still
+    /// bound by it): every pair of nodes must agree on the common prefix
+    /// of their committed entries.
+    pub fn check_raft_log_matching(&self) -> Result<(), String> {
+        let logs: Vec<&[fabric_sim::raft::LogEntry]> = self
+            .world
+            .orderers
+            .iter()
+            .map(|o| o.node.committed_entries())
+            .collect();
+        for a in 0..logs.len() {
+            for b in (a + 1)..logs.len() {
+                let common = logs[a].len().min(logs[b].len());
+                if logs[a][..common] != logs[b][..common] {
+                    return Err(format!(
+                        "orderers {a} and {b} disagree within their committed prefixes \
+                         (lengths {} and {})",
+                        logs[a].len(),
+                        logs[b].len()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

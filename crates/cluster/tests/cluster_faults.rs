@@ -1,0 +1,144 @@
+//! Deterministic fault-injection scenarios: the acceptance test for the
+//! replication cluster. A fixed seed must reproduce the identical commit
+//! history and bit-identical state roots across two full runs; a
+//! different seed must still converge (with different content).
+
+use fabric_store::testdir::TestDir;
+use ledgerview_cluster::{BootstrapMode, ClusterConfig, ClusterReport, ClusterSim, Fault};
+use ledgerview_simnet::SimTime;
+
+const SECOND: SimTime = SimTime::from_secs(1);
+
+/// The canonical failure drill: load the cluster, kill the Raft leader
+/// mid-load, crash a peer and restart it, and bootstrap a fresh peer from
+/// a shipped snapshot — then require convergence.
+fn run_scenario(root: &std::path::Path, seed: u64) -> (ClusterReport, usize) {
+    let mut sim = ClusterSim::new(ClusterConfig::new(root, seed)).expect("cluster builds");
+
+    // 200 increments over 10 keys, spread across the first four seconds.
+    sim.schedule_counter_load(SimTime::from_millis(300), SimTime::from_millis(20), 200, 10);
+
+    // Let an election settle, then kill whoever won.
+    sim.run_until(SECOND);
+    let leader = sim.current_leader().expect("a leader by t=1s");
+    sim.schedule_fault(sim.now(), Fault::KillOrderer(leader));
+
+    // Crash peer 1 mid-load; restart it two seconds later (recovers its
+    // durable prefix, replays the delta).
+    sim.schedule_fault(SimTime::from_millis(1_500), Fault::CrashPeer(1));
+    sim.schedule_fault(SimTime::from_millis(3_500), Fault::RestartPeer(1));
+
+    // A fresh fourth peer joins via snapshot shipping.
+    let joined = sim.schedule_bootstrap_peer(SimTime::from_secs(5), BootstrapMode::Snapshot);
+
+    sim.run_until_converged(SimTime::from_secs(60))
+        .expect("cluster converges despite leader kill + peer crash");
+    sim.verify_convergence().expect("all live peers canonical");
+    sim.check_raft_log_matching().expect("log matching holds");
+    (sim.report(), joined)
+}
+
+#[test]
+fn same_seed_reproduces_bit_identical_history() {
+    let dir_a = TestDir::new("cluster-rep-a");
+    let dir_b = TestDir::new("cluster-rep-b");
+    let (a, peer_a) = run_scenario(dir_a.path(), 42);
+    let (b, peer_b) = run_scenario(dir_b.path(), 42);
+
+    assert!(a.blocks > 0, "load must commit blocks");
+    assert_eq!(peer_a, peer_b);
+    assert_eq!(a.batch_history, b.batch_history, "same commit order");
+    assert_eq!(a.canonical_roots, b.canonical_roots, "same roots");
+    assert_eq!(a.peer_heights, b.peer_heights);
+    assert_eq!(a.peer_roots, b.peer_roots);
+    assert_eq!(a.elections, b.elections);
+    assert_eq!(a.notleader_retries, b.notleader_retries);
+    assert_eq!(a.resubmits, b.resubmits);
+    assert_eq!(a.dup_batches, b.dup_batches);
+
+    assert!(a.divergences.is_empty(), "no state-root divergence");
+    assert!(a.election_violations.is_empty(), "election safety");
+    assert_eq!(a.failed_batches, 0, "no batch dropped");
+    assert_eq!(a.submit_errors, 0, "no endorsement failures");
+
+    // The drill performs exactly two catch-ups: peer 1's restart replay
+    // and the fresh peer's snapshot bootstrap.
+    assert_eq!(
+        a.catchups.len(),
+        2,
+        "restart replay + snapshot bootstrap; got {:?}",
+        a.catchups
+    );
+    assert!(a
+        .catchups
+        .iter()
+        .any(|c| c.peer == peer_a && c.mode == ledgerview_cluster::BootstrapMode::Snapshot));
+    assert!(a
+        .catchups
+        .iter()
+        .any(|c| c.peer == 1 && c.mode == ledgerview_cluster::BootstrapMode::FullReplay));
+}
+
+#[test]
+fn different_seed_converges_to_different_history() {
+    let dir_a = TestDir::new("cluster-seed-a");
+    let dir_b = TestDir::new("cluster-seed-b");
+    let (a, _) = run_scenario(dir_a.path(), 42);
+    let (b, _) = run_scenario(dir_b.path(), 1337);
+
+    // Both runs are healthy...
+    for r in [&a, &b] {
+        assert!(r.blocks > 0);
+        assert!(r.divergences.is_empty());
+        assert!(r.election_violations.is_empty());
+    }
+    // ...but the histories differ: seeds drive tx ids, so roots diverge.
+    assert_ne!(a.canonical_roots, b.canonical_roots, "seed changes content");
+}
+
+#[test]
+fn partition_heal_converges() {
+    let dir = TestDir::new("cluster-partition");
+    let mut sim = ClusterSim::new(ClusterConfig::new(dir.path(), 7)).expect("cluster builds");
+    sim.schedule_counter_load(SimTime::from_millis(300), SimTime::from_millis(25), 120, 8);
+
+    // Isolate one orderer for two seconds; Raft keeps a quorum of 2/3.
+    sim.schedule_fault(SimTime::from_millis(800), Fault::Partition(vec![0]));
+    sim.schedule_fault(SimTime::from_millis(2_800), Fault::Heal);
+    // And degrade a link for a while.
+    sim.schedule_fault(
+        SimTime::from_millis(3_000),
+        Fault::SlowLink {
+            from: 1,
+            to: 2,
+            factor: 20,
+        },
+    );
+    sim.schedule_fault(SimTime::from_millis(4_000), Fault::Heal);
+
+    sim.run_until_converged(SimTime::from_secs(60))
+        .expect("partitioned minority cannot stop a 2/3 quorum");
+    sim.verify_convergence()
+        .expect("canonical roots everywhere");
+    sim.check_raft_log_matching().expect("log matching holds");
+    let report = sim.report();
+    assert!(report.blocks > 0);
+    assert!(report.election_violations.is_empty());
+    assert!(report.divergences.is_empty());
+}
+
+#[test]
+fn snapshot_bootstrap_without_donor_errors() {
+    let dir = TestDir::new("cluster-nodonor");
+    let mut cfg = ClusterConfig::new(dir.path(), 5);
+    cfg.peers = 1;
+    let mut sim = ClusterSim::new(cfg).expect("cluster builds");
+    sim.schedule_counter_load(SimTime::from_millis(300), SimTime::from_millis(25), 20, 4);
+    // Crash the only peer, then ask for a snapshot bootstrap: no donor.
+    sim.schedule_fault(SimTime::from_secs(2), Fault::CrashPeer(0));
+    sim.schedule_bootstrap_peer(SimTime::from_secs(3), BootstrapMode::Snapshot);
+    let err = sim
+        .run_until_converged(SimTime::from_secs(30))
+        .expect_err("no live donor");
+    assert!(matches!(err, ledgerview_cluster::ClusterError::NoDonor));
+}

@@ -23,7 +23,7 @@ use crate::ledger::{Block, BlockHeader, BlockStore, Transaction, TxId};
 use crate::parallel::{BlockValidator, ValidationConfig};
 use crate::privdata::{CollectionConfig, PrivateStore};
 use crate::statedb::StateDb;
-use crate::storage::{DurableBackend, InMemoryBackend, StateBackend, StorageConfig};
+use crate::storage::{ChainSnapshot, DurableBackend, InMemoryBackend, StateBackend, StorageConfig};
 use crate::validation::{next_state_root, TxValidation};
 
 struct Deployed {
@@ -227,14 +227,67 @@ impl FabricChain {
         let mut chain = FabricChain::new(org_names, rng);
         let pool = crate::pool::WorkerPool::new(validation.workers);
         let (backend, blocks) = DurableBackend::open(storage, &pool)?;
-        chain.validator = BlockValidator::with_pool(validation, pool);
-        chain.store = BlockStore::restore(blocks)?;
-        if let Some(tip) = chain.store.tip() {
-            chain.state_root = tip.header.state_root;
-            chain.clock_us = tip.header.timestamp_us;
-        }
-        chain.backend = Box::new(backend);
+        chain.adopt_backend(validation, pool, backend, blocks)?;
         Ok(chain)
+    }
+
+    /// Create a chain bootstrapped from a shipped [`ChainSnapshot`] instead
+    /// of block history: the snapshot state (digest-verified) becomes the
+    /// committed state, the block store starts *pruned* at the snapshot
+    /// height, and the next committed block links to the snapshot's
+    /// `prev_block_hash`. This is the O(state) peer catch-up path — the
+    /// recipient never sees, stores, or replays a block below the base.
+    ///
+    /// `storage.dir` must not already contain blocks. As with
+    /// [`FabricChain::with_storage`], identities are re-derived from `rng`.
+    pub fn from_snapshot<R: RngCore + ?Sized>(
+        org_names: &[&str],
+        rng: &mut R,
+        storage: StorageConfig,
+        validation: ValidationConfig,
+        snapshot: &ChainSnapshot,
+    ) -> Result<FabricChain, FabricError> {
+        let mut chain = FabricChain::new(org_names, rng);
+        let pool = crate::pool::WorkerPool::new(validation.workers);
+        let (backend, blocks) = DurableBackend::install_snapshot(storage, &pool, snapshot)?;
+        chain.adopt_backend(validation, pool, backend, blocks)?;
+        Ok(chain)
+    }
+
+    /// Adopt a recovered durable backend: rebuild the (possibly pruned)
+    /// block store from the recovered delta and resume root/clock from the
+    /// backend's verified recovery state. The worker pool that served
+    /// recovery decoding is reused for commit-time validation.
+    fn adopt_backend(
+        &mut self,
+        validation: ValidationConfig,
+        pool: crate::pool::WorkerPool,
+        backend: DurableBackend,
+        blocks: Vec<Block>,
+    ) -> Result<(), FabricError> {
+        self.validator = BlockValidator::with_pool(validation, pool);
+        self.store = if backend.base_height() > 0 {
+            BlockStore::restore_pruned(backend.base_height(), backend.base_prev_hash(), blocks)?
+        } else {
+            BlockStore::restore(blocks)?
+        };
+        self.state_root = backend.state_root();
+        self.clock_us = backend.last_timestamp_us();
+        self.backend = Box::new(backend);
+        Ok(())
+    }
+
+    /// Export a shippable snapshot of the chain at its current height:
+    /// full state plus the header anchors a recipient needs to keep
+    /// extending the chain ([`FabricChain::from_snapshot`]).
+    pub fn export_snapshot(&self) -> ChainSnapshot {
+        ChainSnapshot::capture(
+            self.height(),
+            self.store.tip_hash(),
+            self.state_root,
+            self.clock_us,
+            self.backend.state(),
+        )
     }
 
     /// Disable endorsement signature production/verification (used by the
@@ -461,10 +514,43 @@ impl FabricChain {
         if self.pending.is_empty() {
             return Vec::new();
         }
-        let metrics = self.metrics.clone();
-        let _span = metrics.as_ref().map(|m| m.telemetry.span("cut.block"));
         self.clock_us += 1;
         let transactions = std::mem::take(&mut self.pending);
+        self.commit_block_inner(transactions)
+    }
+
+    /// Take every endorsed-but-uncommitted transaction out of the local
+    /// queue (for an ordering service to batch and replicate instead of
+    /// committing locally via [`FabricChain::cut_block`]).
+    pub fn take_pending(&mut self) -> Vec<Transaction> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Commit a block of transactions delivered by an ordering service.
+    ///
+    /// This is the replicated-peer commit path: the transactions and block
+    /// timestamp come from the shared ordered log, not the local pending
+    /// queue, so every peer that applies the same ordered batches builds
+    /// bit-identical blocks (same header, same state root). Validation and
+    /// MVCC rules are exactly those of [`FabricChain::cut_block`].
+    pub fn commit_ordered(
+        &mut self,
+        transactions: Vec<Transaction>,
+        timestamp_us: u64,
+    ) -> Vec<TxValidation> {
+        if transactions.is_empty() {
+            return Vec::new();
+        }
+        self.clock_us = self.clock_us.max(timestamp_us);
+        self.commit_block_inner(transactions)
+    }
+
+    /// Validate, persist, and append one block built from `transactions`
+    /// at the current clock — the shared tail of [`FabricChain::cut_block`]
+    /// and [`FabricChain::commit_ordered`].
+    fn commit_block_inner(&mut self, transactions: Vec<Transaction>) -> Vec<TxValidation> {
+        let metrics = self.metrics.clone();
+        let _span = metrics.as_ref().map(|m| m.telemetry.span("cut.block"));
         let tx_count = transactions.len();
         let block_num = self.store.height();
         let chaincodes = &self.chaincodes;
@@ -478,11 +564,7 @@ impl FabricChain {
         );
         let order_start = Instant::now();
         let state_root = next_state_root(&self.state_root, &transactions, &outcomes);
-        let prev_hash = self
-            .store
-            .tip()
-            .map(|b| b.header.hash())
-            .unwrap_or(Digest::ZERO);
+        let prev_hash = self.store.tip_hash();
         let header = BlockHeader {
             number: block_num,
             prev_hash,

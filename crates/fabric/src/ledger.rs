@@ -300,32 +300,53 @@ impl Block {
 
 /// The append-only block store with hash-chain verification and a
 /// transaction index.
-#[derive(Default)]
+///
+/// A store normally starts at block 0, but a *pruned* store — built when
+/// a peer bootstraps from a shipped snapshot — starts at a non-zero
+/// `base`: it holds no block below the snapshot height, only the hash of
+/// the block just before it, which anchors the prev-hash chain.
 pub struct BlockStore {
     blocks: Vec<Block>,
     tx_index: HashMap<TxId, (u64, u32)>,
+    /// Number of the first block this store holds.
+    base: u64,
+    /// Hash of block `base - 1` (`Digest::ZERO` when `base` is 0).
+    base_prev_hash: Digest,
+}
+
+impl Default for BlockStore {
+    fn default() -> BlockStore {
+        BlockStore::new_pruned(0, Digest::ZERO)
+    }
 }
 
 impl BlockStore {
-    /// An empty store.
+    /// An empty store starting at block 0.
     pub fn new() -> BlockStore {
         BlockStore::default()
     }
 
+    /// An empty pruned store: the next block appended must be `base` and
+    /// must link to `base_prev_hash`.
+    pub fn new_pruned(base: u64, base_prev_hash: Digest) -> BlockStore {
+        BlockStore {
+            blocks: Vec::new(),
+            tx_index: HashMap::new(),
+            base,
+            base_prev_hash,
+        }
+    }
+
     /// Append a block, verifying height and the previous-hash link.
     pub fn append(&mut self, block: Block) -> Result<(), FabricError> {
-        let expected_number = self.blocks.len() as u64;
+        let expected_number = self.base + self.blocks.len() as u64;
         if block.header.number != expected_number {
             return Err(FabricError::IntegrityViolation(format!(
                 "expected block {expected_number}, got {}",
                 block.header.number
             )));
         }
-        let expected_prev = self
-            .blocks
-            .last()
-            .map(|b| b.header.hash())
-            .unwrap_or(Digest::ZERO);
+        let expected_prev = self.tip_hash();
         if block.header.prev_hash != expected_prev {
             return Err(FabricError::IntegrityViolation(
                 "previous-hash link broken".into(),
@@ -358,19 +379,52 @@ impl BlockStore {
         Ok(store)
     }
 
-    /// Height (number of blocks).
+    /// Rebuild a pruned store from a snapshot anchor plus the delta blocks
+    /// recovered above it, with the same verification as [`restore`].
+    ///
+    /// [`restore`]: BlockStore::restore
+    pub fn restore_pruned(
+        base: u64,
+        base_prev_hash: Digest,
+        blocks: Vec<Block>,
+    ) -> Result<BlockStore, FabricError> {
+        let mut store = BlockStore::new_pruned(base, base_prev_hash);
+        for block in blocks {
+            store.append(block)?;
+        }
+        Ok(store)
+    }
+
+    /// Height: the next block number to append (`base +` stored blocks).
     pub fn height(&self) -> u64 {
-        self.blocks.len() as u64
+        self.base + self.blocks.len() as u64
     }
 
-    /// Block by number.
+    /// Number of the first block this store holds (0 unless pruned).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Block by number (`None` below the base or above the tip).
     pub fn block(&self, number: u64) -> Option<&Block> {
-        self.blocks.get(number as usize)
+        self.blocks.get(number.checked_sub(self.base)? as usize)
     }
 
-    /// The latest block.
+    /// The latest block (`None` for an empty store — including a freshly
+    /// bootstrapped pruned one, whose tip hash is still well-defined via
+    /// [`BlockStore::tip_hash`]).
     pub fn tip(&self) -> Option<&Block> {
         self.blocks.last()
+    }
+
+    /// Hash the next appended block must carry as `prev_hash`: the tip
+    /// block's hash, the snapshot anchor for an empty pruned store, or
+    /// `Digest::ZERO` for an empty full store.
+    pub fn tip_hash(&self) -> Digest {
+        self.blocks
+            .last()
+            .map(|b| b.header.hash())
+            .unwrap_or(self.base_prev_hash)
     }
 
     /// Iterate over all blocks in order.
@@ -381,7 +435,7 @@ impl BlockStore {
     /// Look up a transaction and its validity by id.
     pub fn find_tx(&self, tx_id: &TxId) -> Option<(&Transaction, bool)> {
         let (block_num, idx) = self.tx_index.get(tx_id)?;
-        let block = &self.blocks[*block_num as usize];
+        let block = &self.blocks[(*block_num - self.base) as usize];
         Some((
             &block.transactions[*idx as usize],
             block.validity[*idx as usize],
@@ -393,11 +447,12 @@ impl BlockStore {
         self.tx_index.get(tx_id).copied()
     }
 
-    /// Re-verify the whole hash chain (tamper audit).
+    /// Re-verify the whole hash chain (tamper audit), from the genesis
+    /// block or — for a pruned store — from the snapshot anchor.
     pub fn verify_chain(&self) -> Result<(), FabricError> {
-        let mut prev = Digest::ZERO;
+        let mut prev = self.base_prev_hash;
         for (i, block) in self.blocks.iter().enumerate() {
-            if block.header.number != i as u64 {
+            if block.header.number != self.base + i as u64 {
                 return Err(FabricError::IntegrityViolation(format!(
                     "block {i} has wrong number"
                 )));

@@ -67,7 +67,9 @@ pub use ledger::{Block, BlockHeader, BlockStore, TxId};
 pub use parallel::{BlockValidator, ValidationConfig};
 pub use pool::WorkerPool;
 pub use statedb::{StateDb, Version};
-pub use storage::{DurableBackend, FsyncPolicy, InMemoryBackend, StateBackend, StorageConfig};
+pub use storage::{
+    ChainSnapshot, DurableBackend, FsyncPolicy, InMemoryBackend, StateBackend, StorageConfig,
+};
 
 // Re-exported so downstream users can attach telemetry without naming the
 // telemetry crate directly.

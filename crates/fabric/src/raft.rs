@@ -132,8 +132,11 @@ pub struct RaftNode {
     /// Highest log index handed to the application via `take_committed`.
     applied_index: u64,
 
-    // Candidate state.
-    votes_granted: usize,
+    // Candidate state: ids that granted us a vote this term. Tracking
+    // voters (not a bare count) makes duplicate `VoteReply` deliveries —
+    // possible when a candidate's request is answered and then re-answered
+    // after a retransmit — count once, preserving election safety.
+    votes_from: Vec<NodeId>,
 
     // Leader state (per peer).
     next_index: Vec<u64>,
@@ -163,7 +166,7 @@ impl RaftNode {
             log: Vec::new(),
             commit_index: 0,
             applied_index: 0,
-            votes_granted: 0,
+            votes_from: Vec::new(),
             next_index: Vec::new(),
             match_index: Vec::new(),
             election_deadline: SimTime::ZERO,
@@ -261,7 +264,7 @@ impl RaftNode {
         self.role = Role::Candidate;
         self.current_term += 1;
         self.voted_for = Some(self.id);
-        self.votes_granted = 1;
+        self.votes_from = vec![self.id];
         self.reset_election_deadline(now);
         let msg = RaftMsg::RequestVote {
             term: self.current_term,
@@ -269,7 +272,7 @@ impl RaftNode {
             last_log_index: self.last_log_index(),
             last_log_term: self.last_log_term(),
         };
-        if self.votes_granted >= self.majority() {
+        if self.votes_from.len() >= self.majority() {
             // Single-node cluster: win immediately.
             return self.become_leader(now);
         }
@@ -384,9 +387,13 @@ impl RaftNode {
                     self.step_down(term, now);
                     return Vec::new();
                 }
-                if self.role == Role::Candidate && term == self.current_term && granted {
-                    self.votes_granted += 1;
-                    if self.votes_granted >= self.majority() {
+                if self.role == Role::Candidate
+                    && term == self.current_term
+                    && granted
+                    && !self.votes_from.contains(&from)
+                {
+                    self.votes_from.push(from);
+                    if self.votes_from.len() >= self.majority() {
                         return self.become_leader(now);
                     }
                 }
@@ -793,5 +800,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn duplicate_vote_replies_do_not_double_count() {
+        // 5-node cluster: node 0 needs 3 votes (itself + 2). A granted
+        // reply from the same voter delivered twice — a retransmitted
+        // answer to a retransmitted request — must count once.
+        let mut n = RaftNode::new(0, vec![1, 2, 3, 4], RaftConfig::default(), 7, SimTime::ZERO);
+        let outs = n.tick(SimTime::from_secs(1));
+        assert!(outs
+            .iter()
+            .all(|o| matches!(o.msg, RaftMsg::RequestVote { .. })));
+        let term = n.current_term();
+        let reply = RaftMsg::VoteReply {
+            term,
+            granted: true,
+        };
+        n.handle(1, reply.clone(), SimTime::from_secs(1));
+        n.handle(1, reply.clone(), SimTime::from_secs(1));
+        assert!(
+            !n.is_leader(),
+            "duplicate replies from one voter are one vote"
+        );
+        n.handle(2, reply, SimTime::from_secs(1));
+        assert!(n.is_leader(), "third distinct voter completes the majority");
     }
 }

@@ -46,8 +46,16 @@ use crate::statedb::{StateDb, Version};
 use crate::validation::state_root_from_block;
 use crate::wire::{Reader, Writer};
 
-/// File name of the state WAL inside a storage directory.
+/// File name (base) of the state WAL inside a storage directory. The WAL
+/// is segmented: bytes live in `state.wal.000000`, `state.wal.000001`, …
+/// (see [`wal_segment_path`]).
 pub const STATE_WAL_FILE: &str = "state.wal";
+
+/// Path of WAL segment `index` inside a storage directory (crash-injection
+/// tests tear these files to simulate torn tails).
+pub fn wal_segment_path(dir: &std::path::Path, index: u64) -> std::path::PathBuf {
+    fabric_store::wal::segment_path(&dir.join(STATE_WAL_FILE), index)
+}
 
 impl From<StoreError> for FabricError {
     fn from(e: StoreError) -> FabricError {
@@ -229,21 +237,129 @@ fn decode_state(bytes: &[u8]) -> Result<StateDb, FabricError> {
     Ok(state)
 }
 
-/// Checkpoint metadata: the rolling state root at the snapshot height plus
-/// the full-state Merkle digest (verified on load).
-fn encode_meta(state_root: &Digest, state_digest: &Digest) -> Vec<u8> {
+/// Checkpoint metadata: the rolling state root at the snapshot height, the
+/// full-state Merkle digest (verified on load), the store's base height
+/// (non-zero for a pruned store bootstrapped from a shipped snapshot) with
+/// the hash of the block *before* the base, and the tip block timestamp.
+struct CheckpointMeta {
+    state_root: Digest,
+    state_digest: Digest,
+    base_height: u64,
+    base_prev_hash: Digest,
+    timestamp_us: u64,
+}
+
+fn encode_meta(meta: &CheckpointMeta) -> Vec<u8> {
     let mut w = Writer::new();
-    w.array(state_root.as_bytes())
-        .array(state_digest.as_bytes());
+    w.array(meta.state_root.as_bytes())
+        .array(meta.state_digest.as_bytes())
+        .u64(meta.base_height)
+        .array(meta.base_prev_hash.as_bytes())
+        .u64(meta.timestamp_us);
     w.into_bytes()
 }
 
-fn decode_meta(bytes: &[u8]) -> Result<(Digest, Digest), FabricError> {
+fn decode_meta(bytes: &[u8]) -> Result<CheckpointMeta, FabricError> {
     let mut r = Reader::new(bytes);
-    let root = Digest(r.array::<32>()?);
-    let digest = Digest(r.array::<32>()?);
+    let state_root = Digest(r.array::<32>()?);
+    let state_digest = Digest(r.array::<32>()?);
+    let base_height = r.u64()?;
+    let base_prev_hash = Digest(r.array::<32>()?);
+    let timestamp_us = r.u64()?;
     r.finish()?;
-    Ok((root, digest))
+    Ok(CheckpointMeta {
+        state_root,
+        state_digest,
+        base_height,
+        base_prev_hash,
+        timestamp_us,
+    })
+}
+
+/// A self-contained, shippable snapshot of a chain at one height: the full
+/// state plus just enough header context (`prev_block_hash`, rolling state
+/// root, tip timestamp) for the recipient to keep extending the chain
+/// without any earlier block. The state digest travels inside and is
+/// verified on decode and again on install, so a corrupted transfer can
+/// never become a peer's state.
+#[derive(Clone, Debug)]
+pub struct ChainSnapshot {
+    /// Chain height the snapshot was taken at (= the next block number).
+    pub height: u64,
+    /// Hash of the last block below `height` (`Digest::ZERO` at height 0).
+    pub prev_block_hash: Digest,
+    /// Rolling state root after block `height - 1`.
+    pub state_root: Digest,
+    /// Timestamp of the tip block, for clock monotonicity on the recipient.
+    pub timestamp_us: u64,
+    /// Serialized [`StateDb`] ([`encode_state`] format).
+    state: Vec<u8>,
+    /// Merkle digest of the state, checked on decode/install.
+    state_digest: Digest,
+}
+
+impl ChainSnapshot {
+    /// Capture a snapshot of `state` as of `height`.
+    pub fn capture(
+        height: u64,
+        prev_block_hash: Digest,
+        state_root: Digest,
+        timestamp_us: u64,
+        state: &StateDb,
+    ) -> ChainSnapshot {
+        ChainSnapshot {
+            height,
+            prev_block_hash,
+            state_root,
+            timestamp_us,
+            state: encode_state(state),
+            state_digest: state.state_digest(),
+        }
+    }
+
+    /// Decode the shipped state, verifying its digest.
+    pub fn state(&self) -> Result<StateDb, FabricError> {
+        let state = decode_state(&self.state)?;
+        if state.state_digest() != self.state_digest {
+            return Err(FabricError::Storage(
+                "snapshot state digest mismatch".into(),
+            ));
+        }
+        Ok(state)
+    }
+
+    /// Wire size of the snapshot when shipped between peers.
+    pub fn size_bytes(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Serialize for shipping.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u64(self.height)
+            .array(self.prev_block_hash.as_bytes())
+            .array(self.state_root.as_bytes())
+            .u64(self.timestamp_us)
+            .array(self.state_digest.as_bytes())
+            .bytes(&self.state);
+        w.into_bytes()
+    }
+
+    /// Decode a shipped snapshot and verify the state digest.
+    pub fn decode(bytes: &[u8]) -> Result<ChainSnapshot, FabricError> {
+        let mut r = Reader::new(bytes);
+        let snapshot = ChainSnapshot {
+            height: r.u64()?,
+            prev_block_hash: Digest(r.array::<32>()?),
+            state_root: Digest(r.array::<32>()?),
+            timestamp_us: r.u64()?,
+            state_digest: Digest(r.array::<32>()?),
+            state: r.bytes()?,
+        };
+        r.finish()?;
+        snapshot.state()?; // digest check
+        Ok(snapshot)
+    }
 }
 
 /// Metric handles for the durable commit path, resolved once when
@@ -292,6 +408,13 @@ pub struct DurableBackend {
     config: StorageConfig,
     /// Rolling state root after the last persisted block.
     state_root: Digest,
+    /// First block height this store holds (non-zero when bootstrapped
+    /// from a shipped snapshot — a *pruned* store).
+    base: u64,
+    /// Hash of the block before `base` (`Digest::ZERO` for a full store).
+    base_prev_hash: Digest,
+    /// Timestamp of the last persisted block (or the snapshot tip).
+    last_timestamp_us: u64,
     blocks_since_checkpoint: u64,
     metrics: Option<StorageMetrics>,
 }
@@ -319,12 +442,25 @@ impl DurableBackend {
         std::fs::create_dir_all(&config.dir)
             .map_err(|e| FabricError::Storage(format!("create {:?}: {e}", config.dir)))?;
 
-        // 1. Latest checkpoint (may be absent).
+        // 1. Latest checkpoint (may be absent). Its metadata carries the
+        // store's base height — non-zero when this store was bootstrapped
+        // from a shipped snapshot and holds no earlier block.
         let checkpoints = CheckpointStore::new(&config.dir);
         let checkpoint = checkpoints.load()?;
+        let meta = checkpoint
+            .as_ref()
+            .map(|cp| decode_meta(&cp.meta))
+            .transpose()?;
+        let base_hint = meta.as_ref().map(|m| m.base_height).unwrap_or(0);
 
         // 2. Surviving blocks (torn tail already truncated by the store).
-        let mut blocks_file = BlockFile::open(&config.dir, config.index_every)?;
+        let mut blocks_file = BlockFile::open_at(&config.dir, config.index_every, base_hint)?;
+        let base = blocks_file.base();
+        if base != base_hint {
+            return Err(FabricError::Storage(format!(
+                "block file starts at height {base} but checkpoint claims base {base_hint}"
+            )));
+        }
         let raw = blocks_file.read_all()?;
         let decoded = pool.map_indexed(raw.len(), |i| Block::decode(&raw[i]));
         let mut blocks = Vec::with_capacity(decoded.len());
@@ -335,30 +471,43 @@ impl DurableBackend {
                 })?,
             );
         }
-        let tip = blocks.len() as u64;
+        let tip = base + blocks.len() as u64;
 
         // 3. Checkpoint state. A checkpoint ahead of the block file cannot
         // result from a crash (the checkpoint fsyncs the block file before
         // saving), so it is corruption, not damage to repair.
-        let (mut state, mut root, cp_height) = match checkpoint {
-            Some(cp) => {
-                if cp.height > tip {
-                    return Err(FabricError::Storage(format!(
-                        "checkpoint at height {} but block file ends at {tip}",
-                        cp.height
-                    )));
+        let (mut state, mut root, cp_height, base_prev_hash, mut last_timestamp_us) =
+            match (checkpoint, meta) {
+                (Some(cp), Some(m)) => {
+                    if cp.height > tip {
+                        return Err(FabricError::Storage(format!(
+                            "checkpoint at height {} but block file ends at {tip}",
+                            cp.height
+                        )));
+                    }
+                    let state = decode_state(&cp.payload)?;
+                    if state.state_digest() != m.state_digest {
+                        return Err(FabricError::Storage(
+                            "checkpoint state digest mismatch".into(),
+                        ));
+                    }
+                    (
+                        state,
+                        m.state_root,
+                        cp.height,
+                        m.base_prev_hash,
+                        m.timestamp_us,
+                    )
                 }
-                let (root, digest) = decode_meta(&cp.meta)?;
-                let state = decode_state(&cp.payload)?;
-                if state.state_digest() != digest {
-                    return Err(FabricError::Storage(
-                        "checkpoint state digest mismatch".into(),
-                    ));
+                _ => {
+                    if base != 0 {
+                        return Err(FabricError::Storage(format!(
+                            "pruned block file (base {base}) without a checkpoint"
+                        )));
+                    }
+                    (StateDb::new(), Digest::ZERO, 0, Digest::ZERO, 0)
                 }
-                (state, root, cp.height)
-            }
-            None => (StateDb::new(), Digest::ZERO, 0),
-        };
+            };
 
         // 4. Surviving WAL records, grouped by block. Records at or beyond
         // the block tip describe blocks the block file lost in the crash —
@@ -366,8 +515,12 @@ impl DurableBackend {
         // below the checkpoint height linger only if the crash hit between
         // checkpoint save and WAL reset; they are already part of the
         // snapshot and are skipped.
-        let (mut wal, raw_records) =
-            Wal::open(config.dir.join(STATE_WAL_FILE), config.fsync).map_err(StoreError::Io)?;
+        let (mut wal, raw_records) = Wal::open_segmented(
+            config.dir.join(STATE_WAL_FILE),
+            config.fsync,
+            config.wal_segment_bytes,
+        )
+        .map_err(StoreError::Io)?;
         let mut keep = 0usize;
         let mut by_block: HashMap<u64, Vec<WalRecord>> = HashMap::new();
         for raw in &raw_records {
@@ -389,7 +542,7 @@ impl DurableBackend {
         // WAL lost them. Both derive the same writes; re-deriving the
         // rolling root per block and checking it against the stored header
         // verifies the replayed state against the block store.
-        for block in blocks.iter().skip(cp_height as usize) {
+        for block in blocks.iter().skip((cp_height - base) as usize) {
             let h = block.header.number;
             let valid_count = block.validity.iter().filter(|v| **v).count();
             match by_block.get(&h) {
@@ -424,6 +577,9 @@ impl DurableBackend {
                 )));
             }
         }
+        if let Some(block) = blocks.last() {
+            last_timestamp_us = block.header.timestamp_us;
+        }
 
         let backend = DurableBackend {
             state,
@@ -432,10 +588,52 @@ impl DurableBackend {
             checkpoints,
             config,
             state_root: root,
+            base,
+            base_prev_hash,
+            last_timestamp_us,
             blocks_since_checkpoint: tip - cp_height,
             metrics: None,
         };
         Ok((backend, blocks))
+    }
+
+    /// Install a shipped [`ChainSnapshot`] into a fresh directory and open
+    /// the resulting *pruned* store: its base is the snapshot height, the
+    /// snapshot state is verified against its digest, and the store is
+    /// ready to commit block `snapshot.height` next. This is the O(state)
+    /// peer-bootstrap path — no block history is required or stored below
+    /// the base.
+    pub fn install_snapshot(
+        config: StorageConfig,
+        pool: &WorkerPool,
+        snapshot: &ChainSnapshot,
+    ) -> Result<(DurableBackend, Vec<Block>), FabricError> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| FabricError::Storage(format!("create {:?}: {e}", config.dir)))?;
+        let existing = config.dir.join(fabric_store::blockfile::BLOCKS_DATA_FILE);
+        if std::fs::metadata(&existing)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false)
+        {
+            return Err(FabricError::Storage(format!(
+                "refusing to install a snapshot over existing blocks in {:?}",
+                config.dir
+            )));
+        }
+        let state = snapshot.state()?; // digest check before anything lands
+        let cp = Checkpoint {
+            height: snapshot.height,
+            meta: encode_meta(&CheckpointMeta {
+                state_root: snapshot.state_root,
+                state_digest: state.state_digest(),
+                base_height: snapshot.height,
+                base_prev_hash: snapshot.prev_block_hash,
+                timestamp_us: snapshot.timestamp_us,
+            }),
+            payload: encode_state(&state),
+        };
+        CheckpointStore::new(&config.dir).save(&cp)?;
+        DurableBackend::open(config, pool)
     }
 
     /// The storage configuration.
@@ -464,6 +662,36 @@ impl DurableBackend {
         self.checkpoints.saves()
     }
 
+    /// Rolling state root after the last persisted block.
+    pub fn state_root(&self) -> Digest {
+        self.state_root
+    }
+
+    /// First block height this store holds (non-zero when pruned).
+    pub fn base_height(&self) -> u64 {
+        self.base
+    }
+
+    /// Hash of the block before the base (`Digest::ZERO` for a full store).
+    pub fn base_prev_hash(&self) -> Digest {
+        self.base_prev_hash
+    }
+
+    /// Timestamp of the last persisted block (or the installed snapshot).
+    pub fn last_timestamp_us(&self) -> u64 {
+        self.last_timestamp_us
+    }
+
+    /// Live WAL segment files.
+    pub fn wal_segments(&self) -> usize {
+        self.wal.segment_count()
+    }
+
+    /// WAL segments garbage-collected by checkpoints over this handle.
+    pub fn wal_segments_gced(&self) -> u64 {
+        self.wal.segments_gced()
+    }
+
     /// Snapshot the state DB and truncate the WAL now, regardless of the
     /// configured interval.
     pub fn checkpoint_now(&mut self) -> Result<(), FabricError> {
@@ -474,7 +702,13 @@ impl DurableBackend {
         self.blocks.sync().map_err(StoreError::Io)?;
         let cp = Checkpoint {
             height: self.blocks.height(),
-            meta: encode_meta(&self.state_root, &self.state.state_digest()),
+            meta: encode_meta(&CheckpointMeta {
+                state_root: self.state_root,
+                state_digest: self.state.state_digest(),
+                base_height: self.base,
+                base_prev_hash: self.base_prev_hash,
+                timestamp_us: self.last_timestamp_us,
+            }),
             payload: encode_state(&self.state),
         };
         self.checkpoints.save(&cp)?;
@@ -527,6 +761,7 @@ impl StateBackend for DurableBackend {
             m.sync_fsyncs(total_fsyncs);
         }
         self.state_root = block.header.state_root;
+        self.last_timestamp_us = block.header.timestamp_us;
         self.blocks_since_checkpoint += 1;
         if self.blocks_since_checkpoint >= self.config.checkpoint_every_blocks {
             self.checkpoint_now()?;

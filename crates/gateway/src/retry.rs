@@ -74,6 +74,21 @@ impl RetryPolicy {
     pub fn can_retry(&self, attempt: u32) -> bool {
         self.enabled && attempt < self.max_attempts
     }
+
+    /// Preset for routing ordering-service proposals to the current Raft
+    /// leader: tighter backoffs than the MVCC default (a `NotLeader`
+    /// rejection is resolved by an election, typically a few hundred
+    /// milliseconds, not by waiting out a block), with enough attempts to
+    /// survive one full leader transition.
+    pub fn for_leader_routing() -> RetryPolicy {
+        RetryPolicy {
+            enabled: true,
+            max_attempts: 8,
+            base_backoff_us: 5_000,
+            max_backoff_us: 100_000,
+            jitter: 0.25,
+        }
+    }
 }
 
 /// `u64::checked_shl` that saturates to `u64::MAX` instead of wrapping.

@@ -28,14 +28,22 @@ pub const BLOCKS_DATA_FILE: &str = "blocks.dat";
 pub const BLOCKS_INDEX_FILE: &str = "blocks.idx";
 
 /// An open block file store.
+///
+/// A store normally begins at height 0, but a *pruned* store — created
+/// when a peer bootstraps from a shipped snapshot instead of replaying
+/// history — begins at a non-zero `base`: the snapshot height. Frames are
+/// self-describing, so the base is recovered from the first frame on
+/// reopen; an empty store takes the caller's hint.
 #[derive(Debug)]
 pub struct BlockFile {
     data: File,
     index: File,
     /// Sparse `(height, offset)` entries, ascending, one per
-    /// `index_every` blocks starting at height 0.
+    /// `index_every` blocks starting at the base height.
     sparse: Vec<(u64, u64)>,
     index_every: u64,
+    /// Height of the first stored block (0 unless the store is pruned).
+    base: u64,
     height: u64,
     data_len: u64,
     fsyncs: u64,
@@ -53,15 +61,25 @@ fn open_rw(path: &Path) -> std::io::Result<File> {
 impl BlockFile {
     /// Open (or create) the block store inside `dir`, repairing a torn
     /// tail. `index_every` is the sparse-index stride (clamped to ≥ 1).
+    /// The store's base height must be 0 (see [`BlockFile::open_at`]).
     pub fn open(dir: &Path, index_every: u64) -> Result<BlockFile, StoreError> {
+        BlockFile::open_at(dir, index_every, 0)
+    }
+
+    /// Open (or create) a block store whose first block sits at
+    /// `base_hint` instead of 0 — the pruned layout a snapshot-bootstrapped
+    /// peer uses. A non-empty store derives its base from the first frame
+    /// (frames are self-describing); the hint only seeds an empty one.
+    pub fn open_at(dir: &Path, index_every: u64, base_hint: u64) -> Result<BlockFile, StoreError> {
         let index_every = index_every.max(1);
         let mut data = open_rw(&dir.join(BLOCKS_DATA_FILE))?;
         let mut index = open_rw(&dir.join(BLOCKS_INDEX_FILE))?;
         let data_len = data.seek(SeekFrom::End(0))?;
+        let base = Self::frame_height_at(&mut data, 0, data_len)?.unwrap_or(base_hint);
 
         // Load the sparse index: 16-byte frames of (height, offset), kept
-        // only while heights step by `index_every` and offsets stay inside
-        // the data file.
+        // only while heights step by `index_every` from the base and
+        // offsets stay inside the data file.
         let idx_scan = scan_frames(&mut index, 0)?;
         let mut sparse: Vec<(u64, u64)> = Vec::new();
         for frame in &idx_scan.frames {
@@ -70,7 +88,7 @@ impl BlockFile {
             }
             let h = u64::from_le_bytes(frame.payload[..8].try_into().unwrap());
             let off = u64::from_le_bytes(frame.payload[8..].try_into().unwrap());
-            if h != sparse.len() as u64 * index_every || off >= data_len {
+            if h != base + sparse.len() as u64 * index_every || off >= data_len {
                 break;
             }
             if let Some(&(_, prev_off)) = sparse.last() {
@@ -83,7 +101,7 @@ impl BlockFile {
 
         // Find the deepest trustworthy sparse entry: the frame at its
         // offset must decode to its height. Fall back toward a full scan.
-        let mut start = (0u64, 0u64); // (height, offset) to scan from
+        let mut start = (base, 0u64); // (height, offset) to scan from
         while let Some(&(h, off)) = sparse.last() {
             if Self::frame_height_at(&mut data, off, data_len)? == Some(h) {
                 start = (h, off);
@@ -104,6 +122,7 @@ impl BlockFile {
             index,
             sparse: Vec::new(),
             index_every,
+            base,
             height: 0,
             data_len: scan.valid_len,
             fsyncs: 0,
@@ -125,7 +144,7 @@ impl BlockFile {
                     "block file discontinuity: expected height {height}, found {h}"
                 )));
             }
-            if h % index_every == 0 {
+            if (h - base).is_multiple_of(index_every) {
                 sparse_ok.push((h, frame.offset));
             }
             height += 1;
@@ -172,9 +191,14 @@ impl BlockFile {
         append_bytes(&mut self.index, &buf)
     }
 
-    /// Number of stored blocks (the next height to append).
+    /// The next height to append (absolute: `base + stored blocks`).
     pub fn height(&self) -> u64 {
         self.height
+    }
+
+    /// Height of the first stored block (0 unless the store is pruned).
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Data file size in bytes.
@@ -197,7 +221,7 @@ impl BlockFile {
         let frame = encode_frame(&payload);
         self.data.seek(SeekFrom::Start(self.data_len))?;
         append_bytes(&mut self.data, &frame)?;
-        if height.is_multiple_of(self.index_every) {
+        if (height - self.base).is_multiple_of(self.index_every) {
             self.sparse.push((height, self.data_len));
             let mut idx_payload = [0u8; 16];
             idx_payload[..8].copy_from_slice(&height.to_le_bytes());
@@ -229,10 +253,10 @@ impl BlockFile {
     /// Seeks to the nearest sparse-index entry at or below `height` and
     /// skips forward over at most `index_every - 1` frame headers.
     pub fn read(&mut self, height: u64) -> Result<Vec<u8>, StoreError> {
-        if height >= self.height {
+        if height < self.base || height >= self.height {
             return Err(StoreError::Corrupt(format!(
-                "block {height} out of range (height {})",
-                self.height
+                "block {height} out of range (base {}, height {})",
+                self.base, self.height
             )));
         }
         let slot = match self.sparse.binary_search_by_key(&height, |&(h, _)| h) {
@@ -281,7 +305,7 @@ impl BlockFile {
         Ok(payload.split_off(8))
     }
 
-    /// Read every stored block in height order.
+    /// Read every stored block in height order (the first is at `base`).
     pub fn read_all(&mut self) -> Result<Vec<Vec<u8>>, StoreError> {
         let scan = scan_frames(&mut self.data, 0)?;
         let mut out = Vec::with_capacity(scan.frames.len());
@@ -290,9 +314,10 @@ impl BlockFile {
                 return Err(StoreError::Corrupt(format!("block {i}: frame too short")));
             }
             let h = u64::from_le_bytes(frame.payload[..8].try_into().unwrap());
-            if h != i as u64 {
+            let expect = self.base + i as u64;
+            if h != expect {
                 return Err(StoreError::Corrupt(format!(
-                    "block file discontinuity: expected {i}, found {h}"
+                    "block file discontinuity: expected {expect}, found {h}"
                 )));
             }
             let mut payload = frame.payload;
@@ -414,6 +439,36 @@ mod tests {
         for i in 0..h {
             assert_eq!(bf.read(i).unwrap(), block_bytes(i));
         }
+    }
+
+    #[test]
+    fn pruned_store_starts_at_base() {
+        let dir = TestDir::new("bf-pruned");
+        {
+            let mut bf = BlockFile::open_at(dir.path(), 3, 100).unwrap();
+            assert_eq!(bf.base(), 100);
+            assert_eq!(bf.height(), 100);
+            assert!(bf.append(0, b"wrong", false).is_err());
+            for i in 100..110 {
+                bf.append(i, &block_bytes(i), false).unwrap();
+            }
+            assert_eq!(bf.height(), 110);
+            assert!(bf.read(99).is_err(), "below base");
+            for i in [100, 104, 109] {
+                assert_eq!(bf.read(i).unwrap(), block_bytes(i));
+            }
+        }
+        // Reopen with a *wrong* hint: the first frame wins.
+        let mut bf = BlockFile::open_at(dir.path(), 3, 0).unwrap();
+        assert_eq!(bf.base(), 100);
+        assert_eq!(bf.height(), 110);
+        let all = bf.read_all().unwrap();
+        assert_eq!(all.len(), 10);
+        for (i, b) in all.iter().enumerate() {
+            assert_eq!(b, &block_bytes(100 + i as u64));
+        }
+        bf.append(110, &block_bytes(110), false).unwrap();
+        assert_eq!(bf.read(110).unwrap(), block_bytes(110));
     }
 
     #[test]

@@ -100,19 +100,25 @@ pub struct StorageConfig {
     /// Sparse-index stride: one index entry per this many blocks. Reads
     /// skip at most `index_every - 1` frame headers.
     pub index_every: u64,
+    /// WAL segment rotation threshold in bytes: the active segment is
+    /// sealed and a fresh one opened once appending would push it past
+    /// this size. Sealed segments are garbage-collected at the next
+    /// checkpoint, bounding disk use for multi-GB logs.
+    pub wal_segment_bytes: u64,
 }
 
 impl StorageConfig {
     /// Defaults: `EveryN(512)` fsync (group commit spanning several
     /// 100-tx blocks — a smaller stride would force one fsync per block,
     /// defeating group commit), checkpoint every 256 blocks, index
-    /// stride 16.
+    /// stride 16, 64 MiB WAL segments.
     pub fn new(dir: impl Into<PathBuf>) -> StorageConfig {
         StorageConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::EveryN(512),
             checkpoint_every_blocks: 256,
             index_every: 16,
+            wal_segment_bytes: 64 * 1024 * 1024,
         }
     }
 
@@ -133,6 +139,12 @@ impl StorageConfig {
         self.index_every = blocks.max(1);
         self
     }
+
+    /// Set the WAL segment rotation threshold in bytes (clamped to ≥ 1).
+    pub fn wal_segment_bytes(mut self, bytes: u64) -> StorageConfig {
+        self.wal_segment_bytes = bytes.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -146,14 +158,17 @@ mod tests {
         assert_eq!(cfg.fsync, FsyncPolicy::EveryN(512));
         assert_eq!(cfg.checkpoint_every_blocks, 256);
         assert_eq!(cfg.index_every, 16);
+        assert_eq!(cfg.wal_segment_bytes, 64 * 1024 * 1024);
 
         let cfg = cfg
             .fsync(FsyncPolicy::Never)
             .checkpoint_every(0)
-            .index_every(0);
+            .index_every(0)
+            .wal_segment_bytes(0);
         assert_eq!(cfg.fsync, FsyncPolicy::Never);
         assert_eq!(cfg.checkpoint_every_blocks, 1, "clamped to at least 1");
         assert_eq!(cfg.index_every, 1, "clamped to at least 1");
+        assert_eq!(cfg.wal_segment_bytes, 1, "clamped to at least 1");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! ```
 
 use ledgerview::fabric::identity::{Identity, OrgId};
-use ledgerview::fabric::storage::STATE_WAL_FILE;
+use ledgerview::fabric::storage::wal_segment_path;
 use ledgerview::fabric::FabricChain;
 use ledgerview::prelude::*;
 use ledgerview::store::testdir::TestDir;
@@ -100,7 +100,7 @@ fn main() {
     //    is torn (the tail bytes never reached the platter).
     drop(chain);
     let _ = alice;
-    let wal = dir.path().join(STATE_WAL_FILE);
+    let wal = wal_segment_path(dir.path(), 0);
     let len = std::fs::metadata(&wal).unwrap().len();
     let file = std::fs::OpenOptions::new().write(true).open(&wal).unwrap();
     file.set_len(len.saturating_sub(7)).unwrap();

@@ -24,6 +24,10 @@
 //! * [`gateway`] — the client gateway: admission control, the block-cutting
 //!   submission pipeline, MVCC-conflict retry, and the million-client
 //!   workload driver (see `examples/gateway_demo.rs`).
+//! * [`cluster`] — the deterministic replication cluster: a Raft-driven
+//!   ordering service, multi-peer block dissemination over simulated
+//!   links, snapshot-shipping peer bootstrap, and scheduled fault
+//!   injection (see `examples/cluster_failover.rs`).
 //! * [`telemetry`] — the metrics registry, span tracer and Chrome-trace /
 //!   Prometheus exporters threaded through all of the above (see
 //!   `examples/telemetry_dump.rs`).
@@ -70,6 +74,7 @@
 
 pub use fabric_sim as fabric;
 pub use fabric_store as store;
+pub use ledgerview_cluster as cluster;
 pub use ledgerview_core as views;
 pub use ledgerview_crosschain as crosschain;
 pub use ledgerview_crypto as crypto;

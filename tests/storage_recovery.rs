@@ -12,7 +12,7 @@ use ledgerview::crypto::sha256::Digest;
 use ledgerview::fabric::chaincode::TxContext;
 use ledgerview::fabric::endorsement::EndorsementPolicy;
 use ledgerview::fabric::identity::{Identity, OrgId};
-use ledgerview::fabric::storage::STATE_WAL_FILE;
+use ledgerview::fabric::storage::wal_segment_path;
 use ledgerview::fabric::{Chaincode, FabricChain, FabricError};
 use ledgerview::prelude::{FsyncPolicy, StorageConfig, ValidationConfig};
 use ledgerview::store::blockfile::BLOCKS_DATA_FILE;
@@ -232,7 +232,7 @@ proptest! {
             let (mut chain, alice) = durable_chain(seed, config.clone());
             run_workload(&mut chain, &alice, blocks, seed ^ 0xabcd);
         }
-        let wal_path = dir.path().join(STATE_WAL_FILE);
+        let wal_path = wal_segment_path(dir.path(), 0);
         let len = std::fs::metadata(&wal_path).unwrap().len();
         truncate_file(&wal_path, cut % (len + 1));
 
@@ -272,7 +272,7 @@ proptest! {
         let len = std::fs::metadata(&data_path).unwrap().len();
         truncate_file(&data_path, cut_blocks % (len + 1));
         if cut_wal > 0 {
-            let wal_path = dir.path().join(STATE_WAL_FILE);
+            let wal_path = wal_segment_path(dir.path(), 0);
             let wal_len = std::fs::metadata(&wal_path).unwrap().len();
             truncate_file(&wal_path, cut_wal % (wal_len + 1));
         }
