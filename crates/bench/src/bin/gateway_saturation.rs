@@ -6,7 +6,7 @@
 //! property of the model — machine-independent and bit-reproducible — and
 //! sweeps offered load across the saturation knee. Writes
 //! `bench_results/gateway_saturation.json` (schema
-//! `gateway_saturation/v1`).
+//! `gateway_saturation/v2`).
 //!
 //! Expected shape, asserted at the end of the run:
 //! * throughput rises with offered load below the knee, then plateaus;
@@ -15,6 +15,11 @@
 //! * under Zipf contention the retry-enabled gateway commits ≥ 95% of
 //!   accepted transactions while the retry-disabled baseline aborts more.
 //!
+//! A second sweep ablates the conflict-aware cutter: with client retry
+//! *off*, reordering alone must lift the no-retry commit ratio to
+//! ≥ 0.995 at the highest skew point (prevention instead of cure), and a
+//! repeated same-seed run must be bit-identical.
+//!
 //! `--smoke` shrinks the sweep for CI; `--metrics-out <path>` snapshots
 //! Prometheus metrics from one instrumented run.
 
@@ -22,7 +27,9 @@ use std::sync::Arc;
 
 use ledgerview_bench::report::{metrics_out_arg, results_dir, write_metrics};
 use ledgerview_gateway::driver::{self, counter_chain, DriverConfig, DriverReport, LoadMode};
-use ledgerview_gateway::{Gateway, GatewayConfig, RetryPolicy, ServiceModel};
+use ledgerview_gateway::{
+    Gateway, GatewayConfig, GatewayStats, ReorderConfig, RetryPolicy, ServiceModel,
+};
 use ledgerview_simnet::SimTime;
 use ledgerview_telemetry::{Telemetry, VirtualClock};
 
@@ -59,6 +66,18 @@ const SMOKE: Scale = Scale {
 /// per block), so retry can actually win the race it is given.
 const ZIPF_S: f64 = 0.6;
 
+/// Reorder-ablation keyspace: wide enough that the hottest key's arrival
+/// rate stays below one commit per block (zipf 0.8 over 20k keys ⇒
+/// p₀ · block_size ≈ 0.7), so the ablation measures conflict handling,
+/// not an inherently unstable hot key.
+const ABLATION_KEYS: usize = 20_000;
+/// Skew points for the reorder ablation, lowest to highest contention.
+const ABLATION_SKEWS_FULL: &[f64] = &[0.6, 0.7, 0.8];
+const ABLATION_SKEWS_SMOKE: &[f64] = &[0.6, 0.8];
+/// Ablation offered load, as a fraction of model capacity: just below the
+/// knee, where contention is realistic but queues stay bounded.
+const ABLATION_LOAD_FRACTION: f64 = 0.9;
+
 fn gateway_config(retry_enabled: bool) -> GatewayConfig {
     GatewayConfig {
         block_size: 25,
@@ -71,6 +90,60 @@ fn gateway_config(retry_enabled: bool) -> GatewayConfig {
         service: Some(ServiceModel::default()),
         seed: 7,
         ..GatewayConfig::default()
+    }
+}
+
+/// Ablation gateway: client retry disabled so commits come from block
+/// composition alone; `reorder_on` switches the conflict-aware cutter.
+fn ablation_config(reorder_on: bool) -> GatewayConfig {
+    GatewayConfig {
+        reorder: if reorder_on {
+            ReorderConfig::enabled()
+        } else {
+            ReorderConfig::default()
+        },
+        ..gateway_config(false)
+    }
+}
+
+/// One measured ablation point plus everything needed to check
+/// determinism: the pipeline counters and the full-state digest.
+struct AblationPoint {
+    zipf_s: f64,
+    reorder: bool,
+    report: DriverReport,
+    stats: GatewayStats,
+    digest: String,
+}
+
+fn run_ablation_point(
+    scale: &Scale,
+    reorder_on: bool,
+    zipf_s: f64,
+    capacity: f64,
+) -> AblationPoint {
+    let (chain, ids) = counter_chain(42, 8, false);
+    let mut gateway = Gateway::new(chain, ids, ablation_config(reorder_on));
+    let config = DriverConfig {
+        clients: scale.clients,
+        keys: ABLATION_KEYS,
+        zipf_s,
+        mode: LoadMode::Open {
+            offered_tps: capacity * ABLATION_LOAD_FRACTION,
+        },
+        duration: scale.duration,
+        seed: 2024,
+        ..DriverConfig::default()
+    };
+    let report = driver::run(&mut gateway, &config);
+    let stats = gateway.stats().clone();
+    let digest = format!("{:?}", gateway.chain().state().state_digest());
+    AblationPoint {
+        zipf_s,
+        reorder: reorder_on,
+        report,
+        stats,
+        digest,
     }
 }
 
@@ -179,6 +252,78 @@ fn main() {
         last.report.shed
     );
 
+    // ── Reorder ablation: retry off, conflict-aware cutter on/off across
+    // a skew sweep.
+    let skews = if smoke {
+        ABLATION_SKEWS_SMOKE
+    } else {
+        ABLATION_SKEWS_FULL
+    };
+    println!("\nreorder ablation (retry off, {} keys):", ABLATION_KEYS);
+    let mut ablation: Vec<AblationPoint> = Vec::new();
+    for reorder_on in [false, true] {
+        for &zipf_s in skews {
+            let p = run_ablation_point(scale, reorder_on, zipf_s, capacity);
+            println!(
+                "reorder={:<5} zipf {:.1} → commit_ratio {:.4}, aborted {:>4}, \
+                 early_aborts {:>4}, deferrals {:>5}, pairs {:>5}, cycles {:>5}, p99 {} µs",
+                reorder_on,
+                zipf_s,
+                p.report.commit_ratio,
+                p.report.conflict_aborted,
+                p.stats.early_aborts,
+                p.stats.deferrals,
+                p.stats.reordered_pairs,
+                p.stats.cycles_broken,
+                p.report.p99_latency_us,
+            );
+            ablation.push(p);
+        }
+    }
+    let top_skew = *skews.last().expect("skew sweep non-empty");
+    let at = |reorder: bool, s: f64| {
+        ablation
+            .iter()
+            .find(|p| p.reorder == reorder && p.zipf_s == s)
+            .expect("point measured")
+    };
+    let baseline = at(false, top_skew);
+    let reordered = at(true, top_skew);
+    assert!(
+        baseline.report.conflict_aborted > 0,
+        "the ablation must actually contend: no aborts at zipf {top_skew}"
+    );
+    assert!(
+        reordered.report.commit_ratio >= 0.995,
+        "reordering must lift the no-retry commit ratio to ≥ 0.995 at zipf {} (got {:.4})",
+        top_skew,
+        reordered.report.commit_ratio
+    );
+    assert!(
+        reordered.report.commit_ratio >= baseline.report.commit_ratio,
+        "reordering must never commit less than the unordered baseline"
+    );
+    for &zipf_s in skews {
+        assert!(
+            at(true, zipf_s).report.commit_ratio >= at(false, zipf_s).report.commit_ratio,
+            "reorder ablation regressed at zipf {zipf_s}"
+        );
+    }
+    // Bit-reproducibility: the same seed must reproduce the highest-skew
+    // reordered run exactly — counters, curve, and full-state digest.
+    let rerun = run_ablation_point(scale, true, top_skew, capacity);
+    let deterministic = format!("{:?}", rerun.report) == format!("{:?}", reordered.report)
+        && rerun.stats == reordered.stats
+        && rerun.digest == reordered.digest;
+    assert!(
+        deterministic,
+        "same-seed reordered runs must be bit-identical"
+    );
+    println!(
+        "ablation holds: commit_ratio {:.4} (baseline {:.4}) at zipf {:.1}, deterministic replay",
+        reordered.report.commit_ratio, baseline.report.commit_ratio, top_skew
+    );
+
     // ── JSON report (hand-rolled: no serde in the offline build).
     let point_json = |p: &Point| {
         let r = &p.report;
@@ -220,6 +365,51 @@ fn main() {
             )
         })
         .collect();
+    let ablation_point_json = |p: &AblationPoint| {
+        format!(
+            concat!(
+                "      {{\"zipf_s\": {:.2}, \"reorder\": {}, \"commit_ratio\": {:.4}, ",
+                "\"committed\": {}, \"conflict_aborted\": {}, \"early_aborts\": {}, ",
+                "\"deferrals\": {}, \"requeues\": {}, \"reordered_pairs\": {}, ",
+                "\"cycles_broken\": {}, \"throughput_tps\": {:.1}, \"p99_latency_us\": {}}}"
+            ),
+            p.zipf_s,
+            p.reorder,
+            p.report.commit_ratio,
+            p.report.committed,
+            p.report.conflict_aborted,
+            p.stats.early_aborts,
+            p.stats.deferrals,
+            p.stats.requeues,
+            p.stats.reordered_pairs,
+            p.stats.cycles_broken,
+            p.report.throughput_tps,
+            p.report.p99_latency_us,
+        )
+    };
+    let ablation_json = format!(
+        concat!(
+            "{{\n",
+            "    \"keys\": {}, \"load_fraction\": {:.2}, \"retry\": false,\n",
+            "    \"acceptance\": {{\"target\": 0.995, \"reorder_commit_ratio\": {:.4}, ",
+            "\"baseline_commit_ratio\": {:.4}, \"top_zipf_s\": {:.2}, \"met\": {}, ",
+            "\"deterministic\": {}}},\n",
+            "    \"points\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        ABLATION_KEYS,
+        ABLATION_LOAD_FRACTION,
+        reordered.report.commit_ratio,
+        baseline.report.commit_ratio,
+        top_skew,
+        reordered.report.commit_ratio >= 0.995,
+        deterministic,
+        ablation
+            .iter()
+            .map(ablation_point_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
     let min_ratio = retry_points
         .iter()
         .map(|p| p.report.commit_ratio)
@@ -227,7 +417,7 @@ fn main() {
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"gateway_saturation/v1\",\n",
+            "  \"schema\": \"gateway_saturation/v2\",\n",
             "  \"smoke\": {},\n",
             "  \"model\": {{\"endorse_us\": {}, \"validate_us_per_tx\": {}, ",
             "\"block_fixed_us\": {}, \"block_size\": {}, \"capacity_tps\": {:.1}}},\n",
@@ -235,6 +425,7 @@ fn main() {
             "\"duration_s\": {:.1}}},\n",
             "  \"acceptance\": {{\"retry_min_commit_ratio\": {:.4}, \"target\": 0.95, ",
             "\"met\": {}, \"shed_at_overload\": {}}},\n",
+            "  \"reorder_ablation\": {},\n",
             "  \"series\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -251,6 +442,7 @@ fn main() {
         min_ratio,
         min_ratio >= 0.95,
         last.report.shed,
+        ablation_json,
         series_json.join(",\n"),
     );
     let dir = results_dir();

@@ -22,14 +22,16 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
+use fabric_sim::chaincode::RwSet;
 use fabric_sim::endorsement::EndorsementPolicy;
 use fabric_sim::identity::Identity;
+use fabric_sim::ledger::Transaction;
 use fabric_sim::raft::{NodeId, Outgoing, RaftMsg, RaftNode};
 use fabric_sim::storage::ChainSnapshot;
 use fabric_sim::{FabricChain, StorageConfig};
 use ledgerview_crypto::rng::seeded;
 use ledgerview_crypto::sha256::Digest;
-use ledgerview_gateway::CounterChaincode;
+use ledgerview_gateway::{reorder, CounterChaincode};
 use ledgerview_simnet::{Region, SimTime, Simulation};
 use ledgerview_telemetry::Telemetry;
 use rand::rngs::StdRng;
@@ -130,6 +132,15 @@ pub struct ClusterReport {
     pub failed_batches: u64,
     /// Endorsement-time submission errors.
     pub submit_errors: u64,
+    /// Doomed transactions pulled from a batch by the conflict-aware
+    /// cutter and re-endorsed (zero with reordering off).
+    pub reorder_early_aborts: u64,
+    /// Dependency-cycle victims deferred to a later batch.
+    pub reorder_deferrals: u64,
+    /// Transaction pairs batched in inverted (non-endorsement) order.
+    pub reorder_pairs: u64,
+    /// Intra-batch dependency cycles broken by the cutter.
+    pub reorder_cycles: u64,
     /// Completed catch-ups.
     pub catchups: Vec<CatchupRecord>,
 }
@@ -170,6 +181,10 @@ struct World {
     dup_batches: u64,
     failed_batches: u64,
     submit_errors: u64,
+    reorder_early_aborts: u64,
+    reorder_deferrals: u64,
+    reorder_pairs: u64,
+    reorder_cycles: u64,
     catchups: Vec<CatchupRecord>,
     /// Peers whose snapshot bootstrap found no live donor.
     bootstrap_failures: Vec<usize>,
@@ -501,7 +516,16 @@ impl World {
         if self.endorser.pending_count() == 0 {
             return;
         }
-        let transactions = self.endorser.take_pending();
+        let transactions = if self.cfg.reorder.enabled {
+            self.plan_batch()
+        } else {
+            self.endorser.take_pending()
+        };
+        if transactions.is_empty() {
+            // Every pending transaction was doomed and pulled for
+            // re-endorsement; nothing to replicate this interval.
+            return;
+        }
         let batch = OrderedBatch {
             batch_id: self.next_batch_id,
             timestamp_us: sim.now().as_micros(),
@@ -519,6 +543,73 @@ impl World {
         sim.schedule_in(timeout, move |w: &mut World, s| {
             w.on_resubmit_check(batch_id, s);
         });
+    }
+
+    /// Conflict-aware batch planning (see `ledgerview_gateway::reorder`)
+    /// over the endorser's pending queue: early-abort transactions whose
+    /// reads went stale against committed state since their endorsement
+    /// (they fail MVCC on *every* replica under every order), schedule
+    /// the survivors to serialize intra-batch conflicts, and defer cycle
+    /// victims. Pulled transactions are immediately re-endorsed — fresh
+    /// read versions — and ride a later batch.
+    ///
+    /// The plan is computed once, before replication, so every replica
+    /// applies the identical reordered batch: ordering decisions made
+    /// here survive leader failover by construction.
+    fn plan_batch(&mut self) -> Vec<Transaction> {
+        let n = self.endorser.pending_count();
+        let doomed = if self.cfg.reorder.early_abort {
+            self.endorser.precheck_pending()
+        } else {
+            vec![None; n]
+        };
+        let plan = {
+            let pending = self.endorser.pending();
+            let rwsets: Vec<&RwSet> = pending.iter().map(|tx| &tx.rwset).collect();
+            reorder::plan(&rwsets, &doomed, &self.cfg.reorder, |_| true)
+        };
+        let mut pulled: Vec<Option<Transaction>> =
+            self.endorser.take_pending().into_iter().map(Some).collect();
+        let kept: Vec<Transaction> = plan
+            .order
+            .iter()
+            .map(|&i| pulled[i].take().expect("scheduled exactly once"))
+            .collect();
+        self.reorder_pairs += plan.stats.reordered_pairs;
+        self.reorder_cycles += plan.stats.cycles_broken;
+        for &(i, _) in &plan.early_aborts {
+            self.reorder_early_aborts += 1;
+            if let Some(m) = &self.metrics {
+                m.reorder_early_aborts.inc();
+            }
+            let tx = pulled[i].take().expect("early-aborted exactly once");
+            self.reinvoke(tx);
+        }
+        for &i in &plan.deferred {
+            self.reorder_deferrals += 1;
+            if let Some(m) = &self.metrics {
+                m.reorder_deferrals.inc();
+            }
+            let tx = pulled[i].take().expect("deferred exactly once");
+            self.reinvoke(tx);
+        }
+        kept
+    }
+
+    /// Re-endorse a pulled transaction through the normal submission
+    /// path: a fresh proposal (new tx id, current read versions) joins
+    /// the pending queue for the next batch.
+    fn reinvoke(&mut self, tx: Transaction) {
+        let result = self.endorser.invoke(
+            &self.client,
+            &tx.chaincode,
+            &tx.function,
+            tx.args,
+            &mut self.submit_rng,
+        );
+        if result.is_err() {
+            self.submit_errors += 1;
+        }
     }
 
     /// Route a batch proposal toward the believed leader; attempt is the
@@ -759,6 +850,10 @@ impl World {
             dup_batches: self.dup_batches,
             failed_batches: self.failed_batches,
             submit_errors: self.submit_errors,
+            reorder_early_aborts: self.reorder_early_aborts,
+            reorder_deferrals: self.reorder_deferrals,
+            reorder_pairs: self.reorder_pairs,
+            reorder_cycles: self.reorder_cycles,
             catchups: self.catchups.clone(),
         }
     }
@@ -841,6 +936,10 @@ impl ClusterSim {
             dup_batches: 0,
             failed_batches: 0,
             submit_errors: 0,
+            reorder_early_aborts: 0,
+            reorder_deferrals: 0,
+            reorder_pairs: 0,
+            reorder_cycles: 0,
             catchups: Vec::new(),
             bootstrap_failures: Vec::new(),
             pending_actions: 0,

@@ -18,6 +18,11 @@ pub(crate) struct ClusterMetrics {
     pub dup_batches: Counter,
     /// Watchdog re-proposals of batches lost with a crashed leader.
     pub resubmits: Counter,
+    /// Doomed transactions pulled from a batch by the conflict-aware
+    /// cutter and re-endorsed.
+    pub reorder_early_aborts: Counter,
+    /// Dependency-cycle victims deferred to a later batch.
+    pub reorder_deferrals: Counter,
     /// Per-peer: committed blocks the peer has not applied yet.
     behind: Vec<Gauge>,
     /// Per-peer: virtual µs between global commit and local apply of the
@@ -38,6 +43,8 @@ impl ClusterMetrics {
             batches: r.counter("lv_cluster_batches_total", &[]),
             dup_batches: r.counter("lv_cluster_dup_batches_total", &[]),
             resubmits: r.counter("lv_cluster_resubmits_total", &[]),
+            reorder_early_aborts: r.counter("lv_cluster_reorder_early_aborts_total", &[]),
+            reorder_deferrals: r.counter("lv_cluster_reorder_deferrals_total", &[]),
             behind: Vec::new(),
             lag_us: Vec::new(),
             catchup_snapshot_us: r.histogram("lv_cluster_catchup_us", &[("method", "snapshot")]),

@@ -5,6 +5,7 @@
 
 use fabric_store::testdir::TestDir;
 use ledgerview_cluster::{BootstrapMode, ClusterConfig, ClusterReport, ClusterSim, Fault};
+use ledgerview_gateway::ReorderConfig;
 use ledgerview_simnet::SimTime;
 
 const SECOND: SimTime = SimTime::from_secs(1);
@@ -13,10 +14,28 @@ const SECOND: SimTime = SimTime::from_secs(1);
 /// mid-load, crash a peer and restart it, and bootstrap a fresh peer from
 /// a shipped snapshot — then require convergence.
 fn run_scenario(root: &std::path::Path, seed: u64) -> (ClusterReport, usize) {
-    let mut sim = ClusterSim::new(ClusterConfig::new(root, seed)).expect("cluster builds");
+    run_drill(root, seed, ReorderConfig::default(), 10)
+}
 
-    // 200 increments over 10 keys, spread across the first four seconds.
-    sim.schedule_counter_load(SimTime::from_millis(300), SimTime::from_millis(20), 200, 10);
+/// The same drill with a configurable batch cutter and key-space width
+/// (fewer keys ⇒ more intra-batch conflicts for the reorder stage).
+fn run_drill(
+    root: &std::path::Path,
+    seed: u64,
+    reorder: ReorderConfig,
+    keys: u64,
+) -> (ClusterReport, usize) {
+    let mut config = ClusterConfig::new(root, seed);
+    config.reorder = reorder;
+    let mut sim = ClusterSim::new(config).expect("cluster builds");
+
+    // 200 increments spread across the first four seconds.
+    sim.schedule_counter_load(
+        SimTime::from_millis(300),
+        SimTime::from_millis(20),
+        200,
+        keys,
+    );
 
     // Let an election settle, then kill whoever won.
     sim.run_until(SECOND);
@@ -77,6 +96,48 @@ fn same_seed_reproduces_bit_identical_history() {
         .catchups
         .iter()
         .any(|c| c.peer == 1 && c.mode == ledgerview_cluster::BootstrapMode::FullReplay));
+}
+
+#[test]
+fn reordering_enabled_drill_stays_bit_identical_across_failover() {
+    // The same fault schedule — leader kill, peer crash + restart replay,
+    // snapshot bootstrap — with the conflict-aware cutter switched on and
+    // a narrow hot key space. Reordering decisions are made once, before
+    // replication, so they must survive failover: two same-seed runs stay
+    // bit-identical and every replica carries the canonical roots.
+    let dir_a = TestDir::new("cluster-reorder-a");
+    let dir_b = TestDir::new("cluster-reorder-b");
+    let (a, peer_a) = run_drill(dir_a.path(), 42, ReorderConfig::enabled(), 3);
+    let (b, peer_b) = run_drill(dir_b.path(), 42, ReorderConfig::enabled(), 3);
+
+    assert!(a.blocks > 0, "load must commit blocks");
+    assert_eq!(peer_a, peer_b);
+    assert_eq!(a.batch_history, b.batch_history, "same commit order");
+    assert_eq!(a.canonical_roots, b.canonical_roots, "same roots");
+    assert_eq!(a.peer_heights, b.peer_heights);
+    assert_eq!(a.peer_roots, b.peer_roots);
+    assert_eq!(a.reorder_early_aborts, b.reorder_early_aborts);
+    assert_eq!(a.reorder_deferrals, b.reorder_deferrals);
+    assert_eq!(a.reorder_pairs, b.reorder_pairs);
+    assert_eq!(a.reorder_cycles, b.reorder_cycles);
+
+    assert!(a.divergences.is_empty(), "no state-root divergence");
+    assert!(a.election_violations.is_empty(), "election safety");
+    assert_eq!(a.failed_batches, 0, "no batch dropped");
+    assert_eq!(a.submit_errors, 0, "re-endorsements must succeed");
+
+    // 200 increments over 3 keys at a 250 ms batch interval: the cutter
+    // must actually have had conflicts to untangle.
+    assert!(
+        a.reorder_deferrals + a.reorder_early_aborts > 0,
+        "drill must exercise the reorder stage: {a:?}"
+    );
+    // Every peer ends on the canonical root even though blocks were
+    // composed by the conflict-aware cutter.
+    let tip = *a.canonical_roots.last().expect("blocks committed");
+    for root in a.peer_roots.iter().flatten() {
+        assert_eq!(*root, tip);
+    }
 }
 
 #[test]

@@ -22,7 +22,7 @@ use crate::identity::{Identity, Msp, OrgId};
 use crate::ledger::{Block, BlockHeader, BlockStore, Transaction, TxId};
 use crate::parallel::{BlockValidator, ValidationConfig};
 use crate::privdata::{CollectionConfig, PrivateStore};
-use crate::statedb::StateDb;
+use crate::statedb::{StateDb, Version};
 use crate::storage::{ChainSnapshot, DurableBackend, InMemoryBackend, StateBackend, StorageConfig};
 use crate::validation::{next_state_root, TxValidation};
 
@@ -524,6 +524,35 @@ impl FabricChain {
     /// committing locally via [`FabricChain::cut_block`]).
     pub fn take_pending(&mut self) -> Vec<Transaction> {
         std::mem::take(&mut self.pending)
+    }
+
+    /// The endorsed-but-uncommitted transactions, in endorsement order —
+    /// the read/write sets a conflict-aware block cutter plans over.
+    pub fn pending(&self) -> &[Transaction] {
+        &self.pending
+    }
+
+    /// The committed version of `key`, if present: the metadata a cutter
+    /// compares endorsed read versions against to spot transactions
+    /// already doomed by a commit that landed after their endorsement.
+    pub fn state_version(&self, key: &str) -> Option<Version> {
+        self.backend.state().version(key)
+    }
+
+    /// Pre-block read-set check of `transactions` against committed
+    /// state: for each transaction, the first read key whose committed
+    /// version no longer matches the endorsed version (`None` = all
+    /// reads fresh). A transaction with a stale read fails MVCC under
+    /// *every* intra-block order, so cutters can abort it before it
+    /// spends a validation slot. Pure prediction — nothing is applied.
+    pub fn precheck(&self, transactions: &[Transaction]) -> Vec<Option<String>> {
+        self.validator
+            .precheck_reads(transactions, self.backend.state())
+    }
+
+    /// [`FabricChain::precheck`] over the local pending queue.
+    pub fn precheck_pending(&self) -> Vec<Option<String>> {
+        self.precheck(&self.pending)
     }
 
     /// Commit a block of transactions delivered by an ordering service.

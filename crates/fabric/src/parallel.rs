@@ -290,6 +290,33 @@ impl BlockValidator {
         outcomes
     }
 
+    /// Pre-block read-set check: for each transaction, the first read key
+    /// whose committed version in `state` no longer matches the version
+    /// observed at endorsement (`None` = all reads fresh).
+    ///
+    /// This is the read-set metadata a conflict-aware block cutter plans
+    /// with: a stale read dooms its transaction under every intra-block
+    /// order, so the cutter can pull it before validation. The check is a
+    /// pure per-transaction function of `(transaction, state)` — nothing
+    /// is applied — and fans out over the pool's persistent threads for
+    /// multi-worker configurations, so the verdict vector is identical at
+    /// every worker count.
+    pub fn precheck_reads(
+        &self,
+        transactions: &[Transaction],
+        state: &StateDb,
+    ) -> Vec<Option<String>> {
+        let stale = |tx: &Transaction| match mvcc_check(&tx.rwset, state) {
+            TxValidation::MvccConflict { key } => Some(key),
+            _ => None,
+        };
+        if self.config.workers <= 1 || transactions.len() <= 1 {
+            return transactions.iter().map(stale).collect();
+        }
+        self.pool
+            .map_indexed(transactions.len(), |i| stale(&transactions[i]))
+    }
+
     /// Phase 1: fan the endorsement checks out over the persistent pool.
     fn endorsement_verdicts(
         &self,
@@ -782,6 +809,62 @@ mod tests {
         assert_eq!(got[0], TxValidation::Valid);
         assert_eq!(got[1], TxValidation::MvccConflict { key: "k".into() });
         assert_eq!(state.get("k"), Some(&b"a"[..]));
+    }
+
+    #[test]
+    fn precheck_reads_matches_serial_mvcc_at_every_worker_count() {
+        let f = fixture();
+        let fresh = ReadEntry {
+            key: "fresh".into(),
+            version: Some(Version::GENESIS),
+        };
+        let stale = ReadEntry {
+            key: "stale".into(),
+            version: None, // Endorsed against an absent key…
+        };
+        let mut state = StateDb::new();
+        state.put("fresh".into(), b"v".to_vec(), Version::GENESIS);
+        // …which has since been written: the read is doomed.
+        state.put(
+            "stale".into(),
+            b"v".to_vec(),
+            Version {
+                block_num: 3,
+                tx_num: 0,
+            },
+        );
+        let txs: Vec<Transaction> = (0..9)
+            .map(|n| {
+                let reads = match n % 3 {
+                    0 => vec![fresh.clone()],
+                    1 => vec![stale.clone()],
+                    _ => vec![fresh.clone(), stale.clone()],
+                };
+                endorsed_tx(&f, n, rw(reads, vec![("out", &[n])]), &[0])
+            })
+            .collect();
+        let expected: Vec<Option<String>> = txs
+            .iter()
+            .map(|tx| match mvcc_check(&tx.rwset, &state) {
+                TxValidation::MvccConflict { key } => Some(key),
+                _ => None,
+            })
+            .collect();
+        assert!(expected.iter().any(Option::is_some));
+        assert!(expected.iter().any(Option::is_none));
+        for workers in [1, 2, 4] {
+            let validator = BlockValidator::new(ValidationConfig {
+                workers,
+                ..ValidationConfig::default()
+            });
+            assert_eq!(
+                validator.precheck_reads(&txs, &state),
+                expected,
+                "workers={workers}"
+            );
+            // Pure prediction: the state is untouched.
+            assert_eq!(state.get("fresh"), Some(&b"v"[..]));
+        }
     }
 
     #[test]

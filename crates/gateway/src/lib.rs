@@ -11,6 +11,9 @@
 //!   cutter with size and timeout triggers, commit-outcome routing, and
 //!   MVCC-conflict retry with deterministic backoff.
 //! * [`admission`] — token bucket, priority shedding, in-flight caps.
+//! * [`reorder`] — conflict-aware ordering at the cutter: the intra-block
+//!   dependency graph, deterministic reordering and cycle breaking, and
+//!   early abort of transactions doomed by committed state.
 //! * [`retry`] — the exponential-backoff policy with derived jitter.
 //! * [`session`] — sparse per-client session tracking.
 //! * [`driver`] — open/closed-loop workload populations (up to millions
@@ -26,6 +29,7 @@
 pub mod admission;
 pub mod driver;
 pub mod pipeline;
+pub mod reorder;
 pub mod retry;
 pub mod session;
 
@@ -35,5 +39,6 @@ pub use pipeline::{
     Completion, CompletionOutcome, Gateway, GatewayConfig, GatewayStats, Operation, Request,
     ServiceModel, SubmitResult,
 };
+pub use reorder::{ReorderConfig, ReorderPlan, ReorderStats};
 pub use retry::RetryPolicy;
 pub use session::{Session, SessionTable};

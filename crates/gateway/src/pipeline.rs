@@ -39,6 +39,8 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 
 use fabric_sim::chain::CommitEvent;
+use fabric_sim::chaincode::RwSet;
+use fabric_sim::ledger::Transaction;
 use fabric_sim::validation::TxValidation;
 use fabric_sim::{FabricChain, Identity, TxId, WorkerPool};
 use ledgerview_telemetry::{Counter, Gauge, Histogram, HistogramHandle, Telemetry, VirtualClock};
@@ -46,6 +48,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::admission::{AdmissionConfig, Priority, ShedReason, TokenBucket};
+use crate::reorder::{self, ReorderConfig};
 use crate::retry::RetryPolicy;
 use crate::session::{Session, SessionTable};
 
@@ -142,6 +145,9 @@ pub struct GatewayConfig {
     pub admission: AdmissionConfig,
     /// MVCC-conflict retry policy.
     pub retry: RetryPolicy,
+    /// Conflict-aware ordering at the cutter (see [`crate::reorder`]).
+    /// Disabled by default: blocks commit in arrival order.
+    pub reorder: ReorderConfig,
     /// Virtual service-time model (`None` = as fast as the hardware).
     pub service: Option<ServiceModel>,
     /// Seed for proposal nonces and retry jitter: equal seeds, equal runs.
@@ -158,6 +164,7 @@ impl Default for GatewayConfig {
             frontend_workers: 2,
             admission: AdmissionConfig::default(),
             retry: RetryPolicy::default(),
+            reorder: ReorderConfig::default(),
             service: None,
             seed: 0,
         }
@@ -202,6 +209,15 @@ pub enum CompletionOutcome {
     EndorsementAborted {
         /// Human-readable reason.
         reason: String,
+    },
+    /// Aborted by the conflict-aware cutter before validation: a key this
+    /// transaction read was overwritten by a commit after its endorsement,
+    /// so it fails MVCC under every intra-block order — and its reorder
+    /// requeue budget is exhausted. Only produced with
+    /// [`ReorderConfig::early_abort`] on.
+    EarlyAborted {
+        /// The read key whose committed version went stale.
+        key: String,
     },
 }
 
@@ -259,6 +275,21 @@ pub struct GatewayStats {
     pub retries: u64,
     /// Blocks cut.
     pub blocks_cut: u64,
+    /// Transactions pulled from a block by early abort (doomed by a commit
+    /// since their endorsement), whether requeued or terminal.
+    pub early_aborts: u64,
+    /// Requests terminally aborted via [`CompletionOutcome::EarlyAborted`]
+    /// (early-aborted with no requeue budget left).
+    pub early_aborted: u64,
+    /// Dependency-cycle victims deferred to a later block.
+    pub deferrals: u64,
+    /// Reorder re-endorsements scheduled (early aborts + deferrals; these
+    /// do not consume the client retry budget).
+    pub requeues: u64,
+    /// Transaction pairs committed in inverted (non-arrival) order.
+    pub reordered_pairs: u64,
+    /// Intra-block dependency cycles broken by the cutter.
+    pub cycles_broken: u64,
 }
 
 impl GatewayStats {
@@ -273,7 +304,7 @@ impl GatewayStats {
 
     /// Requests that reached a terminal outcome.
     pub fn terminal(&self) -> u64 {
-        self.committed + self.conflict_aborted + self.endorse_aborted
+        self.committed + self.conflict_aborted + self.endorse_aborted + self.early_aborted
     }
 
     /// Committed / accepted (1.0 when nothing accepted).
@@ -294,9 +325,15 @@ struct GatewayMetrics {
     committed: Counter,
     aborted_conflict: Counter,
     aborted_endorse: Counter,
+    aborted_early: Counter,
     conflicts: Counter,
     retries: Counter,
     blocks: Counter,
+    reorder_pairs: Counter,
+    reorder_early_aborts: Counter,
+    reorder_deferrals: Counter,
+    reorder_cycles: Counter,
+    reorder_requeues: Counter,
     queue_depth: Gauge,
     retry_depth: Gauge,
     inflight: Gauge,
@@ -325,9 +362,15 @@ impl GatewayMetrics {
             committed: r.counter("lv_gateway_committed_total", &[]),
             aborted_conflict: r.counter("lv_gateway_aborted_total", &[("kind", "conflict")]),
             aborted_endorse: r.counter("lv_gateway_aborted_total", &[("kind", "endorsement")]),
+            aborted_early: r.counter("lv_gateway_aborted_total", &[("kind", "early_abort")]),
             conflicts: r.counter("lv_gateway_conflicts_total", &[]),
             retries: r.counter("lv_gateway_retries_total", &[]),
             blocks: r.counter("lv_gateway_blocks_cut_total", &[]),
+            reorder_pairs: r.counter("lv_gateway_reorder_pairs_total", &[]),
+            reorder_early_aborts: r.counter("lv_gateway_reorder_early_aborts_total", &[]),
+            reorder_deferrals: r.counter("lv_gateway_reorder_deferrals_total", &[]),
+            reorder_cycles: r.counter("lv_gateway_reorder_cycles_broken_total", &[]),
+            reorder_requeues: r.counter("lv_gateway_reorder_requeues_total", &[]),
             queue_depth: r.gauge("lv_gateway_queue_depth", &[("lane", "submit")]),
             retry_depth: r.gauge("lv_gateway_queue_depth", &[("lane", "retry")]),
             inflight: r.gauge("lv_gateway_inflight", &[]),
@@ -353,6 +396,10 @@ struct InFlight {
     /// its next endorsement may start under a [`ServiceModel`].
     ready_us: u64,
     attempts: u32,
+    /// Reorder requeues consumed (early aborts + deferrals). These inflate
+    /// `attempts` but are discounted from the client retry budget via
+    /// [`RetryPolicy::effective_attempt`].
+    requeues: u32,
 }
 
 /// The client gateway. See the module docs for the pipeline shape.
@@ -590,6 +637,7 @@ impl Gateway {
                 submitted_us: self.now_us,
                 ready_us: self.now_us,
                 attempts: 0,
+                requeues: 0,
             },
         );
         self.shards[shard].push_back(req);
@@ -725,21 +773,23 @@ impl Gateway {
     /// Cut the pending block starting at `trigger_us`, route every
     /// outcome, and schedule retries for conflicted transactions.
     fn cut(&mut self, trigger_us: u64) {
+        if self.config.reorder.enabled {
+            self.cut_reordered(trigger_us);
+        } else {
+            self.cut_unordered(trigger_us);
+        }
+    }
+
+    /// The baseline cutter: commit all pending transactions in arrival
+    /// order, letting MVCC sort out intra-block conflicts.
+    fn cut_unordered(&mut self, trigger_us: u64) {
         let n = self.chain.pending_count();
         if n == 0 {
             return;
         }
         let telemetry = self.metrics.as_ref().map(|m| m.telemetry.clone());
         let _span = telemetry.as_ref().map(|t| t.span("gateway.cut"));
-        let commit_us = match &self.config.service {
-            Some(svc) => {
-                self.busy_until_us = self.busy_until_us.max(trigger_us)
-                    + svc.block_fixed_us
-                    + svc.validate_us_per_tx * n as u64;
-                self.busy_until_us
-            }
-            None => self.now_us,
-        };
+        let commit_us = self.charge_block_time(trigger_us, n);
         self.chain.set_time_us(commit_us);
         let _ = self.chain.cut_block();
         self.first_pending_us = None;
@@ -747,6 +797,121 @@ impl Gateway {
         if let Some(m) = &self.metrics {
             m.blocks.inc();
         }
+        self.route_commit_events(commit_us);
+    }
+
+    /// The conflict-aware cutter (see [`crate::reorder`]): plan over the
+    /// pending read/write sets, early-abort transactions doomed by
+    /// committed state, defer cycle victims to the next block, and commit
+    /// the surviving schedule via the ordered-commit path.
+    fn cut_reordered(&mut self, trigger_us: u64) {
+        let n = self.chain.pending_count();
+        if n == 0 {
+            return;
+        }
+        let telemetry = self.metrics.as_ref().map(|m| m.telemetry.clone());
+        let _span = telemetry.as_ref().map(|t| t.span("gateway.cut"));
+        let doomed = if self.config.reorder.early_abort {
+            self.chain.precheck_pending()
+        } else {
+            vec![None; n]
+        };
+        let plan = {
+            let pending = self.chain.pending();
+            let rwsets: Vec<&RwSet> = pending.iter().map(|tx| &tx.rwset).collect();
+            let routing = &self.routing;
+            let inflight = &self.inflight;
+            let budget = self.config.reorder.max_requeues;
+            reorder::plan(&rwsets, &doomed, &self.config.reorder, |i| {
+                routing
+                    .get(&pending[i].tx_id)
+                    .and_then(|req| inflight.get(req))
+                    .is_some_and(|inf| inf.requeues < budget)
+            })
+        };
+        let mut pulled: Vec<Option<Transaction>> =
+            self.chain.take_pending().into_iter().map(Some).collect();
+        let kept: Vec<Transaction> = plan
+            .order
+            .iter()
+            .map(|&i| pulled[i].take().expect("scheduled exactly once"))
+            .collect();
+        self.stats.reordered_pairs += plan.stats.reordered_pairs;
+        self.stats.cycles_broken += plan.stats.cycles_broken;
+        if let Some(m) = &self.metrics {
+            m.reorder_pairs.add(plan.stats.reordered_pairs);
+            m.reorder_cycles.add(plan.stats.cycles_broken);
+        }
+
+        let commit_us = self.charge_block_time(trigger_us, kept.len());
+        if !kept.is_empty() {
+            let _ = self.chain.commit_ordered(kept, commit_us);
+            self.stats.blocks_cut += 1;
+            if let Some(m) = &self.metrics {
+                m.blocks.inc();
+            }
+        }
+        self.first_pending_us = None;
+        self.route_commit_events(commit_us);
+
+        // Early aborts: doomed under every order. Requeue while budget
+        // lasts (re-endorsement picks up fresh read versions); terminal
+        // typed abort once it runs out.
+        for &(i, ref key) in &plan.early_aborts {
+            let tx = pulled[i].take().expect("early-aborted exactly once");
+            let Some(req) = self.routing.remove(&tx.tx_id) else {
+                continue;
+            };
+            self.stats.early_aborts += 1;
+            if let Some(m) = &self.metrics {
+                m.reorder_early_aborts.inc();
+            }
+            if self.inflight[&req].requeues < self.config.reorder.max_requeues {
+                self.requeue(req, commit_us);
+            } else {
+                self.complete(
+                    req,
+                    commit_us,
+                    CompletionOutcome::EarlyAborted { key: key.clone() },
+                );
+            }
+        }
+        // Deferred cycle victims: valid transactions that merely lost a
+        // cycle break; always requeued (the planner only defers within
+        // budget).
+        for &i in &plan.deferred {
+            let tx = pulled[i].take().expect("deferred exactly once");
+            let Some(req) = self.routing.remove(&tx.tx_id) else {
+                continue;
+            };
+            self.stats.deferrals += 1;
+            if let Some(m) = &self.metrics {
+                m.reorder_deferrals.inc();
+            }
+            self.requeue(req, commit_us);
+        }
+    }
+
+    /// Charge the virtual server for one `n`-transaction block ending at
+    /// the returned commit instant (`now` without a service model). A
+    /// zero-transaction cut — everything early-aborted — is free.
+    fn charge_block_time(&mut self, trigger_us: u64, n: usize) -> u64 {
+        match &self.config.service {
+            Some(svc) if n > 0 => {
+                self.busy_until_us = self.busy_until_us.max(trigger_us)
+                    + svc.block_fixed_us
+                    + svc.validate_us_per_tx * n as u64;
+                self.busy_until_us
+            }
+            Some(_) => self.busy_until_us.max(trigger_us),
+            None => self.now_us,
+        }
+    }
+
+    /// Route every commit event delivered since the last cut back to the
+    /// owning request: commits and endorsement failures complete, MVCC
+    /// conflicts enter the retry lane.
+    fn route_commit_events(&mut self, commit_us: u64) {
         let events: Vec<CommitEvent> = self
             .commit_sink
             .lock()
@@ -775,12 +940,33 @@ impl Gateway {
         }
     }
 
+    /// Schedule a reorder re-endorsement (early abort or deferral) at
+    /// `due_us` through the retry lane, without charging the client retry
+    /// budget.
+    fn requeue(&mut self, req: u64, due_us: u64) {
+        let inf = self
+            .inflight
+            .get_mut(&req)
+            .expect("requeued request in flight");
+        inf.requeues += 1;
+        inf.ready_us = due_us;
+        self.retry_due.push(Reverse((due_us, req)));
+        self.stats.requeues += 1;
+        if let Some(m) = &self.metrics {
+            m.reorder_requeues.inc();
+        }
+    }
+
     fn conflict(&mut self, req: u64, commit_us: u64, key: String) {
         self.stats.conflicts += 1;
         if let Some(m) = &self.metrics {
             m.conflicts.inc();
         }
-        let attempts = self.inflight[&req].attempts;
+        // Reorder requeues inflate `attempts` without being client
+        // failures; the effective attempt keeps the retry budget and the
+        // backoff curve the client signed up for.
+        let inf = &self.inflight[&req];
+        let attempts = RetryPolicy::effective_attempt(inf.attempts, inf.requeues);
         if self.config.retry.can_retry(attempts) {
             let backoff = self
                 .config
@@ -836,6 +1022,13 @@ impl Gateway {
                 self.stats.endorse_aborted += 1;
                 if let Some(m) = &self.metrics {
                     m.aborted_endorse.inc();
+                }
+            }
+            CompletionOutcome::EarlyAborted { .. } => {
+                session.aborted += 1;
+                self.stats.early_aborted += 1;
+                if let Some(m) = &self.metrics {
+                    m.aborted_early.inc();
                 }
             }
         }
@@ -911,6 +1104,28 @@ mod tests {
     fn gateway(config: GatewayConfig) -> Gateway {
         let (chain, ids) = counter_chain(11, 4, true);
         Gateway::new(chain, ids, config)
+    }
+
+    /// Land an `incr key` commit on the gateway's chain *behind* the
+    /// cutter's back — the way a replicated deployment sees ordered blocks
+    /// from other gateways. Endorsed on a same-seed twin chain (identical
+    /// organisations and peer keys) and applied via the ordered-commit
+    /// path, so the gateway's pending queue is untouched and its endorsed
+    /// reads of `key` go stale.
+    fn commit_behind_cutter(gw: &mut Gateway, key: &str) {
+        let (mut twin, ids) = counter_chain(11, 4, true);
+        let mut rng = StdRng::seed_from_u64(99);
+        twin.invoke(
+            &ids[0],
+            "counter",
+            "incr",
+            vec![key.into(), b"1".to_vec()],
+            &mut rng,
+        )
+        .unwrap();
+        let injected = twin.take_pending();
+        let outcomes = gw.chain.commit_ordered(injected, 1);
+        assert!(outcomes.iter().all(|o| o.is_valid()), "{outcomes:?}");
     }
 
     #[test]
@@ -1057,6 +1272,124 @@ mod tests {
         assert_eq!(
             gw.submit(1_000, 4, Priority::Low, incr("f")),
             SubmitResult::Shed(ShedReason::LowPriority)
+        );
+    }
+
+    #[test]
+    fn reorder_defers_hot_key_losers_instead_of_conflicting() {
+        // Four same-key increments in one block, retry disabled: the
+        // unordered cutter commits one and aborts three, but the
+        // conflict-aware cutter defers the losers to later blocks — all
+        // four commit and MVCC never fires.
+        let mut gw = gateway(GatewayConfig {
+            block_size: 4,
+            retry: RetryPolicy {
+                enabled: false,
+                ..RetryPolicy::default()
+            },
+            reorder: ReorderConfig::enabled(),
+            ..GatewayConfig::default()
+        });
+        for client in 0..4u64 {
+            gw.submit(0, client, Priority::Normal, incr("hot"));
+        }
+        gw.drain(0);
+        let done = gw.drain_completions();
+        assert_eq!(done.len(), 4);
+        assert!(done.iter().all(|c| c.outcome.is_committed()), "{done:?}");
+        assert_eq!(gw.stats().conflicts, 0, "{:?}", gw.stats());
+        assert!(gw.stats().deferrals >= 3);
+        assert!(gw.stats().cycles_broken >= 3);
+        assert_eq!(gw.stats().requeues, gw.stats().deferrals);
+        let total = gw
+            .chain()
+            .state()
+            .get("hot")
+            .map(|v| String::from_utf8_lossy(v).to_string());
+        assert_eq!(total.as_deref(), Some("4"), "all increments applied");
+    }
+
+    #[test]
+    fn stale_pending_read_is_early_aborted_terminally_without_budget() {
+        // Endorse a read of "k", then land a commit to "k" behind the
+        // cutter's back: the pending transaction is doomed under every
+        // order. With a zero requeue budget the cutter must produce the
+        // typed terminal EarlyAborted, not spend a validation slot.
+        let mut gw = gateway(GatewayConfig {
+            reorder: ReorderConfig {
+                max_requeues: 0,
+                ..ReorderConfig::enabled()
+            },
+            ..GatewayConfig::default()
+        });
+        let r = gw.submit(0, 1, Priority::Normal, incr("k"));
+        assert!(matches!(r, SubmitResult::Accepted(_)));
+        gw.pump(0); // endorses "k" into the pending block
+        assert_eq!(gw.chain().pending_count(), 1);
+        commit_behind_cutter(&mut gw, "k");
+        gw.drain(0);
+        let done = gw.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(
+            done[0].outcome,
+            CompletionOutcome::EarlyAborted { key: "k".into() }
+        );
+        assert_eq!(gw.stats().early_aborts, 1);
+        assert_eq!(gw.stats().early_aborted, 1);
+        assert_eq!(gw.stats().terminal(), 1);
+        assert_eq!(gw.inflight(), 0);
+    }
+
+    #[test]
+    fn stale_pending_read_requeues_and_commits_with_budget() {
+        // Same doomed-transaction setup, but with requeue budget: the
+        // early abort re-endorses with fresh read versions and commits.
+        let mut gw = gateway(GatewayConfig {
+            reorder: ReorderConfig::enabled(),
+            ..GatewayConfig::default()
+        });
+        gw.submit(0, 1, Priority::Normal, incr("k"));
+        gw.pump(0);
+        commit_behind_cutter(&mut gw, "k");
+        gw.drain(0);
+        let done = gw.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert!(done[0].outcome.is_committed(), "{done:?}");
+        assert_eq!(gw.stats().early_aborts, 1);
+        assert_eq!(gw.stats().early_aborted, 0);
+        assert_eq!(gw.stats().conflicts, 0, "no validation slot wasted");
+        let total = gw
+            .chain()
+            .state()
+            .get("k")
+            .map(|v| String::from_utf8_lossy(v).to_string());
+        assert_eq!(total.as_deref(), Some("2"), "both increments applied");
+    }
+
+    #[test]
+    fn reorder_requeues_do_not_consume_client_retry_budget() {
+        // One hot key, many clients, a 2-attempt retry budget: deferral
+        // requeues must be discounted, so every request still commits
+        // even though raw attempts far exceed max_attempts.
+        let mut gw = gateway(GatewayConfig {
+            block_size: 6,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                ..RetryPolicy::default()
+            },
+            reorder: ReorderConfig::enabled(),
+            ..GatewayConfig::default()
+        });
+        for client in 0..6u64 {
+            gw.submit(0, client, Priority::Normal, incr("hot"));
+        }
+        gw.drain(0);
+        let done = gw.drain_completions();
+        assert_eq!(done.len(), 6);
+        assert!(done.iter().all(|c| c.outcome.is_committed()), "{done:?}");
+        assert!(
+            done.iter().any(|c| c.attempts > 2),
+            "requeues inflate raw attempts: {done:?}"
         );
     }
 

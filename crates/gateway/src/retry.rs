@@ -75,6 +75,20 @@ impl RetryPolicy {
         self.enabled && attempt < self.max_attempts
     }
 
+    /// The attempt number that counts against the client retry budget.
+    ///
+    /// Conflict-aware ordering re-endorses transactions through the same
+    /// lane as client retries (early aborts picking up fresh read
+    /// versions, deferred cycle victims moving to the next block), which
+    /// inflates the raw `attempts` counter. Those requeues are gateway
+    /// scheduling decisions, not client failures, so they must not eat
+    /// into `max_attempts` or steepen the backoff curve: the effective
+    /// attempt discounts them, clamped to 1 (the first attempt always
+    /// counts).
+    pub fn effective_attempt(attempts: u32, requeues: u32) -> u32 {
+        attempts.saturating_sub(requeues).max(1)
+    }
+
     /// Preset for routing ordering-service proposals to the current Raft
     /// leader: tighter backoffs than the MVCC default (a `NotLeader`
     /// rejection is resolved by an election, typically a few hundred
@@ -157,6 +171,15 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert!(!off.can_retry(1));
+    }
+
+    #[test]
+    fn effective_attempt_discounts_requeues() {
+        assert_eq!(RetryPolicy::effective_attempt(1, 0), 1);
+        assert_eq!(RetryPolicy::effective_attempt(5, 0), 5);
+        assert_eq!(RetryPolicy::effective_attempt(5, 3), 2);
+        assert_eq!(RetryPolicy::effective_attempt(5, 5), 1, "clamped to 1");
+        assert_eq!(RetryPolicy::effective_attempt(2, 9), 1, "never underflows");
     }
 
     #[test]
