@@ -1,0 +1,376 @@
+//! Larger-than-memory state database sweep: load a keyspace whose value
+//! bytes exceed the LSM's combined memtable + cache budgets several times
+//! over, then measure point-read and range-scan latency under uniform and
+//! Zipf-distributed key popularity, against the in-memory `StateDb` as the
+//! baseline. Writes `bench_results/statedb_overhead.json`.
+//!
+//! Reported per read workload: get p50/p99, block/row cache hit ratios and
+//! read amplification (table probes per get); for the load phase: write
+//! amplification (table bytes written per user byte), flush and compaction
+//! counts; and the resident-memory split (memtable, caches, table
+//! metadata, digest directory).
+//!
+//! Acceptance, self-checked at the end of the run:
+//! * the workload is genuinely larger than memory — value bytes exceed
+//!   4x the memtable + cache budgets, while the engine's cache-resident
+//!   bytes stay within those budgets;
+//! * Zipf-distributed reads stay within 5x of the in-memory backend's
+//!   median get latency.
+
+use std::time::Instant;
+
+use fabric_sim::lsm::LsmState;
+use fabric_sim::statedb::{StateDb, Version, VersionedState};
+use fabric_store::testdir::TestDir;
+use ledgerview_bench::report::results_dir;
+use ledgerview_crypto::rng::seeded;
+use ledgerview_statedb::{LsmConfig, LsmStats};
+use rand::RngCore;
+
+const N_KEYS: usize = 80_000;
+const VALUE_BYTES: usize = 256;
+const GETS_PER_WORKLOAD: usize = 40_000;
+const SCANS: usize = 2_000;
+const SCAN_SPAN: usize = 100;
+/// Zipf popularity exponent (`s` in 1/rank^s).
+const ZIPF_S: f64 = 1.2;
+
+const MEMTABLE_BYTES: usize = 1 << 20;
+const BLOCK_CACHE_BYTES: usize = 1 << 20;
+const ROW_CACHE_BYTES: usize = 1 << 20;
+
+fn key_of(i: usize) -> String {
+    format!("acct{i:06}")
+}
+
+fn value_of(i: usize) -> Vec<u8> {
+    vec![(i % 251) as u8; VALUE_BYTES]
+}
+
+/// Zipf(s) sampler over ranks `0..n`: inverse-CDF lookup via binary search
+/// on the precomputed cumulative weights. Rank r is mapped to a scattered
+/// key index so popular keys do not cluster in one SSTable block.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cdf.push(total);
+        }
+        for w in &mut cdf {
+            *w /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut impl RngCore) -> usize {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let rank = self.cdf.partition_point(|&c| c < u);
+        // Scatter ranks across the keyspace with a multiplicative hash.
+        rank.wrapping_mul(2_654_435_761) % self.cdf.len()
+    }
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    let idx = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+struct ReadReport {
+    workload: &'static str,
+    get_p50_us: f64,
+    get_p99_us: f64,
+    read_amplification: f64,
+    block_cache_hit_ratio: f64,
+    row_cache_hit_ratio: f64,
+}
+
+/// Time `n` point reads with key indices drawn by `pick`; hit ratios and
+/// amplification come from the stats delta over exactly this phase.
+fn measure_gets(
+    state: &LsmState,
+    n: usize,
+    workload: &'static str,
+    mut pick: impl FnMut() -> usize,
+) -> ReadReport {
+    let before = state.stats();
+    let mut lat: Vec<u64> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = key_of(pick());
+        let start = Instant::now();
+        let value = state.get(&key);
+        lat.push(start.elapsed().as_nanos() as u64);
+        assert!(value.is_some(), "loaded key missing: {key}");
+    }
+    let after = state.stats();
+    lat.sort_unstable();
+    let d = |f: fn(&LsmStats) -> u64| (f(&after) - f(&before)) as f64;
+    let ratio = |hits: f64, misses: f64| {
+        if hits + misses == 0.0 {
+            1.0
+        } else {
+            hits / (hits + misses)
+        }
+    };
+    ReadReport {
+        workload,
+        get_p50_us: percentile_us(&lat, 0.50),
+        get_p99_us: percentile_us(&lat, 0.99),
+        read_amplification: d(|s| s.probes) / d(|s| s.gets).max(1.0),
+        block_cache_hit_ratio: ratio(d(|s| s.block_cache_hits), d(|s| s.block_cache_misses)),
+        row_cache_hit_ratio: ratio(d(|s| s.row_cache_hits), d(|s| s.row_cache_misses)),
+    }
+}
+
+fn main() {
+    let dir = TestDir::new("statedb-overhead");
+    let config = LsmConfig::new(dir.path().join("lsm"))
+        .memtable_bytes(MEMTABLE_BYTES)
+        .block_cache_bytes(BLOCK_CACHE_BYTES)
+        .row_cache_bytes(ROW_CACHE_BYTES)
+        .sync(false);
+    let (mut state, _) = LsmState::open(config).expect("open lsm");
+
+    // Load phase: every key once, flushing whenever the memtable fills —
+    // the steady-state write path of a chain whose state outgrew RAM.
+    let load_start = Instant::now();
+    for i in 0..N_KEYS {
+        state.put(
+            key_of(i),
+            value_of(i),
+            Version {
+                block_num: (i / 100) as u64,
+                tx_num: (i % 100) as u32,
+            },
+        );
+        if state.should_flush() {
+            state.flush(b"load").expect("flush");
+        }
+    }
+    state.flush(b"loaded").expect("final flush");
+    let load_seconds = load_start.elapsed().as_secs_f64();
+    let load_stats = state.stats();
+    let value_bytes_total = (N_KEYS * VALUE_BYTES) as u64;
+    println!(
+        "loaded {N_KEYS} keys x {VALUE_BYTES} B in {load_seconds:.2}s: \
+         {} flushes, {} compactions, write amplification {:.2}",
+        load_stats.flushes,
+        load_stats.compactions,
+        load_stats.write_amplification(),
+    );
+
+    // Read phases. Uniform first (worst case for the caches), then Zipf
+    // (hot set fits the row cache even though the keyspace does not).
+    let mut rng = seeded(4242);
+    let uniform = measure_gets(&state, GETS_PER_WORKLOAD, "uniform", || {
+        rng.next_u64() as usize % N_KEYS
+    });
+    let zipf_dist = Zipf::new(N_KEYS, ZIPF_S);
+    let mut rng = seeded(4243);
+    let zipf = measure_gets(&state, GETS_PER_WORKLOAD, "zipf", || {
+        zipf_dist.sample(&mut rng)
+    });
+
+    // Range scans of SCAN_SPAN consecutive keys at uniform offsets.
+    let mut rng = seeded(4244);
+    let mut scan_lat: Vec<u64> = Vec::with_capacity(SCANS);
+    for _ in 0..SCANS {
+        let lo = rng.next_u64() as usize % (N_KEYS - SCAN_SPAN);
+        let start = Instant::now();
+        let rows = state.range_scan(&key_of(lo), &key_of(lo + SCAN_SPAN));
+        scan_lat.push(start.elapsed().as_nanos() as u64);
+        assert_eq!(rows.len(), SCAN_SPAN);
+    }
+    scan_lat.sort_unstable();
+
+    // The in-memory baseline: same data, same measurement loop.
+    let mut mem = StateDb::new();
+    for i in 0..N_KEYS {
+        mem.put(
+            key_of(i),
+            value_of(i),
+            Version {
+                block_num: (i / 100) as u64,
+                tx_num: (i % 100) as u32,
+            },
+        );
+    }
+    let mut rng = seeded(4243);
+    let mut mem_lat: Vec<u64> = Vec::with_capacity(GETS_PER_WORKLOAD);
+    for _ in 0..GETS_PER_WORKLOAD {
+        let key = key_of(zipf_dist.sample(&mut rng));
+        let start = Instant::now();
+        let value = VersionedState::get(&mem, &key);
+        mem_lat.push(start.elapsed().as_nanos() as u64);
+        assert!(value.is_some());
+    }
+    mem_lat.sort_unstable();
+    let mem_p50_us = percentile_us(&mem_lat, 0.50);
+
+    let end_stats = state.stats();
+    let budget = (MEMTABLE_BYTES + BLOCK_CACHE_BYTES + ROW_CACHE_BYTES) as u64;
+    let larger_than_cache = value_bytes_total >= 4 * budget;
+    let cache_bounded = end_stats.memtable_bytes as u64 <= MEMTABLE_BYTES as u64
+        && end_stats.cache_resident_bytes as u64 <= (BLOCK_CACHE_BYTES + ROW_CACHE_BYTES) as u64;
+    let zipf_over_memory = zipf.get_p50_us / mem_p50_us.max(1e-3);
+
+    for r in [&uniform, &zipf] {
+        println!(
+            "{:<8} get p50 {:>7.2} us  p99 {:>7.2} us  read amp {:.2}  \
+             block cache {:>5.1}%  row cache {:>5.1}%",
+            r.workload,
+            r.get_p50_us,
+            r.get_p99_us,
+            r.read_amplification,
+            r.block_cache_hit_ratio * 100.0,
+            r.row_cache_hit_ratio * 100.0,
+        );
+    }
+    println!(
+        "scan({SCAN_SPAN}) p50 {:>7.2} us  p99 {:>7.2} us",
+        percentile_us(&scan_lat, 0.50),
+        percentile_us(&scan_lat, 0.99),
+    );
+    println!(
+        "memory: memtable {} B, caches {} B, table meta {} B, directory {} B \
+         (values on disk: {} B)",
+        end_stats.memtable_bytes,
+        end_stats.cache_resident_bytes,
+        end_stats.table_meta_resident_bytes,
+        state.directory_resident_bytes(),
+        value_bytes_total,
+    );
+    println!(
+        "zipf p50 vs in-memory p50: {:.2}x (target <=5x, in-memory {:.2} us)",
+        zipf_over_memory, mem_p50_us
+    );
+
+    let read_rows: Vec<String> = [&uniform, &zipf]
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"get_p50_us\": {:.3}, ",
+                    "\"get_p99_us\": {:.3}, \"read_amplification\": {:.3}, ",
+                    "\"block_cache_hit_ratio\": {:.4}, \"row_cache_hit_ratio\": {:.4}}}"
+                ),
+                r.workload,
+                r.get_p50_us,
+                r.get_p99_us,
+                r.read_amplification,
+                r.block_cache_hit_ratio,
+                r.row_cache_hit_ratio,
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"statedb/v1\",\n",
+            "  \"benchmark\": \"statedb_overhead\",\n",
+            "  \"description\": \"LSM state database under a {}-key / {}-byte-value workload ",
+            "({} MiB of values vs {} MiB of memtable+cache budget)\",\n",
+            "  \"config\": {{\"keys\": {}, \"value_bytes\": {}, \"memtable_bytes\": {}, ",
+            "\"block_cache_bytes\": {}, \"row_cache_bytes\": {}, \"zipf_s\": {}}},\n",
+            "  \"load\": {{\"seconds\": {:.3}, \"flushes\": {}, \"compactions\": {}, ",
+            "\"user_bytes_written\": {}, \"table_bytes_written\": {}, ",
+            "\"write_amplification\": {:.3}}},\n",
+            "  \"reads\": [\n{}\n  ],\n",
+            "  \"scan\": {{\"span\": {}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}},\n",
+            "  \"memory\": {{\"memtable_bytes\": {}, \"cache_resident_bytes\": {}, ",
+            "\"table_meta_resident_bytes\": {}, \"directory_resident_bytes\": {}, ",
+            "\"value_bytes_total\": {}}},\n",
+            "  \"baseline\": {{\"in_memory_get_p50_us\": {:.3}}},\n",
+            "  \"acceptance\": {{\"larger_than_cache\": {}, \"cache_bounded\": {}, ",
+            "\"zipf_over_memory_ratio\": {:.3}, \"target\": 5.0, \"met\": {}}}\n",
+            "}}\n"
+        ),
+        N_KEYS,
+        VALUE_BYTES,
+        value_bytes_total >> 20,
+        budget >> 20,
+        N_KEYS,
+        VALUE_BYTES,
+        MEMTABLE_BYTES,
+        BLOCK_CACHE_BYTES,
+        ROW_CACHE_BYTES,
+        ZIPF_S,
+        load_seconds,
+        load_stats.flushes,
+        load_stats.compactions,
+        load_stats.user_bytes_written,
+        load_stats.table_bytes_written,
+        load_stats.write_amplification(),
+        read_rows.join(",\n"),
+        SCAN_SPAN,
+        percentile_us(&scan_lat, 0.50),
+        percentile_us(&scan_lat, 0.99),
+        end_stats.memtable_bytes,
+        end_stats.cache_resident_bytes,
+        end_stats.table_meta_resident_bytes,
+        state.directory_resident_bytes(),
+        value_bytes_total,
+        mem_p50_us,
+        larger_than_cache,
+        cache_bounded,
+        zipf_over_memory,
+        larger_than_cache && cache_bounded && zipf_over_memory <= 5.0,
+    );
+
+    let out = results_dir();
+    std::fs::create_dir_all(&out).expect("create results dir");
+    let path = out.join("statedb_overhead.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!("wrote {}", path.display());
+
+    // The engine's flush/compaction event log, as a standalone artifact:
+    // which tables each flush produced and each compaction consumed.
+    let trace_rows: Vec<String> = state
+        .lsm()
+        .trace()
+        .iter()
+        .map(|e| {
+            format!(
+                concat!(
+                    "    {{\"kind\": \"{}\", \"level\": {}, \"inputs\": {:?}, ",
+                    "\"input_bytes\": {}, \"outputs\": {:?}, \"output_bytes\": {}}}"
+                ),
+                e.kind, e.level, e.inputs, e.input_bytes, e.outputs, e.output_bytes,
+            )
+        })
+        .collect();
+    let trace_path = out.join("statedb_compaction_trace.json");
+    std::fs::write(
+        &trace_path,
+        format!(
+            "{{\n  \"schema\": \"statedb_compaction_trace/v1\",\n  \"events\": [\n{}\n  ]\n}}\n",
+            trace_rows.join(",\n")
+        ),
+    )
+    .expect("write trace");
+    println!("wrote {}", trace_path.display());
+
+    assert!(
+        larger_than_cache,
+        "acceptance: value bytes ({value_bytes_total}) must exceed 4x the \
+         memtable+cache budget ({budget})"
+    );
+    assert!(
+        cache_bounded,
+        "acceptance: resident bytes exceed the configured budgets \
+         (memtable {} > {MEMTABLE_BYTES} or caches {} > {})",
+        end_stats.memtable_bytes,
+        end_stats.cache_resident_bytes,
+        BLOCK_CACHE_BYTES + ROW_CACHE_BYTES,
+    );
+    assert!(
+        zipf_over_memory <= 5.0,
+        "acceptance: Zipf median get must stay within 5x of in-memory, \
+         got {zipf_over_memory:.2}x"
+    );
+}

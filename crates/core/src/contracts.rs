@@ -16,7 +16,7 @@
 
 use fabric_sim::chaincode::{Chaincode, TxContext};
 use fabric_sim::ledger::TxId;
-use fabric_sim::statedb::StateDb;
+use fabric_sim::statedb::VersionedState;
 use fabric_sim::wire::{Reader, Writer};
 use fabric_sim::FabricError;
 use ledgerview_crypto::keys::PublicKey;
@@ -79,8 +79,8 @@ impl Chaincode for InvokeContract {
 }
 
 /// Read a stored transaction's bytes from committed state.
-pub fn read_stored_tx(state: &StateDb, tid: &TxId) -> Option<Vec<u8>> {
-    state.get(&tx_state_key(tid)).map(|v| v.to_vec())
+pub fn read_stored_tx(state: &dyn VersionedState, tid: &TxId) -> Option<Vec<u8>> {
+    state.get(&tx_state_key(tid))
 }
 
 // ---------------------------------------------------------------------
@@ -212,16 +212,17 @@ impl Chaincode for ViewStorageContract {
 
 /// Read all entries of an irrevocable view from committed state, in entry
 /// key order.
-pub fn read_view_storage(state: &StateDb, view: &str) -> Vec<(String, Vec<u8>)> {
+pub fn read_view_storage(state: &dyn VersionedState, view: &str) -> Vec<(String, Vec<u8>)> {
     let prefix = format!("vs~data~{view}~");
     state
-        .scan_prefix(&prefix)
-        .map(|(k, v)| (k[prefix.len()..].to_string(), v.to_vec()))
+        .prefix_scan(&prefix)
+        .into_iter()
+        .map(|(k, v)| (k[prefix.len()..].to_string(), v))
         .collect()
 }
 
 /// Whether an irrevocable view was initialised on-chain.
-pub fn view_storage_initialised(state: &StateDb, view: &str) -> bool {
+pub fn view_storage_initialised(state: &dyn VersionedState, view: &str) -> bool {
     state.get(&vs_meta_key(view)).is_some()
 }
 
@@ -343,16 +344,22 @@ impl Chaincode for TxListContract {
 }
 
 /// Read a view's registered definition from committed state.
-pub fn read_view_definition(state: &StateDb, view: &str) -> Result<ViewDefinition, ViewError> {
+pub fn read_view_definition(
+    state: &dyn VersionedState,
+    view: &str,
+) -> Result<ViewDefinition, ViewError> {
     let bytes = state
         .get(&tl_pred_key(view))
         .ok_or_else(|| ViewError::UnknownView(view.to_string()))?;
-    ViewDefinition::from_bytes(bytes)
+    ViewDefinition::from_bytes(&bytes)
 }
 
 /// Read a view's per-transaction predicate; errors if the view has a
 /// recursive definition (use [`read_view_definition`] then).
-pub fn read_view_predicate(state: &StateDb, view: &str) -> Result<ViewPredicate, ViewError> {
+pub fn read_view_predicate(
+    state: &dyn VersionedState,
+    view: &str,
+) -> Result<ViewPredicate, ViewError> {
     match read_view_definition(state, view)? {
         ViewDefinition::PerTx(p) => Ok(p),
         ViewDefinition::Recursive { .. } => Err(ViewError::Malformed(format!(
@@ -362,14 +369,17 @@ pub fn read_view_predicate(state: &StateDb, view: &str) -> Result<ViewPredicate,
 }
 
 /// Read a view's transaction-id list `(tid, timestamp)` in insertion order.
-pub fn read_view_txlist(state: &StateDb, view: &str) -> Result<Vec<(TxId, u64)>, ViewError> {
+pub fn read_view_txlist(
+    state: &dyn VersionedState,
+    view: &str,
+) -> Result<Vec<(TxId, u64)>, ViewError> {
     if state.get(&tl_pred_key(view)).is_none() {
         return Err(ViewError::UnknownView(view.to_string()));
     }
     let prefix = format!("tl~ids~{view}~");
     let mut out = Vec::new();
-    for (_, v) in state.scan_prefix(&prefix) {
-        let mut r = Reader::new(v);
+    for (_, v) in state.prefix_scan(&prefix) {
+        let mut r = Reader::new(&v);
         let tid = TxId(Digest(r.array::<32>().map_err(ViewError::Fabric)?));
         let ts = r.u64().map_err(ViewError::Fabric)?;
         out.push((tid, ts));
@@ -378,17 +388,18 @@ pub fn read_view_txlist(state: &StateDb, view: &str) -> Result<Vec<(TxId, u64)>,
 }
 
 /// The timestamp of the last flush (completeness horizon T, §5.4).
-pub fn read_last_flush(state: &StateDb) -> Option<u64> {
+pub fn read_last_flush(state: &dyn VersionedState) -> Option<u64> {
     state
         .get(&tl_flush_key())
         .and_then(|b| b.try_into().ok().map(u64::from_be_bytes))
 }
 
 /// All views registered with the TxListContract.
-pub fn read_registered_views(state: &StateDb) -> Vec<String> {
+pub fn read_registered_views(state: &dyn VersionedState) -> Vec<String> {
     let prefix = "tl~pred~";
     state
-        .scan_prefix(prefix)
+        .prefix_scan(prefix)
+        .into_iter()
         .map(|(k, _)| k[prefix.len()..].to_string())
         .collect()
 }
@@ -555,7 +566,7 @@ impl Chaincode for AccessContract {
 }
 
 /// Latest `V_access` generation number of a view.
-pub fn read_access_generation(state: &StateDb, view: &str) -> Option<u64> {
+pub fn read_access_generation(state: &dyn VersionedState, view: &str) -> Option<u64> {
     state
         .get(&va_gen_key(view))
         .and_then(|b| b.try_into().ok().map(u64::from_be_bytes))
@@ -563,34 +574,37 @@ pub fn read_access_generation(state: &StateDb, view: &str) -> Option<u64> {
 
 /// The `V_access` payload of a specific generation.
 pub fn read_access_payload(
-    state: &StateDb,
+    state: &dyn VersionedState,
     view: &str,
     generation: u64,
 ) -> Result<Vec<AccessEntry>, ViewError> {
     let bytes = state
         .get(&va_payload_key(view, generation))
         .ok_or_else(|| ViewError::UnknownView(format!("{view} gen {generation}")))?;
-    decode_access_payload(bytes)
+    decode_access_payload(&bytes)
 }
 
 /// The transparent role→users relation `A_r` entry for a role.
-pub fn read_role_users(state: &StateDb, role: &str) -> Result<Vec<PublicKey>, ViewError> {
+pub fn read_role_users(
+    state: &dyn VersionedState,
+    role: &str,
+) -> Result<Vec<PublicKey>, ViewError> {
     let bytes = state
         .get(&rbac_users_key(role))
         .ok_or_else(|| ViewError::UnknownView(format!("role {role}")))?;
-    decode_key_list(bytes).map_err(ViewError::Fabric)
+    decode_key_list(&bytes).map_err(ViewError::Fabric)
 }
 
 /// The transparent role→views relation `A_p` entry for a role.
-pub fn read_role_views(state: &StateDb, role: &str) -> Result<Vec<String>, ViewError> {
+pub fn read_role_views(state: &dyn VersionedState, role: &str) -> Result<Vec<String>, ViewError> {
     let bytes = state
         .get(&rbac_views_key(role))
         .ok_or_else(|| ViewError::UnknownView(format!("role {role}")))?;
-    decode_string_list(bytes).map_err(ViewError::Fabric)
+    decode_string_list(&bytes).map_err(ViewError::Fabric)
 }
 
 /// The public key registered for a role.
-pub fn read_role_key(state: &StateDb, role: &str) -> Result<PublicKey, ViewError> {
+pub fn read_role_key(state: &dyn VersionedState, role: &str) -> Result<PublicKey, ViewError> {
     let bytes = state
         .get(&rbac_rolekey_key(role))
         .ok_or_else(|| ViewError::UnknownView(format!("role {role}")))?;

@@ -10,7 +10,7 @@
 //! group of users defined by a role".
 
 use fabric_sim::identity::Identity;
-use fabric_sim::statedb::StateDb;
+use fabric_sim::statedb::VersionedState;
 use fabric_sim::wire::{Reader, Writer};
 use fabric_sim::FabricChain;
 use ledgerview_crypto::keys::{EncryptionKeyPair, PublicKey};
@@ -174,7 +174,7 @@ pub fn recover_role_keypair(
 
 /// The join `K_{A_r ⋈ A_p}(V)` of §4.6: all public keys of users that may
 /// access `view` according to the transparent on-chain relations.
-pub fn users_with_access(state: &StateDb, view: &str) -> Vec<PublicKey> {
+pub fn users_with_access(state: &dyn VersionedState, view: &str) -> Vec<PublicKey> {
     let mut out = Vec::new();
     for role in all_roles(state) {
         let Ok(views) = contracts::read_role_views(state, &role) else {
@@ -197,7 +197,7 @@ pub fn users_with_access(state: &StateDb, view: &str) -> Vec<PublicKey> {
 
 /// The views a user may access through their roles
 /// (`D_u = {V | ∃r. (u,r) ∈ A_r ∧ (r,V) ∈ A_p}`).
-pub fn views_of_user(state: &StateDb, user: &PublicKey) -> Vec<String> {
+pub fn views_of_user(state: &dyn VersionedState, user: &PublicKey) -> Vec<String> {
     let mut out: Vec<String> = Vec::new();
     for role in all_roles(state) {
         let Ok(users) = contracts::read_role_users(state, &role) else {
@@ -219,16 +219,17 @@ pub fn views_of_user(state: &StateDb, user: &PublicKey) -> Vec<String> {
 }
 
 /// All roles registered on-chain.
-pub fn all_roles(state: &StateDb) -> Vec<String> {
+pub fn all_roles(state: &dyn VersionedState) -> Vec<String> {
     let prefix = "rbac~ar~";
     state
-        .scan_prefix(prefix)
+        .prefix_scan(prefix)
+        .into_iter()
         .map(|(k, _)| k[prefix.len()..].to_string())
         .collect()
 }
 
 /// Canonical serialization of the join result, convenient for audits.
-pub fn encode_access_matrix(state: &StateDb) -> Vec<u8> {
+pub fn encode_access_matrix(state: &dyn VersionedState) -> Vec<u8> {
     let mut w = Writer::new();
     let roles = all_roles(state);
     w.u32(roles.len() as u32);

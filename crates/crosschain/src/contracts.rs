@@ -1,7 +1,7 @@
 //! The coordinator and participant smart contracts.
 
 use fabric_sim::chaincode::{Chaincode, TxContext};
-use fabric_sim::statedb::StateDb;
+use fabric_sim::statedb::VersionedState;
 use fabric_sim::FabricError;
 
 /// Chaincode name of the coordinator (deployed on the main chain).
@@ -112,7 +112,7 @@ impl Chaincode for CoordinatorContract {
 }
 
 /// Read a request's coordinator state from the main chain.
-pub fn read_coord_state(state: &StateDb, request: &str) -> Option<CoordState> {
+pub fn read_coord_state(state: &dyn VersionedState, request: &str) -> Option<CoordState> {
     state
         .get(&coord_key(request))
         .and_then(|v| v.first().copied())
@@ -200,20 +200,21 @@ impl Chaincode for ShardContract {
 }
 
 /// Whether a request's payload is committed (visible) on a view chain.
-pub fn read_committed_payload(state: &StateDb, request: &str) -> Option<Vec<u8>> {
-    state.get(&committed_key(request)).map(|v| v.to_vec())
+pub fn read_committed_payload(state: &dyn VersionedState, request: &str) -> Option<Vec<u8>> {
+    state.get(&committed_key(request))
 }
 
 /// Whether a request is still in the prepared (locked) state.
-pub fn is_prepared(state: &StateDb, request: &str) -> bool {
+pub fn is_prepared(state: &dyn VersionedState, request: &str) -> bool {
     state.get(&prep_key(request)).is_some()
 }
 
 /// All committed cross-chain payload bytes on a view chain (storage
 /// accounting).
-pub fn committed_bytes(state: &StateDb) -> u64 {
+pub fn committed_bytes(state: &dyn VersionedState) -> u64 {
     state
-        .scan_prefix("xtx~")
+        .prefix_scan("xtx~")
+        .into_iter()
         .map(|(k, v)| (k.len() + v.len()) as u64)
         .sum()
 }

@@ -20,15 +20,25 @@ use crate::endorsement::{check_endorsements, EndorsementPolicy, Proposal, Propos
 use crate::error::FabricError;
 use crate::identity::{Identity, Msp, OrgId};
 use crate::ledger::{Block, BlockHeader, BlockStore, Transaction, TxId};
+use crate::lsm::LsmBackend;
 use crate::parallel::{BlockValidator, ValidationConfig};
 use crate::privdata::{CollectionConfig, PrivateStore};
-use crate::statedb::{StateDb, Version};
+use crate::statedb::{Version, VersionedState};
 use crate::storage::{ChainSnapshot, DurableBackend, InMemoryBackend, StateBackend, StorageConfig};
 use crate::validation::{next_state_root, TxValidation};
 
 struct Deployed {
     code: Box<dyn Chaincode>,
     policy: EndorsementPolicy,
+}
+
+/// What a persistent backend's verified recovery establishes — the facts
+/// the chain needs to resume on top of it.
+struct RecoveredMeta {
+    state_root: Digest,
+    base: u64,
+    base_prev_hash: Digest,
+    last_timestamp_us: u64,
 }
 
 /// Transaction-lifecycle metric handles, resolved once when telemetry
@@ -227,7 +237,50 @@ impl FabricChain {
         let mut chain = FabricChain::new(org_names, rng);
         let pool = crate::pool::WorkerPool::new(validation.workers);
         let (backend, blocks) = DurableBackend::open(storage, &pool)?;
-        chain.adopt_backend(validation, pool, backend, blocks)?;
+        let recovered = RecoveredMeta {
+            state_root: backend.state_root(),
+            base: backend.base_height(),
+            base_prev_hash: backend.base_prev_hash(),
+            last_timestamp_us: backend.last_timestamp_us(),
+        };
+        chain.adopt_backend(validation, pool, Box::new(backend), recovered, blocks)?;
+        Ok(chain)
+    }
+
+    /// Create a chain whose state lives in a disk-backed LSM tree under
+    /// `storage.dir` — the larger-than-RAM backend. Same recovery contract
+    /// as [`FabricChain::with_storage`]: the block store, LSM state, and
+    /// rolling roots are rebuilt and verified from whatever an earlier run
+    /// (including one that crashed) committed there.
+    pub fn with_lsm_storage<R: RngCore + ?Sized>(
+        org_names: &[&str],
+        rng: &mut R,
+        storage: StorageConfig,
+        validation: ValidationConfig,
+    ) -> Result<FabricChain, FabricError> {
+        let lsm = LsmBackend::default_lsm_config(&storage);
+        FabricChain::with_lsm_storage_tuned(org_names, rng, storage, lsm, validation)
+    }
+
+    /// [`FabricChain::with_lsm_storage`] with explicit LSM tuning
+    /// (memtable size, cache budgets, compaction thresholds).
+    pub fn with_lsm_storage_tuned<R: RngCore + ?Sized>(
+        org_names: &[&str],
+        rng: &mut R,
+        storage: StorageConfig,
+        lsm: ledgerview_statedb::LsmConfig,
+        validation: ValidationConfig,
+    ) -> Result<FabricChain, FabricError> {
+        let mut chain = FabricChain::new(org_names, rng);
+        let pool = crate::pool::WorkerPool::new(validation.workers);
+        let (backend, blocks) = LsmBackend::open_with_lsm_config(storage, lsm, &pool)?;
+        let recovered = RecoveredMeta {
+            state_root: backend.state_root(),
+            base: 0,
+            base_prev_hash: Digest::ZERO,
+            last_timestamp_us: backend.last_timestamp_us(),
+        };
+        chain.adopt_backend(validation, pool, Box::new(backend), recovered, blocks)?;
         Ok(chain)
     }
 
@@ -250,30 +303,38 @@ impl FabricChain {
         let mut chain = FabricChain::new(org_names, rng);
         let pool = crate::pool::WorkerPool::new(validation.workers);
         let (backend, blocks) = DurableBackend::install_snapshot(storage, &pool, snapshot)?;
-        chain.adopt_backend(validation, pool, backend, blocks)?;
+        let recovered = RecoveredMeta {
+            state_root: backend.state_root(),
+            base: backend.base_height(),
+            base_prev_hash: backend.base_prev_hash(),
+            last_timestamp_us: backend.last_timestamp_us(),
+        };
+        chain.adopt_backend(validation, pool, Box::new(backend), recovered, blocks)?;
         Ok(chain)
     }
 
-    /// Adopt a recovered durable backend: rebuild the (possibly pruned)
-    /// block store from the recovered delta and resume root/clock from the
-    /// backend's verified recovery state. The worker pool that served
-    /// recovery decoding is reused for commit-time validation.
+    /// Adopt a recovered persistent backend (durable or LSM): rebuild the
+    /// (possibly pruned) block store from the recovered delta and resume
+    /// root/clock from the backend's verified recovery state. The worker
+    /// pool that served recovery decoding is reused for commit-time
+    /// validation.
     fn adopt_backend(
         &mut self,
         validation: ValidationConfig,
         pool: crate::pool::WorkerPool,
-        backend: DurableBackend,
+        backend: Box<dyn StateBackend>,
+        recovered: RecoveredMeta,
         blocks: Vec<Block>,
     ) -> Result<(), FabricError> {
         self.validator = BlockValidator::with_pool(validation, pool);
-        self.store = if backend.base_height() > 0 {
-            BlockStore::restore_pruned(backend.base_height(), backend.base_prev_hash(), blocks)?
+        self.store = if recovered.base > 0 {
+            BlockStore::restore_pruned(recovered.base, recovered.base_prev_hash, blocks)?
         } else {
             BlockStore::restore(blocks)?
         };
-        self.state_root = backend.state_root();
-        self.clock_us = backend.last_timestamp_us();
-        self.backend = Box::new(backend);
+        self.state_root = recovered.state_root;
+        self.clock_us = recovered.last_timestamp_us;
+        self.backend = backend;
         Ok(())
     }
 
@@ -695,14 +756,27 @@ impl FabricChain {
         }
     }
 
-    /// The committed state database.
-    pub fn state(&self) -> &StateDb {
+    /// The committed state database (in-memory, durable, or LSM-backed —
+    /// all behind the [`VersionedState`] trait).
+    pub fn state(&self) -> &dyn VersionedState {
         self.backend.state()
     }
 
     /// The persistence backend.
     pub fn backend(&self) -> &dyn StateBackend {
         self.backend.as_ref()
+    }
+
+    /// The LSM backend, when this chain was opened with
+    /// [`FabricChain::with_lsm_storage`] (engine statistics, compaction
+    /// trace). `None` for other backends.
+    pub fn lsm_backend(&self) -> Option<&LsmBackend> {
+        self.backend.as_lsm()
+    }
+
+    /// Mutable access to the LSM backend (crash-injection test hooks).
+    pub fn lsm_backend_mut(&mut self) -> Option<&mut LsmBackend> {
+        self.backend.as_lsm_mut()
     }
 
     /// Whether commits survive a process crash (true for chains created

@@ -13,7 +13,7 @@ use ledgerview_crypto::sha256::{sha256, Digest};
 use crate::error::FabricError;
 use crate::identity::Certificate;
 use crate::ledger::TxId;
-use crate::statedb::{StateDb, Version};
+use crate::statedb::{Version, VersionedState};
 use crate::wire::Writer;
 
 /// One recorded read: the key and the version observed (None = key absent).
@@ -162,8 +162,12 @@ impl RwSet {
 }
 
 /// The context a chaincode sees while being simulated at endorsement time.
+///
+/// The committed state is accessed through the [`VersionedState`] trait, so
+/// simulation runs identically against the in-memory database and the
+/// disk-backed LSM backend.
 pub struct TxContext<'a> {
-    state: &'a StateDb,
+    state: &'a dyn VersionedState,
     tx_id: TxId,
     creator: &'a Certificate,
     timestamp_us: u64,
@@ -182,7 +186,7 @@ pub struct TxContext<'a> {
 impl<'a> TxContext<'a> {
     /// Create a context for simulating one transaction.
     pub fn new(
-        state: &'a StateDb,
+        state: &'a dyn VersionedState,
         tx_id: TxId,
         creator: &'a Certificate,
         timestamp_us: u64,
@@ -192,7 +196,7 @@ impl<'a> TxContext<'a> {
 
     /// Create a context carrying transient (off-transaction) data.
     pub fn with_transient(
-        state: &'a StateDb,
+        state: &'a dyn VersionedState,
         tx_id: TxId,
         creator: &'a Certificate,
         timestamp_us: u64,
@@ -239,12 +243,15 @@ impl<'a> TxContext<'a> {
         if let Some(pending) = self.pending.get(key) {
             return pending.clone();
         }
-        let version = self.state.version(key);
+        // One backend probe serves both the MVCC version and the value
+        // (on the LSM backend a get is a real disk lookup, so pairing them
+        // halves the simulation read cost).
+        let (value, version) = self.state.lookup(key);
         self.reads.push(ReadEntry {
             key: key.to_string(),
             version,
         });
-        self.state.get(key).map(|v| v.to_vec())
+        value
     }
 
     /// Write a key (buffered until commit).
@@ -268,11 +275,8 @@ impl<'a> TxContext<'a> {
     /// Range scan over committed state merged with pending writes.
     /// Each returned key is recorded as a read.
     pub fn get_state_by_prefix(&mut self, prefix: &str) -> Vec<(String, Vec<u8>)> {
-        let mut merged: BTreeMap<String, Vec<u8>> = self
-            .state
-            .scan_prefix(prefix)
-            .map(|(k, v)| (k.to_string(), v.to_vec()))
-            .collect();
+        let mut merged: BTreeMap<String, Vec<u8>> =
+            self.state.prefix_scan(prefix).into_iter().collect();
         for (k, v) in &self.pending {
             if k.starts_with(prefix) {
                 match v {
@@ -361,6 +365,7 @@ pub trait Chaincode: Send + Sync {
 mod tests {
     use super::*;
     use crate::identity::Msp;
+    use crate::statedb::StateDb;
     use ledgerview_crypto::rng::seeded;
 
     fn test_cert() -> Certificate {

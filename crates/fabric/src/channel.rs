@@ -448,7 +448,7 @@ mod tests {
         let chain = reg.channel("c").unwrap().chain();
         assert_eq!(chain.height(), 1);
         assert_eq!(chain.validation_config().workers, 4);
-        assert_eq!(chain.state().get("k"), Some(&b"v"[..]));
+        assert_eq!(chain.state().get("k").as_deref(), Some(&b"v"[..]));
     }
 
     #[test]
@@ -551,7 +551,7 @@ mod tests {
             reg.create_channel_auto(ch, &["O"], &mut rng).unwrap();
             let chain = reg.channel(ch).unwrap().chain();
             assert_eq!(chain.height(), 1, "{ch} recovered");
-            assert_eq!(chain.state().get("k"), Some(ch.as_bytes()));
+            assert_eq!(chain.state().get("k").as_deref(), Some(ch.as_bytes()));
         }
         // Without a root, auto-created channels stay in-memory.
         let mut plain = ChannelRegistry::new();

@@ -1,0 +1,520 @@
+//! The bucketed state digest — one deterministic Merkle commitment over
+//! the full versioned state, shared bit-for-bit by every backend.
+//!
+//! # Layout
+//!
+//! Keys hash (FNV-1a) into one of [`DIGEST_BUCKETS`] fixed buckets. Each
+//! bucket commits to its entries — **in key order, tombstones included**
+//! — with a Merkle root over leaf encodings of `(key, value-or-tombstone,
+//! version)`; an empty bucket contributes [`merkle::empty_root`]. The
+//! state digest is the Merkle root over the `DIGEST_BUCKETS` bucket
+//! roots (a fixed-shape tree, since the bucket count is a power of two).
+//!
+//! # Why buckets
+//!
+//! A flat sorted tree over N keys costs O(N) hashing per block. With
+//! buckets, a block that dirties `d` distinct buckets costs
+//! O(Σ bucket sizes + d·log B) — the [`StateDigester`] below maintains
+//! the digest incrementally for the disk-backed LSM backend, while the
+//! in-memory [`crate::statedb::StateDb`] simply rebuilds the same shape
+//! on demand. Both constructions produce identical digests because the
+//! shape is a pure function of the key set.
+//!
+//! # Tombstones are part of the digest
+//!
+//! A delete writes a tombstone leaf carrying the deleting transaction's
+//! [`Version`]. This makes deletions tamper-evident (a recreated key
+//! cannot masquerade as its ancestor) and — because tombstones are never
+//! garbage-collected by either backend — keeps the digest independent of
+//! compaction timing.
+//!
+//! Inclusion proofs compose the in-bucket path with the bucket-tree path
+//! and verify with the existing [`merkle::verify_inclusion`].
+
+use std::sync::Mutex;
+
+use ledgerview_crypto::sha256::Digest;
+use ledgerview_statedb::bloom::fnv1a64;
+
+use crate::merkle::{self, leaf_hash, MerkleProof, MerkleTree};
+use crate::statedb::Version;
+use crate::wire::Writer;
+
+/// Number of digest buckets (power of two; the top tree has a fixed,
+/// perfect-binary shape).
+pub const DIGEST_BUCKETS: usize = 1024;
+
+/// Which bucket a key commits into.
+pub fn bucket_of(key: &str) -> usize {
+    (fnv1a64(key.as_bytes()) as usize) & (DIGEST_BUCKETS - 1)
+}
+
+/// Canonical leaf encoding of one state entry. Tag 1 = live value,
+/// tag 0 = tombstone (no value bytes).
+pub fn leaf_bytes(key: &str, value: Option<&[u8]>, version: Version) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.string(key);
+    match value {
+        Some(v) => {
+            w.u8(1);
+            w.bytes(v);
+        }
+        None => {
+            w.u8(0);
+        }
+    }
+    w.u64(version.block_num).u32(version.tx_num);
+    w.into_bytes()
+}
+
+/// Merkle root of one bucket given its leaf hashes in key order.
+fn bucket_root(leaves: &[Digest]) -> Digest {
+    if leaves.is_empty() {
+        merkle::empty_root()
+    } else {
+        MerkleTree::from_leaf_hashes(leaves.to_vec()).root()
+    }
+}
+
+/// Full-state digest from an iterator of entries **in ascending key
+/// order** (tombstones included). This is the O(N) reference
+/// construction used by the in-memory backend and by recovery checks;
+/// [`StateDigester`] maintains the same value incrementally.
+pub fn digest_of_entries<'a>(
+    entries: impl Iterator<Item = (&'a str, Option<&'a [u8]>, Version)>,
+) -> Digest {
+    let mut buckets: Vec<Vec<Digest>> = vec![Vec::new(); DIGEST_BUCKETS];
+    for (key, value, version) in entries {
+        buckets[bucket_of(key)].push(leaf_hash(&leaf_bytes(key, value, version)));
+    }
+    let roots: Vec<Digest> = buckets.iter().map(|b| bucket_root(b)).collect();
+    MerkleTree::from_leaf_hashes(roots).root()
+}
+
+/// Build the composite inclusion proof for the entry at `idx` of bucket
+/// `bucket`, given every bucket's leaf hashes. Verifies against the
+/// digest of the same entry set via [`merkle::verify_inclusion`].
+pub fn prove_in_buckets(bucket_leaves: &[Vec<Digest>], bucket: usize, idx: usize) -> MerkleProof {
+    debug_assert_eq!(bucket_leaves.len(), DIGEST_BUCKETS);
+    let inner = MerkleTree::from_leaf_hashes(bucket_leaves[bucket].clone());
+    let mut proof = inner.prove(idx);
+    let roots: Vec<Digest> = bucket_leaves.iter().map(|b| bucket_root(b)).collect();
+    let top = MerkleTree::from_leaf_hashes(roots);
+    proof.steps.extend(top.prove(bucket).steps);
+    proof
+}
+
+// ---------------------------------------------------------------------------
+// incremental digester
+// ---------------------------------------------------------------------------
+
+/// One entry in the digester's in-memory directory. Values live on disk;
+/// only the key, leaf hash, version, and liveness are resident.
+#[derive(Clone, Debug)]
+struct DirEntry {
+    key: Box<str>,
+    leaf: Digest,
+    version: Version,
+    /// Value length in bytes (0 for tombstones) — storage accounting.
+    vlen: u32,
+    live: bool,
+}
+
+/// Lazily-refreshed top-tree state. `levels[0]` = the 1024 bucket roots,
+/// `levels.last()` = `[digest]`; `dirty` marks buckets whose root must
+/// be recomputed before the digest is read.
+struct DigestCache {
+    levels: Vec<Vec<Digest>>,
+    dirty: Vec<bool>,
+    any_dirty: bool,
+}
+
+/// Incrementally-maintained bucketed digest directory for the LSM
+/// backend: applies the same puts/deletes the LSM receives and serves
+/// `version`/`len`/`digest` lookups without touching disk. Reads take
+/// `&self` (the cache refreshes behind a mutex), matching the shared
+/// read path of parallel validation.
+pub struct StateDigester {
+    buckets: Vec<Vec<DirEntry>>,
+    live_count: usize,
+    /// Σ (key + value + 12) over all entries — mirrors
+    /// `StateDb::size_bytes` accounting.
+    size_bytes: u64,
+    cache: Mutex<DigestCache>,
+}
+
+impl Default for StateDigester {
+    fn default() -> StateDigester {
+        StateDigester::new()
+    }
+}
+
+impl StateDigester {
+    /// An empty directory (digest of the empty state).
+    pub fn new() -> StateDigester {
+        let roots = vec![merkle::empty_root(); DIGEST_BUCKETS];
+        let levels = build_levels(roots);
+        StateDigester {
+            buckets: vec![Vec::new(); DIGEST_BUCKETS],
+            live_count: 0,
+            size_bytes: 0,
+            cache: Mutex::new(DigestCache {
+                levels,
+                dirty: vec![false; DIGEST_BUCKETS],
+                any_dirty: false,
+            }),
+        }
+    }
+
+    /// Record a live write.
+    pub fn apply_put(&mut self, key: &str, value: &[u8], version: Version) {
+        self.apply(key, Some(value), version);
+    }
+
+    /// Record a tombstone.
+    pub fn apply_delete(&mut self, key: &str, version: Version) {
+        self.apply(key, None, version);
+    }
+
+    fn apply(&mut self, key: &str, value: Option<&[u8]>, version: Version) {
+        let b = bucket_of(key);
+        let leaf = leaf_hash(&leaf_bytes(key, value, version));
+        let vlen = value.map_or(0, <[u8]>::len) as u32;
+        let live = value.is_some();
+        let bucket = &mut self.buckets[b];
+        match bucket.binary_search_by(|e| e.key.as_ref().cmp(key)) {
+            Ok(i) => {
+                let e = &mut bucket[i];
+                if e.live {
+                    self.live_count -= 1;
+                }
+                self.size_bytes -= e.vlen as u64;
+                e.leaf = leaf;
+                e.version = version;
+                e.vlen = vlen;
+                e.live = live;
+            }
+            Err(i) => {
+                bucket.insert(
+                    i,
+                    DirEntry {
+                        key: key.into(),
+                        leaf,
+                        version,
+                        vlen,
+                        live,
+                    },
+                );
+                self.size_bytes += (key.len() + 12) as u64;
+            }
+        }
+        if live {
+            self.live_count += 1;
+        }
+        self.size_bytes += vlen as u64;
+        let mut cache = self.cache.lock().expect("digest cache poisoned");
+        cache.dirty[b] = true;
+        cache.any_dirty = true;
+    }
+
+    /// Version of `key`, tombstones included (the MVCC lookup).
+    pub fn version(&self, key: &str) -> Option<Version> {
+        let bucket = &self.buckets[bucket_of(key)];
+        bucket
+            .binary_search_by(|e| e.key.as_ref().cmp(key))
+            .ok()
+            .map(|i| bucket[i].version)
+    }
+
+    /// Whether `key` currently holds a live value (`None` = never
+    /// written, `Some(false)` = tombstoned).
+    pub fn liveness(&self, key: &str) -> Option<bool> {
+        let bucket = &self.buckets[bucket_of(key)];
+        bucket
+            .binary_search_by(|e| e.key.as_ref().cmp(key))
+            .ok()
+            .map(|i| bucket[i].live)
+    }
+
+    /// Count of live keys.
+    pub fn live_len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Count of all directory entries (live + tombstones).
+    pub fn total_entries(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Σ (key + value + 12) over all entries.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Approximate resident memory of the directory itself.
+    pub fn resident_bytes(&self) -> usize {
+        self.buckets
+            .iter()
+            .flatten()
+            .map(|e| e.key.len() + std::mem::size_of::<DirEntry>())
+            .sum()
+    }
+
+    /// The state digest, refreshing any dirty buckets incrementally:
+    /// O(dirty-bucket sizes + dirty·log B), not O(N).
+    pub fn digest(&self) -> Digest {
+        let mut cache = self.cache.lock().expect("digest cache poisoned");
+        if cache.any_dirty {
+            for b in 0..DIGEST_BUCKETS {
+                if !cache.dirty[b] {
+                    continue;
+                }
+                let leaves: Vec<Digest> = self.buckets[b].iter().map(|e| e.leaf).collect();
+                cache.levels[0][b] = bucket_root(&leaves);
+                cache.dirty[b] = false;
+                // Bubble the change up the fixed-shape tree.
+                let mut idx = b;
+                for level in 1..cache.levels.len() {
+                    idx /= 2;
+                    let left = cache.levels[level - 1][idx * 2];
+                    let right = cache.levels[level - 1][idx * 2 + 1];
+                    cache.levels[level][idx] = merkle_node(&left, &right);
+                }
+            }
+            cache.any_dirty = false;
+        }
+        *cache
+            .levels
+            .last()
+            .expect("levels non-empty")
+            .first()
+            .expect("root present")
+    }
+
+    /// Composite inclusion proof for a live key. The caller supplies the
+    /// leaf encoding (it holds the value; the directory only stores
+    /// hashes). Returns `None` for absent or tombstoned keys.
+    pub fn prove(&self, key: &str) -> Option<MerkleProof> {
+        let b = bucket_of(key);
+        let bucket = &self.buckets[b];
+        let i = bucket.binary_search_by(|e| e.key.as_ref().cmp(key)).ok()?;
+        if !bucket[i].live {
+            return None;
+        }
+        // Refresh the cache so top-tree siblings are current.
+        let _ = self.digest();
+        let leaves: Vec<Digest> = bucket.iter().map(|e| e.leaf).collect();
+        let inner = MerkleTree::from_leaf_hashes(leaves);
+        let mut proof = inner.prove(i);
+        let cache = self.cache.lock().expect("digest cache poisoned");
+        let mut idx = b;
+        for level in &cache.levels[..cache.levels.len() - 1] {
+            let sibling_idx = idx ^ 1;
+            proof.steps.push(merkle::ProofStep {
+                sibling: level[sibling_idx],
+                sibling_on_right: sibling_idx > idx,
+            });
+            idx /= 2;
+        }
+        Some(proof)
+    }
+
+    /// Visit every entry (tombstones included) in ascending key order.
+    /// Cost: one 1024-way merge over sorted buckets.
+    pub fn for_each_entry(&self, f: &mut dyn FnMut(&str, Version, bool)) {
+        let mut cursors: Vec<usize> = vec![0; DIGEST_BUCKETS];
+        loop {
+            let mut best: Option<usize> = None;
+            for (b, bucket) in self.buckets.iter().enumerate() {
+                if cursors[b] >= bucket.len() {
+                    continue;
+                }
+                let key = bucket[cursors[b]].key.as_ref();
+                match best {
+                    None => best = Some(b),
+                    Some(w) if key < self.buckets[w][cursors[w]].key.as_ref() => best = Some(b),
+                    _ => {}
+                }
+            }
+            let Some(b) = best else { break };
+            let e = &self.buckets[b][cursors[b]];
+            f(e.key.as_ref(), e.version, e.live);
+            cursors[b] += 1;
+        }
+    }
+}
+
+fn merkle_node(left: &Digest, right: &Digest) -> Digest {
+    // Recreate MerkleTree's internal node hash via a 2-leaf-hash tree.
+    MerkleTree::from_leaf_hashes(vec![*left, *right]).root()
+}
+
+fn build_levels(mut roots: Vec<Digest>) -> Vec<Vec<Digest>> {
+    let mut levels = Vec::new();
+    loop {
+        let len = roots.len();
+        levels.push(roots);
+        if len == 1 {
+            break;
+        }
+        let prev = levels.last().expect("just pushed");
+        let mut next = Vec::with_capacity(len / 2);
+        for pair in prev.chunks(2) {
+            next.push(merkle_node(&pair[0], &pair[1]));
+        }
+        roots = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(b: u64, t: u32) -> Version {
+        Version {
+            block_num: b,
+            tx_num: t,
+        }
+    }
+
+    /// Reference digest from a plain map (sorted iteration).
+    fn reference_digest(
+        entries: &std::collections::BTreeMap<String, (Option<Vec<u8>>, Version)>,
+    ) -> Digest {
+        digest_of_entries(
+            entries
+                .iter()
+                .map(|(k, (val, ver))| (k.as_str(), val.as_deref(), *ver)),
+        )
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild() {
+        let mut digester = StateDigester::new();
+        let mut map = std::collections::BTreeMap::new();
+        assert_eq!(digester.digest(), reference_digest(&map));
+        for i in 0..300u64 {
+            let key = format!("key-{:03}", i % 120);
+            if i % 7 == 3 {
+                digester.apply_delete(&key, v(i, 0));
+                map.insert(key, (None, v(i, 0)));
+            } else {
+                let value = format!("val-{i}").into_bytes();
+                digester.apply_put(&key, &value, v(i, 1));
+                map.insert(key, (Some(value), v(i, 1)));
+            }
+            if i % 37 == 0 {
+                assert_eq!(digester.digest(), reference_digest(&map), "after op {i}");
+            }
+        }
+        assert_eq!(digester.digest(), reference_digest(&map));
+        let live = map.values().filter(|(val, _)| val.is_some()).count();
+        assert_eq!(digester.live_len(), live);
+        assert_eq!(digester.total_entries(), map.len());
+    }
+
+    #[test]
+    fn tombstones_change_the_digest() {
+        let mut digester = StateDigester::new();
+        digester.apply_put("a", b"1", v(1, 0));
+        let with_value = digester.digest();
+        digester.apply_delete("a", v(2, 0));
+        let with_tombstone = digester.digest();
+        assert_ne!(with_value, with_tombstone);
+        // And a tombstone differs from never-written.
+        assert_ne!(with_tombstone, StateDigester::new().digest());
+        // Version lookups still see the tombstone (MVCC ABA defence).
+        assert_eq!(digester.version("a"), Some(v(2, 0)));
+        assert_eq!(digester.liveness("a"), Some(false));
+        assert_eq!(digester.live_len(), 0);
+    }
+
+    #[test]
+    fn proofs_verify_against_digest() {
+        let mut digester = StateDigester::new();
+        let mut values = Vec::new();
+        for i in 0..50u64 {
+            let key = format!("key-{i}");
+            let value = format!("value-{i}").into_bytes();
+            digester.apply_put(&key, &value, v(1, i as u32));
+            values.push((key, value));
+        }
+        digester.apply_delete("key-7", v(2, 0));
+        let digest = digester.digest();
+        for (key, value) in &values {
+            if key == "key-7" {
+                assert!(digester.prove(key).is_none(), "tombstoned key has no proof");
+                continue;
+            }
+            let proof = digester.prove(key).unwrap();
+            let leaf = leaf_bytes(key, Some(value), digester.version(key).unwrap());
+            assert!(merkle::verify_inclusion(&digest, &leaf, &proof), "{key}");
+        }
+        assert!(digester.prove("absent").is_none());
+        // A wrong value must not verify.
+        let proof = digester.prove("key-3").unwrap();
+        let bad = leaf_bytes("key-3", Some(b"forged"), digester.version("key-3").unwrap());
+        assert!(!merkle::verify_inclusion(&digest, &bad, &proof));
+    }
+
+    #[test]
+    fn prove_in_buckets_matches_digester() {
+        let mut digester = StateDigester::new();
+        let mut bucket_leaves: Vec<Vec<Digest>> = vec![Vec::new(); DIGEST_BUCKETS];
+        let mut keys_in_bucket: Vec<Vec<String>> = vec![Vec::new(); DIGEST_BUCKETS];
+        let mut entries: Vec<(String, Vec<u8>)> = (0..40)
+            .map(|i| (format!("k{i:02}"), vec![i as u8]))
+            .collect();
+        entries.sort();
+        for (key, value) in &entries {
+            digester.apply_put(key, value, v(1, 0));
+        }
+        for (key, value) in &entries {
+            let b = bucket_of(key);
+            // Keys inserted in sorted order land in buckets in sorted order.
+            bucket_leaves[b].push(leaf_hash(&leaf_bytes(key, Some(value), v(1, 0))));
+            keys_in_bucket[b].push(key.clone());
+        }
+        let digest = digester.digest();
+        let (key, value) = &entries[11];
+        let b = bucket_of(key);
+        let idx = keys_in_bucket[b].iter().position(|k| k == key).unwrap();
+        let proof = prove_in_buckets(&bucket_leaves, b, idx);
+        let leaf = leaf_bytes(key, Some(value), v(1, 0));
+        assert!(merkle::verify_inclusion(&digest, &leaf, &proof));
+        assert_eq!(proof, digester.prove(key).unwrap());
+    }
+
+    #[test]
+    fn for_each_entry_is_key_ordered() {
+        let mut digester = StateDigester::new();
+        for key in ["zeta", "alpha", "mid", "beta"] {
+            digester.apply_put(key, b"x", v(1, 0));
+        }
+        digester.apply_delete("mid", v(2, 0));
+        let mut seen = Vec::new();
+        digester.for_each_entry(&mut |k, _, live| seen.push((k.to_string(), live)));
+        assert_eq!(
+            seen,
+            vec![
+                ("alpha".to_string(), true),
+                ("beta".to_string(), true),
+                ("mid".to_string(), false),
+                ("zeta".to_string(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn size_accounting_tracks_overwrites() {
+        let mut digester = StateDigester::new();
+        digester.apply_put("k", &[0u8; 100], v(1, 0));
+        let s1 = digester.size_bytes();
+        assert_eq!(s1, (1 + 100 + 12) as u64);
+        digester.apply_put("k", &[0u8; 40], v(2, 0));
+        assert_eq!(digester.size_bytes(), (1 + 40 + 12) as u64);
+        digester.apply_delete("k", v(3, 0));
+        assert_eq!(digester.size_bytes(), (1 + 12) as u64);
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`storage`] — pluggable state persistence: the in-memory default and
 //!   the durable backend (WAL + block file + snapshot checkpoints from the
 //!   `fabric-store` crate) with crash recovery.
+//! * [`lsm`] — the disk-backed state backend over the `ledgerview-statedb`
+//!   LSM engine: larger-than-RAM versioned state behind the same
+//!   [`StateBackend`](storage::StateBackend) trait.
 //! * [`validation`] — MVCC read/write-set validation and commit.
 //! * [`parallel`] — the commit-time validation pipeline: worker-pool
 //!   endorsement verification (batch Ed25519 + signature cache) followed by
@@ -44,10 +47,12 @@
 pub mod chain;
 pub mod chaincode;
 pub mod channel;
+pub mod digest;
 pub mod endorsement;
 pub mod error;
 pub mod identity;
 pub mod ledger;
+pub mod lsm;
 pub mod merkle;
 pub mod network;
 pub mod parallel;
@@ -64,9 +69,10 @@ pub use chaincode::{Chaincode, TxContext};
 pub use error::FabricError;
 pub use identity::{Identity, Msp, OrgId};
 pub use ledger::{Block, BlockHeader, BlockStore, TxId};
+pub use lsm::{LsmBackend, LsmState};
 pub use parallel::{BlockValidator, ValidationConfig};
 pub use pool::WorkerPool;
-pub use statedb::{StateDb, Version};
+pub use statedb::{StateDb, Version, VersionedState};
 pub use storage::{
     ChainSnapshot, DurableBackend, FsyncPolicy, InMemoryBackend, StateBackend, StorageConfig,
 };

@@ -1,0 +1,731 @@
+//! The disk-backed state backend: [`LsmState`] (a [`VersionedState`] over
+//! the `ledgerview-statedb` LSM engine) and [`LsmBackend`] (a
+//! [`StateBackend`] that makes it crash-recoverable).
+//!
+//! # Layout
+//!
+//! Under one storage directory the backend keeps the same WAL and block
+//! file as [`DurableBackend`](crate::storage::DurableBackend) — identical
+//! formats, so crash-injection tooling works on both — plus an `lsm/`
+//! subdirectory holding the LSM tree (memtable + sorted runs). Where the
+//! durable backend periodically serializes its *entire* in-memory state
+//! into a checkpoint, this backend's state already lives on disk: a
+//! "checkpoint" is just an LSM flush whose manifest carries a small
+//! metadata blob (flushed height, rolling state root, full-state digest,
+//! tip timestamp) followed by a WAL reset.
+//!
+//! # What stays in memory
+//!
+//! Values live on disk; only per-key *metadata* stays resident — the
+//! [`StateDigester`] directory (key, leaf hash, MVCC version, liveness)
+//! that serves `version()` lookups and maintains the bucketed Merkle
+//! digest incrementally, plus the engine's block/row caches under fixed
+//! byte budgets. Memory therefore scales with key count and cache budget,
+//! not with total value bytes — the larger-than-RAM regime the LSM exists
+//! for.
+//!
+//! # Recovery
+//!
+//! `open` rebuilds exactly like the durable backend, with the LSM manifest
+//! as the commit point: load the LSM (orphan tables from torn flushes are
+//! deleted by the engine), rebuild the digest directory by streaming every
+//! record (tombstones included), verify the directory digest against the
+//! manifest metadata, then replay surviving WAL records — or re-derive
+//! writes from the blocks themselves where the WAL lost them — and check
+//! the rolling state root against every recovered block header.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ledgerview_crypto::sha256::Digest;
+use ledgerview_statedb::{CompactionEvent, CrashPoint, Lsm, LsmConfig, LsmStats};
+use ledgerview_telemetry::{Counter, HistogramHandle, Telemetry};
+
+use fabric_store::{BlockFile, FsyncPolicy, StoreError, Wal};
+
+use crate::digest::{leaf_bytes, StateDigester};
+use crate::error::FabricError;
+use crate::ledger::Block;
+use crate::merkle::MerkleProof;
+use crate::pool::WorkerPool;
+use crate::statedb::{EntryVisitor, Version, VersionedState};
+use crate::storage::{encode_wal_record, StateBackend, StorageConfig, WalRecord, STATE_WAL_FILE};
+use crate::validation::state_root_from_block;
+use crate::wire::{Reader, Writer};
+
+/// Subdirectory (inside the storage dir) holding the LSM tree.
+pub const LSM_SUBDIR: &str = "lsm";
+
+/// A versioned state database whose values live in an LSM tree on disk.
+///
+/// Pairs the [`Lsm`] engine (values, range scans) with a [`StateDigester`]
+/// directory (per-key version/liveness metadata and the incrementally
+/// maintained bucketed Merkle digest). Both see every put and delete, so
+/// `state_digest()` is bit-identical to [`crate::StateDb`] fed the same
+/// operations — the property the differential tests pin down.
+pub struct LsmState {
+    lsm: Lsm,
+    directory: StateDigester,
+}
+
+/// Read errors surface as panics: state reads sit under the MVCC commit
+/// path, which has no error channel — and a state database that cannot
+/// read its own disk cannot continue as a replica anyway.
+fn read_ok<T>(r: Result<T, StoreError>) -> T {
+    r.unwrap_or_else(|e| panic!("statedb read failed: {e}"))
+}
+
+impl LsmState {
+    /// Open (or create) the LSM under `config.dir`, returning the state
+    /// and the opaque metadata blob published with the last flush.
+    pub fn open(config: LsmConfig) -> Result<(LsmState, Option<Vec<u8>>), FabricError> {
+        let (lsm, meta) = Lsm::open(config)?;
+        // Rebuild the in-memory directory from every persisted record —
+        // tombstones included, so versions and the digest survive reopen.
+        let mut directory = StateDigester::new();
+        lsm.for_each(&mut |r| match &r.value {
+            Some(v) => directory.apply_put(&r.key, v, r.version),
+            None => directory.apply_delete(&r.key, r.version),
+        })?;
+        Ok((LsmState { lsm, directory }, meta))
+    }
+
+    /// The underlying engine (stats, compaction trace).
+    pub fn lsm(&self) -> &Lsm {
+        &self.lsm
+    }
+
+    /// Whether the memtable has crossed its flush threshold.
+    pub fn should_flush(&self) -> bool {
+        self.lsm.should_flush()
+    }
+
+    /// Flush the memtable and publish `meta` atomically (see
+    /// [`Lsm::flush`]).
+    pub fn flush(&mut self, meta: &[u8]) -> Result<(), FabricError> {
+        self.lsm.flush(meta)?;
+        Ok(())
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> LsmStats {
+        self.lsm.stats()
+    }
+
+    /// Resident bytes of the digest directory (the per-key metadata this
+    /// state keeps in memory on top of the engine's caches).
+    pub fn directory_resident_bytes(&self) -> usize {
+        self.directory.resident_bytes()
+    }
+
+    /// Install a crash-injection point (testing hook; see [`CrashPoint`]).
+    pub fn set_crash_point(&mut self, point: Option<CrashPoint>) {
+        self.lsm.set_crash_point(point);
+    }
+
+    /// Whether an injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.lsm.crashed()
+    }
+}
+
+impl VersionedState for LsmState {
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        // The directory answers liveness without touching disk, so misses
+        // and tombstones never pay an I/O.
+        match self.directory.liveness(key) {
+            Some(true) => read_ok(self.lsm.get(key)).and_then(|(v, _)| v),
+            _ => None,
+        }
+    }
+
+    fn version(&self, key: &str) -> Option<Version> {
+        self.directory.version(key)
+    }
+
+    fn lookup(&self, key: &str) -> (Option<Vec<u8>>, Option<Version>) {
+        match self.directory.liveness(key) {
+            Some(true) => match read_ok(self.lsm.get(key)) {
+                Some((value, version)) => (value, Some(version)),
+                None => (None, self.directory.version(key)),
+            },
+            Some(false) => (None, self.directory.version(key)),
+            None => (None, None),
+        }
+    }
+
+    fn put(&mut self, key: String, value: Vec<u8>, version: Version) {
+        self.directory.apply_put(&key, &value, version);
+        self.lsm.put(key, value, version);
+    }
+
+    fn delete(&mut self, key: &str, version: Version) {
+        self.directory.apply_delete(key, version);
+        self.lsm.delete(key.to_string(), version);
+    }
+
+    fn range_scan(&self, start: &str, end: &str) -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        read_ok(self.lsm.scan(start, Some(end), &mut |r| {
+            if let Some(v) = r.value {
+                out.push((r.key, v));
+            }
+            true
+        }));
+        out
+    }
+
+    fn prefix_scan(&self, prefix: &str) -> Vec<(String, Vec<u8>)> {
+        let mut out = Vec::new();
+        // Keys arrive in order, so the scan can stop at the first key
+        // past the prefix range instead of computing a successor bound.
+        read_ok(self.lsm.scan(prefix, None, &mut |r| {
+            if !r.key.starts_with(prefix) {
+                return false;
+            }
+            if let Some(v) = r.value {
+                out.push((r.key, v));
+            }
+            true
+        }));
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.directory.live_len()
+    }
+
+    fn size_bytes(&self) -> u64 {
+        self.directory.size_bytes()
+    }
+
+    fn state_digest(&self) -> Digest {
+        self.directory.digest()
+    }
+
+    fn for_each_entry(&self, f: &mut EntryVisitor<'_>) {
+        read_ok(self.lsm.for_each(&mut |r| {
+            f(&r.key, r.value.as_deref(), r.version);
+        }));
+    }
+
+    fn prove(&self, key: &str) -> Option<(MerkleProof, Vec<u8>)> {
+        let value = self.get(key)?;
+        let version = self.directory.version(key)?;
+        let proof = self.directory.prove(key)?;
+        Some((proof, leaf_bytes(key, Some(&value), version)))
+    }
+}
+
+/// Metadata published with every LSM flush: everything `open` needs to
+/// resume the chain without replaying history below the flushed height.
+struct LsmMeta {
+    /// Blocks at heights below this are fully absorbed by the LSM.
+    flushed_height: u64,
+    /// Rolling state root after block `flushed_height - 1`.
+    state_root: Digest,
+    /// Full-state Merkle digest at the flush point (verified on open
+    /// against the rebuilt directory).
+    state_digest: Digest,
+    /// Timestamp of the last absorbed block.
+    timestamp_us: u64,
+}
+
+fn encode_lsm_meta(meta: &LsmMeta) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64(meta.flushed_height)
+        .array(meta.state_root.as_bytes())
+        .array(meta.state_digest.as_bytes())
+        .u64(meta.timestamp_us);
+    w.into_bytes()
+}
+
+fn decode_lsm_meta(bytes: &[u8]) -> Result<LsmMeta, FabricError> {
+    let mut r = Reader::new(bytes);
+    let meta = LsmMeta {
+        flushed_height: r.u64()?,
+        state_root: Digest(r.array::<32>()?),
+        state_digest: Digest(r.array::<32>()?),
+        timestamp_us: r.u64()?,
+    };
+    r.finish()?;
+    Ok(meta)
+}
+
+/// Metric handles for the LSM backend, resolved once when telemetry
+/// attaches. The engine only exposes cumulative totals, so deltas are
+/// mirrored into counters after each commit/flush (same pattern as the
+/// durable backend's fsync mirror).
+struct StatedbMetrics {
+    flush_seconds: HistogramHandle,
+    flushes_total: Counter,
+    compactions_total: Counter,
+    table_bytes_total: Counter,
+    block_cache_hits_total: Counter,
+    block_cache_misses_total: Counter,
+    row_cache_hits_total: Counter,
+    row_cache_misses_total: Counter,
+    mirrored: LsmStats,
+}
+
+impl StatedbMetrics {
+    fn new(telemetry: &Telemetry, already: LsmStats) -> StatedbMetrics {
+        let r = telemetry.registry();
+        StatedbMetrics {
+            flush_seconds: r.histogram("lv_statedb_flush_seconds", &[]),
+            flushes_total: r.counter("lv_statedb_flushes_total", &[]),
+            compactions_total: r.counter("lv_statedb_compactions_total", &[]),
+            table_bytes_total: r.counter("lv_statedb_table_bytes_written_total", &[]),
+            block_cache_hits_total: r.counter("lv_statedb_block_cache_hits_total", &[]),
+            block_cache_misses_total: r.counter("lv_statedb_block_cache_misses_total", &[]),
+            row_cache_hits_total: r.counter("lv_statedb_row_cache_hits_total", &[]),
+            row_cache_misses_total: r.counter("lv_statedb_row_cache_misses_total", &[]),
+            mirrored: already,
+        }
+    }
+
+    fn sync(&mut self, now: LsmStats) {
+        let delta = |new: u64, old: u64| new.saturating_sub(old);
+        self.flushes_total
+            .add(delta(now.flushes, self.mirrored.flushes));
+        self.compactions_total
+            .add(delta(now.compactions, self.mirrored.compactions));
+        self.table_bytes_total.add(delta(
+            now.table_bytes_written,
+            self.mirrored.table_bytes_written,
+        ));
+        self.block_cache_hits_total
+            .add(delta(now.block_cache_hits, self.mirrored.block_cache_hits));
+        self.block_cache_misses_total.add(delta(
+            now.block_cache_misses,
+            self.mirrored.block_cache_misses,
+        ));
+        self.row_cache_hits_total
+            .add(delta(now.row_cache_hits, self.mirrored.row_cache_hits));
+        self.row_cache_misses_total
+            .add(delta(now.row_cache_misses, self.mirrored.row_cache_misses));
+        self.mirrored = now;
+    }
+}
+
+/// Disk-backed state backend: [`LsmState`] plus the WAL/block-file commit
+/// protocol of [`crate::storage::DurableBackend`]. See the module docs for
+/// the write path and recovery invariants.
+pub struct LsmBackend {
+    state: LsmState,
+    wal: Wal,
+    blocks: BlockFile,
+    config: StorageConfig,
+    /// Rolling state root after the last persisted block.
+    state_root: Digest,
+    /// Timestamp of the last persisted block.
+    last_timestamp_us: u64,
+    blocks_since_flush: u64,
+    metrics: Option<StatedbMetrics>,
+}
+
+impl std::fmt::Debug for LsmBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmBackend")
+            .field("dir", &self.config.dir)
+            .field("height", &self.blocks.height())
+            .field("wal_records", &self.wal.record_count())
+            .field("memtable_bytes", &self.state.lsm.memtable_bytes())
+            .finish()
+    }
+}
+
+impl LsmBackend {
+    /// The default LSM tuning for a storage directory: tables under
+    /// `<dir>/lsm`, fsync following the storage config's policy.
+    pub fn default_lsm_config(storage: &StorageConfig) -> LsmConfig {
+        LsmConfig::new(storage.dir.join(LSM_SUBDIR))
+            .sync(!matches!(storage.fsync, FsyncPolicy::Never))
+    }
+
+    /// Open (or create) the store under `config.dir` with default LSM
+    /// tuning and run crash recovery. Returns the backend plus every
+    /// recovered block in height order.
+    pub fn open(
+        config: StorageConfig,
+        pool: &WorkerPool,
+    ) -> Result<(LsmBackend, Vec<Block>), FabricError> {
+        let lsm_config = LsmBackend::default_lsm_config(&config);
+        LsmBackend::open_with_lsm_config(config, lsm_config, pool)
+    }
+
+    /// [`LsmBackend::open`] with explicit LSM tuning (memtable size, cache
+    /// budgets, compaction thresholds) — the knob benchmarks turn to force
+    /// the larger-than-memory regime.
+    pub fn open_with_lsm_config(
+        config: StorageConfig,
+        lsm_config: LsmConfig,
+        pool: &WorkerPool,
+    ) -> Result<(LsmBackend, Vec<Block>), FabricError> {
+        std::fs::create_dir_all(&config.dir)
+            .map_err(|e| FabricError::Storage(format!("create {:?}: {e}", config.dir)))?;
+
+        // 1. The LSM tree is the checkpoint: its manifest metadata says how
+        // far the flushed state reaches.
+        let (mut state, meta_bytes) = LsmState::open(lsm_config)?;
+        let meta = meta_bytes.as_deref().map(decode_lsm_meta).transpose()?;
+        let (flushed_height, mut root, mut last_timestamp_us) = match &meta {
+            Some(m) => {
+                if state.state_digest() != m.state_digest {
+                    return Err(FabricError::Storage(
+                        "lsm state digest mismatch at reopen".into(),
+                    ));
+                }
+                (m.flushed_height, m.state_root, m.timestamp_us)
+            }
+            None => (0, Digest::ZERO, 0),
+        };
+
+        // 2. Surviving blocks (torn tail already truncated by the store).
+        let mut blocks_file = BlockFile::open_at(&config.dir, config.index_every, 0)?;
+        let raw = blocks_file.read_all()?;
+        let decoded = pool.map_indexed(raw.len(), |i| Block::decode(&raw[i]));
+        let mut blocks = Vec::with_capacity(decoded.len());
+        for (i, block) in decoded.into_iter().enumerate() {
+            blocks.push(
+                block.map_err(|e| {
+                    FabricError::Storage(format!("block {i} failed to decode: {e}"))
+                })?,
+            );
+        }
+        let tip = blocks.len() as u64;
+        // The LSM flush happens only after the block file is synced to the
+        // same height, so a manifest ahead of the blocks is corruption.
+        if flushed_height > tip {
+            return Err(FabricError::Storage(format!(
+                "lsm flushed through height {flushed_height} but block file ends at {tip}"
+            )));
+        }
+
+        // 3. Surviving WAL records: drop records for blocks the block file
+        // lost, skip records already absorbed by the flushed LSM.
+        let (mut wal, raw_records) = Wal::open_segmented(
+            config.dir.join(STATE_WAL_FILE),
+            config.fsync,
+            config.wal_segment_bytes,
+        )
+        .map_err(StoreError::Io)?;
+        let mut keep = 0usize;
+        let mut by_block: HashMap<u64, Vec<WalRecord>> = HashMap::new();
+        for raw in &raw_records {
+            let record = WalRecord::decode(raw)?;
+            if record.block_num >= tip {
+                break;
+            }
+            keep += 1;
+            if record.block_num >= flushed_height {
+                by_block.entry(record.block_num).or_default().push(record);
+            }
+        }
+        if keep < raw_records.len() {
+            wal.truncate_records(keep).map_err(StoreError::Io)?;
+        }
+
+        // 4. Replay blocks beyond the flush point — WAL records where
+        // coverage is complete, the blocks' own write sets otherwise — and
+        // verify the rolling root against every replayed header.
+        for block in blocks.iter().skip(flushed_height as usize) {
+            let h = block.header.number;
+            let valid_count = block.validity.iter().filter(|v| **v).count();
+            match by_block.get(&h) {
+                Some(records) if records.len() == valid_count => {
+                    for record in records {
+                        record.apply(&mut state);
+                    }
+                }
+                _ => {
+                    for (i, tx) in block.transactions.iter().enumerate() {
+                        if !block.validity[i] {
+                            continue;
+                        }
+                        WalRecord::from_block_tx(h, i as u32, tx).apply(&mut state);
+                    }
+                }
+            }
+            root = state_root_from_block(&root, block);
+            if root != block.header.state_root {
+                return Err(FabricError::Storage(format!(
+                    "recovered state root mismatch at block {h}"
+                )));
+            }
+        }
+        if let Some(block) = blocks.last() {
+            last_timestamp_us = block.header.timestamp_us;
+        }
+
+        let backend = LsmBackend {
+            state,
+            wal,
+            blocks: blocks_file,
+            config,
+            state_root: root,
+            last_timestamp_us,
+            blocks_since_flush: tip - flushed_height,
+            metrics: None,
+        };
+        Ok((backend, blocks))
+    }
+
+    /// The storage configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// Persisted block height.
+    pub fn height(&self) -> u64 {
+        self.blocks.height()
+    }
+
+    /// Live WAL records (since the last LSM flush).
+    pub fn wal_records(&self) -> usize {
+        self.wal.record_count()
+    }
+
+    /// Rolling state root after the last persisted block.
+    pub fn state_root(&self) -> Digest {
+        self.state_root
+    }
+
+    /// Timestamp of the last persisted block.
+    pub fn last_timestamp_us(&self) -> u64 {
+        self.last_timestamp_us
+    }
+
+    /// The LSM-backed state (engine stats, crash-injection hooks).
+    pub fn lsm_state(&self) -> &LsmState {
+        &self.state
+    }
+
+    /// Mutable access to the LSM-backed state (testing hooks).
+    pub fn lsm_state_mut(&mut self) -> &mut LsmState {
+        &mut self.state
+    }
+
+    /// Engine statistics snapshot.
+    pub fn lsm_stats(&self) -> LsmStats {
+        self.state.stats()
+    }
+
+    /// Flush/compaction events since open (newest last, capped).
+    pub fn compaction_trace(&self) -> &[CompactionEvent] {
+        self.state.lsm.trace()
+    }
+
+    /// Flush the memtable into the LSM and reset the WAL now, regardless
+    /// of the configured interval.
+    pub fn flush_lsm_now(&mut self) -> Result<(), FabricError> {
+        let start = Instant::now();
+        // Durability order: everything the manifest will summarise must be
+        // on disk before the manifest commits it and the WAL resets.
+        self.wal.sync().map_err(StoreError::Io)?;
+        self.blocks.sync().map_err(StoreError::Io)?;
+        let meta = encode_lsm_meta(&LsmMeta {
+            flushed_height: self.blocks.height(),
+            state_root: self.state_root,
+            state_digest: self.state.state_digest(),
+            timestamp_us: self.last_timestamp_us,
+        });
+        self.state.flush(&meta)?;
+        if self.state.crashed() {
+            // Injected crash: the manifest never committed, so the WAL must
+            // keep its records for the reopen to replay.
+            return Ok(());
+        }
+        self.wal.reset().map_err(StoreError::Io)?;
+        self.blocks_since_flush = 0;
+        if let Some(m) = &mut self.metrics {
+            m.flush_seconds.observe_duration(start.elapsed());
+        }
+        self.mirror_metrics();
+        Ok(())
+    }
+
+    fn mirror_metrics(&mut self) {
+        if let Some(metrics) = &mut self.metrics {
+            metrics.sync(self.state.stats());
+        }
+    }
+}
+
+impl StateBackend for LsmBackend {
+    fn state(&self) -> &dyn VersionedState {
+        &self.state
+    }
+
+    fn state_mut(&mut self) -> &mut dyn VersionedState {
+        &mut self.state
+    }
+
+    fn commit_block(&mut self, block: &Block) -> Result<(), FabricError> {
+        // Same protocol as the durable backend: WAL first (durable
+        // intent), block second, so recovery can rebuild state for every
+        // block the block file retains.
+        let records: Vec<Vec<u8>> = block
+            .transactions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| block.validity[*i])
+            .map(|(i, tx)| encode_wal_record(block.header.number, i as u32, &tx.rwset.writes))
+            .collect();
+        let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        self.wal.append_batch(&refs).map_err(StoreError::Io)?;
+        self.blocks
+            .append(block.header.number, &block.encode(), false)?;
+        self.state_root = block.header.state_root;
+        self.last_timestamp_us = block.header.timestamp_us;
+        self.blocks_since_flush += 1;
+        // Flush on either trigger: the configured interval (bounds WAL
+        // replay work) or memtable pressure (bounds memory).
+        if self.blocks_since_flush >= self.config.checkpoint_every_blocks
+            || self.state.should_flush()
+        {
+            self.flush_lsm_now()?;
+        } else {
+            self.mirror_metrics();
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), FabricError> {
+        self.wal.sync().map_err(StoreError::Io)?;
+        self.blocks.sync().map_err(StoreError::Io)?;
+        Ok(())
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let already = self.state.stats();
+        self.metrics = Some(StatedbMetrics::new(telemetry, already));
+    }
+
+    fn as_lsm(&self) -> Option<&LsmBackend> {
+        Some(self)
+    }
+
+    fn as_lsm_mut(&mut self) -> Option<&mut LsmBackend> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statedb::StateDb;
+    use fabric_store::testdir::TestDir;
+
+    fn v(b: u64, t: u32) -> Version {
+        Version {
+            block_num: b,
+            tx_num: t,
+        }
+    }
+
+    fn tiny_lsm_config(dir: &std::path::Path) -> LsmConfig {
+        LsmConfig::new(dir.join(LSM_SUBDIR))
+            .memtable_bytes(2 * 1024)
+            .block_bytes(512)
+            .table_target_bytes(4 * 1024)
+            .l0_compact_tables(2)
+            .level_base_bytes(16 * 1024)
+            .sync(false)
+    }
+
+    fn open_state(dir: &std::path::Path) -> LsmState {
+        LsmState::open(tiny_lsm_config(dir)).unwrap().0
+    }
+
+    /// Drive the same operation stream into both backends and demand
+    /// bit-identical digests, versions, and scan results at every step.
+    #[test]
+    fn lsm_state_matches_in_memory_twin() {
+        let dir = TestDir::new("lsmstate-twin");
+        let mut lsm = open_state(dir.path());
+        let mut mem = StateDb::new();
+        for i in 0..200u32 {
+            let key = format!("k{:03}", i % 64);
+            if i % 7 == 3 {
+                lsm.delete(&key, v(1, i));
+                mem.delete(&key, v(1, i));
+            } else {
+                let value = vec![i as u8; (i % 13) as usize + 1];
+                lsm.put(key.clone(), value.clone(), v(1, i));
+                mem.put(key, value, v(1, i));
+            }
+        }
+        assert_eq!(lsm.state_digest(), mem.state_digest());
+        assert_eq!(lsm.len(), VersionedState::len(&mem));
+        assert_eq!(lsm.size_bytes(), VersionedState::size_bytes(&mem));
+        for i in 0..64 {
+            let key = format!("k{i:03}");
+            assert_eq!(lsm.get(&key), VersionedState::get(&mem, &key), "{key}");
+            assert_eq!(lsm.version(&key), mem.version(&key), "{key}");
+        }
+        assert_eq!(
+            lsm.range_scan("k010", "k020"),
+            VersionedState::range_scan(&mem, "k010", "k020")
+        );
+        assert_eq!(
+            lsm.prefix_scan("k0"),
+            VersionedState::prefix_scan(&mem, "k0")
+        );
+    }
+
+    #[test]
+    fn lsm_state_digest_survives_flush_and_reopen() {
+        let dir = TestDir::new("lsmstate-reopen");
+        let mut state = open_state(dir.path());
+        for i in 0..100u32 {
+            state.put(format!("key{i:04}"), vec![i as u8; 40], v(2, i));
+        }
+        state.delete("key0007", v(3, 0));
+        let digest = state.state_digest();
+        state.flush(b"meta").unwrap();
+        drop(state);
+
+        let (state, meta) = LsmState::open(tiny_lsm_config(dir.path())).unwrap();
+        assert_eq!(meta.as_deref(), Some(&b"meta"[..]));
+        assert_eq!(state.state_digest(), digest);
+        assert_eq!(state.version("key0007"), Some(v(3, 0)));
+        assert_eq!(state.get("key0007"), None);
+    }
+
+    #[test]
+    fn lsm_state_proofs_verify_against_digest() {
+        let dir = TestDir::new("lsmstate-proofs");
+        let mut state = open_state(dir.path());
+        for i in 0..40u32 {
+            state.put(format!("acct{i:02}"), vec![i as u8; 8], v(1, i));
+        }
+        let digest = state.state_digest();
+        for i in (0..40).step_by(7) {
+            let key = format!("acct{i:02}");
+            let (proof, leaf) = state.prove(&key).unwrap();
+            assert!(StateDb::verify_proof(&digest, &leaf, &proof), "{key}");
+        }
+        assert!(state.prove("missing").is_none());
+    }
+
+    #[test]
+    fn lsm_meta_round_trips() {
+        let meta = LsmMeta {
+            flushed_height: 42,
+            state_root: Digest([7; 32]),
+            state_digest: Digest([9; 32]),
+            timestamp_us: 123_456,
+        };
+        let decoded = decode_lsm_meta(&encode_lsm_meta(&meta)).unwrap();
+        assert_eq!(decoded.flushed_height, 42);
+        assert_eq!(decoded.state_root, Digest([7; 32]));
+        assert_eq!(decoded.state_digest, Digest([9; 32]));
+        assert_eq!(decoded.timestamp_us, 123_456);
+        assert!(decode_lsm_meta(&[1, 2, 3]).is_err());
+    }
+}

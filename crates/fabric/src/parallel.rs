@@ -47,7 +47,7 @@ use crate::endorsement::{response_signing_bytes, EndorsementPolicy};
 use crate::identity::{Msp, OrgId};
 use crate::ledger::Transaction;
 use crate::pool::WorkerPool;
-use crate::statedb::{StateDb, Version};
+use crate::statedb::{Version, VersionedState};
 use crate::validation::{apply_writes, mvcc_check, TxValidation};
 
 /// Tuning knobs for the commit-time validation pipeline.
@@ -231,7 +231,7 @@ impl BlockValidator {
     pub fn validate_and_commit(
         &self,
         transactions: &[Transaction],
-        state: &mut StateDb,
+        state: &mut dyn VersionedState,
         block_num: u64,
         msp: &Msp,
         policy_for: &(dyn Fn(&str) -> Option<EndorsementPolicy> + Sync),
@@ -304,7 +304,7 @@ impl BlockValidator {
     pub fn precheck_reads(
         &self,
         transactions: &[Transaction],
-        state: &StateDb,
+        state: &dyn VersionedState,
     ) -> Vec<Option<String>> {
         let stale = |tx: &Transaction| match mvcc_check(&tx.rwset, state) {
             TxValidation::MvccConflict { key } => Some(key),
@@ -577,6 +577,7 @@ mod tests {
     use crate::chaincode::{ReadEntry, RwSet, WriteEntry};
     use crate::identity::Identity;
     use crate::ledger::{Endorsement, TxId};
+    use crate::statedb::StateDb;
     use crate::validation::validate_and_commit_block;
     use ledgerview_crypto::rng::seeded;
     use ledgerview_crypto::sha256::sha256;

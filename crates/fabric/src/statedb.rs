@@ -2,40 +2,97 @@
 //!
 //! Each key stores its latest value together with the [`Version`] (block
 //! number, transaction number) that last wrote it; MVCC validation compares
-//! read-set versions against these. A deterministic Merkle digest over the
-//! whole state (sorted by key) is recomputed per block and stored in the
-//! block header, which is what lets view data live safely in contract state
-//! (§5.2 of the paper).
+//! read-set versions against these. A deterministic bucketed Merkle digest
+//! over the whole state (see [`crate::digest`]) is computable per block and
+//! stored in checkpoints, which is what lets view data live safely in
+//! contract state (§5.2 of the paper).
+//!
+//! Two implementations exist behind the [`VersionedState`] trait: this
+//! in-memory [`StateDb`] (a `BTreeMap`, the reference semantics) and the
+//! disk-backed LSM state in [`crate::storage::LsmBackend`]. Differential
+//! tests hold them bit-identical — values, versions, and digests.
+//!
+//! # Deletes are tombstones
+//!
+//! `delete` writes a *tombstone* carrying the deleting transaction's
+//! version rather than erasing the entry. Live reads skip tombstones, but
+//! [`StateDb::version`] still reports them, so a transaction that read
+//! key `k` before a delete-and-recreate loses its MVCC race exactly as it
+//! would after a plain overwrite — and the state digest commits to the
+//! deletion itself.
 
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
 use ledgerview_crypto::sha256::Digest;
 
-use crate::merkle::{self, MerkleProof, MerkleTree};
-use crate::wire::Writer;
+pub use ledgerview_statedb::Version;
 
-/// The MVCC version of a committed value: which transaction in which block
-/// last wrote it.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord, Default)]
-pub struct Version {
-    /// Block number of the writing transaction.
-    pub block_num: u64,
-    /// Index of the writing transaction within its block.
-    pub tx_num: u32,
-}
+use crate::digest::{self, bucket_of, leaf_bytes, DIGEST_BUCKETS};
+use crate::merkle::{self, leaf_hash, MerkleProof};
 
-impl Version {
-    /// Version (0, 0): used for pre-genesis bootstrap writes.
-    pub const GENESIS: Version = Version {
-        block_num: 0,
-        tx_num: 0,
-    };
+/// Visitor for [`VersionedState::for_each_entry`]: receives the key, the
+/// value (`None` for a tombstone), and the entry's MVCC version.
+pub type EntryVisitor<'a> = dyn FnMut(&str, Option<&[u8]>, Version) + 'a;
+
+/// The single interface both state backends implement. Methods return
+/// owned data (the trait must be object-safe and shareable across the
+/// parallel-validation read path, hence `Send + Sync` and no borrowed
+/// returns); the concrete [`StateDb`] additionally keeps its borrowing
+/// inherent methods for hot in-process callers.
+pub trait VersionedState: Send + Sync {
+    /// Latest live value for `key` (`None` for absent or tombstoned).
+    fn get(&self, key: &str) -> Option<Vec<u8>>;
+
+    /// Latest version for `key`, **including tombstones** — the MVCC
+    /// lookup. A deleted key reports the deleting version.
+    fn version(&self, key: &str) -> Option<Version>;
+
+    /// Value and version in one probe (what endorsement reads): the
+    /// version includes tombstones, the value is live-only.
+    fn lookup(&self, key: &str) -> (Option<Vec<u8>>, Option<Version>);
+
+    /// Write `value` under `key` at `version`.
+    fn put(&mut self, key: String, value: Vec<u8>, version: Version);
+
+    /// Delete `key` at `version`, recording a digest-visible tombstone
+    /// (also for never-written keys — both backends follow one rule).
+    fn delete(&mut self, key: &str, version: Version);
+
+    /// Live entries in `[start, end)`, in key order.
+    fn range_scan(&self, start: &str, end: &str) -> Vec<(String, Vec<u8>)>;
+
+    /// Live entries with the given key prefix, in key order.
+    fn prefix_scan(&self, prefix: &str) -> Vec<(String, Vec<u8>)>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// Whether no live keys exist (tombstones may still).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Σ (key + value + 12) over all entries, tombstones included.
+    fn size_bytes(&self) -> u64;
+
+    /// The deterministic bucketed state digest (see [`crate::digest`]).
+    fn state_digest(&self) -> Digest;
+
+    /// Visit every entry — live and tombstoned — in ascending key order
+    /// (what snapshots serialize).
+    fn for_each_entry(&self, f: &mut EntryVisitor<'_>);
+
+    /// Inclusion proof that `key` holds its current value under the
+    /// current digest; `None` for absent or tombstoned keys. Returns the
+    /// proof and the canonical leaf encoding.
+    fn prove(&self, key: &str) -> Option<(MerkleProof, Vec<u8>)>;
 }
 
 #[derive(Clone, Debug)]
 struct Entry {
-    value: Vec<u8>,
+    /// `None` = tombstone.
+    value: Option<Vec<u8>>,
     version: Version,
 }
 
@@ -43,6 +100,7 @@ struct Entry {
 #[derive(Clone, Debug, Default)]
 pub struct StateDb {
     entries: BTreeMap<String, Entry>,
+    live: usize,
 }
 
 impl StateDb {
@@ -51,115 +109,198 @@ impl StateDb {
         StateDb::default()
     }
 
-    /// Latest value for `key`, if present.
-    pub fn get(&self, key: &str) -> Option<&[u8]> {
-        self.entries.get(key).map(|e| e.value.as_slice())
+    /// Deep-copy any backend's contents — tombstones included — into an
+    /// in-memory database. The copy's digest is bit-identical to the
+    /// source's (both digest the same entries), which is what makes this
+    /// useful as a reference twin in differential tests.
+    pub fn materialize(state: &dyn VersionedState) -> StateDb {
+        let mut out = StateDb::new();
+        state.for_each_entry(&mut |key, value, version| match value {
+            Some(v) => out.put(key.to_string(), v.to_vec(), version),
+            None => out.delete(key, version),
+        });
+        out
     }
 
-    /// Latest version for `key`, if present.
+    /// Latest live value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&[u8]> {
+        self.entries.get(key).and_then(|e| e.value.as_deref())
+    }
+
+    /// Latest version for `key` — tombstones included (MVCC semantics;
+    /// see the module docs).
     pub fn version(&self, key: &str) -> Option<Version> {
         self.entries.get(key).map(|e| e.version)
     }
 
-    /// Value and version together (what endorsement reads).
+    /// Live value and version together (what endorsement reads).
     pub fn get_with_version(&self, key: &str) -> Option<(&[u8], Version)> {
         self.entries
             .get(key)
-            .map(|e| (e.value.as_slice(), e.version))
+            .and_then(|e| e.value.as_deref().map(|v| (v, e.version)))
     }
 
     /// Write `value` under `key` at `version`.
     pub fn put(&mut self, key: String, value: Vec<u8>, version: Version) {
-        self.entries.insert(key, Entry { value, version });
+        let old = self.entries.insert(
+            key,
+            Entry {
+                value: Some(value),
+                version,
+            },
+        );
+        if !matches!(old, Some(Entry { value: Some(_), .. })) {
+            self.live += 1;
+        }
     }
 
-    /// Delete `key` (Fabric models deletes as writes of a tombstone; we
-    /// remove the entry, which also changes the state digest).
-    pub fn delete(&mut self, key: &str) {
-        self.entries.remove(key);
+    /// Delete `key` at `version`: writes a tombstone that future MVCC
+    /// reads and the state digest both observe.
+    pub fn delete(&mut self, key: &str, version: Version) {
+        let old = self.entries.insert(
+            key.to_string(),
+            Entry {
+                value: None,
+                version,
+            },
+        );
+        if matches!(old, Some(Entry { value: Some(_), .. })) {
+            self.live -= 1;
+        }
     }
 
     /// Number of live keys.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
-    /// Whether the store is empty.
+    /// Whether the store has no live keys.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
-    /// Range scan over `[start, end)` in key order (like Fabric's
-    /// `GetStateByRange`).
+    /// Range scan over live keys in `[start, end)` in key order (like
+    /// Fabric's `GetStateByRange`).
     pub fn range(&self, start: &str, end: &str) -> impl Iterator<Item = (&str, &[u8])> {
         self.entries
             .range::<str, _>((Bound::Included(start), Bound::Excluded(end)))
-            .map(|(k, e)| (k.as_str(), e.value.as_slice()))
+            .filter_map(|(k, e)| e.value.as_deref().map(|v| (k.as_str(), v)))
     }
 
-    /// All keys with the given prefix, in key order.
+    /// All live keys with the given prefix, in key order.
     pub fn scan_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, &'a [u8])> {
         self.entries
             .range::<str, _>((Bound::Included(prefix), Bound::Unbounded))
             .take_while(move |(k, _)| k.starts_with(prefix))
-            .map(|(k, e)| (k.as_str(), e.value.as_slice()))
+            .filter_map(|(k, e)| e.value.as_deref().map(|v| (k.as_str(), v)))
     }
 
-    /// Every entry as `(key, value, version)` in key order — what the
-    /// storage layer serializes into a snapshot checkpoint.
-    pub fn iter_entries(&self) -> impl Iterator<Item = (&str, &[u8], Version)> {
+    /// Every entry as `(key, value-or-tombstone, version)` in key order —
+    /// what the storage layer serializes into a snapshot checkpoint.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&str, Option<&[u8]>, Version)> {
         self.entries
             .iter()
-            .map(|(k, e)| (k.as_str(), e.value.as_slice(), e.version))
+            .map(|(k, e)| (k.as_str(), e.value.as_deref(), e.version))
     }
 
-    /// Total bytes of keys + values (storage accounting for Fig 9).
+    /// Total bytes of keys + values + version metadata, tombstones
+    /// included (storage accounting for Fig 9).
     pub fn size_bytes(&self) -> u64 {
         self.entries
             .iter()
-            .map(|(k, e)| (k.len() + e.value.len() + 12) as u64)
+            .map(|(k, e)| (k.len() + e.value.as_deref().map_or(0, <[u8]>::len) + 12) as u64)
             .sum()
     }
 
-    fn leaf_bytes(key: &str, e: &Entry) -> Vec<u8> {
-        let mut w = Writer::new();
-        w.string(key)
-            .bytes(&e.value)
-            .u64(e.version.block_num)
-            .u32(e.version.tx_num);
-        w.into_bytes()
-    }
-
-    /// Deterministic Merkle digest over the full state, sorted by key.
-    ///
-    /// Every peer that applied the same blocks computes the same digest;
-    /// this is the "state root" in block headers.
+    /// Deterministic bucketed Merkle digest over the full state —
+    /// bit-identical to what the LSM backend maintains incrementally.
     pub fn state_digest(&self) -> Digest {
-        let leaves: Vec<Vec<u8>> = self
-            .entries
-            .iter()
-            .map(|(k, e)| Self::leaf_bytes(k, e))
-            .collect();
-        MerkleTree::build(&leaves).root()
+        digest::digest_of_entries(self.iter_entries())
     }
 
     /// Produce an inclusion proof that `key` holds its current value under
     /// the current state digest. Returns the proof and the leaf encoding.
+    /// Tombstoned and absent keys have no proof.
     pub fn prove(&self, key: &str) -> Option<(MerkleProof, Vec<u8>)> {
-        let index = self.entries.keys().position(|k| k == key)?;
-        let leaves: Vec<Vec<u8>> = self
-            .entries
-            .iter()
-            .map(|(k, e)| Self::leaf_bytes(k, e))
-            .collect();
-        let tree = MerkleTree::build(&leaves);
-        Some((tree.prove(index), leaves[index].clone()))
+        let entry = self.entries.get(key)?;
+        let value = entry.value.as_deref()?;
+        let mut bucket_leaves: Vec<Vec<Digest>> = vec![Vec::new(); DIGEST_BUCKETS];
+        let target_bucket = bucket_of(key);
+        let mut idx = None;
+        for (k, e) in &self.entries {
+            let b = bucket_of(k);
+            if b == target_bucket && k == key {
+                idx = Some(bucket_leaves[b].len());
+            }
+            bucket_leaves[b].push(leaf_hash(&leaf_bytes(k, e.value.as_deref(), e.version)));
+        }
+        let proof = digest::prove_in_buckets(&bucket_leaves, target_bucket, idx?);
+        Some((proof, leaf_bytes(key, Some(value), entry.version)))
     }
 
     /// Verify an inclusion proof produced by [`StateDb::prove`] against a
     /// state digest.
     pub fn verify_proof(digest: &Digest, leaf: &[u8], proof: &MerkleProof) -> bool {
         merkle::verify_inclusion(digest, leaf, proof)
+    }
+}
+
+impl VersionedState for StateDb {
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        StateDb::get(self, key).map(<[u8]>::to_vec)
+    }
+
+    fn version(&self, key: &str) -> Option<Version> {
+        StateDb::version(self, key)
+    }
+
+    fn lookup(&self, key: &str) -> (Option<Vec<u8>>, Option<Version>) {
+        match self.entries.get(key) {
+            None => (None, None),
+            Some(e) => (e.value.clone(), Some(e.version)),
+        }
+    }
+
+    fn put(&mut self, key: String, value: Vec<u8>, version: Version) {
+        StateDb::put(self, key, value, version);
+    }
+
+    fn delete(&mut self, key: &str, version: Version) {
+        StateDb::delete(self, key, version);
+    }
+
+    fn range_scan(&self, start: &str, end: &str) -> Vec<(String, Vec<u8>)> {
+        self.range(start, end)
+            .map(|(k, v)| (k.to_string(), v.to_vec()))
+            .collect()
+    }
+
+    fn prefix_scan(&self, prefix: &str) -> Vec<(String, Vec<u8>)> {
+        self.scan_prefix(prefix)
+            .map(|(k, v)| (k.to_string(), v.to_vec()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        StateDb::len(self)
+    }
+
+    fn size_bytes(&self) -> u64 {
+        StateDb::size_bytes(self)
+    }
+
+    fn state_digest(&self) -> Digest {
+        StateDb::state_digest(self)
+    }
+
+    fn for_each_entry(&self, f: &mut EntryVisitor<'_>) {
+        for (k, v, ver) in self.iter_entries() {
+            f(k, v, ver);
+        }
+    }
+
+    fn prove(&self, key: &str) -> Option<(MerkleProof, Vec<u8>)> {
+        StateDb::prove(self, key)
     }
 }
 
@@ -189,15 +330,43 @@ mod tests {
     }
 
     #[test]
-    fn delete_removes_key_and_changes_digest() {
+    fn delete_leaves_versioned_tombstone() {
         let mut db = StateDb::new();
         db.put("a".into(), b"1".to_vec(), v(1, 0));
         db.put("b".into(), b"2".to_vec(), v(1, 1));
         let before = db.state_digest();
-        db.delete("a");
+        db.delete("a", v(2, 0));
+        // Live view: gone.
         assert_eq!(db.get("a"), None);
-        assert_ne!(db.state_digest(), before);
+        assert_eq!(db.get_with_version("a"), None);
         assert_eq!(db.len(), 1);
+        // MVCC view: the deleting version is still visible.
+        assert_eq!(db.version("a"), Some(v(2, 0)));
+        // Digest view: the tombstone changed the digest.
+        assert_ne!(db.state_digest(), before);
+    }
+
+    #[test]
+    fn delete_recreate_changes_version_not_amnesia() {
+        // The ABA case: read at v1, delete at v2, recreate at v3. The
+        // version chain must never revert to "absent".
+        let mut db = StateDb::new();
+        db.put("k".into(), b"x".to_vec(), v(1, 0));
+        db.delete("k", v(2, 0));
+        assert_eq!(db.version("k"), Some(v(2, 0)));
+        db.put("k".into(), b"y".to_vec(), v(3, 0));
+        assert_eq!(db.version("k"), Some(v(3, 0)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn delete_absent_key_still_tombstones() {
+        let mut db = StateDb::new();
+        let empty = db.state_digest();
+        db.delete("ghost", v(1, 0));
+        assert_eq!(db.len(), 0);
+        assert_eq!(db.version("ghost"), Some(v(1, 0)));
+        assert_ne!(db.state_digest(), empty);
     }
 
     #[test]
@@ -206,8 +375,9 @@ mod tests {
         for key in ["item~1", "item~2", "item~3", "view~a"] {
             db.put(key.into(), b"x".to_vec(), v(1, 0));
         }
+        db.delete("item~2", v(2, 0));
         let keys: Vec<&str> = db.range("item~", "item~~").map(|(k, _)| k).collect();
-        assert_eq!(keys, vec!["item~1", "item~2", "item~3"]);
+        assert_eq!(keys, vec!["item~1", "item~3"], "tombstones are not live");
     }
 
     #[test]
@@ -258,6 +428,7 @@ mod tests {
         for i in 0..10 {
             db.put(format!("key-{i}"), format!("val-{i}").into_bytes(), v(1, i));
         }
+        db.delete("key-9", v(2, 0));
         let digest = db.state_digest();
         let (proof, leaf) = db.prove("key-4").unwrap();
         assert!(StateDb::verify_proof(&digest, &leaf, &proof));
@@ -265,8 +436,9 @@ mod tests {
         let mut bad = leaf.clone();
         bad[10] ^= 1;
         assert!(!StateDb::verify_proof(&digest, &bad, &proof));
-        // Missing key has no proof.
+        // Missing / tombstoned keys have no proof.
         assert!(db.prove("absent").is_none());
+        assert!(db.prove("key-9").is_none());
     }
 
     #[test]
@@ -276,5 +448,37 @@ mod tests {
         db.put("key".into(), vec![0u8; 100], v(1, 0));
         let s1 = db.size_bytes();
         assert!(s1 > s0 + 100);
+        // A tombstone shrinks but does not erase the accounting.
+        db.delete("key", v(2, 0));
+        let s2 = db.size_bytes();
+        assert!(s2 > 0 && s2 < s1);
+    }
+
+    #[test]
+    fn trait_object_view_matches_concrete() {
+        let mut db = StateDb::new();
+        db.put("a".into(), b"1".to_vec(), v(1, 0));
+        db.delete("a", v(2, 0));
+        db.put("b".into(), b"2".to_vec(), v(2, 1));
+        let dyn_db: &dyn VersionedState = &db;
+        assert_eq!(dyn_db.get("a"), None);
+        assert_eq!(dyn_db.get("b"), Some(b"2".to_vec()));
+        assert_eq!(dyn_db.version("a"), Some(v(2, 0)));
+        assert_eq!(dyn_db.lookup("a"), (None, Some(v(2, 0))));
+        assert_eq!(dyn_db.lookup("b"), (Some(b"2".to_vec()), Some(v(2, 1))));
+        assert_eq!(dyn_db.lookup("c"), (None, None));
+        assert_eq!(dyn_db.len(), 1);
+        assert_eq!(dyn_db.state_digest(), db.state_digest());
+        let mut entries = Vec::new();
+        dyn_db.for_each_entry(&mut |k, val, ver| {
+            entries.push((k.to_string(), val.map(<[u8]>::to_vec), ver));
+        });
+        assert_eq!(
+            entries,
+            vec![
+                ("a".to_string(), None, v(2, 0)),
+                ("b".to_string(), Some(b"2".to_vec()), v(2, 1)),
+            ]
+        );
     }
 }

@@ -42,7 +42,7 @@ pub use fabric_store::{FsyncPolicy, StorageConfig};
 use crate::error::FabricError;
 use crate::ledger::Block;
 use crate::pool::WorkerPool;
-use crate::statedb::{StateDb, Version};
+use crate::statedb::{StateDb, Version, VersionedState};
 use crate::validation::state_root_from_block;
 use crate::wire::{Reader, Writer};
 
@@ -63,13 +63,16 @@ impl From<StoreError> for FabricError {
     }
 }
 
-/// Where committed state lives. The chain mutates the in-memory [`StateDb`]
-/// during validation, then hands each finished block to `commit_block`.
+/// Where committed state lives. The chain mutates the backend's
+/// [`VersionedState`] during validation, then hands each finished block to
+/// `commit_block`. State is exposed as a trait object so callers are
+/// agnostic to whether it lives in memory ([`StateDb`]) or on disk (the
+/// LSM backend).
 pub trait StateBackend {
     /// The committed state database.
-    fn state(&self) -> &StateDb;
+    fn state(&self) -> &dyn VersionedState;
     /// Mutable access for the commit path (validators apply writes here).
-    fn state_mut(&mut self) -> &mut StateDb;
+    fn state_mut(&mut self) -> &mut dyn VersionedState;
     /// Persist a block that was just validated and applied to
     /// [`StateBackend::state_mut`]. In-memory backends no-op.
     fn commit_block(&mut self, block: &Block) -> Result<(), FabricError>;
@@ -80,6 +83,15 @@ pub trait StateBackend {
     /// Attach telemetry (WAL/block append latencies, checkpoint durations,
     /// fsync counts). Backends without persistence costs ignore it.
     fn set_telemetry(&mut self, _telemetry: &Telemetry) {}
+    /// Downcast to the LSM backend (engine statistics and crash-injection
+    /// hooks). `None` for every other backend.
+    fn as_lsm(&self) -> Option<&crate::lsm::LsmBackend> {
+        None
+    }
+    /// Mutable variant of [`StateBackend::as_lsm`].
+    fn as_lsm_mut(&mut self) -> Option<&mut crate::lsm::LsmBackend> {
+        None
+    }
 }
 
 /// The default backend: state lives (only) in memory, exactly as before
@@ -97,11 +109,11 @@ impl InMemoryBackend {
 }
 
 impl StateBackend for InMemoryBackend {
-    fn state(&self) -> &StateDb {
+    fn state(&self) -> &dyn VersionedState {
         &self.state
     }
 
-    fn state_mut(&mut self) -> &mut StateDb {
+    fn state_mut(&mut self) -> &mut dyn VersionedState {
         &mut self.state
     }
 
@@ -119,16 +131,18 @@ impl StateBackend for InMemoryBackend {
 }
 
 /// One decoded WAL record: the writes one valid transaction applied.
-struct WalRecord {
-    block_num: u64,
-    tx_num: u32,
+/// Shared with the LSM backend ([`crate::lsm`]), whose WAL speaks the same
+/// format.
+pub(crate) struct WalRecord {
+    pub(crate) block_num: u64,
+    pub(crate) tx_num: u32,
     /// `(key, Some(value))` puts and `(key, None)` deletes, in apply order.
-    writes: Vec<(String, Option<Vec<u8>>)>,
+    pub(crate) writes: Vec<(String, Option<Vec<u8>>)>,
 }
 
 /// Encode one WAL record straight from a transaction's write set (the hot
 /// commit path: no intermediate clones). [`WalRecord::decode`] inverts it.
-fn encode_wal_record(
+pub(crate) fn encode_wal_record(
     block_num: u64,
     tx_num: u32,
     writes: &[crate::chaincode::WriteEntry],
@@ -170,7 +184,7 @@ impl WalRecord {
         w.into_bytes()
     }
 
-    fn decode(bytes: &[u8]) -> Result<WalRecord, FabricError> {
+    pub(crate) fn decode(bytes: &[u8]) -> Result<WalRecord, FabricError> {
         let mut r = Reader::new(bytes);
         let block_num = r.u64()?;
         let tx_num = r.u32()?;
@@ -193,7 +207,7 @@ impl WalRecord {
         })
     }
 
-    fn apply(&self, state: &mut StateDb) {
+    pub(crate) fn apply(&self, state: &mut dyn VersionedState) {
         let version = Version {
             block_num: self.block_num,
             tx_num: self.tx_num,
@@ -201,23 +215,55 @@ impl WalRecord {
         for (key, value) in &self.writes {
             match value {
                 Some(v) => state.put(key.clone(), v.clone(), version),
-                None => state.delete(key),
+                None => state.delete(key, version),
             }
+        }
+    }
+
+    /// Re-derive the record a lost WAL entry would have held from the
+    /// block's own write set (transactions × validity flags).
+    pub(crate) fn from_block_tx(
+        block_num: u64,
+        tx_num: u32,
+        tx: &crate::ledger::Transaction,
+    ) -> WalRecord {
+        WalRecord {
+            block_num,
+            tx_num,
+            writes: tx
+                .rwset
+                .writes
+                .iter()
+                .map(|w| (w.key.clone(), w.value.clone()))
+                .collect(),
         }
     }
 }
 
-/// Serialize the full state DB into a checkpoint payload.
-fn encode_state(state: &StateDb) -> Vec<u8> {
+/// Serialize the full state into a checkpoint payload. Entries are tagged
+/// (1 = live value, 0 = tombstone) so deletions survive the round trip —
+/// they carry MVCC versions and are part of the state digest.
+fn encode_state(state: &dyn VersionedState) -> Vec<u8> {
+    let mut entries = 0u32;
+    let mut body = Writer::new();
+    state.for_each_entry(&mut |key, value, version| {
+        entries += 1;
+        body.string(key);
+        match value {
+            Some(v) => {
+                body.u8(1).bytes(v);
+            }
+            None => {
+                body.u8(0);
+            }
+        }
+        body.u64(version.block_num).u32(version.tx_num);
+    });
     let mut w = Writer::new();
-    w.u32(state.len() as u32);
-    for (key, value, version) in state.iter_entries() {
-        w.string(key)
-            .bytes(value)
-            .u64(version.block_num)
-            .u32(version.tx_num);
-    }
-    w.into_bytes()
+    w.u32(entries);
+    let mut out = w.into_bytes();
+    out.extend_from_slice(&body.into_bytes());
+    out
 }
 
 fn decode_state(bytes: &[u8]) -> Result<StateDb, FabricError> {
@@ -226,12 +272,20 @@ fn decode_state(bytes: &[u8]) -> Result<StateDb, FabricError> {
     let mut state = StateDb::new();
     for _ in 0..n {
         let key = r.string()?;
-        let value = r.bytes()?;
+        let tag = r.u8()?;
+        let value = match tag {
+            1 => Some(r.bytes()?),
+            0 => None,
+            t => return Err(FabricError::Malformed(format!("bad state entry tag {t}"))),
+        };
         let version = Version {
             block_num: r.u64()?,
             tx_num: r.u32()?,
         };
-        state.put(key, value, version);
+        match value {
+            Some(v) => state.put(key, v, version),
+            None => state.delete(&key, version),
+        }
     }
     r.finish()?;
     Ok(state)
@@ -305,7 +359,7 @@ impl ChainSnapshot {
         prev_block_hash: Digest,
         state_root: Digest,
         timestamp_us: u64,
-        state: &StateDb,
+        state: &dyn VersionedState,
     ) -> ChainSnapshot {
         ChainSnapshot {
             height,
@@ -556,17 +610,7 @@ impl DurableBackend {
                         if !block.validity[i] {
                             continue;
                         }
-                        WalRecord {
-                            block_num: h,
-                            tx_num: i as u32,
-                            writes: tx
-                                .rwset
-                                .writes
-                                .iter()
-                                .map(|w| (w.key.clone(), w.value.clone()))
-                                .collect(),
-                        }
-                        .apply(&mut state);
+                        WalRecord::from_block_tx(h, i as u32, tx).apply(&mut state);
                     }
                 }
             }
@@ -725,11 +769,11 @@ impl DurableBackend {
 }
 
 impl StateBackend for DurableBackend {
-    fn state(&self) -> &StateDb {
+    fn state(&self) -> &dyn VersionedState {
         &self.state
     }
 
-    fn state_mut(&mut self) -> &mut StateDb {
+    fn state_mut(&mut self) -> &mut dyn VersionedState {
         &mut self.state
     }
 

@@ -10,7 +10,7 @@ use ledgerview_crypto::sha256::{sha256_concat, Digest};
 use crate::chaincode::RwSet;
 use crate::ledger::Transaction;
 use crate::merkle::MerkleTree;
-use crate::statedb::{StateDb, Version};
+use crate::statedb::{Version, VersionedState};
 use crate::wire::Writer;
 
 /// The per-transaction outcome of validating a block.
@@ -39,7 +39,12 @@ impl TxValidation {
 }
 
 /// Check a transaction's read set against the current state.
-pub(crate) fn mvcc_check(rwset: &RwSet, state: &StateDb) -> TxValidation {
+///
+/// `version` includes tombstones, so a read endorsed against a live value
+/// conflicts after a delete, and a read endorsed against "absent"
+/// conflicts after a delete of a never-seen key — symmetric on both
+/// backends.
+pub(crate) fn mvcc_check(rwset: &RwSet, state: &dyn VersionedState) -> TxValidation {
     for read in &rwset.reads {
         let current = state.version(&read.key);
         if current != read.version {
@@ -51,12 +56,13 @@ pub(crate) fn mvcc_check(rwset: &RwSet, state: &StateDb) -> TxValidation {
     TxValidation::Valid
 }
 
-/// Apply a transaction's write set at the given version.
-pub(crate) fn apply_writes(rwset: &RwSet, state: &mut StateDb, version: Version) {
+/// Apply a transaction's write set at the given version. Deletes write
+/// versioned tombstones (digest-visible on every backend).
+pub(crate) fn apply_writes(rwset: &RwSet, state: &mut dyn VersionedState, version: Version) {
     for write in &rwset.writes {
         match &write.value {
             Some(v) => state.put(write.key.clone(), v.clone(), version),
-            None => state.delete(&write.key),
+            None => state.delete(&write.key, version),
         }
     }
 }
@@ -67,7 +73,7 @@ pub(crate) fn apply_writes(rwset: &RwSet, state: &mut StateDb, version: Version)
 /// applied in order with versions `(block_num, tx_index)`.
 pub fn validate_and_commit_block(
     transactions: &[Transaction],
-    state: &mut StateDb,
+    state: &mut dyn VersionedState,
     block_num: u64,
 ) -> Vec<TxValidation> {
     let mut outcomes = Vec::with_capacity(transactions.len());
@@ -147,6 +153,7 @@ mod tests {
     use crate::chaincode::{ReadEntry, WriteEntry};
     use crate::identity::Msp;
     use crate::ledger::TxId;
+    use crate::statedb::StateDb;
     use ledgerview_crypto::rng::seeded;
     use ledgerview_crypto::sha256::sha256;
 

@@ -1170,7 +1170,7 @@ mod tests {
             .chain()
             .state()
             .get("hot")
-            .map(|v| String::from_utf8_lossy(v).to_string());
+            .map(|v| String::from_utf8_lossy(&v).to_string());
         assert_eq!(total.as_deref(), Some("4"), "all increments applied");
     }
 
@@ -1305,7 +1305,7 @@ mod tests {
             .chain()
             .state()
             .get("hot")
-            .map(|v| String::from_utf8_lossy(v).to_string());
+            .map(|v| String::from_utf8_lossy(&v).to_string());
         assert_eq!(total.as_deref(), Some("4"), "all increments applied");
     }
 
@@ -1362,7 +1362,7 @@ mod tests {
             .chain()
             .state()
             .get("k")
-            .map(|v| String::from_utf8_lossy(v).to_string());
+            .map(|v| String::from_utf8_lossy(&v).to_string());
         assert_eq!(total.as_deref(), Some("2"), "both increments applied");
     }
 

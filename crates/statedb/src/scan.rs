@@ -1,0 +1,189 @@
+//! K-way merge across the memtable and every table run.
+//!
+//! Sources are ordered newest-first (memtable, then L0 newest→oldest,
+//! then L1, L2, …). The merge emits exactly one record per key — the one
+//! from the newest source that holds it — in ascending key order.
+//! Tombstones are emitted like any other record; callers that only want
+//! live keys filter them out, while the digest and compaction paths need
+//! to see them.
+//!
+//! With at most ~a dozen sources (one memtable, a handful of L0 tables,
+//! one per deeper level) a linear scan for the minimum key beats a heap
+//! on constant factors and stays trivially deterministic.
+
+use fabric_store::StoreError;
+
+use crate::sstable::Record;
+
+/// A merge source: an iterator of records in ascending key order.
+pub type Source<'a> = Box<dyn Iterator<Item = Result<Record, StoreError>> + 'a>;
+
+/// Merges newest-first sources into a single deduplicated key-ordered
+/// stream.
+pub struct MergeScan<'a> {
+    /// `heads[i]` is the buffered next record of source `i`.
+    heads: Vec<Option<Record>>,
+    sources: Vec<Source<'a>>,
+    /// An error hit while advancing past an already-won record; emitted
+    /// on the *next* call so no record is lost ahead of the failure.
+    pending_err: Option<StoreError>,
+    failed: bool,
+}
+
+impl<'a> MergeScan<'a> {
+    /// Build a merge over `sources`, which must be ordered newest first.
+    pub fn new(sources: Vec<Source<'a>>) -> Result<MergeScan<'a>, StoreError> {
+        let mut scan = MergeScan {
+            heads: Vec::with_capacity(sources.len()),
+            sources,
+            pending_err: None,
+            failed: false,
+        };
+        for i in 0..scan.sources.len() {
+            scan.heads.push(None);
+            scan.advance(i)?;
+        }
+        Ok(scan)
+    }
+
+    fn advance(&mut self, i: usize) -> Result<(), StoreError> {
+        self.heads[i] = match self.sources[i].next() {
+            None => None,
+            Some(Ok(r)) => Some(r),
+            Some(Err(e)) => {
+                self.failed = true;
+                return Err(e);
+            }
+        };
+        Ok(())
+    }
+}
+
+impl Iterator for MergeScan<'_> {
+    type Item = Result<Record, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(e) = self.pending_err.take() {
+            return Some(Err(e));
+        }
+        if self.failed {
+            return None;
+        }
+        // Newest source holding the smallest key wins; every other source
+        // buffering that same key is advanced past it (shadowed records).
+        let mut winner: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some(r) = head {
+                match winner {
+                    None => winner = Some(i),
+                    Some(w) if r.key < self.heads[w].as_ref().expect("winner buffered").key => {
+                        winner = Some(i)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let winner = winner?;
+        let record = self.heads[winner].take().expect("winner buffered");
+        if let Err(e) = self.advance(winner) {
+            self.pending_err = Some(e);
+            return Some(Ok(record));
+        }
+        for i in 0..self.heads.len() {
+            while self.heads[i].as_ref().is_some_and(|r| r.key == record.key) {
+                if let Err(e) = self.advance(i) {
+                    self.pending_err = Some(e);
+                    return Some(Ok(record));
+                }
+            }
+        }
+        Some(Ok(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Version;
+
+    fn rec(key: &str, val: u8) -> Record {
+        Record {
+            key: key.to_string(),
+            value: Some(vec![val]),
+            version: Version {
+                block_num: val as u64,
+                tx_num: 0,
+            },
+        }
+    }
+
+    fn src(records: Vec<Record>) -> Source<'static> {
+        Box::new(records.into_iter().map(Ok))
+    }
+
+    #[test]
+    fn merges_in_key_order() {
+        let merged: Vec<Record> = MergeScan::new(vec![
+            src(vec![rec("b", 1), rec("d", 1)]),
+            src(vec![rec("a", 2), rec("c", 2)]),
+        ])
+        .unwrap()
+        .map(Result::unwrap)
+        .collect();
+        let keys: Vec<&str> = merged.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn newest_source_wins_ties() {
+        let merged: Vec<Record> = MergeScan::new(vec![
+            src(vec![rec("a", 1), rec("b", 1)]),
+            src(vec![rec("a", 2), rec("c", 2)]),
+            src(vec![rec("a", 3), rec("b", 3), rec("c", 3)]),
+        ])
+        .unwrap()
+        .map(Result::unwrap)
+        .collect();
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged[0], rec("a", 1)); // source 0 is newest
+        assert_eq!(merged[1], rec("b", 1));
+        assert_eq!(merged[2], rec("c", 2));
+    }
+
+    #[test]
+    fn tombstones_flow_through() {
+        let tomb = Record {
+            key: "a".to_string(),
+            value: None,
+            version: Version {
+                block_num: 9,
+                tx_num: 0,
+            },
+        };
+        let merged: Vec<Record> =
+            MergeScan::new(vec![src(vec![tomb.clone()]), src(vec![rec("a", 1)])])
+                .unwrap()
+                .map(Result::unwrap)
+                .collect();
+        assert_eq!(merged, vec![tomb]);
+    }
+
+    #[test]
+    fn error_stops_the_stream() {
+        let bad: Source<'static> =
+            Box::new(vec![Ok(rec("a", 1)), Err(StoreError::Corrupt("boom".into()))].into_iter());
+        let mut scan = MergeScan::new(vec![bad, src(vec![rec("b", 2)])]).unwrap();
+        assert!(scan.next().unwrap().is_ok());
+        assert!(scan.next().unwrap().is_err());
+        assert!(scan.next().is_none());
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        let merged: Vec<Record> = MergeScan::new(vec![src(vec![]), src(vec![])])
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert!(merged.is_empty());
+    }
+}

@@ -1,0 +1,737 @@
+//! Immutable sorted string tables (SSTables).
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! [data block frame]*          each frame: [len u32][crc u32][payload]
+//! [filter frame]               bloom filter over every key in the table
+//! [index frame]                sparse index: first key + offset per block
+//! [footer, fixed 60 bytes]     offsets/lengths/counts + magic + crc
+//! ```
+//!
+//! Data block payloads hold consecutive records in key order:
+//! `[keylen u16][key][tag u8][vlen u32?][value?][block u64][tx u32]`
+//! where tag 1 = value present, tag 0 = tombstone. Blocks target
+//! `block_bytes` before cutting, so the sparse index stays tiny (one
+//! entry per block, not per record). Every frame carries its own CRC32
+//! (the same polynomial as `crates/store`), so a torn or bit-flipped
+//! table is detected at read time, not silently merged downstream.
+//!
+//! Readers share an open file handle and use positioned reads
+//! (`read_at`), so concurrent point lookups from validator worker
+//! threads never contend on a seek cursor.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use fabric_store::crc32::crc32;
+use fabric_store::StoreError;
+
+use crate::bloom::Bloom;
+use crate::cache::Caches;
+use crate::Version;
+
+const TABLE_MAGIC: u64 = 0x4c56_5354_4442_3031; // "LVSTDB01"
+const FOOTER_BYTES: usize = 60;
+
+/// One decoded record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    pub key: String,
+    /// `None` = tombstone (the key was deleted at `version`).
+    pub value: Option<Vec<u8>>,
+    pub version: Version,
+}
+
+fn corrupt(msg: impl Into<String>) -> StoreError {
+    StoreError::Corrupt(msg.into())
+}
+
+/// File name for a table with the given sequence number.
+pub fn table_file_name(seq: u64) -> String {
+    format!("sst-{seq:010}.tbl")
+}
+
+/// Parse a table sequence number back out of a file name.
+pub fn parse_table_file_name(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix("sst-")?.strip_suffix(".tbl")?;
+    stem.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// record & frame encoding
+// ---------------------------------------------------------------------------
+
+fn encode_record(out: &mut Vec<u8>, key: &str, value: Option<&[u8]>, version: Version) {
+    debug_assert!(key.len() <= u16::MAX as usize, "key too long for SSTable");
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key.as_bytes());
+    match value {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(&version.block_num.to_le_bytes());
+    out.extend_from_slice(&version.tx_num.to_le_bytes());
+}
+
+/// Decode every record in a data-block payload.
+pub fn decode_block(payload: &[u8]) -> Result<Vec<Record>, StoreError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < payload.len() {
+        let need = |n: usize, pos: usize| -> Result<(), StoreError> {
+            if pos + n > payload.len() {
+                Err(corrupt("sstable: truncated record"))
+            } else {
+                Ok(())
+            }
+        };
+        need(2, pos)?;
+        let klen = u16::from_le_bytes(payload[pos..pos + 2].try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        need(klen + 1, pos)?;
+        let key = std::str::from_utf8(&payload[pos..pos + klen])
+            .map_err(|_| corrupt("sstable: key not utf-8"))?
+            .to_string();
+        pos += klen;
+        let tag = payload[pos];
+        pos += 1;
+        let value = match tag {
+            0 => None,
+            1 => {
+                need(4, pos)?;
+                let vlen =
+                    u32::from_le_bytes(payload[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                pos += 4;
+                need(vlen, pos)?;
+                let v = payload[pos..pos + vlen].to_vec();
+                pos += vlen;
+                Some(v)
+            }
+            _ => return Err(corrupt("sstable: bad record tag")),
+        };
+        need(12, pos)?;
+        let block_num = u64::from_le_bytes(payload[pos..pos + 8].try_into().expect("8 bytes"));
+        pos += 8;
+        let tx_num = u32::from_le_bytes(payload[pos..pos + 4].try_into().expect("4 bytes"));
+        pos += 4;
+        records.push(Record {
+            key,
+            value,
+            version: Version { block_num, tx_num },
+        });
+    }
+    Ok(records)
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn read_frame(file: &File, offset: u64, len: u32) -> Result<Vec<u8>, StoreError> {
+    let mut buf = vec![0u8; len as usize];
+    file.read_exact_at(&mut buf, offset)
+        .map_err(StoreError::Io)?;
+    if buf.len() < 8 {
+        return Err(corrupt("sstable: frame shorter than header"));
+    }
+    let plen = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let stored = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    if plen + 8 != buf.len() {
+        return Err(corrupt("sstable: frame length mismatch"));
+    }
+    let payload = buf.split_off(8);
+    if crc32(&payload) != stored {
+        return Err(corrupt("sstable: frame checksum mismatch"));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// index
+// ---------------------------------------------------------------------------
+
+/// Sparse index entry: where one data block lives and its first key.
+#[derive(Clone, Debug)]
+pub struct IndexEntry {
+    pub first_key: String,
+    pub offset: u64,
+    pub len: u32,
+}
+
+fn encode_index(entries: &[IndexEntry], last_key: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&(e.first_key.len() as u32).to_le_bytes());
+        out.extend_from_slice(e.first_key.as_bytes());
+        out.extend_from_slice(&e.offset.to_le_bytes());
+        out.extend_from_slice(&e.len.to_le_bytes());
+    }
+    out.extend_from_slice(&(last_key.len() as u32).to_le_bytes());
+    out.extend_from_slice(last_key.as_bytes());
+    out
+}
+
+fn decode_index(payload: &[u8]) -> Result<(Vec<IndexEntry>, String), StoreError> {
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+        if *pos + n > payload.len() {
+            return Err(corrupt("sstable: truncated index"));
+        }
+        let out = &payload[*pos..*pos + n];
+        *pos += n;
+        Ok(out)
+    };
+    let mut pos = 0usize;
+    let n = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    if n > 1 << 24 {
+        return Err(corrupt("sstable: implausible index size"));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+        let key = std::str::from_utf8(take(&mut pos, klen)?)
+            .map_err(|_| corrupt("sstable: index key not utf-8"))?
+            .to_string();
+        let offset = u64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes"));
+        entries.push(IndexEntry {
+            first_key: key,
+            offset,
+            len,
+        });
+    }
+    let klen = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    let last_key = std::str::from_utf8(take(&mut pos, klen)?)
+        .map_err(|_| corrupt("sstable: last key not utf-8"))?
+        .to_string();
+    if pos != payload.len() {
+        return Err(corrupt("sstable: trailing index bytes"));
+    }
+    Ok((entries, last_key))
+}
+
+// ---------------------------------------------------------------------------
+// builder
+// ---------------------------------------------------------------------------
+
+/// Streams records (already in key order) into a new table file.
+pub struct TableBuilder {
+    path: PathBuf,
+    file: File,
+    seq: u64,
+    block_bytes: usize,
+    bloom_bits_per_key: u32,
+    current: Vec<u8>,
+    current_first_key: Option<String>,
+    index: Vec<IndexEntry>,
+    keys: Vec<String>,
+    offset: u64,
+    last_key: Option<String>,
+    entry_count: u64,
+}
+
+impl TableBuilder {
+    pub fn create(
+        dir: &Path,
+        seq: u64,
+        block_bytes: usize,
+        bloom_bits_per_key: u32,
+    ) -> Result<TableBuilder, StoreError> {
+        let path = dir.join(table_file_name(seq));
+        // read+write: `finish` hands the same descriptor to the reader.
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(StoreError::Io)?;
+        Ok(TableBuilder {
+            path,
+            file,
+            seq,
+            block_bytes: block_bytes.max(256),
+            bloom_bits_per_key,
+            current: Vec::new(),
+            current_first_key: None,
+            index: Vec::new(),
+            keys: Vec::new(),
+            offset: 0,
+            last_key: None,
+            entry_count: 0,
+        })
+    }
+
+    /// Append one record; keys must arrive in strictly increasing order.
+    pub fn add(
+        &mut self,
+        key: &str,
+        value: Option<&[u8]>,
+        version: Version,
+    ) -> Result<(), StoreError> {
+        debug_assert!(
+            self.last_key.as_deref().is_none_or(|last| last < key),
+            "sstable keys must be strictly increasing"
+        );
+        if self.current_first_key.is_none() {
+            self.current_first_key = Some(key.to_string());
+        }
+        encode_record(&mut self.current, key, value, version);
+        self.keys.push(key.to_string());
+        self.last_key = Some(key.to_string());
+        self.entry_count += 1;
+        if self.current.len() >= self.block_bytes {
+            self.cut_block()?;
+        }
+        Ok(())
+    }
+
+    fn cut_block(&mut self) -> Result<(), StoreError> {
+        if self.current.is_empty() {
+            return Ok(());
+        }
+        let framed = frame(&self.current);
+        self.file.write_all(&framed).map_err(StoreError::Io)?;
+        self.index.push(IndexEntry {
+            first_key: self
+                .current_first_key
+                .take()
+                .expect("non-empty block has a first key"),
+            offset: self.offset,
+            len: framed.len() as u32,
+        });
+        self.offset += framed.len() as u64;
+        self.current.clear();
+        Ok(())
+    }
+
+    /// Entries added so far (used to split compaction outputs).
+    pub fn bytes_written(&self) -> u64 {
+        self.offset + self.current.len() as u64
+    }
+
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Finish the table: filter + index + footer, fsync if asked, and
+    /// return the opened [`Table`]. An empty builder is an error — the
+    /// engine never writes empty tables.
+    pub fn finish(mut self, sync: bool) -> Result<Table, StoreError> {
+        self.cut_block()?;
+        if self.index.is_empty() {
+            return Err(corrupt("sstable: refusing to write an empty table"));
+        }
+        let bloom = Bloom::build(
+            self.keys.iter().map(String::as_str),
+            self.keys.len(),
+            self.bloom_bits_per_key,
+        );
+        let filter_frame = frame(&bloom.encode());
+        let filter_off = self.offset;
+        self.file.write_all(&filter_frame).map_err(StoreError::Io)?;
+        let last_key = self
+            .last_key
+            .clone()
+            .expect("non-empty table has a last key");
+        let index_payload = encode_index(&self.index, &last_key);
+        let index_frame = frame(&index_payload);
+        let index_off = filter_off + filter_frame.len() as u64;
+
+        let mut footer = Vec::with_capacity(FOOTER_BYTES);
+        footer.extend_from_slice(&index_off.to_le_bytes());
+        footer.extend_from_slice(&(index_frame.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&filter_off.to_le_bytes());
+        footer.extend_from_slice(&(filter_frame.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&self.entry_count.to_le_bytes());
+        footer.extend_from_slice(&TABLE_MAGIC.to_le_bytes());
+        let crc = crc32(&footer);
+        footer.extend_from_slice(&crc.to_le_bytes());
+        footer.extend_from_slice(&[0u8; 8]); // pad to FOOTER_BYTES
+        debug_assert_eq!(footer.len(), FOOTER_BYTES);
+
+        self.file.write_all(&index_frame).map_err(StoreError::Io)?;
+        self.file.write_all(&footer).map_err(StoreError::Io)?;
+        if sync {
+            self.file.sync_all().map_err(StoreError::Io)?;
+        }
+
+        let file_bytes = index_off + index_frame.len() as u64 + FOOTER_BYTES as u64;
+        let min_key = self.index[0].first_key.clone();
+        Ok(Table {
+            seq: self.seq,
+            path: self.path,
+            file: self.file,
+            index: self.index,
+            bloom,
+            min_key,
+            max_key: last_key,
+            entry_count: self.entry_count,
+            file_bytes,
+        })
+    }
+
+    /// Abandon the build and remove the partial file.
+    pub fn abort(self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reader
+// ---------------------------------------------------------------------------
+
+/// An open, immutable table: footer metadata resident, data on disk.
+pub struct Table {
+    pub seq: u64,
+    pub path: PathBuf,
+    file: File,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+    pub min_key: String,
+    pub max_key: String,
+    pub entry_count: u64,
+    pub file_bytes: u64,
+}
+
+impl Table {
+    /// Open an existing table file, validating footer, index, and filter.
+    pub fn open(dir: &Path, seq: u64) -> Result<Table, StoreError> {
+        let path = dir.join(table_file_name(seq));
+        let file = File::open(&path).map_err(StoreError::Io)?;
+        let file_bytes = file.metadata().map_err(StoreError::Io)?.len();
+        if file_bytes < FOOTER_BYTES as u64 {
+            return Err(corrupt(format!("sstable {seq}: shorter than footer")));
+        }
+        let mut footer = [0u8; FOOTER_BYTES];
+        file.read_exact_at(&mut footer, file_bytes - FOOTER_BYTES as u64)
+            .map_err(StoreError::Io)?;
+        let magic = u64::from_le_bytes(footer[40..48].try_into().expect("8 bytes"));
+        if magic != TABLE_MAGIC {
+            return Err(corrupt(format!("sstable {seq}: bad magic")));
+        }
+        let stored_crc = u32::from_le_bytes(footer[48..52].try_into().expect("4 bytes"));
+        if crc32(&footer[..48]) != stored_crc {
+            return Err(corrupt(format!("sstable {seq}: footer checksum mismatch")));
+        }
+        let index_off = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes"));
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+        let filter_off = u64::from_le_bytes(footer[16..24].try_into().expect("8 bytes"));
+        let filter_len = u64::from_le_bytes(footer[24..32].try_into().expect("8 bytes"));
+        let entry_count = u64::from_le_bytes(footer[32..40].try_into().expect("8 bytes"));
+        if index_off + index_len + FOOTER_BYTES as u64 != file_bytes
+            || filter_off + filter_len != index_off
+        {
+            return Err(corrupt(format!(
+                "sstable {seq}: inconsistent footer offsets"
+            )));
+        }
+        let index_payload = read_frame(&file, index_off, index_len as u32)?;
+        let (index, max_key) = decode_index(&index_payload)?;
+        if index.is_empty() {
+            return Err(corrupt(format!("sstable {seq}: empty index")));
+        }
+        let filter_payload = read_frame(&file, filter_off, filter_len as u32)?;
+        let bloom = Bloom::decode(&filter_payload)
+            .ok_or_else(|| corrupt(format!("sstable {seq}: bad bloom filter")))?;
+        let min_key = index[0].first_key.clone();
+        Ok(Table {
+            seq,
+            path,
+            file,
+            index,
+            bloom,
+            min_key,
+            max_key,
+            entry_count,
+            file_bytes,
+        })
+    }
+
+    /// Whether `key` can possibly be in this table (range + bloom check).
+    pub fn may_contain(&self, key: &str) -> bool {
+        key >= self.min_key.as_str() && key <= self.max_key.as_str() && self.bloom.may_contain(key)
+    }
+
+    /// Index of the data block that could hold `key`.
+    fn block_for(&self, key: &str) -> Option<usize> {
+        // Rightmost block whose first key <= key.
+        match self
+            .index
+            .binary_search_by(|e| e.first_key.as_str().cmp(key))
+        {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => Some(i - 1),
+        }
+    }
+
+    /// Fetch + decode one data block, through the block cache.
+    pub fn read_block(&self, idx: usize, caches: &Caches) -> Result<Arc<Vec<u8>>, StoreError> {
+        let key = (self.seq, idx as u32);
+        if let Some(block) = caches.get_block(key) {
+            return Ok(block);
+        }
+        let entry = &self.index[idx];
+        let payload = read_frame(&self.file, entry.offset, entry.len)?;
+        let block = Arc::new(payload);
+        caches.insert_block(key, Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Point lookup. Returns the record if this table holds the key, and
+    /// counts a block probe in `probes` whenever it touches a data block.
+    pub fn get(
+        &self,
+        key: &str,
+        caches: &Caches,
+        probes: &mut u64,
+    ) -> Result<Option<Record>, StoreError> {
+        if !self.may_contain(key) {
+            return Ok(None);
+        }
+        let Some(idx) = self.block_for(key) else {
+            return Ok(None);
+        };
+        *probes += 1;
+        let block = self.read_block(idx, caches)?;
+        let records = decode_block(&block)?;
+        Ok(records.into_iter().find(|r| r.key == key))
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Resident memory held per open table: sparse index keys plus the
+    /// bloom filter (data blocks live on disk / in the block cache).
+    pub fn meta_resident_bytes(&self) -> usize {
+        self.index
+            .iter()
+            .map(|e| e.first_key.len() + 16)
+            .sum::<usize>()
+            + self.bloom.size_bytes()
+            + self.min_key.len()
+            + self.max_key.len()
+    }
+
+    /// Streaming iterator over records with `key >= start` (and
+    /// `key < end` when bounded), in key order.
+    pub fn scan<'a>(&'a self, start: &str, end: Option<&str>, caches: &'a Caches) -> TableIter<'a> {
+        let first_block = self.block_for(start).unwrap_or(0);
+        TableIter {
+            table: self,
+            caches,
+            next_block: first_block,
+            buffered: Vec::new(),
+            pos: 0,
+            start: start.to_string(),
+            end: end.map(str::to_string),
+            done: false,
+        }
+    }
+}
+
+/// Iterator over one table's records within a key range.
+pub struct TableIter<'a> {
+    table: &'a Table,
+    caches: &'a Caches,
+    next_block: usize,
+    buffered: Vec<Record>,
+    pos: usize,
+    start: String,
+    end: Option<String>,
+    done: bool,
+}
+
+impl Iterator for TableIter<'_> {
+    type Item = Result<Record, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.done {
+                return None;
+            }
+            if self.pos < self.buffered.len() {
+                let record = self.buffered[self.pos].clone();
+                self.pos += 1;
+                if record.key.as_str() < self.start.as_str() {
+                    continue;
+                }
+                if let Some(end) = &self.end {
+                    if record.key.as_str() >= end.as_str() {
+                        self.done = true;
+                        return None;
+                    }
+                }
+                return Some(Ok(record));
+            }
+            if self.next_block >= self.table.index.len() {
+                self.done = true;
+                return None;
+            }
+            // Stop early if the next block starts at/after the end bound.
+            if let Some(end) = &self.end {
+                if self.table.index[self.next_block].first_key.as_str() >= end.as_str() {
+                    self.done = true;
+                    return None;
+                }
+            }
+            let block = match self.table.read_block(self.next_block, self.caches) {
+                Ok(b) => b,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            self.next_block += 1;
+            match decode_block(&block) {
+                Ok(records) => {
+                    self.buffered = records;
+                    self.pos = 0;
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_store::testdir::TestDir;
+
+    fn v(b: u64, t: u32) -> Version {
+        Version {
+            block_num: b,
+            tx_num: t,
+        }
+    }
+
+    fn build_table(dir: &Path, seq: u64, n: usize, block_bytes: usize) -> Table {
+        let mut b = TableBuilder::create(dir, seq, block_bytes, 10).unwrap();
+        for i in 0..n {
+            let key = format!("key-{i:05}");
+            if i % 7 == 3 {
+                b.add(&key, None, v(i as u64, 0)).unwrap();
+            } else {
+                b.add(&key, Some(format!("value-{i}").as_bytes()), v(i as u64, 1))
+                    .unwrap();
+            }
+        }
+        b.finish(false).unwrap()
+    }
+
+    #[test]
+    fn build_open_get_round_trip() {
+        let dir = TestDir::new("statedb-sst");
+        let table = build_table(dir.path(), 1, 500, 512);
+        assert!(
+            table.block_count() > 1,
+            "want multiple blocks for a sparse index"
+        );
+        drop(table);
+        let table = Table::open(dir.path(), 1).unwrap();
+        assert_eq!(table.entry_count, 500);
+        assert_eq!(table.min_key, "key-00000");
+        assert_eq!(table.max_key, "key-00499");
+        let caches = Caches::new(1 << 20, 0);
+        let mut probes = 0;
+        let rec = table
+            .get("key-00042", &caches, &mut probes)
+            .unwrap()
+            .unwrap();
+        assert_eq!(rec.value.as_deref(), Some(&b"value-42"[..]));
+        assert_eq!(rec.version, v(42, 1));
+        // Tombstones come back as records with no value.
+        let rec = table
+            .get("key-00003", &caches, &mut probes)
+            .unwrap()
+            .unwrap();
+        assert_eq!(rec.value, None);
+        assert_eq!(rec.version, v(3, 0));
+        assert!(table
+            .get("key-99999", &caches, &mut probes)
+            .unwrap()
+            .is_none());
+        assert!(table.get("absent", &caches, &mut probes).unwrap().is_none());
+        assert!(probes >= 2);
+    }
+
+    #[test]
+    fn scan_respects_range_and_order() {
+        let dir = TestDir::new("statedb-sst-scan");
+        let table = build_table(dir.path(), 2, 200, 256);
+        let caches = Caches::new(1 << 20, 0);
+        let all: Vec<Record> = table.scan("", None, &caches).map(Result::unwrap).collect();
+        assert_eq!(all.len(), 200);
+        assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+        let ranged: Vec<Record> = table
+            .scan("key-00050", Some("key-00060"), &caches)
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(ranged.len(), 10);
+        assert_eq!(ranged[0].key, "key-00050");
+        assert_eq!(ranged[9].key, "key-00059");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let dir = TestDir::new("statedb-sst-corrupt");
+        let table = build_table(dir.path(), 3, 100, 256);
+        let path = table.path.clone();
+        drop(table);
+        // Flip a byte in the middle of the data region.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[40] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let table = Table::open(dir.path(), 3).unwrap(); // footer+index still fine
+        let caches = Caches::new(1 << 20, 0);
+        let mut probes = 0;
+        // The corrupted block must surface as an error, not bad data.
+        let mut saw_error = false;
+        for i in 0..100 {
+            if table
+                .get(&format!("key-{i:05}"), &caches, &mut probes)
+                .is_err()
+            {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error);
+        // Truncating the footer breaks open entirely.
+        bytes.truncate(bytes.len() - 10);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(Table::open(dir.path(), 3).is_err());
+    }
+
+    #[test]
+    fn empty_builder_refuses_to_finish() {
+        let dir = TestDir::new("statedb-sst-empty");
+        let b = TableBuilder::create(dir.path(), 9, 256, 10).unwrap();
+        assert!(b.finish(false).is_err());
+    }
+
+    #[test]
+    fn file_name_round_trip() {
+        assert_eq!(parse_table_file_name(&table_file_name(7)), Some(7));
+        assert_eq!(parse_table_file_name("MANIFEST"), None);
+        assert_eq!(parse_table_file_name("sst-x.tbl"), None);
+    }
+}

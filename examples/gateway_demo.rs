@@ -78,7 +78,7 @@ fn main() {
         .map(|k| {
             let key = format!("hot_{k}");
             let raw = gateway.chain().state().get(&key).expect("counter exists");
-            let value: i64 = String::from_utf8_lossy(raw).parse().unwrap();
+            let value: i64 = String::from_utf8_lossy(&raw).parse().unwrap();
             println!("  {key} = {value}");
             value
         })

@@ -16,6 +16,8 @@
 //!   collections).
 //! * [`store`] — the durable storage engine (append-only block file, WAL,
 //!   snapshot checkpoints) behind `fabric::storage`.
+//! * [`statedb`] — the disk-backed LSM state engine behind
+//!   `fabric::lsm` (larger-than-RAM versioned state).
 //! * [`datalog`] — recursive view definitions.
 //! * [`views`] — **the paper's contribution**: view managers, readers,
 //!   contracts, RBAC and verification.
@@ -81,6 +83,7 @@ pub use ledgerview_crypto as crypto;
 pub use ledgerview_datalog as datalog;
 pub use ledgerview_gateway as gateway;
 pub use ledgerview_simnet as simnet;
+pub use ledgerview_statedb as statedb;
 pub use ledgerview_supplychain as supplychain;
 pub use ledgerview_telemetry as telemetry;
 

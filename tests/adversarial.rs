@@ -282,7 +282,7 @@ fn peers_never_see_plaintext_secrets() {
         }
     }
     // Full state scan.
-    for (_, v) in chain.state().scan_prefix("") {
-        assert!(!contains(v), "plaintext secret leaked into state");
+    for (_, v) in chain.state().prefix_scan("") {
+        assert!(!contains(&v), "plaintext secret leaked into state");
     }
 }

@@ -232,8 +232,9 @@ fn state_digest_covers_view_data() {
     let state = chain.state();
     let digest = state.state_digest();
     let key = state
-        .scan_prefix("vs~data~V~")
-        .map(|(k, _)| k.to_string())
+        .prefix_scan("vs~data~V~")
+        .into_iter()
+        .map(|(k, _)| k)
         .next()
         .expect("merged entry exists");
     let (proof, leaf) = state.prove(&key).expect("provable");

@@ -82,8 +82,8 @@ proptest! {
         // versions legitimately differ — batching changes block numbers).
         for rank in 0..3usize {
             let key = format!("k{rank}");
-            let got = gateway.chain().state().get(&key).map(<[u8]>::to_vec);
-            let want = serial.state().get(&key).map(<[u8]>::to_vec);
+            let got = gateway.chain().state().get(&key);
+            let want = serial.state().get(&key);
             prop_assert_eq!(got, want, "counter {} diverged", key);
         }
     }
@@ -220,7 +220,7 @@ fn supplychain_workload_flows_through_gateway() {
         .state()
         .get(&format!("{}/{}", t.item, t.seq))
         .expect("transfer recorded");
-    assert!(String::from_utf8_lossy(stored).contains(&format!("item={}", t.item)));
+    assert!(String::from_utf8_lossy(&stored).contains(&format!("item={}", t.item)));
 }
 
 /// Malformed operations never panic the pipeline — they shed.

@@ -74,7 +74,10 @@ fn private_value_stays_off_chain_hash_on_chain() {
     chain.cut_block();
 
     // Public state holds the routing data.
-    assert_eq!(chain.state().get("ship~s1"), Some(&b"from=M1;to=W1"[..]));
+    assert_eq!(
+        chain.state().get("ship~s1").as_deref(),
+        Some(&b"from=M1;to=W1"[..])
+    );
     // The confidential value appears nowhere in blocks or public state.
     let leak = |bytes: &[u8]| {
         bytes
@@ -86,8 +89,8 @@ fn private_value_stays_off_chain_hash_on_chain() {
             assert!(tx.args.iter().all(|a| !leak(a)) && !leak(&tx.rwset.to_bytes()));
         }
     }
-    for (_, v) in chain.state().scan_prefix("") {
-        assert!(!leak(v));
+    for (_, v) in chain.state().prefix_scan("") {
+        assert!(!leak(&v));
     }
 
     // But the on-chain rwset carries the hash, and the private store can

@@ -108,8 +108,8 @@ fn values(gateway: &Gateway) -> BTreeMap<String, Vec<u8>> {
     gateway
         .chain()
         .state()
-        .iter_entries()
-        .map(|(k, v, _)| (k.to_string(), v.to_vec()))
+        .prefix_scan("")
+        .into_iter()
         .collect()
 }
 
@@ -291,7 +291,7 @@ proptest! {
         batch.extend(chain.take_pending());
 
         let doomed = chain.precheck(&batch);
-        let pre_state = chain.state().clone();
+        let pre_state = StateDb::materialize(chain.state());
 
         // Ground truth: solo replay against the committed pre-block state.
         for (i, tx) in batch.iter().enumerate() {

@@ -1,0 +1,406 @@
+//! Differential properties of the disk-backed LSM state database.
+//!
+//! Every test drives the same operation stream into the LSM backend and
+//! the in-memory `StateDb` twin and demands bit-identical results: values,
+//! MVCC versions, range/prefix scans, the bucketed Merkle state digest,
+//! and the chain's rolling state root at every height. The crash tests
+//! additionally arm the engine's injected crash points (mid-flush,
+//! mid-compaction) and cut the WAL or block file at arbitrary byte
+//! offsets, then require recovery to a committed-prefix-consistent state.
+
+use ledgerview::crypto::rng::seeded;
+use ledgerview::crypto::sha256::Digest;
+use ledgerview::fabric::chaincode::TxContext;
+use ledgerview::fabric::endorsement::EndorsementPolicy;
+use ledgerview::fabric::identity::{Identity, OrgId};
+use ledgerview::fabric::statedb::VersionedState;
+use ledgerview::fabric::storage::wal_segment_path;
+use ledgerview::fabric::{Chaincode, FabricChain, FabricError, LsmState, StateDb, Version};
+use ledgerview::prelude::{FsyncPolicy, StorageConfig, ValidationConfig};
+use ledgerview::statedb::{CrashPoint, LsmConfig};
+use ledgerview::store::blockfile::BLOCKS_DATA_FILE;
+use ledgerview::store::testdir::TestDir;
+use proptest::prelude::*;
+use std::path::Path;
+
+/// `put key value`, `del key`, `rmw key` (read-modify-write, the MVCC
+/// conflict generator) — the same workload chaincode the durable-backend
+/// recovery tests use.
+struct Kv;
+
+impl Chaincode for Kv {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, FabricError> {
+        let key = String::from_utf8_lossy(&args[0]).to_string();
+        match function {
+            "put" => {
+                ctx.put_state(key, args[1].clone());
+                Ok(vec![])
+            }
+            "del" => {
+                ctx.delete_state(key);
+                Ok(vec![])
+            }
+            "rmw" => {
+                let mut v = ctx.get_state(&key).unwrap_or_default();
+                v.push(b'!');
+                ctx.put_state(key, v.clone());
+                Ok(v)
+            }
+            other => Err(FabricError::ChaincodeError(format!("unknown {other}"))),
+        }
+    }
+}
+
+fn setup(chain: &mut FabricChain, seed: u64) -> Identity {
+    let mut rng = seeded(seed ^ 0x5eed);
+    chain.deploy(
+        "kv",
+        Box::new(Kv),
+        EndorsementPolicy::AllOf(chain.org_ids()),
+    );
+    chain
+        .enroll(&OrgId::new("Org1"), "alice", &mut rng)
+        .unwrap()
+}
+
+/// Tiny engine budgets so even short workloads overflow the memtable and
+/// trigger compactions — the regimes the differential tests must cover.
+fn tiny_lsm_config(dir: &Path) -> LsmConfig {
+    LsmConfig::new(dir.join("lsm"))
+        .memtable_bytes(2 * 1024)
+        .block_bytes(512)
+        .table_target_bytes(4 * 1024)
+        .block_cache_bytes(4 * 1024)
+        .row_cache_bytes(2 * 1024)
+        .l0_compact_tables(2)
+        .level_base_bytes(16 * 1024)
+        .sync(false)
+}
+
+fn lsm_chain(seed: u64, dir: &Path) -> (FabricChain, Identity) {
+    let config = StorageConfig::new(dir)
+        .fsync(FsyncPolicy::Never)
+        .checkpoint_every(3);
+    let mut rng = seeded(seed);
+    let mut chain = FabricChain::with_lsm_storage_tuned(
+        &["Org1", "Org2"],
+        &mut rng,
+        config,
+        tiny_lsm_config(dir),
+        ValidationConfig::parallel(2),
+    )
+    .unwrap();
+    let alice = setup(&mut chain, seed);
+    (chain, alice)
+}
+
+/// Submit one block's worth of the deterministic mixed workload (values
+/// are large relative to the tiny memtable, so flushes fire mid-run).
+fn submit_block(chain: &mut FabricChain, alice: &Identity, b: u64, rng: &mut impl rand::RngCore) {
+    for t in 0..3u64 {
+        let key = format!("k{:02}", (b * 3 + t) % 11);
+        chain
+            .invoke(
+                alice,
+                "kv",
+                "put",
+                vec![key.into_bytes(), vec![(b + t) as u8; 120]],
+                rng,
+            )
+            .unwrap();
+    }
+    if b % 2 == 1 {
+        // A read-modify-write pair: the second loses MVCC validation, so
+        // blocks carry invalid transactions too.
+        for _ in 0..2 {
+            chain
+                .invoke(alice, "kv", "rmw", vec![b"k00".to_vec()], rng)
+                .unwrap();
+        }
+    }
+    if b % 3 == 2 {
+        chain
+            .invoke(
+                alice,
+                "kv",
+                "del",
+                vec![format!("k{:02}", b % 11).into_bytes()],
+                rng,
+            )
+            .unwrap();
+    }
+}
+
+/// `(state_digest, state_root)` after every block; index 0 is the empty
+/// pre-workload snapshot.
+fn run_workload(
+    chain: &mut FabricChain,
+    alice: &Identity,
+    blocks: u64,
+    seed: u64,
+) -> Vec<(Digest, Digest)> {
+    let mut rng = seeded(seed);
+    let mut history = vec![(chain.state().state_digest(), chain.state_root())];
+    for b in 0..blocks {
+        submit_block(chain, alice, b, &mut rng);
+        let outcomes = chain.cut_block();
+        assert!(!outcomes.is_empty());
+        history.push((chain.state().state_digest(), chain.state_root()));
+    }
+    history
+}
+
+/// The in-memory twin: same seeds, same workload, no disk.
+fn reference_history(seed: u64, blocks: u64) -> Vec<(Digest, Digest)> {
+    let mut rng = seeded(seed);
+    let mut chain = FabricChain::new(&["Org1", "Org2"], &mut rng);
+    let alice = setup(&mut chain, seed);
+    run_workload(&mut chain, &alice, blocks, seed ^ 0xabcd)
+}
+
+/// Truncate `path` to `keep` bytes (simulated crash mid-write).
+fn truncate_file(path: &Path, keep: u64) {
+    let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    f.set_len(keep.min(f.metadata().unwrap().len())).unwrap();
+}
+
+fn v(block_num: u64, tx_num: u32) -> Version {
+    Version { block_num, tx_num }
+}
+
+/// Compare every observable of the two states: digest, sizes, per-key
+/// values and versions, and full/partial scans.
+fn assert_states_identical(lsm: &LsmState, mem: &StateDb, keys: impl Iterator<Item = String>) {
+    assert_eq!(lsm.state_digest(), mem.state_digest());
+    assert_eq!(lsm.len(), VersionedState::len(mem));
+    assert_eq!(lsm.size_bytes(), VersionedState::size_bytes(mem));
+    for key in keys {
+        assert_eq!(lsm.get(&key), VersionedState::get(mem, &key), "{key}");
+        assert_eq!(lsm.version(&key), mem.version(&key), "{key}");
+        assert_eq!(lsm.lookup(&key), VersionedState::lookup(mem, &key), "{key}");
+    }
+    assert_eq!(
+        lsm.prefix_scan(""),
+        VersionedState::prefix_scan(mem, ""),
+        "full scans diverge"
+    );
+}
+
+#[test]
+fn lsm_chain_matches_twin_and_survives_reopen() {
+    let dir = TestDir::new("statedb-eq-clean");
+    let seed = 41;
+    let blocks = 10;
+    let history = {
+        let (mut chain, alice) = lsm_chain(seed, dir.path());
+        let history = run_workload(&mut chain, &alice, blocks, seed ^ 0xabcd);
+        // The tiny budgets must actually exercise the disk paths.
+        let stats = chain.lsm_backend().unwrap().lsm_stats();
+        assert!(stats.flushes > 0, "workload never flushed the memtable");
+        assert!(stats.compactions > 0, "workload never compacted");
+        history
+    };
+    assert_eq!(history, reference_history(seed, blocks), "twins diverged");
+
+    let (mut chain, alice) = lsm_chain(seed, dir.path());
+    assert_eq!(chain.height(), blocks);
+    assert!(chain.is_durable());
+    let (digest, root) = history.last().unwrap();
+    assert_eq!(chain.state().state_digest(), *digest);
+    assert_eq!(chain.state_root(), *root);
+    chain.store().verify_chain().unwrap();
+
+    // The recovered chain keeps committing.
+    let mut rng = seeded(999);
+    chain
+        .invoke(
+            &alice,
+            "kv",
+            "put",
+            vec![b"post".to_vec(), b"crash".to_vec()],
+            &mut rng,
+        )
+        .unwrap();
+    let outcomes = chain.cut_block();
+    assert!(outcomes[0].is_valid());
+    assert_eq!(chain.height(), blocks + 1);
+    chain.flush().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Op-level differential: a random put/delete/flush interleaving gives
+    /// bit-identical values, versions, scans and digests on both state
+    /// implementations — and the digest survives flush + reopen.
+    #[test]
+    fn random_ops_bit_identical(
+        ops in proptest::collection::vec(
+            // (key index, op: 0-1 put / 2 delete, value length, flush?)
+            (0u8..24, 0u8..3, 0usize..48, any::<bool>()),
+            1..100,
+        ),
+    ) {
+        let dir = TestDir::new("statedb-eq-ops");
+        let (mut lsm, _) = LsmState::open(tiny_lsm_config(dir.path())).unwrap();
+        let mut mem = StateDb::new();
+        for (i, (key_idx, op, len, flush)) in ops.iter().enumerate() {
+            let key = format!("key{key_idx:02}");
+            let version = v(1 + (i / 4) as u64, (i % 4) as u32);
+            if *op < 2 {
+                let value = vec![(*key_idx) ^ (i as u8); *len];
+                lsm.put(key.clone(), value.clone(), version);
+                mem.put(key, value, version);
+            } else {
+                // Deletes tombstone even absent keys (digest-visible).
+                lsm.delete(&key, version);
+                mem.delete(&key, version);
+            }
+            if *flush && i % 5 == 0 {
+                lsm.flush(b"mid").unwrap();
+            }
+        }
+        assert_states_identical(&lsm, &mem, (0..24).map(|i| format!("key{i:02}")));
+        prop_assert_eq!(
+            lsm.range_scan("key04", "key12"),
+            VersionedState::range_scan(&mem, "key04", "key12")
+        );
+
+        // Flush persists the memtable; a reopen must rebuild the identical
+        // directory (versions, tombstones, digest) from disk alone.
+        let digest = lsm.state_digest();
+        lsm.flush(b"final").unwrap();
+        drop(lsm);
+        let (reopened, meta) = LsmState::open(tiny_lsm_config(dir.path())).unwrap();
+        prop_assert_eq!(meta.as_deref(), Some(&b"final"[..]));
+        prop_assert_eq!(reopened.state_digest(), digest);
+        assert_states_identical(&reopened, &mem, (0..24).map(|i| format!("key{i:02}")));
+    }
+
+    /// Chain-level differential: the LSM-backed chain and the in-memory
+    /// chain commit bit-identical state (digest AND rolling root) at every
+    /// height, across random seeds and block counts.
+    #[test]
+    fn lsm_and_in_memory_chains_identical(
+        seed in 0u64..500,
+        blocks in 1u64..7,
+    ) {
+        let dir = TestDir::new("statedb-eq-chain");
+        let (mut chain, alice) = lsm_chain(seed, dir.path());
+        let lsm_history = run_workload(&mut chain, &alice, blocks, seed ^ 0xabcd);
+        prop_assert_eq!(lsm_history, reference_history(seed, blocks));
+    }
+
+    /// Arm an injected crash (mid-flush or mid-compaction), optionally
+    /// tear the WAL afterwards, and reopen: the block file is intact, so
+    /// recovery must reconstruct the complete committed state — lost WAL
+    /// records are re-derived from the blocks' own write sets.
+    #[test]
+    fn crash_mid_flush_or_compaction_recovers(
+        seed in 0u64..500,
+        blocks in 3u64..9,
+        point in 0u8..2,
+        cut_wal in 0u64..100_000,
+    ) {
+        let dir = TestDir::new("statedb-eq-crash");
+        let committed = {
+            let (mut chain, alice) = lsm_chain(seed, dir.path());
+            let point = if point == 0 {
+                CrashPoint::AfterFlushTable
+            } else {
+                CrashPoint::AfterCompactionWrite
+            };
+            chain
+                .lsm_backend_mut()
+                .unwrap()
+                .lsm_state_mut()
+                .set_crash_point(Some(point));
+            let mut rng = seeded(seed ^ 0xabcd);
+            let mut committed = 0;
+            for b in 0..blocks {
+                submit_block(&mut chain, &alice, b, &mut rng);
+                chain.cut_block();
+                committed += 1;
+                // The engine refuses all I/O once the crash fires; stop
+                // here exactly as the crashed process would.
+                if chain.lsm_backend().unwrap().lsm_state().crashed() {
+                    break;
+                }
+            }
+            committed
+        };
+        if cut_wal > 0 {
+            let wal_path = wal_segment_path(dir.path(), 0);
+            let len = std::fs::metadata(&wal_path).unwrap().len();
+            truncate_file(&wal_path, cut_wal % (len + 1));
+        }
+
+        let (chain, alice) = lsm_chain(seed, dir.path());
+        let reference = reference_history(seed, blocks);
+        prop_assert_eq!(chain.height(), committed);
+        let (digest, root) = reference[committed as usize];
+        prop_assert_eq!(chain.state().state_digest(), digest);
+        prop_assert_eq!(chain.state_root(), root);
+        chain.store().verify_chain().unwrap();
+
+        // The recovered store accepts new commits.
+        let mut chain = chain;
+        let mut rng = seeded(seed ^ 7777);
+        chain
+            .invoke(&alice, "kv", "put", vec![b"post".to_vec(), b"crash".to_vec()], &mut rng)
+            .unwrap();
+        chain.cut_block();
+        prop_assert_eq!(chain.height(), committed + 1);
+    }
+
+    /// Cut the block file anywhere: recovery either keeps a block prefix
+    /// whose state matches the reference replay at exactly that height, or
+    /// — when the cut falls below the LSM's flushed height — correctly
+    /// refuses to open (the manifest proves blocks are missing).
+    #[test]
+    fn block_file_truncation_recovers_a_prefix_or_rejects(
+        seed in 0u64..500,
+        blocks in 3u64..9,
+        cut_blocks in 0u64..1_000_000,
+    ) {
+        let dir = TestDir::new("statedb-eq-blockcut");
+        {
+            let (mut chain, alice) = lsm_chain(seed, dir.path());
+            run_workload(&mut chain, &alice, blocks, seed ^ 0xabcd);
+        }
+        let data_path = dir.path().join(BLOCKS_DATA_FILE);
+        let len = std::fs::metadata(&data_path).unwrap().len();
+        truncate_file(&data_path, cut_blocks % (len + 1));
+
+        let config = StorageConfig::new(dir.path())
+            .fsync(FsyncPolicy::Never)
+            .checkpoint_every(3);
+        let mut rng = seeded(seed);
+        match FabricChain::with_lsm_storage_tuned(
+            &["Org1", "Org2"],
+            &mut rng,
+            config,
+            tiny_lsm_config(dir.path()),
+            ValidationConfig::parallel(2),
+        ) {
+            Ok(chain) => {
+                let reference = reference_history(seed, blocks);
+                let height = chain.height();
+                prop_assert!(height <= blocks);
+                let (digest, root) = reference[height as usize];
+                prop_assert_eq!(chain.state().state_digest(), digest);
+                prop_assert_eq!(chain.state_root(), root);
+                chain.store().verify_chain().unwrap();
+            }
+            // The LSM manifest had absorbed blocks the cut destroyed:
+            // refusing to open is the only sound answer.
+            Err(FabricError::Storage(_)) => {}
+            Err(other) => panic!("expected a storage error, got {other}"),
+        }
+    }
+}
