@@ -22,9 +22,10 @@ use std::time::Instant;
 use fabric_sim::lsm::LsmState;
 use fabric_sim::statedb::{StateDb, Version, VersionedState};
 use fabric_store::testdir::TestDir;
-use ledgerview_bench::report::results_dir;
+use ledgerview_bench::report::{metrics_out_arg, results_dir, write_metrics};
 use ledgerview_crypto::rng::seeded;
 use ledgerview_statedb::{LsmConfig, LsmStats};
+use ledgerview_telemetry::Telemetry;
 use rand::RngCore;
 
 const N_KEYS: usize = 80_000;
@@ -135,6 +136,15 @@ fn main() {
         .row_cache_bytes(ROW_CACHE_BYTES)
         .sync(false);
     let (mut state, _) = LsmState::open(config).expect("open lsm");
+
+    // `--metrics-out`: mirror engine stats into `lv_statedb_*` families
+    // for the whole run. Attaching is observational — the engine's
+    // flush/compaction decisions never read the registry.
+    let metrics_out = metrics_out_arg();
+    let telemetry = metrics_out.as_ref().map(|_| Telemetry::wall_clock());
+    if let Some(t) = &telemetry {
+        state.set_telemetry(t);
+    }
 
     // Load phase: every key once, flushing whenever the memtable fills —
     // the steady-state write path of a chain whose state outgrew RAM.
@@ -354,6 +364,12 @@ fn main() {
     )
     .expect("write trace");
     println!("wrote {}", trace_path.display());
+
+    if let (Some(path), Some(t)) = (&metrics_out, &telemetry) {
+        state.sync_metrics(); // Catch the read-phase cache counters.
+        write_metrics(t, path).expect("write metrics");
+        println!("wrote {}", path.display());
+    }
 
     assert!(
         larger_than_cache,

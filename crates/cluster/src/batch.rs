@@ -1,5 +1,5 @@
 //! The payload replicated through the Raft log: an ordered transaction
-//! batch with its assigned timestamp.
+//! batch with its assigned timestamp and per-transaction trace contexts.
 //!
 //! Peers never see each other's local clocks — the batch carries the
 //! timestamp every replica must commit with, which is what makes blocks
@@ -7,10 +7,17 @@
 //! `batch_id` deduplicates client re-proposals: a batch re-submitted after
 //! a leader crash may appear twice in the Raft log, and every replica
 //! skips the duplicate identically.
+//!
+//! Each transaction also carries its [`TraceContext`] — the trace id of
+//! the originating submission plus the span id of the ordering stage that
+//! cut it. Contexts are SplitMix64-derived from the submission seed, so
+//! the encoded batch is byte-identical whether or not any tracer is
+//! attached: tracing rides the wire without touching consensus.
 
 use fabric_sim::error::FabricError;
 use fabric_sim::ledger::Transaction;
 use fabric_sim::wire::{Reader, Writer};
+use ledgerview_telemetry::TraceContext;
 
 /// One ordered batch of endorsed transactions (the unit of replication;
 /// each batch becomes exactly one block on every peer).
@@ -24,17 +31,27 @@ pub struct OrderedBatch {
     pub timestamp_us: u64,
     /// The endorsed transactions, in order.
     pub transactions: Vec<Transaction>,
+    /// Per-transaction trace contexts, aligned with `transactions`:
+    /// `traces[i].trace_id` identifies transaction `i`'s submission
+    /// journey and `traces[i].parent_span` is the queue-stage span to
+    /// hang downstream (replicate, per-peer commit) spans off.
+    pub traces: Vec<TraceContext>,
 }
 
 impl OrderedBatch {
     /// Serialize for the Raft log.
     pub fn encode(&self) -> Vec<u8> {
+        debug_assert_eq!(self.transactions.len(), self.traces.len());
         let mut w = Writer::new();
         w.u64(self.batch_id);
         w.u64(self.timestamp_us);
         w.u32(self.transactions.len() as u32);
         for tx in &self.transactions {
             tx.encode_to(&mut w);
+        }
+        for ctx in &self.traces {
+            w.u64(ctx.trace_id);
+            w.u64(ctx.parent_span);
         }
         w.into_bytes()
     }
@@ -49,11 +66,19 @@ impl OrderedBatch {
         for _ in 0..n {
             transactions.push(Transaction::read_from(&mut r)?);
         }
+        let mut traces = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            traces.push(TraceContext {
+                trace_id: r.u64()?,
+                parent_span: r.u64()?,
+            });
+        }
         r.finish()?;
         Ok(OrderedBatch {
             batch_id,
             timestamp_us,
             transactions,
+            traces,
         })
     }
 }
@@ -91,12 +116,18 @@ mod tests {
         }
     }
 
+    fn sample_ctx(n: u64) -> TraceContext {
+        let ctx = TraceContext::root(7, n);
+        ctx.with_parent(ctx.span_id(2))
+    }
+
     #[test]
     fn round_trips() {
         let batch = OrderedBatch {
             batch_id: 42,
             timestamp_us: 1_234_567,
             transactions: vec![sample_tx(1), sample_tx(2)],
+            traces: vec![sample_ctx(1), sample_ctx(2)],
         };
         let decoded = OrderedBatch::decode(&batch.encode()).unwrap();
         assert_eq!(decoded.batch_id, 42);
@@ -104,6 +135,11 @@ mod tests {
         assert_eq!(decoded.transactions.len(), 2);
         assert_eq!(decoded.transactions[0].tx_id, batch.transactions[0].tx_id);
         assert_eq!(decoded.transactions[1].rwset, batch.transactions[1].rwset);
+        assert_eq!(decoded.traces, batch.traces);
+        assert_eq!(
+            decoded.traces[0].parent(),
+            Some(batch.traces[0].parent_span)
+        );
     }
 
     #[test]
@@ -112,9 +148,13 @@ mod tests {
             batch_id: 7,
             timestamp_us: 1,
             transactions: vec![sample_tx(3)],
+            traces: vec![sample_ctx(3)],
         };
         let bytes = batch.encode();
         assert!(OrderedBatch::decode(&bytes[..bytes.len() - 1]).is_err());
         assert!(OrderedBatch::decode(&bytes[..4]).is_err());
+        // The trace section is load-bearing: stripping it entirely must
+        // fail decode, not silently produce an un-traced batch.
+        assert!(OrderedBatch::decode(&bytes[..bytes.len() - 16]).is_err());
     }
 }

@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use fabric_sim::chaincode::RwSet;
 use fabric_sim::endorsement::EndorsementPolicy;
 use fabric_sim::identity::Identity;
-use fabric_sim::ledger::Transaction;
+use fabric_sim::ledger::{Transaction, TxId};
 use fabric_sim::raft::{NodeId, Outgoing, RaftMsg, RaftNode};
 use fabric_sim::storage::ChainSnapshot;
 use fabric_sim::{FabricChain, StorageConfig};
@@ -33,7 +33,7 @@ use ledgerview_crypto::rng::seeded;
 use ledgerview_crypto::sha256::Digest;
 use ledgerview_gateway::{reorder, CounterChaincode};
 use ledgerview_simnet::{Region, SimTime, Simulation};
-use ledgerview_telemetry::Telemetry;
+use ledgerview_telemetry::{Telemetry, TraceContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,6 +44,24 @@ use crate::ClusterConfig;
 
 /// Chaincode every replica deploys (the gateway's counter workload).
 const CHAINCODE: &str = "counter";
+
+/// Stage tags fed to [`TraceContext::span_id`]: every node derives the
+/// same span id for the same (trace, stage) pair without coordination, so
+/// a peer can parent its commit span under the replicate span it never
+/// saw recorded.
+pub mod stage {
+    /// Gateway-side submission/endorsement.
+    pub const SUBMIT: u64 = 1;
+    /// Waiting in the ordering service's pending queue until cut.
+    pub const QUEUE: u64 = 2;
+    /// Raft replication of the cut batch.
+    pub const REPLICATE: u64 = 3;
+    /// Per-peer validate+commit; add the peer index.
+    pub const PEER_COMMIT_BASE: u64 = 0x100;
+    /// A re-endorsement hop (early-abort/deferral); add the 1-based
+    /// requeue ordinal so repeated pulls of one trace stay distinct.
+    pub const REQUEUE_BASE: u64 = 0x1_0000;
+}
 
 type Sim = Simulation<World>;
 
@@ -87,6 +105,22 @@ struct Inflight {
     encoded: Vec<u8>,
 }
 
+/// Causal-trace state for one in-flight transaction, keyed by its
+/// *current* tx id — a re-endorsed transaction gets a fresh id and the
+/// entry moves with it, so the trace id survives early-aborts, deferrals
+/// and watchdog resubmits.
+struct TxTrace {
+    /// Root context (`parent_span == 0`), derived from the submission
+    /// sequence number — always computed, even with telemetry detached,
+    /// so batch wire bytes never depend on observation.
+    ctx: TraceContext,
+    /// Virtual time of the original submission (requeues don't reset it:
+    /// queue time is measured from first submission to final cut).
+    submitted_us: u64,
+    /// Times this trace has been pulled and re-endorsed.
+    requeues: u64,
+}
+
 /// One completed peer catch-up (restart replay or fresh bootstrap).
 #[derive(Clone, Debug)]
 pub struct CatchupRecord {
@@ -107,6 +141,8 @@ pub struct CatchupRecord {
 pub struct ClusterReport {
     /// Globally committed block count.
     pub blocks: u64,
+    /// Transactions committed across all blocks.
+    pub txs: u64,
     /// Canonical rolling state root after each block.
     pub canonical_roots: Vec<Digest>,
     /// Batch id of each committed block, in commit order.
@@ -167,6 +203,10 @@ struct World {
     inflight: BTreeMap<u64, Inflight>,
     believed_leader: NodeId,
 
+    // Causal tracing.
+    submit_seq: u64,
+    tx_traces: BTreeMap<TxId, TxTrace>,
+
     // Link faults (orderer ↔ orderer).
     partition_group: Vec<u8>,
     slow: BTreeMap<(NodeId, NodeId), u64>,
@@ -212,16 +252,17 @@ impl World {
         );
     }
 
-    /// Open (or recover) a peer chain over its durable directory.
+    /// Open (or recover) a peer chain over its durable directory, using
+    /// the backend `cfg.lsm_peers` selects.
     fn open_peer_chain(cfg: &ClusterConfig, dir: &Path) -> Result<FabricChain, ClusterError> {
         let names: Vec<&str> = cfg.org_names.iter().map(|s| s.as_str()).collect();
         let mut rng = seeded(cfg.identity_seed);
-        let mut chain = FabricChain::with_storage(
-            &names,
-            &mut rng,
-            Self::storage_for(cfg, dir),
-            cfg.validation.clone(),
-        )?;
+        let storage = Self::storage_for(cfg, dir);
+        let mut chain = if cfg.lsm_peers {
+            FabricChain::with_lsm_storage(&names, &mut rng, storage, cfg.validation.clone())?
+        } else {
+            FabricChain::with_storage(&names, &mut rng, storage, cfg.validation.clone())?
+        };
         Self::deploy_workload(&mut chain);
         Ok(chain)
     }
@@ -372,6 +413,25 @@ impl World {
             self.endorser
                 .commit_ordered(batch.transactions.clone(), batch.timestamp_us);
             self.canonical_roots.push(self.endorser.state_root());
+            // Batch dedup above guarantees exactly one replicate span per
+            // transaction, even when the watchdog re-proposed the batch.
+            if let Some(m) = &self.metrics {
+                let tracer = m.telemetry.tracer();
+                let lane = m.orderer_proc(o);
+                let now_us = sim.now().as_micros();
+                for ctx in &batch.traces {
+                    tracer.record_linked(
+                        "order.replicate",
+                        batch.timestamp_us,
+                        now_us,
+                        lane,
+                        "raft",
+                        ctx.span_id(stage::REPLICATE),
+                        *ctx,
+                    );
+                    m.trace_replicate_spans.inc();
+                }
+            }
             let bytes = entry.data.len() as u64;
             let block_num = self.blocks.len();
             self.blocks.push(CommittedBlock {
@@ -418,10 +478,11 @@ impl World {
             if !self.peers[p].ready.remove(&next) {
                 break;
             }
-            let (txs, ts, bytes, committed_at) = {
+            let (txs, traces, ts, bytes, committed_at) = {
                 let b = &self.blocks[next as usize];
                 (
                     b.batch.transactions.clone(),
+                    b.batch.traces.clone(),
                     b.batch.timestamp_us,
                     b.bytes,
                     b.committed_at,
@@ -430,6 +491,26 @@ impl World {
             let peer = &mut self.peers[p];
             let chain = peer.chain.as_mut().expect("checked on delivery");
             chain.commit_ordered(txs, ts);
+            if let Some(m) = &self.metrics {
+                let tracer = m.telemetry.tracer();
+                let lane = m.peer_proc(p);
+                let now_us = sim.now().as_micros();
+                for ctx in &traces {
+                    // Parent under the replicate span this peer never saw
+                    // recorded: span ids are trace-derived, so it computes
+                    // the same id the ordering side used.
+                    tracer.record_linked(
+                        "peer.commit",
+                        committed_at.as_micros(),
+                        now_us,
+                        lane,
+                        "commit",
+                        ctx.span_id(stage::PEER_COMMIT_BASE + p as u64),
+                        ctx.with_parent(ctx.span_id(stage::REPLICATE)),
+                    );
+                    m.trace_commit_spans.inc();
+                }
+            }
             let actual = chain.state_root();
             let expected = self.canonical_roots[next as usize];
             if actual != expected {
@@ -494,8 +575,12 @@ impl World {
 
     // ---- submissions -------------------------------------------------
 
-    fn on_submit(&mut self, function: String, args: Vec<Vec<u8>>, _sim: &mut Sim) {
+    fn on_submit(&mut self, function: String, args: Vec<Vec<u8>>, sim: &mut Sim) {
         self.pending_actions -= 1;
+        // The trace context is derived unconditionally — wire bytes of
+        // every batch are identical with telemetry attached or not.
+        let ctx = TraceContext::root(self.cfg.seed, self.submit_seq);
+        self.submit_seq += 1;
         let result = self.endorser.invoke(
             &self.client,
             CHAINCODE,
@@ -503,8 +588,31 @@ impl World {
             args,
             &mut self.submit_rng,
         );
-        if result.is_err() {
-            self.submit_errors += 1;
+        match result {
+            Ok(r) => {
+                let now_us = sim.now().as_micros();
+                self.tx_traces.insert(
+                    r.tx_id,
+                    TxTrace {
+                        ctx,
+                        submitted_us: now_us,
+                        requeues: 0,
+                    },
+                );
+                if let Some(m) = &self.metrics {
+                    m.telemetry.tracer().record_linked(
+                        "submit",
+                        now_us,
+                        now_us,
+                        m.gateway_proc,
+                        "submit",
+                        ctx.span_id(stage::SUBMIT),
+                        ctx,
+                    );
+                    m.trace_submit_spans.inc();
+                }
+            }
+            Err(_) => self.submit_errors += 1,
         }
     }
 
@@ -516,8 +624,9 @@ impl World {
         if self.endorser.pending_count() == 0 {
             return;
         }
+        let now_us = sim.now().as_micros();
         let transactions = if self.cfg.reorder.enabled {
-            self.plan_batch()
+            self.plan_batch(now_us)
         } else {
             self.endorser.take_pending()
         };
@@ -526,10 +635,37 @@ impl World {
             // re-endorsement; nothing to replicate this interval.
             return;
         }
+        // Close out each kept transaction's queue stage and build the
+        // wire contexts: downstream spans parent under the queue span.
+        let traces: Vec<TraceContext> = transactions
+            .iter()
+            .map(|tx| {
+                let t = self.tx_traces.remove(&tx.tx_id).unwrap_or_else(|| TxTrace {
+                    ctx: TraceContext::root(self.cfg.seed, u64::MAX),
+                    submitted_us: now_us,
+                    requeues: 0,
+                });
+                let queue_span = t.ctx.span_id(stage::QUEUE);
+                if let Some(m) = &self.metrics {
+                    m.telemetry.tracer().record_linked(
+                        "order.queue",
+                        t.submitted_us,
+                        now_us,
+                        m.orderer_proc(self.believed_leader),
+                        "cutter",
+                        queue_span,
+                        t.ctx.with_parent(t.ctx.span_id(stage::SUBMIT)),
+                    );
+                    m.trace_queue_spans.inc();
+                }
+                t.ctx.with_parent(queue_span)
+            })
+            .collect();
         let batch = OrderedBatch {
             batch_id: self.next_batch_id,
-            timestamp_us: sim.now().as_micros(),
+            timestamp_us: now_us,
             transactions,
+            traces,
         };
         self.next_batch_id += 1;
         let batch_id = batch.batch_id;
@@ -556,7 +692,7 @@ impl World {
     /// The plan is computed once, before replication, so every replica
     /// applies the identical reordered batch: ordering decisions made
     /// here survive leader failover by construction.
-    fn plan_batch(&mut self) -> Vec<Transaction> {
+    fn plan_batch(&mut self, now_us: u64) -> Vec<Transaction> {
         let n = self.endorser.pending_count();
         let doomed = if self.cfg.reorder.early_abort {
             self.endorser.precheck_pending()
@@ -583,7 +719,7 @@ impl World {
                 m.reorder_early_aborts.inc();
             }
             let tx = pulled[i].take().expect("early-aborted exactly once");
-            self.reinvoke(tx);
+            self.reinvoke(tx, now_us);
         }
         for &i in &plan.deferred {
             self.reorder_deferrals += 1;
@@ -591,15 +727,18 @@ impl World {
                 m.reorder_deferrals.inc();
             }
             let tx = pulled[i].take().expect("deferred exactly once");
-            self.reinvoke(tx);
+            self.reinvoke(tx, now_us);
         }
         kept
     }
 
     /// Re-endorse a pulled transaction through the normal submission
     /// path: a fresh proposal (new tx id, current read versions) joins
-    /// the pending queue for the next batch.
-    fn reinvoke(&mut self, tx: Transaction) {
+    /// the pending queue for the next batch. The trace entry moves from
+    /// the old tx id to the new one — re-endorsement is a hop within the
+    /// same trace, not a new journey.
+    fn reinvoke(&mut self, tx: Transaction, now_us: u64) {
+        let old_id = tx.tx_id;
         let result = self.endorser.invoke(
             &self.client,
             &tx.chaincode,
@@ -607,8 +746,26 @@ impl World {
             tx.args,
             &mut self.submit_rng,
         );
-        if result.is_err() {
-            self.submit_errors += 1;
+        match result {
+            Ok(r) => {
+                if let Some(mut t) = self.tx_traces.remove(&old_id) {
+                    t.requeues += 1;
+                    if let Some(m) = &self.metrics {
+                        m.telemetry.tracer().record_linked(
+                            "order.requeue",
+                            now_us,
+                            now_us,
+                            m.orderer_proc(self.believed_leader),
+                            "cutter",
+                            t.ctx.span_id(stage::REQUEUE_BASE + t.requeues),
+                            t.ctx.with_parent(t.ctx.span_id(stage::SUBMIT)),
+                        );
+                        m.trace_requeues.inc();
+                    }
+                    self.tx_traces.insert(r.tx_id, t);
+                }
+            }
+            Err(_) => self.submit_errors += 1,
         }
     }
 
@@ -830,6 +987,11 @@ impl World {
     fn report(&self) -> ClusterReport {
         ClusterReport {
             blocks: self.blocks.len() as u64,
+            txs: self
+                .blocks
+                .iter()
+                .map(|b| b.batch.transactions.len() as u64)
+                .sum(),
             canonical_roots: self.canonical_roots.clone(),
             batch_history: self.blocks.iter().map(|b| b.batch.batch_id).collect(),
             peer_heights: self
@@ -925,6 +1087,8 @@ impl ClusterSim {
             next_batch_id: 0,
             inflight: BTreeMap::new(),
             believed_leader: 0,
+            submit_seq: 0,
+            tx_traces: BTreeMap::new(),
             partition_group,
             slow: BTreeMap::new(),
             divergences: Vec::new(),
@@ -955,10 +1119,18 @@ impl ClusterSim {
         Ok(ClusterSim { sim, world })
     }
 
-    /// Attach telemetry: `lv_cluster_*` counters, per-peer lag gauges, and
-    /// catch-up histograms. Observational only.
+    /// Attach telemetry: `lv_cluster_*`/`lv_trace_*` counters, per-peer
+    /// lag gauges, catch-up histograms, and causal span recording on one
+    /// Perfetto process lane per node (`gateway`, `orderer-<k>`,
+    /// `peer-<p>`). Observational only: span ids and trace contexts are
+    /// derived from the config seed whether or not this is ever called,
+    /// so attaching telemetry cannot perturb the committed history.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        self.world.metrics = Some(ClusterMetrics::new(telemetry, self.world.peers.len()));
+        self.world.metrics = Some(ClusterMetrics::new(
+            telemetry,
+            self.world.orderers.len(),
+            self.world.peers.len(),
+        ));
     }
 
     /// Current virtual time.

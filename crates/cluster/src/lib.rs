@@ -104,6 +104,11 @@ pub struct ClusterConfig {
     /// `Never`; physical durability is exercised by `fabric-store`'s own
     /// tests).
     pub fsync: FsyncPolicy,
+    /// Back each peer's state with the disk-backed LSM tree instead of
+    /// the in-memory durable backend (used by the `end_to_end_tps` bench
+    /// to compare backends under the full pipeline). Snapshot bootstrap
+    /// still installs into the durable backend regardless.
+    pub lsm_peers: bool,
     /// Commit-time validation pipeline configuration for every peer.
     pub validation: ValidationConfig,
     /// Whether endorsement signatures are produced and checked at
@@ -139,6 +144,7 @@ impl ClusterConfig {
             checkpoint_every: 8,
             wal_segment_bytes: 256 * 1024,
             fsync: FsyncPolicy::Never,
+            lsm_peers: false,
             validation: ValidationConfig::default(),
             check_signatures: true,
             org_names: vec!["OrdererOrg".to_string(), "PeerOrg".to_string()],

@@ -31,11 +31,26 @@ pub(crate) struct ClusterMetrics {
     /// Catch-up duration in virtual µs, labeled by method.
     pub catchup_snapshot_us: HistogramHandle,
     pub catchup_replay_us: HistogramHandle,
+    /// Causal spans recorded, labeled by pipeline stage.
+    pub trace_submit_spans: Counter,
+    pub trace_queue_spans: Counter,
+    pub trace_replicate_spans: Counter,
+    pub trace_commit_spans: Counter,
+    /// Trace contexts handed from an aborted/deferred tx to its re-endorsed
+    /// successor (the trace id survives re-endorsement).
+    pub trace_requeues: Counter,
+    /// Perfetto process lane for the submission (gateway) side.
+    pub gateway_proc: u64,
+    /// Perfetto process lanes, one per orderer.
+    orderer_procs: Vec<u64>,
+    /// Perfetto process lanes, one per peer.
+    peer_procs: Vec<u64>,
 }
 
 impl ClusterMetrics {
-    pub fn new(telemetry: &Telemetry, peers: usize) -> ClusterMetrics {
+    pub fn new(telemetry: &Telemetry, orderers: usize, peers: usize) -> ClusterMetrics {
         let r = telemetry.registry();
+        let tracer = telemetry.tracer();
         let mut m = ClusterMetrics {
             telemetry: telemetry.clone(),
             elections: r.counter("lv_cluster_elections_total", &[]),
@@ -49,14 +64,26 @@ impl ClusterMetrics {
             lag_us: Vec::new(),
             catchup_snapshot_us: r.histogram("lv_cluster_catchup_us", &[("method", "snapshot")]),
             catchup_replay_us: r.histogram("lv_cluster_catchup_us", &[("method", "replay")]),
+            trace_submit_spans: r.counter("lv_trace_spans_total", &[("stage", "submit")]),
+            trace_queue_spans: r.counter("lv_trace_spans_total", &[("stage", "queue")]),
+            trace_replicate_spans: r.counter("lv_trace_spans_total", &[("stage", "replicate")]),
+            trace_commit_spans: r.counter("lv_trace_spans_total", &[("stage", "commit")]),
+            trace_requeues: r.counter("lv_trace_requeues_total", &[]),
+            gateway_proc: tracer.process("gateway"),
+            orderer_procs: (0..orderers)
+                .map(|o| tracer.process(&format!("orderer-{o}")))
+                .collect(),
+            peer_procs: Vec::new(),
         };
         m.ensure_peers(peers);
         m
     }
 
-    /// Grow the per-peer gauge handles (peers can join mid-run).
+    /// Grow the per-peer gauge handles and trace lanes (peers can join
+    /// mid-run).
     pub fn ensure_peers(&mut self, peers: usize) {
         let r = self.telemetry.registry().clone();
+        let tracer = self.telemetry.tracer();
         while self.behind.len() < peers {
             let label = self.behind.len().to_string();
             self.behind
@@ -64,6 +91,24 @@ impl ClusterMetrics {
             self.lag_us
                 .push(r.gauge("lv_cluster_replication_lag_us", &[("peer", &label)]));
         }
+        while self.peer_procs.len() < peers {
+            let p = self.peer_procs.len();
+            self.peer_procs.push(tracer.process(&format!("peer-{p}")));
+        }
+    }
+
+    /// Perfetto lane for orderer `o` (falls back to the gateway lane for
+    /// out-of-range ids, which cannot happen in a well-formed cluster).
+    pub fn orderer_proc(&self, o: usize) -> u64 {
+        self.orderer_procs
+            .get(o)
+            .copied()
+            .unwrap_or(self.gateway_proc)
+    }
+
+    /// Perfetto lane for peer `p`.
+    pub fn peer_proc(&self, p: usize) -> u64 {
+        self.peer_procs.get(p).copied().unwrap_or(self.gateway_proc)
     }
 
     pub fn set_behind(&self, peer: usize, blocks: u64) {

@@ -645,37 +645,48 @@ impl FabricChain {
         let block_num = self.store.height();
         let chaincodes = &self.chaincodes;
         let validate_start = Instant::now();
-        let outcomes = self.validator.validate_and_commit(
-            &transactions,
-            self.backend.state_mut(),
-            block_num,
-            &self.msp,
-            &|cc: &str| chaincodes.get(cc).map(|d| d.policy.clone()),
-        );
+        let outcomes = {
+            let _s = metrics.as_ref().map(|m| m.telemetry.span("block.validate"));
+            self.validator.validate_and_commit(
+                &transactions,
+                self.backend.state_mut(),
+                block_num,
+                &self.msp,
+                &|cc: &str| chaincodes.get(cc).map(|d| d.policy.clone()),
+            )
+        };
         let order_start = Instant::now();
-        let state_root = next_state_root(&self.state_root, &transactions, &outcomes);
-        let prev_hash = self.store.tip_hash();
-        let header = BlockHeader {
-            number: block_num,
-            prev_hash,
-            data_hash: Block::compute_data_hash(&transactions),
-            state_root,
-            timestamp_us: self.clock_us,
+        let block = {
+            let _s = metrics.as_ref().map(|m| m.telemetry.span("block.order"));
+            let state_root = next_state_root(&self.state_root, &transactions, &outcomes);
+            let prev_hash = self.store.tip_hash();
+            let header = BlockHeader {
+                number: block_num,
+                prev_hash,
+                data_hash: Block::compute_data_hash(&transactions),
+                state_root,
+                timestamp_us: self.clock_us,
+            };
+            let validity = outcomes.iter().map(|o| o.is_valid()).collect();
+            Block {
+                header,
+                transactions,
+                validity,
+            }
         };
-        let validity = outcomes.iter().map(|o| o.is_valid()).collect();
-        let block = Block {
-            header,
-            transactions,
-            validity,
-        };
+        let state_root = block.header.state_root;
         // Durability point: the backend persists (WAL + block file) before
         // the in-memory ledger advances, so a crash after this call can
         // always be recovered to include this block.
         let persist_start = Instant::now();
-        self.backend
-            .commit_block(&block)
-            .unwrap_or_else(|e| panic!("durable commit of block {block_num} failed: {e}"));
+        {
+            let _s = metrics.as_ref().map(|m| m.telemetry.span("block.persist"));
+            self.backend
+                .commit_block(&block)
+                .unwrap_or_else(|e| panic!("durable commit of block {block_num} failed: {e}"));
+        }
         let commit_start = Instant::now();
+        let _commit_span = metrics.as_ref().map(|m| m.telemetry.span("block.commit"));
         self.store
             .append(block)
             .expect("locally built block must link");

@@ -39,7 +39,7 @@ use std::time::Instant;
 
 use ledgerview_crypto::sha256::Digest;
 use ledgerview_statedb::{CompactionEvent, CrashPoint, Lsm, LsmConfig, LsmStats};
-use ledgerview_telemetry::{Counter, HistogramHandle, Telemetry};
+use ledgerview_telemetry::{Counter, Gauge, HistogramHandle, Telemetry};
 
 use fabric_store::{BlockFile, FsyncPolicy, StoreError, Wal};
 
@@ -66,6 +66,7 @@ pub const LSM_SUBDIR: &str = "lsm";
 pub struct LsmState {
     lsm: Lsm,
     directory: StateDigester,
+    metrics: Option<StatedbMetrics>,
 }
 
 /// Read errors surface as panics: state reads sit under the MVCC commit
@@ -87,7 +88,33 @@ impl LsmState {
             Some(v) => directory.apply_put(&r.key, v, r.version),
             None => directory.apply_delete(&r.key, r.version),
         })?;
-        Ok((LsmState { lsm, directory }, meta))
+        Ok((
+            LsmState {
+                lsm,
+                directory,
+                metrics: None,
+            },
+            meta,
+        ))
+    }
+
+    /// Attach `lv_statedb_*` metrics (opt-in, like every other crate):
+    /// engine totals mirror into counters, flush/compaction latencies
+    /// into histograms, cache hit ratios and per-level occupancy into
+    /// gauges. Synced after every flush and by [`LsmState::sync_metrics`].
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        let already = self.lsm.stats();
+        self.metrics = Some(StatedbMetrics::new(telemetry, already));
+    }
+
+    /// Mirror engine statistics into the attached registry now (no-op
+    /// without telemetry). Read-path counters (cache hits, bloom
+    /// negatives) only move on sync, so callers measuring a read-heavy
+    /// workload should sync at the end of it.
+    pub fn sync_metrics(&mut self) {
+        if let Some(metrics) = &mut self.metrics {
+            metrics.sync(self.lsm.stats(), self.lsm.trace());
+        }
     }
 
     /// The underlying engine (stats, compaction trace).
@@ -104,6 +131,7 @@ impl LsmState {
     /// [`Lsm::flush`]).
     pub fn flush(&mut self, meta: &[u8]) -> Result<(), FabricError> {
         self.lsm.flush(meta)?;
+        self.sync_metrics();
         Ok(())
     }
 
@@ -252,12 +280,13 @@ fn decode_lsm_meta(bytes: &[u8]) -> Result<LsmMeta, FabricError> {
     Ok(meta)
 }
 
-/// Metric handles for the LSM backend, resolved once when telemetry
-/// attaches. The engine only exposes cumulative totals, so deltas are
-/// mirrored into counters after each commit/flush (same pattern as the
-/// durable backend's fsync mirror).
+/// Metric handles for the LSM engine, resolved once when telemetry
+/// attaches. The engine only exposes cumulative totals and an event
+/// trace, so deltas are mirrored into counters after each commit/flush
+/// (same pattern as the durable backend's fsync mirror) and per-event
+/// latencies are replayed off the tail of the compaction trace.
 struct StatedbMetrics {
-    flush_seconds: HistogramHandle,
+    telemetry: Telemetry,
     flushes_total: Counter,
     compactions_total: Counter,
     table_bytes_total: Counter,
@@ -265,6 +294,16 @@ struct StatedbMetrics {
     block_cache_misses_total: Counter,
     row_cache_hits_total: Counter,
     row_cache_misses_total: Counter,
+    bloom_negatives_total: Counter,
+    compaction_read_total: Counter,
+    compaction_written_total: Counter,
+    memtable_flush_seconds: HistogramHandle,
+    compaction_seconds: HistogramHandle,
+    block_hit_ratio: Gauge,
+    row_hit_ratio: Gauge,
+    memtable_bytes: Gauge,
+    /// `(tables, bytes)` gauges per level, grown as levels appear.
+    level_gauges: Vec<(Gauge, Gauge)>,
     mirrored: LsmStats,
 }
 
@@ -272,7 +311,6 @@ impl StatedbMetrics {
     fn new(telemetry: &Telemetry, already: LsmStats) -> StatedbMetrics {
         let r = telemetry.registry();
         StatedbMetrics {
-            flush_seconds: r.histogram("lv_statedb_flush_seconds", &[]),
             flushes_total: r.counter("lv_statedb_flushes_total", &[]),
             compactions_total: r.counter("lv_statedb_compactions_total", &[]),
             table_bytes_total: r.counter("lv_statedb_table_bytes_written_total", &[]),
@@ -280,11 +318,21 @@ impl StatedbMetrics {
             block_cache_misses_total: r.counter("lv_statedb_block_cache_misses_total", &[]),
             row_cache_hits_total: r.counter("lv_statedb_row_cache_hits_total", &[]),
             row_cache_misses_total: r.counter("lv_statedb_row_cache_misses_total", &[]),
+            bloom_negatives_total: r.counter("lv_statedb_bloom_negatives_total", &[]),
+            compaction_read_total: r.counter("lv_statedb_compaction_bytes_read_total", &[]),
+            compaction_written_total: r.counter("lv_statedb_compaction_bytes_written_total", &[]),
+            memtable_flush_seconds: r.histogram("lv_statedb_memtable_flush_seconds", &[]),
+            compaction_seconds: r.histogram("lv_statedb_compaction_seconds", &[]),
+            block_hit_ratio: r.gauge("lv_statedb_block_cache_hit_ratio_percent", &[]),
+            row_hit_ratio: r.gauge("lv_statedb_row_cache_hit_ratio_percent", &[]),
+            memtable_bytes: r.gauge("lv_statedb_memtable_bytes", &[]),
+            level_gauges: Vec::new(),
             mirrored: already,
+            telemetry: telemetry.clone(),
         }
     }
 
-    fn sync(&mut self, now: LsmStats) {
+    fn sync(&mut self, now: LsmStats, trace: &[CompactionEvent]) {
         let delta = |new: u64, old: u64| new.saturating_sub(old);
         self.flushes_total
             .add(delta(now.flushes, self.mirrored.flushes));
@@ -304,6 +352,50 @@ impl StatedbMetrics {
             .add(delta(now.row_cache_hits, self.mirrored.row_cache_hits));
         self.row_cache_misses_total
             .add(delta(now.row_cache_misses, self.mirrored.row_cache_misses));
+        self.bloom_negatives_total
+            .add(delta(now.bloom_negatives, self.mirrored.bloom_negatives));
+        self.compaction_read_total.add(delta(
+            now.compaction_bytes_read,
+            self.mirrored.compaction_bytes_read,
+        ));
+        self.compaction_written_total.add(delta(
+            now.compaction_bytes_written,
+            self.mirrored.compaction_bytes_written,
+        ));
+        // Per-event flush/compaction latencies: the trace is a bounded
+        // ring, so cursor positions can shift under eviction — but the
+        // cumulative event counts in the stats can't, so replay exactly
+        // the events added since the last sync off the trace's tail.
+        let new_events = delta(
+            now.flushes + now.compactions,
+            self.mirrored.flushes + self.mirrored.compactions,
+        ) as usize;
+        let tail = &trace[trace.len().saturating_sub(new_events.min(trace.len()))..];
+        for event in tail {
+            if event.kind == "flush" {
+                self.memtable_flush_seconds.observe(event.duration_us);
+            } else {
+                self.compaction_seconds.observe(event.duration_us);
+            }
+        }
+        self.block_hit_ratio
+            .set((now.block_cache_hit_ratio() * 100.0) as i64);
+        self.row_hit_ratio
+            .set((now.row_cache_hit_ratio() * 100.0) as i64);
+        self.memtable_bytes.set(now.memtable_bytes as i64);
+        let r = self.telemetry.registry();
+        for (i, level) in now.levels.iter().enumerate() {
+            if self.level_gauges.len() <= i {
+                let label = i.to_string();
+                self.level_gauges.push((
+                    r.gauge("lv_statedb_level_tables", &[("level", &label)]),
+                    r.gauge("lv_statedb_level_bytes", &[("level", &label)]),
+                ));
+            }
+            let (tables, bytes) = &self.level_gauges[i];
+            tables.set(level.tables as i64);
+            bytes.set(level.bytes as i64);
+        }
         self.mirrored = now;
     }
 }
@@ -321,7 +413,9 @@ pub struct LsmBackend {
     /// Timestamp of the last persisted block.
     last_timestamp_us: u64,
     blocks_since_flush: u64,
-    metrics: Option<StatedbMetrics>,
+    /// Backend-level checkpoint latency (WAL + block sync + engine
+    /// flush); the engine's own metrics live on [`LsmState`].
+    flush_seconds: Option<HistogramHandle>,
 }
 
 impl std::fmt::Debug for LsmBackend {
@@ -466,7 +560,7 @@ impl LsmBackend {
             state_root: root,
             last_timestamp_us,
             blocks_since_flush: tip - flushed_height,
-            metrics: None,
+            flush_seconds: None,
         };
         Ok((backend, blocks))
     }
@@ -538,17 +632,15 @@ impl LsmBackend {
         }
         self.wal.reset().map_err(StoreError::Io)?;
         self.blocks_since_flush = 0;
-        if let Some(m) = &mut self.metrics {
-            m.flush_seconds.observe_duration(start.elapsed());
+        if let Some(h) = &self.flush_seconds {
+            h.observe_duration(start.elapsed());
         }
         self.mirror_metrics();
         Ok(())
     }
 
     fn mirror_metrics(&mut self) {
-        if let Some(metrics) = &mut self.metrics {
-            metrics.sync(self.state.stats());
-        }
+        self.state.sync_metrics();
     }
 }
 
@@ -602,8 +694,12 @@ impl StateBackend for LsmBackend {
     }
 
     fn set_telemetry(&mut self, telemetry: &Telemetry) {
-        let already = self.state.stats();
-        self.metrics = Some(StatedbMetrics::new(telemetry, already));
+        self.flush_seconds = Some(
+            telemetry
+                .registry()
+                .histogram("lv_statedb_flush_seconds", &[]),
+        );
+        self.state.set_telemetry(telemetry);
     }
 
     fn as_lsm(&self) -> Option<&LsmBackend> {
@@ -620,6 +716,71 @@ mod tests {
     use super::*;
     use crate::statedb::StateDb;
     use fabric_store::testdir::TestDir;
+
+    #[test]
+    fn statedb_metrics_populate_and_lint_clean() {
+        let dir = TestDir::new("lsmstate-metrics");
+        let config = LsmConfig::new(dir.path().join("lsm"))
+            .memtable_bytes(512)
+            .block_bytes(128)
+            .table_target_bytes(512)
+            .l0_compact_tables(2)
+            .sync(false);
+        let (mut state, _) = LsmState::open(config).unwrap();
+        let telemetry = Telemetry::wall_clock();
+        state.set_telemetry(&telemetry);
+        for i in 0..200u32 {
+            state.put(format!("k{i:04}"), vec![i as u8; 64], v(1, i));
+            if state.should_flush() {
+                state.flush(b"m").unwrap();
+            }
+        }
+        state.flush(b"m").unwrap();
+        for i in 0..200u32 {
+            let _ = state.get(&format!("k{i:04}"));
+            let _ = state.get(&format!("missing{i:04}"));
+        }
+        state.sync_metrics();
+
+        let r = telemetry.registry();
+        let stats = state.stats();
+        assert_eq!(
+            r.counter("lv_statedb_flushes_total", &[]).get(),
+            stats.flushes
+        );
+        assert_eq!(
+            r.counter("lv_statedb_compactions_total", &[]).get(),
+            stats.compactions
+        );
+        assert!(stats.compactions > 0, "workload never compacted");
+        assert_eq!(
+            r.counter("lv_statedb_bloom_negatives_total", &[]).get(),
+            stats.bloom_negatives
+        );
+        assert_eq!(
+            r.counter("lv_statedb_compaction_bytes_written_total", &[])
+                .get(),
+            stats.compaction_bytes_written
+        );
+        assert!(
+            r.gauge("lv_statedb_level_tables", &[("level", "0")]).get() >= 0
+                && !stats.levels.is_empty()
+        );
+        assert_eq!(
+            r.histogram("lv_statedb_memtable_flush_seconds", &[])
+                .histogram()
+                .count(),
+            stats.flushes
+        );
+        assert_eq!(
+            r.histogram("lv_statedb_compaction_seconds", &[])
+                .histogram()
+                .count(),
+            stats.compactions
+        );
+        let problems = ledgerview_telemetry::promlint::lint_prometheus(&r.prometheus_text());
+        assert!(problems.is_empty(), "{problems:?}");
+    }
 
     fn v(b: u64, t: u32) -> Version {
         Version {

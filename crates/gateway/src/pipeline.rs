@@ -43,7 +43,9 @@ use fabric_sim::chaincode::RwSet;
 use fabric_sim::ledger::Transaction;
 use fabric_sim::validation::TxValidation;
 use fabric_sim::{FabricChain, Identity, TxId, WorkerPool};
-use ledgerview_telemetry::{Counter, Gauge, Histogram, HistogramHandle, Telemetry, VirtualClock};
+use ledgerview_telemetry::{
+    Counter, Gauge, Histogram, HistogramHandle, Telemetry, TraceContext, VirtualClock,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,6 +53,11 @@ use crate::admission::{AdmissionConfig, Priority, ShedReason, TokenBucket};
 use crate::reorder::{self, ReorderConfig};
 use crate::retry::RetryPolicy;
 use crate::session::{Session, SessionTable};
+
+/// [`TraceContext::span_id`] stage tag for the admission-time root span.
+const TRACE_STAGE_SUBMIT: u64 = 1;
+/// Stage tag for the submit→terminal span (commit or typed abort).
+const TRACE_STAGE_COMMIT: u64 = 4;
 
 /// A chaincode invocation a client wants committed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -338,6 +345,8 @@ struct GatewayMetrics {
     retry_depth: Gauge,
     inflight: Gauge,
     latency: HistogramHandle,
+    /// Perfetto process lane the gateway's causal spans render on.
+    proc: u64,
 }
 
 impl GatewayMetrics {
@@ -375,6 +384,7 @@ impl GatewayMetrics {
             retry_depth: r.gauge("lv_gateway_queue_depth", &[("lane", "retry")]),
             inflight: r.gauge("lv_gateway_inflight", &[]),
             latency: r.histogram("lv_gateway_submit_commit_seconds", &[]),
+            proc: telemetry.tracer().process("gateway"),
         }
     }
 
@@ -391,6 +401,10 @@ impl GatewayMetrics {
 struct InFlight {
     client: u64,
     op: Operation,
+    /// Causal-trace root for this request's whole journey, derived from
+    /// (gateway seed, request id) — deterministic with telemetry on or
+    /// off, and stable across retries and reorder requeues.
+    ctx: TraceContext,
     submitted_us: u64,
     /// When the request (re-)entered a ready lane — the earliest instant
     /// its next endorsement may start under a [`ServiceModel`].
@@ -629,11 +643,13 @@ impl Gateway {
         let session = self.sessions.entry(client);
         session.submitted += 1;
         session.inflight += 1;
+        let ctx = TraceContext::root(self.config.seed, req);
         self.inflight.insert(
             req,
             InFlight {
                 client,
                 op,
+                ctx,
                 submitted_us: self.now_us,
                 ready_us: self.now_us,
                 attempts: 0,
@@ -644,6 +660,15 @@ impl Gateway {
         self.queued += 1;
         if let Some(m) = &self.metrics {
             m.accepted.inc();
+            m.telemetry.tracer().record_linked(
+                "gateway.submit",
+                self.now_us,
+                self.now_us,
+                m.proc,
+                "submit",
+                ctx.span_id(TRACE_STAGE_SUBMIT),
+                ctx,
+            );
         }
         SubmitResult::Accepted(req)
     }
@@ -999,6 +1024,23 @@ impl Gateway {
             .expect("completing request in flight");
         let session = self.sessions.entry(inf.client);
         session.inflight -= 1;
+        if let Some(m) = &self.metrics {
+            // One submit→terminal span per request, named by outcome so a
+            // Perfetto query can separate committed journeys from aborts.
+            let name = match &outcome {
+                CompletionOutcome::Committed { .. } => "gateway.commit",
+                _ => "gateway.abort",
+            };
+            m.telemetry.tracer().record_linked(
+                name,
+                inf.submitted_us,
+                completed_us,
+                m.proc,
+                "requests",
+                inf.ctx.span_id(TRACE_STAGE_COMMIT),
+                inf.ctx.with_parent(inf.ctx.span_id(TRACE_STAGE_SUBMIT)),
+            );
+        }
         match &outcome {
             CompletionOutcome::Committed { .. } => {
                 session.committed += 1;

@@ -201,6 +201,9 @@ pub struct CompactionEvent {
     pub outputs: Vec<u64>,
     /// Total bytes written to outputs.
     pub output_bytes: u64,
+    /// Wall-clock time the table writes took. Observational only — never
+    /// compared across runs or fed back into engine decisions.
+    pub duration_us: u64,
 }
 
 /// Occupancy of one level in a stats snapshot.
@@ -222,6 +225,17 @@ pub struct LsmStats {
     pub flushes: u64,
     /// Compactions run (L0→L1 and level→level).
     pub compactions: u64,
+    /// Lookups where a table's key range matched but its bloom filter
+    /// proved the key absent without touching a data block.
+    pub bloom_negatives: u64,
+    /// Bytes read from compaction input tables (flushes excluded).
+    pub compaction_bytes_read: u64,
+    /// Bytes written to compaction output tables (flushes excluded).
+    pub compaction_bytes_written: u64,
+    /// Cumulative wall-clock microseconds spent writing L0 flush tables.
+    pub flush_us_total: u64,
+    /// Cumulative wall-clock microseconds spent in compaction merges.
+    pub compaction_us_total: u64,
     pub block_cache_hits: u64,
     pub block_cache_misses: u64,
     pub row_cache_hits: u64,
@@ -313,10 +327,15 @@ pub struct Lsm {
     caches: Caches,
     gets: AtomicU64,
     probes: AtomicU64,
+    bloom_negatives: AtomicU64,
     flushes: u64,
     compactions: u64,
     user_bytes_written: u64,
     table_bytes_written: u64,
+    compaction_bytes_read: u64,
+    compaction_bytes_written: u64,
+    flush_us: u64,
+    compaction_us: u64,
     trace: Vec<CompactionEvent>,
     crash_point: Option<CrashPoint>,
     /// Set when a crash point fired; all further mutation is refused.
@@ -375,10 +394,15 @@ impl Lsm {
                 caches,
                 gets: AtomicU64::new(0),
                 probes: AtomicU64::new(0),
+                bloom_negatives: AtomicU64::new(0),
                 flushes: 0,
                 compactions: 0,
                 user_bytes_written: 0,
                 table_bytes_written: 0,
+                compaction_bytes_read: 0,
+                compaction_bytes_written: 0,
+                flush_us: 0,
+                compaction_us: 0,
                 trace: Vec::new(),
                 crash_point: None,
                 crashed: false,
@@ -453,6 +477,10 @@ impl Lsm {
     fn search_tables(&self, key: &str, probes: &mut u64) -> Result<Option<Record>, StoreError> {
         if let Some(level0) = self.levels.first() {
             for table in level0.iter().rev() {
+                if table.bloom_negative(key) {
+                    self.bloom_negatives.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
                 if let Some(r) = table.get(key, &self.caches, probes)? {
                     return Ok(Some(r));
                 }
@@ -464,6 +492,10 @@ impl Lsm {
             if idx > 0 {
                 let table = &level[idx - 1];
                 if key <= table.max_key.as_str() {
+                    if table.bloom_negative(key) {
+                        self.bloom_negatives.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     if let Some(r) = table.get(key, &self.caches, probes)? {
                         return Ok(Some(r));
                     }
@@ -535,6 +567,7 @@ impl Lsm {
         assert!(!self.crashed, "lsm used after injected crash");
         let mut obsolete: Vec<PathBuf> = Vec::new();
         if !self.mem.is_empty() {
+            let flush_start = std::time::Instant::now();
             let records = self.mem.drain();
             let seq = self.alloc_seq();
             let mut builder = TableBuilder::create(
@@ -547,8 +580,10 @@ impl Lsm {
                 builder.add(key, entry.value.as_deref(), entry.version)?;
             }
             let table = builder.finish(self.config.sync)?;
+            let duration_us = flush_start.elapsed().as_micros() as u64;
             self.flushes += 1;
             self.table_bytes_written += table.file_bytes;
+            self.flush_us += duration_us;
             self.push_trace(CompactionEvent {
                 kind: "flush",
                 level: 0,
@@ -556,6 +591,7 @@ impl Lsm {
                 input_bytes: 0,
                 outputs: vec![table.seq],
                 output_bytes: table.file_bytes,
+                duration_us,
             });
             if self.levels.is_empty() {
                 self.levels.push(Vec::new());
@@ -646,6 +682,7 @@ impl Lsm {
 
     /// Merge all L0 tables plus every overlapping L1 table into L1.
     fn compact_l0(&mut self, obsolete: &mut Vec<PathBuf>) -> Result<(), StoreError> {
+        let compact_start = std::time::Instant::now();
         if self.levels.len() < 2 {
             self.levels.push(Vec::new());
             self.cursors.push(None);
@@ -689,6 +726,7 @@ impl Lsm {
             input_bytes,
             outputs: outputs.iter().map(|t| t.seq).collect(),
             output_bytes: outputs.iter().map(|t| t.file_bytes).sum(),
+            duration_us: compact_start.elapsed().as_micros() as u64,
         };
         if self.crash_point == Some(CrashPoint::AfterCompactionWrite) {
             // Outputs are on disk but never installed; restore inputs so
@@ -706,6 +744,9 @@ impl Lsm {
         }
         self.compactions += 1;
         self.table_bytes_written += event.output_bytes;
+        self.compaction_bytes_read += event.input_bytes;
+        self.compaction_bytes_written += event.output_bytes;
+        self.compaction_us += event.duration_us;
         self.push_trace(event);
         for t in l0.into_iter().chain(overlap) {
             obsolete.push(t.path.clone());
@@ -724,6 +765,7 @@ impl Lsm {
         level: usize,
         obsolete: &mut Vec<PathBuf>,
     ) -> Result<(), StoreError> {
+        let compact_start = std::time::Instant::now();
         if self.levels.len() < level + 2 {
             self.levels.push(Vec::new());
             self.cursors.push(None);
@@ -762,6 +804,7 @@ impl Lsm {
             input_bytes,
             outputs: outputs.iter().map(|t| t.seq).collect(),
             output_bytes: outputs.iter().map(|t| t.file_bytes).sum(),
+            duration_us: compact_start.elapsed().as_micros() as u64,
         };
         if self.crash_point == Some(CrashPoint::AfterCompactionWrite) {
             for t in outputs {
@@ -778,6 +821,9 @@ impl Lsm {
         }
         self.compactions += 1;
         self.table_bytes_written += event.output_bytes;
+        self.compaction_bytes_read += event.input_bytes;
+        self.compaction_bytes_written += event.output_bytes;
+        self.compaction_us += event.duration_us;
         self.push_trace(event);
         obsolete.push(chosen.path.clone());
         for t in overlap {
@@ -806,6 +852,11 @@ impl Lsm {
             probes: self.probes.load(Ordering::Relaxed),
             flushes: self.flushes,
             compactions: self.compactions,
+            bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
+            compaction_bytes_read: self.compaction_bytes_read,
+            compaction_bytes_written: self.compaction_bytes_written,
+            flush_us_total: self.flush_us,
+            compaction_us_total: self.compaction_us,
             block_cache_hits: self.caches.counters.block_hits.load(Ordering::Relaxed),
             block_cache_misses: self.caches.counters.block_misses.load(Ordering::Relaxed),
             row_cache_hits: self.caches.counters.row_hits.load(Ordering::Relaxed),

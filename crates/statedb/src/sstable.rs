@@ -465,6 +465,13 @@ impl Table {
         key >= self.min_key.as_str() && key <= self.max_key.as_str() && self.bloom.may_contain(key)
     }
 
+    /// True when `key` falls inside this table's key range but the bloom
+    /// filter proves it absent — the case where the filter saved a block
+    /// probe (range misses are excluded; they cost only two comparisons).
+    pub fn bloom_negative(&self, key: &str) -> bool {
+        key >= self.min_key.as_str() && key <= self.max_key.as_str() && !self.bloom.may_contain(key)
+    }
+
     /// Index of the data block that could hold `key`.
     fn block_for(&self, key: &str) -> Option<usize> {
         // Rightmost block whose first key <= key.

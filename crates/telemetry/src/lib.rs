@@ -20,7 +20,12 @@
 //!   ([`VirtualClock`], fed by `simnet`'s `SimTime`), so traces of
 //!   discrete-event runs show *virtual* phase timelines.
 //! * [`promlint`] — the small in-repo lint CI runs over every exposition
-//!   (unique names, `_total`/`_seconds` suffix conventions).
+//!   (unique names, `_total`/`_seconds` suffix conventions, known
+//!   subsystem families).
+//! * [`profiler`] — deterministic folded-stack (`flamegraph.pl`-ready)
+//!   profiles and per-phase cost tables computed from the tracer's span
+//!   buffer ([`profile_spans`]), plus [`TraceContext`] for cross-node
+//!   causal traces whose ids derive from seeds rather than clocks.
 //!
 //! All hooks in the stack are gated on `Option<Telemetry>`: a chain or
 //! channel built without telemetry pays a branch on a `None` and nothing
@@ -38,14 +43,16 @@
 
 pub mod clock;
 pub mod histogram;
+pub mod profiler;
 pub mod promlint;
 pub mod registry;
 pub mod tracer;
 
 pub use clock::{ClockSource, VirtualClock, WallClock};
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use profiler::{profile_spans, PhaseCost, Profile};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricsRegistry};
-pub use tracer::{SpanGuard, SpanRecord, Tracer};
+pub use tracer::{splitmix64, SpanGuard, SpanRecord, TraceContext, Tracer};
 
 use std::sync::Arc;
 

@@ -10,6 +10,15 @@
 
 use std::collections::{HashMap, HashSet};
 
+/// Metric families the repo exports, i.e. the `<subsystem>` segment of
+/// `lv_<subsystem>_<name>_<unit>`. A new crate-level family must be
+/// registered here so a typo'd prefix (`lv_statdb_…`) fails the lint
+/// instead of silently forking a family.
+const KNOWN_SUBSYSTEMS: &[&str] = &[
+    "bench", "chain", "cluster", "gateway", "pool", "simnet", "statedb", "storage", "trace",
+    "validate", "views",
+];
+
 /// Lint `exposition` (Prometheus text format); returns one message per
 /// problem, empty when clean.
 pub fn lint_prometheus(exposition: &str) -> Vec<String> {
@@ -97,6 +106,15 @@ fn lint_name(name: &str, kind: &str, lineno: usize, problems: &mut Vec<String>) 
         problems.push(format!(
             "line {lineno}: metric `{name}` has characters outside [a-z0-9_]"
         ));
+    }
+    if let Some(rest) = name.strip_prefix("lv_") {
+        let subsystem = rest.split('_').next().unwrap_or("");
+        if !KNOWN_SUBSYSTEMS.contains(&subsystem) {
+            problems.push(format!(
+                "line {lineno}: metric `{name}` uses unknown subsystem `{subsystem}` \
+                 (register new families in promlint::KNOWN_SUBSYSTEMS)"
+            ));
+        }
     }
     match kind {
         "counter" => {
@@ -192,6 +210,27 @@ lv_mystery_total 3
         );
         assert!(
             problems.iter().any(|p| p.contains("declared twice")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn statedb_and_trace_families_pass_but_unknown_subsystems_fail() {
+        let r = MetricsRegistry::new();
+        r.counter("lv_statedb_bloom_negatives_total", &[]).inc();
+        r.gauge("lv_statedb_level_tables", &[("level", "0")]).set(3);
+        r.histogram("lv_statedb_compaction_seconds", &[])
+            .observe(12);
+        r.counter("lv_trace_spans_total", &[]).inc();
+        let problems = lint_prometheus(&r.prometheus_text());
+        assert!(problems.is_empty(), "{problems:?}");
+
+        let text = "# TYPE lv_statdb_flushes_total counter\nlv_statdb_flushes_total 1\n";
+        let problems = lint_prometheus(text);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("unknown subsystem `statdb`")),
             "{problems:?}"
         );
     }

@@ -7,7 +7,14 @@
 //! guards form the block → tx → phase hierarchy Perfetto renders as a
 //! flamegraph. Discrete-event code that runs "at" a virtual time records
 //! finished spans directly with [`Tracer::record_manual`] on a named
-//! track.
+//! track, or with [`Tracer::record_linked`] when the span belongs to a
+//! cross-node causal trace (see [`TraceContext`]).
+//!
+//! Cross-node traces never mint ids from the tracer's counter: a
+//! [`TraceContext`] derives its trace id and every stage's span id from
+//! the submission seed with SplitMix64, so the ids on the wire are
+//! bit-identical whether or not a tracer is attached — tracing cannot
+//! perturb consensus state.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -17,13 +24,73 @@ use std::sync::{Arc, Mutex};
 use crate::clock::ClockSource;
 use crate::registry::json_string;
 
+/// Default Perfetto process lane for guard spans and plain manual records.
+pub const DEFAULT_PROCESS: u64 = 1;
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function.
+/// Used to derive trace and span ids deterministically from seeds.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Identity of one transaction's cross-node trace: a trace id shared by
+/// every span on the journey plus the span id of the stage that produced
+/// this context (0 = root, no parent).
+///
+/// Both ids are SplitMix64-derived from the submission seed and index —
+/// never from a tracer counter or a clock — so the context encoded into
+/// an `OrderedBatch` is byte-identical with telemetry on or off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by all spans of one submission's journey.
+    pub trace_id: u64,
+    /// Span id of the upstream stage (0 when this context is a root).
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Root context for the `index`-th submission under `seed`.
+    pub fn root(seed: u64, index: u64) -> TraceContext {
+        TraceContext {
+            trace_id: splitmix64(splitmix64(seed ^ 0x6c76_5f74_7261_6365) ^ index),
+            parent_span: 0,
+        }
+    }
+
+    /// The deterministic span id this trace uses for pipeline `stage`.
+    /// Stages are small per-pipeline constants (submit = 1, queue = 2, …);
+    /// mixing them through SplitMix64 keeps ids unique across stages and
+    /// disjoint (with overwhelming probability) from tracer-counter ids.
+    pub fn span_id(&self, stage: u64) -> u64 {
+        splitmix64(self.trace_id ^ splitmix64(stage))
+    }
+
+    /// This context re-parented under `parent_span` (the id of the stage
+    /// that just ran).
+    pub fn with_parent(self, parent_span: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span,
+        }
+    }
+
+    /// The parent span id, if any.
+    pub fn parent(&self) -> Option<u64> {
+        (self.parent_span != 0).then_some(self.parent_span)
+    }
+}
+
 /// One finished span.
 #[derive(Clone, Debug)]
 pub struct SpanRecord {
-    /// Unique id within this tracer.
+    /// Unique id within this tracer (or a SplitMix64-derived id for
+    /// linked records).
     pub id: u64,
     /// Id of the span that was open on the same thread when this one
-    /// started (None for roots and manual records).
+    /// started (None for roots and plain manual records).
     pub parent: Option<u64>,
     /// Span name, e.g. `validate.block`.
     pub name: String,
@@ -34,6 +101,11 @@ pub struct SpanRecord {
     /// Track the span renders on: a per-thread lane for guard spans, a
     /// named lane for manual records.
     pub track: u64,
+    /// Perfetto process lane ([`DEFAULT_PROCESS`] unless recorded via
+    /// [`Tracer::record_linked`] / [`Tracer::record_on_process`]).
+    pub process: u64,
+    /// Cross-node trace this span belongs to, if any.
+    pub trace_id: Option<u64>,
 }
 
 struct Ring {
@@ -50,14 +122,21 @@ pub struct Tracer {
     next_id: AtomicU64,
     /// Track id + display name per OS thread / named manual track.
     tracks: Mutex<HashMap<TrackKey, u64>>,
-    track_names: Mutex<Vec<(u64, String)>>,
+    /// (track id, owning process id, display name).
+    track_names: Mutex<Vec<(u64, u64, String)>>,
     next_track: AtomicU64,
+    /// Registered process lanes: name → id, plus display order.
+    processes: Mutex<HashMap<String, u64>>,
+    process_names: Mutex<Vec<(u64, String)>>,
+    next_process: AtomicU64,
 }
 
 #[derive(PartialEq, Eq, Hash)]
 enum TrackKey {
     Thread(std::thread::ThreadId),
-    Named(String),
+    /// A named lane scoped to a process (the same track name on two
+    /// processes is two distinct lanes).
+    Named(u64, String),
 }
 
 thread_local! {
@@ -90,6 +169,9 @@ impl Tracer {
             tracks: Mutex::new(HashMap::new()),
             track_names: Mutex::new(Vec::new()),
             next_track: AtomicU64::new(1),
+            processes: Mutex::new(HashMap::new()),
+            process_names: Mutex::new(Vec::new()),
+            next_process: AtomicU64::new(DEFAULT_PROCESS + 1),
         }
     }
 
@@ -118,19 +200,35 @@ impl Tracer {
         &self.clock
     }
 
+    /// Intern a named Perfetto process lane (one per orderer/peer node)
+    /// and return its pid. The same name always resolves to the same id.
+    pub fn process(&self, name: &str) -> u64 {
+        let mut processes = self.processes.lock().unwrap();
+        if let Some(&id) = processes.get(name) {
+            return id;
+        }
+        let id = self.next_process.fetch_add(1, Ordering::Relaxed);
+        processes.insert(name.to_string(), id);
+        self.process_names
+            .lock()
+            .unwrap()
+            .push((id, name.to_string()));
+        id
+    }
+
     /// A stable identity for thread-local parent bookkeeping.
     fn identity(&self) -> usize {
         self as *const Tracer as usize
     }
 
-    fn track_id(&self, key: TrackKey, name: impl FnOnce() -> String) -> u64 {
+    fn track_id(&self, key: TrackKey, process: u64, name: impl FnOnce() -> String) -> u64 {
         let mut tracks = self.tracks.lock().unwrap();
         if let Some(&id) = tracks.get(&key) {
             return id;
         }
         let id = self.next_track.fetch_add(1, Ordering::Relaxed);
         tracks.insert(key, id);
-        self.track_names.lock().unwrap().push((id, name()));
+        self.track_names.lock().unwrap().push((id, process, name()));
         id
     }
 
@@ -160,15 +258,85 @@ impl Tracer {
     /// Record an already-finished span on a named track — how simulator
     /// code reports work that "happened" between two virtual timestamps.
     pub fn record_manual(&self, name: &str, start_us: u64, end_us: u64, track: &str) {
-        let track_id = self.track_id(TrackKey::Named(track.to_string()), || track.to_string());
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.push(SpanRecord {
+        self.record_raw(
+            name,
+            start_us,
+            end_us,
+            DEFAULT_PROCESS,
+            track,
             id,
-            parent: None,
+            None,
+            None,
+        );
+    }
+
+    /// [`Tracer::record_manual`] on an explicit process lane; returns the
+    /// span id for use as a parent of later manual records.
+    pub fn record_on_process(
+        &self,
+        name: &str,
+        start_us: u64,
+        end_us: u64,
+        process: u64,
+        track: &str,
+    ) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.record_raw(name, start_us, end_us, process, track, id, None, None);
+        id
+    }
+
+    /// Record a finished span that belongs to a cross-node trace. The
+    /// span id is caller-supplied (derived via [`TraceContext::span_id`],
+    /// not minted here) so the causal chain is identical on every node
+    /// and with telemetry on or off; `ctx.parent_span` links upstream.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_linked(
+        &self,
+        name: &str,
+        start_us: u64,
+        end_us: u64,
+        process: u64,
+        track: &str,
+        span_id: u64,
+        ctx: TraceContext,
+    ) {
+        self.record_raw(
+            name,
+            start_us,
+            end_us,
+            process,
+            track,
+            span_id,
+            ctx.parent(),
+            Some(ctx.trace_id),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_raw(
+        &self,
+        name: &str,
+        start_us: u64,
+        end_us: u64,
+        process: u64,
+        track: &str,
+        span_id: u64,
+        parent: Option<u64>,
+        trace_id: Option<u64>,
+    ) {
+        let track_id = self.track_id(TrackKey::Named(process, track.to_string()), process, || {
+            track.to_string()
+        });
+        self.push(SpanRecord {
+            id: span_id,
+            parent,
             name: name.to_string(),
             start_us,
             dur_us: end_us.saturating_sub(start_us),
             track: track_id,
+            process,
+            trace_id,
         });
     }
 
@@ -188,19 +356,31 @@ impl Tracer {
 
     /// Export buffered spans as Chrome `trace_event` JSON (the
     /// `traceEvents` array format). Open the output in `chrome://tracing`
-    /// or <https://ui.perfetto.dev> — spans nest by time containment per
-    /// track, and track-name metadata labels each lane.
+    /// or <https://ui.perfetto.dev> — each registered process renders as
+    /// its own lane group (one per orderer/peer node), spans nest by time
+    /// containment per track, and spans that carry a [`TraceContext`]
+    /// expose `trace`/`parent` args linking the cross-node journey.
     pub fn chrome_trace_json(&self) -> String {
         let spans = self.recent();
         let mut out = String::from("{\"traceEvents\":[\n");
         let mut first = true;
-        for (track, name) in self.track_names.lock().unwrap().iter() {
+        for (pid, name) in self.process_names.lock().unwrap().iter() {
             if !first {
                 out.push_str(",\n");
             }
             first = false;
             out.push_str(&format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{track},\"args\":{{\"name\":{}}}}}",
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":{}}}}}",
+                json_string(name)
+            ));
+        }
+        for (track, process, name) in self.track_names.lock().unwrap().iter() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{process},\"tid\":{track},\"args\":{{\"name\":{}}}}}",
                 json_string(name)
             ));
         }
@@ -210,14 +390,19 @@ impl Tracer {
             }
             first = false;
             out.push_str(&format!(
-                "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{}{}}}}}",
+                "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"id\":{}{}{}}}}}",
                 json_string(&s.name),
                 s.start_us,
                 s.dur_us.max(1),
+                s.process,
                 s.track,
                 s.id,
                 match s.parent {
                     Some(p) => format!(",\"parent\":{p}"),
+                    None => String::new(),
+                },
+                match s.trace_id {
+                    Some(t) => format!(",\"trace\":{t}"),
                     None => String::new(),
                 }
             ));
@@ -259,12 +444,14 @@ impl Drop for SpanGuard<'_> {
             }
         });
         let thread = std::thread::current();
-        let track = self.tracer.track_id(TrackKey::Thread(thread.id()), || {
-            thread
-                .name()
-                .map(str::to_string)
-                .unwrap_or_else(|| format!("{:?}", thread.id()))
-        });
+        let track = self
+            .tracer
+            .track_id(TrackKey::Thread(thread.id()), DEFAULT_PROCESS, || {
+                thread
+                    .name()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("{:?}", thread.id()))
+            });
         self.tracer.push(SpanRecord {
             id: self.id,
             parent: self.parent,
@@ -272,6 +459,8 @@ impl Drop for SpanGuard<'_> {
             start_us: self.start_us,
             dur_us: end_us.saturating_sub(self.start_us),
             track,
+            process: DEFAULT_PROCESS,
+            trace_id: None,
         });
     }
 }
@@ -307,6 +496,7 @@ mod tests {
         assert_eq!(tx.parent, Some(block.id));
         assert_eq!(tx2.parent, Some(block.id));
         assert!(tx.start_us >= block.start_us);
+        assert!(spans.iter().all(|s| s.process == DEFAULT_PROCESS));
     }
 
     #[test]
@@ -379,5 +569,67 @@ mod tests {
         .unwrap();
         let worker = t.recent().into_iter().find(|s| s.name == "worker").unwrap();
         assert_eq!(worker.parent, None);
+    }
+
+    #[test]
+    fn trace_context_ids_are_deterministic_and_distinct() {
+        let a = TraceContext::root(42, 0);
+        let b = TraceContext::root(42, 0);
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, TraceContext::root(42, 1).trace_id);
+        assert_ne!(a.trace_id, TraceContext::root(43, 0).trace_id);
+        assert_eq!(a.parent(), None);
+        // Stage span ids are stable and pairwise distinct.
+        assert_eq!(a.span_id(1), b.span_id(1));
+        assert_ne!(a.span_id(1), a.span_id(2));
+        let child = a.with_parent(a.span_id(1));
+        assert_eq!(child.trace_id, a.trace_id);
+        assert_eq!(child.parent(), Some(a.span_id(1)));
+    }
+
+    #[test]
+    fn linked_records_carry_process_lane_and_trace_args() {
+        let clock = Arc::new(VirtualClock::new());
+        let t = Tracer::new(clock, 64);
+        let orderer = t.process("orderer-0");
+        let peer = t.process("peer-1");
+        assert_ne!(orderer, peer);
+        assert_eq!(t.process("orderer-0"), orderer);
+
+        let ctx = TraceContext::root(7, 0);
+        let submit = ctx.span_id(1);
+        t.record_linked("submit", 10, 20, orderer, "client", submit, ctx);
+        let commit = ctx.span_id(2);
+        t.record_linked(
+            "peer.commit",
+            20,
+            40,
+            peer,
+            "commit",
+            commit,
+            ctx.with_parent(submit),
+        );
+
+        let spans = t.recent();
+        assert_eq!(spans[0].process, orderer);
+        assert_eq!(spans[0].trace_id, Some(ctx.trace_id));
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].process, peer);
+        assert_eq!(spans[1].parent, Some(submit));
+        // Same track name on two processes is two distinct lanes.
+        let a = t.record_on_process("x", 0, 1, orderer, "commit");
+        let b = t.record_on_process("x", 0, 1, peer, "commit");
+        assert_ne!(a, b);
+        let spans = t.recent();
+        assert_ne!(spans[2].track, spans[3].track);
+
+        let json = t.chrome_trace_json();
+        assert!(json.contains("\"process_name\""), "{json}");
+        assert!(
+            json.contains(&format!("\"trace\":{}", ctx.trace_id)),
+            "{json}"
+        );
+        assert!(json.contains(&format!("\"pid\":{peer}")), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

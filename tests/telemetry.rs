@@ -190,14 +190,21 @@ fn trace_nests_validation_inside_block_cut() {
         .map(|s| s.id)
         .collect();
     assert_eq!(cut_ids.len(), 3);
-    // Every validate.block span is a child of some cut.block span.
+    // Every validate.block span nests (via the block.validate lifecycle
+    // phase) under some cut.block span.
     let validates: Vec<_> = spans
         .iter()
         .filter(|s| s.name == "validate.block")
         .collect();
     assert_eq!(validates.len(), 3);
     for v in &validates {
-        let parent = v.parent.expect("validate.block must have a parent");
+        let phase_id = v.parent.expect("validate.block must have a parent");
+        let phase = spans
+            .iter()
+            .find(|s| s.id == phase_id)
+            .expect("parent span recorded");
+        assert_eq!(phase.name, "block.validate");
+        let parent = phase.parent.expect("block.validate must have a parent");
         assert!(cut_ids.contains(&parent), "parent {parent} not a cut.block");
     }
     // The Chrome export is valid JSON with one event per span (plus
