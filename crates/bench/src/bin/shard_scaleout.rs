@@ -1,0 +1,341 @@
+//! The scale-out headline benchmark: aggregate transfer throughput of a
+//! sharded deployment as the shard count grows, at increasing
+//! cross-shard fractions.
+//!
+//! Each shard is a full replication cluster (3 Raft orderers, 2 durable
+//! peers) carrying the same per-shard submission rate, so perfect
+//! scale-out doubles aggregate throughput with the shard count. The
+//! sweep runs 1→16 shard channels (1→8 in `--smoke`) against cross-shard
+//! fractions {0%, 1%, 10%}: single-shard transfers take the one-
+//! transaction fast path, cross-shard transfers pay the full 2PC
+//! protocol (begin → prepare fan-out → replicated decide → finalize
+//! fan-out), so the fraction knob directly prices coordination.
+//!
+//! Acceptance (asserted in-bin, both modes):
+//!
+//! * every admitted transfer terminates — committed + aborted equals
+//!   scheduled, nothing sheds at this rate, and the conservation audit
+//!   (Σ balances + Σ locks = Σ opened, no stranded 2PC locks) passes on
+//!   every run;
+//! * **8 shards at 0% cross-shard reach ≥ 4× the single-shard tps** —
+//!   the scale-out claim this deployment exists for;
+//! * a cross-shard transfer's spans on the traced run form one linked
+//!   trace across ≥ 2 shards' process lanes (begin/prepare/finalize
+//!   chained under one trace id).
+//!
+//! All timings are virtual microseconds — every number is
+//! bit-reproducible from the seed, so CI keeps a committed baseline
+//! (`bench_results/shard_baseline.json`) and fails on >20% regressions.
+//!
+//! Writes `bench_results/shard_scaleout.json` (schema `shard_scaleout/v1`)
+//! and a Chrome-trace export of the traced run. `--smoke` shrinks the
+//! sweep for CI; `--metrics-out` snapshots the Prometheus registry.
+
+use fabric_store::testdir::TestDir;
+use ledgerview_bench::report::{metrics_out_arg, results_dir, write_metrics};
+use ledgerview_shard::{ShardConfig, ShardedDeployment, TransferStatus};
+use ledgerview_simnet::SimTime;
+use ledgerview_telemetry::{SpanRecord, Telemetry};
+
+const SEED: u64 = 0x5CA1_E007;
+/// Per-shard submission spacing.
+const SUBMIT_EVERY_MS: u64 = 10;
+/// Load starts after the opens have committed.
+const LOAD_START: SimTime = SimTime::from_secs(1);
+
+const CROSS_FRACTIONS: [f64; 3] = [0.0, 0.01, 0.10];
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct RunResult {
+    shards: usize,
+    cross_fraction: f64,
+    transfers: u64,
+    cross: u64,
+    committed: u64,
+    aborted: u64,
+    redrives: u64,
+    window_s: f64,
+    tps: f64,
+}
+
+fn run(
+    shards: usize,
+    cross_fraction: f64,
+    per_shard: u64,
+    telemetry: Option<&Telemetry>,
+) -> RunResult {
+    let dir = TestDir::new("shard-scaleout");
+    let cfg = ShardConfig::new(
+        dir.path(),
+        shards,
+        SEED ^ ((shards as u64) << 32) ^ (cross_fraction * 100.0) as u64,
+    );
+    let mut dep = ShardedDeployment::new(cfg).expect("deployment builds");
+    if let Some(t) = telemetry {
+        dep.set_telemetry(t);
+    }
+
+    // Enough accounts that every shard owns several; placement is the
+    // router's own hash, no pins.
+    let mut buckets: Vec<Vec<String>> = vec![Vec::new(); shards];
+    let mut j = 0u64;
+    while buckets.iter().any(|b| b.len() < 16) {
+        let name = format!("u{j}");
+        buckets[dep.shard_of_account(&name)].push(name);
+        j += 1;
+        assert!(j < 10_000, "hash failed to populate every shard");
+    }
+    for bucket in &buckets {
+        for name in bucket {
+            dep.schedule_open(SimTime::from_millis(100), name, 1_000_000);
+        }
+    }
+
+    // Per-shard load: `per_shard` transfers each, submitted every
+    // SUBMIT_EVERY_MS. Cross-shard pairs are spread deterministically at
+    // the requested fraction.
+    let cross_every = if cross_fraction > 0.0 && shards > 1 {
+        (1.0 / cross_fraction).round() as u64
+    } else {
+        0
+    };
+    let mut cross = 0u64;
+    for k in 0..per_shard {
+        let at = LOAD_START + SimTime::from_millis(k * SUBMIT_EVERY_MS);
+        for s in 0..shards {
+            let r = splitmix(SEED ^ (k << 16) ^ s as u64);
+            let bucket = &buckets[s];
+            let src = &bucket[(r % bucket.len() as u64) as usize];
+            let is_cross =
+                cross_every != 0 && (k * shards as u64 + s as u64).is_multiple_of(cross_every);
+            if is_cross {
+                let other = (s + 1 + (splitmix(r) % (shards as u64 - 1)) as usize) % shards;
+                let dst_bucket = &buckets[other];
+                let dst = &dst_bucket[(splitmix(r ^ 1) % dst_bucket.len() as u64) as usize];
+                dep.schedule_transfer(at, src, dst, 1 + r % 10);
+                cross += 1;
+            } else {
+                let src_idx = (r % bucket.len() as u64) as usize;
+                let step = 1 + (splitmix(r ^ 2) % (bucket.len() as u64 - 1)) as usize;
+                let dst = &bucket[(src_idx + step) % bucket.len()];
+                dep.schedule_transfer(at, src, dst, 1 + r % 10);
+            }
+        }
+    }
+
+    let converged_at = dep
+        .run_until_converged(SimTime::from_secs(600))
+        .expect("deployment converges");
+    dep.verify().expect("atomicity + conservation audit");
+
+    let report = dep.report();
+    let transfers = per_shard * shards as u64;
+    assert_eq!(report.shed, 0, "nothing sheds at this rate");
+    assert_eq!(
+        report.committed + report.aborted,
+        transfers,
+        "every admitted transfer must terminate"
+    );
+    assert_eq!(report.aborted, 0, "balances are ample; nothing aborts");
+    for t in &report.transfers {
+        assert_eq!(t.status, TransferStatus::Committed);
+    }
+
+    let window_s = (converged_at.as_micros() - LOAD_START.as_micros()) as f64 / 1e6;
+    RunResult {
+        shards,
+        cross_fraction,
+        transfers,
+        cross,
+        committed: report.committed,
+        aborted: report.aborted,
+        redrives: report.redrives,
+        window_s,
+        tps: report.committed as f64 / window_s,
+    }
+}
+
+/// The traced run's acceptance check: pick one cross-shard transfer and
+/// require its spans — 2PC phases on the coordinator lane plus the
+/// per-leg submits on the shard clusters' lanes — to share a single
+/// trace id spanning at least two shards' process lanes.
+fn assert_cross_shard_trace(spans: &[SpanRecord]) {
+    // The ring buffer evicts oldest-first on big runs, so scan traces
+    // newest-first for one whose journey survived intact.
+    let candidates: Vec<u64> = spans
+        .iter()
+        .rev()
+        .filter(|s| s.name == "2pc.finalize")
+        .filter_map(|s| s.trace_id)
+        .collect();
+    assert!(!candidates.is_empty(), "a traced cross-shard transfer ran");
+    for trace in candidates {
+        let journey: Vec<&SpanRecord> =
+            spans.iter().filter(|s| s.trace_id == Some(trace)).collect();
+        let names: std::collections::BTreeSet<&str> =
+            journey.iter().map(|s| s.name.as_str()).collect();
+        let complete = ["2pc.begin", "2pc.prepare", "2pc.decide", "2pc.finalize"]
+            .iter()
+            .all(|phase| names.contains(phase));
+        let lanes: std::collections::BTreeSet<u64> = journey
+            .iter()
+            .filter(|s| s.name == "submit")
+            .map(|s| s.process)
+            .collect();
+        if complete && lanes.len() >= 2 {
+            println!(
+                "cross-shard trace verified: trace {trace:#018x}, {} spans over {} submit lanes",
+                journey.len(),
+                lanes.len()
+            );
+            return;
+        }
+    }
+    panic!("no intact cross-shard journey in the span buffer");
+}
+
+fn run_json(r: &RunResult, speedup: f64) -> String {
+    format!(
+        concat!(
+            "    {{\"shards\": {}, \"cross_fraction\": {}, \"transfers\": {}, ",
+            "\"cross\": {}, \"committed\": {}, \"aborted\": {}, \"redrives\": {}, ",
+            "\"window_s\": {:.3}, \"tps\": {:.2}, \"speedup\": {:.2}}}"
+        ),
+        r.shards,
+        r.cross_fraction,
+        r.transfers,
+        r.cross,
+        r.committed,
+        r.aborted,
+        r.redrives,
+        r.window_s,
+        r.tps,
+        speedup,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let shard_counts: &[usize] = if smoke {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16]
+    };
+    let per_shard: u64 = if smoke { 40 } else { 120 };
+    println!(
+        "shard scale-out: {} transfers/shard, shards {:?}, cross fractions {:?}{}\n",
+        per_shard,
+        shard_counts,
+        CROSS_FRACTIONS,
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:>6} {:>7} {:>9} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "shards", "cross%", "transfers", "cross", "redrives", "window_s", "tps", "speedup"
+    );
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for &fraction in &CROSS_FRACTIONS {
+        for &shards in shard_counts {
+            let r = run(shards, fraction, per_shard, None);
+            let base_tps = results
+                .iter()
+                .find(|b| b.cross_fraction == fraction && b.shards == 1)
+                .map(|b| b.tps)
+                .unwrap_or(r.tps);
+            println!(
+                "{:>6} {:>7.1} {:>9} {:>6} {:>9} {:>9.2} {:>9.1} {:>9.2}",
+                r.shards,
+                r.cross_fraction * 100.0,
+                r.transfers,
+                r.cross,
+                r.redrives,
+                r.window_s,
+                r.tps,
+                r.tps / base_tps,
+            );
+            results.push(r);
+        }
+    }
+
+    // Acceptance: 8 shards at 0% cross-shard must scale to >= 4x the
+    // single-shard throughput.
+    let tps_at = |shards: usize, fraction: f64| {
+        results
+            .iter()
+            .find(|r| r.shards == shards && r.cross_fraction == fraction)
+            .map(|r| r.tps)
+            .expect("swept configuration")
+    };
+    let scaleout_8x = tps_at(8, 0.0) / tps_at(1, 0.0);
+    assert!(
+        scaleout_8x >= 4.0,
+        "8-shard scale-out must be >= 4x single-shard at 0% cross-shard, got {scaleout_8x:.2}x"
+    );
+    println!("\n8-shard scale-out at 0% cross-shard: {scaleout_8x:.2}x (>= 4x required)");
+
+    // A small dedicated traced run (2 shards, 10% cross): the sweep's
+    // big runs overflow the span ring buffer, and the trace acceptance
+    // is about protocol structure, not scale.
+    let telemetry = Telemetry::wall_clock();
+    run(2, 0.10, 40, Some(&telemetry));
+    let spans = telemetry.tracer().recent();
+    assert_cross_shard_trace(&spans);
+
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let trace_path = dir.join("shard_2pc_trace.json");
+    std::fs::write(&trace_path, telemetry.tracer().chrome_trace_json()).expect("write trace");
+
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            let base = results
+                .iter()
+                .find(|b| b.cross_fraction == r.cross_fraction && b.shards == 1)
+                .map(|b| b.tps)
+                .unwrap_or(r.tps);
+            run_json(r, r.tps / base)
+        })
+        .collect();
+    let headline_tps = tps_at(8, 0.0);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"shard_scaleout/v1\",\n",
+            "  \"benchmark\": \"shard_scaleout\",\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"description\": \"aggregate transfer tps of a sharded deployment; each ",
+            "shard is a 3-orderer/2-peer Raft cluster, cross-shard transfers run 2PC ",
+            "with a Raft-replicated decision; virtual time\",\n",
+            "  \"headline\": {{\"shards\": 8, \"cross_fraction\": 0.0, \"tps\": {:.2}, ",
+            "\"scaleout_8x\": {:.2}}},\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        headline_tps,
+        scaleout_8x,
+        rows.join(",\n"),
+    );
+    let path = dir.join("shard_scaleout.json");
+    std::fs::write(&path, &json).expect("write json");
+    println!(
+        "headline: {:.1} aggregate tps at 8 shards ({:.2}x)\nwrote {}\nwrote {}",
+        headline_tps,
+        scaleout_8x,
+        path.display(),
+        trace_path.display(),
+    );
+
+    if let Some(out) = metrics_out_arg() {
+        write_metrics(&telemetry, &out).expect("write metrics");
+        println!("wrote {}", out.display());
+    }
+}

@@ -27,7 +27,9 @@ use fabric_sim::endorsement::EndorsementPolicy;
 use fabric_sim::identity::Identity;
 use fabric_sim::ledger::{Transaction, TxId};
 use fabric_sim::raft::{NodeId, Outgoing, RaftMsg, RaftNode};
+use fabric_sim::statedb::VersionedState;
 use fabric_sim::storage::ChainSnapshot;
+use fabric_sim::validation::TxValidation;
 use fabric_sim::{FabricChain, StorageConfig};
 use ledgerview_crypto::rng::seeded;
 use ledgerview_crypto::sha256::Digest;
@@ -121,6 +123,28 @@ struct TxTrace {
     requeues: u64,
 }
 
+/// The fate of a tagged invocation scheduled via
+/// [`ClusterSim::schedule_call`], reported through
+/// [`ClusterSim::take_outcomes`].
+///
+/// "Acceptance is a promise": once endorsement succeeds the cluster's
+/// watchdog and rerouting guarantee the transaction is eventually ordered
+/// and committed (possibly as `Committed` with a failed validation), so
+/// these two variants are exhaustive — there is no silent-drop outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvokeOutcome {
+    /// Endorsement rejected the proposal (chaincode error / policy); the
+    /// transaction never entered the ordering pipeline.
+    EndorseFailed(String),
+    /// The transaction was ordered and committed on the canonical chain
+    /// with this validation result (writes applied only when
+    /// `valid.is_valid()`).
+    Committed {
+        /// The commit-time validation outcome.
+        valid: TxValidation,
+    },
+}
+
 /// One completed peer catch-up (restart replay or fresh bootstrap).
 #[derive(Clone, Debug)]
 pub struct CatchupRecord {
@@ -207,6 +231,10 @@ struct World {
     submit_seq: u64,
     tx_traces: BTreeMap<TxId, TxTrace>,
 
+    // Tagged invocations (sharded deployments watch their 2PC legs).
+    tx_tags: BTreeMap<TxId, u64>,
+    outcomes: Vec<(u64, InvokeOutcome)>,
+
     // Link faults (orderer ↔ orderer).
     partition_group: Vec<u8>,
     slow: BTreeMap<(NodeId, NodeId), u64>,
@@ -244,12 +272,15 @@ impl World {
             .wal_segment_bytes(cfg.wal_segment_bytes)
     }
 
-    fn deploy_workload(chain: &mut FabricChain) {
+    fn deploy_workload(cfg: &ClusterConfig, chain: &mut FabricChain) {
         chain.deploy(
             CHAINCODE,
             Box::new(CounterChaincode),
             EndorsementPolicy::AnyOf(chain.org_ids()),
         );
+        for (name, factory) in &cfg.workloads {
+            chain.deploy(name, factory(), EndorsementPolicy::AnyOf(chain.org_ids()));
+        }
     }
 
     /// Open (or recover) a peer chain over its durable directory, using
@@ -263,7 +294,7 @@ impl World {
         } else {
             FabricChain::with_storage(&names, &mut rng, storage, cfg.validation.clone())?
         };
-        Self::deploy_workload(&mut chain);
+        Self::deploy_workload(cfg, &mut chain);
         Ok(chain)
     }
 
@@ -282,7 +313,7 @@ impl World {
             cfg.validation.clone(),
             snapshot,
         )?;
-        Self::deploy_workload(&mut chain);
+        Self::deploy_workload(cfg, &mut chain);
         Ok(chain)
     }
 
@@ -410,8 +441,19 @@ impl World {
                 continue; // Client re-proposal; every replica skips it.
             }
             self.inflight.remove(&batch.batch_id);
-            self.endorser
+            let validations = self
+                .endorser
                 .commit_ordered(batch.transactions.clone(), batch.timestamp_us);
+            for (tx, valid) in batch.transactions.iter().zip(&validations) {
+                if let Some(tag) = self.tx_tags.remove(&tx.tx_id) {
+                    self.outcomes.push((
+                        tag,
+                        InvokeOutcome::Committed {
+                            valid: valid.clone(),
+                        },
+                    ));
+                }
+            }
             self.canonical_roots.push(self.endorser.state_root());
             // Batch dedup above guarantees exactly one replicate span per
             // transaction, even when the watchdog re-proposed the batch.
@@ -575,15 +617,27 @@ impl World {
 
     // ---- submissions -------------------------------------------------
 
-    fn on_submit(&mut self, function: String, args: Vec<Vec<u8>>, sim: &mut Sim) {
+    fn on_submit(
+        &mut self,
+        chaincode: String,
+        function: String,
+        args: Vec<Vec<u8>>,
+        tag: Option<u64>,
+        ctx_override: Option<TraceContext>,
+        sim: &mut Sim,
+    ) {
         self.pending_actions -= 1;
         // The trace context is derived unconditionally — wire bytes of
-        // every batch are identical with telemetry attached or not.
-        let ctx = TraceContext::root(self.cfg.seed, self.submit_seq);
+        // every batch are identical with telemetry attached or not. A
+        // caller-supplied context (a 2PC leg riding its transfer's trace)
+        // replaces the minted root but not the sequence increment, so the
+        // ids of later submissions don't depend on who supplied contexts.
+        let minted = TraceContext::root(self.cfg.seed, self.submit_seq);
+        let ctx = ctx_override.unwrap_or(minted);
         self.submit_seq += 1;
         let result = self.endorser.invoke(
             &self.client,
-            CHAINCODE,
+            &chaincode,
             &function,
             args,
             &mut self.submit_rng,
@@ -599,6 +653,9 @@ impl World {
                         requeues: 0,
                     },
                 );
+                if let Some(t) = tag {
+                    self.tx_tags.insert(r.tx_id, t);
+                }
                 if let Some(m) = &self.metrics {
                     m.telemetry.tracer().record_linked(
                         "submit",
@@ -612,7 +669,13 @@ impl World {
                     m.trace_submit_spans.inc();
                 }
             }
-            Err(_) => self.submit_errors += 1,
+            Err(e) => {
+                self.submit_errors += 1;
+                if let Some(t) = tag {
+                    self.outcomes
+                        .push((t, InvokeOutcome::EndorseFailed(e.to_string())));
+                }
+            }
         }
     }
 
@@ -748,6 +811,12 @@ impl World {
         );
         match result {
             Ok(r) => {
+                // The tag follows the trace: re-endorsement is a hop, not
+                // a new invocation, so the outcome reports under the
+                // original tag when the successor finally commits.
+                if let Some(tag) = self.tx_tags.remove(&old_id) {
+                    self.tx_tags.insert(r.tx_id, tag);
+                }
                 if let Some(mut t) = self.tx_traces.remove(&old_id) {
                     t.requeues += 1;
                     if let Some(m) = &self.metrics {
@@ -765,7 +834,13 @@ impl World {
                     self.tx_traces.insert(r.tx_id, t);
                 }
             }
-            Err(_) => self.submit_errors += 1,
+            Err(e) => {
+                self.submit_errors += 1;
+                if let Some(tag) = self.tx_tags.remove(&old_id) {
+                    self.outcomes
+                        .push((tag, InvokeOutcome::EndorseFailed(e.to_string())));
+                }
+            }
         }
     }
 
@@ -776,7 +851,12 @@ impl World {
             return; // Committed while we were backing off.
         }
         if attempt > self.cfg.retry.max_attempts.max(1) {
-            self.inflight.remove(&batch_id);
+            // Routing round exhausted — every orderer unreachable or
+            // rejecting (e.g. mid-partition, mid-election). The batch
+            // stays inflight: the resubmit watchdog opens a fresh routing
+            // round after `resubmit_timeout`, so an endorsed transaction
+            // is never silently dropped ("acceptance is a promise") —
+            // it outwaits the fault instead.
             self.failed_batches += 1;
             return;
         }
@@ -1039,7 +1119,7 @@ impl ClusterSim {
         let mut id_rng = seeded(config.identity_seed);
         let mut endorser = FabricChain::new(&names, &mut id_rng);
         endorser.set_check_signatures(config.check_signatures);
-        World::deploy_workload(&mut endorser);
+        World::deploy_workload(&config, &mut endorser);
         let client_org = endorser.org_ids()[0].clone();
         let client = endorser.enroll(&client_org, "cluster-client", &mut id_rng)?;
 
@@ -1089,6 +1169,8 @@ impl ClusterSim {
             believed_leader: 0,
             submit_seq: 0,
             tx_traces: BTreeMap::new(),
+            tx_tags: BTreeMap::new(),
+            outcomes: Vec::new(),
             partition_group,
             slow: BTreeMap::new(),
             divergences: Vec::new(),
@@ -1130,6 +1212,7 @@ impl ClusterSim {
             telemetry,
             self.world.orderers.len(),
             self.world.peers.len(),
+            &self.world.cfg.lane_prefix,
         ));
     }
 
@@ -1171,8 +1254,62 @@ impl ClusterSim {
     pub fn schedule_invoke(&mut self, at: SimTime, function: &str, args: Vec<Vec<u8>>) {
         self.world.pending_actions += 1;
         let function = function.to_string();
-        self.sim
-            .schedule_at(at, move |w: &mut World, s| w.on_submit(function, args, s));
+        self.sim.schedule_at(at, move |w: &mut World, s| {
+            w.on_submit(CHAINCODE.to_string(), function, args, None, None, s)
+        });
+    }
+
+    /// Schedule a tagged invocation of any deployed chaincode. The fate
+    /// of the transaction — endorse-rejected, or committed with its
+    /// validation result — is reported under `tag` via
+    /// [`ClusterSim::take_outcomes`] (tags survive re-endorsement hops
+    /// exactly like trace contexts). A caller-supplied [`TraceContext`]
+    /// replaces the minted per-submission root so externally coordinated
+    /// protocols (cross-shard 2PC) can parent every leg under one trace.
+    pub fn schedule_call(
+        &mut self,
+        at: SimTime,
+        chaincode: &str,
+        function: &str,
+        args: Vec<Vec<u8>>,
+        tag: u64,
+        ctx: Option<TraceContext>,
+    ) {
+        self.world.pending_actions += 1;
+        let chaincode = chaincode.to_string();
+        let function = function.to_string();
+        self.sim.schedule_at(at, move |w: &mut World, s| {
+            w.on_submit(chaincode, function, args, Some(tag), ctx, s)
+        });
+    }
+
+    /// Drain the outcomes of tagged invocations resolved since the last
+    /// call, in resolution order.
+    pub fn take_outcomes(&mut self) -> Vec<(u64, InvokeOutcome)> {
+        std::mem::take(&mut self.world.outcomes)
+    }
+
+    /// Whether every scheduled action has fired, no batch is in flight,
+    /// and every live peer has applied the full committed log (the
+    /// predicate [`ClusterSim::run_until_converged`] polls).
+    pub fn is_converged(&self) -> bool {
+        self.world.converged()
+    }
+
+    /// Endorsed-but-not-yet-cut transactions in the ordering queue.
+    pub fn pending_txs(&self) -> usize {
+        self.world.endorser.pending_count()
+    }
+
+    /// The canonical (ordering-side) chain state — what 2PC coordinators
+    /// read to recover replicated decision records after a failover.
+    pub fn canonical_state(&self) -> &dyn VersionedState {
+        self.world.endorser.state()
+    }
+
+    /// The canonical rolling state root at the committed tip.
+    pub fn canonical_root(&self) -> Digest {
+        self.world.endorser.state_root()
     }
 
     /// Convenience load: `count` counter increments starting at `start`,

@@ -39,7 +39,9 @@ pub mod fault;
 mod metrics;
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use fabric_sim::chaincode::Chaincode;
 use fabric_sim::parallel::ValidationConfig;
 use fabric_sim::raft::RaftConfig;
 use fabric_store::wal::FsyncPolicy;
@@ -47,8 +49,15 @@ use ledgerview_gateway::{ReorderConfig, RetryPolicy};
 use ledgerview_simnet::{LatencyMatrix, Region, SimTime};
 
 pub use batch::OrderedBatch;
-pub use cluster::{CatchupRecord, ClusterReport, ClusterSim};
+pub use cluster::{CatchupRecord, ClusterReport, ClusterSim, InvokeOutcome};
 pub use fault::{BootstrapMode, ClusterError, Divergence, Fault};
+
+/// Builds a fresh chaincode instance for every replica that deploys it.
+///
+/// Every peer (and the ordering-side endorser) constructs its own copy,
+/// so factories must be pure: two instances given identical invocation
+/// sequences must produce identical writes, or replicas diverge.
+pub type WorkloadFactory = Arc<dyn Fn() -> Box<dyn Chaincode> + Send + Sync>;
 
 /// Cluster shape, timing, and storage parameters.
 ///
@@ -116,6 +125,15 @@ pub struct ClusterConfig {
     pub check_signatures: bool,
     /// Organisation names shared by every replica.
     pub org_names: Vec<String>,
+    /// Additional chaincodes deployed on every replica alongside the
+    /// default counter workload, as `(name, factory)` pairs. A sharded
+    /// deployment uses this to host the 2PC transfer/coordinator
+    /// contracts on cluster-backed channels.
+    pub workloads: Vec<(String, WorkloadFactory)>,
+    /// Prefix for this cluster's Perfetto process-lane names (e.g.
+    /// `"shard3/"` → `shard3/gateway`, `shard3/orderer-0`, …). Keeps the
+    /// lanes of multiple clusters sharing one [`Telemetry`] distinct.
+    pub lane_prefix: String,
 }
 
 impl ClusterConfig {
@@ -148,6 +166,8 @@ impl ClusterConfig {
             validation: ValidationConfig::default(),
             check_signatures: true,
             org_names: vec!["OrdererOrg".to_string(), "PeerOrg".to_string()],
+            workloads: Vec::new(),
+            lane_prefix: String::new(),
         }
     }
 }

@@ -8,6 +8,9 @@ use ledgerview_telemetry::{Counter, Gauge, HistogramHandle, Telemetry};
 
 pub(crate) struct ClusterMetrics {
     pub telemetry: Telemetry,
+    /// Prepended to every process-lane name (disambiguates clusters
+    /// sharing one `Telemetry`, e.g. shards).
+    lane_prefix: String,
     /// Leader transitions observed across the ordering service.
     pub elections: Counter,
     /// Proposals re-routed after hitting a non-leader (or dead) orderer.
@@ -48,11 +51,17 @@ pub(crate) struct ClusterMetrics {
 }
 
 impl ClusterMetrics {
-    pub fn new(telemetry: &Telemetry, orderers: usize, peers: usize) -> ClusterMetrics {
+    pub fn new(
+        telemetry: &Telemetry,
+        orderers: usize,
+        peers: usize,
+        lane_prefix: &str,
+    ) -> ClusterMetrics {
         let r = telemetry.registry();
         let tracer = telemetry.tracer();
         let mut m = ClusterMetrics {
             telemetry: telemetry.clone(),
+            lane_prefix: lane_prefix.to_string(),
             elections: r.counter("lv_cluster_elections_total", &[]),
             notleader_retries: r.counter("lv_cluster_notleader_retries_total", &[]),
             batches: r.counter("lv_cluster_batches_total", &[]),
@@ -69,9 +78,9 @@ impl ClusterMetrics {
             trace_replicate_spans: r.counter("lv_trace_spans_total", &[("stage", "replicate")]),
             trace_commit_spans: r.counter("lv_trace_spans_total", &[("stage", "commit")]),
             trace_requeues: r.counter("lv_trace_requeues_total", &[]),
-            gateway_proc: tracer.process("gateway"),
+            gateway_proc: tracer.process(&format!("{lane_prefix}gateway")),
             orderer_procs: (0..orderers)
-                .map(|o| tracer.process(&format!("orderer-{o}")))
+                .map(|o| tracer.process(&format!("{lane_prefix}orderer-{o}")))
                 .collect(),
             peer_procs: Vec::new(),
         };
@@ -93,7 +102,9 @@ impl ClusterMetrics {
         }
         while self.peer_procs.len() < peers {
             let p = self.peer_procs.len();
-            self.peer_procs.push(tracer.process(&format!("peer-{p}")));
+            let prefix = &self.lane_prefix;
+            self.peer_procs
+                .push(tracer.process(&format!("{prefix}peer-{p}")));
         }
     }
 

@@ -127,13 +127,44 @@ fn committed_key(request: &str) -> String {
     format!("xtx~{request}")
 }
 
+fn aborted_key(request: &str) -> String {
+    format!("abt~{request}")
+}
+
 const POISON_KEY: &str = "shard~poison";
+
+/// A participant's terminal 2PC state for a request, if it reached one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminalState {
+    /// The payload is committed (visible).
+    Committed,
+    /// The request was aborted; any lock was released.
+    Aborted,
+}
+
+/// A participant's recorded terminal state for a request, if any.
+pub fn read_terminal_state(state: &dyn VersionedState, request: &str) -> Option<TerminalState> {
+    if state.get(&committed_key(request)).is_some() {
+        Some(TerminalState::Committed)
+    } else if state.get(&aborted_key(request)).is_some() {
+        Some(TerminalState::Aborted)
+    } else {
+        None
+    }
+}
 
 /// The 2PC participant contract on each view blockchain.
 ///
 /// `prepare` locks the payload; `commit` makes it visible as view data;
 /// `abort` discards it. `set_poison` makes future prepares vote abort —
 /// the failure-injection hook used by the atomicity tests.
+///
+/// Terminal states are **idempotent**: a coordinator that crashes after
+/// recording its decision replays that decision on recovery, so every
+/// participant must absorb a duplicate `commit` or `abort` as a no-op
+/// instead of failing the replayed transaction. An `abort` for a request
+/// that never prepared here is also accepted (presumed abort) and leaves
+/// a terminal marker that fences any late `prepare` for the same request.
 pub struct ShardContract;
 
 impl Chaincode for ShardContract {
@@ -155,9 +186,10 @@ impl Chaincode for ShardContract {
                 let key = prep_key(&request);
                 if ctx.get_state(&key).is_some()
                     || ctx.get_state(&committed_key(&request)).is_some()
+                    || ctx.get_state(&aborted_key(&request)).is_some()
                 {
                     return Err(FabricError::ChaincodeError(format!(
-                        "request {request:?} already prepared or committed"
+                        "request {request:?} already prepared or terminal"
                     )));
                 }
                 ctx.put_state(key, payload);
@@ -165,6 +197,15 @@ impl Chaincode for ShardContract {
             }
             "commit" => {
                 let request = arg_str(args, 0)?;
+                if ctx.get_state(&committed_key(&request)).is_some() {
+                    // Crash-replayed decision: already terminal, no-op.
+                    return Ok(vec![]);
+                }
+                if ctx.get_state(&aborted_key(&request)).is_some() {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} was aborted; cannot commit"
+                    )));
+                }
                 let Some(payload) = ctx.get_state(&prep_key(&request)) else {
                     return Err(FabricError::ChaincodeError(format!(
                         "request {request:?} was not prepared"
@@ -176,12 +217,19 @@ impl Chaincode for ShardContract {
             }
             "abort" => {
                 let request = arg_str(args, 0)?;
-                if ctx.get_state(&prep_key(&request)).is_none() {
+                if ctx.get_state(&aborted_key(&request)).is_some() {
+                    // Crash-replayed decision: already terminal, no-op.
+                    return Ok(vec![]);
+                }
+                if ctx.get_state(&committed_key(&request)).is_some() {
                     return Err(FabricError::ChaincodeError(format!(
-                        "request {request:?} was not prepared"
+                        "request {request:?} was committed; cannot abort"
                     )));
                 }
+                // Presumed abort: release the lock if one exists, and leave
+                // a terminal marker either way so a late prepare is fenced.
                 ctx.delete_state(prep_key(&request));
+                ctx.put_state(aborted_key(&request), vec![1]);
                 Ok(vec![])
             }
             "set_poison" => {
@@ -204,6 +252,315 @@ pub fn read_committed_payload(state: &dyn VersionedState, request: &str) -> Opti
     state.get(&committed_key(request))
 }
 
+/// Chaincode name of the transfer participant (deployed on each shard
+/// channel of a sharded deployment).
+pub const TRANSFER_CC: &str = "xc.transfer";
+
+fn acct_key(acct: &str) -> String {
+    format!("acct~{acct}")
+}
+
+fn lock_key(request: &str) -> String {
+    format!("lock~{request}")
+}
+
+fn pend_key(request: &str) -> String {
+    format!("pend~{request}")
+}
+
+fn fin_key(request: &str) -> String {
+    format!("fin~{request}")
+}
+
+fn u64_be(v: u64) -> Vec<u8> {
+    v.to_be_bytes().to_vec()
+}
+
+fn parse_u64(bytes: &[u8], what: &str) -> Result<u64, FabricError> {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .map_err(|_| FabricError::Malformed(format!("{what}: expected 8 bytes")))?;
+    Ok(u64::from_be_bytes(arr))
+}
+
+/// Encode a 2PC leg record: the reserved/intended amount plus the account
+/// it debits or credits.
+fn leg_value(acct: &str, amount: u64) -> Vec<u8> {
+    let mut v = u64_be(amount);
+    v.extend_from_slice(acct.as_bytes());
+    v
+}
+
+fn leg_amount(value: &[u8]) -> Result<u64, FabricError> {
+    if value.len() < 8 {
+        return Err(FabricError::Malformed("truncated leg record".into()));
+    }
+    parse_u64(&value[..8], "leg amount")
+}
+
+fn leg_account(value: &[u8]) -> Result<String, FabricError> {
+    if value.len() < 8 {
+        return Err(FabricError::Malformed("truncated leg record".into()));
+    }
+    String::from_utf8(value[8..].to_vec())
+        .map_err(|_| FabricError::Malformed("leg account not UTF-8".into()))
+}
+
+/// The money-moving 2PC participant for sharded deployments.
+///
+/// Accounts live under `acct~<name>`; a cross-shard transfer runs as a
+/// *debit leg* on the source account's shard and a *credit leg* on the
+/// destination's:
+///
+/// * `prepare_debit(req, src, amount)` reserves the amount by moving it
+///   out of the balance and into a `lock~<req>` record — the classic
+///   AHL-style reservation, so concurrent spends cannot double-spend the
+///   locked funds. Votes abort (fails endorsement) on insufficient funds.
+/// * `prepare_credit(req, dst, amount)` records the intent under
+///   `pend~<req>`; the credit itself is deferred to `commit`.
+/// * `commit(req)` releases the lock for good (debit side) or applies the
+///   credit (credit side) and records the terminal marker `fin~<req>`.
+/// * `abort(req)` refunds the lock / drops the intent and records the
+///   terminal marker.
+///
+/// Terminal states are idempotent exactly like [`ShardContract`]'s: a
+/// replayed `commit`/`abort` after the marker exists is a no-op, and an
+/// `abort` for a request with no leg here is presumed-abort (marker only).
+/// The conservation invariant audited by the shard tests is
+/// `Σ balances + Σ lock amounts = Σ opened`, since a lock holds in-flight
+/// money and a pending credit does not.
+pub struct TransferContract;
+
+impl Chaincode for TransferContract {
+    fn invoke(
+        &self,
+        ctx: &mut TxContext<'_>,
+        function: &str,
+        args: &[Vec<u8>],
+    ) -> Result<Vec<u8>, FabricError> {
+        match function {
+            "open" => {
+                let acct = arg_str(args, 0)?;
+                let amount = parse_u64(arg(args, 1)?, "open amount")?;
+                if ctx.get_state(&acct_key(&acct)).is_some() {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "account {acct:?} already exists"
+                    )));
+                }
+                ctx.put_state(acct_key(&acct), u64_be(amount));
+                Ok(vec![])
+            }
+            "transfer" => {
+                // Single-shard fast path: both accounts live here, no 2PC.
+                let src = arg_str(args, 0)?;
+                let dst = arg_str(args, 1)?;
+                let amount = parse_u64(arg(args, 2)?, "transfer amount")?;
+                let src_bal = ctx
+                    .get_state(&acct_key(&src))
+                    .ok_or_else(|| FabricError::ChaincodeError(format!("unknown account {src:?}")))
+                    .and_then(|v| parse_u64(&v, "balance"))?;
+                let dst_bal = ctx
+                    .get_state(&acct_key(&dst))
+                    .ok_or_else(|| FabricError::ChaincodeError(format!("unknown account {dst:?}")))
+                    .and_then(|v| parse_u64(&v, "balance"))?;
+                if src_bal < amount {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "insufficient funds: {src:?} has {src_bal}, needs {amount}"
+                    )));
+                }
+                ctx.put_state(acct_key(&src), u64_be(src_bal - amount));
+                ctx.put_state(acct_key(&dst), u64_be(dst_bal + amount));
+                Ok(vec![])
+            }
+            "prepare_debit" => {
+                if ctx.get_state(POISON_KEY).is_some() {
+                    return Err(FabricError::ChaincodeError(
+                        "shard votes abort (poisoned)".into(),
+                    ));
+                }
+                let request = arg_str(args, 0)?;
+                let src = arg_str(args, 1)?;
+                let amount = parse_u64(arg(args, 2)?, "debit amount")?;
+                if ctx.get_state(&fin_key(&request)).is_some()
+                    || ctx.get_state(&lock_key(&request)).is_some()
+                    || ctx.get_state(&pend_key(&request)).is_some()
+                {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} already prepared or terminal"
+                    )));
+                }
+                let bal = ctx
+                    .get_state(&acct_key(&src))
+                    .ok_or_else(|| FabricError::ChaincodeError(format!("unknown account {src:?}")))
+                    .and_then(|v| parse_u64(&v, "balance"))?;
+                if bal < amount {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "insufficient funds: {src:?} has {bal}, needs {amount}"
+                    )));
+                }
+                ctx.put_state(acct_key(&src), u64_be(bal - amount));
+                ctx.put_state(lock_key(&request), leg_value(&src, amount));
+                Ok(vec![])
+            }
+            "prepare_credit" => {
+                if ctx.get_state(POISON_KEY).is_some() {
+                    return Err(FabricError::ChaincodeError(
+                        "shard votes abort (poisoned)".into(),
+                    ));
+                }
+                let request = arg_str(args, 0)?;
+                let dst = arg_str(args, 1)?;
+                let amount = parse_u64(arg(args, 2)?, "credit amount")?;
+                if ctx.get_state(&fin_key(&request)).is_some()
+                    || ctx.get_state(&lock_key(&request)).is_some()
+                    || ctx.get_state(&pend_key(&request)).is_some()
+                {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} already prepared or terminal"
+                    )));
+                }
+                if ctx.get_state(&acct_key(&dst)).is_none() {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "unknown account {dst:?}"
+                    )));
+                }
+                ctx.put_state(pend_key(&request), leg_value(&dst, amount));
+                Ok(vec![])
+            }
+            "commit" => {
+                let request = arg_str(args, 0)?;
+                match ctx.get_state(&fin_key(&request)).as_deref() {
+                    Some([1]) => return Ok(vec![]), // replayed decision
+                    Some(_) => {
+                        return Err(FabricError::ChaincodeError(format!(
+                            "request {request:?} was aborted; cannot commit"
+                        )))
+                    }
+                    None => {}
+                }
+                if let Some(lock) = ctx.get_state(&lock_key(&request)) {
+                    // Debit side: the reserved amount leaves for good.
+                    let _ = leg_amount(&lock)?;
+                    ctx.delete_state(lock_key(&request));
+                } else if let Some(pend) = ctx.get_state(&pend_key(&request)) {
+                    let amount = leg_amount(&pend)?;
+                    let dst = leg_account(&pend)?;
+                    let bal = ctx
+                        .get_state(&acct_key(&dst))
+                        .ok_or_else(|| {
+                            FabricError::ChaincodeError(format!("unknown account {dst:?}"))
+                        })
+                        .and_then(|v| parse_u64(&v, "balance"))?;
+                    ctx.put_state(acct_key(&dst), u64_be(bal + amount));
+                    ctx.delete_state(pend_key(&request));
+                } else {
+                    return Err(FabricError::ChaincodeError(format!(
+                        "request {request:?} has no prepared leg to commit"
+                    )));
+                }
+                ctx.put_state(fin_key(&request), vec![1]);
+                Ok(vec![])
+            }
+            "abort" => {
+                let request = arg_str(args, 0)?;
+                match ctx.get_state(&fin_key(&request)).as_deref() {
+                    Some([0]) => return Ok(vec![]), // replayed decision
+                    Some(_) => {
+                        return Err(FabricError::ChaincodeError(format!(
+                            "request {request:?} was committed; cannot abort"
+                        )))
+                    }
+                    None => {}
+                }
+                if let Some(lock) = ctx.get_state(&lock_key(&request)) {
+                    // Refund the reservation.
+                    let amount = leg_amount(&lock)?;
+                    let src = leg_account(&lock)?;
+                    let bal = ctx
+                        .get_state(&acct_key(&src))
+                        .ok_or_else(|| {
+                            FabricError::ChaincodeError(format!("unknown account {src:?}"))
+                        })
+                        .and_then(|v| parse_u64(&v, "balance"))?;
+                    ctx.put_state(acct_key(&src), u64_be(bal + amount));
+                    ctx.delete_state(lock_key(&request));
+                } else {
+                    // Credit side or presumed abort: drop any intent and
+                    // fence late prepares with the terminal marker.
+                    ctx.delete_state(pend_key(&request));
+                }
+                ctx.put_state(fin_key(&request), vec![0]);
+                Ok(vec![])
+            }
+            "set_poison" => {
+                ctx.put_state(POISON_KEY, vec![1]);
+                Ok(vec![])
+            }
+            "clear_poison" => {
+                ctx.delete_state(POISON_KEY);
+                Ok(vec![])
+            }
+            other => Err(FabricError::ChaincodeError(format!(
+                "TransferContract: unknown function {other}"
+            ))),
+        }
+    }
+}
+
+/// An account's balance on a shard, if the account lives there.
+pub fn read_balance(state: &dyn VersionedState, acct: &str) -> Option<u64> {
+    state
+        .get(&acct_key(acct))
+        .and_then(|v| parse_u64(&v, "balance").ok())
+}
+
+/// Sum of all account balances on a shard.
+pub fn total_balances(state: &dyn VersionedState) -> u64 {
+    state
+        .prefix_scan("acct~")
+        .into_iter()
+        .filter_map(|(_, v)| parse_u64(&v, "balance").ok())
+        .sum()
+}
+
+/// Sum of all in-flight debit reservations on a shard (money held by
+/// unresolved 2PC locks; conservation counts it alongside balances).
+pub fn locked_total(state: &dyn VersionedState) -> u64 {
+    state
+        .prefix_scan("lock~")
+        .into_iter()
+        .filter_map(|(_, v)| leg_amount(&v).ok())
+        .sum()
+}
+
+/// Unresolved lock/intent records on a shard (empty once every 2PC
+/// request reached its terminal state).
+pub fn unresolved_requests(state: &dyn VersionedState) -> Vec<String> {
+    let mut reqs: Vec<String> = state
+        .prefix_scan("lock~")
+        .into_iter()
+        .map(|(k, _)| k["lock~".len()..].to_string())
+        .chain(
+            state
+                .prefix_scan("pend~")
+                .into_iter()
+                .map(|(k, _)| k["pend~".len()..].to_string()),
+        )
+        .collect();
+    reqs.sort();
+    reqs.dedup();
+    reqs
+}
+
+/// A transfer request's terminal state on a shard, if it reached one.
+pub fn read_transfer_terminal(state: &dyn VersionedState, request: &str) -> Option<TerminalState> {
+    match state.get(&fin_key(request)).as_deref() {
+        Some([1]) => Some(TerminalState::Committed),
+        Some([0]) => Some(TerminalState::Aborted),
+        _ => None,
+    }
+}
+
 /// Whether a request is still in the prepared (locked) state.
 pub fn is_prepared(state: &dyn VersionedState, request: &str) -> bool {
     state.get(&prep_key(request)).is_some()
@@ -217,4 +574,234 @@ pub fn committed_bytes(state: &dyn VersionedState) -> u64 {
         .into_iter()
         .map(|(k, v)| (k.len() + v.len()) as u64)
         .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_sim::endorsement::EndorsementPolicy;
+    use fabric_sim::identity::{Identity, OrgId};
+    use fabric_sim::FabricChain;
+    use ledgerview_crypto::rng::seeded;
+    use rand::rngs::StdRng;
+
+    fn chain_with(cc: &str, contract: Box<dyn Chaincode>) -> (FabricChain, Identity, StdRng) {
+        let mut rng = seeded(0xC0_2DC);
+        let mut chain = FabricChain::new(&["OrgA", "OrgB"], &mut rng);
+        let policy = EndorsementPolicy::AllOf(chain.org_ids());
+        chain.deploy(cc, contract, policy);
+        let id = chain
+            .enroll(&OrgId::new("OrgA"), "tester", &mut rng)
+            .unwrap();
+        (chain, id, rng)
+    }
+
+    fn call(
+        chain: &mut FabricChain,
+        id: &Identity,
+        rng: &mut StdRng,
+        cc: &str,
+        function: &str,
+        args: &[&str],
+    ) -> Result<(), FabricError> {
+        let args: Vec<Vec<u8>> = args.iter().map(|a| a.as_bytes().to_vec()).collect();
+        chain.invoke_commit(id, cc, function, args, rng).map(|_| ())
+    }
+
+    fn xfer(
+        chain: &mut FabricChain,
+        id: &Identity,
+        rng: &mut StdRng,
+        function: &str,
+        request: &str,
+        acct: &str,
+        amount: u64,
+    ) -> Result<(), FabricError> {
+        let args = vec![
+            request.as_bytes().to_vec(),
+            acct.as_bytes().to_vec(),
+            amount.to_be_bytes().to_vec(),
+        ];
+        chain
+            .invoke_commit(id, TRANSFER_CC, function, args, rng)
+            .map(|_| ())
+    }
+
+    fn open(
+        chain: &mut FabricChain,
+        id: &Identity,
+        rng: &mut StdRng,
+        acct: &str,
+        amount: u64,
+    ) -> Result<(), FabricError> {
+        let args = vec![acct.as_bytes().to_vec(), amount.to_be_bytes().to_vec()];
+        chain
+            .invoke_commit(id, TRANSFER_CC, "open", args, rng)
+            .map(|_| ())
+    }
+
+    #[test]
+    fn shard_commit_double_delivery_is_idempotent() {
+        let (mut chain, id, mut rng) = chain_with(SHARD_CC, Box::new(ShardContract));
+        call(
+            &mut chain,
+            &id,
+            &mut rng,
+            SHARD_CC,
+            "prepare",
+            &["r1", "payload"],
+        )
+        .unwrap();
+        assert!(is_prepared(chain.state(), "r1"));
+        call(&mut chain, &id, &mut rng, SHARD_CC, "commit", &["r1"]).unwrap();
+        // A crash-replayed decision delivers commit a second time: no-op.
+        call(&mut chain, &id, &mut rng, SHARD_CC, "commit", &["r1"]).unwrap();
+        assert!(!is_prepared(chain.state(), "r1"));
+        assert_eq!(
+            read_terminal_state(chain.state(), "r1"),
+            Some(TerminalState::Committed)
+        );
+        assert_eq!(
+            read_committed_payload(chain.state(), "r1").as_deref(),
+            Some(b"payload".as_slice())
+        );
+        // But flipping the decision is rejected.
+        assert!(call(&mut chain, &id, &mut rng, SHARD_CC, "abort", &["r1"]).is_err());
+    }
+
+    #[test]
+    fn shard_abort_double_delivery_is_idempotent() {
+        let (mut chain, id, mut rng) = chain_with(SHARD_CC, Box::new(ShardContract));
+        call(&mut chain, &id, &mut rng, SHARD_CC, "prepare", &["r2", "p"]).unwrap();
+        call(&mut chain, &id, &mut rng, SHARD_CC, "abort", &["r2"]).unwrap();
+        call(&mut chain, &id, &mut rng, SHARD_CC, "abort", &["r2"]).unwrap();
+        assert!(!is_prepared(chain.state(), "r2"));
+        assert_eq!(
+            read_terminal_state(chain.state(), "r2"),
+            Some(TerminalState::Aborted)
+        );
+        assert!(read_committed_payload(chain.state(), "r2").is_none());
+        assert!(call(&mut chain, &id, &mut rng, SHARD_CC, "commit", &["r2"]).is_err());
+    }
+
+    #[test]
+    fn shard_presumed_abort_fences_late_prepare() {
+        let (mut chain, id, mut rng) = chain_with(SHARD_CC, Box::new(ShardContract));
+        // Abort arrives before any prepare (coordinator timed the request
+        // out while this shard was partitioned away).
+        call(&mut chain, &id, &mut rng, SHARD_CC, "abort", &["r3"]).unwrap();
+        assert_eq!(
+            read_terminal_state(chain.state(), "r3"),
+            Some(TerminalState::Aborted)
+        );
+        // The delayed prepare must not re-lock a decided request.
+        assert!(call(&mut chain, &id, &mut rng, SHARD_CC, "prepare", &["r3", "p"]).is_err());
+        assert!(!is_prepared(chain.state(), "r3"));
+    }
+
+    #[test]
+    fn transfer_commit_and_abort_double_delivery() {
+        let (mut chain, id, mut rng) = chain_with(TRANSFER_CC, Box::new(TransferContract));
+        open(&mut chain, &id, &mut rng, "alice", 100).unwrap();
+        open(&mut chain, &id, &mut rng, "bob", 50).unwrap();
+
+        // Debit leg commit, delivered twice.
+        xfer(
+            &mut chain,
+            &id,
+            &mut rng,
+            "prepare_debit",
+            "t1",
+            "alice",
+            30,
+        )
+        .unwrap();
+        assert_eq!(read_balance(chain.state(), "alice"), Some(70));
+        assert_eq!(locked_total(chain.state()), 30);
+        xfer(&mut chain, &id, &mut rng, "commit", "t1", "", 0).unwrap();
+        xfer(&mut chain, &id, &mut rng, "commit", "t1", "", 0).unwrap();
+        assert_eq!(read_balance(chain.state(), "alice"), Some(70));
+        assert_eq!(locked_total(chain.state()), 0);
+        assert_eq!(
+            read_transfer_terminal(chain.state(), "t1"),
+            Some(TerminalState::Committed)
+        );
+        assert!(xfer(&mut chain, &id, &mut rng, "abort", "t1", "", 0).is_err());
+
+        // Credit leg abort, delivered twice: the credit never lands.
+        xfer(&mut chain, &id, &mut rng, "prepare_credit", "t2", "bob", 30).unwrap();
+        xfer(&mut chain, &id, &mut rng, "abort", "t2", "", 0).unwrap();
+        xfer(&mut chain, &id, &mut rng, "abort", "t2", "", 0).unwrap();
+        assert_eq!(read_balance(chain.state(), "bob"), Some(50));
+        assert_eq!(
+            read_transfer_terminal(chain.state(), "t2"),
+            Some(TerminalState::Aborted)
+        );
+        assert!(xfer(&mut chain, &id, &mut rng, "commit", "t2", "", 0).is_err());
+        assert!(unresolved_requests(chain.state()).is_empty());
+    }
+
+    #[test]
+    fn transfer_abort_refunds_and_conserves() {
+        let (mut chain, id, mut rng) = chain_with(TRANSFER_CC, Box::new(TransferContract));
+        open(&mut chain, &id, &mut rng, "carol", 40).unwrap();
+        xfer(
+            &mut chain,
+            &id,
+            &mut rng,
+            "prepare_debit",
+            "t9",
+            "carol",
+            25,
+        )
+        .unwrap();
+        assert_eq!(
+            total_balances(chain.state()) + locked_total(chain.state()),
+            40
+        );
+        xfer(&mut chain, &id, &mut rng, "abort", "t9", "", 0).unwrap();
+        assert_eq!(read_balance(chain.state(), "carol"), Some(40));
+        assert_eq!(locked_total(chain.state()), 0);
+        // Insufficient funds votes abort at endorsement time.
+        assert!(xfer(
+            &mut chain,
+            &id,
+            &mut rng,
+            "prepare_debit",
+            "t10",
+            "carol",
+            41
+        )
+        .is_err());
+        // Presumed abort fences the late prepare.
+        xfer(&mut chain, &id, &mut rng, "abort", "t11", "", 0).unwrap();
+        assert!(xfer(
+            &mut chain,
+            &id,
+            &mut rng,
+            "prepare_debit",
+            "t11",
+            "carol",
+            5
+        )
+        .is_err());
+        assert_eq!(total_balances(chain.state()), 40);
+    }
+
+    #[test]
+    fn transfer_single_shard_fast_path() {
+        let (mut chain, id, mut rng) = chain_with(TRANSFER_CC, Box::new(TransferContract));
+        open(&mut chain, &id, &mut rng, "a", 10).unwrap();
+        open(&mut chain, &id, &mut rng, "b", 0).unwrap();
+        let args = vec![b"a".to_vec(), b"b".to_vec(), 7u64.to_be_bytes().to_vec()];
+        chain
+            .invoke_commit(&id, TRANSFER_CC, "transfer", args, &mut rng)
+            .unwrap();
+        assert_eq!(read_balance(chain.state(), "a"), Some(3));
+        assert_eq!(read_balance(chain.state(), "b"), Some(7));
+        let args = vec![b"a".to_vec(), b"b".to_vec(), 99u64.to_be_bytes().to_vec()];
+        assert!(chain
+            .invoke_commit(&id, TRANSFER_CC, "transfer", args, &mut rng)
+            .is_err());
+    }
 }

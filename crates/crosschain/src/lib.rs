@@ -20,5 +20,9 @@ pub mod contracts;
 pub mod deployment;
 pub mod protocol;
 
+pub use contracts::{
+    read_balance, read_terminal_state, read_transfer_terminal, total_balances, CoordinatorContract,
+    ShardContract, TerminalState, TransferContract, COORDINATOR_CC, SHARD_CC, TRANSFER_CC,
+};
 pub use deployment::CrossChainDeployment;
 pub use protocol::{execute_request, CrossChainRequest, RequestOutcome};

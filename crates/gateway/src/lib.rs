@@ -32,6 +32,7 @@ pub mod pipeline;
 pub mod reorder;
 pub mod retry;
 pub mod session;
+pub mod shardmap;
 
 pub use admission::{AdmissionConfig, Priority, ShedReason, TokenBucket};
 pub use driver::{counter_chain, CounterChaincode, DriverConfig, DriverReport, LoadMode, Zipf};
@@ -42,3 +43,4 @@ pub use pipeline::{
 pub use reorder::{ReorderConfig, ReorderPlan, ReorderStats};
 pub use retry::RetryPolicy;
 pub use session::{Session, SessionTable};
+pub use shardmap::{fnv1a, routing_prefix, Route, ShardMap, ShardRouter, ShardShed};

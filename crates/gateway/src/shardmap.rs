@@ -1,0 +1,259 @@
+//! Key-shard routing for sharded multi-channel deployments.
+//!
+//! A sharded deployment runs S independent channels; the gateway must
+//! send every transaction to the channel(s) owning the keys it touches.
+//! Routing is a pure function of the key bytes and the [`ShardMap`]
+//! configuration — no load feedback, no randomness — so every replica,
+//! every rerun, and every recovery path routes identically.
+//!
+//! * The **routing prefix** of a key is its first two `~`-separated
+//!   components (`acct~alice` → `acct~alice`, `lock~t17~x` → `lock~t17`).
+//!   Entity-level keys therefore shard by entity, while a request's
+//!   bookkeeping keys (`lock~<req>`, `fin~<req>`) follow the request.
+//! * The prefix is hashed with FNV-1a (stable across platforms and
+//!   builds, unlike `std`'s `DefaultHasher`) modulo the shard count.
+//! * Composite namespaces that must stay co-located override the hash
+//!   with an **explicit pin**: e.g. pinning `vs~data~` places every view
+//!   payload key on one chosen shard regardless of suffix. Longest
+//!   matching pin wins.
+
+use crate::admission::TokenBucket;
+
+/// Where a transaction's write-set routes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Every key lives on one shard: submit directly, no 2PC.
+    Single(usize),
+    /// Keys span multiple shards (sorted, deduplicated): the gateway must
+    /// fan the request out as 2PC prepare sub-transactions.
+    Cross(Vec<usize>),
+}
+
+/// FNV-1a over the key bytes: deterministic, platform-stable, and good
+/// enough dispersion for shard assignment.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The routing prefix of a key: everything up to (not including) the
+/// second `~` separator, or the whole key if it has fewer components.
+pub fn routing_prefix(key: &str) -> &str {
+    let mut seps = key
+        .char_indices()
+        .filter(|&(_, c)| c == '~')
+        .map(|(i, _)| i);
+    let _first = seps.next();
+    match seps.next() {
+        Some(i) => &key[..i],
+        None => key,
+    }
+}
+
+/// Deterministic key→shard assignment: FNV-1a of the routing prefix,
+/// with longest-matching explicit pins for composite namespaces.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    shards: usize,
+    /// `(prefix, shard)` pins; longest matching prefix wins, ties broken
+    /// by insertion order (first wins).
+    pins: Vec<(String, usize)>,
+}
+
+impl ShardMap {
+    /// A map over `shards` channels with no pins.
+    pub fn new(shards: usize) -> ShardMap {
+        ShardMap {
+            shards: shards.max(1),
+            pins: Vec::new(),
+        }
+    }
+
+    /// Number of shards this map routes over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Pin every key starting with `prefix` to `shard`, overriding the
+    /// hash. Use for composite namespaces (e.g. `vs~data~`) whose keys
+    /// must stay co-located on one channel.
+    pub fn pin_prefix(&mut self, prefix: &str, shard: usize) {
+        assert!(
+            shard < self.shards,
+            "pin target {shard} out of range (shards = {})",
+            self.shards
+        );
+        self.pins.push((prefix.to_string(), shard));
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_for_key(&self, key: &str) -> usize {
+        let pinned = self
+            .pins
+            .iter()
+            .filter(|(p, _)| key.starts_with(p.as_str()))
+            .max_by_key(|(p, _)| p.len())
+            .map(|&(_, s)| s);
+        match pinned {
+            Some(s) => s,
+            None => (fnv1a(routing_prefix(key).as_bytes()) % self.shards as u64) as usize,
+        }
+    }
+
+    /// Route a transaction by the keys it touches. Empty key sets route
+    /// to shard 0 (a keyless transaction can run anywhere; picking the
+    /// first shard keeps the choice deterministic).
+    pub fn route<'a, I>(&self, keys: I) -> Route
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut shards: Vec<usize> = keys.into_iter().map(|k| self.shard_for_key(k)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        match shards.len() {
+            0 => Route::Single(0),
+            1 => Route::Single(shards[0]),
+            _ => Route::Cross(shards),
+        }
+    }
+}
+
+/// Why the shard router refused a submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardShed {
+    /// The owning shard's token bucket was empty.
+    RateLimited {
+        /// The shard whose admission budget was exhausted.
+        shard: usize,
+    },
+}
+
+/// The routing front end of a sharded deployment: a [`ShardMap`] plus
+/// per-shard token-bucket admission.
+///
+/// "Acceptance is a promise" extends across shards: a cross-shard request
+/// is admitted only if **every** involved shard has budget, and budget is
+/// taken from all of them atomically — a request never half-enters the
+/// system. Once admitted, the per-shard clusters' watchdogs guarantee the
+/// legs are eventually ordered and committed.
+pub struct ShardRouter {
+    map: ShardMap,
+    buckets: Vec<TokenBucket>,
+}
+
+impl ShardRouter {
+    /// A router over `map` admitting up to `rate_per_sec` transactions
+    /// per shard (burst capacity `burst`).
+    pub fn new(map: ShardMap, rate_per_sec: f64, burst: u64) -> ShardRouter {
+        let buckets = (0..map.shards())
+            .map(|_| TokenBucket::new(rate_per_sec, burst))
+            .collect();
+        ShardRouter { map, buckets }
+    }
+
+    /// The routing table.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Route and admit a transaction touching `keys` at virtual time
+    /// `now_us`. On success returns where it goes; on refusal nothing was
+    /// consumed from any bucket.
+    pub fn admit<'a, I>(&mut self, keys: I, now_us: u64) -> Result<Route, ShardShed>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let route = self.map.route(keys);
+        let involved: &[usize] = match &route {
+            Route::Single(s) => std::slice::from_ref(s),
+            Route::Cross(shards) => shards,
+        };
+        for &s in involved {
+            self.buckets[s].refill(now_us);
+        }
+        // All-or-nothing: check budget everywhere before taking anywhere.
+        if let Some(&s) = involved.iter().find(|&&s| self.buckets[s].available() == 0) {
+            return Err(ShardShed::RateLimited { shard: s });
+        }
+        for &s in involved {
+            let took = self.buckets[s].try_take();
+            debug_assert!(took, "availability was checked above");
+        }
+        Ok(route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_prefix_takes_two_components() {
+        assert_eq!(routing_prefix("acct~alice"), "acct~alice");
+        assert_eq!(routing_prefix("lock~t17~extra"), "lock~t17");
+        assert_eq!(routing_prefix("plain"), "plain");
+        assert_eq!(routing_prefix("vs~data~view1~k"), "vs~data");
+    }
+
+    #[test]
+    fn assignment_is_stable_and_in_range() {
+        let map = ShardMap::new(8);
+        for i in 0..256 {
+            let key = format!("acct~user{i}");
+            let s = map.shard_for_key(&key);
+            assert!(s < 8);
+            assert_eq!(s, map.shard_for_key(&key), "assignment must be stable");
+        }
+        // The hash must actually disperse: 256 accounts over 8 shards
+        // cannot all land on one.
+        let hits: std::collections::BTreeSet<usize> = (0..256)
+            .map(|i| map.shard_for_key(&format!("acct~user{i}")))
+            .collect();
+        assert!(hits.len() > 4, "poor dispersion: {hits:?}");
+    }
+
+    #[test]
+    fn pins_override_hash_longest_wins() {
+        let mut map = ShardMap::new(4);
+        map.pin_prefix("vs~", 1);
+        map.pin_prefix("vs~data~", 3);
+        assert_eq!(map.shard_for_key("vs~meta~x"), 1);
+        assert_eq!(map.shard_for_key("vs~data~view1~k"), 3);
+        // Co-location: every vs~data~ key lands on the pinned shard.
+        for i in 0..32 {
+            assert_eq!(map.shard_for_key(&format!("vs~data~v{i}~k{i}")), 3);
+        }
+    }
+
+    #[test]
+    fn route_classifies_single_vs_cross() {
+        let mut map = ShardMap::new(4);
+        map.pin_prefix("a~", 0);
+        map.pin_prefix("b~", 2);
+        assert_eq!(map.route(["a~1", "a~2"]), Route::Single(0));
+        assert_eq!(map.route(["a~1", "b~1"]), Route::Cross(vec![0, 2]));
+        assert_eq!(map.route(std::iter::empty::<&str>()), Route::Single(0));
+    }
+
+    #[test]
+    fn cross_shard_admission_is_all_or_nothing() {
+        let mut map = ShardMap::new(2);
+        map.pin_prefix("a~", 0);
+        map.pin_prefix("b~", 1);
+        // 1 token per shard, no refill within the test window.
+        let mut router = ShardRouter::new(map, 0.000_001, 1);
+        // Drain shard 1's only token.
+        assert!(router.admit(["b~x"], 0).is_ok());
+        // Cross-shard request: shard 0 has budget, shard 1 does not —
+        // refused, and shard 0's token must NOT be consumed.
+        assert_eq!(
+            router.admit(["a~x", "b~y"], 0),
+            Err(ShardShed::RateLimited { shard: 1 })
+        );
+        assert!(router.admit(["a~z"], 0).is_ok(), "shard 0 budget intact");
+    }
+}

@@ -1,0 +1,1111 @@
+//! The sharded deployment: S replication clusters in lock-step on one
+//! virtual clock, a key-shard router in front, and a deterministic
+//! cross-shard 2PC orchestrator driving the `crosschain` contracts over
+//! the live replicated channels.
+//!
+//! # One shared virtual clock
+//!
+//! Each shard is a full [`ClusterSim`] (its own Raft orderer group, its
+//! own peer set, its own event queue). The deployment advances every
+//! cluster to the same virtual-time boundary in fixed shard order, one
+//! *slice* at a time; cross-shard coordination happens only at slice
+//! boundaries, from committed state. Because each cluster is internally
+//! deterministic and the inter-cluster schedule is a pure function of the
+//! boundary sequence, the whole deployment is deterministic: same config
+//! and seed ⇒ bit-identical per-shard histories and state roots.
+//!
+//! # 2PC over Raft
+//!
+//! A cross-shard transfer `t` from account `src` (shard A) to `dst`
+//! (shard B) runs as a per-transfer state machine:
+//!
+//! 1. **begin** — the coordinator record (`CoordinatorContract`) is
+//!    written on the *source* shard's channel, ordered through its Raft
+//!    log. The transfer's trace is minted here.
+//! 2. **prepare** — `prepare_debit` on A reserves the funds under a lock;
+//!    `prepare_credit` on B records the intent. An endorsement rejection
+//!    is a NO vote; an MVCC invalidation is neither vote — the leg is
+//!    re-driven until it commits decisively.
+//! 3. **decide** — once both votes are in, the decision is written to the
+//!    coordinator record *and replicated through Raft* before any
+//!    acknowledgement: a decision that survives only in the
+//!    orchestrator's memory could be lost with a crashed leader, but a
+//!    decision in the Raft log survives any minority failure.
+//! 4. **finalize** — `commit`/`abort` legs on both shards. A leg
+//!    invalidated by a concurrent balance write is re-driven *from the
+//!    replicated decision record* (the coordinator-recovery path): the
+//!    orchestrator re-reads the on-chain decision and re-submits, so an
+//!    in-doubt request always terminates even across failover.
+//!
+//! Participant terminal states are idempotent (see
+//! `ledgerview_crosschain::contracts`), so crash-replayed decisions and
+//! duplicate finalize legs are absorbed as no-ops.
+//!
+//! "Acceptance is a promise" holds end-to-end: admission is all-or-
+//! nothing across the involved shards' token buckets, and once admitted,
+//! every leg is eventually ordered and committed by the per-shard
+//! cluster's watchdog/rerouting machinery — under leader kills, peer
+//! crashes, and partitions from the [`Fault`] schedule.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fabric_sim::chaincode::Chaincode;
+use fabric_sim::validation::TxValidation;
+use ledgerview_cluster::{
+    ClusterConfig, ClusterError, ClusterReport, ClusterSim, Fault, InvokeOutcome,
+};
+use ledgerview_crosschain::contracts::{
+    locked_total, read_coord_state, total_balances, unresolved_requests, CoordState,
+    CoordinatorContract, TransferContract, COORDINATOR_CC, TRANSFER_CC,
+};
+use ledgerview_crypto::sha256::Digest;
+use ledgerview_gateway::{Route, ShardMap, ShardRouter};
+use ledgerview_simnet::SimTime;
+use ledgerview_telemetry::{Telemetry, TraceContext};
+
+use crate::metrics::ShardMetrics;
+
+/// Span stages for the 2PC phases, disjoint from the cluster pipeline's
+/// (`ledgerview_cluster::cluster::stage`). Every per-shard leg submits
+/// with a context parented under its phase span, so one cross-shard
+/// transfer renders as a single Perfetto trace spanning all shard lanes.
+pub mod stage {
+    /// Coordinator `begin` on the source shard.
+    pub const BEGIN: u64 = 0x2000;
+    /// The prepare fan-out (both shards).
+    pub const PREPARE: u64 = 0x2001;
+    /// The replicated decision write.
+    pub const DECIDE: u64 = 0x2002;
+    /// The commit/abort fan-out.
+    pub const FINALIZE: u64 = 0x2003;
+    /// A single-shard (non-2PC) transfer.
+    pub const LOCAL: u64 = 0x2004;
+}
+
+/// Shape and timing of a sharded deployment.
+#[derive(Clone)]
+pub struct ShardConfig {
+    /// Number of shard channels.
+    pub shards: usize,
+    /// Master seed; each shard's cluster derives its own sub-seed.
+    pub seed: u64,
+    /// Root directory; shard `i` persists under `<root>/shard<i>`.
+    pub storage_root: PathBuf,
+    /// Raft orderers per shard channel.
+    pub orderers_per_shard: usize,
+    /// Committing peers per shard channel.
+    pub peers_per_shard: usize,
+    /// Block-cutter period on every shard.
+    pub block_interval: SimTime,
+    /// Lock-step slice: how far each cluster advances before the
+    /// orchestrator looks at outcomes again. Must comfortably exceed
+    /// nothing in particular — smaller slices mean lower 2PC latency and
+    /// more orchestrator activity; determinism is unaffected.
+    pub slice: SimTime,
+    /// Per-shard admission rate (transactions per virtual second).
+    pub admission_rate_per_sec: f64,
+    /// Per-shard admission burst capacity.
+    pub admission_burst: u64,
+    /// Endorsement signature production/verification (off by default:
+    /// the scale-out bench measures pipeline structure, not crypto).
+    pub check_signatures: bool,
+    /// Explicit shard-map pins for composite namespaces, `(prefix,
+    /// shard)`.
+    pub pins: Vec<(String, usize)>,
+}
+
+impl ShardConfig {
+    /// A deployment of `shards` channels (3 orderers + 2 peers each)
+    /// persisting under `storage_root`.
+    pub fn new(storage_root: impl Into<PathBuf>, shards: usize, seed: u64) -> ShardConfig {
+        ShardConfig {
+            shards: shards.max(1),
+            seed,
+            storage_root: storage_root.into(),
+            orderers_per_shard: 3,
+            peers_per_shard: 2,
+            block_interval: SimTime::from_millis(250),
+            slice: SimTime::from_millis(50),
+            admission_rate_per_sec: 100_000.0,
+            admission_burst: 100_000,
+            check_signatures: false,
+            pins: Vec::new(),
+        }
+    }
+
+    /// The derived [`ClusterConfig`] for shard `i`.
+    pub fn cluster_config(&self, shard: usize) -> ClusterConfig {
+        let sub_seed = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
+        let mut cfg = ClusterConfig::new(self.storage_root.join(format!("shard{shard}")), sub_seed);
+        cfg.orderers = self.orderers_per_shard;
+        cfg.peers = self.peers_per_shard;
+        cfg.block_interval = self.block_interval;
+        cfg.check_signatures = self.check_signatures;
+        cfg.lane_prefix = format!("shard{shard}/");
+        let transfer: ledgerview_cluster::WorkloadFactory =
+            Arc::new(|| Box::new(TransferContract) as Box<dyn Chaincode>);
+        let coordinator: ledgerview_cluster::WorkloadFactory =
+            Arc::new(|| Box::new(CoordinatorContract) as Box<dyn Chaincode>);
+        cfg.workloads = vec![
+            (TRANSFER_CC.to_string(), transfer),
+            (COORDINATOR_CC.to_string(), coordinator),
+        ];
+        cfg
+    }
+}
+
+/// Errors surfaced by a sharded deployment.
+#[derive(Debug)]
+pub enum ShardError {
+    /// A shard's cluster failed (divergence, non-convergence, …).
+    Cluster {
+        /// The failing shard.
+        shard: usize,
+        /// The underlying cluster error.
+        source: ClusterError,
+    },
+    /// The deployment did not reach quiescence by the deadline.
+    NotConverged {
+        /// The deadline that expired.
+        deadline: SimTime,
+        /// Transfers still in flight.
+        inflight: usize,
+    },
+    /// Global conservation was violated: Σ balances + Σ locks ≠ Σ opened.
+    Conservation {
+        /// What the opened accounts sum to.
+        expected: u64,
+        /// What the shards actually hold.
+        actual: u64,
+    },
+    /// 2PC requests left permanently prepared locks after quiescence.
+    LockedRequests(Vec<String>),
+    /// Unexpected protocol outcomes (e.g. a begin that failed).
+    Protocol(Vec<String>),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Cluster { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
+            ShardError::NotConverged { deadline, inflight } => write!(
+                f,
+                "not converged by {deadline:?}: {inflight} transfers in flight"
+            ),
+            ShardError::Conservation { expected, actual } => write!(
+                f,
+                "conservation violated: opened {expected}, shards hold {actual}"
+            ),
+            ShardError::LockedRequests(reqs) => {
+                write!(f, "permanently locked requests: {reqs:?}")
+            }
+            ShardError::Protocol(errors) => write!(f, "protocol errors: {errors:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Terminal status of a scheduled transfer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransferStatus {
+    /// Still working through its phases.
+    InFlight,
+    /// Refused at admission; nothing entered any shard.
+    Shed,
+    /// Applied atomically (locally or via 2PC).
+    Committed,
+    /// Aborted atomically; no balance moved.
+    Aborted {
+        /// Deterministic reason string.
+        reason: String,
+    },
+}
+
+/// One scheduled transfer and its fate.
+#[derive(Clone, Debug)]
+pub struct TransferRecord {
+    /// Request id (`t<ordinal>`), also the 2PC request key.
+    pub id: String,
+    /// Source account.
+    pub src: String,
+    /// Destination account.
+    pub dst: String,
+    /// Amount.
+    pub amount: u64,
+    /// Shard owning the source account.
+    pub src_shard: usize,
+    /// Shard owning the destination account.
+    pub dst_shard: usize,
+    /// Current status.
+    pub status: TransferStatus,
+    /// Times any leg of this transfer was re-driven.
+    pub redrives: u64,
+}
+
+/// End-of-run summary of a sharded deployment.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Per-shard cluster reports, in shard order.
+    pub shards: Vec<ClusterReport>,
+    /// Every scheduled transfer with its outcome.
+    pub transfers: Vec<TransferRecord>,
+    /// Per-shard canonical state roots at the committed tip.
+    pub state_roots: Vec<Digest>,
+    /// Sum of all committed `open` amounts.
+    pub opened_total: u64,
+    /// Committed / aborted / shed transfer counts.
+    pub committed: u64,
+    /// Aborted transfers.
+    pub aborted: u64,
+    /// Admission-shed transfers.
+    pub shed: u64,
+    /// Total leg re-drives across all transfers.
+    pub redrives: u64,
+    /// Transactions committed on every shard combined (all workloads).
+    pub total_txs: u64,
+}
+
+#[derive(Clone, Debug)]
+enum XferState {
+    WaitLocal,
+    WaitBegin,
+    Preparing { votes: [Option<bool>; 2] },
+    WaitDecide { commit: bool },
+    Finalizing { commit: bool, remaining: Vec<usize> },
+    Done,
+}
+
+struct Xfer {
+    rec: TransferRecord,
+    ctx: TraceContext,
+    state: XferState,
+    submitted_us: u64,
+    prepare_started_us: u64,
+    decide_started_us: u64,
+    finalize_started_us: u64,
+    /// First NO-vote reason, if any.
+    no_reason: Option<String>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TagKind {
+    Open { shard: usize, amount: u64 },
+    Local { t: usize },
+    Begin { t: usize },
+    Prepare { t: usize, leg: usize },
+    Decide { t: usize },
+    Finalize { t: usize, leg: usize },
+}
+
+/// The sharded multi-channel deployment. See the module docs for the
+/// clock and protocol architecture.
+pub struct ShardedDeployment {
+    cfg: ShardConfig,
+    clusters: Vec<ClusterSim>,
+    router: ShardRouter,
+    now: SimTime,
+    xfers: Vec<Xfer>,
+    tags: std::collections::BTreeMap<u64, TagKind>,
+    next_tag: u64,
+    next_ordinal: u64,
+    opened_total: u64,
+    redrives: u64,
+    /// Leader kills awaiting a visible leader on their shard.
+    pending_kills: Vec<(SimTime, usize)>,
+    errors: Vec<String>,
+    metrics: Option<ShardMetrics>,
+}
+
+impl ShardedDeployment {
+    /// Build the deployment: S clusters (each deploying the transfer and
+    /// coordinator contracts on every replica) plus the shard router.
+    pub fn new(cfg: ShardConfig) -> Result<ShardedDeployment, ShardError> {
+        let mut clusters = Vec::with_capacity(cfg.shards);
+        for s in 0..cfg.shards {
+            let cluster = ClusterSim::new(cfg.cluster_config(s))
+                .map_err(|source| ShardError::Cluster { shard: s, source })?;
+            clusters.push(cluster);
+        }
+        let mut map = ShardMap::new(cfg.shards);
+        for (prefix, shard) in &cfg.pins {
+            map.pin_prefix(prefix, *shard);
+        }
+        let router = ShardRouter::new(map, cfg.admission_rate_per_sec, cfg.admission_burst);
+        Ok(ShardedDeployment {
+            cfg,
+            clusters,
+            router,
+            now: SimTime::ZERO,
+            xfers: Vec::new(),
+            tags: std::collections::BTreeMap::new(),
+            next_tag: 0,
+            next_ordinal: 0,
+            opened_total: 0,
+            redrives: 0,
+            pending_kills: Vec::new(),
+            errors: Vec::new(),
+            metrics: None,
+        })
+    }
+
+    /// Attach telemetry: `lv_shard_*` families plus every shard
+    /// cluster's `lv_cluster_*`/`lv_trace_*` on prefixed process lanes.
+    /// Observational only.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        for cluster in &mut self.clusters {
+            cluster.set_telemetry(telemetry);
+        }
+        self.metrics = Some(ShardMetrics::new(telemetry, self.cfg.shards));
+    }
+
+    /// Current virtual time (the last lock-step boundary reached).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of shard channels.
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// Borrow one shard's cluster read-only (e.g. to inspect balances on
+    /// its canonical committed state).
+    pub fn cluster(&self, shard: usize) -> &ClusterSim {
+        &self.clusters[shard]
+    }
+
+    /// The shard owning an account.
+    pub fn shard_of_account(&self, acct: &str) -> usize {
+        self.router.map().shard_for_key(&format!("acct~{acct}"))
+    }
+
+    fn mint_tag(&mut self, kind: TagKind) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.tags.insert(tag, kind);
+        tag
+    }
+
+    /// Schedule `open(acct, amount)` on the account's owning shard.
+    pub fn schedule_open(&mut self, at: SimTime, acct: &str, amount: u64) {
+        let shard = self.shard_of_account(acct);
+        let tag = self.mint_tag(TagKind::Open { shard, amount });
+        let args = vec![acct.as_bytes().to_vec(), amount.to_be_bytes().to_vec()];
+        self.clusters[shard].schedule_call(at, TRANSFER_CC, "open", args, tag, None);
+    }
+
+    /// Schedule a transfer. Routed by the two account keys: same shard ⇒
+    /// a single atomic `transfer` transaction; different shards ⇒ the
+    /// full 2PC protocol. Returns the transfer's index into
+    /// [`ShardReport::transfers`].
+    ///
+    /// Schedule in non-decreasing `at` order (admission buckets refill
+    /// from the schedule clock).
+    pub fn schedule_transfer(&mut self, at: SimTime, src: &str, dst: &str, amount: u64) -> usize {
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let id = format!("t{ordinal}");
+        let src_key = format!("acct~{src}");
+        let dst_key = format!("acct~{dst}");
+        let admitted = self
+            .router
+            .admit([src_key.as_str(), dst_key.as_str()], at.as_micros());
+        let src_shard = self.router.map().shard_for_key(&src_key);
+        let dst_shard = self.router.map().shard_for_key(&dst_key);
+        // The transfer's root trace context: every phase span and every
+        // per-shard leg parents under it.
+        let ctx = TraceContext::root(self.cfg.seed ^ 0x7366_6572_5f32_7063, ordinal);
+        let mut xfer = Xfer {
+            rec: TransferRecord {
+                id: id.clone(),
+                src: src.to_string(),
+                dst: dst.to_string(),
+                amount,
+                src_shard,
+                dst_shard,
+                status: TransferStatus::InFlight,
+                redrives: 0,
+            },
+            ctx,
+            state: XferState::Done,
+            submitted_us: at.as_micros(),
+            prepare_started_us: 0,
+            decide_started_us: 0,
+            finalize_started_us: 0,
+            no_reason: None,
+        };
+        let t = self.xfers.len();
+        match admitted {
+            Err(_) => {
+                xfer.rec.status = TransferStatus::Shed;
+                if let Some(m) = &self.metrics {
+                    m.aborts_admission.inc();
+                }
+                self.xfers.push(xfer);
+                return t;
+            }
+            Ok(Route::Single(_)) => {
+                xfer.state = XferState::WaitLocal;
+                if let Some(m) = &self.metrics {
+                    m.transfers_single.inc();
+                }
+                self.xfers.push(xfer);
+                let tag = self.mint_tag(TagKind::Local { t });
+                let args = vec![
+                    src.as_bytes().to_vec(),
+                    dst.as_bytes().to_vec(),
+                    amount.to_be_bytes().to_vec(),
+                ];
+                let leg_ctx = ctx.with_parent(ctx.span_id(stage::LOCAL));
+                self.clusters[src_shard].schedule_call(
+                    at,
+                    TRANSFER_CC,
+                    "transfer",
+                    args,
+                    tag,
+                    Some(leg_ctx),
+                );
+            }
+            Ok(Route::Cross(_)) => {
+                xfer.state = XferState::WaitBegin;
+                if let Some(m) = &self.metrics {
+                    m.transfers_cross.inc();
+                }
+                self.xfers.push(xfer);
+                let tag = self.mint_tag(TagKind::Begin { t });
+                let args = vec![id.into_bytes()];
+                let leg_ctx = ctx.with_parent(ctx.span_id(stage::BEGIN));
+                self.clusters[src_shard].schedule_call(
+                    at,
+                    COORDINATOR_CC,
+                    "begin",
+                    args,
+                    tag,
+                    Some(leg_ctx),
+                );
+            }
+        }
+        t
+    }
+
+    /// Schedule a [`Fault`] on one shard's cluster.
+    pub fn schedule_fault(&mut self, shard: usize, at: SimTime, fault: Fault) {
+        self.clusters[shard].schedule_fault(at, fault);
+    }
+
+    /// Kill whichever orderer leads `shard`'s Raft group at (or shortly
+    /// after) `at`: the leader is resolved at the first lock-step
+    /// boundary past `at` where the group has one, then killed. The
+    /// resolution is deterministic because leadership itself is.
+    pub fn schedule_leader_kill(&mut self, shard: usize, at: SimTime) {
+        self.pending_kills.push((at, shard));
+    }
+
+    /// Advance every shard cluster, in lock step, to `end`.
+    pub fn run_until(&mut self, end: SimTime) {
+        while self.now < end {
+            let next = (self.now + self.cfg.slice).min(end);
+            for cluster in &mut self.clusters {
+                cluster.run_until(next);
+            }
+            self.now = next;
+            self.advance();
+        }
+    }
+
+    /// Run lock-step slices until every cluster is quiescent and every
+    /// transfer terminal, or fail at `deadline`.
+    pub fn run_until_converged(&mut self, deadline: SimTime) -> Result<SimTime, ShardError> {
+        loop {
+            if self.converged() {
+                return Ok(self.now);
+            }
+            if self.now >= deadline {
+                return Err(ShardError::NotConverged {
+                    deadline,
+                    inflight: self
+                        .xfers
+                        .iter()
+                        .filter(|x| x.rec.status == TransferStatus::InFlight)
+                        .count(),
+                });
+            }
+            let next = (self.now + self.cfg.slice).min(deadline);
+            self.run_until(next);
+        }
+    }
+
+    fn converged(&self) -> bool {
+        self.pending_kills.is_empty()
+            && self
+                .xfers
+                .iter()
+                .all(|x| x.rec.status != TransferStatus::InFlight)
+            && self.clusters.iter().all(|c| c.is_converged())
+    }
+
+    /// One orchestrator step at a lock-step boundary: resolve leader
+    /// kills, drain every shard's outcomes in shard order, advance the
+    /// per-transfer state machines, sample queue depths.
+    fn advance(&mut self) {
+        let now = self.now;
+        let mut kills = std::mem::take(&mut self.pending_kills);
+        kills.retain(|&(at, shard)| {
+            if now < at {
+                return true;
+            }
+            match self.clusters[shard].current_leader() {
+                Some(leader) => {
+                    self.clusters[shard].schedule_fault(now, Fault::KillOrderer(leader));
+                    false
+                }
+                // No stable leader this boundary (mid-election): retry.
+                None => true,
+            }
+        });
+        self.pending_kills = kills;
+
+        for s in 0..self.clusters.len() {
+            for (tag, outcome) in self.clusters[s].take_outcomes() {
+                self.on_outcome(tag, outcome);
+            }
+        }
+        if let Some(m) = &self.metrics {
+            for (s, cluster) in self.clusters.iter().enumerate() {
+                m.set_queue_depth(s, cluster.pending_txs() as u64);
+            }
+        }
+    }
+
+    fn on_outcome(&mut self, tag: u64, outcome: InvokeOutcome) {
+        let Some(kind) = self.tags.remove(&tag) else {
+            self.errors.push(format!("unknown tag {tag}"));
+            return;
+        };
+        if let (Some(m), InvokeOutcome::Committed { valid }) = (&self.metrics, &outcome) {
+            if valid.is_valid() {
+                let shard = match kind {
+                    TagKind::Open { shard, .. } => Some(shard),
+                    TagKind::Local { t } => Some(self.xfers[t].rec.src_shard),
+                    TagKind::Begin { t } | TagKind::Decide { t } => {
+                        Some(self.xfers[t].rec.src_shard)
+                    }
+                    TagKind::Prepare { t, leg } | TagKind::Finalize { t, leg } => {
+                        Some(if leg == 0 {
+                            self.xfers[t].rec.src_shard
+                        } else {
+                            self.xfers[t].rec.dst_shard
+                        })
+                    }
+                };
+                if let Some(shard) = shard {
+                    m.inc_txs(shard);
+                }
+            }
+        }
+        match kind {
+            TagKind::Open { amount, .. } => match outcome {
+                InvokeOutcome::Committed {
+                    valid: TxValidation::Valid,
+                } => self.opened_total += amount,
+                other => self.errors.push(format!("open failed: {other:?}")),
+            },
+            TagKind::Local { t } => self.on_local(t, outcome),
+            TagKind::Begin { t } => self.on_begin(t, outcome),
+            TagKind::Prepare { t, leg } => self.on_prepare(t, leg, outcome),
+            TagKind::Decide { t } => self.on_decide(t, outcome),
+            TagKind::Finalize { t, leg } => self.on_finalize(t, leg, outcome),
+        }
+    }
+
+    fn record_phase_span(&self, t: usize, name: &str, phase: u64, parent: u64, start_us: u64) {
+        let Some(m) = &self.metrics else { return };
+        let x = &self.xfers[t];
+        let ctx = if parent == 0 {
+            x.ctx
+        } else {
+            x.ctx.with_parent(x.ctx.span_id(parent))
+        };
+        m.telemetry.tracer().record_linked(
+            name,
+            start_us,
+            self.now.as_micros(),
+            m.coordinator_proc,
+            "2pc",
+            x.ctx.span_id(phase),
+            ctx,
+        );
+    }
+
+    fn on_local(&mut self, t: usize, outcome: InvokeOutcome) {
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                self.record_phase_span(
+                    t,
+                    "xfer.local",
+                    stage::LOCAL,
+                    0,
+                    self.xfers[t].submitted_us,
+                );
+                self.xfers[t].rec.status = TransferStatus::Committed;
+                self.xfers[t].state = XferState::Done;
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                // The whole transfer failed atomically; re-drive it.
+                self.redrive(t);
+                let tag = self.mint_tag(TagKind::Local { t });
+                let x = &self.xfers[t];
+                let args = vec![
+                    x.rec.src.as_bytes().to_vec(),
+                    x.rec.dst.as_bytes().to_vec(),
+                    x.rec.amount.to_be_bytes().to_vec(),
+                ];
+                let leg_ctx = x.ctx.with_parent(x.ctx.span_id(stage::LOCAL));
+                let shard = x.rec.src_shard;
+                self.clusters[shard].schedule_call(
+                    self.now,
+                    TRANSFER_CC,
+                    "transfer",
+                    args,
+                    tag,
+                    Some(leg_ctx),
+                );
+            }
+            InvokeOutcome::EndorseFailed(reason)
+            | InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                self.abort_local(t, reason);
+            }
+        }
+    }
+
+    fn abort_local(&mut self, t: usize, reason: String) {
+        if let Some(m) = &self.metrics {
+            if reason.contains("insufficient") {
+                m.aborts_insufficient.inc();
+            } else {
+                m.aborts_vote.inc();
+            }
+        }
+        self.xfers[t].rec.status = TransferStatus::Aborted { reason };
+        self.xfers[t].state = XferState::Done;
+    }
+
+    fn on_begin(&mut self, t: usize, outcome: InvokeOutcome) {
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                self.record_phase_span(t, "2pc.begin", stage::BEGIN, 0, self.xfers[t].submitted_us);
+                self.xfers[t].state = XferState::Preparing {
+                    votes: [None, None],
+                };
+                self.xfers[t].prepare_started_us = self.now.as_micros();
+                self.send_prepare(t, 0);
+                self.send_prepare(t, 1);
+            }
+            other => {
+                // Request ids are unique, so begin can only fail on a bug;
+                // record it and abort the transfer without any leg ever
+                // having run.
+                self.errors
+                    .push(format!("begin({}) failed: {other:?}", self.xfers[t].rec.id));
+                self.xfers[t].rec.status = TransferStatus::Aborted {
+                    reason: "begin failed".into(),
+                };
+                self.xfers[t].state = XferState::Done;
+            }
+        }
+    }
+
+    fn send_prepare(&mut self, t: usize, leg: usize) {
+        let x = &self.xfers[t];
+        let (shard, function, acct) = if leg == 0 {
+            (x.rec.src_shard, "prepare_debit", x.rec.src.clone())
+        } else {
+            (x.rec.dst_shard, "prepare_credit", x.rec.dst.clone())
+        };
+        let args = vec![
+            x.rec.id.as_bytes().to_vec(),
+            acct.into_bytes(),
+            x.rec.amount.to_be_bytes().to_vec(),
+        ];
+        let leg_ctx = x.ctx.with_parent(x.ctx.span_id(stage::PREPARE));
+        let tag = self.mint_tag(TagKind::Prepare { t, leg });
+        self.clusters[shard].schedule_call(
+            self.now,
+            TRANSFER_CC,
+            function,
+            args,
+            tag,
+            Some(leg_ctx),
+        );
+    }
+
+    fn on_prepare(&mut self, t: usize, leg: usize, outcome: InvokeOutcome) {
+        let vote = match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => Some(true),
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                // Neither vote: the prepare never applied. Re-drive it.
+                self.redrive(t);
+                self.send_prepare(t, leg);
+                return;
+            }
+            InvokeOutcome::EndorseFailed(reason)
+            | InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                if self.xfers[t].no_reason.is_none() {
+                    self.xfers[t].no_reason = Some(reason);
+                }
+                Some(false)
+            }
+        };
+        let XferState::Preparing { mut votes } = self.xfers[t].state.clone() else {
+            self.errors.push(format!(
+                "prepare outcome in state {:?}",
+                self.xfers[t].state
+            ));
+            return;
+        };
+        votes[leg] = vote;
+        if let (Some(a), Some(b)) = (votes[0], votes[1]) {
+            let commit = a && b;
+            self.record_phase_span(
+                t,
+                "2pc.prepare",
+                stage::PREPARE,
+                stage::BEGIN,
+                self.xfers[t].prepare_started_us,
+            );
+            if let Some(m) = &self.metrics {
+                m.phase_prepare_us.observe(
+                    self.now
+                        .as_micros()
+                        .saturating_sub(self.xfers[t].prepare_started_us),
+                );
+            }
+            self.xfers[t].state = XferState::WaitDecide { commit };
+            self.xfers[t].decide_started_us = self.now.as_micros();
+            self.send_decide(t, commit);
+        } else {
+            self.xfers[t].state = XferState::Preparing { votes };
+        }
+    }
+
+    fn send_decide(&mut self, t: usize, commit: bool) {
+        let x = &self.xfers[t];
+        let args = vec![
+            x.rec.id.as_bytes().to_vec(),
+            vec![if commit { 1 } else { 0 }],
+        ];
+        let leg_ctx = x.ctx.with_parent(x.ctx.span_id(stage::DECIDE));
+        let shard = x.rec.src_shard;
+        let tag = self.mint_tag(TagKind::Decide { t });
+        self.clusters[shard].schedule_call(
+            self.now,
+            COORDINATOR_CC,
+            "decide",
+            args,
+            tag,
+            Some(leg_ctx),
+        );
+    }
+
+    fn on_decide(&mut self, t: usize, outcome: InvokeOutcome) {
+        let XferState::WaitDecide { commit } = self.xfers[t].state else {
+            self.errors
+                .push(format!("decide outcome in state {:?}", self.xfers[t].state));
+            return;
+        };
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                // The decision is now in the source shard's Raft log —
+                // replicated before any acknowledgement or finalize leg.
+                self.record_phase_span(
+                    t,
+                    "2pc.decide",
+                    stage::DECIDE,
+                    stage::PREPARE,
+                    self.xfers[t].decide_started_us,
+                );
+                if let Some(m) = &self.metrics {
+                    m.phase_decide_us.observe(
+                        self.now
+                            .as_micros()
+                            .saturating_sub(self.xfers[t].decide_started_us),
+                    );
+                }
+                self.start_finalize(t, commit);
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                self.redrive(t);
+                self.send_decide(t, commit);
+            }
+            InvokeOutcome::EndorseFailed(reason) => {
+                if reason.contains("already decided") {
+                    // A re-driven decide raced its predecessor; the
+                    // decision is on chain. Proceed from the record.
+                    self.start_finalize(t, commit);
+                } else {
+                    self.errors
+                        .push(format!("decide({}) failed: {reason}", self.xfers[t].rec.id));
+                    self.start_finalize(t, commit);
+                }
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                self.errors.push(format!(
+                    "decide({}) invalid: {reason}",
+                    self.xfers[t].rec.id
+                ));
+                self.start_finalize(t, commit);
+            }
+        }
+    }
+
+    fn start_finalize(&mut self, t: usize, commit: bool) {
+        self.xfers[t].state = XferState::Finalizing {
+            commit,
+            remaining: vec![0, 1],
+        };
+        self.xfers[t].finalize_started_us = self.now.as_micros();
+        self.send_finalize(t, 0, commit);
+        self.send_finalize(t, 1, commit);
+    }
+
+    fn send_finalize(&mut self, t: usize, leg: usize, commit: bool) {
+        let x = &self.xfers[t];
+        let shard = if leg == 0 {
+            x.rec.src_shard
+        } else {
+            x.rec.dst_shard
+        };
+        let function = if commit { "commit" } else { "abort" };
+        let args = vec![x.rec.id.as_bytes().to_vec()];
+        let leg_ctx = x.ctx.with_parent(x.ctx.span_id(stage::FINALIZE));
+        let tag = self.mint_tag(TagKind::Finalize { t, leg });
+        self.clusters[shard].schedule_call(
+            self.now,
+            TRANSFER_CC,
+            function,
+            args,
+            tag,
+            Some(leg_ctx),
+        );
+    }
+
+    fn on_finalize(&mut self, t: usize, leg: usize, outcome: InvokeOutcome) {
+        let XferState::Finalizing { commit, remaining } = self.xfers[t].state.clone() else {
+            self.errors.push(format!(
+                "finalize outcome in state {:?}",
+                self.xfers[t].state
+            ));
+            return;
+        };
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                let remaining: Vec<usize> = remaining.into_iter().filter(|&l| l != leg).collect();
+                if remaining.is_empty() {
+                    self.record_phase_span(
+                        t,
+                        "2pc.finalize",
+                        stage::FINALIZE,
+                        stage::DECIDE,
+                        self.xfers[t].finalize_started_us,
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.phase_finalize_us.observe(
+                            self.now
+                                .as_micros()
+                                .saturating_sub(self.xfers[t].finalize_started_us),
+                        );
+                        if !commit {
+                            if self.xfers[t]
+                                .no_reason
+                                .as_deref()
+                                .map(|r| r.contains("insufficient"))
+                                .unwrap_or(false)
+                            {
+                                m.aborts_insufficient.inc();
+                            } else {
+                                m.aborts_vote.inc();
+                            }
+                        }
+                    }
+                    self.xfers[t].rec.status = if commit {
+                        TransferStatus::Committed
+                    } else {
+                        TransferStatus::Aborted {
+                            reason: self.xfers[t]
+                                .no_reason
+                                .clone()
+                                .unwrap_or_else(|| "prepare voted no".into()),
+                        }
+                    };
+                    self.xfers[t].state = XferState::Done;
+                } else {
+                    self.xfers[t].state = XferState::Finalizing { commit, remaining };
+                }
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                // Coordinator recovery: the finalize leg was invalidated
+                // by a concurrent balance write. Re-read the *replicated*
+                // decision record and re-drive the leg from it — never
+                // from orchestrator memory alone.
+                self.redrive(t);
+                let coord_shard = self.xfers[t].rec.src_shard;
+                let recorded = read_coord_state(
+                    self.clusters[coord_shard].canonical_state(),
+                    &self.xfers[t].rec.id,
+                );
+                let commit_again = match recorded {
+                    Some(CoordState::Committed) => true,
+                    Some(CoordState::Aborted) => false,
+                    other => {
+                        self.errors.push(format!(
+                            "finalize redrive of {} found coordinator state {other:?}",
+                            self.xfers[t].rec.id
+                        ));
+                        commit
+                    }
+                };
+                self.send_finalize(t, leg, commit_again);
+            }
+            InvokeOutcome::EndorseFailed(reason)
+            | InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                self.errors.push(format!(
+                    "finalize({}, leg {leg}) failed: {reason}",
+                    self.xfers[t].rec.id
+                ));
+                let remaining: Vec<usize> = remaining.into_iter().filter(|&l| l != leg).collect();
+                self.xfers[t].state = if remaining.is_empty() {
+                    self.xfers[t].rec.status = TransferStatus::Aborted {
+                        reason: "finalize failed".into(),
+                    };
+                    XferState::Done
+                } else {
+                    XferState::Finalizing { commit, remaining }
+                };
+            }
+        }
+    }
+
+    fn redrive(&mut self, t: usize) {
+        self.xfers[t].rec.redrives += 1;
+        self.redrives += 1;
+        if let Some(m) = &self.metrics {
+            m.redrives.inc();
+        }
+    }
+
+    /// Protocol errors accumulated so far (empty on a healthy run).
+    pub fn protocol_errors(&self) -> &[String] {
+        &self.errors
+    }
+
+    /// One debug line per non-terminal transfer: id and internal phase.
+    /// For diagnosing stuck runs; the format is not stable.
+    pub fn debug_inflight(&self) -> Vec<String> {
+        self.xfers
+            .iter()
+            .filter(|x| x.rec.status == TransferStatus::InFlight)
+            .map(|x| format!("{} {:?} state={:?}", x.rec.id, x.rec, x.state))
+            .collect()
+    }
+
+    /// Per-shard canonical state roots at the committed tip. Bit-
+    /// identical across same-seed runs.
+    pub fn state_roots(&self) -> Vec<Digest> {
+        self.clusters.iter().map(|c| c.canonical_root()).collect()
+    }
+
+    /// The end-of-run summary.
+    pub fn report(&self) -> ShardReport {
+        let shards: Vec<ClusterReport> = self.clusters.iter().map(|c| c.report()).collect();
+        let mut committed = 0;
+        let mut aborted = 0;
+        let mut shed = 0;
+        for x in &self.xfers {
+            match x.rec.status {
+                TransferStatus::Committed => committed += 1,
+                TransferStatus::Aborted { .. } => aborted += 1,
+                TransferStatus::Shed => shed += 1,
+                TransferStatus::InFlight => {}
+            }
+        }
+        ShardReport {
+            total_txs: shards.iter().map(|r| r.txs).sum(),
+            transfers: self.xfers.iter().map(|x| x.rec.clone()).collect(),
+            state_roots: self.state_roots(),
+            opened_total: self.opened_total,
+            committed,
+            aborted,
+            shed,
+            redrives: self.redrives,
+            shards,
+        }
+    }
+
+    /// Full safety audit after quiescence:
+    ///
+    /// 1. every shard cluster converged with matching peer roots,
+    /// 2. no protocol errors,
+    /// 3. **conservation** — Σ balances + Σ locks across all shards
+    ///    equals Σ committed opens (no lost or duplicated money),
+    /// 4. **no permanent locks** — every 2PC request reached a terminal
+    ///    state on every shard it touched.
+    pub fn verify(&self) -> Result<(), ShardError> {
+        for (s, cluster) in self.clusters.iter().enumerate() {
+            cluster
+                .verify_convergence()
+                .map_err(|source| ShardError::Cluster { shard: s, source })?;
+        }
+        if !self.errors.is_empty() {
+            return Err(ShardError::Protocol(self.errors.clone()));
+        }
+        let mut held = 0u64;
+        let mut locked_reqs = Vec::new();
+        for cluster in &self.clusters {
+            let state = cluster.canonical_state();
+            held += total_balances(state) + locked_total(state);
+            locked_reqs.extend(unresolved_requests(state));
+        }
+        if !locked_reqs.is_empty() {
+            return Err(ShardError::LockedRequests(locked_reqs));
+        }
+        if held != self.opened_total {
+            return Err(ShardError::Conservation {
+                expected: self.opened_total,
+                actual: held,
+            });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,40 @@
+//! Sharded channels: scale-out by partitioning the key space over S
+//! independent Fabric channels, each replicated by its own Raft orderer
+//! group and peer set, all advancing in lock step on one virtual clock.
+//!
+//! The pieces, bottom-up:
+//!
+//! * `ledgerview_gateway::shardmap` — deterministic key→shard routing
+//!   (FNV-1a of the routing prefix, explicit pins for composite
+//!   namespaces) and all-or-nothing cross-shard admission.
+//! * `ledgerview_cluster` — one [`ClusterSim`](ledgerview_cluster::ClusterSim)
+//!   per shard: Raft ordering, leader rerouting, watchdog resubmission,
+//!   crash/partition faults, disk-backed peers.
+//! * `ledgerview_crosschain::contracts` — the 2PC coordinator and
+//!   transfer participant chaincodes with idempotent terminal states.
+//! * [`deployment`] — this crate's core: the [`ShardedDeployment`]
+//!   advances every shard to common virtual-time boundaries and drives
+//!   cross-shard transfers through begin → prepare → replicated decide →
+//!   finalize, re-driving in-doubt legs from the on-chain decision
+//!   record after failover.
+//!
+//! Single-shard transfers never pay the 2PC cost: the router detects
+//! that both accounts live on one channel and submits one atomic
+//! `transfer` transaction. That asymmetry is the whole point of the
+//! deployment — the `shard_scaleout` bench measures how aggregate
+//! throughput scales with the shard count as the cross-shard fraction
+//! grows.
+//!
+//! Everything is deterministic: same [`ShardConfig`] (including seed) ⇒
+//! bit-identical per-shard Raft logs, state roots, and transfer
+//! outcomes, regardless of telemetry and across fault schedules.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod deployment;
+mod metrics;
+
+pub use deployment::{
+    stage, ShardConfig, ShardError, ShardReport, ShardedDeployment, TransferRecord, TransferStatus,
+};

@@ -15,8 +15,8 @@ use std::collections::{HashMap, HashSet};
 /// registered here so a typo'd prefix (`lv_statdb_…`) fails the lint
 /// instead of silently forking a family.
 const KNOWN_SUBSYSTEMS: &[&str] = &[
-    "bench", "chain", "cluster", "gateway", "pool", "simnet", "statedb", "storage", "trace",
-    "validate", "views",
+    "bench", "chain", "cluster", "gateway", "pool", "shard", "simnet", "statedb", "storage",
+    "trace", "validate", "views",
 ];
 
 /// Lint `exposition` (Prometheus text format); returns one message per

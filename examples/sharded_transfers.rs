@@ -1,0 +1,120 @@
+//! Sharded-channel drill: four shard channels (each a full 3-orderer /
+//! 2-peer Raft replication cluster on one shared virtual clock), a
+//! contended mix of single- and cross-shard transfers, and a leader kill
+//! on one shard in the middle of the load.
+//!
+//! Cross-shard transfers run the full 2PC protocol — coordinator begin,
+//! prepare fan-out, a decision replicated through the source shard's
+//! Raft log, then commit/abort legs — so the mid-load leader kill lands
+//! on live 2PC state. The example finishes by checking the books: exact
+//! post-run balances on every shard, global conservation (Σ balances +
+//! Σ locks = Σ opened), no stranded 2PC locks, and a digest-verified
+//! recovery — every peer of every shard holds its shard's bit-identical
+//! canonical state root. Run with:
+//!
+//! ```text
+//! cargo run --release --example sharded_transfers
+//! ```
+
+use ledgerview::crosschain::read_balance;
+use ledgerview::shard::{ShardConfig, ShardedDeployment, TransferStatus};
+use ledgerview::simnet::SimTime;
+use ledgerview::store::testdir::TestDir;
+use ledgerview::telemetry::Telemetry;
+
+const SEED: u64 = 4040;
+const SHARDS: usize = 4;
+
+fn main() {
+    let dir = TestDir::new("sharded-transfers-example");
+    let telemetry = Telemetry::wall_clock();
+
+    let mut dep =
+        ShardedDeployment::new(ShardConfig::new(dir.path(), SHARDS, SEED)).expect("builds");
+    dep.set_telemetry(&telemetry);
+
+    // Sixteen accounts, placed by the router's key hash.
+    let accounts: Vec<String> = (0..16).map(|i| format!("acct{i}")).collect();
+    for acct in &accounts {
+        dep.schedule_open(SimTime::from_millis(100), acct, 1_000);
+        println!("{acct:>7} lives on shard {}", dep.shard_of_account(acct));
+    }
+
+    // A contended ring of transfers: every account pays its successor 10,
+    // twice over — neighbours in name order land on arbitrary shards, so
+    // the mix has both fast-path and 2PC traffic, repeatedly touching the
+    // same balances.
+    let mut cross = 0;
+    let mut idx = Vec::new();
+    for round in 0..2u64 {
+        for (i, src) in accounts.iter().enumerate() {
+            let dst = &accounts[(i + 1) % accounts.len()];
+            let at = SimTime::from_millis(1_000 + 400 * round + 25 * i as u64);
+            idx.push(dep.schedule_transfer(at, src, dst, 10));
+            if dep.shard_of_account(src) != dep.shard_of_account(dst) {
+                cross += 1;
+            }
+        }
+    }
+    println!(
+        "\nscheduled {} transfers ({} cross-shard)",
+        idx.len(),
+        cross
+    );
+
+    // Kill shard 1's Raft leader while transfers are mid-protocol.
+    dep.schedule_leader_kill(1, SimTime::from_millis(1_300));
+    println!("shard 1 leader dies at t=1.3s, mid-load\n");
+
+    let converged_at = dep
+        .run_until_converged(SimTime::from_secs(120))
+        .expect("deployment converges despite the kill");
+    dep.verify()
+        .expect("conservation + no stranded locks + per-shard convergence");
+
+    let report = dep.report();
+    for t in &report.transfers {
+        assert_eq!(
+            t.status,
+            TransferStatus::Committed,
+            "transfer {} must commit",
+            t.id
+        );
+    }
+    println!(
+        "t={:.2}s  converged: {}/{} transfers committed, {} leg re-drives",
+        converged_at.as_secs_f64(),
+        report.committed,
+        report.transfers.len(),
+        report.redrives,
+    );
+    for (s, r) in report.shards.iter().enumerate() {
+        println!(
+            "shard {s}: {} blocks, {} elections, {} resubmits",
+            r.blocks, r.elections, r.resubmits
+        );
+    }
+
+    // The books: everyone paid 20 and received 20 — balances are exactly
+    // where they started.
+    for acct in &accounts {
+        let shard = dep.shard_of_account(acct);
+        let balance =
+            read_balance(dep.cluster(shard).canonical_state(), acct).expect("account exists");
+        assert_eq!(balance, 1_000, "{acct} must end where it started");
+    }
+    println!(
+        "\nall {} balances exactly 1000 — ring conserved",
+        accounts.len()
+    );
+
+    // Digest-verified recovery: every shard's peers at the bit-identical
+    // canonical root, including the shard whose leader died.
+    for (s, root) in dep.state_roots().iter().enumerate() {
+        println!("shard {s} canonical state root {root}");
+    }
+    println!(
+        "opened {} total, all of it accounted for",
+        report.opened_total
+    );
+}

@@ -30,6 +30,10 @@
 //!   ordering service, multi-peer block dissemination over simulated
 //!   links, snapshot-shipping peer bootstrap, and scheduled fault
 //!   injection (see `examples/cluster_failover.rs`).
+//! * [`shard`] — sharded channels: gateway-routed multi-channel
+//!   scale-out with one replication cluster per shard and cross-shard
+//!   2PC transfers that survive leader kills (see
+//!   `examples/sharded_transfers.rs`).
 //! * [`telemetry`] — the metrics registry, span tracer and Chrome-trace /
 //!   Prometheus exporters threaded through all of the above (see
 //!   `examples/telemetry_dump.rs`).
@@ -82,6 +86,7 @@ pub use ledgerview_crosschain as crosschain;
 pub use ledgerview_crypto as crypto;
 pub use ledgerview_datalog as datalog;
 pub use ledgerview_gateway as gateway;
+pub use ledgerview_shard as shard;
 pub use ledgerview_simnet as simnet;
 pub use ledgerview_statedb as statedb;
 pub use ledgerview_supplychain as supplychain;
