@@ -28,66 +28,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::admission::Priority;
+use crate::keydist::{mix64, unit};
 use crate::pipeline::{Gateway, Operation, Request, SubmitResult};
-use crate::retry::mix64;
 
-/// A precomputed Zipf(s) sampler over ranks `0..n`.
-///
-/// Rank probabilities follow `1 / (rank + 1)^s`, normalised; sampling is a
-/// binary search over the cumulative distribution, driven by an externally
-/// supplied unit value so it stays stateless and replayable.
-#[derive(Clone, Debug)]
-pub struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    /// Build the sampler for `n` ranks with exponent `s` (`s = 0` is
-    /// uniform; larger is more skewed).
-    ///
-    /// # Panics
-    /// Panics if `n` is zero.
-    pub fn new(n: usize, s: f64) -> Zipf {
-        assert!(n > 0, "zipf needs at least one rank");
-        let mut cdf = Vec::with_capacity(n);
-        let mut total = 0.0;
-        for rank in 0..n {
-            total += 1.0 / ((rank + 1) as f64).powf(s);
-            cdf.push(total);
-        }
-        for p in &mut cdf {
-            *p /= total;
-        }
-        Zipf { cdf }
-    }
-
-    /// Number of ranks.
-    pub fn len(&self) -> usize {
-        self.cdf.len()
-    }
-
-    /// Whether the sampler has no ranks (never true — see [`Zipf::new`]).
-    pub fn is_empty(&self) -> bool {
-        self.cdf.is_empty()
-    }
-
-    /// The rank for a unit value in `[0, 1)`.
-    pub fn sample(&self, unit: f64) -> usize {
-        self.cdf
-            .partition_point(|&p| p <= unit)
-            .min(self.cdf.len() - 1)
-    }
-
-    /// The rank for a 64-bit hash (mapped uniformly onto `[0, 1)`).
-    pub fn sample_hash(&self, h: u64) -> usize {
-        self.sample(unit(h))
-    }
-}
-
-/// Map a 64-bit hash to `[0, 1)`.
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
+/// The key-skew sampler under its historical driver name. The
+/// implementation now lives in [`crate::keydist`] so other workload
+/// drivers (e.g. the TPC-C crate) share the exact CDF; the pin test there
+/// guarantees no behaviour change.
+pub use crate::keydist::KeyDistribution as Zipf;
 
 /// A minimal contended chaincode: named counters.
 ///

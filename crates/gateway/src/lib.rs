@@ -18,6 +18,8 @@
 //! * [`session`] — sparse per-client session tracking.
 //! * [`driver`] — open/closed-loop workload populations (up to millions
 //!   of virtual clients) with Zipf key skew, for benches and tests.
+//! * [`keydist`] — the shared stateless key-skew sampler
+//!   ([`KeyDistribution`]) the drivers pick keys with.
 //!
 //! Everything is deterministic under a fixed seed: the same configuration
 //! replays the identical admission, retry, and commit schedule, which is
@@ -28,6 +30,7 @@
 
 pub mod admission;
 pub mod driver;
+pub mod keydist;
 pub mod pipeline;
 pub mod reorder;
 pub mod retry;
@@ -36,6 +39,7 @@ pub mod shardmap;
 
 pub use admission::{AdmissionConfig, Priority, ShedReason, TokenBucket};
 pub use driver::{counter_chain, CounterChaincode, DriverConfig, DriverReport, LoadMode, Zipf};
+pub use keydist::KeyDistribution;
 pub use pipeline::{
     Completion, CompletionOutcome, Gateway, GatewayConfig, GatewayStats, Operation, Request,
     ServiceModel, SubmitResult,

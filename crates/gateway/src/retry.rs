@@ -43,15 +43,10 @@ impl Default for RetryPolicy {
     }
 }
 
-/// SplitMix64 finalizer: a high-quality 64-bit mix, used to derive jitter
-/// without any shared RNG state (so retry schedules never depend on the
-/// order unrelated requests were processed in).
-pub(crate) fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64 finalizer, used to derive jitter without any shared RNG
+/// state (so retry schedules never depend on the order unrelated requests
+/// were processed in). Shared with the workload drivers via `keydist`.
+pub(crate) use crate::keydist::mix64;
 
 impl RetryPolicy {
     /// The backoff, in microseconds, to wait before attempt `attempt + 1`

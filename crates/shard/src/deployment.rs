@@ -113,6 +113,11 @@ pub struct ShardConfig {
     /// Explicit shard-map pins for composite namespaces, `(prefix,
     /// shard)`.
     pub pins: Vec<(String, usize)>,
+    /// Extra chaincodes deployed on every replica of every shard (on top
+    /// of the transfer and coordinator contracts), `(name, factory)`.
+    /// Scenario crates use this to install their own participants — e.g.
+    /// the TPC-C contract — without forking the deployment.
+    pub workloads: Vec<(String, ledgerview_cluster::WorkloadFactory)>,
 }
 
 impl ShardConfig {
@@ -131,6 +136,7 @@ impl ShardConfig {
             admission_burst: 100_000,
             check_signatures: false,
             pins: Vec::new(),
+            workloads: Vec::new(),
         }
     }
 
@@ -153,6 +159,7 @@ impl ShardConfig {
             (TRANSFER_CC.to_string(), transfer),
             (COORDINATOR_CC.to_string(), coordinator),
         ];
+        cfg.workloads.extend(self.workloads.iter().cloned());
         cfg
     }
 }
@@ -271,6 +278,95 @@ pub struct ShardReport {
     pub total_txs: u64,
 }
 
+/// One participant leg of a generic cross-shard operation.
+///
+/// `key` routes the leg (admission + shard resolution); `chaincode` is the
+/// participant contract deployed via [`ShardConfig::workloads`]. Its
+/// `prepare` function is invoked as `(op_id, args…)` and must either
+/// reserve its effects under the op id (YES vote), reject with a
+/// chaincode error (NO vote), or be invalidated by MVCC (no vote — the
+/// leg is re-driven). The same contract must expose idempotent
+/// `commit(op_id)` / `abort(op_id)` finalize functions.
+#[derive(Clone, Debug)]
+pub struct OpLeg {
+    /// Routing key: decides the shard and feeds admission control.
+    pub key: String,
+    /// Participant chaincode name.
+    pub chaincode: String,
+    /// Prepare function on that chaincode.
+    pub prepare: String,
+    /// Extra prepare arguments, appended after the op id.
+    pub args: Vec<Vec<u8>>,
+}
+
+/// A generic operation scheduled through the deployment's router and —
+/// when its legs land on different shards — its 2PC orchestrator. This is
+/// the transfer machinery generalized: scenario crates (e.g. the TPC-C
+/// workload) describe their multi-shard transactions as an `OpSpec`
+/// instead of forking the deployment.
+#[derive(Clone, Debug)]
+pub struct OpSpec {
+    /// Unique request id; shares the coordinator namespace with transfers
+    /// (`t<ordinal>`), so pick a disjoint scheme (e.g. `op<ordinal>`).
+    pub id: String,
+    /// `(chaincode, function, args)` submitted as one atomic transaction
+    /// when every leg routes to the same shard.
+    pub direct: (String, String, Vec<Vec<u8>>),
+    /// Participant legs; the first leg's shard hosts the coordinator
+    /// record.
+    pub legs: Vec<OpLeg>,
+}
+
+/// One scheduled generic operation and its fate.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// The spec's request id.
+    pub id: String,
+    /// Terminal status (shares [`TransferStatus`] semantics).
+    pub status: TransferStatus,
+    /// Whether the op ran the cross-shard protocol (vs one direct tx).
+    pub cross: bool,
+    /// Times any leg was re-driven after MVCC invalidation.
+    pub redrives: u64,
+    /// Virtual time the op was scheduled, microseconds.
+    pub submitted_us: u64,
+    /// Virtual time the op reached a terminal state (0 while in flight).
+    pub completed_us: u64,
+}
+
+#[derive(Clone, Debug)]
+enum OpState {
+    WaitDirect,
+    WaitBegin,
+    Preparing { votes: Vec<Option<bool>> },
+    WaitDecide { commit: bool },
+    Finalizing { commit: bool, remaining: Vec<usize> },
+    Done,
+}
+
+/// A leg with its shard resolved.
+#[derive(Clone, Debug)]
+struct LegPlan {
+    shard: usize,
+    chaincode: String,
+    prepare: String,
+    args: Vec<Vec<u8>>,
+}
+
+struct Op {
+    rec: OpRecord,
+    ctx: TraceContext,
+    state: OpState,
+    direct: (String, String, Vec<Vec<u8>>),
+    direct_shard: usize,
+    coordinator_shard: usize,
+    legs: Vec<LegPlan>,
+    prepare_started_us: u64,
+    decide_started_us: u64,
+    finalize_started_us: u64,
+    no_reason: Option<String>,
+}
+
 #[derive(Clone, Debug)]
 enum XferState {
     WaitLocal,
@@ -301,6 +397,11 @@ enum TagKind {
     Prepare { t: usize, leg: usize },
     Decide { t: usize },
     Finalize { t: usize, leg: usize },
+    OpDirect { o: usize },
+    OpBegin { o: usize },
+    OpPrepare { o: usize, leg: usize },
+    OpDecide { o: usize },
+    OpFinalize { o: usize, leg: usize },
 }
 
 /// The sharded multi-channel deployment. See the module docs for the
@@ -311,9 +412,11 @@ pub struct ShardedDeployment {
     router: ShardRouter,
     now: SimTime,
     xfers: Vec<Xfer>,
+    ops: Vec<Op>,
     tags: std::collections::BTreeMap<u64, TagKind>,
     next_tag: u64,
     next_ordinal: u64,
+    next_op_ordinal: u64,
     opened_total: u64,
     redrives: u64,
     /// Leader kills awaiting a visible leader on their shard.
@@ -343,9 +446,11 @@ impl ShardedDeployment {
             router,
             now: SimTime::ZERO,
             xfers: Vec::new(),
+            ops: Vec::new(),
             tags: std::collections::BTreeMap::new(),
             next_tag: 0,
             next_ordinal: 0,
+            next_op_ordinal: 0,
             opened_total: 0,
             redrives: 0,
             pending_kills: Vec::new(),
@@ -494,6 +599,111 @@ impl ShardedDeployment {
         t
     }
 
+    /// Schedule a generic operation. Routed by its legs' keys: all on one
+    /// shard ⇒ the `direct` transaction runs atomically there; spread
+    /// across shards ⇒ the full 2PC protocol over each leg's participant
+    /// chaincode, coordinated from the first leg's shard. Returns the op's
+    /// index (see [`ShardedDeployment::op`]).
+    ///
+    /// Schedule in non-decreasing `at` order, interleaved freely with
+    /// transfers (both share the router's admission buckets).
+    pub fn schedule_op(&mut self, at: SimTime, spec: OpSpec) -> usize {
+        let ordinal = self.next_op_ordinal;
+        self.next_op_ordinal += 1;
+        let admitted = self
+            .router
+            .admit(spec.legs.iter().map(|l| l.key.as_str()), at.as_micros());
+        let legs: Vec<LegPlan> = spec
+            .legs
+            .iter()
+            .map(|l| LegPlan {
+                shard: self.router.map().shard_for_key(&l.key),
+                chaincode: l.chaincode.clone(),
+                prepare: l.prepare.clone(),
+                args: l.args.clone(),
+            })
+            .collect();
+        let coordinator_shard = legs.first().map(|l| l.shard).unwrap_or(0);
+        // A salt disjoint from the transfer path's, so op traces never
+        // collide with transfer traces under the same seed.
+        let ctx = TraceContext::root(self.cfg.seed ^ 0x6F70_5F32_7063_3031, ordinal);
+        let mut op = Op {
+            rec: OpRecord {
+                id: spec.id.clone(),
+                status: TransferStatus::InFlight,
+                cross: false,
+                redrives: 0,
+                submitted_us: at.as_micros(),
+                completed_us: 0,
+            },
+            ctx,
+            state: OpState::Done,
+            direct: spec.direct,
+            direct_shard: coordinator_shard,
+            coordinator_shard,
+            legs,
+            prepare_started_us: 0,
+            decide_started_us: 0,
+            finalize_started_us: 0,
+            no_reason: None,
+        };
+        let o = self.ops.len();
+        match admitted {
+            Err(_) => {
+                op.rec.status = TransferStatus::Shed;
+                if let Some(m) = &self.metrics {
+                    m.aborts_admission.inc();
+                }
+                self.ops.push(op);
+            }
+            Ok(Route::Single(shard)) => {
+                op.rec.cross = false;
+                op.direct_shard = shard;
+                op.state = OpState::WaitDirect;
+                if let Some(m) = &self.metrics {
+                    m.transfers_single.inc();
+                }
+                self.ops.push(op);
+                let tag = self.mint_tag(TagKind::OpDirect { o });
+                let (cc, function, args) = self.ops[o].direct.clone();
+                let ctx = self.ops[o].ctx;
+                let leg_ctx = ctx.with_parent(ctx.span_id(stage::LOCAL));
+                self.clusters[shard].schedule_call(at, &cc, &function, args, tag, Some(leg_ctx));
+            }
+            Ok(Route::Cross(_)) => {
+                op.rec.cross = true;
+                op.state = OpState::WaitBegin;
+                if let Some(m) = &self.metrics {
+                    m.transfers_cross.inc();
+                }
+                self.ops.push(op);
+                let tag = self.mint_tag(TagKind::OpBegin { o });
+                let args = vec![spec.id.into_bytes()];
+                let ctx = self.ops[o].ctx;
+                let leg_ctx = ctx.with_parent(ctx.span_id(stage::BEGIN));
+                self.clusters[coordinator_shard].schedule_call(
+                    at,
+                    COORDINATOR_CC,
+                    "begin",
+                    args,
+                    tag,
+                    Some(leg_ctx),
+                );
+            }
+        }
+        o
+    }
+
+    /// One scheduled op's record.
+    pub fn op(&self, idx: usize) -> &OpRecord {
+        &self.ops[idx].rec
+    }
+
+    /// Every scheduled op's record, in schedule order.
+    pub fn op_records(&self) -> Vec<OpRecord> {
+        self.ops.iter().map(|o| o.rec.clone()).collect()
+    }
+
     /// Schedule a [`Fault`] on one shard's cluster.
     pub fn schedule_fault(&mut self, shard: usize, at: SimTime, fault: Fault) {
         self.clusters[shard].schedule_fault(at, fault);
@@ -533,7 +743,12 @@ impl ShardedDeployment {
                         .xfers
                         .iter()
                         .filter(|x| x.rec.status == TransferStatus::InFlight)
-                        .count(),
+                        .count()
+                        + self
+                            .ops
+                            .iter()
+                            .filter(|o| o.rec.status == TransferStatus::InFlight)
+                            .count(),
                 });
             }
             let next = (self.now + self.cfg.slice).min(deadline);
@@ -547,6 +762,10 @@ impl ShardedDeployment {
                 .xfers
                 .iter()
                 .all(|x| x.rec.status != TransferStatus::InFlight)
+            && self
+                .ops
+                .iter()
+                .all(|o| o.rec.status != TransferStatus::InFlight)
             && self.clusters.iter().all(|c| c.is_converged())
     }
 
@@ -603,6 +822,13 @@ impl ShardedDeployment {
                             self.xfers[t].rec.dst_shard
                         })
                     }
+                    TagKind::OpDirect { o } => Some(self.ops[o].direct_shard),
+                    TagKind::OpBegin { o } | TagKind::OpDecide { o } => {
+                        Some(self.ops[o].coordinator_shard)
+                    }
+                    TagKind::OpPrepare { o, leg } | TagKind::OpFinalize { o, leg } => {
+                        Some(self.ops[o].legs[leg].shard)
+                    }
                 };
                 if let Some(shard) = shard {
                     m.inc_txs(shard);
@@ -621,6 +847,11 @@ impl ShardedDeployment {
             TagKind::Prepare { t, leg } => self.on_prepare(t, leg, outcome),
             TagKind::Decide { t } => self.on_decide(t, outcome),
             TagKind::Finalize { t, leg } => self.on_finalize(t, leg, outcome),
+            TagKind::OpDirect { o } => self.on_op_direct(o, outcome),
+            TagKind::OpBegin { o } => self.on_op_begin(o, outcome),
+            TagKind::OpPrepare { o, leg } => self.on_op_prepare(o, leg, outcome),
+            TagKind::OpDecide { o } => self.on_op_decide(o, outcome),
+            TagKind::OpFinalize { o, leg } => self.on_op_finalize(o, leg, outcome),
         }
     }
 
@@ -1017,6 +1248,399 @@ impl ShardedDeployment {
         }
     }
 
+    fn record_op_span(&self, o: usize, name: &str, phase: u64, parent: u64, start_us: u64) {
+        let Some(m) = &self.metrics else { return };
+        let op = &self.ops[o];
+        let ctx = if parent == 0 {
+            op.ctx
+        } else {
+            op.ctx.with_parent(op.ctx.span_id(parent))
+        };
+        m.telemetry.tracer().record_linked(
+            name,
+            start_us,
+            self.now.as_micros(),
+            m.coordinator_proc,
+            "2pc",
+            op.ctx.span_id(phase),
+            ctx,
+        );
+    }
+
+    fn op_terminal(&mut self, o: usize, status: TransferStatus) {
+        self.ops[o].rec.status = status;
+        self.ops[o].rec.completed_us = self.now.as_micros();
+        self.ops[o].state = OpState::Done;
+    }
+
+    fn on_op_direct(&mut self, o: usize, outcome: InvokeOutcome) {
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                self.record_op_span(
+                    o,
+                    "op.direct",
+                    stage::LOCAL,
+                    0,
+                    self.ops[o].rec.submitted_us,
+                );
+                self.op_terminal(o, TransferStatus::Committed);
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                self.redrive_op(o);
+                let tag = self.mint_tag(TagKind::OpDirect { o });
+                let (cc, function, args) = self.ops[o].direct.clone();
+                let op = &self.ops[o];
+                let leg_ctx = op.ctx.with_parent(op.ctx.span_id(stage::LOCAL));
+                let shard = op.direct_shard;
+                self.clusters[shard].schedule_call(
+                    self.now,
+                    &cc,
+                    &function,
+                    args,
+                    tag,
+                    Some(leg_ctx),
+                );
+            }
+            InvokeOutcome::EndorseFailed(reason)
+            | InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                if let Some(m) = &self.metrics {
+                    if reason.contains("insufficient") {
+                        m.aborts_insufficient.inc();
+                    } else {
+                        m.aborts_vote.inc();
+                    }
+                }
+                self.op_terminal(o, TransferStatus::Aborted { reason });
+            }
+        }
+    }
+
+    fn on_op_begin(&mut self, o: usize, outcome: InvokeOutcome) {
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                self.record_op_span(
+                    o,
+                    "2pc.begin",
+                    stage::BEGIN,
+                    0,
+                    self.ops[o].rec.submitted_us,
+                );
+                let n = self.ops[o].legs.len();
+                self.ops[o].state = OpState::Preparing {
+                    votes: vec![None; n],
+                };
+                self.ops[o].prepare_started_us = self.now.as_micros();
+                for leg in 0..n {
+                    self.send_op_prepare(o, leg);
+                }
+            }
+            other => {
+                self.errors.push(format!(
+                    "op begin({}) failed: {other:?}",
+                    self.ops[o].rec.id
+                ));
+                self.op_terminal(
+                    o,
+                    TransferStatus::Aborted {
+                        reason: "begin failed".into(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn send_op_prepare(&mut self, o: usize, leg: usize) {
+        let op = &self.ops[o];
+        let plan = op.legs[leg].clone();
+        let mut args = vec![op.rec.id.as_bytes().to_vec()];
+        args.extend(plan.args.iter().cloned());
+        let leg_ctx = op.ctx.with_parent(op.ctx.span_id(stage::PREPARE));
+        let tag = self.mint_tag(TagKind::OpPrepare { o, leg });
+        self.clusters[plan.shard].schedule_call(
+            self.now,
+            &plan.chaincode,
+            &plan.prepare,
+            args,
+            tag,
+            Some(leg_ctx),
+        );
+    }
+
+    fn on_op_prepare(&mut self, o: usize, leg: usize, outcome: InvokeOutcome) {
+        let vote = match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => Some(true),
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                self.redrive_op(o);
+                self.send_op_prepare(o, leg);
+                return;
+            }
+            InvokeOutcome::EndorseFailed(reason)
+            | InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                if self.ops[o].no_reason.is_none() {
+                    self.ops[o].no_reason = Some(reason);
+                }
+                Some(false)
+            }
+        };
+        let OpState::Preparing { mut votes } = self.ops[o].state.clone() else {
+            self.errors.push(format!(
+                "op prepare outcome in state {:?}",
+                self.ops[o].state
+            ));
+            return;
+        };
+        votes[leg] = vote;
+        if votes.iter().all(|v| v.is_some()) {
+            let commit = votes.iter().all(|v| *v == Some(true));
+            self.record_op_span(
+                o,
+                "2pc.prepare",
+                stage::PREPARE,
+                stage::BEGIN,
+                self.ops[o].prepare_started_us,
+            );
+            if let Some(m) = &self.metrics {
+                m.phase_prepare_us.observe(
+                    self.now
+                        .as_micros()
+                        .saturating_sub(self.ops[o].prepare_started_us),
+                );
+            }
+            self.ops[o].state = OpState::WaitDecide { commit };
+            self.ops[o].decide_started_us = self.now.as_micros();
+            self.send_op_decide(o, commit);
+        } else {
+            self.ops[o].state = OpState::Preparing { votes };
+        }
+    }
+
+    fn send_op_decide(&mut self, o: usize, commit: bool) {
+        let op = &self.ops[o];
+        let args = vec![
+            op.rec.id.as_bytes().to_vec(),
+            vec![if commit { 1 } else { 0 }],
+        ];
+        let leg_ctx = op.ctx.with_parent(op.ctx.span_id(stage::DECIDE));
+        let shard = op.coordinator_shard;
+        let tag = self.mint_tag(TagKind::OpDecide { o });
+        self.clusters[shard].schedule_call(
+            self.now,
+            COORDINATOR_CC,
+            "decide",
+            args,
+            tag,
+            Some(leg_ctx),
+        );
+    }
+
+    fn on_op_decide(&mut self, o: usize, outcome: InvokeOutcome) {
+        let OpState::WaitDecide { commit } = self.ops[o].state else {
+            self.errors.push(format!(
+                "op decide outcome in state {:?}",
+                self.ops[o].state
+            ));
+            return;
+        };
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                self.record_op_span(
+                    o,
+                    "2pc.decide",
+                    stage::DECIDE,
+                    stage::PREPARE,
+                    self.ops[o].decide_started_us,
+                );
+                if let Some(m) = &self.metrics {
+                    m.phase_decide_us.observe(
+                        self.now
+                            .as_micros()
+                            .saturating_sub(self.ops[o].decide_started_us),
+                    );
+                }
+                self.start_op_finalize(o, commit);
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                self.redrive_op(o);
+                self.send_op_decide(o, commit);
+            }
+            InvokeOutcome::EndorseFailed(reason) => {
+                if !reason.contains("already decided") {
+                    self.errors.push(format!(
+                        "op decide({}) failed: {reason}",
+                        self.ops[o].rec.id
+                    ));
+                }
+                self.start_op_finalize(o, commit);
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                self.errors.push(format!(
+                    "op decide({}) invalid: {reason}",
+                    self.ops[o].rec.id
+                ));
+                self.start_op_finalize(o, commit);
+            }
+        }
+    }
+
+    fn start_op_finalize(&mut self, o: usize, commit: bool) {
+        let remaining: Vec<usize> = (0..self.ops[o].legs.len()).collect();
+        self.ops[o].state = OpState::Finalizing {
+            commit,
+            remaining: remaining.clone(),
+        };
+        self.ops[o].finalize_started_us = self.now.as_micros();
+        for leg in remaining {
+            self.send_op_finalize(o, leg, commit);
+        }
+    }
+
+    fn send_op_finalize(&mut self, o: usize, leg: usize, commit: bool) {
+        let op = &self.ops[o];
+        let plan = op.legs[leg].clone();
+        let function = if commit { "commit" } else { "abort" };
+        let args = vec![op.rec.id.as_bytes().to_vec()];
+        let leg_ctx = op.ctx.with_parent(op.ctx.span_id(stage::FINALIZE));
+        let tag = self.mint_tag(TagKind::OpFinalize { o, leg });
+        self.clusters[plan.shard].schedule_call(
+            self.now,
+            &plan.chaincode,
+            function,
+            args,
+            tag,
+            Some(leg_ctx),
+        );
+    }
+
+    fn on_op_finalize(&mut self, o: usize, leg: usize, outcome: InvokeOutcome) {
+        let OpState::Finalizing { commit, remaining } = self.ops[o].state.clone() else {
+            self.errors.push(format!(
+                "op finalize outcome in state {:?}",
+                self.ops[o].state
+            ));
+            return;
+        };
+        match outcome {
+            InvokeOutcome::Committed {
+                valid: TxValidation::Valid,
+            } => {
+                let remaining: Vec<usize> = remaining.into_iter().filter(|&l| l != leg).collect();
+                if remaining.is_empty() {
+                    self.record_op_span(
+                        o,
+                        "2pc.finalize",
+                        stage::FINALIZE,
+                        stage::DECIDE,
+                        self.ops[o].finalize_started_us,
+                    );
+                    if let Some(m) = &self.metrics {
+                        m.phase_finalize_us.observe(
+                            self.now
+                                .as_micros()
+                                .saturating_sub(self.ops[o].finalize_started_us),
+                        );
+                        if !commit {
+                            if self.ops[o]
+                                .no_reason
+                                .as_deref()
+                                .map(|r| r.contains("insufficient"))
+                                .unwrap_or(false)
+                            {
+                                m.aborts_insufficient.inc();
+                            } else {
+                                m.aborts_vote.inc();
+                            }
+                        }
+                    }
+                    let status = if commit {
+                        TransferStatus::Committed
+                    } else {
+                        TransferStatus::Aborted {
+                            reason: self.ops[o]
+                                .no_reason
+                                .clone()
+                                .unwrap_or_else(|| "prepare voted no".into()),
+                        }
+                    };
+                    self.op_terminal(o, status);
+                } else {
+                    self.ops[o].state = OpState::Finalizing { commit, remaining };
+                }
+            }
+            InvokeOutcome::Committed {
+                valid: TxValidation::MvccConflict { .. },
+            } => {
+                // Coordinator recovery, same as transfers: re-read the
+                // replicated decision and re-drive the leg from it.
+                self.redrive_op(o);
+                let coord_shard = self.ops[o].coordinator_shard;
+                let recorded = read_coord_state(
+                    self.clusters[coord_shard].canonical_state(),
+                    &self.ops[o].rec.id,
+                );
+                let commit_again = match recorded {
+                    Some(CoordState::Committed) => true,
+                    Some(CoordState::Aborted) => false,
+                    other => {
+                        self.errors.push(format!(
+                            "op finalize redrive of {} found coordinator state {other:?}",
+                            self.ops[o].rec.id
+                        ));
+                        commit
+                    }
+                };
+                self.send_op_finalize(o, leg, commit_again);
+            }
+            InvokeOutcome::EndorseFailed(reason)
+            | InvokeOutcome::Committed {
+                valid: TxValidation::EndorsementFailure { reason },
+            } => {
+                self.errors.push(format!(
+                    "op finalize({}, leg {leg}) failed: {reason}",
+                    self.ops[o].rec.id
+                ));
+                let remaining: Vec<usize> = remaining.into_iter().filter(|&l| l != leg).collect();
+                if remaining.is_empty() {
+                    self.op_terminal(
+                        o,
+                        TransferStatus::Aborted {
+                            reason: "finalize failed".into(),
+                        },
+                    );
+                } else {
+                    self.ops[o].state = OpState::Finalizing { commit, remaining };
+                }
+            }
+        }
+    }
+
+    fn redrive_op(&mut self, o: usize) {
+        self.ops[o].rec.redrives += 1;
+        self.redrives += 1;
+        if let Some(m) = &self.metrics {
+            m.redrives.inc();
+        }
+    }
+
     fn redrive(&mut self, t: usize) {
         self.xfers[t].rec.redrives += 1;
         self.redrives += 1;
@@ -1037,6 +1661,12 @@ impl ShardedDeployment {
             .iter()
             .filter(|x| x.rec.status == TransferStatus::InFlight)
             .map(|x| format!("{} {:?} state={:?}", x.rec.id, x.rec, x.state))
+            .chain(
+                self.ops
+                    .iter()
+                    .filter(|o| o.rec.status == TransferStatus::InFlight)
+                    .map(|o| format!("{} {:?} state={:?}", o.rec.id, o.rec, o.state)),
+            )
             .collect()
     }
 

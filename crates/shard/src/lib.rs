@@ -36,5 +36,6 @@ pub mod deployment;
 mod metrics;
 
 pub use deployment::{
-    stage, ShardConfig, ShardError, ShardReport, ShardedDeployment, TransferRecord, TransferStatus,
+    stage, OpLeg, OpRecord, OpSpec, ShardConfig, ShardError, ShardReport, ShardedDeployment,
+    TransferRecord, TransferStatus,
 };

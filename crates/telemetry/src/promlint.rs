@@ -16,7 +16,7 @@ use std::collections::{HashMap, HashSet};
 /// instead of silently forking a family.
 const KNOWN_SUBSYSTEMS: &[&str] = &[
     "bench", "chain", "cluster", "gateway", "pool", "shard", "simnet", "statedb", "storage",
-    "trace", "validate", "views",
+    "trace", "validate", "views", "workload",
 ];
 
 /// Lint `exposition` (Prometheus text format); returns one message per
@@ -222,6 +222,10 @@ lv_mystery_total 3
         r.histogram("lv_statedb_compaction_seconds", &[])
             .observe(12);
         r.counter("lv_trace_spans_total", &[]).inc();
+        r.counter("lv_workload_submitted_total", &[("profile", "new_order")])
+            .inc();
+        r.histogram("lv_workload_invariant_check_us", &[])
+            .observe(7);
         let problems = lint_prometheus(&r.prometheus_text());
         assert!(problems.is_empty(), "{problems:?}");
 

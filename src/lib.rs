@@ -91,6 +91,7 @@ pub use ledgerview_simnet as simnet;
 pub use ledgerview_statedb as statedb;
 pub use ledgerview_supplychain as supplychain;
 pub use ledgerview_telemetry as telemetry;
+pub use ledgerview_workload as workload;
 
 /// The most common imports, for examples and applications.
 pub mod prelude {
